@@ -1,0 +1,157 @@
+#include "table1_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "core/exact_synthesis.hpp"
+#include "util/table_printer.hpp"
+
+namespace stpes::bench {
+
+namespace {
+
+std::optional<std::string> flag_value(const std::string& arg,
+                                      const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    return arg.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+table1_options parse_options(int argc, char** argv,
+                             std::size_t default_count,
+                             double default_timeout) {
+  table1_options options;
+  options.count = default_count;
+  options.timeout = default_timeout;
+  if (const char* env = std::getenv("STP_BENCH_FULL");
+      env != nullptr && std::string{env} == "1") {
+    options.full = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      options.full = true;
+    } else if (auto v = flag_value(arg, "count")) {
+      options.count = std::stoul(*v);
+    } else if (auto v = flag_value(arg, "timeout")) {
+      options.timeout = std::stod(*v);
+    } else if (auto v = flag_value(arg, "seed")) {
+      options.seed = std::stoull(*v);
+    } else if (auto v = flag_value(arg, "engines")) {
+      options.engines.clear();
+      std::size_t start = 0;
+      while (start <= v->size()) {
+        const auto comma = v->find(',', start);
+        options.engines.push_back(
+            v->substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start));
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--full] [--count=N] [--timeout=S] [--seed=S]"
+                   " [--engines=stp,bms,fen,cegar]\n";
+      std::exit(2);
+    }
+  }
+  if (options.full) {
+    options.count = 0;
+    options.timeout = 180.0;
+  }
+  return options;
+}
+
+int run_table1(const std::string& collection_name,
+               const std::vector<tt::truth_table>& functions,
+               const table1_options& options) {
+  std::vector<tt::truth_table> selected;
+  if (options.count == 0 || options.count >= functions.size()) {
+    selected = functions;
+  } else {
+    // Deterministic spread across the collection (covers easy and hard).
+    const double stride =
+        static_cast<double>(functions.size()) /
+        static_cast<double>(options.count);
+    for (std::size_t i = 0; i < options.count; ++i) {
+      selected.push_back(
+          functions[static_cast<std::size_t>(i * stride)]);
+    }
+  }
+
+  std::cout << "== Table I / " << collection_name << " ==  instances="
+            << selected.size() << " timeout=" << options.timeout
+            << "s seed=" << options.seed << "\n";
+
+  util::table_printer table;
+  table.set_header({"engine", "mean(s)", "#t/o", "#ok", "mean/sol(s)",
+                    "avg#sol"});
+
+  // optimum sizes per instance for cross-checking.
+  std::vector<std::vector<unsigned>> optima(selected.size());
+  int disagreements = 0;
+
+  for (const auto& engine_name : options.engines) {
+    const auto which = core::engine_from_string(engine_name);
+    double total_seconds = 0.0;
+    std::size_t solved = 0;
+    std::size_t timeouts = 0;
+    double total_solutions = 0.0;
+    double total_per_solution = 0.0;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const auto r =
+          core::exact_synthesis(selected[i], which, options.timeout);
+      if (r.ok()) {
+        ++solved;
+        total_seconds += r.seconds;
+        total_solutions += static_cast<double>(r.chains.size());
+        total_per_solution +=
+            r.seconds / static_cast<double>(r.chains.size());
+        optima[i].push_back(r.optimum_gates);
+      } else {
+        ++timeouts;
+      }
+    }
+    const double mean =
+        solved > 0 ? total_seconds / static_cast<double>(solved) : 0.0;
+    std::vector<std::string> row{
+        core::to_string(which), util::table_printer::fmt(mean),
+        std::to_string(timeouts), std::to_string(solved)};
+    if (which == core::engine::stp) {
+      row.push_back(util::table_printer::fmt(
+          solved > 0 ? total_per_solution / static_cast<double>(solved)
+                     : 0.0));
+      row.push_back(util::table_printer::fmt(
+          solved > 0 ? total_solutions / static_cast<double>(solved) : 0.0,
+          1));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  for (const auto& sizes : optima) {
+    for (std::size_t j = 1; j < sizes.size(); ++j) {
+      if (sizes[j] != sizes[0]) {
+        ++disagreements;
+      }
+    }
+  }
+  if (disagreements > 0) {
+    std::cout << "WARNING: " << disagreements
+              << " optimum-size disagreements between engines!\n";
+  }
+  std::cout << "\n";
+  return disagreements;
+}
+
+}  // namespace stpes::bench

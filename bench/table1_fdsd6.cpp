@@ -1,0 +1,16 @@
+/// \file table1_fdsd6.cpp
+/// \brief Table I, FDSD6 row: fully-DSD 6-input functions
+///        (paper: 1000 instances; default here: a seeded subset).
+
+#include "table1_common.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  const auto options =
+      stpes::bench::parse_options(argc, argv, /*default_count=*/40,
+                                  /*default_timeout=*/3.0);
+  const auto functions = stpes::workload::fdsd_functions(
+      6, options.full ? 1000 : std::max<std::size_t>(options.count, 1),
+      options.seed);
+  return stpes::bench::run_table1("FDSD6", functions, options);
+}

@@ -1,0 +1,16 @@
+/// \file table1_fdsd8.cpp
+/// \brief Table I, FDSD8 row: fully-DSD 8-input functions
+///        (paper: 100 instances; default here: a seeded subset).
+
+#include "table1_common.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  const auto options =
+      stpes::bench::parse_options(argc, argv, /*default_count=*/8,
+                                  /*default_timeout=*/8.0);
+  const auto functions = stpes::workload::fdsd_functions(
+      8, options.full ? 100 : std::max<std::size_t>(options.count, 1),
+      options.seed);
+  return stpes::bench::run_table1("FDSD8", functions, options);
+}

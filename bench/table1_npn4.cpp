@@ -1,0 +1,13 @@
+/// \file table1_npn4.cpp
+/// \brief Table I, NPN4 row: all 222 4-input NPN classes.
+
+#include "table1_common.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  const auto options =
+      stpes::bench::parse_options(argc, argv, /*default_count=*/30,
+                                  /*default_timeout=*/3.0);
+  return stpes::bench::run_table1("NPN4",
+                                  stpes::workload::npn4_classes(), options);
+}

@@ -1,0 +1,16 @@
+/// \file table1_pdsd6.cpp
+/// \brief Table I, PDSD6 row: partially-DSD 6-input functions
+///        (paper: 1000 instances; default here: a seeded subset).
+
+#include "table1_common.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  const auto options =
+      stpes::bench::parse_options(argc, argv, /*default_count=*/10,
+                                  /*default_timeout=*/5.0);
+  const auto functions = stpes::workload::pdsd_functions(
+      6, options.full ? 1000 : std::max<std::size_t>(options.count, 1),
+      options.seed);
+  return stpes::bench::run_table1("PDSD6", functions, options);
+}

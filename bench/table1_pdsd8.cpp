@@ -1,0 +1,16 @@
+/// \file table1_pdsd8.cpp
+/// \brief Table I, PDSD8 row: partially-DSD 8-input functions
+///        (paper: 100 instances; default here: a seeded subset).
+
+#include "table1_common.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  const auto options =
+      stpes::bench::parse_options(argc, argv, /*default_count=*/5,
+                                  /*default_timeout=*/8.0);
+  const auto functions = stpes::workload::pdsd_functions(
+      8, options.full ? 100 : std::max<std::size_t>(options.count, 1),
+      options.seed);
+  return stpes::bench::run_table1("PDSD8", functions, options);
+}

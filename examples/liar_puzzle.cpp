@@ -1,0 +1,45 @@
+/// \file liar_puzzle.cpp
+/// \brief Example 4 of the paper: logical reasoning with STP matrices.
+///
+/// Three persons a, b, c; liars always lie, honest people always tell the
+/// truth.  a says "b is a liar", b says "c is a liar", c says "a and b are
+/// both liars".  Who is honest?
+///
+/// The program builds Phi = (a <-> !b) & (b <-> !c) & (c <-> !a & !b),
+/// computes its STP canonical form M_Phi (Property 2) with genuine matrix
+/// algebra (structural matrices, M_w swaps, M_r power-reductions), prints
+/// the matrix — it matches the paper — and solves AllSAT by the sequential
+/// halving of Fig. 1.
+
+#include <iostream>
+
+#include "stp/expr.hpp"
+#include "stp/stp_allsat.hpp"
+
+int main() {
+  using namespace stpes::stp;
+
+  const auto a = expr::var(2);
+  const auto b = expr::var(1);
+  const auto c = expr::var(0);
+  const auto phi =
+      equiv(a, !b) & equiv(b, !c) & equiv(c, (!a) & (!b));
+
+  std::cout << "Phi = " << phi.to_string() << "\n\n";
+
+  const auto canonical = phi.canonical().to_logic_matrix(3);
+  std::cout << "canonical form M_Phi (columns, all-True first):\n  "
+            << canonical.to_string() << "\n\n";
+
+  stp_sat_solver solver{canonical};
+  const auto solutions = solver.solve_all();
+  std::cout << "sequential STP solve (Fig. 1): " << solutions.size()
+            << " solution(s), " << solver.stats().backtracks
+            << " branch(es) cut\n";
+  for (const auto& s : solutions) {
+    std::cout << "  a=" << (s.values[0] ? "honest" : "liar")
+              << "  b=" << (s.values[1] ? "honest" : "liar")
+              << "  c=" << (s.values[2] ? "honest" : "liar") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file npn4_catalog.cpp
+/// \brief Builds an optimum-size catalog of 4-input NPN classes.
+///
+/// Enumerates the 222 NPN4 classes (the paper's first benchmark
+/// collection), synthesizes each with the STP engine under a small budget,
+/// and prints the distribution of optimum gate counts plus the average
+/// number of optimum chains per size — a compact "cost table" a technology
+/// mapper could embed.
+///
+///     ./npn4_catalog [timeout-seconds] [max-classes]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/exact_synthesis.hpp"
+#include "util/table_printer.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stpes;
+  const double timeout = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const std::size_t max_classes =
+      argc > 2 ? std::stoul(argv[2]) : std::size_t{60};
+
+  const auto classes = workload::npn4_classes();
+  const std::size_t limit = std::min(max_classes, classes.size());
+  std::cout << "Cataloguing " << limit << " of " << classes.size()
+            << " NPN4 classes (timeout " << timeout << " s each)\n\n";
+
+  struct bucket {
+    std::size_t classes = 0;
+    double solutions = 0.0;
+    double seconds = 0.0;
+  };
+  std::map<unsigned, bucket> by_size;
+  std::size_t timeouts = 0;
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto r =
+        core::exact_synthesis(classes[i], core::engine::stp, timeout);
+    if (!r.ok()) {
+      ++timeouts;
+      continue;
+    }
+    auto& b = by_size[r.optimum_gates];
+    ++b.classes;
+    b.solutions += static_cast<double>(r.chains.size());
+    b.seconds += r.seconds;
+  }
+
+  util::table_printer table;
+  table.set_header({"gates", "#classes", "avg #optima", "avg time(s)"});
+  for (const auto& [size, b] : by_size) {
+    table.add_row({std::to_string(size), std::to_string(b.classes),
+                   util::table_printer::fmt(
+                       b.solutions / static_cast<double>(b.classes), 1),
+                   util::table_printer::fmt(
+                       b.seconds / static_cast<double>(b.classes))});
+  }
+  table.print(std::cout);
+  std::cout << "timeouts: " << timeouts << "\n";
+  return 0;
+}

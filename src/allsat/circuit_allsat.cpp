@@ -1,0 +1,174 @@
+#include "allsat/circuit_allsat.hpp"
+
+#include <cassert>
+
+namespace stpes::allsat {
+
+bool partial_assignment::matches(std::uint64_t t) const {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= 0 &&
+        values[i] != static_cast<std::int8_t>((t >> i) & 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t partial_assignment::coverage() const {
+  unsigned unassigned = 0;
+  for (const auto v : values) {
+    if (v < 0) {
+      ++unassigned;
+    }
+  }
+  return std::uint64_t{1} << unassigned;
+}
+
+std::string partial_assignment::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += values[i] < 0 ? '-' : static_cast<char>('0' + values[i]);
+    if (i + 1 < values.size()) {
+      out += ',';
+    }
+  }
+  out += ')';
+  return out;
+}
+
+namespace {
+
+/// Assignment over *all* signals during the traverse (PIs then steps).
+using signal_values = std::vector<std::int8_t>;
+
+}  // namespace
+
+circuit_allsat_result solve_all(const chain::boolean_chain& network,
+                                bool target) {
+  return solve_all(lut_network::from_chain(network),
+                   std::vector<bool>{target});
+}
+
+circuit_allsat_result solve_all(const lut_network& network,
+                                const std::vector<bool>& targets) {
+  assert(targets.size() == network.outputs.size());
+  circuit_allsat_result result;
+  const unsigned n = network.num_inputs;
+  const unsigned total = network.num_signals();
+  if (total == 0 || network.outputs.empty()) {
+    return result;
+  }
+
+  // Lines 1-2 of Algorithm 1: initialize the solution set with the single
+  // partial solution pinning every primary output to its target; the
+  // per-output MERGE of line 5 is the consistency check when two outputs
+  // pin the same signal.
+  signal_values initial(total, -1);
+  for (std::size_t i = 0; i < network.outputs.size(); ++i) {
+    const auto& po = network.outputs[i];
+    bool value = targets[i];
+    if (po.complemented) {
+      value = !value;
+    }
+    const auto pinned = static_cast<std::int8_t>(value ? 1 : 0);
+    if (initial[po.signal] >= 0 && initial[po.signal] != pinned) {
+      return result;  // two outputs demand opposite values: UNSAT
+    }
+    initial[po.signal] = pinned;
+  }
+  std::vector<signal_values> frontier{initial};
+
+  // Algorithm 2, iteratively: walk the steps top-down.  A step whose value
+  // is pinned in a partial solution is expanded through its structural
+  // matrix: every fanin pattern producing the pinned value spawns one
+  // refined solution; merging is the consistency check against values
+  // already pinned by other parents (reconvergence).
+  for (unsigned j = static_cast<unsigned>(network.steps.size()); j-- > 0;) {
+    const auto& s = network.steps[j];
+    const unsigned signal = n + j;
+    std::vector<signal_values> next;
+    next.reserve(frontier.size());
+    for (auto& sol : frontier) {
+      const auto pinned = sol[signal];
+      if (pinned < 0) {
+        // Node value irrelevant for this partial solution.
+        next.push_back(std::move(sol));
+        continue;
+      }
+      for (unsigned pattern = 0; pattern < 4; ++pattern) {
+        const auto a = static_cast<std::int8_t>(pattern & 1);
+        const auto b = static_cast<std::int8_t>((pattern >> 1) & 1);
+        const auto out =
+            static_cast<std::int8_t>((s.op >> ((b << 1) | a)) & 1);
+        if (out != pinned) {
+          continue;
+        }
+        ++result.expansions;
+        // Merge with existing pins on the fanins.
+        const auto va = sol[s.fanin[0]];
+        const auto vb = sol[s.fanin[1]];
+        if ((va >= 0 && va != a) || (vb >= 0 && vb != b)) {
+          continue;
+        }
+        // Twin fanins must receive consistent values.
+        if (s.fanin[0] == s.fanin[1] && a != b) {
+          continue;
+        }
+        signal_values refined = sol;
+        refined[s.fanin[0]] = a;
+        refined[s.fanin[1]] = b;
+        next.push_back(std::move(refined));
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) {
+      return result;  // UNSAT
+    }
+  }
+
+  // Project to primary inputs, dropping exact duplicates.
+  std::vector<partial_assignment> projected;
+  projected.reserve(frontier.size());
+  for (const auto& sol : frontier) {
+    partial_assignment pa;
+    pa.values.assign(sol.begin(), sol.begin() + n);
+    bool duplicate = false;
+    for (const auto& existing : projected) {
+      if (existing.values == pa.values) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      projected.push_back(std::move(pa));
+    }
+  }
+  result.satisfiable = !projected.empty();
+  result.solutions = std::move(projected);
+  return result;
+}
+
+tt::truth_table solutions_to_function(
+    unsigned num_inputs, const std::vector<partial_assignment>& solutions) {
+  tt::truth_table f{num_inputs};
+  for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+    for (const auto& s : solutions) {
+      if (s.matches(t)) {
+        f.set_bit(t, true);
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+bool verify_chain(const chain::boolean_chain& network,
+                  const tt::truth_table& specification) {
+  assert(network.num_inputs() == specification.num_vars());
+  const auto result = solve_all(network, /*target=*/true);
+  const auto realized =
+      solutions_to_function(network.num_inputs(), result.solutions);
+  return realized == specification;
+}
+
+}  // namespace stpes::allsat

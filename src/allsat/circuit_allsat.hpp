@@ -1,0 +1,72 @@
+/// \file circuit_allsat.hpp
+/// \brief The STP-based circuit AllSAT solver of Section III-C
+///        (Algorithms 1 and 2).
+///
+/// The solver takes a 2-LUT network (a `boolean_chain`) and computes *all*
+/// primary-input assignments that drive the output to a target value.  As
+/// in the paper, it works directly on circuit structure: the target value
+/// of a node is propagated through the node's structural matrix (= its LUT
+/// truth table) to target values of its children, branching over every
+/// input pattern that produces the target, and partial solutions are merged
+/// for consistency (which also resolves reconvergent fanout).  Solutions
+/// keep unassigned inputs as don't-cares ('-' in the paper's notation).
+///
+/// The final "judging" step of the paper — simulate the solution set into a
+/// function f_s and compare with the specification f — is `verify_chain`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "allsat/lut_network.hpp"
+#include "chain/boolean_chain.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::allsat {
+
+/// A (possibly partial) assignment over the primary inputs:
+/// -1 = unassigned ('-'), 0 / 1 = forced value.
+struct partial_assignment {
+  std::vector<std::int8_t> values;
+
+  /// True iff minterm `t` (bit i = input i) agrees with every assigned
+  /// input.
+  [[nodiscard]] bool matches(std::uint64_t t) const;
+  /// Number of minterms covered (2^#unassigned).
+  [[nodiscard]] std::uint64_t coverage() const;
+  /// e.g. "(1,0,-,1)" with input 0 first.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of a circuit AllSAT run.
+struct circuit_allsat_result {
+  bool satisfiable = false;
+  std::vector<partial_assignment> solutions;
+  /// Branching steps taken (statistics; roughly the paper's traverse count).
+  std::uint64_t expansions = 0;
+};
+
+/// Runs Algorithms 1-2 on `network` with output target `target`.
+circuit_allsat_result solve_all(const chain::boolean_chain& network,
+                                bool target = true);
+
+/// Multi-output form (Algorithm 1, line 3): all input assignments driving
+/// every output i to `targets[i]` simultaneously.  `targets` must match
+/// the network's output count.
+circuit_allsat_result solve_all(const lut_network& network,
+                                const std::vector<bool>& targets);
+
+/// ORs the solution patterns into the function they cover.
+tt::truth_table solutions_to_function(
+    unsigned num_inputs, const std::vector<partial_assignment>& solutions);
+
+/// The paper's correctness check for one optimum-chain candidate:
+/// the AllSAT solution set of the network, simulated to f_s, must equal
+/// the specification (and the target-0 side must match the complement,
+/// which follows automatically).
+bool verify_chain(const chain::boolean_chain& network,
+                  const tt::truth_table& specification);
+
+}  // namespace stpes::allsat

@@ -1,0 +1,48 @@
+#include "allsat/lut_network.hpp"
+
+namespace stpes::allsat {
+
+lut_network lut_network::from_chain(const chain::boolean_chain& chain) {
+  lut_network net;
+  net.num_inputs = chain.num_inputs();
+  net.steps = chain.steps();
+  net.outputs.push_back(output{chain.output(), chain.output_complemented()});
+  return net;
+}
+
+bool lut_network::is_well_formed() const {
+  for (std::size_t j = 0; j < steps.size(); ++j) {
+    const auto limit = num_inputs + j;
+    if (steps[j].fanin[0] >= limit || steps[j].fanin[1] >= limit ||
+        steps[j].op > 0xF) {
+      return false;
+    }
+  }
+  for (const auto& po : outputs) {
+    if (po.signal >= num_signals()) {
+      return false;
+    }
+  }
+  return !outputs.empty();
+}
+
+std::vector<tt::truth_table> lut_network::simulate() const {
+  std::vector<tt::truth_table> signals;
+  signals.reserve(num_signals());
+  for (unsigned v = 0; v < num_inputs; ++v) {
+    signals.push_back(tt::truth_table::nth_var(num_inputs, v));
+  }
+  for (const auto& s : steps) {
+    signals.push_back(
+        tt::apply_binary_op(s.op, signals[s.fanin[0]], signals[s.fanin[1]]));
+  }
+  std::vector<tt::truth_table> out;
+  out.reserve(outputs.size());
+  for (const auto& po : outputs) {
+    out.push_back(po.complemented ? ~signals[po.signal]
+                                  : signals[po.signal]);
+  }
+  return out;
+}
+
+}  // namespace stpes::allsat

@@ -1,0 +1,46 @@
+/// \file lut_network.hpp
+/// \brief Multi-output 2-LUT networks for the circuit AllSAT solver.
+///
+/// Algorithm 1 of the paper is stated for networks with several primary
+/// outputs (line 3 loops over POs and merges the per-output solution
+/// sets).  `boolean_chain` is single-output by design; this thin network
+/// type carries the same step list with any number of (possibly
+/// complemented) outputs and is what the general solver entry point in
+/// `circuit_allsat.hpp` consumes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/boolean_chain.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::allsat {
+
+/// A combinational network of 2-input LUT steps with multiple outputs.
+struct lut_network {
+  struct output {
+    std::uint32_t signal = 0;
+    bool complemented = false;
+  };
+
+  unsigned num_inputs = 0;
+  std::vector<chain::step> steps;
+  std::vector<output> outputs;
+
+  /// Wraps a single-output chain.
+  static lut_network from_chain(const chain::boolean_chain& chain);
+
+  [[nodiscard]] unsigned num_signals() const {
+    return num_inputs + static_cast<unsigned>(steps.size());
+  }
+
+  /// Structural sanity (fanins precede steps, outputs exist).
+  [[nodiscard]] bool is_well_formed() const;
+
+  /// Truth table of every output.
+  [[nodiscard]] std::vector<tt::truth_table> simulate() const;
+};
+
+}  // namespace stpes::allsat

@@ -1,0 +1,162 @@
+#include "chain/boolean_chain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace stpes::chain {
+
+boolean_chain::boolean_chain(unsigned num_inputs)
+    : num_inputs_(num_inputs) {}
+
+std::uint32_t boolean_chain::add_step(unsigned op, std::uint32_t fanin0,
+                                      std::uint32_t fanin1) {
+  const std::uint32_t index = num_inputs_ + num_steps();
+  if (fanin0 >= index || fanin1 >= index) {
+    throw std::invalid_argument{"boolean_chain: fanin must precede step"};
+  }
+  steps_.push_back(step{op & 0xF, {fanin0, fanin1}});
+  return index;
+}
+
+void boolean_chain::set_output(std::uint32_t signal, bool complemented) {
+  if (signal >= num_inputs_ + num_steps()) {
+    throw std::invalid_argument{"boolean_chain: bad output signal"};
+  }
+  output_ = signal;
+  output_complemented_ = complemented;
+}
+
+bool boolean_chain::is_well_formed() const {
+  for (std::size_t j = 0; j < steps_.size(); ++j) {
+    const auto limit = num_inputs_ + j;
+    if (steps_[j].fanin[0] >= limit || steps_[j].fanin[1] >= limit ||
+        steps_[j].op > 0xF) {
+      return false;
+    }
+  }
+  return output_ < num_inputs_ + num_steps() || (num_inputs_ == 0 && steps_.empty());
+}
+
+std::vector<tt::truth_table> boolean_chain::simulate_all() const {
+  std::vector<tt::truth_table> signals;
+  signals.reserve(num_inputs_ + steps_.size());
+  for (unsigned v = 0; v < num_inputs_; ++v) {
+    signals.push_back(tt::truth_table::nth_var(num_inputs_, v));
+  }
+  for (const auto& s : steps_) {
+    signals.push_back(tt::apply_binary_op(s.op, signals[s.fanin[0]],
+                                          signals[s.fanin[1]]));
+  }
+  return signals;
+}
+
+tt::truth_table boolean_chain::simulate() const {
+  const auto signals = simulate_all();
+  if (signals.empty()) {
+    throw std::logic_error{"boolean_chain: nothing to simulate"};
+  }
+  const auto& out = signals[output_];
+  return output_complemented_ ? ~out : out;
+}
+
+unsigned boolean_chain::depth() const {
+  std::vector<unsigned> level(num_inputs_ + steps_.size(), 0);
+  for (std::size_t j = 0; j < steps_.size(); ++j) {
+    const auto& s = steps_[j];
+    level[num_inputs_ + j] =
+        1 + std::max(level[s.fanin[0]], level[s.fanin[1]]);
+  }
+  return level.empty() ? 0 : level[output_];
+}
+
+unsigned boolean_chain::xor_count() const {
+  unsigned count = 0;
+  for (const auto& s : steps_) {
+    if (s.op == 0x6 || s.op == 0x9) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+unsigned boolean_chain::nontrivial_polarity_count() const {
+  unsigned count = 0;
+  for (const auto& s : steps_) {
+    // Positive-unate 2-input operators: AND (0x8) and OR (0xE); everything
+    // else needs at least one complemented input or output.
+    if (s.op != 0x8 && s.op != 0xE) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string boolean_chain::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  auto signal_name = [&](std::uint32_t s) {
+    return "x" + std::to_string(s);
+  };
+  std::string out;
+  for (std::size_t j = 0; j < steps_.size(); ++j) {
+    const auto& s = steps_[j];
+    out += signal_name(num_inputs_ + static_cast<std::uint32_t>(j));
+    out += " = 0x";
+    out += kHex[s.op];
+    out += "(" + signal_name(s.fanin[0]) + ", " + signal_name(s.fanin[1]) +
+           ")\n";
+  }
+  out += "f = ";
+  if (output_complemented_) {
+    out += "!";
+  }
+  out += signal_name(output_) + "\n";
+  return out;
+}
+
+std::string boolean_chain::to_dot() const {
+  std::string out = "digraph chain {\n  rankdir=BT;\n";
+  for (unsigned v = 0; v < num_inputs_; ++v) {
+    out += "  x" + std::to_string(v) + " [shape=circle];\n";
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (std::size_t j = 0; j < steps_.size(); ++j) {
+    const auto id = num_inputs_ + j;
+    out += "  x" + std::to_string(id) + " [shape=box,label=\"x" +
+           std::to_string(id) + "\\n0x";
+    out += kHex[steps_[j].op];
+    out += "\"];\n";
+    for (const auto fi : steps_[j].fanin) {
+      out += "  x" + std::to_string(fi) + " -> x" + std::to_string(id) +
+             ";\n";
+    }
+  }
+  out += "  out [shape=plaintext,label=\"f" +
+         std::string(output_complemented_ ? " = !" : " = ") + "x" +
+         std::to_string(output_) + "\"];\n";
+  out += "  x" + std::to_string(output_) + " -> out;\n}\n";
+  return out;
+}
+
+std::size_t boolean_chain::hash() const {
+  std::size_t h = 0xcbf29ce484222325ull ^ num_inputs_;
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  for (const auto& s : steps_) {
+    mix(s.op);
+    mix(s.fanin[0]);
+    mix(s.fanin[1]);
+  }
+  mix(output_);
+  mix(output_complemented_ ? 1 : 0);
+  return h;
+}
+
+bool boolean_chain::operator==(const boolean_chain& other) const {
+  return num_inputs_ == other.num_inputs_ && steps_ == other.steps_ &&
+         output_ == other.output_ &&
+         output_complemented_ == other.output_complemented_;
+}
+
+}  // namespace stpes::chain

@@ -1,0 +1,104 @@
+/// \file boolean_chain.hpp
+/// \brief Knuth-style Boolean chains over 2-input LUT steps (Section II-B).
+///
+/// A chain over inputs x_1..x_n is a sequence of steps x_{n+1}..x_{n+r};
+/// step i applies an arbitrary 2-input operator (a 4-bit LUT) to two
+/// earlier signals.  This is the *output format* of every synthesis engine
+/// in this project: the paper stresses that its solutions are 2-LUTs rather
+/// than a homogeneous gate library, so downstream cost functions can pick
+/// among all optimum chains (see `cost` and `core/selector`).
+///
+/// Signal numbering: 0..n-1 are primary inputs, n+j is step j.  The chain
+/// output is one signal, optionally complemented (Knuth's definition allows
+/// f = x_l or !x_l).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace stpes::chain {
+
+/// One step: `op` is a 4-bit LUT over (fanin[0], fanin[1]) with the
+/// bit-(b<<1|a) convention of `tt::apply_binary_op`.
+struct step {
+  unsigned op = 0;
+  std::array<std::uint32_t, 2> fanin{0, 0};
+
+  bool operator==(const step& other) const {
+    return op == other.op && fanin == other.fanin;
+  }
+};
+
+/// A single-output Boolean chain.
+class boolean_chain {
+public:
+  boolean_chain() = default;
+  /// Chain with `num_inputs` primary inputs and no steps yet.
+  explicit boolean_chain(unsigned num_inputs);
+
+  [[nodiscard]] unsigned num_inputs() const { return num_inputs_; }
+  [[nodiscard]] unsigned num_steps() const {
+    return static_cast<unsigned>(steps_.size());
+  }
+  [[nodiscard]] const std::vector<step>& steps() const { return steps_; }
+
+  /// Appends a step and returns its signal index (num_inputs + position).
+  std::uint32_t add_step(unsigned op, std::uint32_t fanin0,
+                         std::uint32_t fanin1);
+
+  /// Selects the output signal.
+  void set_output(std::uint32_t signal, bool complemented = false);
+  [[nodiscard]] std::uint32_t output() const { return output_; }
+  [[nodiscard]] bool output_complemented() const {
+    return output_complemented_;
+  }
+
+  /// Structural sanity: every fanin refers to an earlier signal, the
+  /// output exists, ops are 4-bit.
+  [[nodiscard]] bool is_well_formed() const;
+
+  /// Truth table of every signal (inputs first, then steps).
+  [[nodiscard]] std::vector<tt::truth_table> simulate_all() const;
+  /// Truth table of the chain output.
+  [[nodiscard]] tt::truth_table simulate() const;
+
+  /// \name Cost measures for optimum-solution selection
+  /// @{
+  [[nodiscard]] unsigned size() const { return num_steps(); }
+  /// Longest input-to-output path length in steps.
+  [[nodiscard]] unsigned depth() const;
+  /// Steps whose operator is XOR or XNOR (relevant e.g. when mapping to
+  /// technologies where parity gates are expensive, or cheap).
+  [[nodiscard]] unsigned xor_count() const;
+  /// Steps whose operator is not a positive-unate AND/OR (i.e. involves
+  /// some input complementation); a proxy for inverter cost.
+  [[nodiscard]] unsigned nontrivial_polarity_count() const;
+  /// @}
+
+  /// Human-readable listing, one step per line:
+  /// "x5 = 0x8(x0, x1)" style, mirroring Example 7 of the paper.
+  [[nodiscard]] std::string to_string() const;
+  /// Graphviz dot rendering.
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Stable content hash (for dedup across solution sets).
+  [[nodiscard]] std::size_t hash() const;
+  bool operator==(const boolean_chain& other) const;
+
+private:
+  unsigned num_inputs_ = 0;
+  std::vector<step> steps_;
+  std::uint32_t output_ = 0;
+  bool output_complemented_ = false;
+};
+
+struct boolean_chain_hash {
+  std::size_t operator()(const boolean_chain& c) const { return c.hash(); }
+};
+
+}  // namespace stpes::chain

@@ -1,0 +1,128 @@
+#include "chain/transform.hpp"
+
+#include <cassert>
+
+namespace stpes::chain {
+
+namespace {
+
+/// Rewrites a 2-input LUT so that selected inputs are complemented:
+/// op'(a, b) = op(a ^ neg0, b ^ neg1).
+unsigned fold_input_negations(unsigned op, bool neg0, bool neg1) {
+  unsigned out = 0;
+  for (unsigned pattern = 0; pattern < 4; ++pattern) {
+    const unsigned a = (pattern & 1) ^ (neg0 ? 1u : 0u);
+    const unsigned b = ((pattern >> 1) & 1) ^ (neg1 ? 1u : 0u);
+    if ((op >> ((b << 1) | a)) & 1) {
+      out |= 1u << pattern;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+boolean_chain apply_inverse_npn_to_chain(
+    const boolean_chain& chain, const tt::npn_transform& transform) {
+  const unsigned n = chain.num_inputs();
+  assert(transform.perm.size() == n);
+  // g(x) = f(y) ^ out_neg with y[perm[i]] = x[i] ^ neg[i], hence
+  // f(y) = g(x(y)) ^ out_neg with x[i] = y[perm[i]] ^ neg[i]: every PI
+  // reference i becomes perm[i], complemented iff neg[i].
+  boolean_chain result{n};
+  for (const auto& st : chain.steps()) {
+    unsigned op = st.op;
+    std::array<std::uint32_t, 2> fanin = st.fanin;
+    bool neg[2] = {false, false};
+    for (int pos = 0; pos < 2; ++pos) {
+      if (fanin[static_cast<std::size_t>(pos)] < n) {
+        const auto i = fanin[static_cast<std::size_t>(pos)];
+        neg[pos] = ((transform.input_negation >> i) & 1) != 0;
+        fanin[static_cast<std::size_t>(pos)] = transform.perm[i];
+      }
+    }
+    op = fold_input_negations(op, neg[0], neg[1]);
+    result.add_step(op, fanin[0], fanin[1]);
+  }
+  bool out_complemented = chain.output_complemented();
+  std::uint32_t out_signal = chain.output();
+  if (out_signal < n) {
+    // Output is a PI: rewire and absorb its polarity.
+    out_complemented ^= ((transform.input_negation >> out_signal) & 1) != 0;
+    out_signal = transform.perm[out_signal];
+  }
+  if (transform.output_negation) {
+    out_complemented = !out_complemented;
+  }
+  result.set_output(out_signal, out_complemented);
+  return result;
+}
+
+std::string to_blif(const boolean_chain& chain,
+                    const std::string& model_name) {
+  const unsigned n = chain.num_inputs();
+  std::string out = ".model " + model_name + "\n.inputs";
+  for (unsigned v = 0; v < n; ++v) {
+    out += " x" + std::to_string(v);
+  }
+  out += "\n.outputs f\n";
+  for (std::size_t j = 0; j < chain.steps().size(); ++j) {
+    const auto& st = chain.steps()[j];
+    out += ".names x" + std::to_string(st.fanin[0]) + " x" +
+           std::to_string(st.fanin[1]) + " x" + std::to_string(n + j) + "\n";
+    for (unsigned pattern = 0; pattern < 4; ++pattern) {
+      if ((st.op >> pattern) & 1) {
+        out += std::string{} + static_cast<char>('0' + (pattern & 1)) +
+               static_cast<char>('0' + ((pattern >> 1) & 1)) + " 1\n";
+      }
+    }
+  }
+  out += ".names x" + std::to_string(chain.output()) + " f\n";
+  out += chain.output_complemented() ? "0 1\n" : "1 1\n";
+  out += ".end\n";
+  return out;
+}
+
+std::string to_verilog(const boolean_chain& chain,
+                       const std::string& module_name) {
+  const unsigned n = chain.num_inputs();
+  std::string out = "module " + module_name + "(";
+  for (unsigned v = 0; v < n; ++v) {
+    out += "x" + std::to_string(v) + ", ";
+  }
+  out += "f);\n";
+  for (unsigned v = 0; v < n; ++v) {
+    out += "  input x" + std::to_string(v) + ";\n";
+  }
+  out += "  output f;\n";
+  for (std::size_t j = 0; j < chain.steps().size(); ++j) {
+    out += "  wire x" + std::to_string(n + j) + ";\n";
+  }
+  for (std::size_t j = 0; j < chain.steps().size(); ++j) {
+    const auto& st = chain.steps()[j];
+    const std::string a = "x" + std::to_string(st.fanin[0]);
+    const std::string b = "x" + std::to_string(st.fanin[1]);
+    // Sum-of-products of the LUT.
+    std::string expr;
+    for (unsigned pattern = 0; pattern < 4; ++pattern) {
+      if (((st.op >> pattern) & 1) == 0) {
+        continue;
+      }
+      if (!expr.empty()) {
+        expr += " | ";
+      }
+      expr += "(" + std::string{(pattern & 1) ? "" : "~"} + a + " & " +
+              std::string{((pattern >> 1) & 1) ? "" : "~"} + b + ")";
+    }
+    if (expr.empty()) {
+      expr = "1'b0";
+    }
+    out += "  assign x" + std::to_string(n + j) + " = " + expr + ";\n";
+  }
+  out += "  assign f = " +
+         std::string{chain.output_complemented() ? "~" : ""} + "x" +
+         std::to_string(chain.output()) + ";\nendmodule\n";
+  return out;
+}
+
+}  // namespace stpes::chain

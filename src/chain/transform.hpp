@@ -1,0 +1,41 @@
+/// \file transform.hpp
+/// \brief Structure-preserving chain rewrites: NPN transforms and netlist
+///        exports.
+///
+/// `apply_npn_to_chain` lets a chain synthesized for an NPN class
+/// representative serve every member of the class: input permutations
+/// re-wire the PI references, input complementations fold into the
+/// consuming LUTs (2-LUT steps absorb any input polarity for free — one of
+/// the paper's arguments for LUT-shaped solutions), and output
+/// complementation folds into the output flag.  This is the mechanism
+/// behind `core::npn_cached_synthesizer`.
+///
+/// The exporters emit standard interchange formats so chains can be handed
+/// to downstream tools: BLIF (`.names` per step) and structural Verilog.
+
+#pragma once
+
+#include <string>
+
+#include "chain/boolean_chain.hpp"
+#include "tt/npn.hpp"
+
+namespace stpes::chain {
+
+/// Given `chain` computing g and a transform T with
+/// `g == apply_npn_transform(f, T)`, returns a chain computing f — i.e.
+/// applies T^(-1) structurally.  The result has the same number of steps
+/// and the same topology; only PI wiring, step LUTs, and the output flag
+/// change.
+boolean_chain apply_inverse_npn_to_chain(const boolean_chain& chain,
+                                         const tt::npn_transform& transform);
+
+/// Emits the chain as a BLIF model (one `.names` per step).
+std::string to_blif(const boolean_chain& chain,
+                    const std::string& model_name = "chain");
+
+/// Emits the chain as structural Verilog (one `assign` per step).
+std::string to_verilog(const boolean_chain& chain,
+                       const std::string& module_name = "chain");
+
+}  // namespace stpes::chain

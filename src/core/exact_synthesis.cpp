@@ -1,0 +1,64 @@
+#include "core/exact_synthesis.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "synth/bms.hpp"
+#include "synth/cegar.hpp"
+#include "synth/fen.hpp"
+
+namespace stpes::core {
+
+const char* to_string(engine e) {
+  switch (e) {
+    case engine::stp:
+      return "STP";
+    case engine::bms:
+      return "BMS";
+    case engine::fen:
+      return "FEN";
+    case engine::cegar:
+      return "CEGAR";
+  }
+  return "?";
+}
+
+engine engine_from_string(std::string_view name) {
+  if (name == "stp" || name == "STP") {
+    return engine::stp;
+  }
+  if (name == "bms" || name == "BMS") {
+    return engine::bms;
+  }
+  if (name == "fen" || name == "FEN") {
+    return engine::fen;
+  }
+  if (name == "cegar" || name == "CEGAR" || name == "abc" || name == "ABC") {
+    return engine::cegar;
+  }
+  throw std::invalid_argument{"unknown engine: " + std::string{name}};
+}
+
+synth::result exact_synthesis(const synth::spec& s, engine which) {
+  switch (which) {
+    case engine::stp:
+      return synth::stp_synthesize(s);
+    case engine::bms:
+      return synth::bms_synthesize(s);
+    case engine::fen:
+      return synth::fen_synthesize(s);
+    case engine::cegar:
+      return synth::cegar_synthesize(s);
+  }
+  throw std::logic_error{"exact_synthesis: bad engine"};
+}
+
+synth::result exact_synthesis(const tt::truth_table& function, engine which,
+                              double timeout_seconds) {
+  synth::spec s;
+  s.function = function;
+  s.budget = util::time_budget{timeout_seconds};
+  return exact_synthesis(s, which);
+}
+
+}  // namespace stpes::core

@@ -1,0 +1,43 @@
+/// \file exact_synthesis.hpp
+/// \brief Top-level façade: one entry point over the four engines.
+///
+/// Most users want exactly this:
+///
+///     auto r = stpes::core::exact_synthesis(
+///         stpes::tt::truth_table::from_hex(4, "0x8ff8"));
+///     std::cout << r.best().to_string();
+///
+/// The engine enum mirrors the columns of the paper's Table I.
+
+#pragma once
+
+#include <string_view>
+
+#include "synth/spec.hpp"
+#include "synth/stp_synth.hpp"
+
+namespace stpes::core {
+
+/// The four Table-I engines.
+enum class engine {
+  stp,    ///< the paper's STP factorization + circuit AllSAT (all optima)
+  bms,    ///< baseline SSV CNF encoding
+  fen,    ///< fence-constrained SSV CNF encoding
+  cegar,  ///< CEGAR SSV encoding (stand-in for ABC lutexact)
+};
+
+const char* to_string(engine e);
+
+/// Parses "stp" / "bms" / "fen" / "cegar" (throws on anything else).
+engine engine_from_string(std::string_view name);
+
+/// Runs `which` on the given spec.
+synth::result exact_synthesis(const synth::spec& s,
+                              engine which = engine::stp);
+
+/// Convenience overload with a default (unbounded) spec.
+synth::result exact_synthesis(const tt::truth_table& function,
+                              engine which = engine::stp,
+                              double timeout_seconds = 0.0);
+
+}  // namespace stpes::core

@@ -1,0 +1,47 @@
+#include "core/npn_cache.hpp"
+
+#include <cassert>
+
+#include "chain/transform.hpp"
+
+namespace stpes::core {
+
+synth::result npn_cached_synthesizer::synthesize(
+    const tt::truth_table& function) {
+  if (function.num_vars() > 5) {
+    ++stats_.uncached;
+    return exact_synthesis(function, engine_, timeout_);
+  }
+
+  const auto canon = tt::exact_npn_canonize(function);
+  auto it = cache_.find(canon.canonical);
+  if (it == cache_.end()) {
+    ++stats_.misses;
+    auto canonical_result =
+        exact_synthesis(canon.canonical, engine_, timeout_);
+    it = cache_.emplace(canon.canonical, std::move(canonical_result)).first;
+  } else {
+    ++stats_.hits;
+  }
+
+  const auto& cached = it->second;
+  if (!cached.ok()) {
+    return cached;  // timeout/failure propagates
+  }
+  // canonical == apply_npn_transform(function, transform), so rewriting
+  // the canonical chains through the inverse transform realizes the
+  // requested function.
+  synth::result out;
+  out.outcome = cached.outcome;
+  out.optimum_gates = cached.optimum_gates;
+  out.seconds = cached.seconds;
+  out.chains.reserve(cached.chains.size());
+  for (const auto& c : cached.chains) {
+    auto rewritten = chain::apply_inverse_npn_to_chain(c, canon.transform);
+    assert(rewritten.simulate() == function);
+    out.chains.push_back(std::move(rewritten));
+  }
+  return out;
+}
+
+}  // namespace stpes::core

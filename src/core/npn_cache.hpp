@@ -1,0 +1,56 @@
+/// \file npn_cache.hpp
+/// \brief NPN-cached exact synthesis.
+///
+/// The paper uses NPN classification to reduce DAG candidates; the same
+/// classification makes a synthesis *cache*: canonize the target, run the
+/// (expensive) exact synthesis once per class, and serve every other class
+/// member by structurally rewriting the cached chains through the inverse
+/// transform (`chain::apply_inverse_npn_to_chain`).  In rewriting-style
+/// flows that call exact synthesis on millions of cuts, this is the layer
+/// that makes it practical — e.g. the 2^16 4-input functions collapse to
+/// 222 synthesis calls.
+///
+/// Exact canonization is orbit enumeration (n <= 5); larger functions fall
+/// through to the uncached engine.
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/exact_synthesis.hpp"
+
+namespace stpes::core {
+
+/// Statistics of a cache instance.
+struct npn_cache_stats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t uncached = 0;  ///< calls bypassing the cache (n > 5)
+};
+
+/// Memoizing wrapper over `exact_synthesis`.
+class npn_cached_synthesizer {
+public:
+  explicit npn_cached_synthesizer(engine which = engine::stp,
+                                  double timeout_seconds = 0.0)
+      : engine_(which), timeout_(timeout_seconds) {}
+
+  /// Synthesizes `function`; results for NPN-equivalent functions share
+  /// one underlying synthesis run.  Returned chains realize `function`
+  /// exactly (verified by simulation in debug builds).
+  synth::result synthesize(const tt::truth_table& function);
+
+  [[nodiscard]] const npn_cache_stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+
+private:
+  engine engine_;
+  double timeout_;
+  std::unordered_map<tt::truth_table, synth::result,
+                     tt::truth_table_hash>
+      cache_;
+  npn_cache_stats stats_;
+};
+
+}  // namespace stpes::core

@@ -1,0 +1,61 @@
+#include "core/selector.hpp"
+
+#include <stdexcept>
+
+namespace stpes::core {
+
+cost_function gate_count_cost() {
+  return [](const chain::boolean_chain& c) {
+    return static_cast<double>(c.size());
+  };
+}
+
+cost_function depth_cost() {
+  return [](const chain::boolean_chain& c) {
+    return static_cast<double>(c.depth());
+  };
+}
+
+cost_function xor_cost() {
+  return [](const chain::boolean_chain& c) {
+    return static_cast<double>(c.xor_count());
+  };
+}
+
+cost_function polarity_cost() {
+  return [](const chain::boolean_chain& c) {
+    return static_cast<double>(c.nontrivial_polarity_count());
+  };
+}
+
+cost_function weighted_cost(double alpha, double beta, double gamma) {
+  return [alpha, beta, gamma](const chain::boolean_chain& c) {
+    return alpha * c.depth() + beta * c.xor_count() +
+           gamma * c.nontrivial_polarity_count();
+  };
+}
+
+std::size_t select_best(const std::vector<chain::boolean_chain>& chains,
+                        const cost_function& cost) {
+  if (chains.empty()) {
+    throw std::invalid_argument{"select_best: no chains"};
+  }
+  std::size_t best = 0;
+  double best_cost = cost(chains[0]);
+  for (std::size_t i = 1; i < chains.size(); ++i) {
+    const double c = cost(chains[i]);
+    if (c < best_cost) {
+      best = i;
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+const chain::boolean_chain& best_chain(
+    const std::vector<chain::boolean_chain>& chains,
+    const cost_function& cost) {
+  return chains[select_best(chains, cost)];
+}
+
+}  // namespace stpes::core

@@ -1,0 +1,46 @@
+/// \file selector.hpp
+/// \brief Cost-based selection among the optimum chains.
+///
+/// The paper's closing argument: because the STP engine returns *all*
+/// optimum 2-LUT chains in one pass, the implementation that best fits the
+/// actual design cost can be chosen afterwards — conventional single-
+/// solution SAT synthesis cannot do that.  This module provides the common
+/// cost models and a weighted selector.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chain/boolean_chain.hpp"
+
+namespace stpes::core {
+
+/// A chain cost: lower is better.
+using cost_function = std::function<double(const chain::boolean_chain&)>;
+
+/// \name Stock cost models
+/// @{
+/// Number of steps (all optima tie on this by construction).
+cost_function gate_count_cost();
+/// Logic depth in steps.
+cost_function depth_cost();
+/// Number of XOR/XNOR steps (e.g. expensive in NMOS-style libraries).
+cost_function xor_cost();
+/// Number of steps that are not plain AND/OR (inverter-pressure proxy).
+cost_function polarity_cost();
+/// alpha * depth + beta * xor_count + gamma * polarity.
+cost_function weighted_cost(double alpha, double beta, double gamma);
+/// @}
+
+/// Index of the minimum-cost chain (first on ties).  `chains` must be
+/// non-empty.
+std::size_t select_best(const std::vector<chain::boolean_chain>& chains,
+                        const cost_function& cost);
+
+/// Convenience: the minimum-cost chain itself.
+const chain::boolean_chain& best_chain(
+    const std::vector<chain::boolean_chain>& chains,
+    const cost_function& cost);
+
+}  // namespace stpes::core

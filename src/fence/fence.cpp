@@ -1,0 +1,79 @@
+#include "fence/fence.hpp"
+
+#include <numeric>
+
+namespace stpes::fence {
+
+unsigned fence::num_nodes() const {
+  return std::accumulate(widths.begin(), widths.end(), 0u);
+}
+
+std::string fence::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out += std::to_string(widths[i]);
+    if (i + 1 < widths.size()) {
+      out += ',';
+    }
+  }
+  out += ')';
+  return out;
+}
+
+namespace {
+
+void compose(unsigned remaining, std::vector<unsigned>& prefix,
+             std::vector<fence>& out) {
+  if (remaining == 0) {
+    out.push_back(fence{prefix});
+    return;
+  }
+  for (unsigned first = 1; first <= remaining; ++first) {
+    prefix.push_back(first);
+    compose(remaining - first, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<fence> all_fences(unsigned k) {
+  std::vector<fence> out;
+  std::vector<unsigned> prefix;
+  if (k > 0) {
+    compose(k, prefix, out);
+  }
+  return out;
+}
+
+bool is_pruned_valid(const fence& f) {
+  if (f.widths.empty() || f.widths.back() != 1) {
+    return false;  // single output: exactly one top node
+  }
+  // Fanin capacity: every node at level i must be used by some node above,
+  // and nodes above level i provide 2 * (#nodes above) fanin slots in
+  // total, of which the level directly above must absorb at least one per
+  // node (levels are "real").  The simple necessary conditions used here:
+  //   width[i] <= 2 * sum(width[j] for j > i)   (somebody consumes it)
+  //   width[i] >= 1                             (by construction)
+  unsigned above = 0;
+  for (std::size_t i = f.widths.size(); i-- > 0;) {
+    if (i + 1 < f.widths.size() && f.widths[i] > 2 * above) {
+      return false;
+    }
+    above += f.widths[i];
+  }
+  return true;
+}
+
+std::vector<fence> pruned_fences(unsigned k) {
+  std::vector<fence> out;
+  for (const auto& f : all_fences(k)) {
+    if (is_pruned_valid(f)) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace stpes::fence

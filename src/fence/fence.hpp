@@ -1,0 +1,49 @@
+/// \file fence.hpp
+/// \brief Boolean fences (Section III-A): partitions of k nodes over l
+///        levels that seed DAG topology families.
+///
+/// A fence F(k, l) distributes k gates over l levels with every level
+/// non-empty.  The paper prunes the family for single-output synthesis with
+/// 2-input operators:
+///   * the top level holds exactly one node (single output), and
+///   * a level may not hold more nodes than the levels above it can consume
+///     (each node above contributes two fanin slots, and every node must
+///     drive at least one node on a higher level).
+///
+/// For k = 3 this leaves {(2,1), (1,1,1)} of the unpruned
+/// {(3), (2,1), (1,2), (1,1,1)}, matching Fig. 2.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stpes::fence {
+
+/// Node counts per level, bottom level (fed only by PIs) first.
+struct fence {
+  std::vector<unsigned> widths;
+
+  [[nodiscard]] unsigned num_nodes() const;
+  [[nodiscard]] unsigned num_levels() const {
+    return static_cast<unsigned>(widths.size());
+  }
+  /// e.g. "(2,1)".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const fence& other) const {
+    return widths == other.widths;
+  }
+};
+
+/// All fences of k nodes (all compositions of k), in lexicographic order.
+std::vector<fence> all_fences(unsigned k);
+
+/// The paper's pruned family (see file comment).
+std::vector<fence> pruned_fences(unsigned k);
+
+/// True iff `f` survives the paper's pruning rules.
+bool is_pruned_valid(const fence& f);
+
+}  // namespace stpes::fence

@@ -1,0 +1,95 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+
+namespace stpes::sat {
+
+cnf parse_dimacs(std::istream& in) {
+  cnf formula;
+  std::size_t declared_clauses = 0;
+  bool header_seen = false;
+  std::string token;
+  clause_lits current;
+  while (in >> token) {
+    if (token == "c" || token[0] == '%') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string kind;
+      if (!(in >> kind >> formula.num_vars >> declared_clauses) ||
+          kind != "cnf") {
+        throw std::invalid_argument{"parse_dimacs: bad header"};
+      }
+      header_seen = true;
+      continue;
+    }
+    long value = 0;
+    try {
+      value = std::stol(token);
+    } catch (const std::exception&) {
+      throw std::invalid_argument{"parse_dimacs: bad token '" + token + "'"};
+    }
+    if (!header_seen) {
+      throw std::invalid_argument{"parse_dimacs: clause before header"};
+    }
+    if (value == 0) {
+      formula.clauses.push_back(current);
+      current.clear();
+    } else {
+      const auto v = static_cast<var>(std::labs(value) - 1);
+      if (static_cast<std::size_t>(v) >= formula.num_vars) {
+        throw std::invalid_argument{"parse_dimacs: variable out of range"};
+      }
+      current.push_back(lit{v, value < 0});
+    }
+  }
+  if (!current.empty()) {
+    throw std::invalid_argument{"parse_dimacs: unterminated clause"};
+  }
+  return formula;
+}
+
+cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in{text};
+  return parse_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const cnf& formula) {
+  out << "p cnf " << formula.num_vars << ' ' << formula.clauses.size()
+      << '\n';
+  for (const auto& clause : formula.clauses) {
+    for (const lit p : clause) {
+      out << (p.negated() ? -(p.variable() + 1) : (p.variable() + 1)) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+bool load_into_solver(const cnf& formula, solver& s) {
+  std::vector<var> vars;
+  vars.reserve(formula.num_vars);
+  for (std::size_t i = 0; i < formula.num_vars; ++i) {
+    vars.push_back(s.new_var());
+  }
+  for (const auto& clause : formula.clauses) {
+    clause_lits mapped;
+    mapped.reserve(clause.size());
+    for (const lit p : clause) {
+      mapped.push_back(
+          lit{vars[static_cast<std::size_t>(p.variable())], p.negated()});
+    }
+    if (!s.add_clause(std::move(mapped))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stpes::sat

@@ -1,0 +1,38 @@
+/// \file dimacs.hpp
+/// \brief DIMACS CNF import/export for the CDCL solver.
+///
+/// Kept deliberately small: enough to dump the baseline encodings for
+/// inspection with external tools and to load regression CNFs in tests.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace stpes::sat {
+
+class solver;
+
+/// A CNF formula in memory: clause list plus variable count.
+struct cnf {
+  std::size_t num_vars = 0;
+  std::vector<clause_lits> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header, '%'-or-'c'-prefixed comments,
+/// zero-terminated clauses).  Throws std::invalid_argument on malformed
+/// input.
+cnf parse_dimacs(std::istream& in);
+cnf parse_dimacs_string(const std::string& text);
+
+/// Writes `formula` in DIMACS format.
+void write_dimacs(std::ostream& out, const cnf& formula);
+
+/// Loads a formula into a fresh region of `s` (creates variables as
+/// needed); returns false if the formula is trivially UNSAT on load.
+bool load_into_solver(const cnf& formula, solver& s);
+
+}  // namespace stpes::sat

@@ -1,0 +1,65 @@
+/// \file types.hpp
+/// \brief Elementary SAT types: variables, literals, ternary values.
+///
+/// The conventions follow MiniSat: a variable is a non-negative integer, a
+/// literal packs variable and sign into one integer (`2*var + sign`, sign 1
+/// meaning negated), and assignments are ternary.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stpes::sat {
+
+using var = std::int32_t;
+
+/// A literal: variable with polarity.
+class lit {
+public:
+  lit() = default;
+  lit(var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  [[nodiscard]] var variable() const { return code_ >> 1; }
+  [[nodiscard]] bool negated() const { return (code_ & 1) != 0; }
+  [[nodiscard]] lit operator~() const { return from_code(code_ ^ 1); }
+  /// Dense index for watch lists and seen arrays.
+  [[nodiscard]] std::int32_t code() const { return code_; }
+
+  bool operator==(const lit& other) const { return code_ == other.code_; }
+  bool operator!=(const lit& other) const { return code_ != other.code_; }
+  bool operator<(const lit& other) const { return code_ < other.code_; }
+
+  static lit from_code(std::int32_t code) {
+    lit l;
+    l.code_ = code;
+    return l;
+  }
+
+private:
+  std::int32_t code_ = -2;
+};
+
+/// Positive / negative literal helpers.
+inline lit pos(var v) { return lit{v, false}; }
+inline lit neg(var v) { return lit{v, true}; }
+
+/// Ternary assignment value.
+enum class lbool : std::uint8_t { false_value, true_value, undef };
+
+inline lbool to_lbool(bool b) {
+  return b ? lbool::true_value : lbool::false_value;
+}
+
+/// Value of a literal under a variable assignment value.
+inline lbool lit_value(lbool var_value, bool negated) {
+  if (var_value == lbool::undef) {
+    return lbool::undef;
+  }
+  const bool v = var_value == lbool::true_value;
+  return to_lbool(v != negated);
+}
+
+using clause_lits = std::vector<lit>;
+
+}  // namespace stpes::sat

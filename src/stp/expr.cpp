@@ -1,0 +1,261 @@
+#include "stp/expr.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stpes::stp {
+
+struct expr::node {
+  enum class kind { constant, variable, negation, binary };
+  kind k;
+  bool value = false;                    // kind::constant
+  unsigned var = 0;                      // kind::variable
+  unsigned op = 0;                       // kind::binary (4-bit LUT)
+  std::shared_ptr<const node> left;      // negation / binary
+  std::shared_ptr<const node> right;     // binary
+};
+
+namespace {
+
+using node_ptr = std::shared_ptr<const expr::node>;
+
+/// I_{2^p} (x) core (x) I_{2^suffix}.
+matrix padded(const matrix& core, unsigned prefix_vars,
+              unsigned suffix_vars) {
+  matrix result = core;
+  if (prefix_vars > 0) {
+    result =
+        matrix::identity(std::size_t{1} << prefix_vars).kronecker(result);
+  }
+  if (suffix_vars > 0) {
+    result = result.kronecker(matrix::identity(std::size_t{1} << suffix_vars));
+  }
+  return result;
+}
+
+/// Sorts `vars` into strictly decreasing order by right-multiplying `m`
+/// with I (x) M_w (x) I swap factors; adjacent duplicates are merged with
+/// I (x) M_r (x) I power-reducing factors (Properties 1, 3, 4).
+void normalize(matrix& m, std::vector<unsigned>& vars) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = 0; p + 1 < vars.size(); ++p) {
+      const unsigned k = static_cast<unsigned>(vars.size());
+      const unsigned suffix = k - static_cast<unsigned>(p) - 2;
+      if (vars[p] < vars[p + 1]) {
+        m = m.multiply(
+            padded(matrix::variable_swap(), static_cast<unsigned>(p), suffix));
+        std::swap(vars[p], vars[p + 1]);
+        changed = true;
+      } else if (vars[p] == vars[p + 1]) {
+        m = m.multiply(padded(matrix::power_reducing(),
+                              static_cast<unsigned>(p), suffix));
+        vars.erase(vars.begin() + static_cast<std::ptrdiff_t>(p) + 1);
+        changed = true;
+        break;  // vector length changed; restart the pass
+      }
+    }
+  }
+}
+
+canonical_form canonical_of(const expr::node& n) {
+  switch (n.k) {
+    case expr::node::kind::constant:
+      return {n.value ? matrix::boolean_true() : matrix::boolean_false(), {}};
+    case expr::node::kind::variable:
+      return {matrix::identity(2), {n.var}};
+    case expr::node::kind::negation: {
+      canonical_form child = canonical_of(*n.left);
+      child.m = logic_matrix::negation().to_matrix().multiply(child.m);
+      return child;
+    }
+    case expr::node::kind::binary: {
+      canonical_form lhs = canonical_of(*n.left);
+      canonical_form rhs = canonical_of(*n.right);
+      const unsigned a = static_cast<unsigned>(lhs.vars.size());
+      // M = M_op |x M_L |x (I_{2^a} (x) M_R); see Section II-A.
+      matrix m = logic_matrix::binary_op(n.op).to_matrix().stp(lhs.m);
+      m = m.multiply(
+          matrix::identity(std::size_t{1} << a).kronecker(rhs.m));
+      canonical_form result{std::move(m), lhs.vars};
+      result.vars.insert(result.vars.end(), rhs.vars.begin(),
+                         rhs.vars.end());
+      normalize(result.m, result.vars);
+      return result;
+    }
+  }
+  throw std::logic_error{"canonical_of: bad node kind"};
+}
+
+tt::truth_table evaluate_node(const expr::node& n, unsigned num_vars) {
+  switch (n.k) {
+    case expr::node::kind::constant:
+      return tt::truth_table::constant(num_vars, n.value);
+    case expr::node::kind::variable:
+      return tt::truth_table::nth_var(num_vars, n.var);
+    case expr::node::kind::negation:
+      return ~evaluate_node(*n.left, num_vars);
+    case expr::node::kind::binary:
+      return tt::apply_binary_op(n.op, evaluate_node(*n.left, num_vars),
+                                 evaluate_node(*n.right, num_vars));
+  }
+  throw std::logic_error{"evaluate_node: bad node kind"};
+}
+
+unsigned min_vars_of(const expr::node& n) {
+  switch (n.k) {
+    case expr::node::kind::constant:
+      return 0;
+    case expr::node::kind::variable:
+      return n.var + 1;
+    case expr::node::kind::negation:
+      return min_vars_of(*n.left);
+    case expr::node::kind::binary:
+      return std::max(min_vars_of(*n.left), min_vars_of(*n.right));
+  }
+  return 0;
+}
+
+std::string render(const expr::node& n) {
+  switch (n.k) {
+    case expr::node::kind::constant:
+      return n.value ? "1" : "0";
+    case expr::node::kind::variable:
+      return "x" + std::to_string(n.var);
+    case expr::node::kind::negation:
+      return "!" + render(*n.left);
+    case expr::node::kind::binary: {
+      const char* sym = nullptr;
+      switch (n.op) {
+        case 0x8:
+          sym = " & ";
+          break;
+        case 0xE:
+          sym = " | ";
+          break;
+        case 0x6:
+          sym = " ^ ";
+          break;
+        case 0xD:
+          sym = " -> ";
+          break;
+        case 0x9:
+          sym = " <-> ";
+          break;
+        default:
+          break;
+      }
+      if (sym != nullptr) {
+        return "(" + render(*n.left) + sym + render(*n.right) + ")";
+      }
+      return "op" + std::to_string(n.op) + "(" + render(*n.left) + ", " +
+             render(*n.right) + ")";
+    }
+  }
+  return "?";
+}
+
+node_ptr make_binary(unsigned op, node_ptr l, node_ptr r) {
+  auto n = std::make_shared<expr::node>();
+  n->k = expr::node::kind::binary;
+  n->op = op & 0xF;
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+
+}  // namespace
+
+logic_matrix canonical_form::to_logic_matrix(unsigned num_vars) const {
+  for (std::size_t i = 0; i + 1 < vars.size(); ++i) {
+    if (vars[i] <= vars[i + 1]) {
+      throw std::logic_error{"canonical_form: not normalized"};
+    }
+  }
+  const std::size_t k = vars.size();
+  if (m.rows() != 2 || m.cols() != (std::size_t{1} << k)) {
+    throw std::logic_error{"canonical_form: bad matrix shape"};
+  }
+  logic_matrix result{num_vars};
+  for (std::uint64_t t = 0; t < (std::uint64_t{1} << num_vars); ++t) {
+    // Column index over the present variables only; absent variables are
+    // irrelevant by construction.
+    std::uint64_t c = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (vars[i] >= num_vars) {
+        throw std::invalid_argument{"canonical_form: variable out of range"};
+      }
+      const bool var_true = ((t >> vars[i]) & 1) != 0;
+      if (!var_true) {
+        c |= std::uint64_t{1} << (k - 1 - i);
+      }
+    }
+    const int hi = m.at(0, c);
+    const int lo = m.at(1, c);
+    if (!((hi == 1 && lo == 0) || (hi == 0 && lo == 1))) {
+      throw std::logic_error{"canonical_form: column not in S_V"};
+    }
+    // Column index of the full logic matrix: bit for input v set iff the
+    // input is False, i.e. complement of t.
+    const std::uint64_t full_col =
+        ~t & ((std::uint64_t{1} << num_vars) - 1);
+    result.set_column(full_col, hi == 1);
+  }
+  return result;
+}
+
+expr expr::var(unsigned id) {
+  auto n = std::make_shared<node>();
+  n->k = node::kind::variable;
+  n->var = id;
+  return expr{std::move(n)};
+}
+
+expr expr::constant(bool value) {
+  auto n = std::make_shared<node>();
+  n->k = node::kind::constant;
+  n->value = value;
+  return expr{std::move(n)};
+}
+
+expr expr::operator!() const {
+  auto n = std::make_shared<node>();
+  n->k = node::kind::negation;
+  n->left = node_;
+  return expr{std::move(n)};
+}
+
+expr expr::operator&(const expr& other) const {
+  return expr{make_binary(0x8, node_, other.node_)};
+}
+
+expr expr::operator|(const expr& other) const {
+  return expr{make_binary(0xE, node_, other.node_)};
+}
+
+expr expr::operator^(const expr& other) const {
+  return expr{make_binary(0x6, node_, other.node_)};
+}
+
+expr expr::binary(unsigned op, const expr& other) const {
+  return expr{make_binary(op, node_, other.node_)};
+}
+
+unsigned expr::min_num_vars() const { return min_vars_of(*node_); }
+
+tt::truth_table expr::evaluate(unsigned num_vars) const {
+  if (num_vars < min_num_vars()) {
+    throw std::invalid_argument{"expr::evaluate: too few variables"};
+  }
+  return evaluate_node(*node_, num_vars);
+}
+
+canonical_form expr::canonical() const { return canonical_of(*node_); }
+
+std::string expr::to_string() const { return render(*node_); }
+
+expr implies(const expr& a, const expr& b) { return a.binary(0xD, b); }
+expr equiv(const expr& a, const expr& b) { return a.binary(0x9, b); }
+
+}  // namespace stpes::stp

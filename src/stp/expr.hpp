@@ -1,0 +1,91 @@
+/// \file expr.hpp
+/// \brief Boolean expression ASTs and their STP canonical forms.
+///
+/// Implements the logical-reasoning pipeline of Section II-A: an expression
+/// over variables x_0, x_1, ... is converted into its canonical form
+/// `M_Phi x_{n-1} ... x_0` (Property 2) by genuine STP manipulation —
+/// structural-matrix products, variable swaps with `I (x) M_w (x) I`
+/// factors, and duplicate elimination with `I (x) M_r (x) I` factors — not
+/// by shortcut truth-table evaluation.  (A direct evaluator is provided as
+/// an independent cross-check; the two agree by construction of the
+/// algebra, and the test suite verifies it.)
+///
+/// Expressions are immutable DAGs with shared subterms; the public surface
+/// is a small value type with overloaded operators:
+///
+///     auto a = expr::var(0), b = expr::var(1);
+///     auto phi = equiv(a, !b) & implies(b, a);
+///     logic_matrix m = phi.canonical_form().to_logic_matrix();
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stp/logic_matrix.hpp"
+#include "stp/matrix.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::stp {
+
+/// A canonical form in progress: a 2 x 2^k dense matrix together with the
+/// ordered list of STP variables it multiplies (leftmost factor first).
+/// After normalization the list is strictly decreasing in variable id, which
+/// matches the `logic_matrix` convention (x_1 = highest input).
+struct canonical_form {
+  matrix m;
+  std::vector<unsigned> vars;
+
+  /// Requires the form to be normalized and complete over variables
+  /// {0, ..., num_vars-1}; extends with irrelevant variables if needed.
+  [[nodiscard]] logic_matrix to_logic_matrix(unsigned num_vars) const;
+};
+
+/// Immutable Boolean expression.
+class expr {
+public:
+  /// \name Leaf constructors
+  /// @{
+  static expr var(unsigned id);
+  static expr constant(bool value);
+  /// @}
+
+  /// \name Connectives
+  /// @{
+  expr operator!() const;
+  expr operator&(const expr& other) const;
+  expr operator|(const expr& other) const;
+  expr operator^(const expr& other) const;
+  /// Arbitrary 2-input operator by 4-bit LUT (bit (b<<1|a) convention).
+  [[nodiscard]] expr binary(unsigned op, const expr& other) const;
+  /// @}
+
+  /// Largest variable id occurring in the expression plus one (0 if none).
+  [[nodiscard]] unsigned min_num_vars() const;
+
+  /// Direct truth-table evaluation over `num_vars >= min_num_vars()` inputs.
+  [[nodiscard]] tt::truth_table evaluate(unsigned num_vars) const;
+
+  /// STP canonical form (Property 2), normalized: variables sorted in
+  /// decreasing id with duplicates power-reduced.
+  [[nodiscard]] canonical_form canonical() const;
+
+  /// Infix rendering for diagnostics, e.g. "((x0 & !x1) ^ x2)".
+  [[nodiscard]] std::string to_string() const;
+
+  /// AST node; public so the implementation file can traverse it, but not
+  /// part of the supported API surface.
+  struct node;
+
+private:
+  explicit expr(std::shared_ptr<const node> n) : node_(std::move(n)) {}
+
+  std::shared_ptr<const node> node_;
+};
+
+/// Convenience connectives used by the paper's examples.
+expr implies(const expr& a, const expr& b);  ///< a -> b (LUT 0xD)
+expr equiv(const expr& a, const expr& b);    ///< a <-> b (LUT 0x9)
+
+}  // namespace stpes::stp

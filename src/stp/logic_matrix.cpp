@@ -1,0 +1,124 @@
+#include "stp/logic_matrix.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace stpes::stp {
+
+logic_matrix::logic_matrix(unsigned num_vars) : top_(num_vars) {}
+
+logic_matrix logic_matrix::from_truth_table(const tt::truth_table& f) {
+  logic_matrix m{f.num_vars()};
+  const std::uint64_t mask = f.num_bits() - 1;
+  for (std::uint64_t c = 0; c < f.num_bits(); ++c) {
+    m.top_.set_bit(c, f.get_bit(~c & mask));
+  }
+  return m;
+}
+
+tt::truth_table logic_matrix::to_truth_table() const {
+  tt::truth_table f{num_vars()};
+  const std::uint64_t mask = f.num_bits() - 1;
+  for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+    f.set_bit(t, top_.get_bit(~t & mask));
+  }
+  return f;
+}
+
+matrix logic_matrix::to_matrix() const {
+  matrix m{2, static_cast<std::size_t>(num_cols())};
+  for (std::uint64_t c = 0; c < num_cols(); ++c) {
+    const bool is_true = column_is_true(c);
+    m.at(0, c) = is_true ? 1 : 0;
+    m.at(1, c) = is_true ? 0 : 1;
+  }
+  return m;
+}
+
+logic_matrix logic_matrix::from_matrix(const matrix& m) {
+  if (m.rows() != 2 || !std::has_single_bit(m.cols())) {
+    throw std::invalid_argument{"logic_matrix::from_matrix: bad shape"};
+  }
+  const unsigned num_vars =
+      static_cast<unsigned>(std::countr_zero(m.cols()));
+  logic_matrix result{num_vars};
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const int hi = m.at(0, c);
+    const int lo = m.at(1, c);
+    if (!((hi == 1 && lo == 0) || (hi == 0 && lo == 1))) {
+      throw std::invalid_argument{
+          "logic_matrix::from_matrix: column not in S_V"};
+    }
+    result.set_column(c, hi == 1);
+  }
+  return result;
+}
+
+logic_matrix logic_matrix::binary_op(unsigned op) {
+  logic_matrix m{2};
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    const unsigned a = ((c >> 1) & 1) == 0 ? 1 : 0;  // MSB bit = first var
+    const unsigned b = (c & 1) == 0 ? 1 : 0;
+    m.set_column(c, ((op >> ((b << 1) | a)) & 1) != 0);
+  }
+  return m;
+}
+
+logic_matrix logic_matrix::negation() {
+  logic_matrix m{1};
+  m.set_column(0, false);  // input True  -> output False
+  m.set_column(1, true);   // input False -> output True
+  return m;
+}
+
+logic_matrix logic_matrix::complement() const {
+  logic_matrix m{*this};
+  m.top_ = ~m.top_;
+  return m;
+}
+
+std::vector<logic_matrix> logic_matrix::split(std::size_t parts) const {
+  if (parts == 0 || !std::has_single_bit(parts) || parts > num_cols()) {
+    throw std::invalid_argument{"logic_matrix::split: bad part count"};
+  }
+  const unsigned part_vars =
+      num_vars() - static_cast<unsigned>(std::countr_zero(parts));
+  const std::uint64_t part_cols = std::uint64_t{1} << part_vars;
+  std::vector<logic_matrix> result;
+  result.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    logic_matrix block{part_vars};
+    for (std::uint64_t c = 0; c < part_cols; ++c) {
+      block.set_column(c, column_is_true(p * part_cols + c));
+    }
+    result.push_back(std::move(block));
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> logic_matrix::true_columns() const {
+  std::vector<std::uint64_t> cols;
+  for (std::uint64_t c = 0; c < num_cols(); ++c) {
+    if (column_is_true(c)) {
+      cols.push_back(c);
+    }
+  }
+  return cols;
+}
+
+std::string logic_matrix::to_string() const {
+  std::string top = "[";
+  std::string bottom = " ";
+  for (std::uint64_t c = 0; c < num_cols(); ++c) {
+    top += column_is_true(c) ? '1' : '0';
+    bottom += column_is_true(c) ? '0' : '1';
+    if (c + 1 < num_cols()) {
+      top += ' ';
+      bottom += ' ';
+    }
+  }
+  return top + " / " + bottom + "]";
+}
+
+}  // namespace stpes::stp

@@ -1,0 +1,96 @@
+/// \file logic_matrix.hpp
+/// \brief Specialized 2 x 2^n logic matrices (Definition 2/3 of the paper).
+///
+/// A logic matrix has every column in S_V = { [1,0]^T, [0,1]^T }, so the
+/// bottom row is the complement of the top row and a single bit vector (the
+/// top row) represents the whole matrix.  The canonical form `M_Phi` of an
+/// n-variable function, the structural matrices `M_sigma` of the 16 binary
+/// operators, and the per-vertex matrices produced by the factorization of
+/// Section III-B are all logic matrices.
+///
+/// Column convention (delta indexing of the STP literature): column 0 is the
+/// all-True assignment; reading column index `c` as n bits MSB-first, bit i
+/// set means STP variable x_{i+1} (the (i+1)-th factor of M_Phi x_1 ... x_n)
+/// is False.  With the truth-table convention of `tt::truth_table` (variable
+/// 0 = least significant input bit) and the STP variable order
+/// x_1 = input n-1, ..., x_n = input 0, the conversion is simply
+/// `top_row(c) = f(~c & (2^n - 1))`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stp/matrix.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::stp {
+
+/// A 2 x 2^n logic matrix stored as its top row.
+class logic_matrix {
+public:
+  /// All-[0,1]^T (constant-False) matrix over `num_vars` STP variables.
+  explicit logic_matrix(unsigned num_vars = 0);
+
+  [[nodiscard]] unsigned num_vars() const { return top_.num_vars(); }
+  [[nodiscard]] std::uint64_t num_cols() const { return top_.num_bits(); }
+
+  /// Top-row entry of column `c` (1 means the column is [1,0]^T = True).
+  [[nodiscard]] bool column_is_true(std::uint64_t c) const {
+    return top_.get_bit(c);
+  }
+  void set_column(std::uint64_t c, bool is_true) { top_.set_bit(c, is_true); }
+
+  /// \name Conversions
+  /// @{
+  /// Canonical form of `f` with STP variable order x_1 = input n-1, ...,
+  /// x_n = input 0.
+  static logic_matrix from_truth_table(const tt::truth_table& f);
+  /// Inverse of `from_truth_table`.
+  [[nodiscard]] tt::truth_table to_truth_table() const;
+  /// Widening to the general dense representation.
+  [[nodiscard]] matrix to_matrix() const;
+  /// Narrowing from a dense 2 x 2^k 0/1 matrix with complementary rows;
+  /// throws if `m` is not a logic matrix.
+  static logic_matrix from_matrix(const matrix& m);
+  /// @}
+
+  /// \name Structural matrices (Definition 3)
+  /// @{
+  /// Structural matrix of the 2-input operator whose LUT is the low 4 bits
+  /// of `op` (bit (b<<1|a) = output for first input a, second input b); STP
+  /// variable order is (first, second).
+  static logic_matrix binary_op(unsigned op);
+  /// Structural matrix M_n of negation.
+  static logic_matrix negation();
+  /// @}
+
+  /// The represented Boolean function complemented (swap of the two rows).
+  [[nodiscard]] logic_matrix complement() const;
+
+  /// Splits the columns into `parts` equal consecutive blocks (the
+  /// "quartering" of Section III-B when parts == 4) and returns them as
+  /// smaller logic matrices.  `parts` must be a power of two dividing the
+  /// column count.
+  [[nodiscard]] std::vector<logic_matrix> split(std::size_t parts) const;
+
+  /// All column indices whose column equals [1,0]^T — the satisfying
+  /// assignments of the canonical form (Fig. 1).
+  [[nodiscard]] std::vector<std::uint64_t> true_columns() const;
+
+  bool operator==(const logic_matrix& other) const {
+    return top_ == other.top_;
+  }
+  bool operator!=(const logic_matrix& other) const {
+    return !(*this == other);
+  }
+
+  /// Rendering such as "[1 0 1 1 / 0 1 0 0]".
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  tt::truth_table top_;  ///< top row, indexed by column
+};
+
+}  // namespace stpes::stp

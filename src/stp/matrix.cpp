@@ -1,0 +1,129 @@
+#include "stp/matrix.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace stpes::stp {
+
+matrix::matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+matrix::matrix(std::initializer_list<std::initializer_list<int>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument{"matrix: ragged initializer"};
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+bool matrix::operator==(const matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+matrix matrix::identity(std::size_t n) {
+  matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    m.at(i, i) = 1;
+  }
+  return m;
+}
+
+matrix matrix::swap_matrix(std::size_t m, std::size_t n) {
+  matrix w{m * n, m * n};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // (x (x) y)[i*n + j] = x_i * y_j must land at (y (x) x)[j*m + i].
+      w.at(j * m + i, i * n + j) = 1;
+    }
+  }
+  return w;
+}
+
+matrix matrix::power_reducing() {
+  return matrix{{1, 0}, {0, 0}, {0, 0}, {0, 1}};
+}
+
+matrix matrix::variable_swap() { return swap_matrix(2, 2); }
+
+matrix matrix::boolean_true() { return matrix{{1}, {0}}; }
+matrix matrix::boolean_false() { return matrix{{0}, {1}}; }
+
+matrix matrix::multiply(const matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument{"matrix::multiply: dimension mismatch"};
+  }
+  matrix result{rows_, other.cols_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const int v = at(r, k);
+      if (v == 0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        result.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return result;
+}
+
+matrix matrix::kronecker(const matrix& other) const {
+  matrix result{rows_ * other.rows_, cols_ * other.cols_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const int v = at(r, c);
+      if (v == 0) {
+        continue;
+      }
+      for (std::size_t r2 = 0; r2 < other.rows_; ++r2) {
+        for (std::size_t c2 = 0; c2 < other.cols_; ++c2) {
+          result.at(r * other.rows_ + r2, c * other.cols_ + c2) =
+              v * other.at(r2, c2);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+matrix matrix::stp(const matrix& other) const {
+  const std::size_t t = std::lcm(cols_, other.rows_);
+  const matrix left =
+      t == cols_ ? *this : kronecker(identity(t / cols_));
+  const matrix right =
+      t == other.rows_ ? other : other.kronecker(identity(t / other.rows_));
+  return left.multiply(right);
+}
+
+std::string matrix::to_string() const {
+  std::string out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out += std::to_string(at(r, c));
+      if (c + 1 < cols_) {
+        out += ' ';
+      }
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+matrix stp_chain(const std::vector<matrix>& factors) {
+  if (factors.empty()) {
+    throw std::invalid_argument{"stp_chain: empty product"};
+  }
+  matrix acc = factors.front();
+  for (std::size_t i = 1; i < factors.size(); ++i) {
+    acc = acc.stp(factors[i]);
+  }
+  return acc;
+}
+
+}  // namespace stpes::stp

@@ -1,0 +1,86 @@
+/// \file matrix.hpp
+/// \brief Dense integer matrices with Kronecker and semi-tensor products.
+///
+/// This is the general-purpose arithmetic layer behind the STP formalism of
+/// Section II-A: Definition 1 (the semi-tensor product via lcm-padded
+/// Kronecker factors), Property 1 (swap matrices), the power-reducing matrix
+/// `M_r` (eq. 3) and the variable-swap matrix `M_w` (eq. 4).  Logic-specific
+/// 2 x 2^n matrices get a fast specialized representation in
+/// `logic_matrix.hpp`; this class favours generality and is used by the
+/// expression-to-canonical-form pipeline and by tests that verify the STP
+/// identities from the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stpes::stp {
+
+/// Dense row-major matrix over 32-bit signed integers.
+///
+/// All values arising from logic computations are 0/1, but intermediate
+/// generality (sums during multiplication) is kept in `int`.
+class matrix {
+public:
+  matrix() = default;
+
+  /// Zero matrix of the given shape.
+  matrix(std::size_t rows, std::size_t cols);
+
+  /// Matrix from an initializer list of rows (used heavily in tests).
+  matrix(std::initializer_list<std::initializer_list<int>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] int at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  int& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  bool operator==(const matrix& other) const;
+  bool operator!=(const matrix& other) const { return !(*this == other); }
+
+  /// n x n identity.
+  static matrix identity(std::size_t n);
+
+  /// The swap matrix W_[m,n]: W * (x (x) y) == y (x) x for column vectors
+  /// x of length m and y of length n (Property 1 generalized).
+  static matrix swap_matrix(std::size_t m, std::size_t n);
+
+  /// The power-reducing matrix M_r of eq. (3): x (x) x == M_r * x for
+  /// Boolean column vectors x.
+  static matrix power_reducing();
+
+  /// The variable swap matrix M_w of eq. (4) (equals swap_matrix(2, 2)).
+  static matrix variable_swap();
+
+  /// Boolean column vectors of S_V (eq. 1).
+  static matrix boolean_true();
+  static matrix boolean_false();
+
+  /// Ordinary matrix product (requires cols() == other.rows()).
+  [[nodiscard]] matrix multiply(const matrix& other) const;
+
+  /// Kronecker product.
+  [[nodiscard]] matrix kronecker(const matrix& other) const;
+
+  /// Semi-tensor product per Definition 1:
+  /// X |x Y = (X (x) I_{t/n}) * (Y (x) I_{t/p}) with t = lcm(n, p).
+  [[nodiscard]] matrix stp(const matrix& other) const;
+
+  /// Multi-line debug rendering.
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<int> data_;
+};
+
+/// Left-to-right STP chain product (convenience for tests and examples).
+matrix stp_chain(const std::vector<matrix>& factors);
+
+}  // namespace stpes::stp

@@ -1,0 +1,95 @@
+#include "stp/stp_allsat.hpp"
+
+namespace stpes::stp {
+
+std::uint64_t stp_assignment::to_minterm() const {
+  // STP variable x_{i+1} is truth-table input (n-1-i).
+  std::uint64_t t = 0;
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i]) {
+      t |= std::uint64_t{1} << (n - 1 - i);
+    }
+  }
+  return t;
+}
+
+stp_sat_solver::stp_sat_solver(logic_matrix canonical)
+    : m_(std::move(canonical)) {}
+
+bool stp_sat_solver::block_has_true(std::uint64_t column_base,
+                                    unsigned depth) const {
+  const std::uint64_t span = m_.num_cols() >> depth;
+  for (std::uint64_t c = 0; c < span; ++c) {
+    if (m_.column_is_true(column_base + c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void stp_sat_solver::search(std::uint64_t column_base, unsigned depth,
+                            std::vector<bool>& partial,
+                            std::vector<stp_assignment>& out,
+                            bool stop_at_first) {
+  if (depth == m_.num_vars()) {
+    if (m_.column_is_true(column_base)) {
+      out.push_back(stp_assignment{partial});
+    }
+    return;
+  }
+  const std::uint64_t half = m_.num_cols() >> (depth + 1);
+  // Assigning the next variable keeps the left half (True: the column
+  // index bit is 0) or selects the right half (False).
+  const std::uint64_t base_true = column_base;
+  const std::uint64_t base_false = column_base + half;
+  for (const bool value : {true, false}) {
+    ++stats_.branches_explored;
+    const std::uint64_t base = value ? base_true : base_false;
+    if (!block_has_true(base, depth + 1)) {
+      ++stats_.backtracks;
+      continue;
+    }
+    partial.push_back(value);
+    search(base, depth + 1, partial, out, stop_at_first);
+    partial.pop_back();
+    if (stop_at_first && !out.empty()) {
+      return;
+    }
+  }
+}
+
+bool stp_sat_solver::is_satisfiable() const {
+  return block_has_true(0, 0);
+}
+
+std::vector<stp_assignment> stp_sat_solver::solve_all() {
+  std::vector<stp_assignment> out;
+  std::vector<bool> partial;
+  if (m_.num_vars() == 0) {
+    if (m_.column_is_true(0)) {
+      out.push_back(stp_assignment{});
+    }
+    return out;
+  }
+  search(0, 0, partial, out, /*stop_at_first=*/false);
+  return out;
+}
+
+std::vector<stp_assignment> stp_sat_solver::solve_one() {
+  std::vector<stp_assignment> out;
+  std::vector<bool> partial;
+  search(0, 0, partial, out, /*stop_at_first=*/true);
+  return out;
+}
+
+std::vector<std::uint64_t> all_sat_columns(const logic_matrix& canonical) {
+  std::vector<std::uint64_t> minterms;
+  const std::uint64_t mask = canonical.num_cols() - 1;
+  for (const auto column : canonical.true_columns()) {
+    minterms.push_back(~column & mask);
+  }
+  return minterms;
+}
+
+}  // namespace stpes::stp

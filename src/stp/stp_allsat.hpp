@@ -1,0 +1,74 @@
+/// \file stp_allsat.hpp
+/// \brief AllSAT over STP canonical forms (the procedure of Fig. 1).
+///
+/// For a canonical form `M_Phi x_1 ... x_n`, a satisfying assignment is a
+/// column of `M_Phi` equal to [1,0]^T.  The paper solves SAT/AllSAT by
+/// assigning variables in sequence: fixing `x_1` halves the matrix (left
+/// half for True, right half for False); if the current sub-matrix contains
+/// no [1,0]^T column, the branch is abandoned and the solver backtracks.
+///
+/// `stp_sat_solver` implements exactly that sequential halving search (and
+/// reports how many branches were cut), while `all_sat_columns` provides the
+/// direct one-shot column scan; the two agree and the test suite checks it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stp/logic_matrix.hpp"
+
+namespace stpes::stp {
+
+/// One satisfying assignment: `values[i]` is the value of STP variable
+/// x_{i+1} (the i-th factor of the canonical form, leftmost first).
+struct stp_assignment {
+  std::vector<bool> values;
+
+  /// Converts to a truth-table minterm index with the standard variable
+  /// order x_1 = input n-1, ..., x_n = input 0.
+  [[nodiscard]] std::uint64_t to_minterm() const;
+};
+
+/// Statistics of a sequential solve.
+struct stp_solve_stats {
+  std::uint64_t branches_explored = 0;  ///< variable assignments tried
+  std::uint64_t backtracks = 0;         ///< branches cut by an empty matrix
+};
+
+/// Sequential halving AllSAT solver over a canonical form.
+class stp_sat_solver {
+public:
+  explicit stp_sat_solver(logic_matrix canonical);
+
+  /// True iff at least one satisfying assignment exists.
+  [[nodiscard]] bool is_satisfiable() const;
+
+  /// All satisfying assignments, in lexicographic order of (x_1, ..., x_n)
+  /// with True explored before False (as in Fig. 1).
+  [[nodiscard]] std::vector<stp_assignment> solve_all();
+
+  /// The first satisfying assignment found, if any.
+  [[nodiscard]] std::vector<stp_assignment> solve_one();
+
+  [[nodiscard]] const stp_solve_stats& stats() const { return stats_; }
+
+private:
+  void search(std::uint64_t column_base, unsigned depth,
+              std::vector<bool>& partial,
+              std::vector<stp_assignment>& out, bool stop_at_first);
+
+  /// True iff the sub-matrix of 2^(n-depth) columns starting at
+  /// `column_base` contains a [1,0]^T column.
+  [[nodiscard]] bool block_has_true(std::uint64_t column_base,
+                                    unsigned depth) const;
+
+  logic_matrix m_;
+  stp_solve_stats stats_;
+};
+
+/// Direct scan: minterm indices (truth-table order) of all satisfying
+/// assignments of the canonical form.
+std::vector<std::uint64_t> all_sat_columns(const logic_matrix& canonical);
+
+}  // namespace stpes::stp

@@ -1,0 +1,63 @@
+#include "synth/bms.hpp"
+
+#include "synth/ssv_encoding.hpp"
+
+namespace stpes::synth {
+
+result bms_engine::run(const spec& s) {
+  util::stopwatch watch;
+  stats_ = bms_stats{};
+  result out;
+  if (synthesize_degenerate(s.function, out)) {
+    out.seconds = watch.elapsed_seconds();
+    return out;
+  }
+
+  std::vector<unsigned> old_of_new;
+  auto f = shrink_for_synthesis(s.function, old_of_new);
+  const bool complemented = f.get_bit(0);
+  if (complemented) {
+    f = ~f;  // synthesize the normal complement
+  }
+
+  for (unsigned gates = std::max(1u, trivial_lower_bound(f));
+       gates <= s.max_gates; ++gates) {
+    if (s.budget.expired()) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    sat::solver solver;
+    solver.set_time_budget(s.budget);
+    ssv_encoding encoding{solver, f, gates};
+    encoding.encode_structure();
+    encoding.encode_all_rows();
+    ++stats_.solver_calls;
+    const auto answer = solver.solve();
+    stats_.conflicts += solver.stats().conflicts;
+    if (answer == sat::solve_result::sat) {
+      out.outcome = status::success;
+      out.optimum_gates = gates;
+      out.chains = {lift_chain_to_original(encoding.extract_chain(complemented),
+                                           old_of_new,
+                                           s.function.num_vars())};
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    if (answer == sat::solve_result::unknown) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+  }
+  out.outcome = status::failure;
+  out.seconds = watch.elapsed_seconds();
+  return out;
+}
+
+result bms_synthesize(const spec& s) {
+  bms_engine engine;
+  return engine.run(s);
+}
+
+}  // namespace stpes::synth

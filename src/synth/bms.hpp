@@ -1,0 +1,32 @@
+/// \file bms.hpp
+/// \brief BMS baseline: plain SSV SAT-based exact synthesis.
+///
+/// This is the "busy man's synthesis" style baseline of the paper's Table I
+/// [17]: for increasing step counts the full SSV encoding is solved with no
+/// topological information; the first satisfiable size is the optimum and
+/// one chain is extracted.
+
+#pragma once
+
+#include "synth/spec.hpp"
+
+namespace stpes::synth {
+
+/// Statistics of the last BMS run.
+struct bms_stats {
+  std::uint64_t solver_calls = 0;
+  std::uint64_t conflicts = 0;
+};
+
+class bms_engine {
+public:
+  result run(const spec& s);
+  [[nodiscard]] const bms_stats& stats() const { return stats_; }
+
+private:
+  bms_stats stats_;
+};
+
+result bms_synthesize(const spec& s);
+
+}  // namespace stpes::synth

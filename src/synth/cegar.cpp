@@ -1,0 +1,87 @@
+#include "synth/cegar.hpp"
+
+#include "synth/ssv_encoding.hpp"
+
+namespace stpes::synth {
+
+result cegar_engine::run(const spec& s) {
+  util::stopwatch watch;
+  stats_ = cegar_stats{};
+  result out;
+  if (synthesize_degenerate(s.function, out)) {
+    out.seconds = watch.elapsed_seconds();
+    return out;
+  }
+
+  std::vector<unsigned> old_of_new;
+  auto f = shrink_for_synthesis(s.function, old_of_new);
+  const bool complemented = f.get_bit(0);
+  if (complemented) {
+    f = ~f;
+  }
+
+  for (unsigned gates = std::max(1u, trivial_lower_bound(f));
+       gates <= s.max_gates; ++gates) {
+    if (s.budget.expired()) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    sat::solver solver;
+    solver.set_time_budget(s.budget);
+    ssv_encoding encoding{solver, f, gates};
+    encoding.encode_structure();
+    // Seed with one informative row (the highest one keeps the output
+    // constraint meaningful for non-trivial functions).
+    encoding.encode_row(f.num_bits() - 1);
+
+    bool size_done = false;
+    while (!size_done) {
+      ++stats_.solver_calls;
+      const auto answer = solver.solve();
+      stats_.conflicts = solver.stats().conflicts;
+      if (answer == sat::solve_result::unknown) {
+        out.outcome = status::timeout;
+        out.seconds = watch.elapsed_seconds();
+        return out;
+      }
+      if (answer == sat::solve_result::unsat) {
+        size_done = true;  // no chain of this size
+        continue;
+      }
+      auto candidate = encoding.extract_chain(complemented);
+      const auto realized = candidate.simulate();
+      const auto target = complemented ? ~f : f;
+      if (realized == target) {
+        out.outcome = status::success;
+        out.optimum_gates = gates;
+        out.chains = {lift_chain_to_original(candidate, old_of_new,
+                                             s.function.num_vars())};
+        out.seconds = watch.elapsed_seconds();
+        return out;
+      }
+      // Add the first counterexample row.
+      std::uint64_t counterexample = 0;
+      for (std::uint64_t t = 1; t < f.num_bits(); ++t) {
+        if (realized.get_bit(t) != target.get_bit(t)) {
+          counterexample = t;
+          break;
+        }
+      }
+      // realized(0) == target(0) == 0 for normal chains, so a mismatch at a
+      // row >= 1 must exist.
+      encoding.encode_row(counterexample);
+      ++stats_.refinements;
+    }
+  }
+  out.outcome = status::failure;
+  out.seconds = watch.elapsed_seconds();
+  return out;
+}
+
+result cegar_synthesize(const spec& s) {
+  cegar_engine engine;
+  return engine.run(s);
+}
+
+}  // namespace stpes::synth

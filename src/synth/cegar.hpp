@@ -1,0 +1,35 @@
+/// \file cegar.hpp
+/// \brief CEGAR SSV exact synthesis — the stand-in for ABC `lutexact`.
+///
+/// Substitution note (see DESIGN.md §4): the paper's third baseline is
+/// ABC's `lutexact` command.  Vendoring ABC is out of scope, so this engine
+/// reproduces the algorithmic trait that makes mature CNF engines fast on
+/// these instances: truth-table row constraints are added lazily.  Solve a
+/// relaxation with only a few rows, simulate the extracted chain, add the
+/// first mismatching row as a counterexample, repeat; UNSAT of the
+/// relaxation proves UNSAT of the full encoding for that step count.
+
+#pragma once
+
+#include "synth/spec.hpp"
+
+namespace stpes::synth {
+
+struct cegar_stats {
+  std::uint64_t solver_calls = 0;
+  std::uint64_t refinements = 0;
+  std::uint64_t conflicts = 0;
+};
+
+class cegar_engine {
+public:
+  result run(const spec& s);
+  [[nodiscard]] const cegar_stats& stats() const { return stats_; }
+
+private:
+  cegar_stats stats_;
+};
+
+result cegar_synthesize(const spec& s);
+
+}  // namespace stpes::synth

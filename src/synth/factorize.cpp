@@ -1,0 +1,334 @@
+#include "synth/factorize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace stpes::synth {
+
+namespace {
+
+/// Expands a variable mask into a minterm-assignment mask.
+std::uint64_t assignment_mask(std::uint32_t var_mask, unsigned num_vars) {
+  std::uint64_t mask = 0;
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if ((var_mask >> v) & 1) {
+      mask |= std::uint64_t{1} << v;
+    }
+  }
+  return mask;
+}
+
+/// Cell state for the AND-like solve.
+enum : std::uint8_t { kUnknown = 0, kOne = 1, kZero = 2 };
+
+/// Builds the global-space ISF of a child from per-cell states.
+tt::isf isf_from_cells(const std::vector<std::uint8_t>& cells,
+                       std::uint64_t amask, unsigned num_vars) {
+  tt::truth_table on{num_vars};
+  tt::truth_table care{num_vars};
+  const std::uint64_t bits = std::uint64_t{1} << num_vars;
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    switch (cells[m & amask]) {
+      case kOne:
+        on.set_bit(m, true);
+        care.set_bit(m, true);
+        break;
+      case kZero:
+        care.set_bit(m, true);
+        break;
+      default:
+        break;
+    }
+  }
+  return tt::isf{on, care};
+}
+
+struct and_solver {
+  const factorize_options& options;
+  unsigned num_vars;
+  std::uint64_t amask, bmask;
+  std::vector<std::uint8_t> u, v;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
+  std::vector<factorization>& out;
+  bool complemented;
+  std::uint32_t cone_a, cone_b;
+  std::size_t emitted = 0;
+
+  void emit() {
+    if (emitted >= options.max_branches_per_family) {
+      return;
+    }
+    ++emitted;
+    factorization f;
+    f.family = op_family::and_like;
+    f.output_complemented = complemented;
+    f.left = requirement{cone_a, isf_from_cells(u, amask, num_vars)};
+    f.right = requirement{cone_b, isf_from_cells(v, bmask, num_vars)};
+    out.push_back(std::move(f));
+  }
+
+  void branch(std::size_t next) {
+    if (emitted >= options.max_branches_per_family) {
+      return;
+    }
+    while (next < pending.size()) {
+      const auto [a, b] = pending[next];
+      if (u[a] == kZero || v[b] == kZero) {
+        ++next;  // already satisfied by an earlier choice
+        continue;
+      }
+      // Neither side can be forced-one here (filtered during setup), so
+      // both branches are open.
+      const auto saved_u = u[a];
+      u[a] = kZero;
+      branch(next + 1);
+      u[a] = saved_u;
+      const auto saved_v = v[b];
+      v[b] = kZero;
+      branch(next + 1);
+      v[b] = saved_v;
+      return;
+    }
+    emit();
+  }
+};
+
+/// AND-like solve for R' = u & v on the care set; appends all completions.
+void solve_and_family(const requirement& r, bool complemented,
+                      std::uint32_t cone_a, std::uint32_t cone_b,
+                      const factorize_options& options,
+                      std::vector<factorization>& out) {
+  const unsigned n = r.func.num_vars();
+  const std::uint64_t bits = std::uint64_t{1} << n;
+  const std::uint64_t amask = assignment_mask(cone_a, n);
+  const std::uint64_t bmask = assignment_mask(cone_b, n);
+
+  const tt::isf target = complemented ? r.func.complement() : r.func;
+  std::vector<std::uint8_t> u(bits, kUnknown);
+  std::vector<std::uint8_t> v(bits, kUnknown);
+
+  // Forced assignments from on-minterms.
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    if (!target.careset().get_bit(m) || !target.onset().get_bit(m)) {
+      continue;
+    }
+    u[m & amask] = kOne;
+    v[m & bmask] = kOne;
+  }
+  // Off-minterm constraints: propagate or collect choices.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    if (!target.careset().get_bit(m) || target.onset().get_bit(m)) {
+      continue;
+    }
+    const std::uint64_t a = m & amask;
+    const std::uint64_t b = m & bmask;
+    if (u[a] == kOne && v[b] == kOne) {
+      return;  // unsatisfiable split
+    }
+    if (u[a] == kOne) {
+      v[b] = kZero;
+    } else if (v[b] == kOne) {
+      u[a] = kZero;
+    } else {
+      pending.emplace_back(a, b);
+    }
+  }
+  // Re-check pending constraints against the forced zeros, then branch.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> open;
+  for (const auto& [a, b] : pending) {
+    if (u[a] == kZero || v[b] == kZero) {
+      continue;
+    }
+    if (u[a] == kOne && v[b] == kOne) {
+      return;
+    }
+    if (u[a] == kOne) {
+      v[b] = kZero;
+      continue;
+    }
+    if (v[b] == kOne) {
+      u[a] = kZero;
+      continue;
+    }
+    open.emplace_back(a, b);
+  }
+  // Deduplicate identical constraints to keep branching shallow.
+  std::sort(open.begin(), open.end());
+  open.erase(std::unique(open.begin(), open.end()), open.end());
+
+  and_solver solver{options, n,    amask,        bmask,  std::move(u),
+                    std::move(v),  open, out,          complemented,
+                    cone_a,        cone_b};
+  solver.branch(0);
+}
+
+/// Parity union-find for the XOR-like solve.
+struct parity_dsu {
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint8_t> parity;  // parity relative to parent
+
+  explicit parity_dsu(std::size_t n) : parent(n), parity(n, 0) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+
+  std::pair<std::uint32_t, std::uint8_t> find(std::uint32_t x) {
+    // First pass: locate the root and the parity of x relative to it.
+    std::uint8_t parity_to_root = 0;
+    std::uint32_t root = x;
+    while (parent[root] != root) {
+      parity_to_root ^= parity[root];
+      root = parent[root];
+    }
+    // Second pass: compress the path, re-rooting every node with its own
+    // parity relative to the root.
+    std::uint32_t walk = x;
+    std::uint8_t walk_parity = parity_to_root;
+    while (parent[walk] != root) {
+      const std::uint32_t next = parent[walk];
+      const std::uint8_t edge = parity[walk];
+      parent[walk] = root;
+      parity[walk] = walk_parity;
+      walk_parity = static_cast<std::uint8_t>(walk_parity ^ edge);
+      walk = next;
+    }
+    return {root, parity_to_root};
+  }
+
+  /// Unions with xor-relation `rel` between x and y; false on conflict.
+  bool unite(std::uint32_t x, std::uint32_t y, std::uint8_t rel) {
+    auto [rx, px] = find(x);
+    auto [ry, py] = find(y);
+    if (rx == ry) {
+      return static_cast<std::uint8_t>(px ^ py) == rel;
+    }
+    parent[ry] = rx;
+    parity[ry] = static_cast<std::uint8_t>(px ^ py ^ rel);
+    return true;
+  }
+};
+
+/// XOR-like solve for R' = u ^ v on the care set.
+void solve_xor_family(const requirement& r, bool complemented,
+                      std::uint32_t cone_a, std::uint32_t cone_b,
+                      const factorize_options& options,
+                      std::vector<factorization>& out) {
+  const unsigned n = r.func.num_vars();
+  const std::uint64_t bits = std::uint64_t{1} << n;
+  const std::uint64_t amask = assignment_mask(cone_a, n);
+  const std::uint64_t bmask = assignment_mask(cone_b, n);
+  const tt::isf target = complemented ? r.func.complement() : r.func;
+
+  // Cell ids: u-cell m|A -> (m & amask), v-cell m|B -> bits + (m & bmask).
+  parity_dsu dsu(2 * bits);
+  std::vector<char> touched(2 * bits, 0);
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    if (!target.careset().get_bit(m)) {
+      continue;
+    }
+    const auto ua = static_cast<std::uint32_t>(m & amask);
+    const auto vb = static_cast<std::uint32_t>(bits + (m & bmask));
+    touched[ua] = 1;
+    touched[vb] = 1;
+    if (!dsu.unite(ua, vb,
+                   target.onset().get_bit(m) ? std::uint8_t{1}
+                                             : std::uint8_t{0})) {
+      return;  // parity conflict: not XOR-decomposable on this split
+    }
+  }
+
+  // Collect component roots of touched cells.
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t c = 0; c < 2 * bits; ++c) {
+    if (!touched[c]) {
+      continue;
+    }
+    const auto [root, parity] = dsu.find(c);
+    (void)parity;
+    if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+      roots.push_back(root);
+    }
+  }
+  const unsigned flip_bits =
+      std::min<unsigned>(static_cast<unsigned>(roots.size()),
+                         options.max_xor_components);
+  std::size_t emitted = 0;
+  for (std::uint64_t flips = 0; flips < (std::uint64_t{1} << flip_bits);
+       ++flips) {
+    if (emitted >= options.max_branches_per_family) {
+      break;
+    }
+    std::vector<std::uint8_t> u(bits, kUnknown);
+    std::vector<std::uint8_t> v(bits, kUnknown);
+    for (std::uint32_t c = 0; c < 2 * bits; ++c) {
+      if (!touched[c]) {
+        continue;
+      }
+      auto [root, parity] = dsu.find(c);
+      const auto root_pos = static_cast<std::size_t>(
+          std::find(roots.begin(), roots.end(), root) - roots.begin());
+      std::uint8_t value = parity;
+      if (root_pos < flip_bits && ((flips >> root_pos) & 1)) {
+        value ^= 1;
+      }
+      auto& side = c < bits ? u : v;
+      side[c < bits ? c : c - bits] = value ? kOne : kZero;
+    }
+    factorization f;
+    f.family = op_family::xor_like;
+    f.output_complemented = complemented;
+    f.left = requirement{cone_a, isf_from_cells(u, amask, n)};
+    f.right = requirement{cone_b, isf_from_cells(v, bmask, n)};
+    out.push_back(std::move(f));
+    ++emitted;
+  }
+}
+
+}  // namespace
+
+std::vector<factorization> factor_requirement(
+    const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
+    const factorize_options& options) {
+  assert((cone_a | cone_b) == r.cone);
+  std::vector<factorization> out;
+  if (r.func.is_unconstrained()) {
+    // Nothing to satisfy: children are unconstrained as well.
+    factorization f;
+    f.left = requirement{cone_a, tt::isf{r.func.num_vars()}};
+    f.right = requirement{cone_b, tt::isf{r.func.num_vars()}};
+    out.push_back(f);
+    return out;
+  }
+  for (const bool complemented : {false, true}) {
+    solve_and_family(r, complemented, cone_a, cone_b, options, out);
+    solve_xor_family(r, complemented, cone_a, cone_b, options, out);
+  }
+  // The AND-family branch enumeration can reach the same (u, v) pair along
+  // several choice orders; duplicates multiply the downstream search.
+  std::vector<factorization> unique;
+  unique.reserve(out.size());
+  for (auto& f : out) {
+    const bool duplicate = std::any_of(
+        unique.begin(), unique.end(), [&f](const factorization& g) {
+          return g.family == f.family &&
+                 g.output_complemented == f.output_complemented &&
+                 g.left.func == f.left.func && g.right.func == f.right.func;
+        });
+    if (!duplicate) {
+      unique.push_back(std::move(f));
+    }
+  }
+  return unique;
+}
+
+bool is_factorable(const requirement& r, std::uint32_t cone_a,
+                   std::uint32_t cone_b) {
+  factorize_options options;
+  options.max_branches_per_family = 1;
+  options.max_xor_components = 0;
+  return !factor_requirement(r, cone_a, cone_b, options).empty();
+}
+
+}  // namespace stpes::synth

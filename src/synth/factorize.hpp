@@ -1,0 +1,81 @@
+/// \file factorize.hpp
+/// \brief STP matrix factorization of node requirements (Section III-B).
+///
+/// The paper factors the canonical form `M_Phi` of a requirement into a
+/// structural matrix for the DAG vertex and canonical forms for its
+/// children, pruning vertices whose matrix has more than "two unique
+/// quartering parts".  Shared variables are handled by factoring out the
+/// power-reducing matrix `M_r`, which introduces `x` (don't-care) entries
+/// (Properties 3 and 4); variable reorderings correspond to `M_w` factors.
+///
+/// In truth-table form the same computation is a constrained two-block
+/// decomposition: given a requirement R (an ISF over the global inputs) and
+/// fixed child cones A and B, find all (op, u, v) with
+///
+///     R(m) = op(u(m|A), v(m|B))   for every care minterm m,
+///
+/// where u and v are ISFs classed on their cones (the don't-cares are
+/// exactly the paper's `x` entries).  Two operator families span all
+/// non-degenerate 2-input operators once child complementation and
+/// PI-polarity absorption are taken into account:
+///
+///   * AND-like: R^pol = u & v.  On-minterms force u and v cells to 1;
+///     every off-minterm is a binary choice (u-cell 0 or v-cell 0) —
+///     branching enumerates the complete solution set, capped.
+///   * XOR-like: R^pol = u ^ v.  A parity union-find over cells decides
+///     feasibility; every connected component can be flipped, enumerated up
+///     to a cap.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/isf.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::synth {
+
+/// Operator family assigned to a DAG vertex by factorization.
+enum class op_family : std::uint8_t { and_like, xor_like };
+
+/// A requirement attached to a DAG vertex: the variables it may use and
+/// the (incompletely specified) function it must realize, kept in the
+/// global input space.
+struct requirement {
+  std::uint32_t cone = 0;
+  tt::isf func;
+};
+
+/// One factorization branch at a vertex: the vertex computes
+/// `(left AND right) ^ output_complemented` or
+/// `(left XOR right) ^ output_complemented` where the children satisfy the
+/// attached requirements.
+struct factorization {
+  op_family family = op_family::and_like;
+  bool output_complemented = false;
+  requirement left;
+  requirement right;
+};
+
+/// Caps keeping the all-solutions enumeration bounded.
+struct factorize_options {
+  /// Maximum (u, v) completions returned per (family, polarity).
+  std::size_t max_branches_per_family = 32;
+  /// Maximum XOR components enumerated exhaustively (2^c flip patterns).
+  unsigned max_xor_components = 5;
+};
+
+/// All decompositions of `r` for the fixed cone split (cone_a, cone_b).
+/// Both cones must be subsets of `r.cone` and their union must cover it.
+std::vector<factorization> factor_requirement(
+    const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
+    const factorize_options& options = {});
+
+/// True iff the requirement admits at least one decomposition for the
+/// split — the paper's prune test ("can this DAG realize f?") without
+/// enumerating completions.
+bool is_factorable(const requirement& r, std::uint32_t cone_a,
+                   std::uint32_t cone_b);
+
+}  // namespace stpes::synth

@@ -1,0 +1,112 @@
+#include "synth/fen.hpp"
+
+#include "fence/fence.hpp"
+#include "synth/ssv_encoding.hpp"
+
+namespace stpes::synth {
+
+namespace {
+
+/// Builds the fence-restricted fanin pair list: step i sits on its fence
+/// level; fanins come from strictly lower levels (or inputs), at least one
+/// from the level directly below.
+std::vector<std::vector<std::pair<unsigned, unsigned>>> fence_pairs(
+    const fence::fence& fc, unsigned num_inputs) {
+  std::vector<unsigned> level_of_step;
+  for (unsigned l = 0; l < fc.num_levels(); ++l) {
+    for (unsigned c = 0; c < fc.widths[l]; ++c) {
+      level_of_step.push_back(l);
+    }
+  }
+  const unsigned num_steps = fc.num_nodes();
+  // Signal level: inputs are below level 0.
+  auto signal_level = [&](unsigned signal) -> int {
+    return signal < num_inputs
+               ? -1
+               : static_cast<int>(level_of_step[signal - num_inputs]);
+  };
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> pairs(num_steps);
+  for (unsigned i = 0; i < num_steps; ++i) {
+    const int level = static_cast<int>(level_of_step[i]);
+    for (unsigned k = 1; k < num_inputs + i; ++k) {
+      for (unsigned j = 0; j < k; ++j) {
+        const int lj = signal_level(j);
+        const int lk = signal_level(k);
+        if (lj >= level || lk >= level) {
+          continue;  // fanins strictly below
+        }
+        if (lj != level - 1 && lk != level - 1) {
+          continue;  // at least one fanin from the level directly below
+        }
+        pairs[i].emplace_back(j, k);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+result fen_engine::run(const spec& s) {
+  util::stopwatch watch;
+  stats_ = fen_stats{};
+  result out;
+  if (synthesize_degenerate(s.function, out)) {
+    out.seconds = watch.elapsed_seconds();
+    return out;
+  }
+
+  std::vector<unsigned> old_of_new;
+  auto f = shrink_for_synthesis(s.function, old_of_new);
+  const bool complemented = f.get_bit(0);
+  if (complemented) {
+    f = ~f;
+  }
+
+  bool timed_out = false;
+  for (unsigned gates = std::max(1u, trivial_lower_bound(f));
+       gates <= s.max_gates; ++gates) {
+    for (const auto& fc : fence::pruned_fences(gates)) {
+      if (s.budget.expired()) {
+        out.outcome = status::timeout;
+        out.seconds = watch.elapsed_seconds();
+        return out;
+      }
+      ++stats_.fences;
+      sat::solver solver;
+      solver.set_time_budget(s.budget);
+      ssv_encoding encoding{solver, f, gates, fence_pairs(fc, f.num_vars())};
+      encoding.encode_structure();
+      encoding.encode_all_rows();
+      ++stats_.solver_calls;
+      const auto answer = solver.solve();
+      stats_.conflicts += solver.stats().conflicts;
+      if (answer == sat::solve_result::sat) {
+        out.outcome = status::success;
+        out.optimum_gates = gates;
+        out.chains = {lift_chain_to_original(
+            encoding.extract_chain(complemented), old_of_new,
+            s.function.num_vars())};
+        out.seconds = watch.elapsed_seconds();
+        return out;
+      }
+      if (answer == sat::solve_result::unknown) {
+        timed_out = true;
+        break;
+      }
+    }
+    if (timed_out) {
+      break;
+    }
+  }
+  out.outcome = timed_out ? status::timeout : status::failure;
+  out.seconds = watch.elapsed_seconds();
+  return out;
+}
+
+result fen_synthesize(const spec& s) {
+  fen_engine engine;
+  return engine.run(s);
+}
+
+}  // namespace stpes::synth

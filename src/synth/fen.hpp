@@ -1,0 +1,33 @@
+/// \file fen.hpp
+/// \brief FEN baseline: fence-constrained SSV exact synthesis.
+///
+/// The Table-I FEN column [3,4]: the SSV encoding is solved once per
+/// pruned Boolean fence, with each step pinned to a fence level and fanin
+/// pairs restricted so that every step takes at least one fanin from the
+/// level directly below.  The added topological constraints shrink the
+/// search space dramatically compared to BMS.
+
+#pragma once
+
+#include "synth/spec.hpp"
+
+namespace stpes::synth {
+
+struct fen_stats {
+  std::uint64_t fences = 0;
+  std::uint64_t solver_calls = 0;
+  std::uint64_t conflicts = 0;
+};
+
+class fen_engine {
+public:
+  result run(const spec& s);
+  [[nodiscard]] const fen_stats& stats() const { return stats_; }
+
+private:
+  fen_stats stats_;
+};
+
+result fen_synthesize(const spec& s);
+
+}  // namespace stpes::synth

@@ -1,0 +1,84 @@
+#include "synth/spec.hpp"
+
+#include <cassert>
+
+namespace stpes::synth {
+
+const char* to_string(status s) {
+  switch (s) {
+    case status::success:
+      return "success";
+    case status::timeout:
+      return "timeout";
+    case status::failure:
+      return "failure";
+  }
+  return "?";
+}
+
+bool synthesize_degenerate(const tt::truth_table& f, result& out) {
+  const auto support = f.support_mask();
+  if (support == 0) {
+    // Constant: a single const-LUT step (op 0x0 / 0xF).  Knuth's formal
+    // model has a dedicated constant-zero input; we spend one step instead
+    // so that chains stay self-contained.
+    chain::boolean_chain c{f.num_vars()};
+    if (f.num_vars() == 0) {
+      out.outcome = status::failure;  // no signals at all
+      return true;
+    }
+    const auto s = c.add_step(f.is_const1() ? 0xF : 0x0, 0, 0);
+    c.set_output(s);
+    out.outcome = status::success;
+    out.chains = {std::move(c)};
+    out.optimum_gates = 1;
+    return true;
+  }
+  if ((support & (support - 1)) == 0) {
+    // Literal: zero steps, output is the input (possibly complemented).
+    unsigned v = 0;
+    while (((support >> v) & 1) == 0) {
+      ++v;
+    }
+    chain::boolean_chain c{f.num_vars()};
+    const bool complemented = !f.cofactor1(v).is_const1();
+    c.set_output(v, complemented);
+    out.outcome = status::success;
+    out.chains = {std::move(c)};
+    out.optimum_gates = 0;
+    return true;
+  }
+  return false;
+}
+
+tt::truth_table shrink_for_synthesis(const tt::truth_table& f,
+                                     std::vector<unsigned>& old_of_new) {
+  return f.shrink_to_support(&old_of_new);
+}
+
+chain::boolean_chain lift_chain_to_original(
+    const chain::boolean_chain& shrunk_chain,
+    const std::vector<unsigned>& old_of_new,
+    unsigned num_original_inputs) {
+  chain::boolean_chain lifted{num_original_inputs};
+  const unsigned shrunk_inputs = shrunk_chain.num_inputs();
+  auto map_signal = [&](std::uint32_t s) -> std::uint32_t {
+    if (s < shrunk_inputs) {
+      return old_of_new[s];
+    }
+    return num_original_inputs + (s - shrunk_inputs);
+  };
+  for (const auto& st : shrunk_chain.steps()) {
+    lifted.add_step(st.op, map_signal(st.fanin[0]), map_signal(st.fanin[1]));
+  }
+  lifted.set_output(map_signal(shrunk_chain.output()),
+                    shrunk_chain.output_complemented());
+  return lifted;
+}
+
+unsigned trivial_lower_bound(const tt::truth_table& f) {
+  const unsigned s = f.support_size();
+  return s <= 1 ? 0 : s - 1;
+}
+
+}  // namespace stpes::synth

@@ -1,0 +1,74 @@
+/// \file spec.hpp
+/// \brief Common specification / result types shared by every exact-
+///        synthesis engine (STP, BMS, FEN, CEGAR).
+///
+/// All engines answer the same question: given a single-output Boolean
+/// function, find (an) optimum Boolean chain(s) — minimum number of 2-input
+/// steps.  They differ in how the search is run; the types here keep the
+/// Table-I harness engine-agnostic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/boolean_chain.hpp"
+#include "tt/truth_table.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stpes::synth {
+
+/// A synthesis problem instance.
+struct spec {
+  tt::truth_table function;
+  /// Wall-clock budget; engines return `timeout` when exceeded.
+  util::time_budget budget;
+  /// Upper bound on chain size before giving up as unrealizable.
+  unsigned max_gates = 24;
+};
+
+enum class status { success, timeout, failure };
+
+const char* to_string(status s);
+
+/// Result of one synthesis call.
+struct result {
+  status outcome = status::failure;
+  /// All optimum chains found (baseline engines report exactly one; the
+  /// STP engine reports the complete set under its topology constraints).
+  std::vector<chain::boolean_chain> chains;
+  /// Optimum step count (valid when outcome == success).
+  unsigned optimum_gates = 0;
+  /// Wall-clock seconds spent.
+  double seconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return outcome == status::success; }
+  [[nodiscard]] const chain::boolean_chain& best() const {
+    return chains.front();
+  }
+};
+
+/// Handles the degenerate targets every engine treats identically:
+/// constants (one const-LUT step) and literals (zero steps).  Returns true
+/// and fills `out` when `f` is degenerate.
+bool synthesize_degenerate(const tt::truth_table& f, result& out);
+
+/// Shrinks `f` to its support and returns the shrunk function; `old_of_new`
+/// receives the original variable of each shrunk variable.  Chains
+/// synthesized for the shrunk function are lifted back with
+/// `lift_chain_to_original`.
+tt::truth_table shrink_for_synthesis(const tt::truth_table& f,
+                                     std::vector<unsigned>& old_of_new);
+
+/// Re-expresses a chain over the shrunk support as a chain over the
+/// original `num_original_inputs` inputs.
+chain::boolean_chain lift_chain_to_original(
+    const chain::boolean_chain& shrunk_chain,
+    const std::vector<unsigned>& old_of_new, unsigned num_original_inputs);
+
+/// Lower bound on the number of 2-input steps: a function depending on s
+/// variables needs at least s-1 steps.
+unsigned trivial_lower_bound(const tt::truth_table& f);
+
+}  // namespace stpes::synth

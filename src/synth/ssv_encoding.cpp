@@ -1,0 +1,214 @@
+#include "synth/ssv_encoding.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace stpes::synth {
+
+using sat::lit;
+using sat::neg;
+using sat::pos;
+using sat::var;
+
+std::vector<std::vector<std::pair<unsigned, unsigned>>> all_fanin_pairs(
+    unsigned num_inputs, unsigned num_steps) {
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> pairs(num_steps);
+  for (unsigned i = 0; i < num_steps; ++i) {
+    for (unsigned k = 1; k < num_inputs + i; ++k) {
+      for (unsigned j = 0; j < k; ++j) {
+        pairs[i].emplace_back(j, k);
+      }
+    }
+  }
+  return pairs;
+}
+
+ssv_encoding::ssv_encoding(
+    sat::solver& solver, const tt::truth_table& function, unsigned num_steps,
+    std::optional<std::vector<std::vector<std::pair<unsigned, unsigned>>>>
+        allowed_pairs,
+    ssv_options options)
+    : solver_(solver),
+      function_(function),
+      num_inputs_(function.num_vars()),
+      num_steps_(num_steps),
+      options_(options),
+      pairs_(allowed_pairs ? std::move(*allowed_pairs)
+                           : all_fanin_pairs(function.num_vars(), num_steps)),
+      row_encoded_(function.num_bits(), false) {
+  assert(!function_.get_bit(0) && "SSV encoding requires a normal target");
+  assert(pairs_.size() == num_steps_);
+  // Allocate variables: selection, operator, and row values.
+  select_.resize(num_steps_);
+  op_.resize(num_steps_);
+  value_.resize(num_steps_);
+  const std::uint64_t rows = function_.num_bits() - 1;
+  for (unsigned i = 0; i < num_steps_; ++i) {
+    for (std::size_t p = 0; p < pairs_[i].size(); ++p) {
+      select_[i].push_back(solver_.new_var());
+    }
+    for (auto& v : op_[i]) {
+      v = solver_.new_var();
+    }
+    value_[i].resize(rows);
+    for (auto& v : value_[i]) {
+      v = solver_.new_var();
+    }
+  }
+}
+
+var ssv_encoding::x(unsigned step, std::uint64_t row) const {
+  assert(row >= 1);
+  return value_[step][row - 1];
+}
+
+var ssv_encoding::g(unsigned step, unsigned pattern) const {
+  assert(pattern >= 1 && pattern <= 3);
+  return op_[step][pattern - 1];
+}
+
+std::optional<bool> ssv_encoding::input_value(unsigned signal,
+                                              std::uint64_t row) const {
+  if (signal < num_inputs_) {
+    return ((row >> signal) & 1) != 0;
+  }
+  return std::nullopt;
+}
+
+void ssv_encoding::encode_structure() {
+  for (unsigned i = 0; i < num_steps_; ++i) {
+    // At least one fanin pair.
+    sat::clause_lits alo;
+    alo.reserve(select_[i].size());
+    for (const auto s : select_[i]) {
+      alo.push_back(pos(s));
+    }
+    solver_.add_clause(alo);
+    // At most one (pairwise).
+    if (options_.pairwise_at_most_one_select) {
+      for (std::size_t a = 0; a < select_[i].size(); ++a) {
+        for (std::size_t b = a + 1; b < select_[i].size(); ++b) {
+          solver_.add_clause({neg(select_[i][a]), neg(select_[i][b])});
+        }
+      }
+    }
+    if (options_.nontrivial_operators) {
+      // Exclude constant 0: some pattern output is 1.
+      solver_.add_clause(
+          {pos(g(i, 1)), pos(g(i, 2)), pos(g(i, 3))});
+      // Exclude projections onto either fanin:
+      // first fanin:  (g1,g2,g3) = (1,0,1); second fanin: (0,1,1).
+      solver_.add_clause({neg(g(i, 1)), pos(g(i, 2)), neg(g(i, 3))});
+      solver_.add_clause({pos(g(i, 1)), neg(g(i, 2)), neg(g(i, 3))});
+    }
+  }
+  if (options_.use_all_steps) {
+    for (unsigned i = 0; i + 1 < num_steps_; ++i) {
+      sat::clause_lits used;
+      const unsigned signal = num_inputs_ + i;
+      for (unsigned i2 = i + 1; i2 < num_steps_; ++i2) {
+        for (std::size_t p = 0; p < pairs_[i2].size(); ++p) {
+          if (pairs_[i2][p].first == signal ||
+              pairs_[i2][p].second == signal) {
+            used.push_back(pos(select_[i2][p]));
+          }
+        }
+      }
+      solver_.add_clause(used);  // empty list -> trivially UNSAT, intended
+    }
+  }
+}
+
+void ssv_encoding::encode_row(std::uint64_t t) {
+  assert(t >= 1 && t < function_.num_bits());
+  if (row_encoded_[t]) {
+    return;
+  }
+  row_encoded_[t] = true;
+
+  for (unsigned i = 0; i < num_steps_; ++i) {
+    for (std::size_t p = 0; p < pairs_[i].size(); ++p) {
+      const auto [j, k] = pairs_[i][p];
+      const auto jv = input_value(j, t);
+      const auto kv = input_value(k, t);
+      // For every combination of values (a = step value, b = fanin j,
+      // c = fanin k): ~s | (x_it != a) | (j != b) | (k != c) | g(i, cb) = a.
+      for (unsigned a = 0; a <= 1; ++a) {
+        for (unsigned b = 0; b <= 1; ++b) {
+          if (jv && *jv != static_cast<bool>(b)) {
+            continue;  // literal (j != b) is true: clause satisfied-free
+          }
+          for (unsigned c = 0; c <= 1; ++c) {
+            if (kv && *kv != static_cast<bool>(c)) {
+              continue;
+            }
+            const unsigned pattern = (c << 1) | b;
+            sat::clause_lits clause;
+            clause.push_back(neg(select_[i][p]));
+            clause.push_back(a ? neg(x(i, t)) : pos(x(i, t)));
+            if (!jv && j >= num_inputs_) {
+              clause.push_back(b ? neg(x(j - num_inputs_, t))
+                                 : pos(x(j - num_inputs_, t)));
+            }
+            if (!kv && k >= num_inputs_) {
+              clause.push_back(c ? neg(x(k - num_inputs_, t))
+                                 : pos(x(k - num_inputs_, t)));
+            }
+            if (pattern == 0) {
+              // Normal operators: g(i, 00) == 0, so requiring output a == 1
+              // is impossible (keep clause as-is to forbid it); a == 0 is
+              // trivially satisfied.
+              if (a == 0) {
+                continue;
+              }
+            } else {
+              clause.push_back(a ? pos(this->g(i, pattern))
+                                 : neg(this->g(i, pattern)));
+            }
+            solver_.add_clause(clause);
+          }
+        }
+      }
+    }
+  }
+  // Output constraint on the last step.
+  solver_.add_clause({function_.get_bit(t) ? pos(x(num_steps_ - 1, t))
+                                           : neg(x(num_steps_ - 1, t))});
+}
+
+void ssv_encoding::encode_all_rows() {
+  for (std::uint64_t t = 1; t < function_.num_bits(); ++t) {
+    encode_row(t);
+  }
+}
+
+chain::boolean_chain ssv_encoding::extract_chain(
+    bool output_complemented) const {
+  chain::boolean_chain out{num_inputs_};
+  for (unsigned i = 0; i < num_steps_; ++i) {
+    std::pair<unsigned, unsigned> fanin{0, 0};
+    bool found = false;
+    for (std::size_t p = 0; p < pairs_[i].size(); ++p) {
+      if (solver_.model_value(select_[i][p])) {
+        fanin = pairs_[i][p];
+        found = true;
+        break;
+      }
+    }
+    assert(found);
+    (void)found;
+    unsigned op = 0;
+    // Pattern p = (c<<1)|b with b = fanin j value, c = fanin k value; the
+    // chain LUT convention indexes with (second<<1)|first, which matches.
+    for (unsigned pattern = 1; pattern <= 3; ++pattern) {
+      if (solver_.model_value(g(i, pattern))) {
+        op |= 1u << pattern;
+      }
+    }
+    out.add_step(op, fanin.first, fanin.second);
+  }
+  out.set_output(num_inputs_ + num_steps_ - 1, output_complemented);
+  return out;
+}
+
+}  // namespace stpes::synth

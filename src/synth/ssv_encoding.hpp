@@ -1,0 +1,101 @@
+/// \file ssv_encoding.hpp
+/// \brief Single-selection-variable (SSV) CNF encoding of exact synthesis.
+///
+/// The classic encoding behind SAT-based exact synthesis (Knuth; Soeken et
+/// al.; Haaswijk et al., percy): for r *normal* steps over n inputs,
+///
+///   * x(i, t)   — value of step i on truth-table row t (t >= 1; row 0 is 0
+///                 for normal chains),
+///   * s(i, j, k) — step i selects fanins (j, k), j < k < n + i,
+///   * g(i, p)   — step i's operator output for fanin pattern p in {01,10,11}
+///                 (pattern 00 yields 0: normality).
+///
+/// The main clauses tie the four together for every row and value
+/// combination; the last step is constrained to the (normalized) target.
+/// A non-normal target is synthesized as its complement with the output
+/// complemented flag set on the extracted chain.
+///
+/// The encoder supports
+///   * restricting the allowed fanin pairs per step (the FEN engine passes
+///     fence-level-compatible pairs),
+///   * adding row constraints lazily (the CEGAR engine adds rows driven by
+///     counterexamples).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "chain/boolean_chain.hpp"
+#include "sat/solver.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::synth {
+
+/// Encoder options.
+struct ssv_options {
+  bool pairwise_at_most_one_select = true;
+  /// Forbid constant-0 and projection operators (trivial steps).
+  bool nontrivial_operators = true;
+  /// Every non-output step must fan out somewhere.
+  bool use_all_steps = true;
+};
+
+/// One SSV encoding instance bound to a solver.
+class ssv_encoding {
+public:
+  /// `function` must be normal (f(0...0) == 0) and depend on all of its
+  /// variables.  `allowed_pairs`, when given, restricts each step's fanin
+  /// pairs (signals numbered 0..n-1 for inputs, n+i for steps).
+  ssv_encoding(sat::solver& solver, const tt::truth_table& function,
+               unsigned num_steps,
+               std::optional<std::vector<
+                   std::vector<std::pair<unsigned, unsigned>>>>
+                   allowed_pairs = std::nullopt,
+               ssv_options options = {});
+
+  /// Emits selection/operator constraints (call once).
+  void encode_structure();
+
+  /// Emits the main clauses and the output constraint for row `t` (>= 1).
+  /// Idempotent per row.
+  void encode_row(std::uint64_t t);
+
+  /// Emits every row (1 .. 2^n - 1).
+  void encode_all_rows();
+
+  /// Extracts the chain from the solver's model after a SAT answer.
+  [[nodiscard]] chain::boolean_chain extract_chain(
+      bool output_complemented) const;
+
+  [[nodiscard]] unsigned num_steps() const { return num_steps_; }
+
+private:
+  [[nodiscard]] sat::var x(unsigned step, std::uint64_t row) const;
+  [[nodiscard]] sat::var g(unsigned step, unsigned pattern) const;
+
+  /// Value of signal `j` on row `t` if it is an input, otherwise nullopt.
+  [[nodiscard]] std::optional<bool> input_value(unsigned signal,
+                                                std::uint64_t row) const;
+
+  sat::solver& solver_;
+  const tt::truth_table& function_;
+  unsigned num_inputs_;
+  unsigned num_steps_;
+  ssv_options options_;
+
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> pairs_;  // per step
+  std::vector<std::vector<sat::var>> select_;  // select_[i][pair index]
+  std::vector<std::array<sat::var, 3>> op_;    // op_[i][pattern-1]
+  std::vector<std::vector<sat::var>> value_;   // value_[i][row-1]
+  std::vector<bool> row_encoded_;
+};
+
+/// Builds the unrestricted fanin pair list for `num_steps` steps over
+/// `num_inputs` inputs.
+std::vector<std::vector<std::pair<unsigned, unsigned>>> all_fanin_pairs(
+    unsigned num_inputs, unsigned num_steps);
+
+}  // namespace stpes::synth

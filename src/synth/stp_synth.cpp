@@ -1,0 +1,769 @@
+#include "synth/stp_synth.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "allsat/circuit_allsat.hpp"
+#include "fence/dag.hpp"
+#include "fence/fence.hpp"
+
+namespace stpes::synth {
+
+namespace {
+
+using fence::dag_topology;
+using fence::kPiSlot;
+
+/// Per-gate search state during the top-down factorization DFS.
+struct gate_state {
+  bool has_requirement = false;
+  requirement req;
+  /// Cached hash of (cone, func) — recomputed only when `req` changes.
+  std::uint64_t req_hash = 0;
+  bool decomposed = false;
+  op_family family = op_family::and_like;
+  bool complemented = false;
+  /// Gate-child inversions folded into this gate's LUT when polarity
+  /// normalization rewrites a child requirement to its normal complement.
+  std::array<bool, 2> child_negated{false, false};
+};
+
+/// Per-PI-slot state: which input variable feeds the slot and with which
+/// polarity (negative polarities are later folded into the gate LUT).
+struct slot_state {
+  int var = -1;
+  bool negated = false;
+};
+
+/// Identifies the slot index of fanin position `pos` of gate `g` (slots
+/// are numbered in gate order, matching dag_topology::pi_slot_capacity).
+struct slot_index_map {
+  std::vector<std::array<int, 2>> of_gate;
+
+  explicit slot_index_map(const dag_topology& dag) {
+    of_gate.assign(dag.gates.size(), {-1, -1});
+    int next = 0;
+    for (std::size_t g = 0; g < dag.gates.size(); ++g) {
+      for (int pos = 0; pos < 2; ++pos) {
+        if (dag.gates[g].fanin[static_cast<std::size_t>(pos)] == kPiSlot) {
+          of_gate[g][static_cast<std::size_t>(pos)] = next++;
+        }
+      }
+    }
+  }
+};
+
+/// Strongly mixed 64-bit cache key for factorization results (requirement +
+/// cone split).  A full-key map would dodge the (astronomically unlikely)
+/// collision; every cached chain is independently re-verified by the
+/// circuit solver, so a collision can only lose solutions, not emit wrong
+/// ones.
+std::uint64_t factor_cache_key(const requirement& r, std::uint32_t cone_a,
+                               std::uint32_t cone_b) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 12) + (h >> 21);
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return h;
+  };
+  std::uint64_t h = 0x2545F4914F6CDD1Dull;
+  h = mix(h, r.cone);
+  h = mix(h, r.func.onset().hash());
+  h = mix(h, r.func.careset().hash());
+  h = mix(h, (static_cast<std::uint64_t>(cone_a) << 32) | cone_b);
+  return h;
+}
+
+struct search_context {
+  const stp_options& options;
+  tt::isf target;           // root requirement (complete or with DCs)
+  std::uint32_t root_cone;  // variables the root may consume
+  unsigned num_vars;
+  const util::time_budget& budget;
+  stp_stats& stats;
+
+  std::vector<chain::boolean_chain> solutions;
+  std::unordered_set<std::size_t> solution_hashes;
+  /// Factorizations repeat massively across DAGs and branches.  Values are
+  /// shared_ptr so callers hold them alive for free across rehashes.
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<factorization>>>
+      factor_cache;
+  /// Pending states proven fruitless, shared across DAGs of one size
+  /// (the key includes the structural prefix of the DAG).
+  std::unordered_set<std::uint64_t> failed_states;
+  bool stop = false;  // budget expired or solution cap reached
+  std::uint64_t ticks = 0;
+
+  void tick() {
+    if ((++ticks & 0x3FF) == 0 && budget.expired()) {
+      stop = true;
+    }
+  }
+
+  std::shared_ptr<const std::vector<factorization>> factor(
+      const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b) {
+    const std::uint64_t key = factor_cache_key(r, cone_a, cone_b);
+    const auto it = factor_cache.find(key);
+    if (it != factor_cache.end()) {
+      return it->second;
+    }
+    auto result = std::make_shared<const std::vector<factorization>>(
+        factor_requirement(r, cone_a, cone_b, options.factor));
+    stats.factorizations += result->size();
+    factor_cache.emplace(key, result);
+    return result;
+  }
+};
+
+/// Search over one DAG topology.
+class dag_search {
+public:
+  dag_search(search_context& ctx, const dag_topology& dag)
+      : ctx_(ctx),
+        dag_(dag),
+        slots_(dag),
+        capacity_(dag.pi_slot_capacity()),
+        cone_gates_(dag.gates_in_cone()) {
+    // A cone of g gates depends on at most g + 1 distinct variables.
+    for (std::size_t i = 0; i < capacity_.size(); ++i) {
+      capacity_[i] = std::min(capacity_[i], cone_gates_[i] + 1);
+    }
+    // Canonical cone-subtree signatures: used to halve the partition
+    // enumeration at gates whose two children have identical shapes.
+    subtree_sig_.resize(dag.gates.size());
+    for (std::size_t gi = 0; gi < dag.gates.size(); ++gi) {
+      std::string a = dag.gates[gi].fanin[0] == kPiSlot
+                          ? "*"
+                          : subtree_sig_[static_cast<std::size_t>(
+                                dag.gates[gi].fanin[0])];
+      std::string b = dag.gates[gi].fanin[1] == kPiSlot
+                          ? "*"
+                          : subtree_sig_[static_cast<std::size_t>(
+                                dag.gates[gi].fanin[1])];
+      if (b < a) {
+        std::swap(a, b);
+      }
+      subtree_sig_[gi] = "(" + a + b + ")";
+    }
+    // A gate whose two children are unshared, cone-disjoint gates of
+    // identical shape produces every solution twice (mirrored); restrict
+    // such gates to canonically ordered cone splits.
+    std::vector<unsigned> fanout(dag.gates.size(), 0);
+    std::vector<std::uint64_t> gate_reach(dag.gates.size(), 0);
+    for (std::size_t gi = 0; gi < dag.gates.size(); ++gi) {
+      gate_reach[gi] = std::uint64_t{1} << gi;
+      for (const int fi : dag.gates[gi].fanin) {
+        if (fi != kPiSlot) {
+          ++fanout[static_cast<std::size_t>(fi)];
+          gate_reach[gi] |= gate_reach[static_cast<std::size_t>(fi)];
+        }
+      }
+    }
+    symmetric_children_.assign(dag.gates.size(), false);
+    for (std::size_t gi = 0; gi < dag.gates.size(); ++gi) {
+      const int a = dag.gates[gi].fanin[0];
+      const int b = dag.gates[gi].fanin[1];
+      if (a != kPiSlot && b != kPiSlot &&
+          subtree_sig_[static_cast<std::size_t>(a)] ==
+              subtree_sig_[static_cast<std::size_t>(b)] &&
+          fanout[static_cast<std::size_t>(a)] == 1 &&
+          fanout[static_cast<std::size_t>(b)] == 1 &&
+          (gate_reach[static_cast<std::size_t>(a)] &
+           gate_reach[static_cast<std::size_t>(b)]) == 0) {
+        symmetric_children_[gi] = true;
+      }
+    }
+    // Processing order: parents strictly before children (requirements are
+    // final when a gate is decomposed) and subtrees contiguous (a failed
+    // subtree is re-recognized by the memo regardless of what happened in
+    // sibling subtrees).  DFS from the root, releasing a gate once all its
+    // parents are placed.
+    std::vector<unsigned> parents_left(dag.gates.size(), 0);
+    for (const auto& gt : dag.gates) {
+      for (const int fi : gt.fanin) {
+        if (fi != kPiSlot) {
+          ++parents_left[static_cast<std::size_t>(fi)];
+        }
+      }
+    }
+    std::vector<int> stack{dag.root()};
+    order_.reserve(dag.gates.size());
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      order_.push_back(g);
+      for (const int fi : dag.gates[static_cast<std::size_t>(g)].fanin) {
+        if (fi != kPiSlot &&
+            --parents_left[static_cast<std::size_t>(fi)] == 0) {
+          stack.push_back(fi);
+        }
+      }
+    }
+    // Per-position structural hash of the pending suffix (for the
+    // cross-DAG failure memo).
+    suffix_hash_.assign(order_.size() + 1, 0xcbf29ce484222325ull);
+    for (std::size_t pos = order_.size(); pos-- > 0;) {
+      std::uint64_t sh = suffix_hash_[pos + 1];
+      auto smix = [&sh](std::uint64_t v) {
+        sh ^= v;
+        sh *= 0x100000001b3ull;
+        sh ^= sh >> 29;
+      };
+      const int g = order_[pos];
+      smix(static_cast<std::uint64_t>(g));
+      smix(static_cast<std::uint64_t>(
+          dag.gates[static_cast<std::size_t>(g)].fanin[0] + 2));
+      smix(static_cast<std::uint64_t>(
+          dag.gates[static_cast<std::size_t>(g)].fanin[1] + 2));
+      suffix_hash_[pos] = sh;
+    }
+  }
+
+  void run() {
+    const auto root = static_cast<std::size_t>(dag_.root());
+    if (capacity_[root] <
+        static_cast<unsigned>(std::popcount(ctx_.root_cone))) {
+      return;  // cannot reach all cone variables
+    }
+    gates_.assign(dag_.gates.size(), gate_state());
+    slot_states_.assign(dag_.num_pi_slots(), slot_state{});
+    gates_[root].has_requirement = true;
+    gates_[root].req.cone = ctx_.root_cone;
+    gates_[root].req.func = ctx_.target;
+    gates_[root].req_hash = gates_[root].req.cone * 0x9E3779B97F4A7C15ull +
+                            gates_[root].req.func.hash();
+    descend(0);
+  }
+
+private:
+  /// Capacity of a fanin (gate or slot) in distinct variables.
+  [[nodiscard]] unsigned fanin_capacity(int fanin) const {
+    return fanin == kPiSlot
+               ? 1u
+               : capacity_[static_cast<std::size_t>(fanin)];
+  }
+
+  /// Hash of the pending work at processing position `pos`: the structure
+  /// and current requirements of the gates not yet decomposed.  Feasibility
+  /// of the rest of the search depends on nothing else, so sub-searches
+  /// that produced no chain can be skipped when the same pending state
+  /// recurs — under a different upstream branch or even a different DAG
+  /// with the same pending structure.
+  [[nodiscard]] std::uint64_t pending_state_key(std::size_t pos) const {
+    std::uint64_t h = suffix_hash_[pos];
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+      h ^= h >> 29;
+    };
+    for (std::size_t i = pos; i < order_.size(); ++i) {
+      const auto& st = gates_[static_cast<std::size_t>(order_[i])];
+      mix(st.has_requirement ? st.req_hash : 0x51ED270B);
+    }
+    return h;
+  }
+
+  /// Processes gates in the precomputed parents-first order.
+  void descend(std::size_t pos) {
+    if (ctx_.stop) {
+      return;
+    }
+    ctx_.tick();
+    if (pos == order_.size()) {
+      emit();
+      return;
+    }
+    const std::uint64_t key = pending_state_key(pos);
+    if (ctx_.failed_states.contains(key)) {
+      return;
+    }
+    // Memoize only *structural* failures (no complete candidate assembled):
+    // duplicate-solution bookkeeping must not poison the cache.
+    const std::uint64_t candidates_before = ctx_.stats.candidates;
+    const int g = order_[pos];
+    auto& state = gates_[static_cast<std::size_t>(g)];
+    assert(state.has_requirement);  // fanout >= 1 guarantees a parent set it
+    const auto& topo_gate = dag_.gates[static_cast<std::size_t>(g)];
+    enumerate_partitions(pos, g, topo_gate.fanin[0], topo_gate.fanin[1],
+                         state.req);
+    if (ctx_.stats.candidates == candidates_before && !ctx_.stop) {
+      ctx_.failed_states.insert(key);
+    }
+  }
+
+  /// Enumerates cone splits (A, B) of the gate's cone, honouring cones
+  /// already fixed on shared children, then factorizes and recurses.
+  void enumerate_partitions(std::size_t pos, int g, int child_a, int child_b,
+                            const requirement& req) {
+    const std::uint32_t cone = req.cone;
+    const auto fixed_a = fixed_cone(child_a);
+    const auto fixed_b = fixed_cone(child_b);
+
+    std::vector<unsigned> vars;
+    for (unsigned v = 0; v < ctx_.num_vars; ++v) {
+      if ((cone >> v) & 1) {
+        vars.push_back(v);
+      }
+    }
+
+    // Recursive 3-way assignment (left / right / both) with fixed-cone and
+    // capacity pruning.
+    const unsigned cap_a = fanin_capacity(child_a);
+    const unsigned cap_b = fanin_capacity(child_b);
+    const bool both_slots = child_a == kPiSlot && child_b == kPiSlot;
+
+    auto assign = [&](auto&& self, std::size_t index, std::uint32_t a,
+                      std::uint32_t b) -> void {
+      if (ctx_.stop) {
+        return;
+      }
+      if (index == vars.size()) {
+        if (a == 0 || b == 0) {
+          return;
+        }
+        if (fixed_a && *fixed_a != a) {
+          return;
+        }
+        if (fixed_b && *fixed_b != b) {
+          return;
+        }
+        if (both_slots) {
+          // Unordered slot pair: canonical order, no twin variables.
+          if (a >= b) {
+            return;
+          }
+        }
+        if (symmetric_children_[static_cast<std::size_t>(g)] && a > b) {
+          return;  // mirrored split of identical subtrees
+        }
+        ++ctx_.stats.partitions_tried;
+        try_split(pos, g, child_a, child_b, req, a, b);
+        return;
+      }
+      const std::uint32_t bit = 1u << vars[index];
+      const auto in_fixed_a = !fixed_a || (*fixed_a & bit);
+      const auto in_fixed_b = !fixed_b || (*fixed_b & bit);
+      // left only
+      if (in_fixed_a && (!fixed_b || !(*fixed_b & bit)) &&
+          std::popcount(a | bit) <= static_cast<int>(cap_a)) {
+        self(self, index + 1, a | bit, b);
+      }
+      // right only
+      if (in_fixed_b && (!fixed_a || !(*fixed_a & bit)) &&
+          std::popcount(b | bit) <= static_cast<int>(cap_b)) {
+        self(self, index + 1, a, b | bit);
+      }
+      // both (the M_r sharing case)
+      if (in_fixed_a && in_fixed_b &&
+          std::popcount(a | bit) <= static_cast<int>(cap_a) &&
+          std::popcount(b | bit) <= static_cast<int>(cap_b)) {
+        self(self, index + 1, a | bit, b | bit);
+      }
+    };
+    assign(assign, 0, 0, 0);
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> fixed_cone(int child) const {
+    if (child == kPiSlot) {
+      return std::nullopt;
+    }
+    const auto& st = gates_[static_cast<std::size_t>(child)];
+    if (st.has_requirement) {
+      return st.req.cone;
+    }
+    return std::nullopt;
+  }
+
+  void try_split(std::size_t pos, int g, int child_a, int child_b,
+                 const requirement& req, std::uint32_t cone_a,
+                 std::uint32_t cone_b) {
+    const auto factorizations_ptr = ctx_.factor(req, cone_a, cone_b);
+    const auto& factorizations = *factorizations_ptr;
+    const auto& topo_gate = dag_.gates[static_cast<std::size_t>(g)];
+    const auto slot_ids = slots_.of_gate[static_cast<std::size_t>(g)];
+    for (const auto& f : factorizations) {
+      if (ctx_.stop) {
+        return;
+      }
+      // Snapshot the state touched by this branch.
+      auto& gate = gates_[static_cast<std::size_t>(g)];
+      const gate_state saved_gate = gate;
+      gate.decomposed = true;
+      gate.family = f.family;
+      gate.complemented = f.output_complemented;
+
+      apply_child(g, 0, child_a, slot_ids[0], f.left, [&](bool ok_left) {
+        if (!ok_left) {
+          return;
+        }
+        apply_child(g, 1, child_b, slot_ids[1], f.right,
+                    [&](bool ok_right) {
+                      if (ok_right) {
+                        descend(pos + 1);
+                      }
+                    });
+      });
+      gate = saved_gate;
+      (void)topo_gate;
+    }
+  }
+
+  /// Applies a child requirement (branching over slot polarities when the
+  /// child is a PI slot) and invokes `k(true)` for every viable variant;
+  /// state changes are rolled back before returning.
+  template <typename K>
+  void apply_child(int g, int pos, int child, int slot_id,
+                   const requirement& child_req, K&& k) {
+    if (child == kPiSlot) {
+      // The cone is a single variable; try both literal polarities.
+      const std::uint32_t cone = child_req.cone;
+      assert(std::popcount(cone) == 1);
+      const unsigned v = static_cast<unsigned>(std::countr_zero(cone));
+      const auto positive = tt::truth_table::nth_var(ctx_.num_vars, v);
+      auto& slot = slot_states_[static_cast<std::size_t>(slot_id)];
+      const slot_state saved = slot;
+      bool any = false;
+      if (child_req.func.accepts(positive)) {
+        slot = slot_state{static_cast<int>(v), false};
+        any = true;
+        k(true);
+      }
+      if (ctx_.stop) {
+        slot = saved;
+        return;
+      }
+      if (child_req.func.accepts(~positive)) {
+        slot = slot_state{static_cast<int>(v), true};
+        any = true;
+        k(true);
+      }
+      slot = saved;
+      if (!any) {
+        k(false);
+      }
+      return;
+    }
+    auto& st = gates_[static_cast<std::size_t>(child)];
+    auto& parent = gates_[static_cast<std::size_t>(g)];
+    const gate_state saved = st;
+    const bool saved_neg = parent.child_negated[static_cast<std::size_t>(pos)];
+
+    tt::isf incoming = child_req.func;
+    if (ctx_.options.normalize_polarity) {
+      // Canonical polarity: the child signal must be normal (0 on the
+      // all-zeros row).  If the requirement forces a 1 there, demand the
+      // complement instead and fold the inversion into this gate's LUT;
+      // if the row is a don't-care, pin it to 0.
+      const bool care0 = incoming.careset().get_bit(0);
+      const bool on0 = incoming.onset().get_bit(0);
+      if (care0 && on0) {
+        incoming = incoming.complement();
+        parent.child_negated[static_cast<std::size_t>(pos)] = true;
+      } else if (!care0) {
+        auto care = incoming.careset();
+        care.set_bit(0, true);
+        incoming = tt::isf{incoming.onset(), care};
+      }
+    }
+
+    if (st.has_requirement) {
+      assert(st.req.cone == child_req.cone);
+      const auto merged = st.req.func.intersect(incoming);
+      if (!merged) {
+        parent.child_negated[static_cast<std::size_t>(pos)] = saved_neg;
+        k(false);
+        return;
+      }
+      st.req.func = *merged;
+    } else {
+      st.has_requirement = true;
+      st.req = requirement{child_req.cone, incoming};
+    }
+    st.req_hash = st.req.cone * 0x9E3779B97F4A7C15ull + st.req.func.hash();
+    k(true);
+    st = saved;
+    parent.child_negated[static_cast<std::size_t>(pos)] = saved_neg;
+  }
+
+  /// All gates decomposed: build the concrete chain, verify it with the
+  /// circuit AllSAT solver + simulation, and record it.
+  void emit() {
+    ++ctx_.stats.candidates;
+    chain::boolean_chain candidate{ctx_.num_vars};
+    std::vector<std::uint32_t> signal_of_gate(dag_.gates.size());
+    for (std::size_t g = 0; g < dag_.gates.size(); ++g) {
+      const auto& topo_gate = dag_.gates[g];
+      const auto slot_ids = slots_.of_gate[g];
+      const auto& st = gates_[g];
+      std::uint32_t fanin_signal[2];
+      bool fanin_negated[2];
+      for (int pos = 0; pos < 2; ++pos) {
+        const int fi = topo_gate.fanin[static_cast<std::size_t>(pos)];
+        if (fi == kPiSlot) {
+          const auto& slot = slot_states_[static_cast<std::size_t>(
+              slot_ids[static_cast<std::size_t>(pos)])];
+          fanin_signal[pos] = static_cast<std::uint32_t>(slot.var);
+          fanin_negated[pos] = slot.negated;
+        } else {
+          fanin_signal[pos] = signal_of_gate[static_cast<std::size_t>(fi)];
+          fanin_negated[pos] =
+              st.child_negated[static_cast<std::size_t>(pos)];
+        }
+      }
+      unsigned op = 0;
+      for (unsigned pattern = 0; pattern < 4; ++pattern) {
+        const bool a = ((pattern & 1) != 0) != fanin_negated[0];
+        const bool b = ((pattern >> 1) != 0) != fanin_negated[1];
+        bool out = st.family == op_family::and_like ? (a && b) : (a != b);
+        out = out != st.complemented;
+        if (out) {
+          op |= 1u << pattern;
+        }
+      }
+      signal_of_gate[g] =
+          candidate.add_step(op, fanin_signal[0], fanin_signal[1]);
+    }
+    candidate.set_output(signal_of_gate.back());
+
+    if (!solution_is_new(candidate)) {
+      return;
+    }
+    // Section III-C judging: AllSAT over the candidate network, simulate
+    // the solution set (f_s), and check it against the specification —
+    // acceptance by the ISF generalizes the paper's equality test.
+    const auto realized = candidate.simulate();
+    if (!ctx_.target.accepts(realized)) {
+      return;
+    }
+    const auto allsat_result = allsat::solve_all(candidate);
+    if (allsat::solutions_to_function(ctx_.num_vars,
+                                      allsat_result.solutions) != realized) {
+      return;
+    }
+    ++ctx_.stats.verified;
+    ctx_.solutions.push_back(std::move(candidate));
+    if (ctx_.options.max_solutions != 0 &&
+        ctx_.solutions.size() >= ctx_.options.max_solutions) {
+      ctx_.stop = true;
+    }
+  }
+
+  bool solution_is_new(const chain::boolean_chain& candidate) {
+    return ctx_.solution_hashes.insert(candidate.hash()).second;
+  }
+
+  search_context& ctx_;
+  const dag_topology& dag_;
+  slot_index_map slots_;
+  std::vector<unsigned> capacity_;
+  std::vector<unsigned> cone_gates_;
+  std::vector<int> order_;
+  std::vector<std::uint64_t> suffix_hash_;
+  std::vector<std::string> subtree_sig_;
+  std::vector<bool> symmetric_children_;
+  std::vector<gate_state> gates_;
+  std::vector<slot_state> slot_states_;
+};
+
+}  // namespace
+
+stp_engine::stp_engine(stp_options options) : options_(options) {}
+
+result stp_engine::run(const spec& s) {
+  util::stopwatch watch;
+  stats_ = stp_stats{};
+  result out;
+
+  if (synthesize_degenerate(s.function, out)) {
+    out.seconds = watch.elapsed_seconds();
+    return out;
+  }
+
+  std::vector<unsigned> old_of_new;
+  const auto f = shrink_for_synthesis(s.function, old_of_new);
+  const unsigned n = f.num_vars();
+
+  fence::dag_options dag_opts;
+  dag_opts.allow_shared_gates = options_.allow_shared_gates;
+  dag_opts.limit = options_.max_dags_per_size;
+
+  // The factorization cache and the failure memo are sound across gate
+  // counts (their keys are self-contained), so they persist over the
+  // whole size sweep.
+  search_context ctx{options_,
+                     tt::isf::from_function(f),
+                     (1u << n) - 1,
+                     n,
+                     s.budget,
+                     stats_,
+                     {},
+                     {},
+                     {},
+                     {},
+                     false,
+                     0};
+  for (unsigned gates = std::max(1u, n - 1); gates <= s.max_gates; ++gates) {
+    if (s.budget.expired()) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    ctx.solutions.clear();
+    ctx.solution_hashes.clear();
+    ctx.stop = false;
+
+    const auto fences = options_.use_fence_pruning
+                            ? fence::pruned_fences(gates)
+                            : fence::all_fences(gates);
+    stats_.fences += fences.size();
+    std::size_t dag_count = 0;
+    for (const auto& fc : fences) {
+      if (ctx.stop) {
+        break;
+      }
+      for (const auto& dag : fence::generate_dags(fc, dag_opts)) {
+        if (ctx.stop) {
+          break;
+        }
+        ++stats_.dags;
+        ++dag_count;
+        if (options_.max_dags_per_size != 0 &&
+            dag_count > options_.max_dags_per_size) {
+          break;
+        }
+        dag_search search{ctx, dag};
+        search.run();
+      }
+    }
+
+    if (!ctx.solutions.empty()) {
+      out.outcome = status::success;
+      out.optimum_gates = gates;
+      out.chains.reserve(ctx.solutions.size());
+      for (const auto& c : ctx.solutions) {
+        out.chains.push_back(
+            lift_chain_to_original(c, old_of_new, s.function.num_vars()));
+      }
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    if (ctx.stop && s.budget.expired()) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+  }
+  out.outcome = status::failure;
+  out.seconds = watch.elapsed_seconds();
+  return out;
+}
+
+result stp_engine::run_with_dont_cares(const tt::isf& target,
+                                       const util::time_budget& budget,
+                                       unsigned max_gates) {
+  util::stopwatch watch;
+  stats_ = stp_stats{};
+  result out;
+  const unsigned n = target.num_vars();
+
+  // Degenerate acceptances first: constants and literals.
+  for (const bool value : {false, true}) {
+    if (target.accepts(tt::truth_table::constant(n, value))) {
+      (void)synthesize_degenerate(tt::truth_table::constant(n, value), out);
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+  }
+  for (unsigned v = 0; v < n; ++v) {
+    for (const bool complemented : {false, true}) {
+      const auto literal = tt::truth_table::nth_var(n, v, complemented);
+      if (target.accepts(literal)) {
+        (void)synthesize_degenerate(literal, out);
+        out.seconds = watch.elapsed_seconds();
+        return out;
+      }
+    }
+  }
+
+  // Root cone: the variables some completion needs.  If the requirement
+  // projects onto its required support, that is the tightest sound cone;
+  // otherwise (pairwise-consistent but jointly inconsistent) fall back to
+  // all inputs.
+  tt::isf root = target;
+  std::uint32_t cone = (1u << n) - 1;
+  const auto required = target.required_support_mask();
+  if (required != 0) {
+    if (const auto projected = target.project_to_cone(required)) {
+      root = *projected;
+      cone = required;
+    }
+  }
+
+  fence::dag_options dag_opts;
+  dag_opts.allow_shared_gates = options_.allow_shared_gates;
+  dag_opts.limit = options_.max_dags_per_size;
+
+  search_context ctx{options_, root, cone, n,     budget, stats_, {}, {},
+                     {},       {},   false, 0};
+  // Every accepted completion depends on all *required* variables, so
+  // |required| - 1 is a sound lower bound even when the cone fell back to
+  // the full input set.
+  const unsigned lower = static_cast<unsigned>(
+      std::max(1, std::popcount(required) - 1));
+  for (unsigned gates = lower; gates <= max_gates; ++gates) {
+    if (budget.expired()) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    ctx.solutions.clear();
+    ctx.solution_hashes.clear();
+    ctx.stop = false;
+    const auto fences = options_.use_fence_pruning
+                            ? fence::pruned_fences(gates)
+                            : fence::all_fences(gates);
+    stats_.fences += fences.size();
+    for (const auto& fc : fences) {
+      if (ctx.stop) {
+        break;
+      }
+      for (const auto& dag : fence::generate_dags(fc, dag_opts)) {
+        if (ctx.stop) {
+          break;
+        }
+        ++stats_.dags;
+        dag_search search{ctx, dag};
+        search.run();
+      }
+    }
+    if (!ctx.solutions.empty()) {
+      out.outcome = status::success;
+      out.optimum_gates = gates;
+      out.chains = std::move(ctx.solutions);
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    if (ctx.stop && budget.expired()) {
+      out.outcome = status::timeout;
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+  }
+  out.outcome = status::failure;
+  out.seconds = watch.elapsed_seconds();
+  return out;
+}
+
+result stp_synthesize(const spec& s) {
+  stp_engine engine;
+  return engine.run(s);
+}
+
+}  // namespace stpes::synth

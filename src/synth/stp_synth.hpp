@@ -1,0 +1,90 @@
+/// \file stp_synth.hpp
+/// \brief The paper's exact-synthesis algorithm (Section III).
+///
+/// For increasing gate counts r (starting from the paper's bound: number of
+/// support variables minus one) the engine
+///
+///   1. generates the pruned DAG topology families of r gates from Boolean
+///      fences (Section III-A, `fence/`),
+///   2. top-down factors the specification's canonical form over each DAG:
+///      every vertex enumerates cone splits for its children (the `M_w`
+///      reorderings and `M_r` sharings of Properties 3/4) and STP-factors
+///      its requirement into child requirements (`factorize.hpp`),
+///      pruning DAGs that cannot realize the function (Section III-B),
+///   3. verifies every complete candidate with the STP circuit AllSAT
+///      solver plus simulation (Section III-C) and collects *all* optimum
+///      chains of the first feasible r.
+///
+/// Solutions are plain 2-LUT `boolean_chain`s; `core/selector.hpp` picks
+/// among them by arbitrary cost functions, which is the flexibility the
+/// paper advertises over single-solution CNF-based engines.
+
+#pragma once
+
+#include <cstdint>
+
+#include "synth/factorize.hpp"
+#include "synth/spec.hpp"
+
+namespace stpes::synth {
+
+/// Tuning knobs; the defaults reproduce the paper's configuration, the
+/// toggles exist for the ablation benchmarks.
+struct stp_options {
+  /// Generate DAGs with shared internal gates (reconvergence).  Turning
+  /// this off restricts the search to fanout-free topologies.
+  bool allow_shared_gates = true;
+  /// Use the paper's pruned fence family; off = raw F_k (ablation).
+  bool use_fence_pruning = true;
+  /// Canonicalize internal polarities: every internal signal is required
+  /// to be *normal* (0 on the all-zeros input row), with inversions folded
+  /// into the consuming LUT — the same canonicalization CNF encodings use.
+  /// Kills an up-to-2^r duplication of every solution under polarity
+  /// redistribution; the solution set becomes "all optimum normal chains".
+  bool normalize_polarity = true;
+  /// Stop after this many optimum chains (0 = enumerate all).
+  std::size_t max_solutions = 0;
+  /// Cap on DAG topologies per gate count (0 = unlimited).
+  std::size_t max_dags_per_size = 0;
+  /// Branch caps of the per-vertex factorization.
+  factorize_options factor;
+};
+
+/// Search statistics of the last `run`.
+struct stp_stats {
+  std::uint64_t fences = 0;
+  std::uint64_t dags = 0;
+  std::uint64_t partitions_tried = 0;
+  std::uint64_t factorizations = 0;
+  std::uint64_t candidates = 0;  ///< complete chains assembled
+  std::uint64_t verified = 0;    ///< candidates passing AllSAT + simulation
+};
+
+/// The STP exact-synthesis engine.
+class stp_engine {
+public:
+  explicit stp_engine(stp_options options = {});
+
+  /// Synthesizes all optimum chains for `s.function`.
+  result run(const spec& s);
+
+  /// Don't-care-aware synthesis: all minimum chains whose function is
+  /// *accepted* by `target` (agrees on every care minterm).  A natural
+  /// extension of the paper: the factorization engine already propagates
+  /// incompletely specified requirements, so an ISF at the root costs
+  /// nothing extra — CNF encodings would need per-row relaxation instead.
+  result run_with_dont_cares(const tt::isf& target,
+                             const util::time_budget& budget = {},
+                             unsigned max_gates = 24);
+
+  [[nodiscard]] const stp_stats& stats() const { return stats_; }
+
+private:
+  stp_options options_;
+  stp_stats stats_;
+};
+
+/// Convenience wrapper: run the engine with default options.
+result stp_synthesize(const spec& s);
+
+}  // namespace stpes::synth

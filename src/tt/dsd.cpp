@@ -1,0 +1,154 @@
+#include "tt/dsd.hpp"
+
+#include <array>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+namespace stpes::tt {
+
+namespace {
+
+/// Attempts to contract support variables (i, j) of `f` (which must be
+/// shrunk to its support) into a single fresh variable.  On success returns
+/// the contracted function, shrunk to its support again.
+std::optional<truth_table> try_contract_pair(const truth_table& f, unsigned i,
+                                             unsigned j) {
+  const std::array<truth_table, 4> cof = {
+      f.cofactor0(j).cofactor0(i), f.cofactor0(j).cofactor1(i),
+      f.cofactor1(j).cofactor0(i), f.cofactor1(j).cofactor1(i)};
+  // Collect distinct cofactors; more than two means (i, j) is not a block
+  // (the "two unique quartering parts" test).
+  int index_a = 0;
+  int index_b = -1;
+  for (int c = 1; c < 4; ++c) {
+    if (cof[c] == cof[index_a]) {
+      continue;
+    }
+    if (index_b < 0) {
+      index_b = c;
+    } else if (cof[c] != cof[index_b]) {
+      return std::nullopt;
+    }
+  }
+  if (index_b < 0) {
+    // All four equal: f does not depend on i or j, impossible when f is
+    // shrunk to its support.
+    return std::nullopt;
+  }
+
+  // Substitute: z = 0 selects cofactor A, z = 1 selects cofactor B.  Build
+  // g over the same variable space with x_i := z and x_j irrelevant, then
+  // shrink.  g(t) = cof[B](t) if t_i else cof[A](t).
+  truth_table g{f.num_vars()};
+  for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+    const bool z = (t >> i) & 1;
+    g.set_bit(t, z ? cof[static_cast<unsigned>(index_b)].get_bit(t)
+                   : cof[static_cast<unsigned>(index_a)].get_bit(t));
+  }
+  return g.shrink_to_support();
+}
+
+/// Attempts to peel a single literal off the top of `f` (shrunk to
+/// support): f = op(x_v, g) with op a 2-input operator.  This covers DSD
+/// nodes whose second input is a larger block, which pair contraction
+/// cannot see.  Returns the residual g, shrunk to its support.
+std::optional<truth_table> try_peel_literal(const truth_table& f,
+                                            unsigned v) {
+  const truth_table f0 = f.cofactor0(v);
+  const truth_table f1 = f.cofactor1(v);
+  // f = x&g, x|g, !x&g, !x|g: one cofactor is constant.
+  if (f0.is_const0() || f0.is_const1()) {
+    return f1.shrink_to_support();
+  }
+  if (f1.is_const0() || f1.is_const1()) {
+    return f0.shrink_to_support();
+  }
+  // f = x ^ g (or xnor): cofactors are complementary.
+  if (f0 == ~f1) {
+    return f0.shrink_to_support();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+dsd_analysis analyze_dsd(const truth_table& function) {
+  dsd_analysis result;
+  truth_table f = function.shrink_to_support();
+  result.original_support = f.num_vars();
+
+  if (result.original_support == 0) {
+    result.kind = dsd_kind::constant;
+    result.residue = f;
+    return result;
+  }
+  if (result.original_support == 1) {
+    result.kind = dsd_kind::literal;
+    result.residue = f;
+    result.residue_support = 1;
+    return result;
+  }
+
+  bool progressed = true;
+  while (progressed && f.num_vars() > 2) {
+    progressed = false;
+    for (unsigned j = 1; j < f.num_vars() && !progressed; ++j) {
+      for (unsigned i = 0; i < j && !progressed; ++i) {
+        if (auto contracted = try_contract_pair(f, i, j)) {
+          f = std::move(*contracted);
+          ++result.contractions;
+          progressed = true;
+        }
+      }
+    }
+    for (unsigned v = 0; v < f.num_vars() && !progressed; ++v) {
+      if (auto peeled = try_peel_literal(f, v)) {
+        f = std::move(*peeled);
+        ++result.contractions;
+        progressed = true;
+      }
+    }
+  }
+
+  result.residue = f;
+  result.residue_support = f.num_vars();
+  if (f.num_vars() <= 2) {
+    // A residue of <= 2 variables is itself a 2-input block.
+    result.kind = dsd_kind::full;
+  } else if (result.contractions > 0) {
+    result.kind = dsd_kind::partial;
+  } else {
+    result.kind = dsd_kind::none;
+  }
+  return result;
+}
+
+bool is_fully_dsd(const truth_table& function) {
+  const auto analysis = analyze_dsd(function);
+  return analysis.kind == dsd_kind::full ||
+         analysis.kind == dsd_kind::literal ||
+         analysis.kind == dsd_kind::constant;
+}
+
+bool is_prime(const truth_table& function) {
+  return analyze_dsd(function).kind == dsd_kind::none;
+}
+
+const char* to_string(dsd_kind kind) {
+  switch (kind) {
+    case dsd_kind::constant:
+      return "constant";
+    case dsd_kind::literal:
+      return "literal";
+    case dsd_kind::full:
+      return "full";
+    case dsd_kind::partial:
+      return "partial";
+    case dsd_kind::none:
+      return "none";
+  }
+  return "?";
+}
+
+}  // namespace stpes::tt

@@ -1,0 +1,109 @@
+#include "tt/isf.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace stpes::tt {
+
+isf::isf(unsigned num_vars)
+    : on_(truth_table::constant(num_vars, false)),
+      care_(truth_table::constant(num_vars, false)) {}
+
+isf::isf(truth_table onset, truth_table careset)
+    : on_(onset & careset), care_(std::move(careset)) {
+  assert(on_.num_vars() == care_.num_vars());
+}
+
+isf isf::from_function(const truth_table& function) {
+  return isf{function, truth_table::constant(function.num_vars(), true)};
+}
+
+bool isf::accepts(const truth_table& candidate) const {
+  return (candidate & care_) == on_;
+}
+
+isf isf::complement() const { return isf{~on_ & care_, care_}; }
+
+std::optional<isf> isf::intersect(const isf& other) const {
+  assert(num_vars() == other.num_vars());
+  // Conflict: a minterm in both care sets with opposite polarity.
+  const truth_table both_care = care_ & other.care_;
+  if (((on_ ^ other.on_) & both_care) != truth_table::constant(num_vars(),
+                                                               false)) {
+    return std::nullopt;
+  }
+  return isf{on_ | other.on_, care_ | other.care_};
+}
+
+std::uint32_t isf::required_support_mask() const {
+  std::uint32_t mask = 0;
+  for (unsigned v = 0; v < num_vars(); ++v) {
+    const auto on0 = on_.cofactor0(v);
+    const auto on1 = on_.cofactor1(v);
+    const auto care_both = care_.cofactor0(v) & care_.cofactor1(v);
+    if (((on0 ^ on1) & care_both) !=
+        truth_table::constant(num_vars(), false)) {
+      mask |= 1u << v;
+    }
+  }
+  return mask;
+}
+
+std::uint64_t isf::assignment_mask(std::uint32_t var_mask) const {
+  std::uint64_t mask = 0;
+  for (unsigned v = 0; v < num_vars(); ++v) {
+    if ((var_mask >> v) & 1) {
+      mask |= std::uint64_t{1} << v;
+    }
+  }
+  return mask;
+}
+
+std::optional<isf> isf::project_to_cone(std::uint32_t var_mask) const {
+  const std::uint64_t amask = assignment_mask(var_mask);
+  const std::uint64_t bits = care_.num_bits();
+  // Class value: 0 = unconstrained, 1 = forced one, 2 = forced zero.
+  std::vector<std::uint8_t> cls(bits, 0);
+  for (std::uint64_t t = 0; t < bits; ++t) {
+    if (!care_.get_bit(t)) {
+      continue;
+    }
+    const std::uint64_t key = t & amask;
+    const std::uint8_t want = on_.get_bit(t) ? 1 : 2;
+    if (cls[key] == 0) {
+      cls[key] = want;
+    } else if (cls[key] != want) {
+      return std::nullopt;
+    }
+  }
+  truth_table new_on{num_vars()};
+  truth_table new_care{num_vars()};
+  for (std::uint64_t t = 0; t < bits; ++t) {
+    const std::uint8_t v = cls[t & amask];
+    if (v != 0) {
+      new_care.set_bit(t, true);
+      if (v == 1) {
+        new_on.set_bit(t, true);
+      }
+    }
+  }
+  return isf{new_on, new_care};
+}
+
+truth_table isf::completion_in_cone(std::uint32_t var_mask) const {
+  const std::uint64_t amask = assignment_mask(var_mask);
+  const std::uint64_t bits = care_.num_bits();
+  std::vector<std::uint8_t> one(bits, 0);
+  for (std::uint64_t t = 0; t < bits; ++t) {
+    if (care_.get_bit(t) && on_.get_bit(t)) {
+      one[t & amask] = 1;
+    }
+  }
+  truth_table result{num_vars()};
+  for (std::uint64_t t = 0; t < bits; ++t) {
+    result.set_bit(t, one[t & amask] != 0);
+  }
+  return result;
+}
+
+}  // namespace stpes::tt

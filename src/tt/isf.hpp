@@ -1,0 +1,97 @@
+/// \file isf.hpp
+/// \brief Incompletely specified Boolean functions (on-set / care-set pairs).
+///
+/// The STP matrix-factorization step of the paper (Section III-B) produces
+/// *partially constrained* requirements for the children of a DAG vertex:
+/// the `x` entries that appear when the power-reducing matrix `M_r` is
+/// factored out (Property 3/4) are don't-cares.  We model such requirements
+/// as an `isf` — a function value for every minterm in the care set, and
+/// freedom elsewhere — propagated top-down through candidate DAGs.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tt/truth_table.hpp"
+
+namespace stpes::tt {
+
+/// An incompletely specified function over `num_vars()` inputs.
+///
+/// Invariant: `onset() & ~careset()` is empty (don't-care minterms carry a
+/// zero in the on-set).
+class isf {
+public:
+  /// Fully unconstrained function (empty care set).
+  explicit isf(unsigned num_vars = 0);
+
+  /// ISF with explicit on-set and care-set (onset is masked by careset).
+  isf(truth_table onset, truth_table careset);
+
+  /// Wraps a completely specified function.
+  static isf from_function(const truth_table& function);
+
+  [[nodiscard]] unsigned num_vars() const { return care_.num_vars(); }
+  [[nodiscard]] const truth_table& onset() const { return on_; }
+  [[nodiscard]] const truth_table& careset() const { return care_; }
+  [[nodiscard]] truth_table offset() const { return ~on_ & care_; }
+
+  [[nodiscard]] bool is_fully_specified() const { return care_.is_const1(); }
+  /// True if every minterm is a don't-care.
+  [[nodiscard]] bool is_unconstrained() const { return care_.is_const0(); }
+
+  /// True iff the completely specified `candidate` agrees with this ISF on
+  /// every care minterm.
+  [[nodiscard]] bool accepts(const truth_table& candidate) const;
+
+  /// The ISF describing the complemented requirement.
+  [[nodiscard]] isf complement() const;
+
+  /// Conjunction of two requirements over the same inputs; `nullopt` if they
+  /// conflict (a minterm forced to 1 by one and to 0 by the other).  Used
+  /// when a DAG vertex is reachable from several parents (reconvergence).
+  [[nodiscard]] std::optional<isf> intersect(const isf& other) const;
+
+  /// Restricts the requirement to functions that depend only on the
+  /// variables in `var_mask`.  Minterms that agree on those variables are
+  /// merged: if any is forced-1 the whole class becomes forced-1, etc.
+  /// Returns `nullopt` when a class is forced both ways (no function of the
+  /// cone can satisfy the requirement).
+  [[nodiscard]] std::optional<isf> project_to_cone(
+      std::uint32_t var_mask) const;
+
+  /// A completely specified completion that depends only on `var_mask`
+  /// (don't-care classes resolve to 0).  Precondition: `project_to_cone`
+  /// succeeds for the same mask.
+  [[nodiscard]] truth_table completion_in_cone(std::uint32_t var_mask) const;
+
+  /// Number of care minterms.
+  [[nodiscard]] std::uint64_t care_count() const { return care_.count_ones(); }
+
+  /// Variables every completion must depend on: variable v is required iff
+  /// two care minterms differing only in v carry different on-values.
+  [[nodiscard]] std::uint32_t required_support_mask() const;
+
+  bool operator==(const isf& other) const {
+    return on_ == other.on_ && care_ == other.care_;
+  }
+
+  [[nodiscard]] std::size_t hash() const {
+    return on_.hash() * 0x9E3779B97F4A7C15ull + care_.hash();
+  }
+
+private:
+  /// Expands a variable-index mask into a minterm-bit mask:
+  /// bit v of `var_mask` set -> assignment bit (1 << v) participates.
+  [[nodiscard]] std::uint64_t assignment_mask(std::uint32_t var_mask) const;
+
+  truth_table on_;
+  truth_table care_;
+};
+
+struct isf_hash {
+  std::size_t operator()(const isf& f) const { return f.hash(); }
+};
+
+}  // namespace stpes::tt

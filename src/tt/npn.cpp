@@ -1,0 +1,85 @@
+#include "tt/npn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace stpes::tt {
+
+truth_table apply_npn_transform(const truth_table& function,
+                                const npn_transform& transform) {
+  truth_table result = function.permute(transform.perm);
+  for (unsigned v = 0; v < function.num_vars(); ++v) {
+    if ((transform.input_negation >> v) & 1) {
+      result = result.flip_variable(v);
+    }
+  }
+  if (transform.output_negation) {
+    result = ~result;
+  }
+  return result;
+}
+
+std::vector<npn_transform> all_npn_transforms(unsigned num_vars) {
+  std::vector<npn_transform> transforms;
+  std::vector<unsigned> perm(num_vars);
+  std::iota(perm.begin(), perm.end(), 0u);
+  do {
+    for (std::uint32_t neg = 0; neg < (1u << num_vars); ++neg) {
+      transforms.push_back(npn_transform{perm, neg, false});
+      transforms.push_back(npn_transform{perm, neg, true});
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return transforms;
+}
+
+npn_canonization exact_npn_canonize(const truth_table& function) {
+  if (function.num_vars() > 5) {
+    throw std::invalid_argument{
+        "exact_npn_canonize: orbit enumeration limited to n <= 5"};
+  }
+  npn_canonization best{function, npn_transform{{}, 0, false}};
+  best.transform.perm.resize(function.num_vars());
+  std::iota(best.transform.perm.begin(), best.transform.perm.end(), 0u);
+  bool first = true;
+  for (const auto& t : all_npn_transforms(function.num_vars())) {
+    truth_table candidate = apply_npn_transform(function, t);
+    if (first || candidate < best.canonical) {
+      best.canonical = std::move(candidate);
+      best.transform = t;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<truth_table> enumerate_npn_classes(unsigned num_vars) {
+  if (num_vars > 4) {
+    throw std::invalid_argument{
+        "enumerate_npn_classes: exhaustive sweep limited to n <= 4"};
+  }
+  const std::uint64_t bits = std::uint64_t{1} << num_vars;
+  const std::uint64_t total = std::uint64_t{1} << bits;
+  const auto transforms = all_npn_transforms(num_vars);
+
+  // Orbit sweep: walk all functions in increasing order; the first member of
+  // each orbit encountered is numerically minimal, i.e. the canonical
+  // representative.  Mark the whole orbit as seen.
+  std::vector<bool> seen(total, false);
+  std::vector<truth_table> classes;
+  for (std::uint64_t value = 0; value < total; ++value) {
+    if (seen[value]) {
+      continue;
+    }
+    truth_table representative{num_vars, value};
+    classes.push_back(representative);
+    for (const auto& t : transforms) {
+      const truth_table member = apply_npn_transform(representative, t);
+      seen[member.words()[0]] = true;
+    }
+  }
+  return classes;
+}
+
+}  // namespace stpes::tt

@@ -1,0 +1,59 @@
+/// \file npn.hpp
+/// \brief Exact NPN (negation-permutation-negation) canonization and class
+///        enumeration.
+///
+/// Two functions are NPN-equivalent if one can be obtained from the other by
+/// permuting inputs, complementing inputs, and complementing the output
+/// (Section III-A of the paper).  The paper uses NPN classification twice:
+/// to reduce the set of valid DAG candidates and as the NPN4 benchmark
+/// collection (all 222 classes of 4-input functions).
+///
+/// Canonization here is *exact* (the canonical form is the numerically
+/// smallest table in the orbit) and intended for n <= 5; the complete orbit
+/// is enumerated, which is the textbook algorithm and fast enough for the
+/// sizes this project uses.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace stpes::tt {
+
+/// One element of the NPN transformation group.
+///
+/// Application order: first permute (new variable `i` plays the role of old
+/// variable `perm[i]`), then complement the new inputs selected by
+/// `input_negation`, then complement the output if `output_negation`.
+struct npn_transform {
+  std::vector<unsigned> perm;
+  std::uint32_t input_negation = 0;
+  bool output_negation = false;
+};
+
+/// Applies `transform` to `function`.
+truth_table apply_npn_transform(const truth_table& function,
+                                const npn_transform& transform);
+
+/// Result of exact canonization: the canonical representative and one
+/// transform such that `apply_npn_transform(function, transform) ==
+/// canonical`.
+struct npn_canonization {
+  truth_table canonical;
+  npn_transform transform;
+};
+
+/// Exact NPN canonization by orbit enumeration (requires num_vars <= 5).
+npn_canonization exact_npn_canonize(const truth_table& function);
+
+/// Enumerates one canonical representative per NPN class of `num_vars`-input
+/// functions, in increasing numeric order.  `num_vars <= 4` (the n = 4 case
+/// yields the 222 NPN4 classes used in Table I).
+std::vector<truth_table> enumerate_npn_classes(unsigned num_vars);
+
+/// All `num_vars! * 2^(num_vars+1)` transforms of the NPN group.
+std::vector<npn_transform> all_npn_transforms(unsigned num_vars);
+
+}  // namespace stpes::tt

@@ -1,0 +1,424 @@
+#include "tt/truth_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace stpes::tt {
+
+namespace {
+
+/// Projection masks for variables 0..5 inside one 64-bit word.
+constexpr std::uint64_t kProjection[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+std::size_t words_needed(unsigned num_vars) {
+  return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+
+int hex_digit_value(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+truth_table::truth_table(unsigned num_vars)
+    : num_vars_(num_vars), words_(words_needed(num_vars)) {
+  if (num_vars > 16) {
+    throw std::invalid_argument{"truth_table: more than 16 variables"};
+  }
+}
+
+truth_table::truth_table(unsigned num_vars, std::uint64_t bits)
+    : truth_table(num_vars) {
+  if (num_vars > 6) {
+    throw std::invalid_argument{
+        "truth_table: word constructor requires num_vars <= 6"};
+  }
+  words_[0] = bits;
+  mask_excess_bits();
+}
+
+void truth_table::mask_excess_bits() {
+  if (num_vars_ < 6) {
+    words_[0] &= (std::uint64_t{1} << num_bits()) - 1;
+  }
+}
+
+bool truth_table::get_bit(std::uint64_t index) const {
+  assert(index < num_bits());
+  return ((words_[index >> 6] >> (index & 63)) & 1) != 0;
+}
+
+void truth_table::set_bit(std::uint64_t index, bool value) {
+  assert(index < num_bits());
+  const std::uint64_t mask = std::uint64_t{1} << (index & 63);
+  if (value) {
+    words_[index >> 6] |= mask;
+  } else {
+    words_[index >> 6] &= ~mask;
+  }
+}
+
+std::uint64_t truth_table::count_ones() const {
+  std::uint64_t total = 0;
+  for (auto w : words_) {
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+bool truth_table::is_const0() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool truth_table::is_const1() const { return count_ones() == num_bits(); }
+
+truth_table truth_table::nth_var(unsigned num_vars, unsigned var,
+                                 bool complemented) {
+  assert(var < num_vars);
+  truth_table result{num_vars};
+  if (var < 6) {
+    const std::uint64_t pattern =
+        complemented ? ~kProjection[var] : kProjection[var];
+    for (auto& w : result.words_) {
+      w = pattern;
+    }
+  } else {
+    // Variable >= 6 selects whole words: blocks of 2^(var-6) words alternate.
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+      const bool high = ((w / block) & 1) != 0;
+      result.words_[w] = (high != complemented) ? ~std::uint64_t{0} : 0;
+    }
+  }
+  result.mask_excess_bits();
+  return result;
+}
+
+truth_table truth_table::constant(unsigned num_vars, bool value) {
+  truth_table result{num_vars};
+  if (value) {
+    for (auto& w : result.words_) {
+      w = ~std::uint64_t{0};
+    }
+    result.mask_excess_bits();
+  }
+  return result;
+}
+
+truth_table truth_table::from_hex(unsigned num_vars, std::string_view hex) {
+  if (hex.substr(0, 2) == "0x" || hex.substr(0, 2) == "0X") {
+    hex.remove_prefix(2);
+  }
+  truth_table result{num_vars};
+  const std::uint64_t bits = result.num_bits();
+  const std::size_t digits = bits >= 4 ? bits / 4 : 1;
+  if (hex.size() != digits) {
+    throw std::invalid_argument{"truth_table::from_hex: wrong digit count"};
+  }
+  // The first character encodes the most significant minterms.
+  for (std::size_t d = 0; d < hex.size(); ++d) {
+    const int value = hex_digit_value(hex[d]);
+    if (value < 0) {
+      throw std::invalid_argument{"truth_table::from_hex: bad hex digit"};
+    }
+    const std::size_t nibble = hex.size() - 1 - d;  // nibble index from LSB
+    result.words_[nibble / 16] |= static_cast<std::uint64_t>(value)
+                                  << (4 * (nibble % 16));
+  }
+  result.mask_excess_bits();
+  return result;
+}
+
+truth_table truth_table::from_binary(unsigned num_vars,
+                                     std::string_view bits) {
+  truth_table result{num_vars};
+  if (bits.size() != result.num_bits()) {
+    throw std::invalid_argument{"truth_table::from_binary: wrong length"};
+  }
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[bits.size() - 1 - i];
+    if (c == '1') {
+      result.set_bit(i, true);
+    } else if (c != '0') {
+      throw std::invalid_argument{"truth_table::from_binary: bad character"};
+    }
+  }
+  return result;
+}
+
+truth_table truth_table::operator~() const {
+  truth_table result{*this};
+  for (auto& w : result.words_) {
+    w = ~w;
+  }
+  result.mask_excess_bits();
+  return result;
+}
+
+truth_table& truth_table::operator&=(const truth_table& other) {
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator|=(const truth_table& other) {
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator^=(const truth_table& other) {
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+truth_table truth_table::operator&(const truth_table& other) const {
+  truth_table result{*this};
+  result &= other;
+  return result;
+}
+
+truth_table truth_table::operator|(const truth_table& other) const {
+  truth_table result{*this};
+  result |= other;
+  return result;
+}
+
+truth_table truth_table::operator^(const truth_table& other) const {
+  truth_table result{*this};
+  result ^= other;
+  return result;
+}
+
+bool truth_table::operator==(const truth_table& other) const {
+  return num_vars_ == other.num_vars_ && words_ == other.words_;
+}
+
+bool truth_table::operator!=(const truth_table& other) const {
+  return !(*this == other);
+}
+
+bool truth_table::operator<(const truth_table& other) const {
+  if (num_vars_ != other.num_vars_) {
+    return num_vars_ < other.num_vars_;
+  }
+  // Compare most significant words first for a natural numeric order.
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != other.words_[i]) {
+      return words_[i] < other.words_[i];
+    }
+  }
+  return false;
+}
+
+truth_table truth_table::cofactor0(unsigned var) const {
+  assert(var < num_vars_);
+  truth_table result{*this};
+  if (var < 6) {
+    const unsigned shift = 1u << var;
+    for (auto& w : result.words_) {
+      const std::uint64_t lo = w & ~kProjection[var];
+      w = lo | (lo << shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+      if ((w / block) & 1) {
+        result.words_[w] = result.words_[w - block];
+      }
+    }
+  }
+  return result;
+}
+
+truth_table truth_table::cofactor1(unsigned var) const {
+  assert(var < num_vars_);
+  truth_table result{*this};
+  if (var < 6) {
+    const unsigned shift = 1u << var;
+    for (auto& w : result.words_) {
+      const std::uint64_t hi = w & kProjection[var];
+      w = hi | (hi >> shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+      if (((w / block) & 1) == 0) {
+        result.words_[w] = result.words_[w + block];
+      }
+    }
+  }
+  return result;
+}
+
+bool truth_table::has_var(unsigned var) const {
+  return cofactor0(var) != cofactor1(var);
+}
+
+std::uint32_t truth_table::support_mask() const {
+  std::uint32_t mask = 0;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (has_var(v)) {
+      mask |= 1u << v;
+    }
+  }
+  return mask;
+}
+
+unsigned truth_table::support_size() const {
+  return static_cast<unsigned>(std::popcount(support_mask()));
+}
+
+truth_table truth_table::swap_variables(unsigned a, unsigned b) const {
+  assert(a < num_vars_ && b < num_vars_);
+  if (a == b) {
+    return *this;
+  }
+  truth_table result{num_vars_};
+  for (std::uint64_t t = 0; t < num_bits(); ++t) {
+    const bool bit_a = (t >> a) & 1;
+    const bool bit_b = (t >> b) & 1;
+    std::uint64_t src = t;
+    src &= ~((std::uint64_t{1} << a) | (std::uint64_t{1} << b));
+    src |= (static_cast<std::uint64_t>(bit_b) << a);
+    src |= (static_cast<std::uint64_t>(bit_a) << b);
+    // f'(t) with x_a, x_b swapped reads the original at the swapped index,
+    // and swapping twice is the identity, so a single direction suffices.
+    result.set_bit(t, get_bit(src));
+  }
+  return result;
+}
+
+truth_table truth_table::flip_variable(unsigned var) const {
+  assert(var < num_vars_);
+  truth_table result{num_vars_};
+  const std::uint64_t flip = std::uint64_t{1} << var;
+  for (std::uint64_t t = 0; t < num_bits(); ++t) {
+    result.set_bit(t, get_bit(t ^ flip));
+  }
+  return result;
+}
+
+truth_table truth_table::permute(const std::vector<unsigned>& perm) const {
+  assert(perm.size() == num_vars_);
+  truth_table result{num_vars_};
+  for (std::uint64_t t = 0; t < num_bits(); ++t) {
+    // New input t maps new variable i's value onto old variable perm[i].
+    std::uint64_t src = 0;
+    for (unsigned i = 0; i < num_vars_; ++i) {
+      if ((t >> i) & 1) {
+        src |= std::uint64_t{1} << perm[i];
+      }
+    }
+    result.set_bit(t, get_bit(src));
+  }
+  return result;
+}
+
+truth_table truth_table::extend_to(unsigned new_num_vars) const {
+  assert(new_num_vars >= num_vars_);
+  truth_table result{new_num_vars};
+  const std::uint64_t mask = num_bits() - 1;
+  for (std::uint64_t t = 0; t < result.num_bits(); ++t) {
+    result.set_bit(t, get_bit(t & mask));
+  }
+  return result;
+}
+
+truth_table truth_table::shrink_to_support(
+    std::vector<unsigned>* old_of_new) const {
+  std::vector<unsigned> support;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (has_var(v)) {
+      support.push_back(v);
+    }
+  }
+  truth_table result{static_cast<unsigned>(support.size())};
+  for (std::uint64_t t = 0; t < result.num_bits(); ++t) {
+    std::uint64_t src = 0;
+    for (std::size_t i = 0; i < support.size(); ++i) {
+      if ((t >> i) & 1) {
+        src |= std::uint64_t{1} << support[i];
+      }
+    }
+    result.set_bit(t, get_bit(src));
+  }
+  if (old_of_new != nullptr) {
+    *old_of_new = std::move(support);
+  }
+  return result;
+}
+
+std::string truth_table::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::uint64_t bits = num_bits();
+  const std::size_t digits = bits >= 4 ? bits / 4 : 1;
+  std::string out = "0x";
+  for (std::size_t d = digits; d-- > 0;) {
+    const std::uint64_t nibble = (words_[d / 16] >> (4 * (d % 16))) & 0xF;
+    out += kDigits[nibble];
+  }
+  return out;
+}
+
+std::string truth_table::to_binary() const {
+  std::string out;
+  out.reserve(num_bits());
+  for (std::uint64_t t = num_bits(); t-- > 0;) {
+    out += get_bit(t) ? '1' : '0';
+  }
+  return out;
+}
+
+std::size_t truth_table::hash() const {
+  std::size_t h = 0xcbf29ce484222325ull ^ num_vars_;
+  for (auto w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+truth_table apply_binary_op(unsigned op, const truth_table& a,
+                            const truth_table& b) {
+  assert(a.num_vars() == b.num_vars());
+  truth_table result = truth_table::constant(a.num_vars(), false);
+  const truth_table na = ~a;
+  const truth_table nb = ~b;
+  if (op & 0x1) {
+    result |= na & nb;
+  }
+  if (op & 0x2) {
+    result |= a & nb;
+  }
+  if (op & 0x4) {
+    result |= na & b;
+  }
+  if (op & 0x8) {
+    result |= a & b;
+  }
+  return result;
+}
+
+}  // namespace stpes::tt

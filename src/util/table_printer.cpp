@@ -1,0 +1,60 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace stpes::util {
+
+void table_printer::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void table_printer::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string table_printer::fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+void table_printer::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) {
+    cols = std::max(cols, row.size());
+  }
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width) {
+      total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace stpes::util

@@ -1,0 +1,40 @@
+/// \file table_printer.hpp
+/// \brief Minimal aligned-column console tables for the benchmark harness.
+///
+/// The Table-I reproduction binaries print rows in the same layout as the
+/// paper (engine, mean(s), #t/o, #ok, ...); this helper keeps the columns
+/// aligned without dragging in a formatting library.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stpes::util {
+
+/// Collects rows of strings and prints them with padded, aligned columns.
+class table_printer {
+public:
+  /// Sets the header row (printed first, followed by a rule).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Writes the formatted table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimals (helper for cells).
+  static std::string fmt(double value, int digits = 3);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stpes::util

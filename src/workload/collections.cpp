@@ -1,0 +1,144 @@
+#include "workload/collections.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "tt/dsd.hpp"
+#include "tt/npn.hpp"
+
+namespace stpes::workload {
+
+namespace {
+
+/// Non-degenerate 2-input operators (depend on both inputs).
+constexpr unsigned kOps[] = {0x1, 0x2, 0x4, 0x6, 0x7,
+                             0x8, 0x9, 0xB, 0xD, 0xE};
+
+/// Combines a multiset of sub-functions into one read-once tree.
+tt::truth_table combine_tree(std::vector<tt::truth_table> leaves,
+                             util::rng& rng) {
+  while (leaves.size() > 1) {
+    const std::size_t i = rng.next_below(leaves.size());
+    const auto a = leaves[i];
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(i));
+    const std::size_t j = rng.next_below(leaves.size());
+    const auto op = kOps[rng.next_below(std::size(kOps))];
+    leaves[j] = tt::apply_binary_op(op, a, leaves[j]);
+  }
+  return leaves.front();
+}
+
+}  // namespace
+
+std::vector<tt::truth_table> npn4_classes() {
+  return tt::enumerate_npn_classes(4);
+}
+
+tt::truth_table random_read_once_tree(unsigned num_vars, util::rng& rng) {
+  std::vector<tt::truth_table> leaves;
+  leaves.reserve(num_vars);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    leaves.push_back(
+        tt::truth_table::nth_var(num_vars, v, rng.next_bool()));
+  }
+  return combine_tree(std::move(leaves), rng);
+}
+
+tt::truth_table random_prime_function(unsigned num_vars, util::rng& rng) {
+  if (num_vars < 3) {
+    throw std::invalid_argument{
+        "random_prime_function: primes need >= 3 inputs"};
+  }
+  while (true) {
+    tt::truth_table f{num_vars};
+    for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+      f.set_bit(t, rng.next_bool());
+    }
+    if (f.support_size() == num_vars && tt::is_prime(f)) {
+      return f;
+    }
+  }
+}
+
+std::vector<tt::truth_table> fdsd_functions(unsigned num_vars,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  util::rng rng{seed};
+  std::set<std::string> seen;
+  std::vector<tt::truth_table> out;
+  std::size_t attempts = 0;
+  while (out.size() < count) {
+    if (++attempts > 1000 * count + 10000) {
+      throw std::runtime_error{
+          "fdsd_functions: cannot produce enough distinct functions"};
+    }
+    auto f = random_read_once_tree(num_vars, rng);
+    if (f.support_size() != num_vars) {
+      continue;  // defensive; read-once trees keep full support
+    }
+    if (seen.insert(f.to_hex()).second) {
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+std::vector<tt::truth_table> pdsd_functions(unsigned num_vars,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  if (num_vars < 4) {
+    throw std::invalid_argument{
+        "pdsd_functions: need >= 4 inputs for a prime block plus DSD"};
+  }
+  util::rng rng{seed};
+  std::set<std::string> seen;
+  std::vector<tt::truth_table> out;
+  std::size_t attempts = 0;
+  while (out.size() < count) {
+    if (++attempts > 1000 * count + 10000) {
+      throw std::runtime_error{
+          "pdsd_functions: cannot produce enough distinct functions"};
+    }
+    // Prime block on a random subset of 3 or 4 variables.
+    const unsigned block_size =
+        num_vars >= 5 && rng.next_bool() ? 4u : 3u;
+    std::vector<unsigned> vars(num_vars);
+    for (unsigned v = 0; v < num_vars; ++v) {
+      vars[v] = v;
+    }
+    for (unsigned v = num_vars; v-- > 1;) {
+      std::swap(vars[v], vars[rng.next_below(v + 1)]);
+    }
+    auto block_small = random_prime_function(block_size, rng);
+    // Lift the block onto the chosen variables of the full space.
+    tt::truth_table block{num_vars};
+    for (std::uint64_t t = 0; t < block.num_bits(); ++t) {
+      std::uint64_t small = 0;
+      for (unsigned b = 0; b < block_size; ++b) {
+        if ((t >> vars[b]) & 1) {
+          small |= std::uint64_t{1} << b;
+        }
+      }
+      block.set_bit(t, block_small.get_bit(small));
+    }
+    // Remaining variables join as read-once leaves around the block.
+    std::vector<tt::truth_table> leaves{block};
+    for (unsigned b = block_size; b < num_vars; ++b) {
+      leaves.push_back(
+          tt::truth_table::nth_var(num_vars, vars[b], rng.next_bool()));
+    }
+    auto f = combine_tree(std::move(leaves), rng);
+    if (f.support_size() != num_vars) {
+      continue;
+    }
+    if (tt::analyze_dsd(f).kind != tt::dsd_kind::partial) {
+      continue;  // defensive: the block must stay visible as a prime core
+    }
+    if (seen.insert(f.to_hex()).second) {
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+}  // namespace stpes::workload

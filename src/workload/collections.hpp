@@ -1,0 +1,54 @@
+/// \file collections.hpp
+/// \brief The Table-I benchmark function collections.
+///
+/// * NPN4  — all 222 4-input NPN classes (exactly enumerated, no
+///           substitution).
+/// * FDSDn — fully-DSD-decomposable n-input functions.  The paper samples
+///           functions "that occur frequently in practical synthesis"
+///           [16]; those files are not published, so we *construct*
+///           functions with the defining property: random read-once trees
+///           of non-degenerate 2-input operators over all n variables with
+///           random leaf polarities (every such function is fully DSD and
+///           depends on all inputs).
+/// * PDSDn — partially-DSD functions: a read-once tree in which one leaf
+///           is replaced by a random *prime* block (3 or 4 inputs, verified
+///           non-decomposable), so the function has DSD structure plus a
+///           prime residue — the property that separates the PDSD rows of
+///           Table I from the FDSD rows.
+///
+/// All generators are deterministic in (n, count, seed) and return
+/// pairwise-distinct functions.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace stpes::workload {
+
+/// All 222 4-input NPN class representatives.
+std::vector<tt::truth_table> npn4_classes();
+
+/// `count` distinct fully-DSD n-input functions with full support.
+std::vector<tt::truth_table> fdsd_functions(unsigned num_vars,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+/// `count` distinct partially-DSD n-input functions with full support and
+/// a verified prime block.
+std::vector<tt::truth_table> pdsd_functions(unsigned num_vars,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+/// A random prime (non-DSD-decomposable) function on `num_vars` inputs
+/// with full support (used by the PDSD generator and by tests).
+tt::truth_table random_prime_function(unsigned num_vars, util::rng& rng);
+
+/// A random fully-DSD function over all `num_vars` inputs (one sample of
+/// the FDSD distribution).
+tt::truth_table random_read_once_tree(unsigned num_vars, util::rng& rng);
+
+}  // namespace stpes::workload

@@ -1,0 +1,152 @@
+#include "chain/boolean_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/spec.hpp"
+
+namespace {
+
+using stpes::chain::boolean_chain;
+using stpes::tt::truth_table;
+
+/// The running example of the paper (Example 7): f = 0x8ff8 as
+/// x7 = 0xe(x5, x6), x6 = 0x8(a, b), x5 = 0x6(c, d).
+boolean_chain example7_chain() {
+  boolean_chain c{4};
+  const auto x4 = c.add_step(0x8, 0, 1);  // a & b
+  const auto x5 = c.add_step(0x6, 2, 3);  // c ^ d
+  const auto x6 = c.add_step(0xE, x4, x5);
+  c.set_output(x6);
+  return c;
+}
+
+TEST(BooleanChain, Example7Simulation) {
+  const auto c = example7_chain();
+  EXPECT_EQ(c.simulate(), truth_table::from_hex(4, "0x8ff8"));
+  EXPECT_TRUE(c.is_well_formed());
+  EXPECT_EQ(c.num_steps(), 3u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(BooleanChain, SecondSolutionOfExample7) {
+  // x7 = 0x7(x5, x6), x6 = 0x7(a, b), x5 = 0x9(c, d) — the alternative
+  // solution set the paper reports for the same DAG.
+  boolean_chain c{4};
+  const auto x4 = c.add_step(0x7, 0, 1);
+  const auto x5 = c.add_step(0x9, 2, 3);
+  const auto x6 = c.add_step(0x7, x4, x5);
+  c.set_output(x6);
+  EXPECT_EQ(c.simulate(), truth_table::from_hex(4, "0x8ff8"));
+}
+
+TEST(BooleanChain, OutputComplement) {
+  auto c = example7_chain();
+  c.set_output(c.num_inputs() + c.num_steps() - 1, /*complemented=*/true);
+  EXPECT_EQ(c.simulate(), ~truth_table::from_hex(4, "0x8ff8"));
+}
+
+TEST(BooleanChain, OutputCanBeAnInput) {
+  boolean_chain c{3};
+  c.set_output(1);
+  EXPECT_EQ(c.simulate(), truth_table::nth_var(3, 1));
+  c.set_output(1, true);
+  EXPECT_EQ(c.simulate(), ~truth_table::nth_var(3, 1));
+}
+
+TEST(BooleanChain, DepthAndCosts) {
+  const auto c = example7_chain();
+  EXPECT_EQ(c.depth(), 2u);
+  EXPECT_EQ(c.xor_count(), 1u);                   // the 0x6 step
+  EXPECT_EQ(c.nontrivial_polarity_count(), 1u);   // only XOR is non-unate
+  boolean_chain linear{3};
+  auto s = linear.add_step(0x8, 0, 1);
+  s = linear.add_step(0x8, s, 2);
+  linear.set_output(s);
+  EXPECT_EQ(linear.depth(), 2u);
+  EXPECT_EQ(linear.xor_count(), 0u);
+}
+
+TEST(BooleanChain, RejectsForwardReferences) {
+  boolean_chain c{2};
+  EXPECT_THROW(c.add_step(0x8, 0, 2), std::invalid_argument);
+  EXPECT_THROW(c.set_output(5), std::invalid_argument);
+}
+
+TEST(BooleanChain, SimulateAllExposesIntermediateSignals) {
+  const auto c = example7_chain();
+  const auto signals = c.simulate_all();
+  ASSERT_EQ(signals.size(), 7u);
+  EXPECT_EQ(signals[0], truth_table::nth_var(4, 0));
+  EXPECT_EQ(signals[4],
+            truth_table::nth_var(4, 0) & truth_table::nth_var(4, 1));
+  EXPECT_EQ(signals[5],
+            truth_table::nth_var(4, 2) ^ truth_table::nth_var(4, 3));
+}
+
+TEST(BooleanChain, ToStringMirrorsPaperNotation) {
+  const auto text = example7_chain().to_string();
+  EXPECT_NE(text.find("x4 = 0x8(x0, x1)"), std::string::npos);
+  EXPECT_NE(text.find("x5 = 0x6(x2, x3)"), std::string::npos);
+  EXPECT_NE(text.find("x6 = 0xe(x4, x5)"), std::string::npos);
+  EXPECT_NE(text.find("f = x6"), std::string::npos);
+}
+
+TEST(BooleanChain, DotRenderingContainsAllNodes) {
+  const auto dot = example7_chain().to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("x6 -> out"), std::string::npos);
+}
+
+TEST(BooleanChain, HashAndEquality) {
+  const auto a = example7_chain();
+  const auto b = example7_chain();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  auto c = example7_chain();
+  c.set_output(c.output(), true);
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(ChainLifting, LiftToOriginalInputs) {
+  // Chain over the shrunk support {0, 1} of a function whose original
+  // support was {1, 3} in a 4-input space.
+  boolean_chain shrunk{2};
+  const auto s = shrunk.add_step(0x8, 0, 1);
+  shrunk.set_output(s);
+  const auto lifted =
+      stpes::synth::lift_chain_to_original(shrunk, {1, 3}, 4);
+  EXPECT_EQ(lifted.num_inputs(), 4u);
+  EXPECT_EQ(lifted.simulate(),
+            stpes::tt::truth_table::nth_var(4, 1) &
+                stpes::tt::truth_table::nth_var(4, 3));
+}
+
+TEST(ChainDegenerate, ConstantAndLiteralHelpers) {
+  stpes::synth::result out;
+  EXPECT_TRUE(stpes::synth::synthesize_degenerate(
+      truth_table::constant(3, true), out));
+  EXPECT_TRUE(out.ok());
+  EXPECT_TRUE(out.best().simulate().is_const1());
+
+  EXPECT_TRUE(stpes::synth::synthesize_degenerate(
+      ~truth_table::nth_var(4, 2), out));
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.optimum_gates, 0u);
+  EXPECT_EQ(out.best().simulate(), ~truth_table::nth_var(4, 2));
+
+  EXPECT_FALSE(stpes::synth::synthesize_degenerate(
+      truth_table::from_hex(4, "0x8ff8"), out));
+}
+
+TEST(ChainBounds, TrivialLowerBound) {
+  EXPECT_EQ(stpes::synth::trivial_lower_bound(truth_table::constant(4, false)),
+            0u);
+  EXPECT_EQ(stpes::synth::trivial_lower_bound(truth_table::nth_var(4, 0)),
+            0u);
+  EXPECT_EQ(
+      stpes::synth::trivial_lower_bound(truth_table::from_hex(4, "0x8ff8")),
+      3u);
+}
+
+}  // namespace

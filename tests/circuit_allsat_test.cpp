@@ -1,0 +1,143 @@
+#include "allsat/circuit_allsat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::allsat::solutions_to_function;
+using stpes::allsat::solve_all;
+using stpes::allsat::verify_chain;
+using stpes::chain::boolean_chain;
+using stpes::tt::truth_table;
+
+boolean_chain example7_chain() {
+  boolean_chain c{4};
+  const auto x4 = c.add_step(0x8, 0, 1);
+  const auto x5 = c.add_step(0x6, 2, 3);
+  const auto x6 = c.add_step(0xE, x4, x5);
+  c.set_output(x6);
+  return c;
+}
+
+boolean_chain random_chain(unsigned num_inputs, unsigned num_steps,
+                           stpes::util::rng& rng) {
+  boolean_chain c{num_inputs};
+  for (unsigned j = 0; j < num_steps; ++j) {
+    const auto limit = num_inputs + j;
+    const auto f0 = static_cast<std::uint32_t>(rng.next_below(limit));
+    auto f1 = static_cast<std::uint32_t>(rng.next_below(limit));
+    const auto op = 1 + rng.next_below(14);  // skip const0/const1 LUTs
+    c.add_step(static_cast<unsigned>(op), f0, f1);
+  }
+  c.set_output(num_inputs + num_steps - 1, rng.next_bool());
+  return c;
+}
+
+TEST(CircuitAllSat, Example8SolutionsSimulateToTarget) {
+  // Section III-C / Example 8: the AllSAT solutions of the Example-7 chain
+  // must simulate to f_s == 0x8ff8.
+  const auto c = example7_chain();
+  const auto result = solve_all(c);
+  EXPECT_TRUE(result.satisfiable);
+  EXPECT_FALSE(result.solutions.empty());
+  EXPECT_EQ(solutions_to_function(4, result.solutions),
+            truth_table::from_hex(4, "0x8ff8"));
+}
+
+TEST(CircuitAllSat, TargetZeroGivesComplement) {
+  const auto c = example7_chain();
+  const auto result = solve_all(c, /*target=*/false);
+  EXPECT_EQ(solutions_to_function(4, result.solutions),
+            ~truth_table::from_hex(4, "0x8ff8"));
+}
+
+TEST(CircuitAllSat, SolutionsAreSoundIndividually) {
+  const auto c = example7_chain();
+  const auto f = c.simulate();
+  for (const auto& s : solve_all(c).solutions) {
+    // Every minterm covered by a solution pattern satisfies the circuit.
+    for (std::uint64_t t = 0; t < 16; ++t) {
+      if (s.matches(t)) {
+        EXPECT_TRUE(f.get_bit(t)) << s.to_string() << " minterm " << t;
+      }
+    }
+  }
+}
+
+TEST(CircuitAllSat, UnsatisfiableNetwork) {
+  boolean_chain c{2};
+  const auto s = c.add_step(0x0, 0, 1);  // constant-0 LUT
+  c.set_output(s);
+  const auto result = solve_all(c);
+  EXPECT_FALSE(result.satisfiable);
+  EXPECT_TRUE(result.solutions.empty());
+}
+
+TEST(CircuitAllSat, ComplementedOutputHandled) {
+  boolean_chain c{2};
+  const auto s = c.add_step(0x8, 0, 1);
+  c.set_output(s, /*complemented=*/true);  // NAND
+  const auto result = solve_all(c);
+  EXPECT_EQ(solutions_to_function(2, result.solutions),
+            ~(truth_table::nth_var(2, 0) & truth_table::nth_var(2, 1)));
+}
+
+TEST(CircuitAllSat, DontCareInputsStayUnassigned) {
+  // The output is input x0; the step on (x0, x1) is outside the output
+  // cone, so its value is never pinned and x1 remains '-'.
+  boolean_chain c{2};
+  c.add_step(0x8, 0, 1);
+  c.set_output(0);
+  const auto result = solve_all(c);
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_EQ(result.solutions[0].values[0], 1);
+  EXPECT_EQ(result.solutions[0].values[1], -1);
+  EXPECT_EQ(result.solutions[0].coverage(), 2u);
+  EXPECT_EQ(result.solutions[0].to_string(), "(1,-)");
+}
+
+TEST(CircuitAllSat, ReconvergentFanoutIsConsistent) {
+  // g = x0 & x1, f = g ^ (g | x2): reconvergence through two paths.
+  boolean_chain c{3};
+  const auto g = c.add_step(0x8, 0, 1);
+  const auto h = c.add_step(0xE, g, 2);
+  const auto f = c.add_step(0x6, g, h);
+  c.set_output(f);
+  const auto result = solve_all(c);
+  EXPECT_EQ(solutions_to_function(3, result.solutions), c.simulate());
+}
+
+TEST(CircuitAllSat, RandomNetworksMatchSimulation) {
+  stpes::util::rng rng{2024};
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(5));
+    const unsigned steps = 1 + static_cast<unsigned>(rng.next_below(6));
+    const auto c = random_chain(n, steps, rng);
+    const auto expected = c.simulate();
+    const auto result = solve_all(c);
+    EXPECT_EQ(solutions_to_function(n, result.solutions), expected)
+        << c.to_string();
+    EXPECT_EQ(result.satisfiable, !expected.is_const0());
+    EXPECT_TRUE(verify_chain(c, expected));
+    EXPECT_FALSE(verify_chain(c, ~expected));
+  }
+}
+
+TEST(CircuitAllSat, VerifyChainRejectsWrongSpecification) {
+  const auto c = example7_chain();
+  EXPECT_TRUE(verify_chain(c, truth_table::from_hex(4, "0x8ff8")));
+  EXPECT_FALSE(verify_chain(c, truth_table::from_hex(4, "0x8ff9")));
+}
+
+TEST(CircuitAllSat, CoverageAccounting) {
+  stpes::allsat::partial_assignment p;
+  p.values = {1, -1, 0, -1};
+  EXPECT_EQ(p.coverage(), 4u);
+  EXPECT_TRUE(p.matches(0b0001));
+  EXPECT_TRUE(p.matches(0b1011));
+  EXPECT_FALSE(p.matches(0b0101));
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "core/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_synthesis.hpp"
+
+namespace {
+
+using stpes::chain::boolean_chain;
+using stpes::core::best_chain;
+using stpes::core::select_best;
+using stpes::tt::truth_table;
+
+boolean_chain xor_heavy_chain() {
+  // x0 ^ x1 built as-is.
+  boolean_chain c{2};
+  c.set_output(c.add_step(0x6, 0, 1));
+  return c;
+}
+
+boolean_chain deep_and_chain() {
+  // (x0 & x1) & (x0 & x1): silly but deep and XOR-free.
+  boolean_chain c{2};
+  const auto a = c.add_step(0x8, 0, 1);
+  const auto b = c.add_step(0xE, a, 0);
+  c.set_output(c.add_step(0x8, a, b));
+  return c;
+}
+
+TEST(Selector, GateCountPrefersSmaller) {
+  const std::vector<boolean_chain> chains{deep_and_chain(),
+                                          xor_heavy_chain()};
+  EXPECT_EQ(select_best(chains, stpes::core::gate_count_cost()), 1u);
+}
+
+TEST(Selector, XorCostPrefersXorFree) {
+  const std::vector<boolean_chain> chains{xor_heavy_chain(),
+                                          deep_and_chain()};
+  EXPECT_EQ(select_best(chains, stpes::core::xor_cost()), 1u);
+}
+
+TEST(Selector, DepthCost) {
+  const std::vector<boolean_chain> chains{deep_and_chain(),
+                                          xor_heavy_chain()};
+  EXPECT_EQ(select_best(chains, stpes::core::depth_cost()), 1u);
+}
+
+TEST(Selector, PolarityCost) {
+  boolean_chain nand_chain{2};
+  nand_chain.set_output(nand_chain.add_step(0x7, 0, 1));
+  boolean_chain and_chain{2};
+  and_chain.set_output(and_chain.add_step(0x8, 0, 1));
+  const std::vector<boolean_chain> chains{nand_chain, and_chain};
+  EXPECT_EQ(select_best(chains, stpes::core::polarity_cost()), 1u);
+}
+
+TEST(Selector, WeightedCostCombines) {
+  const std::vector<boolean_chain> chains{xor_heavy_chain(),
+                                          deep_and_chain()};
+  // Pure-depth weighting picks the shallow chain; pure-xor weighting the
+  // xor-free one.
+  EXPECT_EQ(select_best(chains, stpes::core::weighted_cost(1, 0, 0)), 0u);
+  EXPECT_EQ(select_best(chains, stpes::core::weighted_cost(0, 1, 0)), 1u);
+}
+
+TEST(Selector, FirstWinsOnTies) {
+  const std::vector<boolean_chain> chains{xor_heavy_chain(),
+                                          xor_heavy_chain()};
+  EXPECT_EQ(select_best(chains, stpes::core::gate_count_cost()), 0u);
+}
+
+TEST(Selector, EmptyInputThrows) {
+  EXPECT_THROW(select_best({}, stpes::core::gate_count_cost()),
+               std::invalid_argument);
+}
+
+TEST(Selector, EndToEndCostSelection) {
+  // The paper's flexibility argument: synthesize all optima of a function
+  // and pick by different costs; both picks must still realize f.
+  const auto f = truth_table::from_hex(4, "0xe8e8");
+  const auto r =
+      stpes::core::exact_synthesis(f, stpes::core::engine::stp, 60.0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r.chains.size(), 1u);
+  const auto& cheap_xor = best_chain(r.chains, stpes::core::xor_cost());
+  const auto& shallow = best_chain(r.chains, stpes::core::depth_cost());
+  EXPECT_EQ(cheap_xor.simulate(), f);
+  EXPECT_EQ(shallow.simulate(), f);
+  // Different costs can pick different implementations; both optimal in
+  // size.
+  EXPECT_EQ(cheap_xor.size(), r.optimum_gates);
+  EXPECT_EQ(shallow.size(), r.optimum_gates);
+}
+
+}  // namespace

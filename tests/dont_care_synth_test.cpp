@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "synth/stp_synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::synth::status;
+using stpes::synth::stp_engine;
+using stpes::tt::isf;
+using stpes::tt::truth_table;
+
+TEST(DontCareSynthesis, FullySpecifiedMatchesExactSynthesis) {
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  stp_engine engine;
+  const auto dc = engine.run_with_dont_cares(isf::from_function(f));
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(dc.optimum_gates, 3u);
+  for (const auto& c : dc.chains) {
+    EXPECT_EQ(c.simulate(), f);
+  }
+}
+
+TEST(DontCareSynthesis, DontCaresNeverHurt) {
+  // Relaxing minterms can only keep or shrink the optimum size.
+  stpes::util::rng rng{2718};
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    truth_table f{3, rng.next_u64() & 0xFF};
+    stp_engine engine;
+    const auto exact = engine.run_with_dont_cares(isf::from_function(f));
+    ASSERT_TRUE(exact.ok());
+    truth_table care = truth_table::constant(3, true);
+    care.set_bit(rng.next_below(8), false);
+    care.set_bit(rng.next_below(8), false);
+    stp_engine relaxed_engine;
+    const auto relaxed =
+        relaxed_engine.run_with_dont_cares(isf{f & care, care});
+    ASSERT_TRUE(relaxed.ok());
+    EXPECT_LE(relaxed.optimum_gates, exact.optimum_gates);
+    const isf spec{f & care, care};
+    for (const auto& c : relaxed.chains) {
+      EXPECT_TRUE(spec.accepts(c.simulate()));
+    }
+  }
+}
+
+TEST(DontCareSynthesis, BigDontCareSetCollapsesToLiteral) {
+  // Only two care minterms, both consistent with x0: zero gates.
+  truth_table on{3};
+  on.set_bit(0b001, true);
+  truth_table care{3};
+  care.set_bit(0b001, true);
+  care.set_bit(0b110, true);  // x0 = 0 there, and requirement is 0
+  stp_engine engine;
+  const auto r = engine.run_with_dont_cares(isf{on, care});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.optimum_gates, 0u);
+  EXPECT_TRUE(isf(on, care).accepts(r.best().simulate()));
+}
+
+TEST(DontCareSynthesis, ConstantAcceptance) {
+  // Care set only where f would be 1: constant-1 is accepted.
+  truth_table on{2};
+  on.set_bit(1, true);
+  on.set_bit(2, true);
+  stp_engine engine;
+  const auto r = engine.run_with_dont_cares(isf{on, on});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.best().simulate().is_const1());
+}
+
+TEST(DontCareSynthesis, MajWithOneDontCareDropsToTwoGates) {
+  // MAJ3 needs 4 gates exactly; freeing the right minterms must reach a
+  // strictly smaller network (e.g. freeing 0b101 and 0b010 admits
+  // (x0 & x1) | x2-style functions).
+  const auto maj = truth_table::from_hex(3, "0xe8");
+  truth_table care = truth_table::constant(3, true);
+  care.set_bit(0b101, false);
+  care.set_bit(0b010, false);
+  stp_engine engine;
+  const auto r = engine.run_with_dont_cares(isf{maj & care, care});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.optimum_gates, 4u);
+  const isf spec{maj & care, care};
+  for (const auto& c : r.chains) {
+    EXPECT_TRUE(spec.accepts(c.simulate()));
+  }
+}
+
+TEST(DontCareSynthesis, TimeoutPropagates) {
+  const auto f = truth_table::from_hex(4, "0xcafe");
+  stp_engine engine;
+  const auto r = engine.run_with_dont_cares(
+      isf::from_function(f), stpes::util::time_budget{1e-9});
+  EXPECT_EQ(r.outcome, status::timeout);
+}
+
+}  // namespace

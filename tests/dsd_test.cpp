@@ -1,0 +1,140 @@
+#include "tt/dsd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::tt::analyze_dsd;
+using stpes::tt::dsd_kind;
+using stpes::tt::is_fully_dsd;
+using stpes::tt::is_prime;
+using stpes::tt::truth_table;
+
+TEST(Dsd, ConstantsAndLiterals) {
+  EXPECT_EQ(analyze_dsd(truth_table::constant(4, false)).kind,
+            dsd_kind::constant);
+  EXPECT_EQ(analyze_dsd(truth_table::constant(4, true)).kind,
+            dsd_kind::constant);
+  EXPECT_EQ(analyze_dsd(truth_table::nth_var(4, 2)).kind, dsd_kind::literal);
+  EXPECT_EQ(analyze_dsd(~truth_table::nth_var(4, 0)).kind,
+            dsd_kind::literal);
+}
+
+TEST(Dsd, TwoInputFunctionsAreFull) {
+  for (unsigned op = 0; op < 16; ++op) {
+    const auto f = stpes::tt::apply_binary_op(op, truth_table::nth_var(2, 0),
+                                              truth_table::nth_var(2, 1));
+    const auto kind = analyze_dsd(f).kind;
+    EXPECT_TRUE(kind == dsd_kind::full || kind == dsd_kind::literal ||
+                kind == dsd_kind::constant);
+  }
+}
+
+TEST(Dsd, BalancedTreeIsFullyDsd) {
+  // (x0 & x1) | (x2 ^ x3): the running example of the paper (0x8ff8).
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto analysis = analyze_dsd(f);
+  EXPECT_EQ(analysis.kind, dsd_kind::full);
+  EXPECT_TRUE(is_fully_dsd(f));
+}
+
+TEST(Dsd, LinearChainIsFullyDsd) {
+  // ((((x0 & x1) | x2) ^ x3) & x4)
+  const unsigned n = 5;
+  auto f = truth_table::nth_var(n, 0) & truth_table::nth_var(n, 1);
+  f = f | truth_table::nth_var(n, 2);
+  f = f ^ truth_table::nth_var(n, 3);
+  f = f & truth_table::nth_var(n, 4);
+  EXPECT_TRUE(is_fully_dsd(f));
+}
+
+TEST(Dsd, WideXorIsFullyDsd) {
+  auto f = truth_table::nth_var(6, 0);
+  for (unsigned v = 1; v < 6; ++v) {
+    f = f ^ truth_table::nth_var(6, v);
+  }
+  EXPECT_TRUE(is_fully_dsd(f));
+}
+
+TEST(Dsd, Maj3IsPrime) {
+  const auto maj = truth_table::from_hex(3, "0xe8");
+  const auto analysis = analyze_dsd(maj);
+  EXPECT_EQ(analysis.kind, dsd_kind::none);
+  EXPECT_TRUE(is_prime(maj));
+  EXPECT_EQ(analysis.residue_support, 3u);
+}
+
+TEST(Dsd, MuxIsPrime) {
+  // x2 ? x1 : x0 — the 2:1 multiplexer is not disjoint-decomposable.
+  const auto x0 = truth_table::nth_var(3, 0);
+  const auto x1 = truth_table::nth_var(3, 1);
+  const auto s = truth_table::nth_var(3, 2);
+  const auto mux = (s & x1) | (~s & x0);
+  EXPECT_TRUE(is_prime(mux));
+}
+
+TEST(Dsd, PartialDsdDetected) {
+  // MAJ3(x0, x1, x2) & x3: one contraction possible (top AND), prime core.
+  const auto maj = truth_table::from_hex(3, "0xe8").extend_to(4);
+  const auto f = maj & truth_table::nth_var(4, 3);
+  const auto analysis = analyze_dsd(f);
+  EXPECT_EQ(analysis.kind, dsd_kind::partial);
+  EXPECT_EQ(analysis.residue_support, 3u);
+  EXPECT_GE(analysis.contractions, 1u);
+}
+
+TEST(Dsd, PartialDsdWithXorWrapper) {
+  // MUX(x2; x1, x0) ^ x3 ^ x4: two contractions, prime residue of 3 vars.
+  const unsigned n = 5;
+  const auto x0 = truth_table::nth_var(n, 0);
+  const auto x1 = truth_table::nth_var(n, 1);
+  const auto s = truth_table::nth_var(n, 2);
+  const auto mux = (s & x1) | (~s & x0);
+  const auto f = mux ^ truth_table::nth_var(n, 3) ^ truth_table::nth_var(n, 4);
+  const auto analysis = analyze_dsd(f);
+  EXPECT_EQ(analysis.kind, dsd_kind::partial);
+  EXPECT_EQ(analysis.residue_support, 3u);
+}
+
+TEST(Dsd, ResidueOfFullDsdIsSmall) {
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto analysis = analyze_dsd(f);
+  EXPECT_LE(analysis.residue_support, 2u);
+  EXPECT_EQ(analysis.original_support, 4u);
+}
+
+TEST(Dsd, RandomTreesAreAlwaysFullyDsd) {
+  stpes::util::rng rng{31};
+  // Build random read-once trees: every such function must classify full.
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(5));
+    std::vector<truth_table> nodes;
+    for (unsigned v = 0; v < n; ++v) {
+      nodes.push_back(truth_table::nth_var(n, v, rng.next_bool()));
+    }
+    while (nodes.size() > 1) {
+      const std::size_t i = rng.next_below(nodes.size());
+      auto a = nodes[i];
+      nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t j = rng.next_below(nodes.size());
+      auto b = nodes[j];
+      static constexpr unsigned kOps[] = {0x8, 0xE, 0x6, 0x1, 0x7, 0x9};
+      const auto op = kOps[rng.next_below(6)];
+      nodes[j] = stpes::tt::apply_binary_op(op, a, b);
+    }
+    EXPECT_TRUE(is_fully_dsd(nodes[0]))
+        << "iteration " << iteration << " tt " << nodes[0].to_hex();
+  }
+}
+
+TEST(Dsd, ToStringCoversAllKinds) {
+  EXPECT_STREQ(stpes::tt::to_string(dsd_kind::constant), "constant");
+  EXPECT_STREQ(stpes::tt::to_string(dsd_kind::literal), "literal");
+  EXPECT_STREQ(stpes::tt::to_string(dsd_kind::full), "full");
+  EXPECT_STREQ(stpes::tt::to_string(dsd_kind::partial), "partial");
+  EXPECT_STREQ(stpes::tt::to_string(dsd_kind::none), "none");
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+#include "synth/factorize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::synth::factor_requirement;
+using stpes::synth::factorization;
+using stpes::synth::is_factorable;
+using stpes::synth::op_family;
+using stpes::synth::requirement;
+using stpes::tt::isf;
+using stpes::tt::truth_table;
+
+requirement full_requirement(const truth_table& f) {
+  return requirement{f.support_mask() == 0
+                         ? (1u << f.num_vars()) - 1
+                         : f.support_mask(),
+                     isf::from_function(f)};
+}
+
+/// Checks that one factorization, completed arbitrarily inside its cones,
+/// recombines to a function accepted by the requirement.
+void expect_sound(const requirement& r, const factorization& f) {
+  const auto u = f.left.func.completion_in_cone(f.left.cone);
+  const auto v = f.right.func.completion_in_cone(f.right.cone);
+  truth_table combined = f.family == op_family::and_like ? (u & v) : (u ^ v);
+  if (f.output_complemented) {
+    combined = ~combined;
+  }
+  EXPECT_TRUE(r.func.accepts(combined))
+      << "u=" << u.to_hex() << " v=" << v.to_hex();
+}
+
+TEST(Factorize, AndOfTwoVariables) {
+  const auto f = truth_table::nth_var(2, 0) & truth_table::nth_var(2, 1);
+  const auto r = full_requirement(f);
+  const auto results = factor_requirement(r, 0b01, 0b10);
+  ASSERT_FALSE(results.empty());
+  bool found_plain_and = false;
+  for (const auto& fact : results) {
+    expect_sound(r, fact);
+    if (fact.family == op_family::and_like && !fact.output_complemented) {
+      found_plain_and = true;
+    }
+  }
+  EXPECT_TRUE(found_plain_and);
+}
+
+TEST(Factorize, XorOfTwoVariables) {
+  const auto f = truth_table::nth_var(2, 0) ^ truth_table::nth_var(2, 1);
+  const auto r = full_requirement(f);
+  const auto results = factor_requirement(r, 0b01, 0b10);
+  ASSERT_FALSE(results.empty());
+  bool found_xor = false;
+  for (const auto& fact : results) {
+    expect_sound(r, fact);
+    found_xor |= fact.family == op_family::xor_like;
+  }
+  EXPECT_TRUE(found_xor);
+  // An AND-like split of pure XOR over disjoint single-variable cones is
+  // impossible.
+  for (const auto& fact : results) {
+    EXPECT_NE(fact.family, op_family::and_like);
+  }
+}
+
+TEST(Factorize, PaperExample7TopSplit) {
+  // f = 0x8ff8 = (ab) | (c^d): at the root with cones {a,b} vs {c,d} an
+  // OR-decomposition exists — in normalized form, NAND of the two
+  // complemented halves (AND-like with output complement).
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto r = full_requirement(f);
+  const auto results = factor_requirement(r, 0b0011, 0b1100);
+  ASSERT_FALSE(results.empty());
+  bool found_or_style = false;
+  for (const auto& fact : results) {
+    expect_sound(r, fact);
+    if (fact.family == op_family::and_like && fact.output_complemented) {
+      found_or_style = true;
+    }
+  }
+  EXPECT_TRUE(found_or_style);
+}
+
+TEST(Factorize, PrimeFunctionRejectsDisjointSplits) {
+  // MAJ3 has no disjoint 2-block decomposition (Example 5.2's "three
+  // unique quartering parts" situation).
+  const auto maj = truth_table::from_hex(3, "0xe8");
+  const auto r = full_requirement(maj);
+  EXPECT_FALSE(is_factorable(r, 0b001, 0b110));
+  EXPECT_FALSE(is_factorable(r, 0b010, 0b101));
+  EXPECT_FALSE(is_factorable(r, 0b100, 0b011));
+}
+
+TEST(Factorize, PrimeFunctionAcceptsSharedSplit) {
+  // With shared variables (the paper's M_r case) MAJ3 does factor, e.g.
+  // maj = (a | b) & ((a & b) | c) with A = {a,b}, B = {a,b,c}.
+  const auto maj = truth_table::from_hex(3, "0xe8");
+  const auto r = full_requirement(maj);
+  bool any = false;
+  for (std::uint32_t a = 1; a < 7 && !any; ++a) {
+    for (std::uint32_t b = 1; b < 8 && !any; ++b) {
+      if ((a | b) != 7) {
+        continue;  // children must cover all variables
+      }
+      any = is_factorable(r, a, b);
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Factorize, SharedSplitsCarryDontCares) {
+  const auto maj = truth_table::from_hex(3, "0xe8");
+  const auto r = full_requirement(maj);
+  bool saw_dont_care = false;
+  for (std::uint32_t a = 1; a < 8; ++a) {
+    for (std::uint32_t b = 1; b < 8; ++b) {
+      if ((a | b) != 7) {
+        continue;
+      }
+      for (const auto& fact : factor_requirement(r, a, b)) {
+        expect_sound(r, fact);
+        saw_dont_care |= !fact.left.func.is_fully_specified() ||
+                         !fact.right.func.is_fully_specified();
+      }
+    }
+  }
+  // The paper's 'x' entries: factoring through M_r leaves unconstrained
+  // cells.
+  EXPECT_TRUE(saw_dont_care);
+}
+
+TEST(Factorize, ChildrenAreClassedOnTheirCones) {
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto r = full_requirement(f);
+  for (const auto& fact : factor_requirement(r, 0b0011, 0b1100)) {
+    // Projection onto the cone must be lossless (already classed).
+    const auto left = fact.left.func.project_to_cone(fact.left.cone);
+    const auto right = fact.right.func.project_to_cone(fact.right.cone);
+    ASSERT_TRUE(left.has_value());
+    ASSERT_TRUE(right.has_value());
+    EXPECT_TRUE(*left == fact.left.func);
+    EXPECT_TRUE(*right == fact.right.func);
+  }
+}
+
+TEST(Factorize, UnconstrainedRequirementIsTriviallyFactorable) {
+  requirement r{0b11, isf{2}};
+  const auto results = factor_requirement(r, 0b01, 0b10);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].left.func.is_unconstrained());
+}
+
+TEST(Factorize, BranchCapIsHonoured) {
+  stpes::synth::factorize_options options;
+  options.max_branches_per_family = 2;
+  options.max_xor_components = 1;
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto r = full_requirement(f);
+  const auto results = factor_requirement(r, 0b0011, 0b1100, options);
+  // 2 families x 2 polarities x <= 2 branches.
+  EXPECT_LE(results.size(), 8u);
+}
+
+TEST(Factorize, RandomFunctionsSoundness) {
+  stpes::util::rng rng{99};
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const unsigned n = 3 + static_cast<unsigned>(rng.next_below(2));
+    truth_table f{n};
+    for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+      f.set_bit(t, rng.next_bool());
+    }
+    if (f.support_mask() != (1u << n) - 1) {
+      continue;
+    }
+    const auto r = full_requirement(f);
+    const std::uint32_t all = (1u << n) - 1;
+    for (std::uint32_t a = 1; a < all; ++a) {
+      const std::uint32_t b = all & ~a;
+      for (const auto& fact : factor_requirement(r, a, b)) {
+        expect_sound(r, fact);
+      }
+    }
+  }
+}
+
+TEST(Factorize, DeduplicatesBranches) {
+  const auto f = truth_table::nth_var(2, 0) & truth_table::nth_var(2, 1);
+  const auto r = full_requirement(f);
+  const auto results = factor_requirement(r, 0b01, 0b10);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = i + 1; j < results.size(); ++j) {
+      const bool same = results[i].family == results[j].family &&
+                        results[i].output_complemented ==
+                            results[j].output_complemented &&
+                        results[i].left.func == results[j].left.func &&
+                        results[i].right.func == results[j].right.func;
+      EXPECT_FALSE(same) << "duplicate at " << i << "," << j;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+/// \file integration_test.cpp
+/// \brief Cross-module end-to-end properties: the STP expression pipeline,
+///        the canonical-form solver, the synthesis engines, and the
+///        circuit AllSAT solver must all tell one consistent story.
+
+#include <gtest/gtest.h>
+
+#include "allsat/circuit_allsat.hpp"
+#include "core/exact_synthesis.hpp"
+#include "stp/expr.hpp"
+#include "stp/stp_allsat.hpp"
+#include "tt/dsd.hpp"
+#include "util/rng.hpp"
+#include "workload/collections.hpp"
+
+namespace {
+
+using stpes::core::engine;
+using stpes::core::exact_synthesis;
+using stpes::tt::truth_table;
+
+/// Chain -> expression-level STP check: the chain's function, re-encoded
+/// as a canonical logic matrix, must have exactly the chain's on-set as
+/// satisfying columns.
+TEST(Integration, ChainOnSetEqualsCanonicalFormSolutions) {
+  stpes::util::rng rng{808};
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    truth_table f{3, rng.next_u64() & 0xFF};
+    const auto r = exact_synthesis(f, engine::stp, 30.0);
+    ASSERT_TRUE(r.ok());
+    const auto chain_function = r.best().simulate();
+    const auto canonical =
+        stpes::stp::logic_matrix::from_truth_table(chain_function);
+    auto minterms = stpes::stp::all_sat_columns(canonical);
+    std::sort(minterms.begin(), minterms.end());
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+      if (f.get_bit(t)) {
+        expected.push_back(t);
+      }
+    }
+    EXPECT_EQ(minterms, expected);
+  }
+}
+
+/// The two AllSAT engines (canonical-form halving and circuit traverse)
+/// agree on every synthesized chain.
+TEST(Integration, BothAllSatEnginesAgreeOnSynthesizedChains) {
+  const auto functions =
+      stpes::workload::fdsd_functions(4, 6, /*seed=*/17);
+  for (const auto& f : functions) {
+    const auto r = exact_synthesis(f, engine::stp, 30.0);
+    ASSERT_TRUE(r.ok());
+    for (const auto& c : r.chains) {
+      const auto circuit = stpes::allsat::solve_all(c);
+      const auto covered = stpes::allsat::solutions_to_function(
+          c.num_inputs(), circuit.solutions);
+      stpes::stp::stp_sat_solver matrix_solver{
+          stpes::stp::logic_matrix::from_truth_table(f)};
+      EXPECT_EQ(covered.count_ones(), matrix_solver.solve_all().size());
+      EXPECT_EQ(covered, f);
+    }
+  }
+}
+
+/// DSD structure predicts STP synthesis difficulty: fully-DSD functions
+/// synthesize with exactly support-1 gates (a read-once tree exists).
+TEST(Integration, FdsdOptimumMatchesReadOnceSize) {
+  const auto functions = stpes::workload::fdsd_functions(5, 6, 23);
+  for (const auto& f : functions) {
+    const auto r = exact_synthesis(f, engine::stp, 30.0);
+    ASSERT_TRUE(r.ok()) << f.to_hex();
+    EXPECT_EQ(r.optimum_gates, f.support_size() - 1) << f.to_hex();
+  }
+}
+
+/// PDSD functions need strictly more gates than a read-once tree.
+TEST(Integration, PdsdOptimumExceedsReadOnceSize) {
+  const auto functions = stpes::workload::pdsd_functions(4, 4, 29);
+  for (const auto& f : functions) {
+    const auto r = exact_synthesis(f, engine::cegar, 30.0);
+    ASSERT_TRUE(r.ok()) << f.to_hex();
+    EXPECT_GT(r.optimum_gates, f.support_size() - 1) << f.to_hex();
+  }
+}
+
+/// Expression pipeline end-to-end: build an expression, synthesize its
+/// evaluation, verify the chain against the canonical form's on-set.
+TEST(Integration, ExpressionToOptimalChain) {
+  using stpes::stp::expr;
+  const auto e = (expr::var(0) & expr::var(1)) | (expr::var(2) ^ expr::var(3));
+  const auto f = e.evaluate(4);
+  EXPECT_EQ(f, truth_table::from_hex(4, "0x8ff8"));
+  const auto canonical = e.canonical().to_logic_matrix(4);
+  EXPECT_EQ(canonical.to_truth_table(), f);
+  const auto r = exact_synthesis(f, engine::stp, 30.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.optimum_gates, 3u);
+}
+
+/// All four engines on a mixed bag of structured functions, checking
+/// sizes against each other and chains against the specification.
+TEST(Integration, StructuredFunctionsAcrossEngines) {
+  std::vector<truth_table> functions;
+  // MUX(s; a, b), AND-OR ladder, parity, one prime function.
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  const auto s = truth_table::nth_var(3, 2);
+  functions.push_back((s & a) | (~s & b));
+  functions.push_back((a & b) | s);
+  functions.push_back(a ^ b ^ s);
+  functions.push_back(truth_table::from_hex(3, "0xe8"));
+  for (const auto& f : functions) {
+    int reference = -1;
+    for (const auto eng :
+         {engine::stp, engine::bms, engine::fen, engine::cegar}) {
+      const auto r = exact_synthesis(f, eng, 60.0);
+      ASSERT_TRUE(r.ok()) << f.to_hex();
+      EXPECT_EQ(r.best().simulate(), f);
+      if (reference < 0) {
+        reference = static_cast<int>(r.optimum_gates);
+      } else {
+        EXPECT_EQ(static_cast<int>(r.optimum_gates), reference)
+            << f.to_hex();
+      }
+    }
+  }
+}
+
+}  // namespace

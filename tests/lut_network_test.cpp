@@ -1,0 +1,119 @@
+#include "allsat/lut_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "allsat/circuit_allsat.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::allsat::lut_network;
+using stpes::allsat::solutions_to_function;
+using stpes::allsat::solve_all;
+using stpes::chain::boolean_chain;
+using stpes::tt::truth_table;
+
+/// A 2-output network: sum and carry of a half adder.
+lut_network half_adder() {
+  lut_network net;
+  net.num_inputs = 2;
+  net.steps.push_back(stpes::chain::step{0x6, {0, 1}});  // sum
+  net.steps.push_back(stpes::chain::step{0x8, {0, 1}});  // carry
+  net.outputs.push_back({2, false});
+  net.outputs.push_back({3, false});
+  return net;
+}
+
+TEST(LutNetwork, FromChainRoundTrip) {
+  boolean_chain c{2};
+  c.set_output(c.add_step(0x8, 0, 1), true);
+  const auto net = lut_network::from_chain(c);
+  EXPECT_TRUE(net.is_well_formed());
+  ASSERT_EQ(net.outputs.size(), 1u);
+  EXPECT_EQ(net.simulate()[0], c.simulate());
+}
+
+TEST(LutNetwork, WellFormednessChecks) {
+  lut_network bad;
+  bad.num_inputs = 2;
+  bad.steps.push_back(stpes::chain::step{0x8, {0, 5}});  // forward ref
+  bad.outputs.push_back({2, false});
+  EXPECT_FALSE(bad.is_well_formed());
+
+  lut_network no_outputs;
+  no_outputs.num_inputs = 2;
+  EXPECT_FALSE(no_outputs.is_well_formed());
+}
+
+TEST(LutNetwork, MultiOutputSimulation) {
+  const auto outs = half_adder().simulate();
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_EQ(outs[0], truth_table(2, 0x6));
+  EXPECT_EQ(outs[1], truth_table(2, 0x8));
+}
+
+TEST(MultiOutputAllSat, HalfAdderJointTargets) {
+  const auto net = half_adder();
+  // sum=1 & carry=0: exactly the two one-hot inputs.
+  auto r = solve_all(net, {true, false});
+  EXPECT_TRUE(r.satisfiable);
+  auto covered = solutions_to_function(2, r.solutions);
+  EXPECT_EQ(covered, truth_table(2, 0x6));
+
+  // sum=1 & carry=1: impossible.
+  r = solve_all(net, {true, true});
+  EXPECT_FALSE(r.satisfiable);
+
+  // sum=0 & carry=1: both inputs one.
+  r = solve_all(net, {false, true});
+  covered = solutions_to_function(2, r.solutions);
+  EXPECT_EQ(covered, truth_table(2, 0x8));
+}
+
+TEST(MultiOutputAllSat, SharedOutputSignalConflicts) {
+  lut_network net;
+  net.num_inputs = 2;
+  net.steps.push_back(stpes::chain::step{0x8, {0, 1}});
+  net.outputs.push_back({2, false});
+  net.outputs.push_back({2, true});  // the complement of the same signal
+  // Requiring both outputs true pins the signal both ways: UNSAT.
+  EXPECT_FALSE(solve_all(net, {true, true}).satisfiable);
+  // Opposite targets are trivially consistent.
+  EXPECT_TRUE(solve_all(net, {true, false}).satisfiable);
+}
+
+TEST(MultiOutputAllSat, RandomNetworksMatchSimulation) {
+  stpes::util::rng rng{321};
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(4));
+    const unsigned steps = 2 + static_cast<unsigned>(rng.next_below(4));
+    lut_network net;
+    net.num_inputs = n;
+    for (unsigned j = 0; j < steps; ++j) {
+      const auto limit = n + j;
+      net.steps.push_back(stpes::chain::step{
+          static_cast<unsigned>(1 + rng.next_below(14)),
+          {static_cast<std::uint32_t>(rng.next_below(limit)),
+           static_cast<std::uint32_t>(rng.next_below(limit))}});
+    }
+    // Two outputs at random signals.
+    std::vector<bool> targets;
+    for (int o = 0; o < 2; ++o) {
+      net.outputs.push_back(
+          {static_cast<std::uint32_t>(rng.next_below(n + steps)),
+           rng.next_bool()});
+      targets.push_back(rng.next_bool());
+    }
+    const auto outs = net.simulate();
+    // Reference: minterms where both outputs equal their targets.
+    truth_table expected = truth_table::constant(n, true);
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      expected &= targets[o] ? outs[o] : ~outs[o];
+    }
+    const auto r = solve_all(net, targets);
+    EXPECT_EQ(solutions_to_function(n, r.solutions), expected);
+    EXPECT_EQ(r.satisfiable, !expected.is_const0());
+  }
+}
+
+}  // namespace

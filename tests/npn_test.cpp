@@ -1,0 +1,124 @@
+#include "tt/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::tt::apply_npn_transform;
+using stpes::tt::enumerate_npn_classes;
+using stpes::tt::exact_npn_canonize;
+using stpes::tt::npn_transform;
+using stpes::tt::truth_table;
+
+TEST(Npn, TransformGroupSize) {
+  EXPECT_EQ(stpes::tt::all_npn_transforms(0).size(), 2u);
+  EXPECT_EQ(stpes::tt::all_npn_transforms(1).size(), 4u);
+  EXPECT_EQ(stpes::tt::all_npn_transforms(2).size(), 16u);
+  EXPECT_EQ(stpes::tt::all_npn_transforms(3).size(), 96u);
+  EXPECT_EQ(stpes::tt::all_npn_transforms(4).size(), 768u);
+}
+
+TEST(Npn, ApplyIdentityTransform) {
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const npn_transform identity{{0, 1, 2, 3}, 0, false};
+  EXPECT_EQ(apply_npn_transform(f, identity), f);
+}
+
+TEST(Npn, OutputNegation) {
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const npn_transform neg_out{{0, 1, 2, 3}, 0, true};
+  EXPECT_EQ(apply_npn_transform(f, neg_out), ~f);
+}
+
+TEST(Npn, InputNegationMatchesFlip) {
+  const auto f = truth_table::from_hex(4, "0xcafe");
+  const npn_transform neg_in{{0, 1, 2, 3}, 0b0100, false};
+  EXPECT_EQ(apply_npn_transform(f, neg_in), f.flip_variable(2));
+}
+
+TEST(Npn, CanonizationIsIdempotent) {
+  stpes::util::rng rng{5};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    truth_table f{4, rng.next_u64() & 0xFFFF};
+    const auto canon = exact_npn_canonize(f);
+    const auto canon2 = exact_npn_canonize(canon.canonical);
+    EXPECT_EQ(canon.canonical, canon2.canonical);
+  }
+}
+
+TEST(Npn, CanonizationWitnessTransformIsCorrect) {
+  stpes::util::rng rng{6};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    truth_table f{4, rng.next_u64() & 0xFFFF};
+    const auto canon = exact_npn_canonize(f);
+    EXPECT_EQ(apply_npn_transform(f, canon.transform), canon.canonical);
+  }
+}
+
+TEST(Npn, EquivalentFunctionsCanonizeEqually) {
+  stpes::util::rng rng{7};
+  const auto transforms = stpes::tt::all_npn_transforms(4);
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    truth_table f{4, rng.next_u64() & 0xFFFF};
+    const auto canonical = exact_npn_canonize(f).canonical;
+    // Every orbit member canonizes to the same representative.
+    for (int k = 0; k < 5; ++k) {
+      const auto& t = transforms[rng.next_below(transforms.size())];
+      const auto member = apply_npn_transform(f, t);
+      EXPECT_EQ(exact_npn_canonize(member).canonical, canonical);
+    }
+  }
+}
+
+TEST(Npn, CanonicalIsMinimalInOrbit) {
+  stpes::util::rng rng{8};
+  const auto transforms = stpes::tt::all_npn_transforms(3);
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    truth_table f{3, rng.next_u64() & 0xFF};
+    const auto canonical = exact_npn_canonize(f).canonical;
+    for (const auto& t : transforms) {
+      const auto member = apply_npn_transform(f, t);
+      EXPECT_FALSE(member < canonical);
+    }
+  }
+}
+
+TEST(Npn, ClassCountsMatchLiterature) {
+  // Known NPN class counts: n=0: 1 (constant 0 class), n=1: 2, n=2: 4,
+  // n=3: 14, n=4: 222 (the paper's NPN4 collection).
+  EXPECT_EQ(enumerate_npn_classes(0).size(), 1u);
+  EXPECT_EQ(enumerate_npn_classes(1).size(), 2u);
+  EXPECT_EQ(enumerate_npn_classes(2).size(), 4u);
+  EXPECT_EQ(enumerate_npn_classes(3).size(), 14u);
+  EXPECT_EQ(enumerate_npn_classes(4).size(), 222u);
+}
+
+TEST(Npn, RepresentativesAreCanonicalAndDistinct) {
+  const auto classes = enumerate_npn_classes(3);
+  std::set<std::string> seen;
+  for (const auto& representative : classes) {
+    EXPECT_EQ(exact_npn_canonize(representative).canonical, representative);
+    EXPECT_TRUE(seen.insert(representative.to_hex()).second);
+  }
+}
+
+TEST(Npn, EveryFunctionBelongsToExactlyOneClass) {
+  const auto classes = enumerate_npn_classes(2);
+  for (std::uint64_t value = 0; value < 16; ++value) {
+    const truth_table f{2, value};
+    const auto canonical = exact_npn_canonize(f).canonical;
+    int hits = 0;
+    for (const auto& representative : classes) {
+      if (representative == canonical) {
+        ++hits;
+      }
+    }
+    EXPECT_EQ(hits, 1) << "function " << f.to_hex();
+  }
+}
+
+}  // namespace

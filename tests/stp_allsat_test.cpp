@@ -1,0 +1,133 @@
+#include "stp/stp_allsat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stp/expr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::stp::all_sat_columns;
+using stpes::stp::logic_matrix;
+using stpes::stp::stp_sat_solver;
+using stpes::tt::truth_table;
+
+truth_table random_tt(unsigned n, stpes::util::rng& rng) {
+  truth_table f{n};
+  for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+    f.set_bit(t, rng.next_bool());
+  }
+  return f;
+}
+
+TEST(StpAllSat, DirectScanFindsOnSet) {
+  const auto f = truth_table::from_hex(3, "0xe8");  // MAJ3
+  const auto minterms = all_sat_columns(logic_matrix::from_truth_table(f));
+  std::vector<std::uint64_t> expected = {3, 5, 6, 7};
+  auto sorted = minterms;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(StpAllSat, SolverAgreesWithDirectScanOnRandomFunctions) {
+  stpes::util::rng rng{13};
+  for (unsigned n = 1; n <= 8; ++n) {
+    for (int iteration = 0; iteration < 5; ++iteration) {
+      const auto f = random_tt(n, rng);
+      const auto m = logic_matrix::from_truth_table(f);
+      stp_sat_solver solver{m};
+      auto solutions = solver.solve_all();
+      std::vector<std::uint64_t> minterms;
+      minterms.reserve(solutions.size());
+      for (const auto& s : solutions) {
+        EXPECT_EQ(s.values.size(), n);
+        minterms.push_back(s.to_minterm());
+      }
+      std::sort(minterms.begin(), minterms.end());
+      auto expected = all_sat_columns(m);
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(minterms, expected) << f.to_hex();
+      // Every solution is a genuine on-set member.
+      for (auto t : minterms) {
+        EXPECT_TRUE(f.get_bit(t));
+      }
+    }
+  }
+}
+
+TEST(StpAllSat, UnsatisfiableFormula) {
+  const auto m =
+      logic_matrix::from_truth_table(truth_table::constant(4, false));
+  stp_sat_solver solver{m};
+  EXPECT_FALSE(solver.is_satisfiable());
+  EXPECT_TRUE(solver.solve_all().empty());
+  EXPECT_TRUE(solver.solve_one().empty());
+}
+
+TEST(StpAllSat, TautologyHasAllAssignments) {
+  const auto m =
+      logic_matrix::from_truth_table(truth_table::constant(3, true));
+  stp_sat_solver solver{m};
+  EXPECT_EQ(solver.solve_all().size(), 8u);
+}
+
+TEST(StpAllSat, SolveOneReturnsFirstLexicographic) {
+  // Fig. 1 order: x1 = True explored first.
+  const auto f = truth_table::constant(2, true);
+  stp_sat_solver solver{logic_matrix::from_truth_table(f)};
+  const auto one = solver.solve_one();
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one[0].values[0]);
+  EXPECT_TRUE(one[0].values[1]);
+}
+
+TEST(StpAllSat, BacktrackStatisticsAreSane) {
+  // A single satisfying assignment in an 8-variable formula forces many
+  // cut branches.
+  truth_table f{8};
+  f.set_bit(170, true);
+  stp_sat_solver solver{logic_matrix::from_truth_table(f)};
+  const auto solutions = solver.solve_all();
+  ASSERT_EQ(solutions.size(), 1u);
+  EXPECT_EQ(solutions[0].to_minterm(), 170u);
+  // With one solution, exactly one branch per level survives; the sibling
+  // of each surviving branch is cut.
+  EXPECT_EQ(solver.stats().backtracks, 8u);
+  EXPECT_EQ(solver.stats().branches_explored, 16u);
+}
+
+TEST(StpAllSat, ZeroVariableFormulas) {
+  stp_sat_solver sat_solver{
+      logic_matrix::from_truth_table(truth_table::constant(0, true))};
+  EXPECT_EQ(sat_solver.solve_all().size(), 1u);
+  stp_sat_solver unsat_solver{
+      logic_matrix::from_truth_table(truth_table::constant(0, false))};
+  EXPECT_TRUE(unsat_solver.solve_all().empty());
+}
+
+TEST(StpAllSat, AssignmentMintermRoundTrip) {
+  stpes::stp::stp_assignment a;
+  a.values = {true, false, true};  // x1=T (input 2), x2=F, x3=T (input 0)
+  EXPECT_EQ(a.to_minterm(), 0b101u);
+}
+
+TEST(StpAllSat, EndToEndWithExpressionPipeline) {
+  // AllSAT of (x0 | x1) & !x2 via the full expression -> canonical ->
+  // solver pipeline.
+  const auto e =
+      (stpes::stp::expr::var(0) | stpes::stp::expr::var(1)) &
+      !stpes::stp::expr::var(2);
+  const auto m = e.canonical().to_logic_matrix(3);
+  stp_sat_solver solver{m};
+  const auto solutions = solver.solve_all();
+  EXPECT_EQ(solutions.size(), 3u);
+  for (const auto& s : solutions) {
+    const auto t = s.to_minterm();
+    EXPECT_TRUE((t & 1) || (t & 2));
+    EXPECT_FALSE(t & 4);
+  }
+}
+
+}  // namespace

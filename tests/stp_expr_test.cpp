@@ -1,0 +1,163 @@
+#include "stp/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stp/stp_allsat.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::stp::equiv;
+using stpes::stp::expr;
+using stpes::stp::implies;
+using stpes::stp::logic_matrix;
+using stpes::tt::truth_table;
+
+/// The STP canonical form must represent exactly the same function as
+/// direct truth-table evaluation.
+void expect_canonical_matches_eval(const expr& e, unsigned num_vars) {
+  const auto direct = e.evaluate(num_vars);
+  const auto canonical = e.canonical().to_logic_matrix(num_vars);
+  EXPECT_EQ(canonical.to_truth_table(), direct) << e.to_string();
+}
+
+TEST(StpExpr, LeafCanonicalForms) {
+  expect_canonical_matches_eval(expr::var(0), 1);
+  expect_canonical_matches_eval(expr::var(0), 3);
+  expect_canonical_matches_eval(expr::constant(true), 2);
+  expect_canonical_matches_eval(expr::constant(false), 2);
+}
+
+TEST(StpExpr, NegationCanonicalForm) {
+  expect_canonical_matches_eval(!expr::var(1), 2);
+  expect_canonical_matches_eval(!!expr::var(0), 2);
+}
+
+TEST(StpExpr, SimpleBinaryForms) {
+  const auto a = expr::var(0);
+  const auto b = expr::var(1);
+  expect_canonical_matches_eval(a & b, 2);
+  expect_canonical_matches_eval(a | b, 2);
+  expect_canonical_matches_eval(a ^ b, 2);
+  expect_canonical_matches_eval(implies(a, b), 2);
+  expect_canonical_matches_eval(equiv(a, b), 2);
+}
+
+TEST(StpExpr, Example2ImplicationEqualsNotAOrB) {
+  const auto a = expr::var(1);
+  const auto b = expr::var(0);
+  const auto lhs = implies(a, b).canonical().to_logic_matrix(2);
+  const auto rhs = ((!a) | b).canonical().to_logic_matrix(2);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(StpExpr, VariableOrderNormalization) {
+  // b & a requires one M_w swap; result must equal a & b's form.
+  const auto a = expr::var(1);
+  const auto b = expr::var(0);
+  EXPECT_EQ((b & a).canonical().to_logic_matrix(2),
+            (a & b).canonical().to_logic_matrix(2));
+  expect_canonical_matches_eval(b & a, 2);
+}
+
+TEST(StpExpr, PowerReductionOnRepeatedVariable) {
+  // a & a == a and a ^ a == 0 exercise M_r.
+  const auto a = expr::var(0);
+  const auto conj = (a & a).canonical().to_logic_matrix(1);
+  EXPECT_EQ(conj.to_truth_table(), truth_table::nth_var(1, 0));
+  const auto anti = (a ^ a).canonical().to_logic_matrix(1);
+  EXPECT_TRUE(anti.to_truth_table().is_const0());
+}
+
+TEST(StpExpr, SharedVariablesAcrossSubtrees) {
+  // (a & b) | (a & c): variable a occurs in both subtrees.
+  const auto a = expr::var(0);
+  const auto b = expr::var(1);
+  const auto c = expr::var(2);
+  expect_canonical_matches_eval((a & b) | (a & c), 3);
+  expect_canonical_matches_eval((a & b) ^ (b & c) ^ (a & c), 3);  // MAJ3
+}
+
+TEST(StpExpr, Example4LiarPuzzle) {
+  // Phi(a,b,c) = (a <-> !b) & (b <-> !c) & (c <-> (!a & !b)).
+  // Variable ids: a = 2, b = 1, c = 0, so the STP order x1 x2 x3 matches
+  // (a, b, c) and the canonical matrix can be compared to the paper.
+  const auto a = expr::var(2);
+  const auto b = expr::var(1);
+  const auto c = expr::var(0);
+  const auto phi =
+      equiv(a, !b) & equiv(b, !c) & equiv(c, (!a) & (!b));
+  const auto canonical = phi.canonical().to_logic_matrix(3);
+  // Paper: M_Phi = [0 0 0 0 0 1 0 0 / 1 1 1 1 1 0 1 1].
+  EXPECT_EQ(canonical.to_string(),
+            "[0 0 0 0 0 1 0 0 /  1 1 1 1 1 0 1 1]");
+  // The unique solution: a = F, b = T, c = F (b is honest).
+  const auto solutions = stpes::stp::all_sat_columns(canonical);
+  ASSERT_EQ(solutions.size(), 1u);
+  const auto t = solutions[0];
+  EXPECT_EQ((t >> 2) & 1, 0u);  // a false
+  EXPECT_EQ((t >> 1) & 1, 1u);  // b true
+  EXPECT_EQ(t & 1, 0u);         // c false
+}
+
+TEST(StpExpr, DeepNestingAgreesWithEvaluation) {
+  stpes::util::rng rng{77};
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.next_below(4));
+    // Random expression tree of ~7 nodes over n variables (reuse allowed).
+    std::vector<expr> pool;
+    for (unsigned v = 0; v < n; ++v) {
+      pool.push_back(expr::var(v));
+    }
+    for (int step = 0; step < 6; ++step) {
+      const auto& x = pool[rng.next_below(pool.size())];
+      const auto& y = pool[rng.next_below(pool.size())];
+      switch (rng.next_below(5)) {
+        case 0:
+          pool.push_back(x & y);
+          break;
+        case 1:
+          pool.push_back(x | y);
+          break;
+        case 2:
+          pool.push_back(x ^ y);
+          break;
+        case 3:
+          pool.push_back(implies(x, y));
+          break;
+        default:
+          pool.push_back(!x);
+          break;
+      }
+    }
+    expect_canonical_matches_eval(pool.back(), n);
+  }
+}
+
+TEST(StpExpr, ArbitraryBinaryLut) {
+  const auto a = expr::var(0);
+  const auto b = expr::var(1);
+  for (unsigned op = 0; op < 16; ++op) {
+    const auto e = a.binary(op, b);
+    const auto f = e.evaluate(2);
+    EXPECT_EQ(e.canonical().to_logic_matrix(2).to_truth_table(), f)
+        << "op " << op;
+  }
+}
+
+TEST(StpExpr, MinNumVars) {
+  EXPECT_EQ(expr::constant(true).min_num_vars(), 0u);
+  EXPECT_EQ(expr::var(3).min_num_vars(), 4u);
+  EXPECT_EQ((expr::var(1) & expr::var(5)).min_num_vars(), 6u);
+}
+
+TEST(StpExpr, EvaluateRejectsTooFewVars) {
+  EXPECT_THROW(expr::var(3).evaluate(2), std::invalid_argument);
+}
+
+TEST(StpExpr, ToStringRendersConnectives) {
+  const auto e = (expr::var(0) & !expr::var(1)) ^ expr::var(2);
+  EXPECT_EQ(e.to_string(), "((x0 & !x1) ^ x2)");
+}
+
+}  // namespace

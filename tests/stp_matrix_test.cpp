@@ -1,0 +1,250 @@
+#include "stp/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stp/logic_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::stp::logic_matrix;
+using stpes::stp::matrix;
+using stpes::tt::truth_table;
+
+matrix random_matrix(std::size_t rows, std::size_t cols,
+                     stpes::util::rng& rng) {
+  matrix m{rows, cols};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<int>(rng.next_below(3));
+    }
+  }
+  return m;
+}
+
+TEST(StpMatrix, IdentityMultiplication) {
+  stpes::util::rng rng{1};
+  const auto m = random_matrix(3, 5, rng);
+  EXPECT_EQ(matrix::identity(3).multiply(m), m);
+  EXPECT_EQ(m.multiply(matrix::identity(5)), m);
+}
+
+TEST(StpMatrix, KroneckerDimensionsAndValues) {
+  const matrix a{{1, 2}, {3, 4}};
+  const matrix b{{0, 1}, {1, 0}};
+  const auto k = a.kronecker(b);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  // Top-left 2x2 block is 1 * b.
+  EXPECT_EQ(k.at(0, 0), 0);
+  EXPECT_EQ(k.at(0, 1), 1);
+  // Top-right block is 2 * b.
+  EXPECT_EQ(k.at(0, 2), 0);
+  EXPECT_EQ(k.at(0, 3), 2);
+  // Bottom-right block is 4 * b.
+  EXPECT_EQ(k.at(3, 2), 4);
+  EXPECT_EQ(k.at(3, 3), 0);
+}
+
+TEST(StpMatrix, KroneckerMixedProductProperty) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD).
+  stpes::util::rng rng{2};
+  const auto a = random_matrix(2, 3, rng);
+  const auto b = random_matrix(2, 2, rng);
+  const auto c = random_matrix(3, 2, rng);
+  const auto d = random_matrix(2, 3, rng);
+  EXPECT_EQ(a.kronecker(b).multiply(c.kronecker(d)),
+            a.multiply(c).kronecker(b.multiply(d)));
+}
+
+TEST(StpMatrix, StpEqualsOrdinaryProductWhenDimensionsMatch) {
+  stpes::util::rng rng{3};
+  const auto a = random_matrix(2, 4, rng);
+  const auto b = random_matrix(4, 3, rng);
+  EXPECT_EQ(a.stp(b), a.multiply(b));
+}
+
+TEST(StpMatrix, StpDefinitionDimensions) {
+  // X in M^{2x4}, Y in M^{2x2}: t = lcm(4, 2) = 4, so the product is
+  // X * (Y (x) I_2) with shape 2 x 4.
+  stpes::util::rng rng{4};
+  const auto x = random_matrix(2, 4, rng);
+  const auto y = random_matrix(2, 2, rng);
+  const auto product = x.stp(y);
+  EXPECT_EQ(product.rows(), 2u);
+  EXPECT_EQ(product.cols(), 4u);
+  // Against the definition directly.
+  EXPECT_EQ(product, x.multiply(y.kronecker(matrix::identity(2))));
+}
+
+TEST(StpMatrix, StpIsAssociative) {
+  stpes::util::rng rng{5};
+  const auto a = random_matrix(2, 4, rng);
+  const auto b = random_matrix(2, 2, rng);
+  const auto c = random_matrix(2, 2, rng);
+  EXPECT_EQ(a.stp(b).stp(c), a.stp(b.stp(c)));
+}
+
+TEST(StpMatrix, Property1RowVectorSwap) {
+  // X |x Z_r == Z_r |x (I_t (x) X) for a row vector Z_r in M^{1xt}.
+  stpes::util::rng rng{6};
+  const auto x = random_matrix(2, 2, rng);
+  matrix z{1, 4};
+  for (std::size_t c = 0; c < 4; ++c) {
+    z.at(0, c) = static_cast<int>(rng.next_below(3));
+  }
+  const auto lhs = x.stp(z);
+  const auto rhs = z.stp(matrix::identity(4).kronecker(x));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(StpMatrix, Property1ColumnVectorSwap) {
+  // Z_c |x X == (I_t (x) X) |x Z_c for a column vector Z_c in M^{tx1}.
+  stpes::util::rng rng{7};
+  const auto x = random_matrix(2, 2, rng);
+  matrix z{4, 1};
+  for (std::size_t r = 0; r < 4; ++r) {
+    z.at(r, 0) = static_cast<int>(rng.next_below(3));
+  }
+  const auto lhs = z.stp(x);
+  const auto rhs = matrix::identity(4).kronecker(x).stp(z);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(StpMatrix, SwapMatrixExchangesKroneckerFactors) {
+  stpes::util::rng rng{8};
+  for (const auto& [m, n] : {std::pair<std::size_t, std::size_t>{2, 2},
+                            {2, 4},
+                            {3, 2},
+                            {4, 4}}) {
+    matrix x{m, 1};
+    matrix y{n, 1};
+    for (std::size_t r = 0; r < m; ++r) {
+      x.at(r, 0) = static_cast<int>(rng.next_below(5));
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      y.at(r, 0) = static_cast<int>(rng.next_below(5));
+    }
+    EXPECT_EQ(matrix::swap_matrix(m, n).multiply(x.kronecker(y)),
+              y.kronecker(x));
+  }
+}
+
+TEST(StpMatrix, PowerReducingMatrixEq3) {
+  // M_r x == x (x) x for Boolean x (Example 3).
+  for (const auto& x : {matrix::boolean_true(), matrix::boolean_false()}) {
+    EXPECT_EQ(matrix::power_reducing().multiply(x), x.kronecker(x));
+  }
+  // Literal layout of eq. (3).
+  const matrix expected{{1, 0}, {0, 0}, {0, 0}, {0, 1}};
+  EXPECT_EQ(matrix::power_reducing(), expected);
+}
+
+TEST(StpMatrix, VariableSwapMatrixEq4) {
+  const matrix expected{
+      {1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+  EXPECT_EQ(matrix::variable_swap(), expected);
+  // M_w (b |x a) == a |x b (Example 3).
+  const auto a = matrix::boolean_true();
+  const auto b = matrix::boolean_false();
+  EXPECT_EQ(matrix::variable_swap().multiply(b.kronecker(a)),
+            a.kronecker(b));
+}
+
+TEST(StpMatrix, Example2ImplicationIdentity) {
+  // M_d * M_n == M_i (the proof of a -> b == !a | b in Example 2).
+  const auto m_d = logic_matrix::binary_op(0xE).to_matrix();  // disjunction
+  const auto m_n = logic_matrix::negation().to_matrix();
+  const auto m_i = logic_matrix::binary_op(0xD).to_matrix();  // implication
+  EXPECT_EQ(m_d.stp(m_n), m_i);
+}
+
+TEST(StpMatrix, StructuralMatricesMatchPaper) {
+  // M_c (conjunction), M_d (disjunction), M_i (implication), M_e (equiv).
+  const matrix m_c{{1, 0, 0, 0}, {0, 1, 1, 1}};
+  const matrix m_d{{1, 1, 1, 0}, {0, 0, 0, 1}};
+  const matrix m_i{{1, 0, 1, 1}, {0, 1, 0, 0}};
+  const matrix m_e{{1, 0, 0, 1}, {0, 1, 1, 0}};
+  EXPECT_EQ(logic_matrix::binary_op(0x8).to_matrix(), m_c);
+  EXPECT_EQ(logic_matrix::binary_op(0xE).to_matrix(), m_d);
+  EXPECT_EQ(logic_matrix::binary_op(0xD).to_matrix(), m_i);
+  EXPECT_EQ(logic_matrix::binary_op(0x9).to_matrix(), m_e);
+}
+
+TEST(StpMatrix, StpChainProduct) {
+  const auto m_n = logic_matrix::negation().to_matrix();
+  const auto chain = stpes::stp::stp_chain({m_n, m_n, m_n});
+  EXPECT_EQ(chain, m_n);
+}
+
+TEST(LogicMatrix, TruthTableRoundTrip) {
+  stpes::util::rng rng{9};
+  for (unsigned n = 0; n <= 6; ++n) {
+    truth_table f{n};
+    for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+      f.set_bit(t, rng.next_bool());
+    }
+    const auto m = logic_matrix::from_truth_table(f);
+    EXPECT_EQ(m.num_vars(), n);
+    EXPECT_EQ(m.to_truth_table(), f);
+  }
+}
+
+TEST(LogicMatrix, OperatorApplicationAgreesWithStp) {
+  // For every binary op: M_op |x a |x b == column of (a op b).
+  for (unsigned op = 0; op < 16; ++op) {
+    const auto m_op = logic_matrix::binary_op(op).to_matrix();
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        const auto va = a ? matrix::boolean_true() : matrix::boolean_false();
+        const auto vb = b ? matrix::boolean_true() : matrix::boolean_false();
+        const auto out = m_op.stp(va).stp(vb);
+        const bool expected = ((op >> ((b << 1) | a)) & 1) != 0;
+        EXPECT_EQ(out,
+                  expected ? matrix::boolean_true() : matrix::boolean_false())
+            << "op " << op << " a " << a << " b " << b;
+      }
+    }
+  }
+}
+
+TEST(LogicMatrix, SplitQuartering) {
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto m = logic_matrix::from_truth_table(f);
+  const auto quarters = m.split(4);
+  ASSERT_EQ(quarters.size(), 4u);
+  for (const auto& q : quarters) {
+    EXPECT_EQ(q.num_vars(), 2u);
+  }
+  // Reassembling the quarters gives back the original top row.
+  for (std::uint64_t c = 0; c < m.num_cols(); ++c) {
+    EXPECT_EQ(m.column_is_true(c), quarters[c / 4].column_is_true(c % 4));
+  }
+}
+
+TEST(LogicMatrix, ComplementFlipsRows) {
+  const auto f = truth_table::from_hex(3, "0xe8");
+  const auto m = logic_matrix::from_truth_table(f);
+  EXPECT_EQ(m.complement().to_truth_table(), ~f);
+}
+
+TEST(LogicMatrix, FromMatrixValidates) {
+  matrix bad{2, 4};
+  bad.at(0, 0) = 1;
+  bad.at(1, 0) = 1;  // column [1,1] is not in S_V
+  EXPECT_THROW(logic_matrix::from_matrix(bad), std::invalid_argument);
+  matrix good{2, 2};
+  good.at(0, 0) = 1;
+  good.at(1, 0) = 0;
+  good.at(0, 1) = 0;
+  good.at(1, 1) = 1;
+  EXPECT_EQ(logic_matrix::from_matrix(good).num_vars(), 1u);
+}
+
+TEST(LogicMatrix, TrueColumnsMatchOnSet) {
+  const auto f = truth_table::from_hex(3, "0xe8");
+  const auto m = logic_matrix::from_truth_table(f);
+  EXPECT_EQ(m.true_columns().size(), f.count_ones());
+}
+
+}  // namespace

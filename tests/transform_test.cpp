@@ -1,0 +1,163 @@
+#include "chain/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/npn_cache.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::chain::apply_inverse_npn_to_chain;
+using stpes::chain::boolean_chain;
+using stpes::chain::to_blif;
+using stpes::chain::to_verilog;
+using stpes::tt::apply_npn_transform;
+using stpes::tt::npn_transform;
+using stpes::tt::truth_table;
+
+boolean_chain example7_chain() {
+  boolean_chain c{4};
+  const auto x4 = c.add_step(0x8, 0, 1);
+  const auto x5 = c.add_step(0x6, 2, 3);
+  c.set_output(c.add_step(0xE, x4, x5));
+  return c;
+}
+
+TEST(ChainTransform, IdentityTransformIsNoOp) {
+  const auto c = example7_chain();
+  const npn_transform identity{{0, 1, 2, 3}, 0, false};
+  EXPECT_EQ(apply_inverse_npn_to_chain(c, identity).simulate(),
+            c.simulate());
+}
+
+TEST(ChainTransform, OutputNegation) {
+  const auto c = example7_chain();
+  const npn_transform t{{0, 1, 2, 3}, 0, true};
+  EXPECT_EQ(apply_inverse_npn_to_chain(c, t).simulate(), ~c.simulate());
+}
+
+TEST(ChainTransform, RoundTripOnRandomTransforms) {
+  // chain computes g = apply(f, T); the inverse-applied chain must compute
+  // f for every T in the group.
+  stpes::util::rng rng{55};
+  const auto transforms = stpes::tt::all_npn_transforms(4);
+  const auto g_chain = example7_chain();
+  const auto g = g_chain.simulate();
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const auto& t = transforms[rng.next_below(transforms.size())];
+    // Find f such that apply(f, t) == g: apply the inverse... easier:
+    // pick f random-equivalent: f = apply(g, t_inv)?  Instead use the
+    // definitionally correct direction: for any f with g==apply(f,t), the
+    // rewritten chain computes f.  Construct f by inverting on tables:
+    // search the orbit for a member m with apply(m, t) == g.
+    truth_table f = g;
+    bool found = false;
+    for (const auto& candidate_t : transforms) {
+      const auto candidate = apply_npn_transform(g, candidate_t);
+      if (apply_npn_transform(candidate, t) == g) {
+        f = candidate;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+    const auto f_chain = apply_inverse_npn_to_chain(g_chain, t);
+    EXPECT_EQ(f_chain.simulate(), f);
+    EXPECT_EQ(f_chain.num_steps(), g_chain.num_steps());
+  }
+}
+
+TEST(ChainTransform, LiteralOutputChains) {
+  boolean_chain c{3};
+  c.set_output(1, /*complemented=*/false);
+  const npn_transform t{{2, 0, 1}, 0b010, true};
+  const auto rewritten = apply_inverse_npn_to_chain(c, t);
+  // g(x) = f(y), y_{perm[i]} = x_i ^ neg_i; g = x1 here, so
+  // f(y) = ~(y_{perm[1]} ^ neg_1) with output negation.
+  const auto g = apply_npn_transform(rewritten.simulate(), t);
+  EXPECT_EQ(g, c.simulate());
+}
+
+TEST(ChainTransform, EveryOrbitMemberReachable) {
+  // Exhaustive: rewrite the 0x8ff8 chain through every group element and
+  // check the defining equation apply(f_chain, T) == g.
+  const auto g_chain = example7_chain();
+  const auto g = g_chain.simulate();
+  for (const auto& t : stpes::tt::all_npn_transforms(4)) {
+    const auto f_chain = apply_inverse_npn_to_chain(g_chain, t);
+    EXPECT_EQ(apply_npn_transform(f_chain.simulate(), t), g);
+  }
+}
+
+TEST(ChainExport, BlifContainsAllSections) {
+  const auto blif = to_blif(example7_chain(), "ex7");
+  EXPECT_NE(blif.find(".model ex7"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs x0 x1 x2 x3"), std::string::npos);
+  EXPECT_NE(blif.find(".outputs f"), std::string::npos);
+  EXPECT_NE(blif.find(".names x0 x1 x4"), std::string::npos);
+  EXPECT_NE(blif.find("11 1"), std::string::npos);  // AND cube
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+}
+
+TEST(ChainExport, BlifComplementedOutput) {
+  auto c = example7_chain();
+  c.set_output(c.output(), true);
+  EXPECT_NE(to_blif(c).find("0 1"), std::string::npos);
+}
+
+TEST(ChainExport, VerilogStructure) {
+  const auto verilog = to_verilog(example7_chain(), "ex7");
+  EXPECT_NE(verilog.find("module ex7("), std::string::npos);
+  EXPECT_NE(verilog.find("input x0;"), std::string::npos);
+  EXPECT_NE(verilog.find("assign x4"), std::string::npos);
+  EXPECT_NE(verilog.find("assign f = x6;"), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+}
+
+TEST(NpnCache, ServesWholeOrbitFromOneSynthesis) {
+  stpes::core::npn_cached_synthesizer cache{stpes::core::engine::stp, 30.0};
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto r1 = cache.synthesize(f);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Every orbit member must come from the cache and simulate correctly.
+  const auto transforms = stpes::tt::all_npn_transforms(4);
+  stpes::util::rng rng{77};
+  for (int i = 0; i < 10; ++i) {
+    const auto member = apply_npn_transform(
+        f, transforms[rng.next_below(transforms.size())]);
+    const auto r = cache.synthesize(member);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.optimum_gates, r1.optimum_gates);
+    for (const auto& c : r.chains) {
+      EXPECT_EQ(c.simulate(), member);
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 10u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NpnCache, DistinctClassesMissSeparately) {
+  stpes::core::npn_cached_synthesizer cache{stpes::core::engine::stp, 30.0};
+  ASSERT_TRUE(cache.synthesize(truth_table::from_hex(4, "0x8ff8")).ok());
+  ASSERT_TRUE(cache.synthesize(truth_table(4, 0x8888)).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(NpnCache, LargeFunctionsBypass) {
+  stpes::core::npn_cached_synthesizer cache{stpes::core::engine::stp, 30.0};
+  // 6-input XOR: n > 5 bypasses canonization.
+  auto f = truth_table::nth_var(6, 0);
+  for (unsigned v = 1; v < 6; ++v) {
+    f = f ^ truth_table::nth_var(6, v);
+  }
+  const auto r = cache.synthesize(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cache.stats().uncached, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using stpes::util::rng;
+using stpes::util::stopwatch;
+using stpes::util::table_printer;
+using stpes::util::time_budget;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  rng a{123};
+  rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a{1};
+  rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  rng a{9};
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(9);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  rng r{7};
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  rng r{11};
+  std::array<int, 5> histogram{};
+  for (int i = 0; i < 5000; ++i) {
+    ++histogram[r.next_below(5)];
+  }
+  for (const int count : histogram) {
+    EXPECT_GT(count, 800);  // roughly uniform
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  rng r{13};
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  rng r{17};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.next_bernoulli(0, 10));
+    EXPECT_TRUE(r.next_bernoulli(10, 10));
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(w.elapsed_seconds(), 0.009);
+  EXPECT_GE(w.elapsed_us(), 9000);
+  w.restart();
+  EXPECT_LT(w.elapsed_seconds(), 0.5);
+}
+
+TEST(TimeBudget, UnlimitedByDefault) {
+  const time_budget b;
+  EXPECT_FALSE(b.limited());
+  EXPECT_FALSE(b.expired());
+  EXPECT_GT(b.remaining_seconds(), 1e12);
+}
+
+TEST(TimeBudget, NonPositiveMeansUnlimited) {
+  EXPECT_FALSE(time_budget{0.0}.limited());
+  EXPECT_FALSE(time_budget{-1.0}.limited());
+}
+
+TEST(TimeBudget, ExpiresAfterDeadline) {
+  const time_budget b{0.005};
+  EXPECT_TRUE(b.limited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(b.expired());
+  EXPECT_LE(b.remaining_seconds(), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  table_printer t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  table_printer t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatsDoubles) {
+  EXPECT_EQ(table_printer::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(table_printer::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(table_printer::fmt(0.0005, 3), "0.001");
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "workload/collections.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tt/dsd.hpp"
+
+namespace {
+
+using stpes::tt::analyze_dsd;
+using stpes::tt::dsd_kind;
+using stpes::tt::truth_table;
+using stpes::workload::fdsd_functions;
+using stpes::workload::npn4_classes;
+using stpes::workload::pdsd_functions;
+
+TEST(Workload, Npn4Has222Classes) {
+  const auto classes = npn4_classes();
+  EXPECT_EQ(classes.size(), 222u);
+  std::set<std::string> seen;
+  for (const auto& f : classes) {
+    EXPECT_EQ(f.num_vars(), 4u);
+    EXPECT_TRUE(seen.insert(f.to_hex()).second);
+  }
+}
+
+TEST(Workload, FdsdFunctionsAreFullyDsd) {
+  for (const unsigned n : {4u, 6u, 8u}) {
+    const auto functions = fdsd_functions(n, 25, /*seed=*/7);
+    EXPECT_EQ(functions.size(), 25u);
+    for (const auto& f : functions) {
+      EXPECT_EQ(f.num_vars(), n);
+      EXPECT_EQ(f.support_size(), n);
+      const auto kind = analyze_dsd(f).kind;
+      EXPECT_EQ(kind, dsd_kind::full) << f.to_hex();
+    }
+  }
+}
+
+TEST(Workload, PdsdFunctionsArePartial) {
+  for (const unsigned n : {6u, 8u}) {
+    const auto functions = pdsd_functions(n, 15, /*seed=*/11);
+    EXPECT_EQ(functions.size(), 15u);
+    for (const auto& f : functions) {
+      EXPECT_EQ(f.num_vars(), n);
+      EXPECT_EQ(f.support_size(), n);
+      const auto analysis = analyze_dsd(f);
+      EXPECT_EQ(analysis.kind, dsd_kind::partial) << f.to_hex();
+      EXPECT_GE(analysis.residue_support, 3u);
+    }
+  }
+}
+
+TEST(Workload, GeneratorsAreDeterministic) {
+  const auto a = fdsd_functions(6, 10, 42);
+  const auto b = fdsd_functions(6, 10, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  const auto c = fdsd_functions(6, 10, 43);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    any_difference |= !(a[i] == c[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, FunctionsAreDistinct) {
+  const auto functions = pdsd_functions(6, 30, 3);
+  std::set<std::string> seen;
+  for (const auto& f : functions) {
+    EXPECT_TRUE(seen.insert(f.to_hex()).second);
+  }
+}
+
+TEST(Workload, RandomPrimeFunctionIsPrime) {
+  stpes::util::rng rng{5};
+  for (int i = 0; i < 10; ++i) {
+    const auto p = stpes::workload::random_prime_function(3, rng);
+    EXPECT_TRUE(stpes::tt::is_prime(p));
+    EXPECT_EQ(p.support_size(), 3u);
+  }
+  EXPECT_THROW(stpes::workload::random_prime_function(2, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, ReadOnceTreeKeepsFullSupport) {
+  stpes::util::rng rng{6};
+  for (int i = 0; i < 20; ++i) {
+    const auto f = stpes::workload::random_read_once_tree(6, rng);
+    EXPECT_EQ(f.support_size(), 6u);
+    EXPECT_TRUE(stpes::tt::is_fully_dsd(f));
+  }
+}
+
+TEST(Workload, PdsdRejectsTooFewInputs) {
+  EXPECT_THROW(pdsd_functions(3, 1, 0), std::invalid_argument);
+}
+
+}  // namespace

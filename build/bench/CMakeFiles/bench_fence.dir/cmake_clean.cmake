@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fence.dir/bench_fence.cpp.o"
+  "CMakeFiles/bench_fence.dir/bench_fence.cpp.o.d"
+  "bench_fence"
+  "bench_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

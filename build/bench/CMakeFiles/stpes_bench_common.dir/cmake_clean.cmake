@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_bench_common.dir/table1_common.cpp.o"
+  "CMakeFiles/stpes_bench_common.dir/table1_common.cpp.o.d"
+  "libstpes_bench_common.a"
+  "libstpes_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstpes_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fdsd6.dir/table1_fdsd6.cpp.o"
+  "CMakeFiles/table1_fdsd6.dir/table1_fdsd6.cpp.o.d"
+  "table1_fdsd6"
+  "table1_fdsd6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fdsd6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

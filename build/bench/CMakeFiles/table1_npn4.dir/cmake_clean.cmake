@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_npn4.dir/table1_npn4.cpp.o"
+  "CMakeFiles/table1_npn4.dir/table1_npn4.cpp.o.d"
+  "table1_npn4"
+  "table1_npn4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_npn4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pdsd8.dir/table1_pdsd8.cpp.o"
+  "CMakeFiles/table1_pdsd8.dir/table1_pdsd8.cpp.o.d"
+  "table1_pdsd8"
+  "table1_pdsd8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pdsd8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_selection.dir/cost_selection.cpp.o"
+  "CMakeFiles/cost_selection.dir/cost_selection.cpp.o.d"
+  "cost_selection"
+  "cost_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

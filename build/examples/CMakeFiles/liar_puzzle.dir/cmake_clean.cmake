@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liar_puzzle.dir/liar_puzzle.cpp.o"
+  "CMakeFiles/liar_puzzle.dir/liar_puzzle.cpp.o.d"
+  "liar_puzzle"
+  "liar_puzzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liar_puzzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npn4_catalog.dir/npn4_catalog.cpp.o"
+  "CMakeFiles/npn4_catalog.dir/npn4_catalog.cpp.o.d"
+  "npn4_catalog"
+  "npn4_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npn4_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for npn4_catalog.
+# This may be replaced when dependencies are built.

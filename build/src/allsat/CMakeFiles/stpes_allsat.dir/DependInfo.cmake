@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/allsat/circuit_allsat.cpp" "src/allsat/CMakeFiles/stpes_allsat.dir/circuit_allsat.cpp.o" "gcc" "src/allsat/CMakeFiles/stpes_allsat.dir/circuit_allsat.cpp.o.d"
+  "/root/repo/src/allsat/lut_network.cpp" "src/allsat/CMakeFiles/stpes_allsat.dir/lut_network.cpp.o" "gcc" "src/allsat/CMakeFiles/stpes_allsat.dir/lut_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/stpes_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/stpes_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

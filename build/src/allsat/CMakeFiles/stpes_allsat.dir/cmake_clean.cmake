@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_allsat.dir/circuit_allsat.cpp.o"
+  "CMakeFiles/stpes_allsat.dir/circuit_allsat.cpp.o.d"
+  "CMakeFiles/stpes_allsat.dir/lut_network.cpp.o"
+  "CMakeFiles/stpes_allsat.dir/lut_network.cpp.o.d"
+  "libstpes_allsat.a"
+  "libstpes_allsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_allsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

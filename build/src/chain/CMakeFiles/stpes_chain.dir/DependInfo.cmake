@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/boolean_chain.cpp" "src/chain/CMakeFiles/stpes_chain.dir/boolean_chain.cpp.o" "gcc" "src/chain/CMakeFiles/stpes_chain.dir/boolean_chain.cpp.o.d"
+  "/root/repo/src/chain/transform.cpp" "src/chain/CMakeFiles/stpes_chain.dir/transform.cpp.o" "gcc" "src/chain/CMakeFiles/stpes_chain.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tt/CMakeFiles/stpes_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

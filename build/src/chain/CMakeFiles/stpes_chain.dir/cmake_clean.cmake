@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_chain.dir/boolean_chain.cpp.o"
+  "CMakeFiles/stpes_chain.dir/boolean_chain.cpp.o.d"
+  "CMakeFiles/stpes_chain.dir/transform.cpp.o"
+  "CMakeFiles/stpes_chain.dir/transform.cpp.o.d"
+  "libstpes_chain.a"
+  "libstpes_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

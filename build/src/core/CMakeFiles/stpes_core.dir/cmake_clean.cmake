@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_core.dir/exact_synthesis.cpp.o"
+  "CMakeFiles/stpes_core.dir/exact_synthesis.cpp.o.d"
+  "CMakeFiles/stpes_core.dir/npn_cache.cpp.o"
+  "CMakeFiles/stpes_core.dir/npn_cache.cpp.o.d"
+  "CMakeFiles/stpes_core.dir/selector.cpp.o"
+  "CMakeFiles/stpes_core.dir/selector.cpp.o.d"
+  "libstpes_core.a"
+  "libstpes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

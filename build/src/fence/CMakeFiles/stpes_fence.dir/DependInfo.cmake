@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fence/dag.cpp" "src/fence/CMakeFiles/stpes_fence.dir/dag.cpp.o" "gcc" "src/fence/CMakeFiles/stpes_fence.dir/dag.cpp.o.d"
+  "/root/repo/src/fence/fence.cpp" "src/fence/CMakeFiles/stpes_fence.dir/fence.cpp.o" "gcc" "src/fence/CMakeFiles/stpes_fence.dir/fence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

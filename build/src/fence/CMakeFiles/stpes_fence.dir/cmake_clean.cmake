@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_fence.dir/dag.cpp.o"
+  "CMakeFiles/stpes_fence.dir/dag.cpp.o.d"
+  "CMakeFiles/stpes_fence.dir/fence.cpp.o"
+  "CMakeFiles/stpes_fence.dir/fence.cpp.o.d"
+  "libstpes_fence.a"
+  "libstpes_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

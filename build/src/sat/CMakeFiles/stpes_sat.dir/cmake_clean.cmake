@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/stpes_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/stpes_sat.dir/solver.cpp.o"
+  "CMakeFiles/stpes_sat.dir/solver.cpp.o.d"
+  "libstpes_sat.a"
+  "libstpes_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

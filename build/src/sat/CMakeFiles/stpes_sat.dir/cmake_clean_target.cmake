@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstpes_sat.a"
+)

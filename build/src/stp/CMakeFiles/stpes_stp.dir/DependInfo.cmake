@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stp/expr.cpp" "src/stp/CMakeFiles/stpes_stp.dir/expr.cpp.o" "gcc" "src/stp/CMakeFiles/stpes_stp.dir/expr.cpp.o.d"
+  "/root/repo/src/stp/logic_matrix.cpp" "src/stp/CMakeFiles/stpes_stp.dir/logic_matrix.cpp.o" "gcc" "src/stp/CMakeFiles/stpes_stp.dir/logic_matrix.cpp.o.d"
+  "/root/repo/src/stp/matrix.cpp" "src/stp/CMakeFiles/stpes_stp.dir/matrix.cpp.o" "gcc" "src/stp/CMakeFiles/stpes_stp.dir/matrix.cpp.o.d"
+  "/root/repo/src/stp/stp_allsat.cpp" "src/stp/CMakeFiles/stpes_stp.dir/stp_allsat.cpp.o" "gcc" "src/stp/CMakeFiles/stpes_stp.dir/stp_allsat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tt/CMakeFiles/stpes_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_stp.dir/expr.cpp.o"
+  "CMakeFiles/stpes_stp.dir/expr.cpp.o.d"
+  "CMakeFiles/stpes_stp.dir/logic_matrix.cpp.o"
+  "CMakeFiles/stpes_stp.dir/logic_matrix.cpp.o.d"
+  "CMakeFiles/stpes_stp.dir/matrix.cpp.o"
+  "CMakeFiles/stpes_stp.dir/matrix.cpp.o.d"
+  "CMakeFiles/stpes_stp.dir/stp_allsat.cpp.o"
+  "CMakeFiles/stpes_stp.dir/stp_allsat.cpp.o.d"
+  "libstpes_stp.a"
+  "libstpes_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bms.cpp" "src/synth/CMakeFiles/stpes_synth.dir/bms.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/bms.cpp.o.d"
+  "/root/repo/src/synth/cegar.cpp" "src/synth/CMakeFiles/stpes_synth.dir/cegar.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/cegar.cpp.o.d"
+  "/root/repo/src/synth/factorize.cpp" "src/synth/CMakeFiles/stpes_synth.dir/factorize.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/factorize.cpp.o.d"
+  "/root/repo/src/synth/fen.cpp" "src/synth/CMakeFiles/stpes_synth.dir/fen.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/fen.cpp.o.d"
+  "/root/repo/src/synth/spec.cpp" "src/synth/CMakeFiles/stpes_synth.dir/spec.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/spec.cpp.o.d"
+  "/root/repo/src/synth/ssv_encoding.cpp" "src/synth/CMakeFiles/stpes_synth.dir/ssv_encoding.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/ssv_encoding.cpp.o.d"
+  "/root/repo/src/synth/stp_synth.cpp" "src/synth/CMakeFiles/stpes_synth.dir/stp_synth.cpp.o" "gcc" "src/synth/CMakeFiles/stpes_synth.dir/stp_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/allsat/CMakeFiles/stpes_allsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/stpes_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fence/CMakeFiles/stpes_fence.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/stpes_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stp/CMakeFiles/stpes_stp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/stpes_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

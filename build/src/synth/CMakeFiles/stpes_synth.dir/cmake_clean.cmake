@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_synth.dir/bms.cpp.o"
+  "CMakeFiles/stpes_synth.dir/bms.cpp.o.d"
+  "CMakeFiles/stpes_synth.dir/cegar.cpp.o"
+  "CMakeFiles/stpes_synth.dir/cegar.cpp.o.d"
+  "CMakeFiles/stpes_synth.dir/factorize.cpp.o"
+  "CMakeFiles/stpes_synth.dir/factorize.cpp.o.d"
+  "CMakeFiles/stpes_synth.dir/fen.cpp.o"
+  "CMakeFiles/stpes_synth.dir/fen.cpp.o.d"
+  "CMakeFiles/stpes_synth.dir/spec.cpp.o"
+  "CMakeFiles/stpes_synth.dir/spec.cpp.o.d"
+  "CMakeFiles/stpes_synth.dir/ssv_encoding.cpp.o"
+  "CMakeFiles/stpes_synth.dir/ssv_encoding.cpp.o.d"
+  "CMakeFiles/stpes_synth.dir/stp_synth.cpp.o"
+  "CMakeFiles/stpes_synth.dir/stp_synth.cpp.o.d"
+  "libstpes_synth.a"
+  "libstpes_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

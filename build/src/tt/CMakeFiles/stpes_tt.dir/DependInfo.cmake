@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tt/dsd.cpp" "src/tt/CMakeFiles/stpes_tt.dir/dsd.cpp.o" "gcc" "src/tt/CMakeFiles/stpes_tt.dir/dsd.cpp.o.d"
+  "/root/repo/src/tt/isf.cpp" "src/tt/CMakeFiles/stpes_tt.dir/isf.cpp.o" "gcc" "src/tt/CMakeFiles/stpes_tt.dir/isf.cpp.o.d"
+  "/root/repo/src/tt/npn.cpp" "src/tt/CMakeFiles/stpes_tt.dir/npn.cpp.o" "gcc" "src/tt/CMakeFiles/stpes_tt.dir/npn.cpp.o.d"
+  "/root/repo/src/tt/truth_table.cpp" "src/tt/CMakeFiles/stpes_tt.dir/truth_table.cpp.o" "gcc" "src/tt/CMakeFiles/stpes_tt.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

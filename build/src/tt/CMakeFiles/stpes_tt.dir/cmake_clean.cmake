@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_tt.dir/dsd.cpp.o"
+  "CMakeFiles/stpes_tt.dir/dsd.cpp.o.d"
+  "CMakeFiles/stpes_tt.dir/isf.cpp.o"
+  "CMakeFiles/stpes_tt.dir/isf.cpp.o.d"
+  "CMakeFiles/stpes_tt.dir/npn.cpp.o"
+  "CMakeFiles/stpes_tt.dir/npn.cpp.o.d"
+  "CMakeFiles/stpes_tt.dir/truth_table.cpp.o"
+  "CMakeFiles/stpes_tt.dir/truth_table.cpp.o.d"
+  "libstpes_tt.a"
+  "libstpes_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

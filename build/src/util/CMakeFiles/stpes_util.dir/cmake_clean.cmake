@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_util.dir/table_printer.cpp.o"
+  "CMakeFiles/stpes_util.dir/table_printer.cpp.o.d"
+  "libstpes_util.a"
+  "libstpes_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

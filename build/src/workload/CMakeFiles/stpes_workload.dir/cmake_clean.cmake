@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpes_workload.dir/collections.cpp.o"
+  "CMakeFiles/stpes_workload.dir/collections.cpp.o.d"
+  "libstpes_workload.a"
+  "libstpes_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpes_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dont_care_synth_test.dir/dont_care_synth_test.cpp.o"
+  "CMakeFiles/dont_care_synth_test.dir/dont_care_synth_test.cpp.o.d"
+  "dont_care_synth_test"
+  "dont_care_synth_test.pdb"
+  "dont_care_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dont_care_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsd_test.dir/dsd_test.cpp.o"
+  "CMakeFiles/dsd_test.dir/dsd_test.cpp.o.d"
+  "dsd_test"
+  "dsd_test.pdb"
+  "dsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factorize_test.dir/factorize_test.cpp.o"
+  "CMakeFiles/factorize_test.dir/factorize_test.cpp.o.d"
+  "factorize_test"
+  "factorize_test.pdb"
+  "factorize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factorize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

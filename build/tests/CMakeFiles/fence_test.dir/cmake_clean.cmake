@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fence_test.dir/fence_test.cpp.o"
+  "CMakeFiles/fence_test.dir/fence_test.cpp.o.d"
+  "fence_test"
+  "fence_test.pdb"
+  "fence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

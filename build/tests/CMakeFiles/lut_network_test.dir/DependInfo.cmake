@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lut_network_test.cpp" "tests/CMakeFiles/lut_network_test.dir/lut_network_test.cpp.o" "gcc" "tests/CMakeFiles/lut_network_test.dir/lut_network_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stpes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/stpes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/stpes_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/allsat/CMakeFiles/stpes_allsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/stpes_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fence/CMakeFiles/stpes_fence.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/stpes_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stp/CMakeFiles/stpes_stp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/stpes_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stpes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

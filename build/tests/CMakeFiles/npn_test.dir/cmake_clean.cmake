@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npn_test.dir/npn_test.cpp.o"
+  "CMakeFiles/npn_test.dir/npn_test.cpp.o.d"
+  "npn_test"
+  "npn_test.pdb"
+  "npn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssv_encoding_test.dir/ssv_encoding_test.cpp.o"
+  "CMakeFiles/ssv_encoding_test.dir/ssv_encoding_test.cpp.o.d"
+  "ssv_encoding_test"
+  "ssv_encoding_test.pdb"
+  "ssv_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssv_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stp_allsat_test.dir/stp_allsat_test.cpp.o"
+  "CMakeFiles/stp_allsat_test.dir/stp_allsat_test.cpp.o.d"
+  "stp_allsat_test"
+  "stp_allsat_test.pdb"
+  "stp_allsat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stp_allsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

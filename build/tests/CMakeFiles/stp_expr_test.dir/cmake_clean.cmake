@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stp_expr_test.dir/stp_expr_test.cpp.o"
+  "CMakeFiles/stp_expr_test.dir/stp_expr_test.cpp.o.d"
+  "stp_expr_test"
+  "stp_expr_test.pdb"
+  "stp_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stp_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

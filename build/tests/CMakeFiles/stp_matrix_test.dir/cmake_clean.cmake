@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stp_matrix_test.dir/stp_matrix_test.cpp.o"
+  "CMakeFiles/stp_matrix_test.dir/stp_matrix_test.cpp.o.d"
+  "stp_matrix_test"
+  "stp_matrix_test.pdb"
+  "stp_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stp_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

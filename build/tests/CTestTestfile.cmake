@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/truth_table_test[1]_include.cmake")
+include("/root/repo/build/tests/isf_test[1]_include.cmake")
+include("/root/repo/build/tests/npn_test[1]_include.cmake")
+include("/root/repo/build/tests/dsd_test[1]_include.cmake")
+include("/root/repo/build/tests/stp_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/stp_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/stp_allsat_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/fence_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_allsat_test[1]_include.cmake")
+include("/root/repo/build/tests/factorize_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ssv_encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/lut_network_test[1]_include.cmake")
+include("/root/repo/build/tests/dont_care_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

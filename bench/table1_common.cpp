@@ -1,10 +1,12 @@
 #include "table1_common.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
 #include "core/exact_synthesis.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table_printer.hpp"
 
 namespace stpes::bench {
@@ -42,6 +44,10 @@ table1_options parse_options(int argc, char** argv,
       options.timeout = std::stod(*v);
     } else if (auto v = flag_value(arg, "seed")) {
       options.seed = std::stoull(*v);
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else if (auto v = flag_value(arg, "json")) {
+      options.json_path = *v;
     } else if (auto v = flag_value(arg, "engines")) {
       options.engines.clear();
       std::size_t start = 0;
@@ -58,7 +64,7 @@ table1_options parse_options(int argc, char** argv,
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--count=N] [--timeout=S] [--seed=S]"
-                   " [--engines=stp,bms,fen,cegar]\n";
+                   " [--engines=stp,bms,fen,cegar] [--json PATH]\n";
       std::exit(2);
     }
   }
@@ -98,11 +104,24 @@ int run_table1(const std::string& collection_name,
   std::vector<std::vector<unsigned>> optima(selected.size());
   int disagreements = 0;
 
+  struct engine_stats {
+    std::string name;
+    std::size_t solved = 0;
+    std::size_t timeouts = 0;
+    double wall_seconds = 0.0;   ///< wall clock over the whole sweep
+    double total_seconds = 0.0;  ///< engine-reported time, solved only
+    std::size_t total_gates = 0;
+    double total_solutions = 0.0;
+  };
+  std::vector<engine_stats> all_stats;
+
   for (const auto& engine_name : options.engines) {
     const auto which = core::engine_from_string(engine_name);
+    util::stopwatch engine_timer;
     double total_seconds = 0.0;
     std::size_t solved = 0;
     std::size_t timeouts = 0;
+    std::size_t total_gates = 0;
     double total_solutions = 0.0;
     double total_per_solution = 0.0;
     for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -111,6 +130,7 @@ int run_table1(const std::string& collection_name,
       if (r.ok()) {
         ++solved;
         total_seconds += r.seconds;
+        total_gates += r.optimum_gates;
         total_solutions += static_cast<double>(r.chains.size());
         total_per_solution +=
             r.seconds / static_cast<double>(r.chains.size());
@@ -119,6 +139,10 @@ int run_table1(const std::string& collection_name,
         ++timeouts;
       }
     }
+    all_stats.push_back(engine_stats{engine_name, solved, timeouts,
+                                     engine_timer.elapsed_seconds(),
+                                     total_seconds, total_gates,
+                                     total_solutions});
     const double mean =
         solved > 0 ? total_seconds / static_cast<double>(solved) : 0.0;
     std::vector<std::string> row{
@@ -151,6 +175,40 @@ int run_table1(const std::string& collection_name,
               << " optimum-size disagreements between engines!\n";
   }
   std::cout << "\n";
+
+  if (!options.json_path.empty()) {
+    std::ofstream json{options.json_path};
+    if (!json) {
+      std::cerr << "cannot write " << options.json_path << "\n";
+      return disagreements + 1;
+    }
+    json << "{\"collection\":\"" << collection_name << "\""
+         << ",\"instances\":" << selected.size()
+         << ",\"timeout_s\":" << options.timeout
+         << ",\"seed\":" << options.seed
+         << ",\"disagreements\":" << disagreements << ",\"engines\":[";
+    for (std::size_t i = 0; i < all_stats.size(); ++i) {
+      const auto& s = all_stats[i];
+      const auto solved = static_cast<double>(s.solved);
+      if (i > 0) {
+        json << ",";
+      }
+      json << "{\"engine\":\"" << s.name << "\""
+           << ",\"solved\":" << s.solved
+           << ",\"timeouts\":" << s.timeouts
+           << ",\"wall_seconds\":" << s.wall_seconds
+           << ",\"mean_seconds\":"
+           << (s.solved > 0 ? s.total_seconds / solved : 0.0)
+           << ",\"total_gates\":" << s.total_gates
+           << ",\"mean_gates\":"
+           << (s.solved > 0 ? static_cast<double>(s.total_gates) / solved
+                            : 0.0)
+           << ",\"avg_solutions\":"
+           << (s.solved > 0 ? s.total_solutions / solved : 0.0)
+           << "}";
+    }
+    json << "]}\n";
+  }
   return disagreements;
 }
 

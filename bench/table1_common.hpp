@@ -28,6 +28,10 @@ struct table1_options {
   bool full = false;           ///< paper-scale run
   std::uint64_t seed = 1;      ///< generator seed (printed for provenance)
   std::vector<std::string> engines{"bms", "fen", "cegar", "stp"};
+  /// When non-empty, per-collection wall-clock and gate-count stats are
+  /// also written to this path as one JSON object (`--json <path>` or
+  /// `--json=<path>`), seeding the BENCH_*.json perf trajectory.
+  std::string json_path;
 };
 
 /// Parses the common CLI flags (exits with a message on bad input).

@@ -1,0 +1,271 @@
+/// \file batch_service.cpp
+/// \brief Batch synthesis service driver.
+///
+/// Feeds a function collection (or a file of hex truth tables, one per
+/// line) through `service::batch_synthesizer`, optionally cross-checks the
+/// serial `core::npn_cached_synthesizer` path, and prints the metrics and
+/// cache statistics of the run.
+///
+///     ./batch_service [--collection=npn4|fdsd6|fdsd8|pdsd6|pdsd8]
+///                     [--file=PATH] [--threads=N] [--engine=stp|bms|fen|cegar]
+///                     [--timeout=S] [--count=N] [--seed=S]
+///                     [--cache=PATH] [--no-serial-check]
+///
+/// `--cache` warms the NPN result cache from PATH before the batch and
+/// persists it back afterwards, so repeated invocations skip synthesis
+/// entirely.  The serial check re-synthesizes everything single-threaded
+/// and compares gate counts chain-for-chain; it is on by default because
+/// the wall-clock ratio it prints is the point of the service.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/npn_cache.hpp"
+#include "service/batch_synthesizer.hpp"
+#include "util/stopwatch.hpp"
+#include "workload/collections.hpp"
+
+namespace {
+
+struct cli_options {
+  std::string collection = "npn4";
+  std::string file;
+  std::string cache_path;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::string engine = "stp";
+  double timeout = 60.0;
+  std::size_t count = 0;  // 0 = whole collection
+  std::uint64_t seed = 1;
+  bool serial_check = true;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--collection=npn4|fdsd6|fdsd8|pdsd6|pdsd8] [--file=PATH]"
+               " [--threads=N] [--engine=stp|bms|fen|cegar] [--timeout=S]"
+               " [--count=N] [--seed=S] [--cache=PATH] [--no-serial-check]\n";
+  std::exit(2);
+}
+
+cli_options parse_cli(int argc, char** argv) {
+  cli_options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& name) -> std::string {
+      const std::string prefix = "--" + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                       : std::string{};
+    };
+    if (arg == "--no-serial-check") {
+      opts.serial_check = false;
+    } else if (auto v = value("collection"); !v.empty()) {
+      opts.collection = v;
+    } else if (auto v = value("file"); !v.empty()) {
+      opts.file = v;
+    } else if (auto v = value("cache"); !v.empty()) {
+      opts.cache_path = v;
+    } else if (auto v = value("threads"); !v.empty()) {
+      opts.threads = static_cast<unsigned>(std::stoul(v));
+    } else if (auto v = value("engine"); !v.empty()) {
+      opts.engine = v;
+    } else if (auto v = value("timeout"); !v.empty()) {
+      opts.timeout = std::stod(v);
+    } else if (auto v = value("count"); !v.empty()) {
+      opts.count = std::stoul(v);
+    } else if (auto v = value("seed"); !v.empty()) {
+      opts.seed = std::stoull(v);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opts;
+}
+
+/// One hex table per line ("0x8ff8" or "8ff8"); arity is inferred from the
+/// digit count.  '#' starts a comment.
+std::vector<stpes::tt::truth_table> load_functions(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(1);
+  }
+  std::vector<stpes::tt::truth_table> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (const auto pos = line.find('#'); pos != std::string::npos) {
+      line.erase(pos);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::string hex = line;
+    if (hex.rfind("0x", 0) == 0) {
+      hex.erase(0, 2);
+    }
+    unsigned num_vars = 2;
+    while ((std::size_t{1} << (num_vars - 2)) < hex.size()) {
+      ++num_vars;
+    }
+    try {
+      out.push_back(stpes::tt::truth_table::from_hex(num_vars, line));
+    } catch (const std::exception& e) {
+      std::cerr << path << ": bad truth table '" << line << "': " << e.what()
+                << "\n";
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+std::vector<stpes::tt::truth_table> make_workload(const cli_options& opts) {
+  using namespace stpes;
+  if (!opts.file.empty()) {
+    return load_functions(opts.file);
+  }
+  const std::size_t count = opts.count == 0 ? 100 : opts.count;
+  if (opts.collection == "npn4") {
+    auto fs = workload::npn4_classes();
+    if (opts.count > 0 && opts.count < fs.size()) {
+      fs.resize(opts.count);
+    }
+    return fs;
+  }
+  if (opts.collection == "fdsd6") {
+    return workload::fdsd_functions(6, count, opts.seed);
+  }
+  if (opts.collection == "fdsd8") {
+    return workload::fdsd_functions(8, count, opts.seed);
+  }
+  if (opts.collection == "pdsd6") {
+    return workload::pdsd_functions(6, count, opts.seed);
+  }
+  if (opts.collection == "pdsd8") {
+    return workload::pdsd_functions(8, count, opts.seed);
+  }
+  std::cerr << "unknown collection: " << opts.collection << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stpes;
+
+  const auto opts = parse_cli(argc, argv);
+  const auto functions = make_workload(opts);
+
+  service::batch_options batch_opts;
+  try {
+    batch_opts.engine = core::engine_from_string(opts.engine);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  batch_opts.timeout_seconds = opts.timeout;
+  batch_opts.num_threads = opts.threads;
+  service::batch_synthesizer service{batch_opts};
+
+  if (!opts.cache_path.empty()) {
+    try {
+      const auto warmed = service.warm_cache(opts.cache_path);
+      std::cout << "warmed " << warmed << " cache entries from "
+                << opts.cache_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "corrupt cache file " << opts.cache_path << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "batch: " << functions.size() << " functions, engine="
+            << opts.engine << ", timeout=" << opts.timeout << "s\n";
+
+  const auto batch = service.run(functions);
+
+  std::size_t solved = 0;
+  std::size_t total_gates = 0;
+  for (const auto& r : batch.results) {
+    if (r.ok()) {
+      ++solved;
+      total_gates += r.optimum_gates;
+    }
+  }
+  std::cout << "batch done: " << solved << "/" << batch.results.size()
+            << " solved, " << total_gates << " total gates, "
+            << batch.unique_classes << " unique classes, "
+            << batch.wall_seconds << " s wall\n\n";
+
+  std::cout << "-- metrics --\n" << batch.metrics.to_text();
+  std::cout << "-- cache --\n"
+            << "hits " << batch.cache.hits << "  misses "
+            << batch.cache.misses << "  inflight_waits "
+            << batch.cache.inflight_waits << "  evictions "
+            << batch.cache.evictions << "  resident " << batch.cache.size
+            << "\n\n";
+
+  if (!opts.cache_path.empty()) {
+    const auto persisted = service.persist_cache(opts.cache_path);
+    std::cout << "persisted " << persisted << " cache entries to "
+              << opts.cache_path << "\n";
+  }
+
+  int exit_code = 0;
+  if (opts.serial_check) {
+    core::npn_cached_synthesizer serial{batch_opts.engine, opts.timeout};
+    util::stopwatch sw;
+    std::size_t mismatches = 0;
+    std::size_t budget_flips = 0;  // one path hit the budget, the other not
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      const auto r = serial.synthesize(functions[i]);
+      const auto& b = batch.results[i];
+      if (r.outcome != b.outcome) {
+        // Wall-clock noise can flip a near-budget class between success
+        // and timeout; that says nothing about batch/serial equivalence.
+        ++budget_flips;
+        continue;
+      }
+      if (r.optimum_gates != b.optimum_gates) {
+        ++mismatches;
+        continue;
+      }
+      bool chains_equal = r.chains.size() == b.chains.size();
+      for (std::size_t j = 0; chains_equal && j < r.chains.size(); ++j) {
+        chains_equal = r.chains[j] == b.chains[j];
+      }
+      if (!chains_equal) {
+        // The STP engine returns `success` with a partial solution set
+        // when the budget expires mid-enumeration at the optimum size, so
+        // a near-budget run can differ in chains while agreeing on gate
+        // count.  Only a difference far from the budget is a real bug.
+        const bool near_budget =
+            opts.timeout > 0.0 &&
+            std::max(r.seconds, b.seconds) > 0.5 * opts.timeout;
+        if (near_budget) {
+          ++budget_flips;
+        } else {
+          ++mismatches;
+        }
+      }
+    }
+    const double serial_seconds = sw.elapsed_seconds();
+    std::cout << "serial check: " << mismatches << " mismatches, "
+              << budget_flips << " budget flips, " << serial_seconds
+              << " s wall, speedup "
+              << (batch.wall_seconds > 0.0
+                      ? serial_seconds / batch.wall_seconds
+                      : 0.0)
+              << "x with " << service.num_threads() << " threads\n";
+    if (mismatches > 0) {
+      std::cerr << "ERROR: batch and serial paths disagree\n";
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}

@@ -12,13 +12,21 @@
 ///
 /// Exact canonization is orbit enumeration (n <= 5); larger functions fall
 /// through to the uncached engine.
+///
+/// Storage is the thread-safe `service::shard_cache` (one implementation
+/// for the serial and the batch path); this class is the thin serial
+/// adapter that keeps the original single-threaded API.  For parallel
+/// batches, use `service::batch_synthesizer` instead.
 
 #pragma once
 
+#include <cassert>
 #include <cstddef>
-#include <unordered_map>
 
+#include "chain/transform.hpp"
 #include "core/exact_synthesis.hpp"
+#include "service/shard_cache.hpp"
+#include "tt/npn.hpp"
 
 namespace stpes::core {
 
@@ -32,14 +40,53 @@ struct npn_cache_stats {
 /// Memoizing wrapper over `exact_synthesis`.
 class npn_cached_synthesizer {
 public:
+  /// `capacity_per_shard == 0` keeps the historical unbounded behavior.
   explicit npn_cached_synthesizer(engine which = engine::stp,
-                                  double timeout_seconds = 0.0)
-      : engine_(which), timeout_(timeout_seconds) {}
+                                  double timeout_seconds = 0.0,
+                                  std::size_t capacity_per_shard = 0)
+      : engine_(which),
+        timeout_(timeout_seconds),
+        cache_(service::shard_cache::options{4, capacity_per_shard}) {}
 
   /// Synthesizes `function`; results for NPN-equivalent functions share
   /// one underlying synthesis run.  Returned chains realize `function`
   /// exactly (verified by simulation in debug builds).
-  synth::result synthesize(const tt::truth_table& function);
+  synth::result synthesize(const tt::truth_table& function) {
+    if (function.num_vars() > 5) {
+      ++stats_.uncached;
+      return exact_synthesis(function, engine_, timeout_);
+    }
+
+    const auto canon = tt::exact_npn_canonize(function);
+    bool computed = false;
+    const auto cached = cache_.get_or_compute(canon.canonical, [&] {
+      computed = true;
+      return exact_synthesis(canon.canonical, engine_, timeout_);
+    });
+    if (computed) {
+      ++stats_.misses;
+    } else {
+      ++stats_.hits;
+    }
+
+    if (!cached.ok()) {
+      return cached;  // timeout/failure propagates
+    }
+    // canonical == apply_npn_transform(function, transform), so rewriting
+    // the canonical chains through the inverse transform realizes the
+    // requested function.
+    synth::result out;
+    out.outcome = cached.outcome;
+    out.optimum_gates = cached.optimum_gates;
+    out.seconds = cached.seconds;
+    out.chains.reserve(cached.chains.size());
+    for (const auto& c : cached.chains) {
+      auto rewritten = chain::apply_inverse_npn_to_chain(c, canon.transform);
+      assert(rewritten.simulate() == function);
+      out.chains.push_back(std::move(rewritten));
+    }
+    return out;
+  }
 
   [[nodiscard]] const npn_cache_stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t size() const { return cache_.size(); }
@@ -47,9 +94,7 @@ public:
 private:
   engine engine_;
   double timeout_;
-  std::unordered_map<tt::truth_table, synth::result,
-                     tt::truth_table_hash>
-      cache_;
+  service::shard_cache cache_;
   npn_cache_stats stats_;
 };
 

@@ -1,0 +1,212 @@
+#include "service/batch_synthesizer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "chain/transform.hpp"
+#include "service/thread_pool.hpp"
+#include "tt/npn.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stpes::service {
+
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+}  // namespace
+
+batch_synthesizer::batch_synthesizer(batch_options opts)
+    : options_(opts) {
+  caches_.reserve(kNumEngines);
+  for (std::size_t i = 0; i < kNumEngines; ++i) {
+    caches_.push_back(std::make_unique<shard_cache>(shard_cache::options{
+        options_.cache_shards, options_.cache_capacity_per_shard}));
+  }
+  pool_ = std::make_unique<thread_pool>(
+      resolve_threads(options_.num_threads));
+}
+
+batch_synthesizer::~batch_synthesizer() = default;
+
+shard_cache& batch_synthesizer::cache_for(core::engine e) {
+  return *caches_[static_cast<std::size_t>(e)];
+}
+
+const shard_cache& batch_synthesizer::cache_for(core::engine e) const {
+  return *caches_[static_cast<std::size_t>(e)];
+}
+
+batch_result batch_synthesizer::run(
+    const std::vector<batch_request>& requests) {
+  util::stopwatch timer;
+  batch_result out;
+  out.results.resize(requests.size());
+
+  // Group cacheable requests by (engine, canonical class).  A std::map
+  // keyed by the canonical table keeps submission order deterministic.
+  struct member {
+    std::size_t index;
+    tt::npn_transform transform;
+  };
+  struct group {
+    core::engine engine{};
+    tt::truth_table canonical;
+    double timeout = 0.0;  ///< max over members; no request gets less
+    std::vector<member> members;
+  };
+  std::map<std::pair<int, tt::truth_table>, group> groups;
+  std::vector<std::size_t> bypass;  ///< request indices with n > 5
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    metrics_.on_request();
+    const auto& req = requests[i];
+    if (req.function.num_vars() > 5) {
+      bypass.push_back(i);
+      continue;
+    }
+    const auto engine = req.engine.value_or(options_.engine);
+    const auto timeout =
+        req.timeout_seconds.value_or(options_.timeout_seconds);
+    auto canon = tt::exact_npn_canonize(req.function);
+    const std::pair<int, tt::truth_table> key{static_cast<int>(engine),
+                                              canon.canonical};
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      group g;
+      g.engine = engine;
+      g.canonical = canon.canonical;
+      g.timeout = timeout;
+      g.members.push_back(member{i, std::move(canon.transform)});
+      groups.emplace(key, std::move(g));
+    } else {
+      it->second.timeout = std::max(it->second.timeout, timeout);
+      it->second.members.push_back(member{i, std::move(canon.transform)});
+    }
+  }
+  out.unique_classes = groups.size();
+
+  // One task per unique class: synthesize-or-wait through the cache, then
+  // rewrite the canonical chains for every member.  Distinct tasks write
+  // distinct result slots, so `out.results` needs no lock.
+  for (auto& [key, g] : groups) {
+    group* gp = &g;
+    pool_->submit([this, gp, &out] {
+      bool computed = false;
+      const auto canonical_result = cache_for(gp->engine).get_or_compute(
+          gp->canonical, [this, gp, &computed] {
+            computed = true;
+            util::stopwatch sw;
+            auto r = core::exact_synthesis(gp->canonical, gp->engine,
+                                           gp->timeout);
+            metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
+            return r;
+          });
+      if (computed) {
+        metrics_.on_cache_miss();
+      } else {
+        metrics_.on_cache_hit();
+      }
+      for (const auto& m : gp->members) {
+        auto& slot = out.results[m.index];
+        slot.outcome = canonical_result.outcome;
+        slot.optimum_gates = canonical_result.optimum_gates;
+        slot.seconds = canonical_result.seconds;
+        if (!canonical_result.ok()) {
+          continue;  // timeout/failure propagates, as in the serial path
+        }
+        slot.chains.reserve(canonical_result.chains.size());
+        for (const auto& c : canonical_result.chains) {
+          slot.chains.push_back(
+              chain::apply_inverse_npn_to_chain(c, m.transform));
+        }
+      }
+    });
+  }
+
+  for (const auto index : bypass) {
+    const auto& req = requests[index];
+    const auto engine = req.engine.value_or(options_.engine);
+    const auto timeout =
+        req.timeout_seconds.value_or(options_.timeout_seconds);
+    pool_->submit([this, index, engine, timeout, &requests, &out] {
+      metrics_.on_bypass();
+      util::stopwatch sw;
+      auto r =
+          core::exact_synthesis(requests[index].function, engine, timeout);
+      metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
+      out.results[index] = std::move(r);
+    });
+  }
+
+  pool_->wait_idle();
+
+  out.metrics = metrics_.snapshot();
+  out.cache = cache_stats();
+  out.wall_seconds = timer.elapsed_seconds();
+  return out;
+}
+
+batch_result batch_synthesizer::run(
+    const std::vector<tt::truth_table>& functions) {
+  std::vector<batch_request> requests;
+  requests.reserve(functions.size());
+  for (const auto& f : functions) {
+    requests.push_back(batch_request{f, std::nullopt, std::nullopt});
+  }
+  return run(requests);
+}
+
+std::size_t batch_synthesizer::warm_cache(const std::string& path) {
+  const auto entries = load_cache_file(path);
+  auto& cache = cache_for(options_.engine);
+  std::size_t loaded = 0;
+  for (const auto& e : entries) {
+    if (cache.insert(e.function, e.result)) {
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
+  auto dumped = cache_for(options_.engine).dump();
+  // Deterministic file order regardless of shard/hash layout.
+  std::sort(dumped.begin(), dumped.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<cache_entry> entries;
+  entries.reserve(dumped.size());
+  for (auto& [function, result] : dumped) {
+    entries.push_back(cache_entry{function, std::move(result)});
+  }
+  save_cache_file(path, entries);
+  return entries.size();
+}
+
+unsigned batch_synthesizer::num_threads() const {
+  return static_cast<unsigned>(pool_->num_threads());
+}
+
+shard_cache_stats batch_synthesizer::cache_stats() const {
+  shard_cache_stats total;
+  for (const auto& c : caches_) {
+    const auto s = c->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.inflight_waits += s.inflight_waits;
+    total.evictions += s.evictions;
+    total.size += s.size;
+  }
+  return total;
+}
+
+}  // namespace stpes::service

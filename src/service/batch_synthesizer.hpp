@@ -1,0 +1,113 @@
+/// \file batch_synthesizer.hpp
+/// \brief Parallel batch exact synthesis over the NPN shard cache.
+///
+/// This is the service entry point for rewriting-style flows: hand it a
+/// vector of truth tables (e.g. all cuts of a network) and it returns one
+/// `synth::result` per input, computed as follows:
+///
+///  1. NPN-canonize every request (n <= 5) and group requests by
+///     (engine, canonical class) — duplicate work collapses up front.
+///  2. Schedule exactly one exact-synthesis run per unique class on the
+///     thread pool; the sharded cache's single-flight guarantee keeps this
+///     true even across overlapping `run()` calls sharing one synthesizer.
+///  3. Rewrite the cached canonical chains back through
+///     `chain::apply_inverse_npn_to_chain` per request.
+///
+/// Results are bitwise identical to the serial
+/// `core::npn_cached_synthesizer` path: same canonical run, same structural
+/// rewrite, same chain order.  Functions with n > 5 bypass the cache and
+/// are synthesized directly (still in parallel).
+///
+/// The cache can be warmed from / persisted to a `chain_io` file, carrying
+/// synthesis effort across process runs.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/exact_synthesis.hpp"
+#include "service/chain_io.hpp"
+#include "service/metrics.hpp"
+#include "service/shard_cache.hpp"
+#include "synth/spec.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::service {
+
+/// Batch-wide defaults; every field can be overridden per request.
+struct batch_options {
+  core::engine engine = core::engine::stp;
+  double timeout_seconds = 0.0;  ///< 0 = unlimited
+  unsigned num_threads = 0;      ///< 0 = hardware concurrency
+  std::size_t cache_shards = 16;
+  std::size_t cache_capacity_per_shard = 4096;  ///< 0 = unbounded
+};
+
+/// One synthesis request: a function plus optional per-request overrides of
+/// the batch defaults.
+struct batch_request {
+  tt::truth_table function;
+  std::optional<core::engine> engine;
+  std::optional<double> timeout_seconds;
+};
+
+/// The outcome of one `run()` call.
+struct batch_result {
+  /// One result per request, in request order.
+  std::vector<synth::result> results;
+  metrics_snapshot metrics;
+  shard_cache_stats cache;
+  std::size_t unique_classes = 0;  ///< distinct (engine, class) groups
+  double wall_seconds = 0.0;
+};
+
+class batch_synthesizer {
+public:
+  explicit batch_synthesizer(batch_options opts = {});
+  ~batch_synthesizer();
+
+  batch_synthesizer(const batch_synthesizer&) = delete;
+  batch_synthesizer& operator=(const batch_synthesizer&) = delete;
+
+  /// Synthesizes every request across the worker pool.  Thread-compatible:
+  /// call from one thread at a time (the workers parallelize internally).
+  batch_result run(const std::vector<batch_request>& requests);
+
+  /// Convenience overload: plain functions, batch-default options.
+  batch_result run(const std::vector<tt::truth_table>& functions);
+
+  /// Pre-populates the cache of the batch-default engine from a `chain_io`
+  /// file.  Returns the number of entries loaded (0 when the file does not
+  /// exist).  Throws `std::runtime_error` on a corrupt file.
+  std::size_t warm_cache(const std::string& path);
+
+  /// Persists the batch-default engine's cache; returns entries written.
+  std::size_t persist_cache(const std::string& path) const;
+
+  [[nodiscard]] const batch_options& options() const { return options_; }
+  /// Resolved worker count (after the 0 = hardware-concurrency default).
+  [[nodiscard]] unsigned num_threads() const;
+  [[nodiscard]] metrics_snapshot current_metrics() const {
+    return metrics_.snapshot();
+  }
+  /// Aggregated stats over the per-engine caches.
+  [[nodiscard]] shard_cache_stats cache_stats() const;
+
+private:
+  static constexpr std::size_t kNumEngines = 4;
+
+  shard_cache& cache_for(core::engine e);
+  const shard_cache& cache_for(core::engine e) const;
+
+  batch_options options_;
+  /// One cache per engine: chain sets differ across engines, so results
+  /// must never cross engine boundaries.
+  std::vector<std::unique_ptr<shard_cache>> caches_;
+  metrics metrics_;
+  std::unique_ptr<class thread_pool> pool_;
+};
+
+}  // namespace stpes::service

@@ -1,0 +1,197 @@
+#include "service/chain_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stpes::service {
+
+namespace {
+
+constexpr const char* kHeader = "stpes-chains v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error{"chain_io: " + what};
+}
+
+/// Reads every whitespace-separated token after the leading keyword.
+std::vector<std::string> tokens_after(std::string_view line,
+                                      std::string_view keyword) {
+  std::istringstream is{std::string{line}};
+  std::string first;
+  if (!(is >> first) || first != keyword) {
+    fail("expected '" + std::string{keyword} + "' line, got: " +
+         std::string{line});
+  }
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+unsigned parse_unsigned(const std::string& tok, const char* what) {
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(tok, &pos);
+  } catch (const std::exception&) {
+    fail(std::string{"bad "} + what + ": " + tok);
+  }
+  if (pos != tok.size()) {
+    fail(std::string{"bad "} + what + ": " + tok);
+  }
+  return static_cast<unsigned>(value);
+}
+
+synth::status parse_status(const std::string& tok) {
+  if (tok == "success") {
+    return synth::status::success;
+  }
+  if (tok == "timeout") {
+    return synth::status::timeout;
+  }
+  if (tok == "failure") {
+    return synth::status::failure;
+  }
+  fail("bad status: " + tok);
+}
+
+}  // namespace
+
+std::string serialize_chain(const chain::boolean_chain& c) {
+  std::ostringstream os;
+  os << "chain " << c.num_inputs() << " " << c.num_steps() << " "
+     << c.output() << " " << (c.output_complemented() ? 1 : 0);
+  for (const auto& s : c.steps()) {
+    os << " " << s.op << " " << s.fanin[0] << " " << s.fanin[1];
+  }
+  return os.str();
+}
+
+chain::boolean_chain parse_chain(std::string_view line) {
+  const auto toks = tokens_after(line, "chain");
+  if (toks.size() < 4) {
+    fail("chain line too short: " + std::string{line});
+  }
+  const unsigned num_inputs = parse_unsigned(toks[0], "num_inputs");
+  const unsigned num_steps = parse_unsigned(toks[1], "num_steps");
+  const unsigned output = parse_unsigned(toks[2], "output");
+  const unsigned compl_flag = parse_unsigned(toks[3], "output_complemented");
+  if (compl_flag > 1) {
+    fail("output_complemented must be 0 or 1");
+  }
+  if (toks.size() != 4 + 3 * static_cast<std::size_t>(num_steps)) {
+    fail("chain line has " + std::to_string(toks.size() - 4) +
+         " step tokens, expected " + std::to_string(3 * num_steps));
+  }
+  chain::boolean_chain c{num_inputs};
+  for (unsigned j = 0; j < num_steps; ++j) {
+    const unsigned op = parse_unsigned(toks[4 + 3 * j], "op");
+    if (op > 0xF) {
+      fail("op out of range: " + toks[4 + 3 * j]);
+    }
+    const unsigned f0 = parse_unsigned(toks[5 + 3 * j], "fanin");
+    const unsigned f1 = parse_unsigned(toks[6 + 3 * j], "fanin");
+    try {
+      c.add_step(op, f0, f1);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+  try {
+    c.set_output(output, compl_flag == 1);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  return c;
+}
+
+void save_cache(std::ostream& os, const std::vector<cache_entry>& entries) {
+  os << kHeader << "\n";
+  for (const auto& e : entries) {
+    os << "entry " << e.function.to_hex() << " " << e.function.num_vars()
+       << " " << synth::to_string(e.result.outcome) << " "
+       << e.result.optimum_gates << " " << e.result.seconds << " "
+       << e.result.chains.size() << "\n";
+    for (const auto& c : e.result.chains) {
+      os << serialize_chain(c) << "\n";
+    }
+  }
+}
+
+std::vector<cache_entry> load_cache(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    fail("missing or unsupported header (want '" + std::string{kHeader} +
+         "')");
+  }
+  std::vector<cache_entry> entries;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const auto toks = tokens_after(line, "entry");
+    if (toks.size() != 6) {
+      fail("entry line needs 6 fields: " + line);
+    }
+    cache_entry e;
+    const unsigned num_vars = parse_unsigned(toks[1], "num_vars");
+    if (num_vars > 16) {
+      fail("num_vars out of range: " + toks[1]);
+    }
+    try {
+      e.function = tt::truth_table::from_hex(num_vars, toks[0]);
+    } catch (const std::exception& ex) {
+      fail(std::string{"bad truth table: "} + ex.what());
+    }
+    e.result.outcome = parse_status(toks[2]);
+    e.result.optimum_gates = parse_unsigned(toks[3], "optimum_gates");
+    try {
+      e.result.seconds = std::stod(toks[4]);
+    } catch (const std::exception&) {
+      fail("bad seconds: " + toks[4]);
+    }
+    const unsigned num_chains = parse_unsigned(toks[5], "num_chains");
+    e.result.chains.reserve(num_chains);
+    for (unsigned i = 0; i < num_chains; ++i) {
+      if (!std::getline(is, line)) {
+        fail("truncated file: entry " + toks[0] + " promises " +
+             toks[5] + " chains");
+      }
+      auto c = parse_chain(line);
+      if (c.num_inputs() != num_vars) {
+        fail("chain arity " + std::to_string(c.num_inputs()) +
+             " does not match entry arity " + std::to_string(num_vars));
+      }
+      if (c.simulate() != e.function) {
+        fail("verification failed: chain does not realize " + toks[0]);
+      }
+      e.result.chains.push_back(std::move(c));
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void save_cache_file(const std::string& path,
+                     const std::vector<cache_entry>& entries) {
+  std::ofstream os{path};
+  if (!os) {
+    fail("cannot open for writing: " + path);
+  }
+  save_cache(os, entries);
+}
+
+std::vector<cache_entry> load_cache_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) {
+    return {};
+  }
+  return load_cache(is);
+}
+
+}  // namespace stpes::service

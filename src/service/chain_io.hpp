@@ -1,0 +1,64 @@
+/// \file chain_io.hpp
+/// \brief Compact line-based (de)serialization of Boolean chains and NPN
+///        cache entries.
+///
+/// The shard cache holds every optimum chain per canonical class; those are
+/// expensive to recompute and cheap to store, so the service can persist the
+/// cache at shutdown and warm it at startup.  The format is a plain text
+/// file meant to be diffable and greppable:
+///
+///     stpes-chains v1
+///     entry 0x8ff8 4 success 3 0.0421 2
+///     chain 4 3 6 0 8 0 1 6 2 3 14 4 5
+///     chain 4 3 5 1 6 0 1 14 1 2 8 4 5
+///
+/// `entry <hex> <num_vars> <status> <optimum_gates> <seconds> <num_chains>`
+/// is followed by exactly `num_chains` chain lines.  A chain line is
+/// `chain <num_inputs> <num_steps> <output> <out_compl> (<op> <f0> <f1>)*`.
+/// Loading re-verifies every chain by simulation against the entry's truth
+/// table and rejects the file on any mismatch — a cache file can never
+/// inject a wrong circuit.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/boolean_chain.hpp"
+#include "synth/spec.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::service {
+
+/// One persisted cache entry: a function and its full synthesis result.
+struct cache_entry {
+  tt::truth_table function;
+  synth::result result;
+};
+
+/// Serializes a chain to one `chain ...` line (no trailing newline).
+[[nodiscard]] std::string serialize_chain(const chain::boolean_chain& c);
+
+/// Parses a `chain ...` line.  Throws `std::runtime_error` on malformed
+/// input (wrong token count, non-numeric fields, fanin violating
+/// topological order, bad output signal).
+[[nodiscard]] chain::boolean_chain parse_chain(std::string_view line);
+
+/// Writes the versioned header and all entries.
+void save_cache(std::ostream& os, const std::vector<cache_entry>& entries);
+
+/// Parses a cache file, re-simulating every chain against its entry's
+/// function.  Throws `std::runtime_error` on version mismatch, malformed
+/// lines, or a chain that does not realize its function.
+[[nodiscard]] std::vector<cache_entry> load_cache(std::istream& is);
+
+/// Convenience file wrappers; `load_cache_file` returns an empty vector if
+/// the file does not exist (a cold cache is not an error).
+void save_cache_file(const std::string& path,
+                     const std::vector<cache_entry>& entries);
+[[nodiscard]] std::vector<cache_entry> load_cache_file(
+    const std::string& path);
+
+}  // namespace stpes::service

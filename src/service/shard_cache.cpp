@@ -1,0 +1,154 @@
+#include "service/shard_cache.hpp"
+
+namespace stpes::service {
+
+shard_cache::shard_cache(options opts)
+    : capacity_per_shard_(opts.capacity_per_shard) {
+  const std::size_t count = opts.num_shards == 0 ? 1 : opts.num_shards;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<shard>());
+  }
+}
+
+shard_cache::shard& shard_cache::shard_for(const tt::truth_table& key) {
+  return *shards_[key.hash() % shards_.size()];
+}
+
+void shard_cache::touch(shard& s, const tt::truth_table& key) {
+  auto pos = s.lru_pos.find(key);
+  if (pos != s.lru_pos.end()) {
+    s.lru.splice(s.lru.begin(), s.lru, pos->second);
+  } else {
+    s.lru.push_front(key);
+    s.lru_pos.emplace(key, s.lru.begin());
+  }
+}
+
+void shard_cache::evict_excess(shard& s) {
+  if (capacity_per_shard_ == 0) {
+    return;
+  }
+  // Only ready entries are in the LRU list; in-flight entries are pinned,
+  // so `map.size()` may transiently exceed capacity while computes run.
+  while (s.lru.size() > 0 && s.map.size() > capacity_per_shard_) {
+    const tt::truth_table victim = s.lru.back();
+    s.lru.pop_back();
+    s.lru_pos.erase(victim);
+    s.map.erase(victim);
+    ++s.evictions;
+  }
+}
+
+void shard_cache::finish_entry(shard& s, const tt::truth_table& key,
+                               const entry_ptr& e, synth::result value) {
+  e->value = std::move(value);
+  e->ready = true;
+  // The entry may have raced with nothing (it was pinned), so it is still
+  // in the map; link it into LRU order and trim.
+  touch(s, key);
+  evict_excess(s);
+  s.ready_cv.notify_all();
+}
+
+synth::result shard_cache::get_or_compute(const tt::truth_table& key,
+                                          const compute_fn& compute) {
+  shard& s = shard_for(key);
+  entry_ptr e;
+  {
+    std::unique_lock<std::mutex> lock(s.mutex);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      e = it->second;
+      if (e->ready) {
+        ++s.hits;
+        touch(s, key);
+        return e->value;
+      }
+      // Another caller is computing this key right now: wait for it.  The
+      // entry_ptr keeps the entry alive even if it is evicted meanwhile.
+      ++s.inflight_waits;
+      s.ready_cv.wait(lock, [&] { return e->ready; });
+      return e->value;
+    }
+    ++s.misses;
+    e = std::make_shared<entry>();
+    s.map.emplace(key, e);
+  }
+
+  // Compute outside the lock; we are the single flight for this key.
+  try {
+    synth::result value = compute();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    finish_entry(s, key, e, std::move(value));
+    return e->value;
+  } catch (...) {
+    // Release waiters with a failure result, drop the poisoned entry so a
+    // later call retries, and let the exception reach our caller.
+    std::lock_guard<std::mutex> lock(s.mutex);
+    e->value = synth::result{};  // status::failure, no chains
+    e->ready = true;
+    auto pos = s.lru_pos.find(key);
+    if (pos != s.lru_pos.end()) {
+      s.lru.erase(pos->second);
+      s.lru_pos.erase(pos);
+    }
+    s.map.erase(key);
+    s.ready_cv.notify_all();
+    throw;
+  }
+}
+
+bool shard_cache::insert(const tt::truth_table& key, synth::result value) {
+  shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    return false;
+  }
+  auto e = std::make_shared<entry>();
+  e->value = std::move(value);
+  e->ready = true;
+  s.map.emplace(key, e);
+  touch(s, key);
+  evict_excess(s);
+  return true;
+}
+
+std::vector<std::pair<tt::truth_table, synth::result>> shard_cache::dump()
+    const {
+  std::vector<std::pair<tt::truth_table, synth::result>> out;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    for (const auto& [key, e] : sp->map) {
+      if (e->ready) {
+        out.emplace_back(key, e->value);
+      }
+    }
+  }
+  return out;
+}
+
+shard_cache_stats shard_cache::stats() const {
+  shard_cache_stats total;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total.hits += sp->hits;
+    total.misses += sp->misses;
+    total.inflight_waits += sp->inflight_waits;
+    total.evictions += sp->evictions;
+    total.size += sp->map.size();
+  }
+  return total;
+}
+
+std::size_t shard_cache::size() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total += sp->map.size();
+  }
+  return total;
+}
+
+}  // namespace stpes::service

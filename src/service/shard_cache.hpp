@@ -1,0 +1,117 @@
+/// \file shard_cache.hpp
+/// \brief Sharded, bounded, thread-safe NPN synthesis-result cache with
+///        single-flight semantics.
+///
+/// Keys are canonical truth tables (the output of `tt::exact_npn_canonize`);
+/// values are complete `synth::result`s for the canonical representative.
+/// The table is split into N independently-locked shards so concurrent
+/// workers rarely contend; each shard is a bounded LRU.  `get_or_compute`
+/// guarantees *single flight*: when two workers ask for the same missing
+/// class, exactly one runs the (expensive) synthesis while the other blocks
+/// on the in-flight entry — the same contract as Go's singleflight or a
+/// memoizing future.
+///
+/// Failure results (timeout / unrealizable) are cached like successes,
+/// matching the serial `core::npn_cached_synthesizer` semantics: retrying a
+/// timed-out class with the same budget would only burn the budget again.
+/// In-flight entries are pinned (never evicted); eviction applies LRU order
+/// over ready entries only.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <condition_variable>
+
+#include "synth/spec.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::service {
+
+/// Aggregated counters across all shards.
+struct shard_cache_stats {
+  std::size_t hits = 0;            ///< entry was ready
+  std::size_t misses = 0;          ///< caller became the computing owner
+  std::size_t inflight_waits = 0;  ///< waited for another caller's compute
+  std::size_t evictions = 0;       ///< ready entries dropped by LRU
+  std::size_t size = 0;            ///< resident entries (ready + in-flight)
+};
+
+class shard_cache {
+public:
+  struct options {
+    std::size_t num_shards = 16;
+    /// Per-shard entry bound; 0 means unbounded.
+    std::size_t capacity_per_shard = 4096;
+  };
+
+  using compute_fn = std::function<synth::result()>;
+
+  // GCC 12 cannot evaluate nested-aggregate NSDMIs in a default argument,
+  // hence the delegating default constructor instead of `opts = {}`.
+  shard_cache() : shard_cache(options{}) {}
+  explicit shard_cache(options opts);
+
+  /// Returns the cached result for `key`, computing it (at most once across
+  /// all concurrent callers) via `compute` on a miss.  `compute` runs
+  /// outside any shard lock, so it may be arbitrarily slow.  If `compute`
+  /// throws, the in-flight entry is abandoned (waiters receive a failure
+  /// result) and the exception propagates to the computing caller.
+  synth::result get_or_compute(const tt::truth_table& key,
+                               const compute_fn& compute);
+
+  /// Inserts a ready entry (cache warming).  Returns false when the key is
+  /// already resident (the existing entry wins).
+  bool insert(const tt::truth_table& key, synth::result value);
+
+  /// Copies out every ready entry (for persistence).  Entries still in
+  /// flight are skipped.
+  [[nodiscard]] std::vector<std::pair<tt::truth_table, synth::result>> dump()
+      const;
+
+  [[nodiscard]] shard_cache_stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+private:
+  struct entry {
+    synth::result value;
+    bool ready = false;
+  };
+  using entry_ptr = std::shared_ptr<entry>;
+
+  struct shard {
+    mutable std::mutex mutex;
+    std::condition_variable ready_cv;  ///< signaled when any entry readies
+    std::unordered_map<tt::truth_table, entry_ptr, tt::truth_table_hash> map;
+    /// LRU order over *ready* keys, most recent at the front.
+    std::list<tt::truth_table> lru;
+    std::unordered_map<tt::truth_table, std::list<tt::truth_table>::iterator,
+                       tt::truth_table_hash>
+        lru_pos;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inflight_waits = 0;
+    std::size_t evictions = 0;
+  };
+
+  shard& shard_for(const tt::truth_table& key);
+  /// Marks `key` ready, links it into the LRU, and evicts beyond capacity.
+  /// Caller must hold the shard lock.
+  void finish_entry(shard& s, const tt::truth_table& key,
+                    const entry_ptr& e, synth::result value);
+  void touch(shard& s, const tt::truth_table& key);
+  void evict_excess(shard& s);
+
+  std::size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<shard>> shards_;
+};
+
+}  // namespace stpes::service

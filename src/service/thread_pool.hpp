@@ -1,0 +1,69 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool with an MPMC task queue.
+///
+/// The batch synthesis service schedules one exact-synthesis run per unique
+/// NPN class; those runs are embarrassingly parallel and coarse-grained
+/// (milliseconds to minutes each), so a simple mutex-guarded queue with a
+/// condition variable is the right tool — queue overhead is noise next to
+/// one SAT call.  The pool is deliberately minimal: submit closures, wait
+/// for quiescence, destruction drains and joins.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stpes::service {
+
+/// A fixed-size pool of worker threads consuming a shared task queue.
+///
+/// Tasks are `void()` closures and may be submitted from any thread,
+/// including from inside a running task.  Exceptions escaping a task are
+/// swallowed (tasks are expected to report failure through their own
+/// channels, e.g. a `synth::result`); the worker survives.
+class thread_pool {
+public:
+  /// Spawns `num_threads` workers (at least one; 0 is clamped to 1).
+  explicit thread_pool(unsigned num_threads);
+
+  /// Drains the queue, then stops and joins all workers.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Enqueues a task.  Throws `std::runtime_error` after `shutdown()`.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.  Tasks
+  /// submitted while waiting extend the wait.
+  void wait_idle();
+
+  /// Stops accepting tasks, finishes everything queued, joins workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks executed since construction (for tests/metrics).
+  [[nodiscard]] std::size_t tasks_executed() const;
+
+private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;          ///< tasks currently running
+  std::size_t executed_ = 0;        ///< tasks finished
+  bool stopping_ = false;
+};
+
+}  // namespace stpes::service

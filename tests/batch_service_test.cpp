@@ -1,0 +1,183 @@
+/// \file batch_service_test.cpp
+/// \brief The batch service's core contract: parallel results are bitwise
+///        identical to the serial NPN-cached path, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/npn_cache.hpp"
+#include "service/batch_synthesizer.hpp"
+#include "workload/collections.hpp"
+
+namespace {
+
+using stpes::core::engine;
+using stpes::core::npn_cached_synthesizer;
+using stpes::service::batch_options;
+using stpes::service::batch_request;
+using stpes::service::batch_synthesizer;
+using stpes::tt::truth_table;
+
+/// A deterministic slice of the NPN4 classes.  The representatives are
+/// enumerated in increasing numeric order, so the slice is stable across
+/// runs.  The count is sized for a single-core CI box — the full 222-class
+/// sweep is exercised by `examples/batch_service`.
+std::vector<truth_table> npn4_slice(std::size_t count) {
+  auto classes = stpes::workload::npn4_classes();
+  if (classes.size() > count) {
+    classes.resize(count);
+  }
+  return classes;
+}
+
+void expect_identical(const stpes::synth::result& serial,
+                      const stpes::synth::result& batch,
+                      const truth_table& f) {
+  ASSERT_EQ(serial.outcome, batch.outcome) << f.to_hex();
+  EXPECT_EQ(serial.optimum_gates, batch.optimum_gates) << f.to_hex();
+  ASSERT_EQ(serial.chains.size(), batch.chains.size()) << f.to_hex();
+  for (std::size_t j = 0; j < serial.chains.size(); ++j) {
+    EXPECT_TRUE(serial.chains[j] == batch.chains[j]) << f.to_hex();
+    EXPECT_EQ(batch.chains[j].simulate(), f) << f.to_hex();
+  }
+}
+
+TEST(BatchService, ParallelEqualsSerialAcrossThreadCounts) {
+  // Serial reference pass over the leading NPN4 classes with a small
+  // per-class budget; classes that solve comfortably inside it become the
+  // determinism workload.  The engines are deterministic and the budget
+  // only gates *whether* a search finishes, never what it finds, so the
+  // batch passes below rerun the kept classes with a far larger budget and
+  // must reproduce the reference bit for bit — at every thread count.
+  npn_cached_synthesizer serial{engine::stp, /*timeout_seconds=*/2.0};
+  std::vector<truth_table> functions;
+  std::vector<stpes::synth::result> reference;
+  for (const auto& f : npn4_slice(40)) {
+    auto r = serial.synthesize(f);
+    if (r.ok() && r.seconds < 0.5) {
+      functions.push_back(f);
+      reference.push_back(std::move(r));
+    }
+  }
+  // The leading classes are numerically small and sparse; most are easy.
+  ASSERT_GE(functions.size(), 15u);
+
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    batch_options opts;
+    opts.engine = engine::stp;
+    opts.timeout_seconds = 120.0;
+    opts.num_threads = threads;
+    batch_synthesizer service{opts};
+    const auto batch = service.run(functions);
+    ASSERT_EQ(batch.results.size(), functions.size());
+    EXPECT_EQ(batch.unique_classes, functions.size());
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      expect_identical(reference[i], batch.results[i], functions[i]);
+    }
+    // Every class is distinct, so every request is a cold miss.
+    EXPECT_EQ(batch.metrics.cache_misses, functions.size());
+    EXPECT_EQ(batch.metrics.synth_runs, functions.size());
+  }
+}
+
+TEST(BatchService, NpnVariantsCollapseToOneSynthesisRun) {
+  // Build several members of one NPN class: permuted/complemented
+  // variants of 0x8ff8 plus the representative itself, twice.
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  std::vector<truth_table> functions{
+      f,
+      f.swap_variables(0, 3),
+      f.flip_variable(1),
+      ~f,
+      (~f).swap_variables(1, 2),
+      f,
+  };
+
+  batch_options opts;
+  opts.num_threads = 2;
+  batch_synthesizer service{opts};
+  const auto batch = service.run(functions);
+
+  EXPECT_EQ(batch.unique_classes, 1u);
+  EXPECT_EQ(batch.metrics.synth_runs, 1u);
+  EXPECT_EQ(batch.metrics.cache_misses, 1u);
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    ASSERT_TRUE(batch.results[i].ok());
+    EXPECT_EQ(batch.results[i].optimum_gates, 3u);
+    for (const auto& c : batch.results[i].chains) {
+      EXPECT_EQ(c.simulate(), functions[i]) << functions[i].to_hex();
+    }
+  }
+}
+
+TEST(BatchService, PerRequestEngineOverridesAreHonored) {
+  const auto f = truth_table::from_hex(3, "0xe8");
+  std::vector<batch_request> requests;
+  requests.push_back(batch_request{f, std::nullopt, std::nullopt});
+  requests.push_back(batch_request{f, engine::bms, std::nullopt});
+
+  batch_options opts;  // default engine: stp
+  opts.num_threads = 2;
+  batch_synthesizer service{opts};
+  const auto batch = service.run(requests);
+
+  // Same class, different engines: two distinct groups, two runs.
+  EXPECT_EQ(batch.unique_classes, 2u);
+  EXPECT_EQ(batch.metrics.synth_runs, 2u);
+  ASSERT_TRUE(batch.results[0].ok());
+  ASSERT_TRUE(batch.results[1].ok());
+  EXPECT_EQ(batch.results[0].optimum_gates, batch.results[1].optimum_gates);
+  // The STP engine returns the complete optimum set; BMS exactly one.
+  EXPECT_GE(batch.results[0].chains.size(), batch.results[1].chains.size());
+  EXPECT_EQ(batch.results[1].chains.size(), 1u);
+}
+
+TEST(BatchService, LargeFunctionsBypassTheCache) {
+  const auto functions = stpes::workload::fdsd_functions(6, 2, /*seed=*/7);
+  batch_options opts;
+  opts.num_threads = 2;
+  opts.timeout_seconds = 120.0;
+  batch_synthesizer service{opts};
+  const auto batch = service.run(functions);
+
+  EXPECT_EQ(batch.unique_classes, 0u);
+  EXPECT_EQ(batch.metrics.bypassed, 2u);
+  EXPECT_EQ(batch.cache.size, 0u);
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    ASSERT_TRUE(batch.results[i].ok()) << functions[i].to_hex();
+    for (const auto& c : batch.results[i].chains) {
+      EXPECT_EQ(c.simulate(), functions[i]);
+    }
+  }
+}
+
+TEST(BatchService, CachePersistsAndWarmsAcrossInstances) {
+  const auto functions = npn4_slice(8);
+  const std::string path =
+      ::testing::TempDir() + "/stpes_batch_cache_test.txt";
+  std::remove(path.c_str());
+
+  batch_options opts;
+  opts.num_threads = 2;
+  opts.timeout_seconds = 120.0;
+  batch_synthesizer first{opts};
+  const auto cold = first.run(functions);
+  EXPECT_EQ(cold.metrics.synth_runs, functions.size());
+  EXPECT_EQ(first.persist_cache(path), functions.size());
+
+  batch_synthesizer second{opts};
+  EXPECT_EQ(second.warm_cache(path), functions.size());
+  const auto warm = second.run(functions);
+  // Everything is served from the warmed cache: no synthesis at all.
+  EXPECT_EQ(warm.metrics.synth_runs, 0u);
+  EXPECT_EQ(warm.metrics.cache_hits, functions.size());
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    expect_identical(cold.results[i], warm.results[i], functions[i]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

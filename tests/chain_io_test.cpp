@@ -1,0 +1,166 @@
+/// \file chain_io_test.cpp
+/// \brief Round-trip and rejection tests for the chain/result text format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/exact_synthesis.hpp"
+#include "service/chain_io.hpp"
+
+namespace {
+
+using stpes::chain::boolean_chain;
+using stpes::service::cache_entry;
+using stpes::service::load_cache;
+using stpes::service::load_cache_file;
+using stpes::service::parse_chain;
+using stpes::service::save_cache;
+using stpes::service::serialize_chain;
+using stpes::tt::truth_table;
+
+boolean_chain example_chain() {
+  // x4 = x0 & x1; x5 = x2 ^ x3; f = !(x4 | x5)
+  boolean_chain c{4};
+  const auto a = c.add_step(0x8, 0, 1);
+  const auto b = c.add_step(0x6, 2, 3);
+  c.set_output(c.add_step(0xE, a, b), true);
+  return c;
+}
+
+TEST(ChainIo, ChainRoundTripPreservesEverything) {
+  const auto original = example_chain();
+  const auto line = serialize_chain(original);
+  const auto parsed = parse_chain(line);
+  EXPECT_TRUE(parsed == original);
+  EXPECT_EQ(parsed.simulate(), original.simulate());
+  EXPECT_TRUE(parsed.output_complemented());
+}
+
+TEST(ChainIo, StepFreeChainRoundTrips) {
+  boolean_chain c{3};
+  c.set_output(1);  // f = x1
+  const auto parsed = parse_chain(serialize_chain(c));
+  EXPECT_TRUE(parsed == c);
+  EXPECT_EQ(parsed.simulate(), truth_table::nth_var(3, 1));
+}
+
+TEST(ChainIo, MalformedChainLinesAreRejected) {
+  // Wrong keyword.
+  EXPECT_THROW(parse_chain("chian 2 1 2 0 8 0 1"), std::runtime_error);
+  // Too few header fields.
+  EXPECT_THROW(parse_chain("chain 2 1"), std::runtime_error);
+  // Non-numeric field.
+  EXPECT_THROW(parse_chain("chain 2 one 2 0 8 0 1"), std::runtime_error);
+  // Step token count does not match num_steps.
+  EXPECT_THROW(parse_chain("chain 2 2 2 0 8 0 1"), std::runtime_error);
+  // Operator out of 4-bit range.
+  EXPECT_THROW(parse_chain("chain 2 1 2 0 16 0 1"), std::runtime_error);
+  // Fanin referencing a later signal.
+  EXPECT_THROW(parse_chain("chain 2 1 2 0 8 0 2"), std::runtime_error);
+  // Output signal that does not exist.
+  EXPECT_THROW(parse_chain("chain 2 1 9 0 8 0 1"), std::runtime_error);
+  // Output-complemented flag that is not 0/1.
+  EXPECT_THROW(parse_chain("chain 2 1 2 7 8 0 1"), std::runtime_error);
+}
+
+TEST(ChainIo, CacheFileRoundTripVerifies) {
+  const auto c = example_chain();
+  cache_entry e;
+  e.function = c.simulate();
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 3;
+  e.result.seconds = 0.25;
+  e.result.chains = {c};
+
+  std::stringstream file;
+  save_cache(file, {e});
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].function, e.function);
+  EXPECT_EQ(loaded[0].result.outcome, e.result.outcome);
+  EXPECT_EQ(loaded[0].result.optimum_gates, 3u);
+  ASSERT_EQ(loaded[0].result.chains.size(), 1u);
+  EXPECT_TRUE(loaded[0].result.chains[0] == c);
+}
+
+TEST(ChainIo, TimeoutEntryWithNoChainsRoundTrips) {
+  cache_entry e;
+  e.function = truth_table::from_hex(4, "0x8ff8");
+  e.result.outcome = stpes::synth::status::timeout;
+
+  std::stringstream file;
+  save_cache(file, {e});
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].result.outcome, stpes::synth::status::timeout);
+  EXPECT_TRUE(loaded[0].result.chains.empty());
+}
+
+TEST(ChainIo, RejectsWrongHeader) {
+  std::stringstream file{"stpes-chains v999\n"};
+  EXPECT_THROW(load_cache(file), std::runtime_error);
+  std::stringstream empty{""};
+  EXPECT_THROW(load_cache(empty), std::runtime_error);
+}
+
+TEST(ChainIo, RejectsChainThatDoesNotRealizeItsEntry) {
+  // The chain computes AND, but the entry claims XOR: simulation
+  // re-verification must refuse to load it.
+  std::stringstream file;
+  file << "stpes-chains v1\n"
+       << "entry 0x6 2 success 1 0.0 1\n"
+       << "chain 2 1 2 0 8 0 1\n";
+  EXPECT_THROW(load_cache(file), std::runtime_error);
+}
+
+TEST(ChainIo, RejectsTruncatedAndMalformedEntries) {
+  // Promises two chains, provides one.
+  std::stringstream truncated;
+  truncated << "stpes-chains v1\n"
+            << "entry 0x8 2 success 1 0.0 2\n"
+            << "chain 2 1 2 0 8 0 1\n";
+  EXPECT_THROW(load_cache(truncated), std::runtime_error);
+
+  // Entry line with a bogus status.
+  std::stringstream bad_status;
+  bad_status << "stpes-chains v1\n"
+             << "entry 0x8 2 solved 1 0.0 0\n";
+  EXPECT_THROW(load_cache(bad_status), std::runtime_error);
+
+  // Chain arity differing from the entry arity.
+  std::stringstream bad_arity;
+  bad_arity << "stpes-chains v1\n"
+            << "entry 0x8 2 success 1 0.0 1\n"
+            << "chain 3 1 3 0 8 0 1\n";
+  EXPECT_THROW(load_cache(bad_arity), std::runtime_error);
+}
+
+TEST(ChainIo, MissingCacheFileIsEmptyNotError) {
+  EXPECT_TRUE(load_cache_file("/nonexistent/stpes-cache.txt").empty());
+}
+
+TEST(ChainIo, RealSynthesisResultSurvivesDisk) {
+  // End to end: synthesize, persist all optimum chains, reload, re-verify.
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto r = stpes::core::exact_synthesis(
+      f, stpes::core::engine::stp, 60.0);
+  ASSERT_TRUE(r.ok());
+
+  cache_entry e;
+  e.function = f;
+  e.result = r;
+  std::stringstream file;
+  save_cache(file, {e});
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded[0].result.chains.size(), r.chains.size());
+  for (std::size_t i = 0; i < r.chains.size(); ++i) {
+    EXPECT_TRUE(loaded[0].result.chains[i] == r.chains[i]);
+    EXPECT_EQ(loaded[0].result.chains[i].simulate(), f);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+/// \file service_test.cpp
+/// \brief Unit tests for the service building blocks: thread pool, sharded
+///        single-flight cache, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "service/shard_cache.hpp"
+#include "service/thread_pool.hpp"
+#include "tt/truth_table.hpp"
+
+namespace {
+
+using stpes::service::latency_histogram;
+using stpes::service::shard_cache;
+using stpes::service::thread_pool;
+using stpes::tt::truth_table;
+
+stpes::synth::result make_result(unsigned gates) {
+  stpes::synth::result r;
+  r.outcome = stpes::synth::status::success;
+  r.optimum_gates = gates;
+  return r;
+}
+
+truth_table key_of(std::uint64_t bits) { return truth_table{4, bits}; }
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  thread_pool pool{4};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100u);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  thread_pool pool{0};
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  thread_pool pool{2};
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    counter.fetch_add(1);
+    pool.submit([&] { counter.fetch_add(1); });
+  });
+  // wait_idle must cover the task submitted from inside the first task.
+  // Give the inner submit a moment to land before waiting.
+  while (counter.load() < 1) {
+    std::this_thread::yield();
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueueAndIsIdempotent) {
+  std::atomic<int> counter{0};
+  {
+    thread_pool pool{1};
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+    pool.shutdown();
+    EXPECT_EQ(counter.load(), 10);
+    pool.shutdown();  // no-op
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  }  // destructor after explicit shutdown must also be safe
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, SurvivesThrowingTask) {
+  thread_pool pool{1};
+  pool.submit([] { throw std::runtime_error{"task failure"}; });
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ShardCache, HitAfterMiss) {
+  shard_cache cache{{4, 16}};
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_result(3);
+  };
+  const auto first = cache.get_or_compute(key_of(0x8ff8), compute);
+  const auto second = cache.get_or_compute(key_of(0x8ff8), compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.optimum_gates, 3u);
+  EXPECT_EQ(second.optimum_gates, 3u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ShardCache, LruEvictsOldestReadyEntry) {
+  // One shard with room for two entries makes eviction order observable.
+  shard_cache cache{{1, 2}};
+  int computes = 0;
+  const auto compute_n = [&](unsigned n) {
+    return [&computes, n] {
+      ++computes;
+      return make_result(n);
+    };
+  };
+  cache.get_or_compute(key_of(1), compute_n(1));
+  cache.get_or_compute(key_of(2), compute_n(2));
+  // Touch key 1 so key 2 becomes the LRU victim.
+  cache.get_or_compute(key_of(1), compute_n(1));
+  cache.get_or_compute(key_of(3), compute_n(3));  // evicts key 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  computes = 0;
+  cache.get_or_compute(key_of(1), compute_n(1));  // still resident
+  EXPECT_EQ(computes, 0);
+  cache.get_or_compute(key_of(2), compute_n(2));  // was evicted: recompute
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(ShardCache, UnboundedWhenCapacityZero) {
+  shard_cache cache{{1, 0}};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    cache.get_or_compute(key_of(i), [] { return make_result(1); });
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ShardCache, SingleFlightComputesOnceUnderContention) {
+  shard_cache cache{{8, 64}};
+  std::atomic<int> computes{0};
+  std::atomic<int> started{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<unsigned> gates(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      started.fetch_add(1);
+      while (started.load() < kThreads) {
+        std::this_thread::yield();
+      }
+      const auto r = cache.get_or_compute(key_of(0xcafe), [&] {
+        computes.fetch_add(1);
+        // Long enough that the other threads arrive while in flight.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return make_result(7);
+      });
+      gates[t] = r.optimum_gates;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto g : gates) {
+    EXPECT_EQ(g, 7u);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.inflight_waits,
+            static_cast<std::size_t>(kThreads - 1));
+}
+
+TEST(ShardCache, ThrowingComputeIsNotCached) {
+  shard_cache cache{{2, 8}};
+  EXPECT_THROW(cache.get_or_compute(
+                   key_of(5), []() -> stpes::synth::result {
+                     throw std::runtime_error{"engine exploded"};
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  int computes = 0;
+  const auto r = cache.get_or_compute(key_of(5), [&] {
+    ++computes;
+    return make_result(2);
+  });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(r.optimum_gates, 2u);
+}
+
+TEST(ShardCache, InsertAndDumpRoundTrip) {
+  shard_cache cache{{4, 16}};
+  EXPECT_TRUE(cache.insert(key_of(0x1), make_result(1)));
+  EXPECT_TRUE(cache.insert(key_of(0x2), make_result(2)));
+  EXPECT_FALSE(cache.insert(key_of(0x1), make_result(9)));  // first wins
+  const auto dumped = cache.dump();
+  EXPECT_EQ(dumped.size(), 2u);
+  // Warm entries serve as hits without computing.
+  int computes = 0;
+  const auto r = cache.get_or_compute(key_of(0x1), [&] {
+    ++computes;
+    return make_result(9);
+  });
+  EXPECT_EQ(computes, 0);
+  EXPECT_EQ(r.optimum_gates, 1u);
+}
+
+TEST(Metrics, HistogramBucketsByPowerOfTwoMicroseconds) {
+  latency_histogram h;
+  h.record_seconds(0.5e-6);   // sub-microsecond -> bucket 0
+  h.record_seconds(1.5e-6);   // [1, 2) us -> bucket 0
+  h.record_seconds(3e-6);     // [2, 4) us -> bucket 1
+  h.record_seconds(1.0);      // 1 s = 2^~19.9 us -> bucket 19
+  const auto buckets = h.bucket_counts();
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[19], 1u);
+  EXPECT_NEAR(h.total_seconds(), 1.0, 1e-3);
+}
+
+TEST(Metrics, SnapshotRendersTextAndJson) {
+  stpes::service::metrics m;
+  m.on_request();
+  m.on_request();
+  m.on_cache_hit();
+  m.on_cache_miss();
+  m.on_synth_run(0.001, true);
+  m.on_synth_run(0.002, false);
+  const auto s = m.snapshot();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.synth_runs, 2u);
+  EXPECT_EQ(s.synth_failures, 1u);
+  EXPECT_EQ(s.synth_latency_count, 2u);
+
+  const auto text = s.to_text();
+  EXPECT_NE(text.find("requests          2"), std::string::npos);
+  EXPECT_NE(text.find("synth_runs        2"), std::string::npos);
+
+  const auto json = s.to_json();
+  EXPECT_NE(json.find("\"requests\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"synth_failures\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"synth_latency_buckets\":["), std::string::npos);
+}
+
+}  // namespace

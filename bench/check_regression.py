@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare a fresh table1 --json run against a committed BENCH_* baseline.
+
+Usage:
+    check_regression.py --baseline BENCH_table1_npn4.json --fresh fresh.json
+                        [--runtime-tolerance 0.25]
+
+Exit code 0 when the fresh run is acceptable, 1 otherwise.  The gate has
+two parts, per engine present in both files:
+
+  * correctness trajectory: `solved`, `timeouts`, and the gate counts
+    (`total_gates`, `mean_gates`) must match the baseline exactly — any
+    change in what gets synthesized, or how small, is a regression (or an
+    improvement that must be re-baselined deliberately);
+  * performance trajectory: `wall_seconds` may not regress by more than
+    the tolerance (default +25%).  Getting faster never fails.
+
+The instance count, timeout, and seed must match, otherwise the comparison
+is meaningless and the script errors out.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--runtime-tolerance", type=float, default=0.25,
+                        help="allowed fractional wall-clock regression")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    errors = 0
+
+    # The runs must be the same experiment.
+    for key in ("collection", "instances", "timeout_s", "seed"):
+        if baseline.get(key) != fresh.get(key):
+            print(f"ERROR: config mismatch on '{key}': baseline "
+                  f"{baseline.get(key)!r} vs fresh {fresh.get(key)!r}")
+            return 2
+
+    if fresh.get("disagreements", 0) != 0:
+        errors += fail(f"{fresh['disagreements']} engine disagreements "
+                       "on optimum size")
+
+    base_engines = {e["engine"]: e for e in baseline.get("engines", [])}
+    fresh_engines = {e["engine"]: e for e in fresh.get("engines", [])}
+    for name, base in base_engines.items():
+        if name not in fresh_engines:
+            errors += fail(f"engine '{name}' missing from fresh run")
+            continue
+        cur = fresh_engines[name]
+
+        for key in ("solved", "timeouts", "total_gates", "mean_gates"):
+            if base.get(key) != cur.get(key):
+                errors += fail(f"{name}: {key} changed "
+                               f"{base.get(key)} -> {cur.get(key)}")
+
+        base_wall = float(base["wall_seconds"])
+        cur_wall = float(cur["wall_seconds"])
+        limit = base_wall * (1.0 + args.runtime_tolerance)
+        status = "OK" if cur_wall <= limit else "FAIL"
+        print(f"{name}: wall {cur_wall:.2f}s vs baseline {base_wall:.2f}s "
+              f"(limit {limit:.2f}s) [{status}]")
+        if cur_wall > limit:
+            errors += fail(
+                f"{name}: wall-clock regression beyond "
+                f"{100 * args.runtime_tolerance:.0f}%")
+
+    if errors == 0:
+        print("bench regression check passed")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

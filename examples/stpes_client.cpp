@@ -1,0 +1,133 @@
+/// \file stpes_client.cpp
+/// \brief Command-line client for a running stpes-serve daemon.
+///
+///     stpes-client --socket=/tmp/stpes.sock synth stp 4 0x8ff8 [timeout]
+///     stpes-client --socket=/tmp/stpes.sock batch < functions.txt
+///     stpes-client --socket=/tmp/stpes.sock stats [json]
+///     stpes-client --socket=/tmp/stpes.sock save /tmp/cache.txt
+///     stpes-client --socket=/tmp/stpes.sock load /tmp/cache.txt
+///     stpes-client --socket=/tmp/stpes.sock ping | shutdown
+///
+/// `batch` reads `<engine> <n> <hex> [timeout]` lines from stdin.  The
+/// exit code is 0 on an OK reply, 1 on ERR (including `ERR timeout`), and
+/// 2 on usage or connection problems.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: stpes-client --socket=PATH <command>\n"
+         "  synth <engine> <n> <hex> [timeout]   one function\n"
+         "  batch                                requests from stdin\n"
+         "  stats [json]                         daemon counters\n"
+         "  save <path> | load <path>            cache persistence\n"
+         "  ping | shutdown\n";
+  std::exit(2);
+}
+
+int print_reply(const stpes::server::line_client::synth_reply& r) {
+  if (!r.ok) {
+    std::cout << "ERR " << r.error << "\n";
+    return 1;
+  }
+  std::cout << stpes::synth::to_string(r.outcome) << " gates=" << r.gates
+            << " chains=" << r.chains.size() << " seconds=" << r.seconds
+            << "\n";
+  for (const auto& c : r.chains) {
+    std::cout << stpes::service::serialize_chain(c) << "\n";
+  }
+  return r.outcome == stpes::synth::status::success ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stpes;
+
+  std::string socket_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (socket_path.empty() || args.empty()) {
+    usage();
+  }
+
+  try {
+    server::unix_client connection{socket_path};
+    auto& client = connection.session();
+    const std::string& command = args[0];
+
+    if (command == "synth" && (args.size() == 4 || args.size() == 5)) {
+      const auto engine = core::engine_from_string(args[1]);
+      const auto num_vars = static_cast<unsigned>(std::stoul(args[2]));
+      const auto function = tt::truth_table::from_hex(num_vars, args[3]);
+      std::optional<double> timeout;
+      if (args.size() == 5) {
+        timeout = std::stod(args[4]);
+      }
+      return print_reply(client.synth(engine, function, timeout));
+    }
+    if (command == "batch" && args.size() == 1) {
+      std::vector<std::pair<core::engine, tt::truth_table>> requests;
+      std::string engine_name;
+      unsigned num_vars = 0;
+      std::string hex;
+      while (std::cin >> engine_name >> num_vars >> hex) {
+        requests.emplace_back(core::engine_from_string(engine_name),
+                              tt::truth_table::from_hex(num_vars, hex));
+      }
+      int exit_code = 0;
+      const auto replies = client.batch(requests);
+      for (std::size_t i = 0; i < replies.size(); ++i) {
+        std::cout << "# request " << i << "\n";
+        exit_code |= print_reply(replies[i]);
+      }
+      return exit_code;
+    }
+    if (command == "stats" && args.size() <= 2) {
+      if (args.size() == 2 && args[1] == "json") {
+        std::cout << client.stats_json() << "\n";
+      } else {
+        for (const auto& line : client.stats_text()) {
+          std::cout << line << "\n";
+        }
+      }
+      return 0;
+    }
+    if (command == "save" && args.size() == 2) {
+      std::cout << "saved " << client.save(args[1]) << " entries\n";
+      return 0;
+    }
+    if (command == "load" && args.size() == 2) {
+      const auto [loaded, skipped] = client.load(args[1]);
+      std::cout << "loaded " << loaded << " entries, skipped " << skipped
+                << "\n";
+      return 0;
+    }
+    if (command == "ping" && args.size() == 1) {
+      std::cout << (client.ping() ? "pong" : "no reply") << "\n";
+      return 0;
+    }
+    if (command == "shutdown" && args.size() == 1) {
+      client.shutdown();
+      std::cout << "daemon shutting down\n";
+      return 0;
+    }
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "stpes-client: " << e.what() << "\n";
+    return 2;
+  }
+}

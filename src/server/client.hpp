@@ -1,0 +1,280 @@
+/// \file client.hpp
+/// \brief Minimal C++ client for the stpes-serve line protocol.
+///
+/// Header-only on purpose: external tools can vendor this one file (plus
+/// the protocol grammar it shares with `service::chain_io`) instead of
+/// linking the library.  `line_client` drives any iostream pair — the
+/// integration tests run it over stringstream transcripts and in-process
+/// pipes — and `unix_client` owns a connected socket for the real daemon.
+///
+/// Every call returns the parsed reply *and* records the raw reply bytes
+/// (`last_raw()`), which is how the tests assert byte-identical answers
+/// across concurrent clients.
+
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chain/boolean_chain.hpp"
+#include "core/exact_synthesis.hpp"
+#include "server/fd_stream.hpp"
+#include "service/chain_io.hpp"
+#include "synth/spec.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::server {
+
+class line_client {
+public:
+  line_client(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+
+  struct synth_reply {
+    bool ok = false;
+    std::string error;  ///< ERR reason when !ok ("timeout", parse message)
+    synth::status outcome = synth::status::failure;
+    unsigned gates = 0;
+    double seconds = 0.0;
+    std::vector<chain::boolean_chain> chains;
+  };
+
+  /// `SYNTH`; throws only on a broken transport, not on ERR replies.
+  synth_reply synth(core::engine engine, const tt::truth_table& function,
+                    std::optional<double> timeout_seconds = std::nullopt) {
+    std::ostringstream req;
+    req << "SYNTH " << core::to_string(engine) << " "
+        << function.num_vars() << " " << function.to_hex();
+    if (timeout_seconds.has_value()) {
+      req << " " << *timeout_seconds;
+    }
+    send(req.str());
+    return read_result_reply("OK");
+  }
+
+  /// `BATCH ... END`; one reply per request, in request order.
+  std::vector<synth_reply> batch(
+      const std::vector<std::pair<core::engine, tt::truth_table>>&
+          requests) {
+    std::ostringstream req;
+    req << "BATCH\n";
+    for (const auto& [engine, function] : requests) {
+      req << core::to_string(engine) << " " << function.num_vars() << " "
+          << function.to_hex() << "\n";
+    }
+    req << "END";
+    send(req.str());
+    const auto head = read_line();
+    std::vector<synth_reply> replies;
+    if (head.rfind("ERR ", 0) == 0) {
+      synth_reply r;
+      r.error = head.substr(4);
+      replies.assign(requests.size(), r);
+      return replies;
+    }
+    const auto count = std::stoul(require_ok(head, "OK "));
+    replies.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      replies.push_back(parse_result_block(read_line(), "RESULT"));
+    }
+    return replies;
+  }
+
+  /// `STATS JSON`: the one-line JSON document.
+  std::string stats_json() {
+    send("STATS JSON");
+    require_ok(read_line(), "OK ");
+    return read_line();
+  }
+
+  /// `STATS` (text): the counter lines.
+  std::vector<std::string> stats_text() {
+    send("STATS");
+    const auto count = std::stoul(require_ok(read_line(), "OK "));
+    std::vector<std::string> lines;
+    lines.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      lines.push_back(read_line());
+    }
+    return lines;
+  }
+
+  /// `SAVE <path>`: entries written.  Throws on ERR.
+  std::size_t save(const std::string& path) {
+    send("SAVE " + path);
+    std::istringstream is{require_ok(read_line(), "OK saved ")};
+    std::size_t written = 0;
+    is >> written;
+    return written;
+  }
+
+  /// `LOAD <path>`: {loaded, skipped}.  Throws on ERR.
+  std::pair<std::size_t, std::size_t> load(const std::string& path) {
+    send("LOAD " + path);
+    std::istringstream is{require_ok(read_line(), "OK loaded ")};
+    std::size_t loaded = 0;
+    std::string skipped_kw;
+    std::size_t skipped = 0;
+    is >> loaded >> skipped_kw >> skipped;
+    return {loaded, skipped};
+  }
+
+  bool ping() {
+    send("PING");
+    return read_line() == "OK pong";
+  }
+
+  void quit() {
+    send("QUIT");
+    read_line();
+  }
+
+  void shutdown() {
+    send("SHUTDOWN");
+    read_line();
+  }
+
+  /// Raw bytes of the last complete reply (head line + payload lines).
+  [[nodiscard]] const std::string& last_raw() const { return last_raw_; }
+
+private:
+  void send(const std::string& request) {
+    last_raw_.clear();
+    out_ << request << "\n";
+    out_.flush();
+    if (!out_) {
+      throw std::runtime_error{"line_client: transport write failed"};
+    }
+  }
+
+  std::string read_line() {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      throw std::runtime_error{"line_client: connection closed"};
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    last_raw_ += line;
+    last_raw_ += '\n';
+    return line;
+  }
+
+  /// Strips `prefix` from an OK head line; throws on ERR / junk.
+  std::string require_ok(const std::string& line,
+                         const std::string& prefix) {
+    if (line.rfind("ERR ", 0) == 0) {
+      throw std::runtime_error{"server error: " + line.substr(4)};
+    }
+    if (line.rfind(prefix, 0) != 0) {
+      throw std::runtime_error{"unexpected reply: " + line};
+    }
+    return line.substr(prefix.size());
+  }
+
+  synth_reply read_result_reply(const std::string& head_keyword) {
+    const auto head = read_line();
+    if (head.rfind("ERR ", 0) == 0) {
+      synth_reply r;
+      r.error = head.substr(4);
+      return r;
+    }
+    return parse_result_block(head, head_keyword);
+  }
+
+  /// Parses `<kw> [index] <status> <gates> <num_chains> <seconds>` plus
+  /// the chain lines that follow it.
+  synth_reply parse_result_block(const std::string& head,
+                                 const std::string& keyword) {
+    std::istringstream is{head};
+    std::string kw;
+    is >> kw;
+    if (kw != keyword) {
+      throw std::runtime_error{"unexpected reply: " + head};
+    }
+    if (keyword == "RESULT") {
+      std::size_t index = 0;
+      is >> index;
+    }
+    std::string status;
+    unsigned gates = 0;
+    std::size_t num_chains = 0;
+    double seconds = 0.0;
+    if (!(is >> status >> gates >> num_chains >> seconds)) {
+      throw std::runtime_error{"malformed result head: " + head};
+    }
+    synth_reply r;
+    r.ok = true;
+    r.outcome = status == "success" ? synth::status::success
+                : status == "timeout" ? synth::status::timeout
+                                      : synth::status::failure;
+    r.gates = gates;
+    r.seconds = seconds;
+    r.chains.reserve(num_chains);
+    for (std::size_t i = 0; i < num_chains; ++i) {
+      r.chains.push_back(service::parse_chain(read_line()));
+    }
+    return r;
+  }
+
+  std::istream& in_;
+  std::ostream& out_;
+  std::string last_raw_;
+};
+
+/// A `line_client` over a connected Unix-domain socket.
+class unix_client {
+public:
+  explicit unix_client(const std::string& socket_path)
+      : fd_(connect_or_throw(socket_path)),
+        io_(fd_),
+        client_(io_, io_) {}
+
+  ~unix_client() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  unix_client(const unix_client&) = delete;
+  unix_client& operator=(const unix_client&) = delete;
+
+  [[nodiscard]] line_client& session() { return client_; }
+
+private:
+  static int connect_or_throw(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error{"socket path too long: " + path};
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error{"socket: " + std::string{strerror(errno)}};
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      const std::string reason = strerror(errno);
+      ::close(fd);
+      throw std::runtime_error{"connect " + path + ": " + reason};
+    }
+    return fd;
+  }
+
+  int fd_;
+  fd_iostream io_;
+  line_client client_;
+};
+
+}  // namespace stpes::server

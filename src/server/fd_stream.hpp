@@ -1,0 +1,97 @@
+/// \file fd_stream.hpp
+/// \brief A std::iostream over a POSIX file descriptor.
+///
+/// The daemon core speaks iostreams so sessions are testable over
+/// stringstreams and runnable over pipes; this adapter is the thin bridge
+/// that lets an accepted socket fd join that world.  Buffered reads and
+/// writes with EINTR retry, no seeking, and the fd's lifetime stays with
+/// the caller (closing it concurrently from another thread is the drain
+/// path's way of unblocking a read).
+
+#pragma once
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <streambuf>
+
+namespace stpes::server {
+
+class fd_streambuf final : public std::streambuf {
+public:
+  explicit fd_streambuf(int fd) : fd_(fd) {
+    setg(in_.data(), in_.data(), in_.data());
+    setp(out_.data(), out_.data() + out_.size());
+  }
+  ~fd_streambuf() override { sync(); }
+
+  fd_streambuf(const fd_streambuf&) = delete;
+  fd_streambuf& operator=(const fd_streambuf&) = delete;
+
+protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) {
+      return traits_type::to_int_type(*gptr());
+    }
+    ssize_t n = 0;
+    do {
+      n = ::read(fd_, in_.data(), in_.size());
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      return traits_type::eof();
+    }
+    setg(in_.data(), in_.data(), in_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_buffer() < 0) {
+      return traits_type::eof();
+    }
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_buffer() < 0 ? -1 : 0; }
+
+private:
+  /// Writes out everything buffered; returns -1 on a write error.
+  int flush_buffer() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n = 0;
+      do {
+        n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) {
+        return -1;
+      }
+      p += n;
+    }
+    setp(out_.data(), out_.data() + out_.size());
+    return 0;
+  }
+
+  int fd_;
+  std::array<char, 4096> in_;
+  std::array<char, 4096> out_;
+};
+
+/// An iostream bound to an fd for the connection's lifetime.
+class fd_iostream final : public std::iostream {
+public:
+  explicit fd_iostream(int fd) : std::iostream(nullptr), buf_(fd) {
+    rdbuf(&buf_);
+  }
+
+private:
+  fd_streambuf buf_;
+};
+
+}  // namespace stpes::server

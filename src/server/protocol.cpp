@@ -1,0 +1,109 @@
+#include "server/protocol.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "service/chain_io.hpp"
+
+namespace stpes::server {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw protocol_error{what};
+}
+
+/// Hex digits needed for an n-variable table (one digit covers n = 0..2).
+std::size_t hex_digits_for(unsigned num_vars) {
+  return num_vars < 2 ? 1 : (std::size_t{1} << (num_vars - 2));
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream is{std::string{line}};
+  std::string tok;
+  while (is >> tok) {
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+synth_args parse_synth_args(const std::vector<std::string>& tokens,
+                            const request_limits& limits) {
+  if (tokens.size() < 3 || tokens.size() > 4) {
+    reject("want <engine> <n> <hex-tt> [timeout_s]");
+  }
+  synth_args args;
+  try {
+    args.engine = core::engine_from_string(tokens[0]);
+  } catch (const std::exception&) {
+    reject("unknown engine '" + tokens[0] + "' (want stp|bms|fen|cegar)");
+  }
+
+  unsigned num_vars = 0;
+  {
+    std::size_t pos = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(tokens[1], &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != tokens[1].size()) {
+      reject("bad arity '" + tokens[1] + "'");
+    }
+    if (value > limits.max_vars) {
+      reject("truth table too large: n=" + tokens[1] + ", max n=" +
+             std::to_string(limits.max_vars));
+    }
+    num_vars = static_cast<unsigned>(value);
+  }
+
+  std::string hex = tokens[2];
+  if (hex.rfind("0x", 0) == 0 || hex.rfind("0X", 0) == 0) {
+    hex.erase(0, 2);
+  }
+  if (hex.size() != hex_digits_for(num_vars)) {
+    reject("truth table payload is " + std::to_string(hex.size()) +
+           " hex digits, n=" + std::to_string(num_vars) + " needs " +
+           std::to_string(hex_digits_for(num_vars)));
+  }
+  try {
+    args.function = tt::truth_table::from_hex(num_vars, hex);
+  } catch (const std::exception& e) {
+    reject(std::string{"bad truth table: "} + e.what());
+  }
+
+  if (tokens.size() == 4) {
+    double timeout = 0.0;
+    std::size_t pos = 0;
+    try {
+      timeout = std::stod(tokens[3], &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != tokens[3].size() || timeout < 0.0) {
+      reject("bad timeout '" + tokens[3] + "'");
+    }
+    args.timeout_seconds = timeout;
+  }
+  return args;
+}
+
+void write_result_block(std::ostream& os, std::string_view head,
+                        const synth::result& result) {
+  os << head << " " << synth::to_string(result.outcome) << " "
+     << result.optimum_gates << " " << result.chains.size() << " "
+     << result.seconds << "\n";
+  for (const auto& c : result.chains) {
+    os << service::serialize_chain(c) << "\n";
+  }
+}
+
+void write_error(std::ostream& os, std::string_view reason) {
+  os << "ERR " << reason << "\n";
+}
+
+}  // namespace stpes::server

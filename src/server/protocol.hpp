@@ -1,0 +1,91 @@
+/// \file protocol.hpp
+/// \brief The stpes-serve line protocol: request parsing and reply framing.
+///
+/// The daemon speaks a plain text protocol, one request per line, so any
+/// client that can write to a socket (netcat, a Python rewrite loop, the
+/// bundled `stpes-client`) can use it:
+///
+///     SYNTH <engine> <n> <hex-tt> [timeout_s]
+///     BATCH ... <engine> <n> <hex-tt> [timeout_s] per line ... END
+///     STATS [TEXT|JSON]
+///     SAVE <path>
+///     LOAD <path>
+///     PING | QUIT | SHUTDOWN
+///
+/// Every reply starts with exactly one `OK ...` or `ERR <reason>` line.
+/// Multi-line payloads are counted, never sentinel-terminated: the OK line
+/// carries how many lines (or result blocks) follow, so a client always
+/// knows when a reply is complete.
+///
+///     SYNTH reply:  OK <status> <gates> <num_chains> <seconds>
+///                   then exactly <num_chains> `chain ...` lines
+///     BATCH reply:  OK <count>
+///                   then <count> blocks, each
+///                   RESULT <index> <status> <gates> <num_chains> <seconds>
+///                   followed by its <num_chains> chain lines
+///     STATS reply:  OK <num_lines>  then that many lines
+///
+/// A malformed request yields one `ERR <reason>` line and the session keeps
+/// serving: parse errors poison only the offending request, never the
+/// daemon.  Chain lines reuse the `service::chain_io` grammar, so a SYNTH
+/// reply can be pasted into a cache file and vice versa.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/exact_synthesis.hpp"
+#include "synth/spec.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::server {
+
+/// A request the daemon refuses to parse; the message becomes the ERR
+/// reply.  Never fatal to the session.
+struct protocol_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Wire-level limits enforced before any synthesis work is scheduled.
+struct request_limits {
+  /// Largest accepted function arity.  8 keeps payloads at <= 64 hex
+  /// digits and matches the workloads the engines are tuned for.
+  unsigned max_vars = 8;
+  /// Hard cap on one request line (a multi-kilobyte "truth table" is an
+  /// attack or a bug, not a function).
+  std::size_t max_line_bytes = 4096;
+  /// Requests per BATCH block.
+  std::size_t max_batch_requests = 4096;
+};
+
+/// A parsed `SYNTH`-shaped request body: `<engine> <n> <hex> [timeout_s]`.
+struct synth_args {
+  core::engine engine = core::engine::stp;
+  tt::truth_table function;
+  std::optional<double> timeout_seconds;
+};
+
+/// Splits a line on whitespace.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view line);
+
+/// Parses the tokens after a SYNTH verb (or one BATCH body line).
+/// Throws `protocol_error` with a client-presentable message on any
+/// violation: unknown engine, arity above `limits.max_vars`, hex digits
+/// not matching the arity, malformed or negative timeout.
+[[nodiscard]] synth_args parse_synth_args(
+    const std::vector<std::string>& tokens, const request_limits& limits);
+
+/// Writes `<status> <gates> <num_chains> <seconds>` plus the chain lines.
+/// `head` is the reply head to print first ("OK" or "RESULT <i>").
+void write_result_block(std::ostream& os, std::string_view head,
+                        const synth::result& result);
+
+/// Writes the single-line `ERR <reason>` reply.
+void write_error(std::ostream& os, std::string_view reason);
+
+}  // namespace stpes::server

@@ -1,0 +1,309 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace stpes::server {
+
+namespace {
+
+service::batch_options to_batch_options(const server_options& opts) {
+  service::batch_options b;
+  b.engine = opts.default_engine;
+  b.timeout_seconds = opts.default_timeout_seconds;
+  b.num_threads = opts.num_threads;
+  b.cache_shards = opts.cache_shards;
+  b.cache_capacity_per_shard = opts.cache_capacity_per_shard;
+  return b;
+}
+
+/// Strips a trailing '\r' so netcat/CRLF clients work unchanged.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+}
+
+std::string cache_stats_json(const service::shard_cache_stats& s) {
+  std::ostringstream os;
+  os << "{\"hits\":" << s.hits << ",\"misses\":" << s.misses
+     << ",\"inflight_waits\":" << s.inflight_waits
+     << ",\"evictions\":" << s.evictions << ",\"size\":" << s.size << "}";
+  return os.str();
+}
+
+}  // namespace
+
+synthesis_server::synthesis_server(server_options opts)
+    : options_(opts), synth_(to_batch_options(opts)) {}
+
+void synthesis_server::serve(std::istream& in, std::ostream& out) {
+  sessions_.fetch_add(1, std::memory_order_relaxed);
+  std::string line;
+  while (!draining() && std::getline(in, line)) {
+    strip_cr(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line.size() > options_.limits.max_line_bytes) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      write_error(out, "line too long (" + std::to_string(line.size()) +
+                           " bytes, max " +
+                           std::to_string(options_.limits.max_line_bytes) +
+                           ")");
+      out.flush();
+      continue;
+    }
+    const bool keep_going = handle_line(line, in, out);
+    out.flush();
+    if (!keep_going) {
+      break;
+    }
+  }
+}
+
+bool synthesis_server::handle_line(const std::string& line, std::istream& in,
+                                   std::ostream& out) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) {  // whitespace-only line
+    return true;
+  }
+  commands_.fetch_add(1, std::memory_order_relaxed);
+  const std::string& verb = tokens.front();
+
+  if (verb == "PING") {
+    out << "OK pong\n";
+    return true;
+  }
+  if (verb == "SYNTH") {
+    handle_synth(tokens, out);
+    return true;
+  }
+  if (verb == "BATCH") {
+    return handle_batch(in, out);
+  }
+  if (verb == "STATS") {
+    handle_stats(tokens, out);
+    return true;
+  }
+  if (verb == "SAVE") {
+    handle_save(tokens, out);
+    return true;
+  }
+  if (verb == "LOAD") {
+    handle_load(tokens, out);
+    return true;
+  }
+  if (verb == "QUIT") {
+    out << "OK bye\n";
+    return false;
+  }
+  if (verb == "SHUTDOWN") {
+    out << "OK shutting-down\n";
+    shutdown_.store(true, std::memory_order_release);
+    begin_drain();
+    return false;
+  }
+  parse_errors_.fetch_add(1, std::memory_order_relaxed);
+  write_error(out, "unknown command '" + verb + "'");
+  return true;
+}
+
+void synthesis_server::handle_synth(const std::vector<std::string>& tokens,
+                                    std::ostream& out) {
+  service::batch_request request;
+  try {
+    auto args = parse_synth_args(
+        {tokens.begin() + 1, tokens.end()}, options_.limits);
+    request.function = std::move(args.function);
+    request.engine = args.engine;
+    request.timeout_seconds = effective_timeout(args.timeout_seconds);
+  } catch (const protocol_error& e) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, e.what());
+    return;
+  }
+  const auto batch = synth_.run(std::vector<service::batch_request>{request});
+  const auto& result = batch.results.front();
+  if (result.outcome == synth::status::timeout) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "timeout");
+    return;
+  }
+  write_result_block(out, "OK", result);
+}
+
+bool synthesis_server::handle_batch(std::istream& in, std::ostream& out) {
+  // Consume the whole block before replying, so a parse error mid-block
+  // cannot desynchronize the session (later body lines must never be
+  // re-interpreted as commands).
+  std::vector<service::batch_request> requests;
+  std::string first_error;
+  std::size_t body_lines = 0;
+  std::string line;
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    ++body_lines;
+    if (line.size() > options_.limits.max_line_bytes ||
+        body_lines > options_.limits.max_batch_requests) {
+      if (first_error.empty()) {
+        first_error = body_lines > options_.limits.max_batch_requests
+                          ? "batch exceeds " +
+                                std::to_string(
+                                    options_.limits.max_batch_requests) +
+                                " requests"
+                          : "batch line " + std::to_string(body_lines) +
+                                " too long";
+      }
+      continue;  // keep consuming until END
+    }
+    if (!first_error.empty()) {
+      continue;
+    }
+    try {
+      auto args = parse_synth_args(tokenize(line), options_.limits);
+      service::batch_request request;
+      request.function = std::move(args.function);
+      request.engine = args.engine;
+      request.timeout_seconds = effective_timeout(args.timeout_seconds);
+      requests.push_back(std::move(request));
+    } catch (const protocol_error& e) {
+      first_error =
+          "batch line " + std::to_string(body_lines) + ": " + e.what();
+    }
+  }
+  if (!terminated) {
+    // Client went away mid-block; nothing sensible to reply to.
+    return false;
+  }
+  if (!first_error.empty()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, first_error);
+    return true;
+  }
+  const auto batch = synth_.run(requests);
+  out << "OK " << batch.results.size() << "\n";
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.results[i].outcome == synth::status::timeout) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    write_result_block(out, "RESULT " + std::to_string(i),
+                       batch.results[i]);
+  }
+  return true;
+}
+
+void synthesis_server::handle_stats(const std::vector<std::string>& tokens,
+                                    std::ostream& out) {
+  const std::string mode = tokens.size() > 1 ? tokens[1] : "TEXT";
+  if (mode == "JSON") {
+    out << "OK 1\n" << stats_json() << "\n";
+    return;
+  }
+  if (mode != "TEXT") {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "unknown STATS mode '" + mode + "' (want TEXT|JSON)");
+    return;
+  }
+  const auto text = stats_text();
+  const auto lines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  out << "OK " << lines << "\n" << text;
+}
+
+void synthesis_server::handle_save(const std::vector<std::string>& tokens,
+                                   std::ostream& out) {
+  if (tokens.size() != 2) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "want SAVE <path>");
+    return;
+  }
+  try {
+    const auto written = synth_.persist_cache(tokens[1]);
+    out << "OK saved " << written << "\n";
+  } catch (const std::exception& e) {
+    write_error(out, e.what());
+  }
+}
+
+void synthesis_server::handle_load(const std::vector<std::string>& tokens,
+                                   std::ostream& out) {
+  if (tokens.size() != 2) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "want LOAD <path>");
+    return;
+  }
+  try {
+    const auto report = synth_.warm_cache_verbose(tokens[1]);
+    out << "OK loaded " << report.loaded << " skipped " << report.skipped()
+        << "\n";
+  } catch (const std::exception& e) {
+    write_error(out, e.what());
+  }
+}
+
+double synthesis_server::effective_timeout(
+    const std::optional<double>& requested) const {
+  double timeout = requested.value_or(options_.default_timeout_seconds);
+  const double cap = options_.max_timeout_seconds;
+  if (cap > 0.0 && (timeout == 0.0 || timeout > cap)) {
+    timeout = cap;
+  }
+  return timeout;
+}
+
+server_counters synthesis_server::counters() const {
+  server_counters c;
+  c.sessions = sessions_.load(std::memory_order_relaxed);
+  c.commands = commands_.load(std::memory_order_relaxed);
+  c.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  c.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string synthesis_server::stats_text() const {
+  const auto c = counters();
+  const auto cache = synth_.cache_stats();
+  std::ostringstream os;
+  os << "sessions          " << c.sessions << "\n"
+     << "commands          " << c.commands << "\n"
+     << "parse_errors      " << c.parse_errors << "\n"
+     << "timeouts          " << c.timeouts << "\n"
+     << "draining          " << (draining() ? 1 : 0) << "\n"
+     << synth_.current_metrics().to_text()  //
+     << "cache_lookup_hits " << cache.hits << "\n"
+     << "cache_misses_sf   " << cache.misses << "\n"
+     << "cache_inflight    " << cache.inflight_waits << "\n"
+     << "cache_evictions   " << cache.evictions << "\n"
+     << "cache_size        " << cache.size << "\n";
+  return os.str();
+}
+
+std::string synthesis_server::stats_json() const {
+  const auto c = counters();
+  std::ostringstream os;
+  os << "{\"server\":{\"sessions\":" << c.sessions
+     << ",\"commands\":" << c.commands
+     << ",\"parse_errors\":" << c.parse_errors
+     << ",\"timeouts\":" << c.timeouts
+     << ",\"draining\":" << (draining() ? "true" : "false") << "}"
+     << ",\"synthesis\":" << synth_.current_metrics().to_json()
+     << ",\"cache\":" << cache_stats_json(synth_.cache_stats()) << "}";
+  return os.str();
+}
+
+void synthesis_server::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+}  // namespace stpes::server

@@ -1,0 +1,115 @@
+/// \file server.hpp
+/// \brief Transport-agnostic daemon core: sessions over any iostream pair.
+///
+/// `synthesis_server` owns one `service::batch_synthesizer` — one warm NPN
+/// cache, one thread pool — and serves the line protocol of
+/// `server/protocol.hpp` over arbitrary streams.  Transports plug in from
+/// the outside: the Unix-socket listener hands every accepted connection to
+/// `serve()` on its own thread, pipe mode (CI, tests) runs one session over
+/// stdin/stdout, and the tests drive sessions over stringstreams.  Because
+/// the synthesizer's `run()` is thread-safe with per-call completion, any
+/// number of sessions can be in flight at once and still deduplicate work
+/// through the shared single-flight cache.
+///
+/// Failure isolation is per request: a malformed line costs one `ERR`
+/// reply, a synthesis that exceeds its budget costs one `ERR timeout`, and
+/// the session (and daemon) keep serving.  `begin_drain()` flips the server
+/// into shutdown mode — sessions finish their in-flight request, then
+/// close — which is what the SIGTERM path and the `SHUTDOWN` command use.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "service/batch_synthesizer.hpp"
+
+namespace stpes::server {
+
+struct server_options {
+  core::engine default_engine = core::engine::stp;
+  /// Budget applied when a request carries no timeout.  0 = unlimited.
+  double default_timeout_seconds = 5.0;
+  /// Cap on any per-request timeout (client values are clamped down to
+  /// it, and 0 = "unlimited" requests are clamped to exactly it).
+  /// 0 = no cap.
+  double max_timeout_seconds = 0.0;
+  unsigned num_threads = 0;  ///< 0 = hardware concurrency
+  std::size_t cache_shards = 16;
+  std::size_t cache_capacity_per_shard = 4096;
+  request_limits limits;
+};
+
+/// Server-level counters (the synthesis-level ones live in
+/// `service::metrics`); all surfaced through `STATS`.
+struct server_counters {
+  std::uint64_t sessions = 0;
+  std::uint64_t commands = 0;      ///< protocol lines handled
+  std::uint64_t parse_errors = 0;  ///< ERR replies for malformed input
+  std::uint64_t timeouts = 0;      ///< ERR timeout replies
+};
+
+class synthesis_server {
+public:
+  explicit synthesis_server(server_options opts = {});
+
+  synthesis_server(const synthesis_server&) = delete;
+  synthesis_server& operator=(const synthesis_server&) = delete;
+
+  /// Runs one session: reads requests from `in`, writes replies to `out`,
+  /// returns on EOF, QUIT, SHUTDOWN, or drain.  Safe to call from many
+  /// threads at once (one per connection).
+  void serve(std::istream& in, std::ostream& out);
+
+  /// Stops all sessions after their in-flight request.  Idempotent.
+  void begin_drain();
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  /// True once a client issued SHUTDOWN (implies `draining()`); the
+  /// transport layer uses this to stop accepting.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// STATS payloads: server counters + synthesis metrics + cache stats.
+  [[nodiscard]] std::string stats_text() const;
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] service::batch_synthesizer& synthesizer() { return synth_; }
+  [[nodiscard]] const server_options& options() const { return options_; }
+  [[nodiscard]] server_counters counters() const;
+
+private:
+  /// Handles one request line; returns false when the session should end.
+  bool handle_line(const std::string& line, std::istream& in,
+                   std::ostream& out);
+  void handle_synth(const std::vector<std::string>& tokens,
+                    std::ostream& out);
+  /// Returns false when the client disconnected mid-block.
+  bool handle_batch(std::istream& in, std::ostream& out);
+  void handle_stats(const std::vector<std::string>& tokens,
+                    std::ostream& out);
+  void handle_save(const std::vector<std::string>& tokens,
+                   std::ostream& out);
+  void handle_load(const std::vector<std::string>& tokens,
+                   std::ostream& out);
+
+  /// Applies the default / cap policy to a request's timeout.
+  [[nodiscard]] double effective_timeout(
+      const std::optional<double>& requested) const;
+
+  server_options options_;
+  service::batch_synthesizer synth_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint64_t> commands_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+};
+
+}  // namespace stpes::server

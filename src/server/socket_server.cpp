@@ -1,0 +1,136 @@
+#include "server/socket_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "server/fd_stream.hpp"
+
+namespace stpes::server {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+unix_socket_server::unix_socket_server(synthesis_server& server,
+                                       std::string socket_path)
+    : server_(server), path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error{"socket path too long: " + path_};
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    fail_errno("socket");
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    fail_errno("bind " + path_);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    fail_errno("listen");
+  }
+  if (::pipe(wake_fds_) < 0) {
+    fail_errno("pipe");
+  }
+}
+
+unix_socket_server::~unix_socket_server() {
+  for (const int fd : {listen_fd_, wake_fds_[0], wake_fds_[1]}) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::unlink(path_.c_str());
+  }
+}
+
+void unix_socket_server::run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (fds[1].revents != 0 || stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock{mutex_};
+    open_fds_.push_back(client);
+    threads_.emplace_back([this, client] { handle_connection(client); });
+  }
+
+  // Drain: finish in-flight requests, wake idle readers, join everyone.
+  server_.begin_drain();
+  unblock_open_connections();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    workers.swap(threads_);
+  }
+  for (auto& t : workers) {
+    t.join();
+  }
+}
+
+void unix_socket_server::stop() {
+  stopping_.store(true, std::memory_order_release);
+  // Wake the poll(); one byte is enough, and write() is signal-safe.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], "x", 1);
+}
+
+void unix_socket_server::handle_connection(int fd) {
+  {
+    fd_iostream io{fd};
+    server_.serve(io, io);
+  }
+  {
+    // Untrack before close: once closed, the fd number can be reused by a
+    // new connection, and the drain path must never shut that one down.
+    std::lock_guard<std::mutex> lock{mutex_};
+    open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                    open_fds_.end());
+  }
+  ::close(fd);
+  if (server_.shutdown_requested()) {
+    stop();  // a client-issued SHUTDOWN stops the accept loop too
+  }
+}
+
+void unix_socket_server::unblock_open_connections() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  for (const int fd : open_fds_) {
+    ::shutdown(fd, SHUT_RD);  // blocked reads return EOF; writes still work
+  }
+}
+
+}  // namespace stpes::server

@@ -1,0 +1,67 @@
+/// \file socket_server.hpp
+/// \brief Unix-domain socket transport for `synthesis_server`.
+///
+/// Thread-per-connection on top of the shared daemon core: every accepted
+/// client gets its own session thread, and all of them fan work onto the
+/// one `service::thread_pool` through the single-flight cache.  The accept
+/// loop multiplexes the listen fd with a self-pipe so `stop()` is safe to
+/// call from a signal handler (it only stores an atomic and writes one
+/// byte).
+///
+/// Shutdown sequencing — the part that makes SIGTERM graceful:
+///   1. `stop()` wakes the accept loop; no new connections are accepted.
+///   2. The daemon core drains: sessions finish their in-flight request.
+///   3. Idle connections blocked in `read()` are unblocked with
+///      `shutdown(fd, SHUT_RD)`; their sessions see EOF and return.
+///   4. All session threads are joined, the socket file is unlinked.
+/// A client that issues `SHUTDOWN` triggers the same sequence from inside
+/// a session.
+
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace stpes::server {
+
+class unix_socket_server {
+public:
+  /// Binds and listens on `socket_path` (an existing socket file from a
+  /// dead daemon is replaced).  Throws `std::runtime_error` on bind
+  /// failure.
+  unix_socket_server(synthesis_server& server, std::string socket_path);
+  ~unix_socket_server();
+
+  unix_socket_server(const unix_socket_server&) = delete;
+  unix_socket_server& operator=(const unix_socket_server&) = delete;
+
+  /// Accept loop; returns after `stop()` (or a client SHUTDOWN) once every
+  /// session has drained and joined.
+  void run();
+
+  /// Requests shutdown.  Async-signal-safe: atomic store + pipe write.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+
+private:
+  void handle_connection(int fd);
+  void unblock_open_connections();
+
+  synthesis_server& server_;
+  std::string path_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mutex_;  ///< guards open_fds_ and threads_
+  std::vector<int> open_fds_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace stpes::server

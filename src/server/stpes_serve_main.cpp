@@ -1,0 +1,171 @@
+/// \file stpes_serve_main.cpp
+/// \brief The `stpes-serve` daemon binary.
+///
+/// Long-lived front-end over `service::batch_synthesizer`: external tools
+/// (rewriting flows, mapper loops, SAT sweepers) connect over a Unix
+/// socket, speak the line protocol, and share one warm NPN cache without
+/// linking the library.
+///
+///     stpes-serve --socket=/tmp/stpes.sock [--engine=stp] [--threads=N]
+///                 [--timeout=S] [--max-timeout=S] [--max-vars=N]
+///                 [--warm=FILE] [--persist=FILE]
+///     stpes-serve --pipe ...    # one session over stdin/stdout (CI)
+///
+/// SIGTERM/SIGINT drain gracefully: in-flight syntheses finish, sessions
+/// close, the cache is persisted when `--persist` is set, and the process
+/// exits 0.  A client `SHUTDOWN` does the same.  All logging goes to
+/// stderr; in pipe mode stdout belongs to the protocol.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+#include "server/socket_server.hpp"
+
+namespace {
+
+struct cli_options {
+  std::string socket_path;
+  bool pipe = false;
+  std::string engine = "stp";
+  unsigned threads = 0;
+  double timeout = 5.0;
+  double max_timeout = 0.0;
+  unsigned max_vars = 8;
+  std::string warm_path;
+  std::string persist_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--socket=PATH | --pipe) [--engine=stp|bms|fen|cegar]"
+               " [--threads=N] [--timeout=S] [--max-timeout=S]"
+               " [--max-vars=N] [--warm=FILE] [--persist=FILE]\n";
+  std::exit(2);
+}
+
+cli_options parse_cli(int argc, char** argv) {
+  cli_options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& name) -> std::string {
+      const std::string prefix = "--" + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                       : std::string{};
+    };
+    if (arg == "--pipe") {
+      opts.pipe = true;
+    } else if (auto v = value("socket"); !v.empty()) {
+      opts.socket_path = v;
+    } else if (auto v = value("engine"); !v.empty()) {
+      opts.engine = v;
+    } else if (auto v = value("threads"); !v.empty()) {
+      opts.threads = static_cast<unsigned>(std::stoul(v));
+    } else if (auto v = value("timeout"); !v.empty()) {
+      opts.timeout = std::stod(v);
+    } else if (auto v = value("max-timeout"); !v.empty()) {
+      opts.max_timeout = std::stod(v);
+    } else if (auto v = value("max-vars"); !v.empty()) {
+      opts.max_vars = static_cast<unsigned>(std::stoul(v));
+    } else if (auto v = value("warm"); !v.empty()) {
+      opts.warm_path = v;
+    } else if (auto v = value("persist"); !v.empty()) {
+      opts.persist_path = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opts.pipe == !opts.socket_path.empty()) {
+    // Exactly one transport must be selected.
+    usage(argv[0]);
+  }
+  return opts;
+}
+
+stpes::server::unix_socket_server* g_socket_server = nullptr;
+
+void on_signal(int) {
+  if (g_socket_server != nullptr) {
+    g_socket_server->stop();  // async-signal-safe: atomic + pipe write
+  }
+}
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stpes;
+
+  const auto cli = parse_cli(argc, argv);
+
+  server::server_options opts;
+  try {
+    opts.default_engine = core::engine_from_string(cli.engine);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  opts.default_timeout_seconds = cli.timeout;
+  opts.max_timeout_seconds = cli.max_timeout;
+  opts.num_threads = cli.threads;
+  opts.limits.max_vars = cli.max_vars;
+
+  server::synthesis_server server{opts};
+
+  if (!cli.warm_path.empty()) {
+    try {
+      const auto report = server.synthesizer().warm_cache_verbose(
+          cli.warm_path);
+      std::cerr << "stpes-serve: warmed " << report.loaded
+                << " cache entries from " << cli.warm_path << " ("
+                << report.skipped() << " skipped)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "stpes-serve: corrupt cache file " << cli.warm_path
+                << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (cli.pipe) {
+    std::cerr << "stpes-serve: pipe mode, engine=" << cli.engine << ", "
+              << server.synthesizer().num_threads() << " threads\n";
+    server.serve(std::cin, std::cout);
+  } else {
+    try {
+      server::unix_socket_server listener{server, cli.socket_path};
+      g_socket_server = &listener;
+      install_signal_handlers();
+      std::cerr << "stpes-serve: listening on " << cli.socket_path
+                << ", engine=" << cli.engine << ", "
+                << server.synthesizer().num_threads() << " threads\n";
+      listener.run();
+      g_socket_server = nullptr;
+    } catch (const std::exception& e) {
+      std::cerr << "stpes-serve: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (!cli.persist_path.empty()) {
+    try {
+      const auto written = server.synthesizer().persist_cache(
+          cli.persist_path);
+      std::cerr << "stpes-serve: persisted " << written
+                << " cache entries to " << cli.persist_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "stpes-serve: persist failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "stpes-serve: drained, exiting\n";
+  return 0;
+}

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -22,6 +25,54 @@ unsigned resolve_threads(unsigned requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : hw;
 }
+
+/// Canonical lowercase engine name for file metadata (the display name
+/// from `core::to_string` is uppercase).
+const char* wire_engine_name(core::engine e) {
+  switch (e) {
+    case core::engine::stp:
+      return "stp";
+    case core::engine::bms:
+      return "bms";
+    case core::engine::fen:
+      return "fen";
+    case core::engine::cegar:
+      return "cegar";
+  }
+  return "?";
+}
+
+/// Case-tolerant match of a metadata engine name against an engine; an
+/// unparseable name never matches (the entry is not trusted).
+bool engine_name_matches(const std::string& name, core::engine e) {
+  try {
+    return core::engine_from_string(name) == e;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Per-`run()` completion latch.  Waiting on the pool's global quiescence
+/// would couple overlapping runs (a 1 ms request stuck behind another
+/// caller's minute-long batch); counting down per call keeps concurrent
+/// server sessions independent.
+struct completion_latch {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending = 0;
+
+  void arrive() {
+    std::lock_guard<std::mutex> lock{mutex};
+    if (--pending == 0) {
+      done.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock{mutex};
+    done.wait(lock, [this] { return pending == 0; });
+  }
+};
 
 }  // namespace
 
@@ -97,39 +148,49 @@ batch_result batch_synthesizer::run(
 
   // One task per unique class: synthesize-or-wait through the cache, then
   // rewrite the canonical chains for every member.  Distinct tasks write
-  // distinct result slots, so `out.results` needs no lock.
+  // distinct result slots, so `out.results` needs no lock.  The latch is
+  // shared-owned by the tasks: every task arrives exactly once, even when
+  // the engine throws.
+  auto latch = std::make_shared<completion_latch>();
+  latch->pending = groups.size() + bypass.size();
+
   for (auto& [key, g] : groups) {
     group* gp = &g;
-    pool_->submit([this, gp, &out] {
-      bool computed = false;
-      const auto canonical_result = cache_for(gp->engine).get_or_compute(
-          gp->canonical, [this, gp, &computed] {
-            computed = true;
-            util::stopwatch sw;
-            auto r = core::exact_synthesis(gp->canonical, gp->engine,
-                                           gp->timeout);
-            metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
-            return r;
-          });
-      if (computed) {
-        metrics_.on_cache_miss();
-      } else {
-        metrics_.on_cache_hit();
-      }
-      for (const auto& m : gp->members) {
-        auto& slot = out.results[m.index];
-        slot.outcome = canonical_result.outcome;
-        slot.optimum_gates = canonical_result.optimum_gates;
-        slot.seconds = canonical_result.seconds;
-        if (!canonical_result.ok()) {
-          continue;  // timeout/failure propagates, as in the serial path
+    pool_->submit([this, gp, &out, latch] {
+      try {
+        bool computed = false;
+        const auto canonical_result = cache_for(gp->engine).get_or_compute(
+            gp->canonical, [this, gp, &computed] {
+              computed = true;
+              util::stopwatch sw;
+              auto r = core::exact_synthesis(gp->canonical, gp->engine,
+                                             gp->timeout);
+              metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
+              return r;
+            });
+        if (computed) {
+          metrics_.on_cache_miss();
+        } else {
+          metrics_.on_cache_hit();
         }
-        slot.chains.reserve(canonical_result.chains.size());
-        for (const auto& c : canonical_result.chains) {
-          slot.chains.push_back(
-              chain::apply_inverse_npn_to_chain(c, m.transform));
+        for (const auto& m : gp->members) {
+          auto& slot = out.results[m.index];
+          slot.outcome = canonical_result.outcome;
+          slot.optimum_gates = canonical_result.optimum_gates;
+          slot.seconds = canonical_result.seconds;
+          if (!canonical_result.ok()) {
+            continue;  // timeout/failure propagates, as in the serial path
+          }
+          slot.chains.reserve(canonical_result.chains.size());
+          for (const auto& c : canonical_result.chains) {
+            slot.chains.push_back(
+                chain::apply_inverse_npn_to_chain(c, m.transform));
+          }
         }
+      } catch (...) {
+        // Members keep their default-constructed failure results.
       }
+      latch->arrive();
     });
   }
 
@@ -138,17 +199,22 @@ batch_result batch_synthesizer::run(
     const auto engine = req.engine.value_or(options_.engine);
     const auto timeout =
         req.timeout_seconds.value_or(options_.timeout_seconds);
-    pool_->submit([this, index, engine, timeout, &requests, &out] {
-      metrics_.on_bypass();
-      util::stopwatch sw;
-      auto r =
-          core::exact_synthesis(requests[index].function, engine, timeout);
-      metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
-      out.results[index] = std::move(r);
+    pool_->submit([this, index, engine, timeout, &requests, &out, latch] {
+      try {
+        metrics_.on_bypass();
+        util::stopwatch sw;
+        auto r =
+            core::exact_synthesis(requests[index].function, engine, timeout);
+        metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
+        out.results[index] = std::move(r);
+      } catch (...) {
+        // The slot keeps its default-constructed failure result.
+      }
+      latch->arrive();
     });
   }
 
-  pool_->wait_idle();
+  latch->wait();
 
   out.metrics = metrics_.snapshot();
   out.cache = cache_stats();
@@ -167,15 +233,35 @@ batch_result batch_synthesizer::run(
 }
 
 std::size_t batch_synthesizer::warm_cache(const std::string& path) {
+  return warm_cache_verbose(path).loaded;
+}
+
+warm_report batch_synthesizer::warm_cache_verbose(const std::string& path) {
   const auto entries = load_cache_file(path);
+  const double budget = options_.timeout_seconds;
   auto& cache = cache_for(options_.engine);
-  std::size_t loaded = 0;
+  warm_report report;
   for (const auto& e : entries) {
+    if (e.meta.has_value() && !e.meta->engine.empty() &&
+        !engine_name_matches(e.meta->engine, options_.engine)) {
+      ++report.skipped_engine;
+      continue;
+    }
+    if (!e.result.ok() && e.meta.has_value() &&
+        e.meta->budget_seconds != 0.0 &&
+        (budget == 0.0 || e.meta->budget_seconds < budget)) {
+      // Recorded under a smaller budget than we now have: a timeout there
+      // might be a success here, so let it re-run.
+      ++report.skipped_budget;
+      continue;
+    }
     if (cache.insert(e.function, e.result)) {
-      ++loaded;
+      ++report.loaded;
+    } else {
+      ++report.duplicates;
     }
   }
-  return loaded;
+  return report;
 }
 
 std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
@@ -185,8 +271,10 @@ std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<cache_entry> entries;
   entries.reserve(dumped.size());
+  const entry_meta meta{wire_engine_name(options_.engine),
+                        options_.timeout_seconds};
   for (auto& [function, result] : dumped) {
-    entries.push_back(cache_entry{function, std::move(result)});
+    entries.push_back(cache_entry{function, std::move(result), meta});
   }
   save_cache_file(path, entries);
   return entries.size();

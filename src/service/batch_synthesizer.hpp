@@ -64,6 +64,23 @@ struct batch_result {
   double wall_seconds = 0.0;
 };
 
+/// What `warm_cache_verbose` did with each file entry.
+struct warm_report {
+  std::size_t loaded = 0;
+  /// Entry meta names a different engine than the batch default; serving
+  /// it would cross engine boundaries, so it is skipped.
+  std::size_t skipped_engine = 0;
+  /// Non-success entry recorded under a smaller budget than the current
+  /// one: retrying with more budget could succeed, so it is skipped.
+  std::size_t skipped_budget = 0;
+  /// Key already resident (the existing entry wins).
+  std::size_t duplicates = 0;
+
+  [[nodiscard]] std::size_t skipped() const {
+    return skipped_engine + skipped_budget;
+  }
+};
+
 class batch_synthesizer {
 public:
   explicit batch_synthesizer(batch_options opts = {});
@@ -72,8 +89,11 @@ public:
   batch_synthesizer(const batch_synthesizer&) = delete;
   batch_synthesizer& operator=(const batch_synthesizer&) = delete;
 
-  /// Synthesizes every request across the worker pool.  Thread-compatible:
-  /// call from one thread at a time (the workers parallelize internally).
+  /// Synthesizes every request across the worker pool.  Thread-safe:
+  /// overlapping `run()` calls share the pool and the caches, the
+  /// single-flight guarantee holds across them, and each call waits only
+  /// for its own requests (server front-ends call this from one thread
+  /// per connection).
   batch_result run(const std::vector<batch_request>& requests);
 
   /// Convenience overload: plain functions, batch-default options.
@@ -83,6 +103,14 @@ public:
   /// file.  Returns the number of entries loaded (0 when the file does not
   /// exist).  Throws `std::runtime_error` on a corrupt file.
   std::size_t warm_cache(const std::string& path);
+
+  /// Like `warm_cache`, but reports what was skipped and why.  Entries
+  /// whose `meta` names a different engine are not loaded (a chain optimum
+  /// under one engine's constraints is not trusted under another's), and
+  /// timeout/failure entries recorded under a smaller budget than
+  /// `options().timeout_seconds` are dropped so they can be retried.
+  /// Entries without metadata (pre-meta files) load as before.
+  warm_report warm_cache_verbose(const std::string& path);
 
   /// Persists the batch-default engine's cache; returns entries written.
   std::size_t persist_cache(const std::string& path) const;

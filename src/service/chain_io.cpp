@@ -47,6 +47,36 @@ unsigned parse_unsigned(const std::string& tok, const char* what) {
   return static_cast<unsigned>(value);
 }
 
+/// Parses the optional `meta` line: `key=value` tokens, unknown keys are
+/// ignored (forward compatibility within header v1), tokens without '='
+/// are rejected.
+entry_meta parse_meta(std::string_view line) {
+  entry_meta meta;
+  for (const auto& tok : tokens_after(line, "meta")) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail("bad meta token (want key=value): " + tok);
+    }
+    const auto key = tok.substr(0, eq);
+    const auto value = tok.substr(eq + 1);
+    if (key == "engine") {
+      meta.engine = value;
+    } else if (key == "budget") {
+      try {
+        meta.budget_seconds = std::stod(value);
+      } catch (const std::exception&) {
+        fail("bad meta budget: " + value);
+      }
+      if (meta.budget_seconds < 0.0) {
+        fail("bad meta budget: " + value);
+      }
+    }
+    // Unknown keys: tolerated, so future writers can extend the meta line
+    // without bumping the header version.
+  }
+  return meta;
+}
+
 synth::status parse_status(const std::string& tok) {
   if (tok == "success") {
     return synth::status::success;
@@ -117,6 +147,13 @@ void save_cache(std::ostream& os, const std::vector<cache_entry>& entries) {
        << " " << synth::to_string(e.result.outcome) << " "
        << e.result.optimum_gates << " " << e.result.seconds << " "
        << e.result.chains.size() << "\n";
+    if (e.meta.has_value()) {
+      os << "meta";
+      if (!e.meta->engine.empty()) {
+        os << " engine=" << e.meta->engine;
+      }
+      os << " budget=" << e.meta->budget_seconds << "\n";
+    }
     for (const auto& c : e.result.chains) {
       os << serialize_chain(c) << "\n";
     }
@@ -130,7 +167,11 @@ std::vector<cache_entry> load_cache(std::istream& is) {
          "')");
   }
   std::vector<cache_entry> entries;
-  while (std::getline(is, line)) {
+  // One line of lookahead: detecting the optional `meta` line after an
+  // entry header requires reading one line too many when it is absent.
+  bool have_lookahead = false;
+  while (have_lookahead || std::getline(is, line)) {
+    have_lookahead = false;
     if (line.empty() || line[0] == '#') {
       continue;
     }
@@ -156,12 +197,21 @@ std::vector<cache_entry> load_cache(std::istream& is) {
       fail("bad seconds: " + toks[4]);
     }
     const unsigned num_chains = parse_unsigned(toks[5], "num_chains");
+    // Optional `meta` line between the entry header and its chains.
+    if (std::getline(is, line)) {
+      if (line.rfind("meta", 0) == 0) {
+        e.meta = parse_meta(line);
+      } else {
+        have_lookahead = true;  // first chain line (or the next entry)
+      }
+    }
     e.result.chains.reserve(num_chains);
     for (unsigned i = 0; i < num_chains; ++i) {
-      if (!std::getline(is, line)) {
+      if (!have_lookahead && !std::getline(is, line)) {
         fail("truncated file: entry " + toks[0] + " promises " +
              toks[5] + " chains");
       }
+      have_lookahead = false;
       auto c = parse_chain(line);
       if (c.num_inputs() != num_vars) {
         fail("chain arity " + std::to_string(c.num_inputs()) +

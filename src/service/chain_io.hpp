@@ -9,19 +9,31 @@
 ///
 ///     stpes-chains v1
 ///     entry 0x8ff8 4 success 3 0.0421 2
+///     meta engine=stp budget=5
 ///     chain 4 3 6 0 8 0 1 6 2 3 14 4 5
 ///     chain 4 3 5 1 6 0 1 14 1 2 8 4 5
 ///
 /// `entry <hex> <num_vars> <status> <optimum_gates> <seconds> <num_chains>`
-/// is followed by exactly `num_chains` chain lines.  A chain line is
+/// is followed by an optional `meta` line and then exactly `num_chains`
+/// chain lines.  A chain line is
 /// `chain <num_inputs> <num_steps> <output> <out_compl> (<op> <f0> <f1>)*`.
 /// Loading re-verifies every chain by simulation against the entry's truth
 /// table and rejects the file on any mismatch — a cache file can never
 /// inject a wrong circuit.
+///
+/// The `meta` line records provenance as `key=value` tokens: `engine=<name>`
+/// names the synthesis engine the entry was computed with, `budget=<s>`
+/// the wall-clock budget it ran under (0 = unlimited).  Files written
+/// before the meta line existed load fine (the line is optional), and
+/// unknown `key=value` tokens are ignored so future fields stay within
+/// header v1.  Consumers use the metadata to decide trust: a warmed entry
+/// from a different engine, or a failure recorded under a smaller budget,
+/// can be skipped instead of served blindly.
 
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,10 +44,20 @@
 
 namespace stpes::service {
 
+/// Provenance of a persisted entry (the optional `meta` line).
+struct entry_meta {
+  /// Engine name as printed by `core::to_string` ("stp", "bms", ...);
+  /// empty when the file predates metadata.
+  std::string engine;
+  /// Wall-clock budget the result was computed under; 0 = unlimited.
+  double budget_seconds = 0.0;
+};
+
 /// One persisted cache entry: a function and its full synthesis result.
 struct cache_entry {
   tt::truth_table function;
   synth::result result;
+  std::optional<entry_meta> meta;
 };
 
 /// Serializes a chain to one `chain ...` line (no trailing newline).

@@ -138,6 +138,98 @@ TEST(ChainIo, RejectsTruncatedAndMalformedEntries) {
   EXPECT_THROW(load_cache(bad_arity), std::runtime_error);
 }
 
+TEST(ChainIo, MetaLineRoundTrips) {
+  const auto c = example_chain();
+  cache_entry e;
+  e.function = c.simulate();
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 3;
+  e.result.chains = {c};
+  e.meta = stpes::service::entry_meta{"stp", 5.0};
+
+  std::stringstream file;
+  save_cache(file, {e});
+  EXPECT_NE(file.str().find("meta engine=stp budget=5"), std::string::npos)
+      << file.str();
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_TRUE(loaded[0].meta.has_value());
+  EXPECT_EQ(loaded[0].meta->engine, "stp");
+  EXPECT_DOUBLE_EQ(loaded[0].meta->budget_seconds, 5.0);
+}
+
+TEST(ChainIo, MetaOnChainFreeEntryDoesNotSwallowTheNextEntry) {
+  // A timeout entry (zero chains) with a meta line, followed by another
+  // entry: the lookahead must hand the second entry header back.
+  cache_entry timed_out;
+  timed_out.function = truth_table::from_hex(4, "0x8ff8");
+  timed_out.result.outcome = stpes::synth::status::timeout;
+  timed_out.meta = stpes::service::entry_meta{"stp", 0.5};
+  cache_entry success;
+  const auto c = example_chain();
+  success.function = c.simulate();
+  success.result.outcome = stpes::synth::status::success;
+  success.result.optimum_gates = 3;
+  success.result.chains = {c};
+
+  std::stringstream file;
+  save_cache(file, {timed_out, success});
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded[0].meta.has_value());
+  EXPECT_FALSE(loaded[1].meta.has_value());
+  ASSERT_EQ(loaded[1].result.chains.size(), 1u);
+}
+
+TEST(ChainIo, PreMetaFilesLoadWithoutMetadata) {
+  // The exact byte layout written before the meta line existed.
+  std::stringstream file;
+  file << "stpes-chains v1\n"
+       << "entry 0x8 2 success 1 0.0 1\n"
+       << "chain 2 1 2 0 8 0 1\n";
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_FALSE(loaded[0].meta.has_value());
+}
+
+TEST(ChainIo, UnknownMetaKeysAreIgnoredForForwardCompat) {
+  std::stringstream file;
+  file << "stpes-chains v1\n"
+       << "entry 0x8 2 success 1 0.0 1\n"
+       << "meta engine=stp budget=2 solver=kissat-v9\n"
+       << "chain 2 1 2 0 8 0 1\n";
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_TRUE(loaded[0].meta.has_value());
+  EXPECT_EQ(loaded[0].meta->engine, "stp");
+  EXPECT_DOUBLE_EQ(loaded[0].meta->budget_seconds, 2.0);
+}
+
+TEST(ChainIo, MalformedMetaLinesAreRejected) {
+  // Token without '='.
+  std::stringstream no_eq;
+  no_eq << "stpes-chains v1\n"
+        << "entry 0x8 2 success 1 0.0 1\n"
+        << "meta engine\n"
+        << "chain 2 1 2 0 8 0 1\n";
+  EXPECT_THROW(load_cache(no_eq), std::runtime_error);
+
+  // Non-numeric / negative budgets.
+  std::stringstream bad_budget;
+  bad_budget << "stpes-chains v1\n"
+             << "entry 0x8 2 success 1 0.0 1\n"
+             << "meta budget=fast\n"
+             << "chain 2 1 2 0 8 0 1\n";
+  EXPECT_THROW(load_cache(bad_budget), std::runtime_error);
+
+  std::stringstream negative;
+  negative << "stpes-chains v1\n"
+           << "entry 0x8 2 success 1 0.0 1\n"
+           << "meta budget=-1\n"
+           << "chain 2 1 2 0 8 0 1\n";
+  EXPECT_THROW(load_cache(negative), std::runtime_error);
+}
+
 TEST(ChainIo, MissingCacheFileIsEmptyNotError) {
   EXPECT_TRUE(load_cache_file("/nonexistent/stpes-cache.txt").empty());
 }

@@ -1,0 +1,435 @@
+/// \file server_test.cpp
+/// \brief Daemon failure modes and protocol behaviour, all in pipe mode.
+///
+/// Every test drives `synthesis_server` sessions over in-process streams —
+/// scripted stringstream transcripts for the sequential cases, real POSIX
+/// pipes (the daemon's `--pipe` transport) for the concurrent ones — so CI
+/// never touches a socket.  Covered failure modes: malformed command
+/// lines, oversized truth-table payloads, client disconnect mid-request,
+/// concurrent clients on one NPN class (single-flight observed via STATS),
+/// timeout expiry, and graceful drain with a request in flight.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/fd_stream.hpp"
+#include "server/server.hpp"
+#include "service/chain_io.hpp"
+
+namespace {
+
+using stpes::core::engine;
+using stpes::server::line_client;
+using stpes::server::server_options;
+using stpes::server::synthesis_server;
+using stpes::tt::truth_table;
+
+/// Runs one scripted session and returns the full reply transcript.
+std::string run_session(synthesis_server& server, const std::string& input) {
+  std::istringstream in{input};
+  std::ostringstream out;
+  server.serve(in, out);
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is{text};
+  std::string line;
+  while (std::getline(is, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+server_options quick_options() {
+  server_options opts;
+  opts.default_timeout_seconds = 60.0;
+  opts.num_threads = 2;
+  return opts;
+}
+
+/// A live session over two POSIX pipes: the server runs on its own thread
+/// (exactly the daemon's pipe transport), the test drives a `line_client`.
+class pipe_session {
+public:
+  explicit pipe_session(synthesis_server& server) {
+    EXPECT_EQ(::pipe(to_server_), 0);
+    EXPECT_EQ(::pipe(from_server_), 0);
+    server_in_ = std::make_unique<stpes::server::fd_iostream>(to_server_[0]);
+    server_out_ =
+        std::make_unique<stpes::server::fd_iostream>(from_server_[1]);
+    client_in_ =
+        std::make_unique<stpes::server::fd_iostream>(from_server_[0]);
+    client_out_ =
+        std::make_unique<stpes::server::fd_iostream>(to_server_[1]);
+    thread_ = std::thread([&server, this] {
+      server.serve(*server_in_, *server_out_);
+      // Close the write end so a client blocked in a read sees EOF even
+      // when the session ended first (e.g. a drain racing a request).
+      server_out_->flush();
+      ::close(from_server_[1]);
+      server_write_closed_ = true;
+    });
+    client_ = std::make_unique<line_client>(*client_in_, *client_out_);
+  }
+
+  ~pipe_session() {
+    finish();
+    ::close(to_server_[0]);
+    ::close(from_server_[0]);
+    if (!server_write_closed_) {
+      ::close(from_server_[1]);
+    }
+  }
+
+  [[nodiscard]] line_client& client() { return *client_; }
+
+  /// Closes the client's write end (EOF for the server) and joins.
+  void finish() {
+    if (thread_.joinable()) {
+      client_out_->flush();
+      ::close(to_server_[1]);
+      thread_.join();
+    }
+  }
+
+private:
+  int to_server_[2] = {-1, -1};
+  int from_server_[2] = {-1, -1};
+  std::unique_ptr<stpes::server::fd_iostream> server_in_;
+  std::unique_ptr<stpes::server::fd_iostream> server_out_;
+  std::unique_ptr<stpes::server::fd_iostream> client_in_;
+  std::unique_ptr<stpes::server::fd_iostream> client_out_;
+  std::unique_ptr<line_client> client_;
+  std::thread thread_;
+  bool server_write_closed_ = false;  ///< written before join, read after
+};
+
+/// A scratch file removed on scope exit.
+class temp_file {
+public:
+  explicit temp_file(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~temp_file() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  std::string path_;
+};
+
+TEST(Server, PingAndUnknownCommandsKeepTheSessionAlive) {
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server, "PING\nBOGUS 1 2 3\n\n  \nPING\n");
+  EXPECT_EQ(out, "OK pong\nERR unknown command 'BOGUS'\nOK pong\n");
+  EXPECT_EQ(server.counters().parse_errors, 1u);
+}
+
+TEST(Server, SynthRoundTripReturnsVerifiableChains) {
+  synthesis_server server{quick_options()};
+  const auto lines = split_lines(run_session(server, "SYNTH stp 2 8\n"));
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("OK success 1 ", 0), 0u) << lines[0];
+  // Every returned chain line must parse and realize x0 & x1.
+  const auto and2 = truth_table{2, 0x8};
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(stpes::service::parse_chain(lines[i]).simulate(), and2);
+  }
+}
+
+TEST(Server, MalformedLinesPoisonOnlyTheirRequest) {
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server,
+                               "SYNTH nope 2 8\n"
+                               "SYNTH stp two 8\n"
+                               "SYNTH stp 2 88\n"
+                               "SYNTH stp 2 g\n"
+                               "SYNTH stp 2 8 -1\n"
+                               "SYNTH stp 2\n"
+                               "SAVE\n"
+                               "STATS BOGUS\n"
+                               "SYNTH stp 2 8\n");
+  const auto lines = split_lines(out);
+  ASSERT_GE(lines.size(), 9u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(lines[i].rfind("ERR ", 0), 0u) << lines[i];
+  }
+  // The ninth request still synthesizes.
+  EXPECT_EQ(lines[8].rfind("OK success 1 ", 0), 0u) << lines[8];
+  EXPECT_EQ(server.counters().parse_errors, 8u);
+}
+
+TEST(Server, OversizedPayloadsAreRejectedUpFront) {
+  synthesis_server server{quick_options()};
+  // Arity over the wire limit: rejected before any synthesis work.
+  const std::string big_tt(1024, 'f');
+  const auto out =
+      run_session(server, "SYNTH stp 12 " + big_tt + "\nPING\n");
+  const auto lines = split_lines(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ERR truth table too large", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "OK pong");
+
+  // A line beyond max_line_bytes is refused without parsing.
+  const std::string huge(8192, 'a');
+  const auto out2 = run_session(server, huge + "\nPING\n");
+  const auto lines2 = split_lines(out2);
+  ASSERT_EQ(lines2.size(), 2u);
+  EXPECT_EQ(lines2[0].rfind("ERR line too long", 0), 0u) << lines2[0];
+  EXPECT_EQ(lines2[1], "OK pong");
+  EXPECT_EQ(server.synthesizer().current_metrics().requests, 0u);
+}
+
+TEST(Server, BatchBlockAnswersEveryRequestInOrder) {
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server,
+                               "BATCH\n"
+                               "stp 2 8\n"
+                               "stp 2 6\n"
+                               "stp 2 8\n"
+                               "END\n");
+  const auto lines = split_lines(out);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "OK 3");
+  EXPECT_EQ(lines[1].rfind("RESULT 0 success 1 ", 0), 0u) << lines[1];
+  // Duplicate requests (indices 0 and 2) get identical result blocks.
+  std::size_t result2_pos = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].rfind("RESULT 2 ", 0) == 0) {
+      result2_pos = i;
+    }
+  }
+  ASSERT_GT(result2_pos, 0u);
+  EXPECT_EQ(lines[1].substr(9), lines[result2_pos].substr(9));
+}
+
+TEST(Server, BatchParseErrorPoisonsOnlyTheBlock) {
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server,
+                               "BATCH\n"
+                               "stp 2 8\n"
+                               "stp 99 8\n"
+                               "END\n"
+                               "PING\n");
+  const auto lines = split_lines(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ERR batch line 2: ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "OK pong");
+  // Nothing was synthesized for the poisoned block.
+  EXPECT_EQ(server.synthesizer().current_metrics().requests, 0u);
+}
+
+TEST(Server, ClientDisconnectMidBatchIsSilentAndClean) {
+  synthesis_server server{quick_options()};
+  // EOF arrives between a BATCH header and its END: no reply is owed, the
+  // daemon survives, and a fresh session works.
+  const auto out = run_session(server, "BATCH\nstp 2 8\n");
+  EXPECT_EQ(out, "");
+  EXPECT_EQ(server.synthesizer().current_metrics().requests, 0u);
+  EXPECT_EQ(run_session(server, "PING\n"), "OK pong\n");
+}
+
+TEST(Server, TimeoutExpiryYieldsErrTimeout) {
+  synthesis_server server{quick_options()};
+  // A nanosecond budget on a non-degenerate function expires at the first
+  // engine poll.
+  const auto out = run_session(server, "SYNTH stp 4 0x8ff8 0.000000001\n");
+  EXPECT_EQ(out, "ERR timeout\n");
+  EXPECT_EQ(server.counters().timeouts, 1u);
+}
+
+TEST(Server, PerRequestTimeoutIsClampedToTheServerCap) {
+  auto opts = quick_options();
+  opts.max_timeout_seconds = 1e-9;
+  synthesis_server server{opts};
+  // The client asks for an unlimited budget; the cap turns it into an
+  // immediate timeout instead of an unbounded synthesis.
+  const auto out = run_session(server, "SYNTH stp 4 0x8ff8 0\n");
+  EXPECT_EQ(out, "ERR timeout\n");
+}
+
+TEST(Server, ConcurrentClientsOnOneClassShareSingleFlight) {
+  synthesis_server server{quick_options()};
+  pipe_session a{server};
+  pipe_session b{server};
+
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  line_client::synth_reply reply_a;
+  line_client::synth_reply reply_b;
+  std::string raw_a;
+  std::string raw_b;
+  std::thread ta{[&] {
+    reply_a = a.client().synth(engine::stp, f);
+    raw_a = a.client().last_raw();
+  }};
+  std::thread tb{[&] {
+    reply_b = b.client().synth(engine::stp, f);
+    raw_b = b.client().last_raw();
+  }};
+  ta.join();
+  tb.join();
+
+  ASSERT_TRUE(reply_a.ok);
+  ASSERT_TRUE(reply_b.ok);
+  // Byte-identical replies: same cached canonical result, same rewrite.
+  EXPECT_EQ(raw_a, raw_b);
+  EXPECT_FALSE(raw_a.empty());
+
+  // Exactly one synthesis ran; the second client was served from the
+  // ready entry or waited on the in-flight one.
+  const auto cache = server.synthesizer().cache_stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_GE(cache.hits + cache.inflight_waits, 1u);
+  const auto stats = a.client().stats_json();
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos) << stats;
+
+  a.client().quit();
+  b.client().quit();
+  a.finish();
+  b.finish();
+}
+
+TEST(Server, SaveLoadRoundTripCarriesEngineMetadata) {
+  temp_file file{"server_cache_meta.txt"};
+  {
+    synthesis_server server{quick_options()};
+    const auto out = run_session(
+        server, "SYNTH stp 4 0x8ff8\nSAVE " + file.path() + "\n");
+    EXPECT_NE(out.find("OK saved 1"), std::string::npos) << out;
+  }
+  // The persisted file records the engine per entry.
+  {
+    std::ifstream is{file.path()};
+    std::string content{std::istreambuf_iterator<char>{is},
+                        std::istreambuf_iterator<char>{}};
+    EXPECT_NE(content.find("meta engine=stp"), std::string::npos)
+        << content;
+  }
+  // Same-engine daemon: the entry is trusted and serves hits.
+  {
+    synthesis_server server{quick_options()};
+    const auto out = run_session(
+        server, "LOAD " + file.path() + "\nSYNTH stp 4 0x8ff8\n");
+    EXPECT_NE(out.find("OK loaded 1 skipped 0"), std::string::npos) << out;
+    EXPECT_EQ(server.synthesizer().current_metrics().cache_misses, 0u);
+    EXPECT_EQ(server.synthesizer().current_metrics().cache_hits, 1u);
+  }
+  // Different-engine daemon: the entry is skipped, not served blindly.
+  {
+    auto opts = quick_options();
+    opts.default_engine = engine::bms;
+    synthesis_server server{opts};
+    const auto out = run_session(server, "LOAD " + file.path() + "\n");
+    EXPECT_NE(out.find("OK loaded 0 skipped 1"), std::string::npos) << out;
+  }
+}
+
+TEST(Server, LoadSkipsFailuresRecordedUnderSmallerBudgets) {
+  temp_file file{"server_cache_budget.txt"};
+  {
+    // Hand-craft a cache file: one timeout entry recorded under a 1 ms
+    // budget, one success entry.  Only the success survives warming into
+    // a daemon with a larger budget.
+    stpes::service::cache_entry timed_out;
+    timed_out.function = truth_table::from_hex(4, "0x8ff8");
+    timed_out.result.outcome = stpes::synth::status::timeout;
+    timed_out.meta = stpes::service::entry_meta{"stp", 0.001};
+
+    stpes::service::cache_entry success;
+    stpes::chain::boolean_chain c{2};
+    c.set_output(c.add_step(0x8, 0, 1));
+    success.function = c.simulate();
+    success.result.outcome = stpes::synth::status::success;
+    success.result.optimum_gates = 1;
+    success.result.chains = {c};
+    success.meta = stpes::service::entry_meta{"stp", 0.001};
+
+    stpes::service::save_cache_file(file.path(), {timed_out, success});
+  }
+  synthesis_server server{quick_options()};  // 60 s default budget
+  const auto out = run_session(server, "LOAD " + file.path() + "\n");
+  EXPECT_NE(out.find("OK loaded 1 skipped 1"), std::string::npos) << out;
+}
+
+TEST(Server, CorruptCacheFileYieldsErrNotCrash) {
+  temp_file file{"server_cache_corrupt.txt"};
+  {
+    std::ofstream os{file.path()};
+    os << "stpes-chains v999\n";
+  }
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server, "LOAD " + file.path() + "\nPING\n");
+  const auto lines = split_lines(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ERR ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "OK pong");
+}
+
+TEST(Server, StatsComeInTextAndJson) {
+  synthesis_server server{quick_options()};
+  pipe_session s{server};
+  ASSERT_TRUE(s.client().ping());
+  const auto text = s.client().stats_text();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text[0].rfind("sessions", 0), 0u) << text[0];
+  const auto json = s.client().stats_json();
+  EXPECT_NE(json.find("\"server\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"synthesis\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache\":{"), std::string::npos) << json;
+  s.client().quit();
+}
+
+TEST(Server, ShutdownDrainsEverySession) {
+  synthesis_server server{quick_options()};
+  // SHUTDOWN answers, then ends its own session: the trailing PING is
+  // never processed.
+  const auto out = run_session(server, "SHUTDOWN\nPING\n");
+  EXPECT_EQ(out, "OK shutting-down\n");
+  EXPECT_TRUE(server.shutdown_requested());
+  EXPECT_TRUE(server.draining());
+  // New sessions on a draining server exit immediately.
+  EXPECT_EQ(run_session(server, "PING\n"), "");
+}
+
+TEST(Server, DrainFinishesTheInFlightRequest) {
+  synthesis_server server{quick_options()};
+  pipe_session s{server};
+
+  // Fire a request, then drain while it is (likely) in flight.  Two legal
+  // outcomes: the request was already being handled, so its reply arrives
+  // complete; or the drain won the race and the session closed before
+  // reading it (clean EOF, no partial reply).  Either way no bytes are
+  // truncated and the session thread exits.
+  std::thread drainer{[&server] { server.begin_drain(); }};
+  bool got_reply = false;
+  try {
+    const auto reply = s.client().synth(
+        engine::stp, truth_table::from_hex(4, "0x8ff8"));
+    got_reply = true;
+    ASSERT_TRUE(reply.ok) << reply.error;
+    EXPECT_EQ(reply.outcome, stpes::synth::status::success);
+    EXPECT_GT(reply.chains.size(), 0u);
+  } catch (const std::runtime_error&) {
+    // Drain closed the session before the request was read.
+    EXPECT_TRUE(s.client().last_raw().empty()) << s.client().last_raw();
+  }
+  drainer.join();
+  s.finish();  // session thread must have exited by drain or EOF
+  EXPECT_TRUE(server.draining());
+  if (got_reply) {
+    EXPECT_GE(server.synthesizer().current_metrics().requests, 1u);
+  }
+}
+
+}  // namespace

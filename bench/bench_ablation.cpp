@@ -90,9 +90,10 @@ int main(int argc, char** argv) {
     int misses = 0;
     for (std::size_t i = 0; i < functions.size(); ++i) {
       synth::stp_engine engine{cfg.options};
+      core::run_context ctx{timeout};
       synth::spec s;
       s.function = functions[i];
-      s.budget = util::time_budget{timeout};
+      s.ctx = &ctx;
       const auto r = engine.run(s);
       if (r.ok()) {
         ++solved;

@@ -12,6 +12,19 @@ two parts, per engine present in both files:
     (`total_gates`, `mean_gates`) must match the baseline exactly — any
     change in what gets synthesized, or how small, is a regression (or an
     improvement that must be re-baselined deliberately);
+  * search-effort trajectory, gated when the baseline carries a
+    `counters` object (pre-counter baselines skip this part):
+    `fences_enumerated` must match exactly — the fence families are
+    generated wholesale per gate count, so the sum over solved instances
+    is fully determined by what was solved and at which size.  The volume
+    counters (`dags_generated`, `dags_pruned`, `factorization_attempts`)
+    are gated with a relative tolerance (default +/-10%,
+    `--counter-tolerance`): a run that finds all its optima early can
+    still be cut by the deadline while sweeping the residual search
+    space, so those tails wobble slightly with machine load.  A change
+    beyond the tolerance means the search explored a different space.
+    Wall-clock-dependent counters (AllSAT/SAT totals) are reported but
+    never gated;
   * performance trajectory: `wall_seconds` may not regress by more than
     the tolerance (default +25%).  Getting faster never fails.
 
@@ -40,6 +53,10 @@ def main():
     parser.add_argument("--fresh", required=True)
     parser.add_argument("--runtime-tolerance", type=float, default=0.25,
                         help="allowed fractional wall-clock regression")
+    parser.add_argument("--counter-tolerance", type=float, default=0.10,
+                        help="allowed fractional drift of the volume "
+                             "search-effort counters (DAGs, factorization "
+                             "attempts)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -69,6 +86,34 @@ def main():
             if base.get(key) != cur.get(key):
                 errors += fail(f"{name}: {key} changed "
                                f"{base.get(key)} -> {cur.get(key)}")
+
+        # Search-effort counters.  Only gated when the baseline carries
+        # them, so pre-counter baselines keep working until deliberately
+        # regenerated.
+        base_counters = base.get("counters")
+        cur_counters = cur.get("counters", {})
+        if base_counters is not None:
+            if (base_counters.get("fences_enumerated") !=
+                    cur_counters.get("fences_enumerated")):
+                errors += fail(
+                    f"{name}: counter fences_enumerated changed "
+                    f"{base_counters.get('fences_enumerated')} -> "
+                    f"{cur_counters.get('fences_enumerated')}")
+            for key in ("dags_generated", "dags_pruned",
+                        "factorization_attempts"):
+                base_val = base_counters.get(key)
+                cur_val = cur_counters.get(key)
+                if base_val is None or cur_val is None:
+                    if base_val != cur_val:
+                        errors += fail(f"{name}: counter {key} missing "
+                                       f"({base_val} vs {cur_val})")
+                    continue
+                slack = base_val * args.counter_tolerance
+                if abs(cur_val - base_val) > slack:
+                    errors += fail(
+                        f"{name}: counter {key} drifted beyond "
+                        f"{100 * args.counter_tolerance:.0f}%: "
+                        f"{base_val} -> {cur_val}")
 
         base_wall = float(base["wall_seconds"])
         cur_wall = float(cur["wall_seconds"])

@@ -112,6 +112,11 @@ int run_table1(const std::string& collection_name,
     double total_seconds = 0.0;  ///< engine-reported time, solved only
     std::size_t total_gates = 0;
     double total_solutions = 0.0;
+    /// Per-stage effort summed over *solved* instances only: a solved
+    /// run's search is deterministic in the function, so these aggregates
+    /// are machine-independent and regression-gateable (a timed-out run's
+    /// counters depend on where the wall clock cut it off).
+    core::stage_counters counters;
   };
   std::vector<engine_stats> all_stats;
 
@@ -124,6 +129,7 @@ int run_table1(const std::string& collection_name,
     std::size_t total_gates = 0;
     double total_solutions = 0.0;
     double total_per_solution = 0.0;
+    core::stage_counters counters;
     for (std::size_t i = 0; i < selected.size(); ++i) {
       const auto r =
           core::exact_synthesis(selected[i], which, options.timeout);
@@ -135,6 +141,7 @@ int run_table1(const std::string& collection_name,
         total_per_solution +=
             r.seconds / static_cast<double>(r.chains.size());
         optima[i].push_back(r.optimum_gates);
+        counters += r.counters;
       } else {
         ++timeouts;
       }
@@ -142,7 +149,7 @@ int run_table1(const std::string& collection_name,
     all_stats.push_back(engine_stats{engine_name, solved, timeouts,
                                      engine_timer.elapsed_seconds(),
                                      total_seconds, total_gates,
-                                     total_solutions});
+                                     total_solutions, counters});
     const double mean =
         solved > 0 ? total_seconds / static_cast<double>(solved) : 0.0;
     std::vector<std::string> row{
@@ -205,6 +212,21 @@ int run_table1(const std::string& collection_name,
                             : 0.0)
            << ",\"avg_solutions\":"
            << (s.solved > 0 ? s.total_solutions / solved : 0.0)
+           << ",\"counters\":{"
+           << "\"fences_enumerated\":" << s.counters.fences_enumerated
+           << ",\"dags_generated\":" << s.counters.dags_generated
+           << ",\"dags_pruned\":" << s.counters.dags_pruned
+           << ",\"factorization_attempts\":"
+           << s.counters.factorization_attempts
+           << ",\"factorization_prunes\":"
+           << s.counters.factorization_prunes
+           << ",\"dont_care_expansions\":"
+           << s.counters.dont_care_expansions
+           << ",\"allsat_propagations\":" << s.counters.allsat_propagations
+           << ",\"allsat_merges\":" << s.counters.allsat_merges
+           << ",\"sat_decisions\":" << s.counters.sat_decisions
+           << ",\"sat_conflicts\":" << s.counters.sat_conflicts
+           << ",\"sat_restarts\":" << s.counters.sat_restarts << "}"
            << "}";
     }
     json << "]}\n";

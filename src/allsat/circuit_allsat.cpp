@@ -44,13 +44,14 @@ using signal_values = std::vector<std::int8_t>;
 }  // namespace
 
 circuit_allsat_result solve_all(const chain::boolean_chain& network,
-                                bool target) {
+                                bool target, core::run_context* ctx) {
   return solve_all(lut_network::from_chain(network),
-                   std::vector<bool>{target});
+                   std::vector<bool>{target}, ctx);
 }
 
 circuit_allsat_result solve_all(const lut_network& network,
-                                const std::vector<bool>& targets) {
+                                const std::vector<bool>& targets,
+                                core::run_context* ctx) {
   assert(targets.size() == network.outputs.size());
   circuit_allsat_result result;
   const unsigned n = network.num_inputs;
@@ -83,12 +84,20 @@ circuit_allsat_result solve_all(const lut_network& network,
   // matrix: every fanin pattern producing the pinned value spawns one
   // refined solution; merging is the consistency check against values
   // already pinned by other parents (reconvergence).
+  std::uint64_t polls = 0;
   for (unsigned j = static_cast<unsigned>(network.steps.size()); j-- > 0;) {
     const auto& s = network.steps[j];
     const unsigned signal = n + j;
     std::vector<signal_values> next;
     next.reserve(frontier.size());
     for (auto& sol : frontier) {
+      if (ctx != nullptr && (++polls & 0x3FF) == 0 && ctx->should_stop()) {
+        // Truncated traverse: report unsatisfiable so no caller mistakes
+        // the partial frontier for a complete solution set.
+        result.satisfiable = false;
+        result.solutions.clear();
+        return result;
+      }
       const auto pinned = sol[signal];
       if (pinned < 0) {
         // Node value irrelevant for this partial solution.
@@ -104,6 +113,9 @@ circuit_allsat_result solve_all(const lut_network& network,
           continue;
         }
         ++result.expansions;
+        if (ctx != nullptr) {
+          ++ctx->counters.allsat_propagations;
+        }
         // Merge with existing pins on the fanins.
         const auto va = sol[s.fanin[0]];
         const auto vb = sol[s.fanin[1]];
@@ -113,6 +125,9 @@ circuit_allsat_result solve_all(const lut_network& network,
         // Twin fanins must receive consistent values.
         if (s.fanin[0] == s.fanin[1] && a != b) {
           continue;
+        }
+        if (ctx != nullptr) {
+          ++ctx->counters.allsat_merges;
         }
         signal_values refined = sol;
         refined[s.fanin[0]] = a;

@@ -23,6 +23,7 @@
 #include "allsat/lut_network.hpp"
 #include "chain/boolean_chain.hpp"
 #include "tt/truth_table.hpp"
+#include "util/run_context.hpp"
 
 namespace stpes::allsat {
 
@@ -49,14 +50,20 @@ struct circuit_allsat_result {
 };
 
 /// Runs Algorithms 1-2 on `network` with output target `target`.
+/// When `ctx` is given, expansions/merges flow into its counters and the
+/// traverse polls `ctx->should_stop()` at a bounded stride; an aborted run
+/// returns with `satisfiable == false` and a truncated solution set, so
+/// callers must re-check the context before trusting an UNSAT answer.
 circuit_allsat_result solve_all(const chain::boolean_chain& network,
-                                bool target = true);
+                                bool target = true,
+                                core::run_context* ctx = nullptr);
 
 /// Multi-output form (Algorithm 1, line 3): all input assignments driving
 /// every output i to `targets[i]` simultaneously.  `targets` must match
 /// the network's output count.
 circuit_allsat_result solve_all(const lut_network& network,
-                                const std::vector<bool>& targets);
+                                const std::vector<bool>& targets,
+                                core::run_context* ctx = nullptr);
 
 /// ORs the solution patterns into the function they cover.
 tt::truth_table solutions_to_function(

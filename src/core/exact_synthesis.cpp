@@ -55,9 +55,10 @@ synth::result exact_synthesis(const synth::spec& s, engine which) {
 
 synth::result exact_synthesis(const tt::truth_table& function, engine which,
                               double timeout_seconds) {
+  run_context ctx{timeout_seconds};
   synth::spec s;
   s.function = function;
-  s.budget = util::time_budget{timeout_seconds};
+  s.ctx = &ctx;
   return exact_synthesis(s, which);
 }
 

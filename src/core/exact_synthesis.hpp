@@ -31,11 +31,15 @@ const char* to_string(engine e);
 /// Parses "stp" / "bms" / "fen" / "cegar" (throws on anything else).
 engine engine_from_string(std::string_view name);
 
-/// Runs `which` on the given spec.
+/// Runs `which` on the given spec.  `s.ctx` (when set) carries the
+/// deadline, the cancel flag, and accumulates per-stage counters; the
+/// per-call counter delta is also returned in `result::counters`.
 synth::result exact_synthesis(const synth::spec& s,
                               engine which = engine::stp);
 
-/// Convenience overload with a default (unbounded) spec.
+/// Convenience overload: builds a spec with a fresh deadline-only run
+/// context (0 = unbounded).  Not cancellable from outside — callers that
+/// need that must own a `run_context` and use the spec overload.
 synth::result exact_synthesis(const tt::truth_table& function,
                               engine which = engine::stp,
                               double timeout_seconds = 0.0);

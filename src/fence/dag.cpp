@@ -68,6 +68,7 @@ namespace {
 struct generator {
   const fence& shape;
   const dag_options& options;
+  core::run_context* ctx;
   std::vector<dag_topology>& out;
   std::unordered_set<std::string> seen;
 
@@ -75,7 +76,14 @@ struct generator {
   std::vector<unsigned> level_first;  // first gate index of each level
 
   bool limit_reached() const {
-    return options.limit != 0 && out.size() >= options.limit;
+    return (options.limit != 0 && out.size() >= options.limit) ||
+           (ctx != nullptr && ctx->cancel_requested());
+  }
+
+  void pruned() const {
+    if (ctx != nullptr) {
+      ++ctx->counters.dags_pruned;
+    }
   }
 
   void emit() {
@@ -90,15 +98,19 @@ struct generator {
       }
     }
     for (unsigned g = 0; g + 1 < k; ++g) {
-      if (fanout[g] == 0) {
-        return;
-      }
-      if (!options.allow_shared_gates && fanout[g] > 1) {
+      if (fanout[g] == 0 ||
+          (!options.allow_shared_gates && fanout[g] > 1)) {
+        pruned();
         return;
       }
     }
     if (seen.insert(current.signature()).second) {
       out.push_back(current);
+      if (ctx != nullptr) {
+        ++ctx->counters.dags_generated;
+      }
+    } else {
+      pruned();
     }
   }
 
@@ -166,12 +178,13 @@ struct generator {
 }  // namespace
 
 std::vector<dag_topology> generate_dags(const fence& f,
-                                        const dag_options& options) {
+                                        const dag_options& options,
+                                        core::run_context* ctx) {
   std::vector<dag_topology> out;
   if (f.num_nodes() == 0) {
     return out;
   }
-  generator gen{f, options, out, {}, {}, {}};
+  generator gen{f, options, ctx, out, {}, {}, {}};
   gen.run();
   return out;
 }

@@ -71,9 +71,14 @@ struct dag_options {
   std::size_t limit = 0;
 };
 
-/// All valid DAG topologies for one fence.
+/// All valid DAG topologies for one fence.  With a `ctx`, every emitted
+/// topology counts into `dags_generated` and every complete assignment
+/// rejected by the validity filters (dangling gate, duplicate signature,
+/// fanout restriction) into `dags_pruned`; the enumeration also observes
+/// the context's cancel flag between assignments.
 std::vector<dag_topology> generate_dags(const fence& f,
-                                        const dag_options& options = {});
+                                        const dag_options& options = {},
+                                        core::run_context* ctx = nullptr);
 
 /// All valid DAG topologies over every pruned fence with `num_gates`
 /// gates, concatenated in fence order.

@@ -37,11 +37,14 @@ void compose(unsigned remaining, std::vector<unsigned>& prefix,
 
 }  // namespace
 
-std::vector<fence> all_fences(unsigned k) {
+std::vector<fence> all_fences(unsigned k, core::run_context* ctx) {
   std::vector<fence> out;
   std::vector<unsigned> prefix;
   if (k > 0) {
     compose(k, prefix, out);
+  }
+  if (ctx != nullptr) {
+    ctx->counters.fences_enumerated += out.size();
   }
   return out;
 }
@@ -66,12 +69,15 @@ bool is_pruned_valid(const fence& f) {
   return true;
 }
 
-std::vector<fence> pruned_fences(unsigned k) {
+std::vector<fence> pruned_fences(unsigned k, core::run_context* ctx) {
   std::vector<fence> out;
   for (const auto& f : all_fences(k)) {
     if (is_pruned_valid(f)) {
       out.push_back(f);
     }
+  }
+  if (ctx != nullptr) {
+    ctx->counters.fences_enumerated += out.size();
   }
   return out;
 }

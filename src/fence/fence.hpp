@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/run_context.hpp"
+
 namespace stpes::fence {
 
 /// Node counts per level, bottom level (fed only by PIs) first.
@@ -38,10 +40,14 @@ struct fence {
 };
 
 /// All fences of k nodes (all compositions of k), in lexicographic order.
-std::vector<fence> all_fences(unsigned k);
+/// When `ctx` is given, every emitted fence counts into
+/// `ctx->counters.fences_enumerated`.
+std::vector<fence> all_fences(unsigned k, core::run_context* ctx = nullptr);
 
-/// The paper's pruned family (see file comment).
-std::vector<fence> pruned_fences(unsigned k);
+/// The paper's pruned family (see file comment).  Counts as `all_fences`;
+/// fences rejected by the pruning rules are not counted.
+std::vector<fence> pruned_fences(unsigned k,
+                                 core::run_context* ctx = nullptr);
 
 /// True iff `f` survives the paper's pruning rules.
 bool is_pruned_valid(const fence& f);

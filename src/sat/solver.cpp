@@ -164,7 +164,14 @@ struct solver::impl {
   // Budgets and results ------------------------------------------------
   std::uint64_t conflict_budget = 0;  // 0 = unlimited
   util::time_budget time_budget;
+  core::run_context* run_ctx = nullptr;  // shared; not owned
   std::uint64_t conflicts_at_solve_start = 0;
+
+  /// Deadline (shim or shared) hit, or cancellation requested.
+  [[nodiscard]] bool budget_stop() const {
+    return time_budget.expired() ||
+           (run_ctx != nullptr && run_ctx->should_stop());
+  }
   std::vector<lbool> model;
   solver_stats stats;
   std::size_t reduce_count = 0;
@@ -432,7 +439,7 @@ struct solver::impl {
           backtrack_to(0);
           return solve_result::unknown;
         }
-        if ((local_conflicts & 0xFF) == 0 && time_budget.expired()) {
+        if ((local_conflicts & 0xFF) == 0 && budget_stop()) {
           backtrack_to(0);
           return solve_result::unknown;
         }
@@ -477,6 +484,12 @@ struct solver::impl {
         return solve_result::sat;
       }
       ++stats.decisions;
+      // Conflict-free stretches (easy instances, long propagation runs)
+      // must still observe cancellation within a bounded stride.
+      if ((stats.decisions & 0xFFF) == 0 && budget_stop()) {
+        backtrack_to(0);
+        return solve_result::unknown;
+      }
       new_decision_level();
       enqueue(lit{next, !polarity[next]}, nullptr);
     }
@@ -554,10 +567,11 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     return solve_result::unsat;
   }
   s.conflicts_at_solve_start = s.stats.conflicts;
+  const solver_stats at_start = s.stats;
   std::uint64_t restart_round = 0;
   solve_result result = solve_result::unknown;
   while (result == solve_result::unknown) {
-    if (s.time_budget.expired()) {
+    if (s.budget_stop()) {
       break;
     }
     if (s.conflict_budget != 0 &&
@@ -571,6 +585,12 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     ++restart_round;
   }
   s.backtrack_to(0);
+  if (s.run_ctx != nullptr) {
+    auto& c = s.run_ctx->counters;
+    c.sat_decisions += s.stats.decisions - at_start.decisions;
+    c.sat_conflicts += s.stats.conflicts - at_start.conflicts;
+    c.sat_restarts += s.stats.restarts - at_start.restarts;
+  }
   return result;
 }
 
@@ -586,6 +606,10 @@ void solver::set_conflict_budget(std::uint64_t max_conflicts) {
 
 void solver::set_time_budget(util::time_budget budget) {
   impl_->time_budget = budget;
+}
+
+void solver::set_run_context(core::run_context* ctx) {
+  impl_->run_ctx = ctx;
 }
 
 const solver_stats& solver::stats() const { return impl_->stats; }

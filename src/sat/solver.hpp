@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sat/types.hpp"
+#include "util/run_context.hpp"
 #include "util/stopwatch.hpp"
 
 namespace stpes::sat {
@@ -73,7 +74,14 @@ public:
   /// \name Budgets (apply to subsequent solve calls; 0 / default = none)
   /// @{
   void set_conflict_budget(std::uint64_t max_conflicts);
+  /// Deprecated shim; prefer `set_run_context`.
   void set_time_budget(util::time_budget budget);
+  /// Attaches the shared run context (not owned; may be nullptr to
+  /// detach).  The deadline and cancel flag are polled every 256
+  /// conflicts and every 4096 decisions; an observed stop returns
+  /// `unknown`.  SAT decision/conflict/restart deltas of each solve call
+  /// are added to `ctx->counters`.
+  void set_run_context(core::run_context* ctx);
   /// @}
 
   [[nodiscard]] const solver_stats& stats() const;

@@ -129,6 +129,17 @@ public:
     return {loaded, skipped};
   }
 
+  /// `CANCEL`: cooperatively cancels every in-flight synthesis on the
+  /// daemon; returns the number of jobs signalled.  Issue it from a
+  /// *separate* connection — the protocol is synchronous per session.
+  std::size_t cancel() {
+    send("CANCEL");
+    std::istringstream is{require_ok(read_line(), "OK cancelled ")};
+    std::size_t n = 0;
+    is >> n;
+    return n;
+  }
+
   bool ping() {
     send("PING");
     return read_line() == "OK pong";

@@ -10,6 +10,7 @@
 ///     STATS [TEXT|JSON]
 ///     SAVE <path>
 ///     LOAD <path>
+///     CANCEL
 ///     PING | QUIT | SHUTDOWN
 ///
 /// Every reply starts with exactly one `OK ...` or `ERR <reason>` line.
@@ -24,6 +25,12 @@
 ///                   RESULT <index> <status> <gates> <num_chains> <seconds>
 ///                   followed by its <num_chains> chain lines
 ///     STATS reply:  OK <num_lines>  then that many lines
+///     CANCEL reply: OK cancelled <n>  (in-flight jobs signalled)
+///
+/// `CANCEL` cooperatively cancels every in-flight synthesis on the daemon
+/// (the protocol is synchronous per session, so it is issued from another
+/// connection); cancelled requests reply `ERR timeout` to their own
+/// clients within the engines' cancellation poll stride.
 ///
 /// A malformed request yields one `ERR <reason>` line and the session keeps
 /// serving: parse errors poison only the offending request, never the

@@ -96,6 +96,16 @@ bool synthesis_server::handle_line(const std::string& line, std::istream& in,
     handle_load(tokens, out);
     return true;
   }
+  if (verb == "CANCEL") {
+    // The protocol is synchronous per session, so CANCEL necessarily
+    // arrives on a different connection than the synthesis it interrupts.
+    // It cancels every in-flight job; the interrupted sessions reply
+    // `ERR timeout` to their own clients within the engines' poll stride.
+    cancels_.fetch_add(1, std::memory_order_relaxed);
+    const auto n = synth_.cancel_inflight();
+    out << "OK cancelled " << n << "\n";
+    return true;
+  }
   if (verb == "QUIT") {
     out << "OK bye\n";
     return false;
@@ -268,6 +278,7 @@ server_counters synthesis_server::counters() const {
   c.commands = commands_.load(std::memory_order_relaxed);
   c.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   c.timeouts = timeouts_.load(std::memory_order_relaxed);
+  c.cancels = cancels_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -279,6 +290,7 @@ std::string synthesis_server::stats_text() const {
      << "commands          " << c.commands << "\n"
      << "parse_errors      " << c.parse_errors << "\n"
      << "timeouts          " << c.timeouts << "\n"
+     << "cancels           " << c.cancels << "\n"
      << "draining          " << (draining() ? 1 : 0) << "\n"
      << synth_.current_metrics().to_text()  //
      << "cache_lookup_hits " << cache.hits << "\n"
@@ -295,7 +307,7 @@ std::string synthesis_server::stats_json() const {
   os << "{\"server\":{\"sessions\":" << c.sessions
      << ",\"commands\":" << c.commands
      << ",\"parse_errors\":" << c.parse_errors
-     << ",\"timeouts\":" << c.timeouts
+     << ",\"timeouts\":" << c.timeouts << ",\"cancels\":" << c.cancels
      << ",\"draining\":" << (draining() ? "true" : "false") << "}"
      << ",\"synthesis\":" << synth_.current_metrics().to_json()
      << ",\"cache\":" << cache_stats_json(synth_.cache_stats()) << "}";

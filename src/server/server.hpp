@@ -16,6 +16,14 @@
 /// the session (and daemon) keep serving.  `begin_drain()` flips the server
 /// into shutdown mode — sessions finish their in-flight request, then
 /// close — which is what the SIGTERM path and the `SHUTDOWN` command use.
+///
+/// Cancellation rides on the `core::run_context` every job runs under:
+/// `CANCEL` (issued from any other connection, since the protocol is
+/// synchronous per session) flips the cancel flag of every in-flight
+/// synthesis, which the workers observe within their poll stride and
+/// return `status::timeout`.  The SIGTERM drain does the same after
+/// `drain_grace_seconds`, so a stuck request can never hold the daemon
+/// hostage.
 
 #pragma once
 
@@ -40,6 +48,9 @@ struct server_options {
   unsigned num_threads = 0;  ///< 0 = hardware concurrency
   std::size_t cache_shards = 16;
   std::size_t cache_capacity_per_shard = 4096;
+  /// How long the SIGTERM drain waits for in-flight requests before
+  /// cooperatively cancelling them.  0 = cancel immediately.
+  double drain_grace_seconds = 5.0;
   request_limits limits;
 };
 
@@ -50,6 +61,7 @@ struct server_counters {
   std::uint64_t commands = 0;      ///< protocol lines handled
   std::uint64_t parse_errors = 0;  ///< ERR replies for malformed input
   std::uint64_t timeouts = 0;      ///< ERR timeout replies
+  std::uint64_t cancels = 0;       ///< CANCEL commands handled
 };
 
 class synthesis_server {
@@ -110,6 +122,7 @@ private:
   std::atomic<std::uint64_t> commands_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> cancels_{0};
 };
 
 }  // namespace stpes::server

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "server/fd_stream.hpp"
 
@@ -89,9 +91,25 @@ void unix_socket_server::run() {
     threads_.emplace_back([this, client] { handle_connection(client); });
   }
 
-  // Drain: finish in-flight requests, wake idle readers, join everyone.
+  // Drain: give in-flight requests a grace period to finish naturally,
+  // wake idle readers, then cooperatively cancel whatever is still
+  // running so the joins below are bounded by the engines' poll stride
+  // rather than by a client's synthesis budget.
   server_.begin_drain();
   unblock_open_connections();
+  const double grace = server_.options().drain_grace_seconds;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(grace);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      if (open_fds_.empty()) {
+        break;  // every session already finished
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server_.synthesizer().cancel_inflight();
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock{mutex_};

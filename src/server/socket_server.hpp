@@ -13,7 +13,11 @@
 ///   2. The daemon core drains: sessions finish their in-flight request.
 ///   3. Idle connections blocked in `read()` are unblocked with
 ///      `shutdown(fd, SHUT_RD)`; their sessions see EOF and return.
-///   4. All session threads are joined, the socket file is unlinked.
+///   4. In-flight requests get `server_options::drain_grace_seconds` to
+///      finish; anything still running is then cooperatively cancelled
+///      through its `core::run_context` (the session replies ERR timeout
+///      and closes), so joins complete within the engines' poll stride.
+///   5. All session threads are joined, the socket file is unlinked.
 /// A client that issues `SHUTDOWN` triggers the same sequence from inside
 /// a session.
 

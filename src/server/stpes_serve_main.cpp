@@ -8,13 +8,15 @@
 ///
 ///     stpes-serve --socket=/tmp/stpes.sock [--engine=stp] [--threads=N]
 ///                 [--timeout=S] [--max-timeout=S] [--max-vars=N]
-///                 [--warm=FILE] [--persist=FILE]
+///                 [--drain-grace=S] [--warm=FILE] [--persist=FILE]
 ///     stpes-serve --pipe ...    # one session over stdin/stdout (CI)
 ///
-/// SIGTERM/SIGINT drain gracefully: in-flight syntheses finish, sessions
-/// close, the cache is persisted when `--persist` is set, and the process
-/// exits 0.  A client `SHUTDOWN` does the same.  All logging goes to
-/// stderr; in pipe mode stdout belongs to the protocol.
+/// SIGTERM/SIGINT drain gracefully: in-flight syntheses get
+/// `--drain-grace` seconds to finish, anything still running is then
+/// cooperatively cancelled, sessions close, the cache is persisted when
+/// `--persist` is set, and the process exits 0.  A client `SHUTDOWN` does
+/// the same.  All logging goes to stderr; in pipe mode stdout belongs to
+/// the protocol.
 
 #include <csignal>
 #include <cstdlib>
@@ -33,6 +35,7 @@ struct cli_options {
   unsigned threads = 0;
   double timeout = 5.0;
   double max_timeout = 0.0;
+  double drain_grace = 5.0;
   unsigned max_vars = 8;
   std::string warm_path;
   std::string persist_path;
@@ -42,7 +45,8 @@ struct cli_options {
   std::cerr << "usage: " << argv0
             << " (--socket=PATH | --pipe) [--engine=stp|bms|fen|cegar]"
                " [--threads=N] [--timeout=S] [--max-timeout=S]"
-               " [--max-vars=N] [--warm=FILE] [--persist=FILE]\n";
+               " [--max-vars=N] [--drain-grace=S] [--warm=FILE]"
+               " [--persist=FILE]\n";
   std::exit(2);
 }
 
@@ -67,6 +71,8 @@ cli_options parse_cli(int argc, char** argv) {
       opts.timeout = std::stod(v);
     } else if (auto v = value("max-timeout"); !v.empty()) {
       opts.max_timeout = std::stod(v);
+    } else if (auto v = value("drain-grace"); !v.empty()) {
+      opts.drain_grace = std::stod(v);
     } else if (auto v = value("max-vars"); !v.empty()) {
       opts.max_vars = static_cast<unsigned>(std::stoul(v));
     } else if (auto v = value("warm"); !v.empty()) {
@@ -117,6 +123,7 @@ int main(int argc, char** argv) {
   opts.default_timeout_seconds = cli.timeout;
   opts.max_timeout_seconds = cli.max_timeout;
   opts.num_threads = cli.threads;
+  opts.drain_grace_seconds = cli.drain_grace;
   opts.limits.max_vars = cli.max_vars;
 
   server::synthesis_server server{opts};

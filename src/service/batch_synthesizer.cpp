@@ -52,6 +52,14 @@ bool engine_name_matches(const std::string& name, core::engine e) {
   }
 }
 
+/// Thrown out of a cache compute callback when the run was cancelled:
+/// the in-flight entry is abandoned instead of caching a result that
+/// only reflects how early the cancel arrived, so the class can be
+/// retried at full budget later.
+struct job_cancelled {
+  synth::result result;
+};
+
 /// Per-`run()` completion latch.  Waiting on the pool's global quiescence
 /// would couple overlapping runs (a 1 ms request stuck behind another
 /// caller's minute-long batch); counting down per call keeps concurrent
@@ -87,7 +95,11 @@ batch_synthesizer::batch_synthesizer(batch_options opts)
       resolve_threads(options_.num_threads));
 }
 
-batch_synthesizer::~batch_synthesizer() = default;
+batch_synthesizer::~batch_synthesizer() {
+  // Shutdown must not wait out long syntheses: flip every in-flight
+  // cancel flag and invalidate the queue before the pool joins.
+  cancel_inflight();
+}
 
 shard_cache& batch_synthesizer::cache_for(core::engine e) {
   return *caches_[static_cast<std::size_t>(e)];
@@ -150,23 +162,22 @@ batch_result batch_synthesizer::run(
   // rewrite the canonical chains for every member.  Distinct tasks write
   // distinct result slots, so `out.results` needs no lock.  The latch is
   // shared-owned by the tasks: every task arrives exactly once, even when
-  // the engine throws.
+  // the engine throws.  The cancel epoch is captured now: a later
+  // `cancel_inflight()` invalidates every task queued under this epoch.
+  const std::uint64_t epoch = current_cancel_epoch();
   auto latch = std::make_shared<completion_latch>();
   latch->pending = groups.size() + bypass.size();
 
   for (auto& [key, g] : groups) {
     group* gp = &g;
-    pool_->submit([this, gp, &out, latch] {
+    pool_->submit([this, gp, &out, latch, epoch] {
       try {
         bool computed = false;
         const auto canonical_result = cache_for(gp->engine).get_or_compute(
-            gp->canonical, [this, gp, &computed] {
+            gp->canonical, [this, gp, epoch, &computed] {
               computed = true;
-              util::stopwatch sw;
-              auto r = core::exact_synthesis(gp->canonical, gp->engine,
-                                             gp->timeout);
-              metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
-              return r;
+              return run_cancellable(gp->canonical, gp->engine, gp->timeout,
+                                     epoch);
             });
         if (computed) {
           metrics_.on_cache_miss();
@@ -187,6 +198,15 @@ batch_result batch_synthesizer::run(
                 chain::apply_inverse_npn_to_chain(c, m.transform));
           }
         }
+      } catch (const job_cancelled& c) {
+        // The cache entry was abandoned; every member reports the
+        // cancelled (timeout-shaped) result.
+        for (const auto& m : gp->members) {
+          auto& slot = out.results[m.index];
+          slot.outcome = c.result.outcome;
+          slot.seconds = c.result.seconds;
+          slot.counters = c.result.counters;
+        }
       } catch (...) {
         // Members keep their default-constructed failure results.
       }
@@ -199,19 +219,19 @@ batch_result batch_synthesizer::run(
     const auto engine = req.engine.value_or(options_.engine);
     const auto timeout =
         req.timeout_seconds.value_or(options_.timeout_seconds);
-    pool_->submit([this, index, engine, timeout, &requests, &out, latch] {
-      try {
-        metrics_.on_bypass();
-        util::stopwatch sw;
-        auto r =
-            core::exact_synthesis(requests[index].function, engine, timeout);
-        metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
-        out.results[index] = std::move(r);
-      } catch (...) {
-        // The slot keeps its default-constructed failure result.
-      }
-      latch->arrive();
-    });
+    pool_->submit(
+        [this, index, engine, timeout, epoch, &requests, &out, latch] {
+          try {
+            metrics_.on_bypass();
+            out.results[index] = run_cancellable(requests[index].function,
+                                                 engine, timeout, epoch);
+          } catch (const job_cancelled& c) {
+            out.results[index] = c.result;
+          } catch (...) {
+            // The slot keeps its default-constructed failure result.
+          }
+          latch->arrive();
+        });
   }
 
   latch->wait();
@@ -278,6 +298,63 @@ std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
   }
   save_cache_file(path, entries);
   return entries.size();
+}
+
+synth::result batch_synthesizer::run_cancellable(
+    const tt::truth_table& function, core::engine engine, double timeout,
+    std::uint64_t cancel_epoch) {
+  core::run_context ctx{timeout};
+  {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    if (cancel_epoch_ != cancel_epoch) {
+      // Cancelled while still queued: never start the engine.
+      metrics_.on_cancelled();
+      synth::result r;
+      r.outcome = synth::status::timeout;
+      throw job_cancelled{std::move(r)};
+    }
+    active_.insert(&ctx);
+  }
+  util::stopwatch sw;
+  synth::result r;
+  try {
+    synth::spec s;
+    s.function = function;
+    s.ctx = &ctx;
+    r = core::exact_synthesis(s, engine);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    active_.erase(&ctx);
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    active_.erase(&ctx);
+  }
+  // The engine did run (possibly partially), so its effort is recorded
+  // either way; a cancelled run is additionally thrown as `job_cancelled`
+  // so the cache never keeps its truncated result.
+  metrics_.on_synth_run(sw.elapsed_seconds(), r.ok());
+  metrics_.on_counters(r.counters);
+  if (ctx.cancel_requested()) {
+    metrics_.on_cancelled();
+    throw job_cancelled{std::move(r)};
+  }
+  return r;
+}
+
+std::uint64_t batch_synthesizer::current_cancel_epoch() const {
+  std::lock_guard<std::mutex> lock{active_mutex_};
+  return cancel_epoch_;
+}
+
+std::size_t batch_synthesizer::cancel_inflight() {
+  std::lock_guard<std::mutex> lock{active_mutex_};
+  ++cancel_epoch_;
+  for (auto* ctx : active_) {
+    ctx->request_cancel();
+  }
+  return active_.size();
 }
 
 unsigned batch_synthesizer::num_threads() const {

@@ -24,8 +24,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/exact_synthesis.hpp"
@@ -115,6 +118,15 @@ public:
   /// Persists the batch-default engine's cache; returns entries written.
   std::size_t persist_cache(const std::string& path) const;
 
+  /// Cooperatively cancels every synthesis job: flips the cancel flag of
+  /// all *in-flight* run contexts (workers observe it within their poll
+  /// stride and return `status::timeout`) and marks all *queued* jobs so
+  /// they complete as timeouts without running the engine at all.  Safe
+  /// from any thread — this is the seam behind the daemon's CANCEL verb
+  /// and the SIGTERM drain grace period.  Returns the number of in-flight
+  /// jobs signalled.
+  std::size_t cancel_inflight();
+
   [[nodiscard]] const batch_options& options() const { return options_; }
   /// Resolved worker count (after the 0 = hardware-concurrency default).
   [[nodiscard]] unsigned num_threads() const;
@@ -130,7 +142,20 @@ private:
   shard_cache& cache_for(core::engine e);
   const shard_cache& cache_for(core::engine e) const;
 
+  /// Runs the engine for `function` under a registered, cancellable run
+  /// context; `cancel_epoch` is the epoch observed when the job was
+  /// queued (a newer epoch means the job was cancelled while queued).
+  synth::result run_cancellable(const tt::truth_table& function,
+                                core::engine engine, double timeout,
+                                std::uint64_t cancel_epoch);
+  [[nodiscard]] std::uint64_t current_cancel_epoch() const;
+
   batch_options options_;
+  /// In-flight run contexts plus the queued-job cancellation epoch;
+  /// `cancel_inflight()` flips every registered flag and bumps the epoch.
+  mutable std::mutex active_mutex_;
+  std::unordered_set<core::run_context*> active_;
+  std::uint64_t cancel_epoch_ = 0;
   /// One cache per engine: chain sets differ across engines, so results
   /// must never cross engine boundaries.
   std::vector<std::unique_ptr<shard_cache>> caches_;

@@ -162,7 +162,20 @@ void save_cache(std::ostream& os, const std::vector<cache_entry>& entries) {
 
 std::vector<cache_entry> load_cache(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  if (!std::getline(is, line)) {
+    fail("missing header (want '" + std::string{kHeader} + "')");
+  }
+  if (line != kHeader) {
+    // Distinguish "newer/unknown format version" from "not a chain file
+    // at all": the former gets a precise message naming the version, so
+    // a user running an old binary against a new cache knows what to do.
+    // Policy: unknown versions are always rejected, never migrated (see
+    // chain_io.hpp).
+    if (line.rfind("stpes-chains ", 0) == 0) {
+      fail("unsupported format version '" + line.substr(13) +
+           "' (this build reads '" + std::string{kHeader} +
+           "' only; regenerate the file or upgrade)");
+    }
     fail("missing or unsupported header (want '" + std::string{kHeader} +
          "')");
   }

@@ -29,6 +29,18 @@
 /// header v1.  Consumers use the metadata to decide trust: a warmed entry
 /// from a different engine, or a failure recorded under a smaller budget,
 /// can be skipped instead of served blindly.
+///
+/// Format versioning policy (v1 -> v2 and beyond): the header line is the
+/// contract.  A loader reads *exactly* the versions it knows — a file
+/// whose header names any other `stpes-chains vN` is rejected with an
+/// error that states the unknown version; it is never silently migrated,
+/// down-converted, or partially read.  Cache entries are cheap to
+/// regenerate and dangerous to misread (a wrong "optimum" poisons every
+/// rewrite that consumes it), so the failure mode is loud by design.
+/// Additive evolution that does not change the meaning of existing lines
+/// (new meta keys, new optional line kinds ignored by old readers) stays
+/// within v1; anything a v1 reader would misinterpret requires bumping
+/// the header to v2 and teaching the loader both versions explicitly.
 
 #pragma once
 

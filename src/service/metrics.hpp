@@ -17,7 +17,64 @@
 #include <string>
 #include <vector>
 
+#include "util/run_context.hpp"
+
 namespace stpes::service {
+
+/// Atomic mirror of `core::stage_counters`: workers fold the per-run
+/// deltas in after each synthesis call, scrapers read a plain copy.
+struct atomic_stage_counters {
+  std::atomic<std::uint64_t> fences_enumerated{0};
+  std::atomic<std::uint64_t> dags_generated{0};
+  std::atomic<std::uint64_t> dags_pruned{0};
+  std::atomic<std::uint64_t> factorization_attempts{0};
+  std::atomic<std::uint64_t> factorization_prunes{0};
+  std::atomic<std::uint64_t> dont_care_expansions{0};
+  std::atomic<std::uint64_t> allsat_propagations{0};
+  std::atomic<std::uint64_t> allsat_merges{0};
+  std::atomic<std::uint64_t> sat_decisions{0};
+  std::atomic<std::uint64_t> sat_conflicts{0};
+  std::atomic<std::uint64_t> sat_restarts{0};
+
+  void add(const core::stage_counters& c) {
+    fences_enumerated.fetch_add(c.fences_enumerated,
+                                std::memory_order_relaxed);
+    dags_generated.fetch_add(c.dags_generated, std::memory_order_relaxed);
+    dags_pruned.fetch_add(c.dags_pruned, std::memory_order_relaxed);
+    factorization_attempts.fetch_add(c.factorization_attempts,
+                                     std::memory_order_relaxed);
+    factorization_prunes.fetch_add(c.factorization_prunes,
+                                   std::memory_order_relaxed);
+    dont_care_expansions.fetch_add(c.dont_care_expansions,
+                                   std::memory_order_relaxed);
+    allsat_propagations.fetch_add(c.allsat_propagations,
+                                  std::memory_order_relaxed);
+    allsat_merges.fetch_add(c.allsat_merges, std::memory_order_relaxed);
+    sat_decisions.fetch_add(c.sat_decisions, std::memory_order_relaxed);
+    sat_conflicts.fetch_add(c.sat_conflicts, std::memory_order_relaxed);
+    sat_restarts.fetch_add(c.sat_restarts, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] core::stage_counters load() const {
+    core::stage_counters c;
+    c.fences_enumerated = fences_enumerated.load(std::memory_order_relaxed);
+    c.dags_generated = dags_generated.load(std::memory_order_relaxed);
+    c.dags_pruned = dags_pruned.load(std::memory_order_relaxed);
+    c.factorization_attempts =
+        factorization_attempts.load(std::memory_order_relaxed);
+    c.factorization_prunes =
+        factorization_prunes.load(std::memory_order_relaxed);
+    c.dont_care_expansions =
+        dont_care_expansions.load(std::memory_order_relaxed);
+    c.allsat_propagations =
+        allsat_propagations.load(std::memory_order_relaxed);
+    c.allsat_merges = allsat_merges.load(std::memory_order_relaxed);
+    c.sat_decisions = sat_decisions.load(std::memory_order_relaxed);
+    c.sat_conflicts = sat_conflicts.load(std::memory_order_relaxed);
+    c.sat_restarts = sat_restarts.load(std::memory_order_relaxed);
+    return c;
+  }
+};
 
 /// Histogram of latencies with power-of-two microsecond buckets: bucket i
 /// counts samples in [2^i, 2^(i+1)) µs (bucket 0 additionally catches
@@ -72,9 +129,12 @@ struct metrics_snapshot {
   std::uint64_t bypassed = 0;        ///< n > 5, synthesized uncached
   std::uint64_t synth_runs = 0;      ///< underlying engine invocations
   std::uint64_t synth_failures = 0;  ///< runs that timed out / failed
+  std::uint64_t cancelled = 0;       ///< jobs cancelled (queued or running)
   std::uint64_t synth_latency_count = 0;
   double synth_latency_total_s = 0.0;
   std::vector<std::uint64_t> synth_latency_buckets;
+  /// Aggregated per-stage effort of every synthesis run.
+  core::stage_counters stage;
 
   [[nodiscard]] std::string to_text() const {
     std::ostringstream os;
@@ -84,7 +144,19 @@ struct metrics_snapshot {
        << "inflight_waits    " << inflight_waits << "\n"
        << "bypassed          " << bypassed << "\n"
        << "synth_runs        " << synth_runs << "\n"
-       << "synth_failures    " << synth_failures << "\n";
+       << "synth_failures    " << synth_failures << "\n"
+       << "cancelled         " << cancelled << "\n"
+       << "fences            " << stage.fences_enumerated << "\n"
+       << "dags              " << stage.dags_generated << " (+"
+       << stage.dags_pruned << " pruned)\n"
+       << "factorizations    " << stage.factorization_attempts << " (+"
+       << stage.factorization_prunes << " pruned, "
+       << stage.dont_care_expansions << " dc expansions)\n"
+       << "allsat            " << stage.allsat_propagations
+       << " propagations, " << stage.allsat_merges << " merges\n"
+       << "sat               " << stage.sat_decisions << " decisions, "
+       << stage.sat_conflicts << " conflicts, " << stage.sat_restarts
+       << " restarts\n";
     if (synth_latency_count > 0) {
       os << "synth_mean_ms     "
          << 1e3 * synth_latency_total_s /
@@ -116,6 +188,18 @@ struct metrics_snapshot {
        << ",\"inflight_waits\":" << inflight_waits
        << ",\"bypassed\":" << bypassed << ",\"synth_runs\":" << synth_runs
        << ",\"synth_failures\":" << synth_failures
+       << ",\"cancelled\":" << cancelled << ",\"stage_counters\":{"
+       << "\"fences_enumerated\":" << stage.fences_enumerated
+       << ",\"dags_generated\":" << stage.dags_generated
+       << ",\"dags_pruned\":" << stage.dags_pruned
+       << ",\"factorization_attempts\":" << stage.factorization_attempts
+       << ",\"factorization_prunes\":" << stage.factorization_prunes
+       << ",\"dont_care_expansions\":" << stage.dont_care_expansions
+       << ",\"allsat_propagations\":" << stage.allsat_propagations
+       << ",\"allsat_merges\":" << stage.allsat_merges
+       << ",\"sat_decisions\":" << stage.sat_decisions
+       << ",\"sat_conflicts\":" << stage.sat_conflicts
+       << ",\"sat_restarts\":" << stage.sat_restarts << "}"
        << ",\"synth_latency_count\":" << synth_latency_count
        << ",\"synth_latency_total_s\":" << synth_latency_total_s
        << ",\"synth_latency_buckets\":[";
@@ -147,6 +231,11 @@ public:
     }
     latency_.record_seconds(seconds);
   }
+  void on_cancelled() {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Folds one run's per-stage counter delta into the aggregate.
+  void on_counters(const core::stage_counters& c) { stage_.add(c); }
 
   [[nodiscard]] metrics_snapshot snapshot() const {
     metrics_snapshot s;
@@ -157,6 +246,8 @@ public:
     s.bypassed = bypassed_.load(std::memory_order_relaxed);
     s.synth_runs = synth_runs_.load(std::memory_order_relaxed);
     s.synth_failures = synth_failures_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.stage = stage_.load();
     s.synth_latency_count = latency_.count();
     s.synth_latency_total_s = latency_.total_seconds();
     s.synth_latency_buckets = latency_.bucket_counts();
@@ -171,6 +262,8 @@ private:
   std::atomic<std::uint64_t> bypassed_{0};
   std::atomic<std::uint64_t> synth_runs_{0};
   std::atomic<std::uint64_t> synth_failures_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  atomic_stage_counters stage_;
   latency_histogram latency_;
 };
 

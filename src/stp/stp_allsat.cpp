@@ -45,6 +45,15 @@ void stp_sat_solver::search(std::uint64_t column_base, unsigned depth,
   const std::uint64_t base_false = column_base + half;
   for (const bool value : {true, false}) {
     ++stats_.branches_explored;
+    if (ctx_ != nullptr) {
+      ++ctx_->counters.allsat_propagations;
+      if ((stats_.branches_explored & 0x3F) == 0 && ctx_->should_stop()) {
+        stopped_ = true;
+      }
+    }
+    if (stopped_) {
+      return;
+    }
     const std::uint64_t base = value ? base_true : base_false;
     if (!block_has_true(base, depth + 1)) {
       ++stats_.backtracks;
@@ -66,6 +75,7 @@ bool stp_sat_solver::is_satisfiable() const {
 std::vector<stp_assignment> stp_sat_solver::solve_all() {
   std::vector<stp_assignment> out;
   std::vector<bool> partial;
+  stopped_ = false;
   if (m_.num_vars() == 0) {
     if (m_.column_is_true(0)) {
       out.push_back(stp_assignment{});
@@ -79,6 +89,7 @@ std::vector<stp_assignment> stp_sat_solver::solve_all() {
 std::vector<stp_assignment> stp_sat_solver::solve_one() {
   std::vector<stp_assignment> out;
   std::vector<bool> partial;
+  stopped_ = false;
   search(0, 0, partial, out, /*stop_at_first=*/true);
   return out;
 }

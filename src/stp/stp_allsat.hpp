@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "stp/logic_matrix.hpp"
+#include "util/run_context.hpp"
 
 namespace stpes::stp {
 
@@ -40,6 +41,13 @@ struct stp_solve_stats {
 class stp_sat_solver {
 public:
   explicit stp_sat_solver(logic_matrix canonical);
+
+  /// Attaches the shared run context (not owned; nullptr detaches).  The
+  /// halving search polls `ctx->should_stop()` every 64 branches and
+  /// returns early with whatever assignments it found so far — callers
+  /// must re-check the context before treating the result as complete.
+  /// Branch/backtrack effort flows into the context's AllSAT counters.
+  void attach_run_context(core::run_context* ctx) { ctx_ = ctx; }
 
   /// True iff at least one satisfying assignment exists.
   [[nodiscard]] bool is_satisfiable() const;
@@ -65,6 +73,8 @@ private:
 
   logic_matrix m_;
   stp_solve_stats stats_;
+  core::run_context* ctx_ = nullptr;
+  bool stopped_ = false;
 };
 
 /// Direct scan: minterm indices (truth-table order) of all satisfying

@@ -8,9 +8,18 @@ result bms_engine::run(const spec& s) {
   util::stopwatch watch;
   stats_ = bms_stats{};
   result out;
+
+  core::run_context local_rc;
+  core::run_context& rc = s.ctx != nullptr ? *s.ctx : local_rc;
+  const core::stage_counters at_start = rc.counters;
+  const auto finish = [&](result& r) -> result& {
+    r.seconds = watch.elapsed_seconds();
+    r.counters = rc.counters - at_start;
+    return r;
+  };
+
   if (synthesize_degenerate(s.function, out)) {
-    out.seconds = watch.elapsed_seconds();
-    return out;
+    return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
@@ -22,13 +31,12 @@ result bms_engine::run(const spec& s) {
 
   for (unsigned gates = std::max(1u, trivial_lower_bound(f));
        gates <= s.max_gates; ++gates) {
-    if (s.budget.expired()) {
+    if (rc.should_stop()) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
     sat::solver solver;
-    solver.set_time_budget(s.budget);
+    solver.set_run_context(&rc);
     ssv_encoding encoding{solver, f, gates};
     encoding.encode_structure();
     encoding.encode_all_rows();
@@ -41,18 +49,15 @@ result bms_engine::run(const spec& s) {
       out.chains = {lift_chain_to_original(encoding.extract_chain(complemented),
                                            old_of_new,
                                            s.function.num_vars())};
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
     if (answer == sat::solve_result::unknown) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
   }
   out.outcome = status::failure;
-  out.seconds = watch.elapsed_seconds();
-  return out;
+  return finish(out);
 }
 
 result bms_synthesize(const spec& s) {

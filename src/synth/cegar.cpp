@@ -8,9 +8,18 @@ result cegar_engine::run(const spec& s) {
   util::stopwatch watch;
   stats_ = cegar_stats{};
   result out;
+
+  core::run_context local_rc;
+  core::run_context& rc = s.ctx != nullptr ? *s.ctx : local_rc;
+  const core::stage_counters at_start = rc.counters;
+  const auto finish = [&](result& r) -> result& {
+    r.seconds = watch.elapsed_seconds();
+    r.counters = rc.counters - at_start;
+    return r;
+  };
+
   if (synthesize_degenerate(s.function, out)) {
-    out.seconds = watch.elapsed_seconds();
-    return out;
+    return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
@@ -22,13 +31,12 @@ result cegar_engine::run(const spec& s) {
 
   for (unsigned gates = std::max(1u, trivial_lower_bound(f));
        gates <= s.max_gates; ++gates) {
-    if (s.budget.expired()) {
+    if (rc.should_stop()) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
     sat::solver solver;
-    solver.set_time_budget(s.budget);
+    solver.set_run_context(&rc);
     ssv_encoding encoding{solver, f, gates};
     encoding.encode_structure();
     // Seed with one informative row (the highest one keeps the output
@@ -37,13 +45,19 @@ result cegar_engine::run(const spec& s) {
 
     bool size_done = false;
     while (!size_done) {
+      // The refinement loop itself must observe cancellation: each
+      // iteration can be cheap, so a long counterexample sequence would
+      // otherwise outlive the deadline unnoticed.
+      if (rc.should_stop()) {
+        out.outcome = status::timeout;
+        return finish(out);
+      }
       ++stats_.solver_calls;
       const auto answer = solver.solve();
       stats_.conflicts = solver.stats().conflicts;
       if (answer == sat::solve_result::unknown) {
         out.outcome = status::timeout;
-        out.seconds = watch.elapsed_seconds();
-        return out;
+        return finish(out);
       }
       if (answer == sat::solve_result::unsat) {
         size_done = true;  // no chain of this size
@@ -57,8 +71,7 @@ result cegar_engine::run(const spec& s) {
         out.optimum_gates = gates;
         out.chains = {lift_chain_to_original(candidate, old_of_new,
                                              s.function.num_vars())};
-        out.seconds = watch.elapsed_seconds();
-        return out;
+        return finish(out);
       }
       // Add the first counterexample row.
       std::uint64_t counterexample = 0;
@@ -75,8 +88,7 @@ result cegar_engine::run(const spec& s) {
     }
   }
   out.outcome = status::failure;
-  out.seconds = watch.elapsed_seconds();
-  return out;
+  return finish(out);
 }
 
 result cegar_synthesize(const spec& s) {

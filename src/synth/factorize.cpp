@@ -47,6 +47,7 @@ tt::isf isf_from_cells(const std::vector<std::uint8_t>& cells,
 
 struct and_solver {
   const factorize_options& options;
+  core::run_context* ctx;
   unsigned num_vars;
   std::uint64_t amask, bmask;
   std::vector<std::uint8_t> u, v;
@@ -73,6 +74,9 @@ struct and_solver {
     if (emitted >= options.max_branches_per_family) {
       return;
     }
+    if (ctx != nullptr && ctx->cancel_requested()) {
+      return;
+    }
     while (next < pending.size()) {
       const auto [a, b] = pending[next];
       if (u[a] == kZero || v[b] == kZero) {
@@ -80,7 +84,10 @@ struct and_solver {
         continue;
       }
       // Neither side can be forced-one here (filtered during setup), so
-      // both branches are open.
+      // both branches are open: a don't-care-driven case split.
+      if (ctx != nullptr) {
+        ++ctx->counters.dont_care_expansions;
+      }
       const auto saved_u = u[a];
       u[a] = kZero;
       branch(next + 1);
@@ -99,6 +106,7 @@ struct and_solver {
 void solve_and_family(const requirement& r, bool complemented,
                       std::uint32_t cone_a, std::uint32_t cone_b,
                       const factorize_options& options,
+                      core::run_context* ctx,
                       std::vector<factorization>& out) {
   const unsigned n = r.func.num_vars();
   const std::uint64_t bits = std::uint64_t{1} << n;
@@ -159,9 +167,9 @@ void solve_and_family(const requirement& r, bool complemented,
   std::sort(open.begin(), open.end());
   open.erase(std::unique(open.begin(), open.end()), open.end());
 
-  and_solver solver{options, n,    amask,        bmask,  std::move(u),
-                    std::move(v),  open, out,          complemented,
-                    cone_a,        cone_b};
+  and_solver solver{options,      ctx,  n,   amask,        bmask,
+                    std::move(u), std::move(v), open, out,
+                    complemented, cone_a,       cone_b};
   solver.branch(0);
 }
 
@@ -214,6 +222,7 @@ struct parity_dsu {
 void solve_xor_family(const requirement& r, bool complemented,
                       std::uint32_t cone_a, std::uint32_t cone_b,
                       const factorize_options& options,
+                      core::run_context* ctx,
                       std::vector<factorization>& out) {
   const unsigned n = r.func.num_vars();
   const std::uint64_t bits = std::uint64_t{1} << n;
@@ -260,6 +269,13 @@ void solve_xor_family(const requirement& r, bool complemented,
     if (emitted >= options.max_branches_per_family) {
       break;
     }
+    if (ctx != nullptr && flips != 0) {
+      // Each non-identity flip pattern exercises a don't-care freedom.
+      ++ctx->counters.dont_care_expansions;
+      if (ctx->cancel_requested()) {
+        break;
+      }
+    }
     std::vector<std::uint8_t> u(bits, kUnknown);
     std::vector<std::uint8_t> v(bits, kUnknown);
     for (std::uint32_t c = 0; c < 2 * bits; ++c) {
@@ -290,8 +306,11 @@ void solve_xor_family(const requirement& r, bool complemented,
 
 std::vector<factorization> factor_requirement(
     const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
-    const factorize_options& options) {
+    const factorize_options& options, core::run_context* ctx) {
   assert((cone_a | cone_b) == r.cone);
+  if (ctx != nullptr) {
+    ++ctx->counters.factorization_attempts;
+  }
   std::vector<factorization> out;
   if (r.func.is_unconstrained()) {
     // Nothing to satisfy: children are unconstrained as well.
@@ -302,8 +321,8 @@ std::vector<factorization> factor_requirement(
     return out;
   }
   for (const bool complemented : {false, true}) {
-    solve_and_family(r, complemented, cone_a, cone_b, options, out);
-    solve_xor_family(r, complemented, cone_a, cone_b, options, out);
+    solve_and_family(r, complemented, cone_a, cone_b, options, ctx, out);
+    solve_xor_family(r, complemented, cone_a, cone_b, options, ctx, out);
   }
   // The AND-family branch enumeration can reach the same (u, v) pair along
   // several choice orders; duplicates multiply the downstream search.
@@ -319,6 +338,9 @@ std::vector<factorization> factor_requirement(
     if (!duplicate) {
       unique.push_back(std::move(f));
     }
+  }
+  if (ctx != nullptr && unique.empty()) {
+    ++ctx->counters.factorization_prunes;
   }
   return unique;
 }

@@ -33,6 +33,7 @@
 
 #include "tt/isf.hpp"
 #include "tt/truth_table.hpp"
+#include "util/run_context.hpp"
 
 namespace stpes::synth {
 
@@ -68,9 +69,14 @@ struct factorize_options {
 
 /// All decompositions of `r` for the fixed cone split (cone_a, cone_b).
 /// Both cones must be subsets of `r.cone` and their union must cover it.
+/// When `ctx` is given the recursion observes its cancel flag between
+/// branches and reports effort into its counters: one factorization
+/// attempt per call, a prune when no decomposition survives, and one
+/// don't-care expansion per case split forced by an unconstrained cell
+/// (AND-family off-minterm choice or XOR-component flip).
 std::vector<factorization> factor_requirement(
     const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
-    const factorize_options& options = {});
+    const factorize_options& options = {}, core::run_context* ctx = nullptr);
 
 /// True iff the requirement admits at least one decomposition for the
 /// split — the paper's prune test ("can this DAG realize f?") without

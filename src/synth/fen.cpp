@@ -51,9 +51,18 @@ result fen_engine::run(const spec& s) {
   util::stopwatch watch;
   stats_ = fen_stats{};
   result out;
+
+  core::run_context local_rc;
+  core::run_context& rc = s.ctx != nullptr ? *s.ctx : local_rc;
+  const core::stage_counters at_start = rc.counters;
+  const auto finish = [&](result& r) -> result& {
+    r.seconds = watch.elapsed_seconds();
+    r.counters = rc.counters - at_start;
+    return r;
+  };
+
   if (synthesize_degenerate(s.function, out)) {
-    out.seconds = watch.elapsed_seconds();
-    return out;
+    return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
@@ -66,15 +75,14 @@ result fen_engine::run(const spec& s) {
   bool timed_out = false;
   for (unsigned gates = std::max(1u, trivial_lower_bound(f));
        gates <= s.max_gates; ++gates) {
-    for (const auto& fc : fence::pruned_fences(gates)) {
-      if (s.budget.expired()) {
+    for (const auto& fc : fence::pruned_fences(gates, &rc)) {
+      if (rc.should_stop()) {
         out.outcome = status::timeout;
-        out.seconds = watch.elapsed_seconds();
-        return out;
+        return finish(out);
       }
       ++stats_.fences;
       sat::solver solver;
-      solver.set_time_budget(s.budget);
+      solver.set_run_context(&rc);
       ssv_encoding encoding{solver, f, gates, fence_pairs(fc, f.num_vars())};
       encoding.encode_structure();
       encoding.encode_all_rows();
@@ -87,8 +95,7 @@ result fen_engine::run(const spec& s) {
         out.chains = {lift_chain_to_original(
             encoding.extract_chain(complemented), old_of_new,
             s.function.num_vars())};
-        out.seconds = watch.elapsed_seconds();
-        return out;
+        return finish(out);
       }
       if (answer == sat::solve_result::unknown) {
         timed_out = true;
@@ -100,8 +107,7 @@ result fen_engine::run(const spec& s) {
     }
   }
   out.outcome = timed_out ? status::timeout : status::failure;
-  out.seconds = watch.elapsed_seconds();
-  return out;
+  return finish(out);
 }
 
 result fen_synthesize(const spec& s) {

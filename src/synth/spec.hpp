@@ -10,20 +10,24 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "chain/boolean_chain.hpp"
 #include "tt/truth_table.hpp"
-#include "util/stopwatch.hpp"
+#include "util/run_context.hpp"
 
 namespace stpes::synth {
 
 /// A synthesis problem instance.
 struct spec {
   tt::truth_table function;
-  /// Wall-clock budget; engines return `timeout` when exceeded.
-  util::time_budget budget;
+  /// Shared deadline / cancel flag / counters of this run (not owned).
+  /// Null means free-running: no deadline, not cancellable, counters
+  /// discarded.  Engines poll `ctx->should_stop()` at bounded strides and
+  /// return `timeout` when it trips.
+  core::run_context* ctx = nullptr;
   /// Upper bound on chain size before giving up as unrealizable.
   unsigned max_gates = 24;
 };
@@ -42,9 +46,20 @@ struct result {
   unsigned optimum_gates = 0;
   /// Wall-clock seconds spent.
   double seconds = 0.0;
+  /// Per-stage effort spent on this call (delta, not cumulative).
+  core::stage_counters counters;
 
   [[nodiscard]] bool ok() const { return outcome == status::success; }
+
+  /// First (representative) chain.  Throws when the result carries no
+  /// chain at all — e.g. a timeout or cancellation before any optimum was
+  /// found — so callers must check `ok()` / `chains.empty()` first.
   [[nodiscard]] const chain::boolean_chain& best() const {
+    if (chains.empty()) {
+      throw std::logic_error(
+          "synth::result::best(): no chains (outcome: " +
+          std::string(to_string(outcome)) + ")");
+    }
     return chains.front();
   }
 };

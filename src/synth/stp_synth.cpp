@@ -85,7 +85,7 @@ struct search_context {
   tt::isf target;           // root requirement (complete or with DCs)
   std::uint32_t root_cone;  // variables the root may consume
   unsigned num_vars;
-  const util::time_budget& budget;
+  core::run_context& rc;  // shared deadline / cancel flag / counters
   stp_stats& stats;
 
   std::vector<chain::boolean_chain> solutions;
@@ -98,11 +98,11 @@ struct search_context {
   /// Pending states proven fruitless, shared across DAGs of one size
   /// (the key includes the structural prefix of the DAG).
   std::unordered_set<std::uint64_t> failed_states;
-  bool stop = false;  // budget expired or solution cap reached
+  bool stop = false;  // cancelled, deadline expired, or solution cap hit
   std::uint64_t ticks = 0;
 
   void tick() {
-    if ((++ticks & 0x3FF) == 0 && budget.expired()) {
+    if ((++ticks & 0x3FF) == 0 && rc.should_stop()) {
       stop = true;
     }
   }
@@ -115,7 +115,7 @@ struct search_context {
       return it->second;
     }
     auto result = std::make_shared<const std::vector<factorization>>(
-        factor_requirement(r, cone_a, cone_b, options.factor));
+        factor_requirement(r, cone_a, cone_b, options.factor, &rc));
     stats.factorizations += result->size();
     factor_cache.emplace(key, result);
     return result;
@@ -230,6 +230,7 @@ public:
     const auto root = static_cast<std::size_t>(dag_.root());
     if (capacity_[root] <
         static_cast<unsigned>(std::popcount(ctx_.root_cone))) {
+      ++ctx_.rc.counters.dags_pruned;
       return;  // cannot reach all cone variables
     }
     gates_.assign(dag_.gates.size(), gate_state());
@@ -542,7 +543,7 @@ private:
     if (!ctx_.target.accepts(realized)) {
       return;
     }
-    const auto allsat_result = allsat::solve_all(candidate);
+    const auto allsat_result = allsat::solve_all(candidate, true, &ctx_.rc);
     if (allsat::solutions_to_function(ctx_.num_vars,
                                       allsat_result.solutions) != realized) {
       return;
@@ -581,9 +582,17 @@ result stp_engine::run(const spec& s) {
   stats_ = stp_stats{};
   result out;
 
+  core::run_context local_rc;
+  core::run_context& rc = s.ctx != nullptr ? *s.ctx : local_rc;
+  const core::stage_counters at_start = rc.counters;
+  const auto finish = [&](result& r) -> result& {
+    r.seconds = watch.elapsed_seconds();
+    r.counters = rc.counters - at_start;
+    return r;
+  };
+
   if (synthesize_degenerate(s.function, out)) {
-    out.seconds = watch.elapsed_seconds();
-    return out;
+    return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
@@ -601,7 +610,7 @@ result stp_engine::run(const spec& s) {
                      tt::isf::from_function(f),
                      (1u << n) - 1,
                      n,
-                     s.budget,
+                     rc,
                      stats_,
                      {},
                      {},
@@ -610,25 +619,24 @@ result stp_engine::run(const spec& s) {
                      false,
                      0};
   for (unsigned gates = std::max(1u, n - 1); gates <= s.max_gates; ++gates) {
-    if (s.budget.expired()) {
+    if (rc.should_stop()) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
     ctx.solutions.clear();
     ctx.solution_hashes.clear();
     ctx.stop = false;
 
     const auto fences = options_.use_fence_pruning
-                            ? fence::pruned_fences(gates)
-                            : fence::all_fences(gates);
+                            ? fence::pruned_fences(gates, &rc)
+                            : fence::all_fences(gates, &rc);
     stats_.fences += fences.size();
     std::size_t dag_count = 0;
     for (const auto& fc : fences) {
       if (ctx.stop) {
         break;
       }
-      for (const auto& dag : fence::generate_dags(fc, dag_opts)) {
+      for (const auto& dag : fence::generate_dags(fc, dag_opts, &rc)) {
         if (ctx.stop) {
           break;
         }
@@ -651,34 +659,39 @@ result stp_engine::run(const spec& s) {
         out.chains.push_back(
             lift_chain_to_original(c, old_of_new, s.function.num_vars()));
       }
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
-    if (ctx.stop && s.budget.expired()) {
+    if (ctx.stop && rc.should_stop()) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
   }
   out.outcome = status::failure;
-  out.seconds = watch.elapsed_seconds();
-  return out;
+  return finish(out);
 }
 
 result stp_engine::run_with_dont_cares(const tt::isf& target,
-                                       const util::time_budget& budget,
+                                       core::run_context* run_ctx,
                                        unsigned max_gates) {
   util::stopwatch watch;
   stats_ = stp_stats{};
   result out;
   const unsigned n = target.num_vars();
 
+  core::run_context local_rc;
+  core::run_context& rc = run_ctx != nullptr ? *run_ctx : local_rc;
+  const core::stage_counters at_start = rc.counters;
+  const auto finish = [&](result& r) -> result& {
+    r.seconds = watch.elapsed_seconds();
+    r.counters = rc.counters - at_start;
+    return r;
+  };
+
   // Degenerate acceptances first: constants and literals.
   for (const bool value : {false, true}) {
     if (target.accepts(tt::truth_table::constant(n, value))) {
       (void)synthesize_degenerate(tt::truth_table::constant(n, value), out);
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
   }
   for (unsigned v = 0; v < n; ++v) {
@@ -686,8 +699,7 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
       const auto literal = tt::truth_table::nth_var(n, v, complemented);
       if (target.accepts(literal)) {
         (void)synthesize_degenerate(literal, out);
-        out.seconds = watch.elapsed_seconds();
-        return out;
+        return finish(out);
       }
     }
   }
@@ -710,7 +722,7 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
   dag_opts.allow_shared_gates = options_.allow_shared_gates;
   dag_opts.limit = options_.max_dags_per_size;
 
-  search_context ctx{options_, root, cone, n,     budget, stats_, {}, {},
+  search_context ctx{options_, root, cone, n,     rc, stats_, {}, {},
                      {},       {},   false, 0};
   // Every accepted completion depends on all *required* variables, so
   // |required| - 1 is a sound lower bound even when the cone fell back to
@@ -718,23 +730,22 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
   const unsigned lower = static_cast<unsigned>(
       std::max(1, std::popcount(required) - 1));
   for (unsigned gates = lower; gates <= max_gates; ++gates) {
-    if (budget.expired()) {
+    if (rc.should_stop()) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
     ctx.solutions.clear();
     ctx.solution_hashes.clear();
     ctx.stop = false;
     const auto fences = options_.use_fence_pruning
-                            ? fence::pruned_fences(gates)
-                            : fence::all_fences(gates);
+                            ? fence::pruned_fences(gates, &rc)
+                            : fence::all_fences(gates, &rc);
     stats_.fences += fences.size();
     for (const auto& fc : fences) {
       if (ctx.stop) {
         break;
       }
-      for (const auto& dag : fence::generate_dags(fc, dag_opts)) {
+      for (const auto& dag : fence::generate_dags(fc, dag_opts, &rc)) {
         if (ctx.stop) {
           break;
         }
@@ -747,18 +758,15 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
       out.outcome = status::success;
       out.optimum_gates = gates;
       out.chains = std::move(ctx.solutions);
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
-    if (ctx.stop && budget.expired()) {
+    if (ctx.stop && rc.should_stop()) {
       out.outcome = status::timeout;
-      out.seconds = watch.elapsed_seconds();
-      return out;
+      return finish(out);
     }
   }
   out.outcome = status::failure;
-  out.seconds = watch.elapsed_seconds();
-  return out;
+  return finish(out);
 }
 
 result stp_synthesize(const spec& s) {

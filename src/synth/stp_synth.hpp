@@ -73,8 +73,9 @@ public:
   /// extension of the paper: the factorization engine already propagates
   /// incompletely specified requirements, so an ISF at the root costs
   /// nothing extra — CNF encodings would need per-row relaxation instead.
+  /// `ctx` follows the `spec::ctx` contract (may be nullptr).
   result run_with_dont_cares(const tt::isf& target,
-                             const util::time_budget& budget = {},
+                             core::run_context* ctx = nullptr,
                              unsigned max_gates = 24);
 
   [[nodiscard]] const stp_stats& stats() const { return stats_; }

@@ -1,0 +1,165 @@
+/// \file run_context.hpp
+/// \brief The unified deadline / cancellation / counter seam shared by
+///        every layer of one synthesis run.
+///
+/// Historically each layer (synth::spec, sat::solver, the STP recursion,
+/// the AllSAT merge loop, the server request path) held its *own* copy of
+/// `util::time_budget` and polled it at inconsistent depths, so a daemon
+/// timeout reply could leave a worker thread burning for seconds.  A
+/// `run_context` replaces all of those copies with one shared object:
+///
+///   * a monotonic **deadline** (same semantics as `time_budget`),
+///   * an `std::atomic<bool>` **cancel flag** that any thread may flip
+///     (the daemon's CANCEL verb, SIGTERM drain, pool shutdown), and
+///   * **per-stage counters** incremented by the layer doing the work.
+///
+/// Layers poll `should_stop()` at bounded strides (the engines every
+/// 1024 ticks, the CDCL loop every 256 conflicts) so a cancel or an
+/// expired deadline is observed promptly and uniformly.
+///
+/// Counters are written by the single thread running the synthesis and
+/// must only be read by other threads after the run finished (join /
+/// latch).  Only the cancel flag is safe for concurrent access.
+///
+/// The canonical name is `core::run_context`; the definition lives in
+/// `util/` (the lowest layer) so `sat/`, `fence/`, `stp/` etc. can use it
+/// without depending on the `core` facade library.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/stopwatch.hpp"
+
+namespace stpes::core {
+
+/// Effort counters for every stage of a synthesis run.
+///
+/// Deterministic counters (fences/DAGs/factorizations on solved
+/// instances) double as a search-space fingerprint: the bench regression
+/// gate compares them against committed baselines to catch silent drift
+/// in the enumeration or pruning logic.
+struct stage_counters {
+  // Topology enumeration (fence/).
+  std::uint64_t fences_enumerated = 0;
+  std::uint64_t dags_generated = 0;
+  std::uint64_t dags_pruned = 0;
+  // STP factorization recursion (synth/factorize, stp_synth).
+  std::uint64_t factorization_attempts = 0;
+  std::uint64_t factorization_prunes = 0;
+  std::uint64_t dont_care_expansions = 0;
+  // Circuit AllSAT verification (allsat/, stp/).
+  std::uint64_t allsat_propagations = 0;
+  std::uint64_t allsat_merges = 0;
+  // CDCL solver (sat/).
+  std::uint64_t sat_decisions = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_restarts = 0;
+
+  stage_counters& operator+=(const stage_counters& o) {
+    fences_enumerated += o.fences_enumerated;
+    dags_generated += o.dags_generated;
+    dags_pruned += o.dags_pruned;
+    factorization_attempts += o.factorization_attempts;
+    factorization_prunes += o.factorization_prunes;
+    dont_care_expansions += o.dont_care_expansions;
+    allsat_propagations += o.allsat_propagations;
+    allsat_merges += o.allsat_merges;
+    sat_decisions += o.sat_decisions;
+    sat_conflicts += o.sat_conflicts;
+    sat_restarts += o.sat_restarts;
+    return *this;
+  }
+
+  stage_counters& operator-=(const stage_counters& o) {
+    fences_enumerated -= o.fences_enumerated;
+    dags_generated -= o.dags_generated;
+    dags_pruned -= o.dags_pruned;
+    factorization_attempts -= o.factorization_attempts;
+    factorization_prunes -= o.factorization_prunes;
+    dont_care_expansions -= o.dont_care_expansions;
+    allsat_propagations -= o.allsat_propagations;
+    allsat_merges -= o.allsat_merges;
+    sat_decisions -= o.sat_decisions;
+    sat_conflicts -= o.sat_conflicts;
+    sat_restarts -= o.sat_restarts;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    return fences_enumerated + dags_generated + dags_pruned +
+           factorization_attempts + factorization_prunes +
+           dont_care_expansions + allsat_propagations + allsat_merges +
+           sat_decisions + sat_conflicts + sat_restarts;
+  }
+};
+
+inline stage_counters operator+(stage_counters a, const stage_counters& b) {
+  a += b;
+  return a;
+}
+
+inline stage_counters operator-(stage_counters a, const stage_counters& b) {
+  a -= b;
+  return a;
+}
+
+/// Shared state of one synthesis run: deadline + cancel flag + counters.
+///
+/// Non-copyable (holds an atomic); pass by pointer/reference.  A
+/// default-constructed context is unlimited and never cancelled until
+/// `request_cancel()` is called.
+class run_context {
+public:
+  run_context() = default;
+
+  /// Deadline of `seconds` from now; non-positive means unlimited.
+  explicit run_context(double seconds) : budget_(seconds) {}
+
+  /// Adopts an existing `time_budget` deadline (deprecation shim path).
+  explicit run_context(util::time_budget budget) : budget_(budget) {}
+
+  run_context(const run_context&) = delete;
+  run_context& operator=(const run_context&) = delete;
+
+  /// Replaces the deadline with `seconds` from now (<= 0 = unlimited).
+  void set_deadline_after(double seconds) {
+    budget_ = util::time_budget{seconds};
+  }
+
+  [[nodiscard]] bool limited() const { return budget_.limited(); }
+  [[nodiscard]] bool deadline_expired() const { return budget_.expired(); }
+  [[nodiscard]] double remaining_seconds() const {
+    return budget_.remaining_seconds();
+  }
+
+  /// Requests cooperative cancellation; safe from any thread.
+  void request_cancel() { cancel_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// The single poll every layer uses: cancelled or past the deadline.
+  [[nodiscard]] bool should_stop() const {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /// Per-stage effort counters; owned by the thread running the work.
+  stage_counters counters;
+
+private:
+  util::time_budget budget_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace stpes::core
+
+namespace stpes::util {
+// The definition lives in util/ for layering; re-export so util-level
+// code can name it without reaching "up" into core.
+using run_context = core::run_context;
+using stage_counters = core::stage_counters;
+}  // namespace stpes::util

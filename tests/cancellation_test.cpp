@@ -1,0 +1,122 @@
+/// \file cancellation_test.cpp
+/// \brief Cooperative cancellation through `core::run_context`.
+///
+/// The contract under test: flipping the cancel flag from any thread makes
+/// a running synthesis return `status::timeout` within the engines'
+/// bounded poll strides — promptly, regardless of how deep the search is —
+/// and the per-stage counters report the effort spent up to that point.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/exact_synthesis.hpp"
+#include "tt/truth_table.hpp"
+#include "util/run_context.hpp"
+#include "workload/collections.hpp"
+
+namespace {
+
+using stpes::core::engine;
+using stpes::core::run_context;
+using stpes::synth::status;
+using stpes::tt::truth_table;
+
+constexpr engine kAllEngines[] = {engine::stp, engine::bms, engine::fen,
+                                  engine::cegar};
+
+TEST(Cancellation, PreCancelledContextReturnsTimeoutImmediately) {
+  // The flag is checked before any search starts: a context cancelled
+  // up front costs (at most) one poll stride of work.
+  stpes::synth::spec s;
+  s.function = truth_table::from_hex(4, "0x1ee1") ^
+               truth_table::nth_var(4, 0);  // non-degenerate target
+  for (const auto e : kAllEngines) {
+    run_context ctx;  // unlimited deadline — only the flag stops it
+    ctx.request_cancel();
+    s.ctx = &ctx;
+    const auto r = stpes::core::exact_synthesis(s, e);
+    EXPECT_EQ(r.outcome, status::timeout) << stpes::core::to_string(e);
+  }
+}
+
+TEST(Cancellation, CancelFromAnotherThreadStopsAHardSynthesis) {
+  // This PDSD8 instance takes the STP engine multiple seconds (it times
+  // out the 3 s Table-I budget); the worker runs it with no deadline at
+  // all, so only the cancel flag can stop it.
+  const auto f = stpes::workload::pdsd_functions(8, 1, 1).front();
+  run_context ctx;
+  stpes::synth::spec s;
+  s.function = f;
+  s.ctx = &ctx;
+
+  stpes::synth::result r;
+  std::atomic<bool> started{false};
+  std::thread worker{[&] {
+    started.store(true, std::memory_order_release);
+    r = stpes::core::exact_synthesis(s, engine::stp);
+  }};
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Let the search get past the degenerate-case shortcuts and deep into
+  // fence/DAG/factorization territory before pulling the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto cancel_time = std::chrono::steady_clock::now();
+  ctx.request_cancel();
+  worker.join();
+  const double latency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cancel_time)
+          .count();
+
+  EXPECT_EQ(r.outcome, status::timeout);
+  // The poll strides bound the reaction time: well under 100 ms even on
+  // a loaded machine.
+  EXPECT_LT(latency, 0.1) << "engine kept running " << latency
+                          << " s after the cancel flag was set";
+  // The run did real work before it was stopped, and that effort is
+  // visible in the counters.
+  EXPECT_GT(r.counters.total(), 0u);
+  EXPECT_EQ(ctx.counters.total(), r.counters.total());
+}
+
+TEST(Cancellation, CountersAccumulateAcrossRunsAndReportDeltas) {
+  run_context ctx;
+  stpes::synth::spec s;
+  s.function = truth_table::from_hex(4, "0x8ff8");
+  s.ctx = &ctx;
+
+  const auto r1 = stpes::core::exact_synthesis(s, engine::stp);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1.counters.fences_enumerated, 0u);
+  EXPECT_GT(r1.counters.dags_generated, 0u);
+  EXPECT_GT(r1.counters.factorization_attempts, 0u);
+  EXPECT_GT(r1.counters.allsat_propagations, 0u);
+
+  s.function = truth_table::from_hex(4, "0x6996");  // XOR4
+  const auto r2 = stpes::core::exact_synthesis(s, engine::stp);
+  ASSERT_TRUE(r2.ok());
+
+  // result::counters is the per-call delta; the shared context holds the
+  // running sum over both calls.
+  EXPECT_EQ(ctx.counters.total(),
+            r1.counters.total() + r2.counters.total());
+}
+
+TEST(Cancellation, SatEnginesReportSolverCounters) {
+  for (const auto e : {engine::bms, engine::fen, engine::cegar}) {
+    run_context ctx;
+    stpes::synth::spec s;
+    s.function = truth_table::from_hex(4, "0x8ff8");
+    s.ctx = &ctx;
+    const auto r = stpes::core::exact_synthesis(s, e);
+    ASSERT_TRUE(r.ok()) << stpes::core::to_string(e);
+    EXPECT_GT(r.counters.sat_decisions, 0u) << stpes::core::to_string(e);
+  }
+}
+
+}  // namespace

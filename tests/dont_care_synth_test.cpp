@@ -90,8 +90,8 @@ TEST(DontCareSynthesis, MajWithOneDontCareDropsToTwoGates) {
 TEST(DontCareSynthesis, TimeoutPropagates) {
   const auto f = truth_table::from_hex(4, "0xcafe");
   stp_engine engine;
-  const auto r = engine.run_with_dont_cares(
-      isf::from_function(f), stpes::util::time_budget{1e-9});
+  stpes::core::run_context ctx{1e-9};
+  const auto r = engine.run_with_dont_cares(isf::from_function(f), &ctx);
   EXPECT_EQ(r.outcome, status::timeout);
 }
 

@@ -13,6 +13,8 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -20,12 +22,14 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "server/client.hpp"
 #include "server/fd_stream.hpp"
 #include "server/server.hpp"
 #include "service/chain_io.hpp"
+#include "workload/collections.hpp"
 
 namespace {
 
@@ -388,6 +392,56 @@ TEST(Server, StatsComeInTextAndJson) {
   EXPECT_NE(json.find("\"synthesis\":{"), std::string::npos) << json;
   EXPECT_NE(json.find("\"cache\":{"), std::string::npos) << json;
   s.client().quit();
+}
+
+TEST(Server, CancelStopsAnInFlightBatch) {
+  synthesis_server server{quick_options()};  // 60 s per-request budget
+  pipe_session worker{server};
+  pipe_session controller{server};
+
+  // Hard 6-input functions (cache-bypass path, one engine run each) under
+  // a 60 s budget: without CANCEL this batch would hold the session for
+  // minutes.  The controller connection cancels from the outside — the
+  // protocol is synchronous per session, so CANCEL can never be issued on
+  // the worker's own connection.
+  const auto functions = stpes::workload::pdsd_functions(6, 3, 7);
+  std::vector<std::pair<engine, truth_table>> requests;
+  requests.reserve(functions.size());
+  for (const auto& f : functions) {
+    requests.emplace_back(engine::stp, f);
+  }
+
+  std::vector<line_client::synth_reply> replies;
+  std::atomic<bool> batch_done{false};
+  std::thread runner{[&] {
+    replies = worker.client().batch(requests);
+    batch_done.store(true, std::memory_order_release);
+  }};
+
+  // Keep cancelling until the batch returns: each CANCEL flips every
+  // in-flight flag and invalidates the queue, so the loop is guaranteed
+  // to terminate regardless of how the submissions interleave with it.
+  while (!batch_done.load(std::memory_order_acquire)) {
+    controller.client().cancel();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  runner.join();
+
+  ASSERT_EQ(replies.size(), requests.size());
+  for (const auto& r : replies) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.outcome == stpes::synth::status::timeout ||
+                r.outcome == stpes::synth::status::success);
+  }
+  // At least one job was actually interrupted (PDSD6 cannot finish in the
+  // few milliseconds before the first CANCEL lands).
+  EXPECT_GE(server.synthesizer().current_metrics().cancelled, 1u);
+  EXPECT_GE(server.counters().cancels, 1u);
+
+  worker.client().quit();
+  controller.client().quit();
+  worker.finish();
+  controller.finish();
 }
 
 TEST(Server, ShutdownDrainsEverySession) {

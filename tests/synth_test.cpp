@@ -169,8 +169,9 @@ TEST(Synthesis, TimeoutIsReported) {
   spec s;
   s.function = truth_table::from_hex(4, "0x1ee1") ^
                truth_table::nth_var(4, 0);  // arbitrary non-trivial target
-  s.budget = stpes::util::time_budget{1e-9};
   for (const auto e : kAllEngines) {
+    stpes::core::run_context ctx{1e-9};
+    s.ctx = &ctx;
     const auto r = exact_synthesis(s, e);
     EXPECT_EQ(r.outcome, status::timeout) << stpes::core::to_string(e);
   }

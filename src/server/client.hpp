@@ -42,10 +42,16 @@ public:
 
   struct synth_reply {
     bool ok = false;
+    bool busy = false;  ///< the daemon shed this request (overload)
     std::string error;  ///< ERR reason when !ok ("timeout", parse message)
     synth::status outcome = synth::status::failure;
     unsigned gates = 0;
     double seconds = 0.0;
+    /// Server-assigned id carried by the reply head (0 when absent);
+    /// `CANCEL <id>` from another connection targets exactly this request.
+    std::uint64_t request_id = 0;
+    /// BUSY retry hint in milliseconds (only meaningful when `busy`).
+    unsigned retry_after_ms = 0;
     std::vector<chain::boolean_chain> chains;
   };
 
@@ -82,10 +88,19 @@ public:
       replies.assign(requests.size(), r);
       return replies;
     }
-    const auto count = std::stoul(require_ok(head, "OK "));
+    if (head.rfind("BUSY ", 0) == 0) {
+      replies.assign(requests.size(), parse_busy(head));
+      return replies;
+    }
+    std::istringstream is{require_ok(head, "OK ")};
+    std::size_t count = 0;
+    is >> count;
+    const auto id = parse_trailing_id(is);
     replies.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      replies.push_back(parse_result_block(read_line(), "RESULT"));
+      auto r = parse_result_block(read_line(), "RESULT");
+      r.request_id = id;
+      replies.push_back(std::move(r));
     }
     return replies;
   }
@@ -129,15 +144,45 @@ public:
     return {loaded, skipped};
   }
 
-  /// `CANCEL`: cooperatively cancels every in-flight synthesis on the
-  /// daemon; returns the number of jobs signalled.  Issue it from a
-  /// *separate* connection — the protocol is synchronous per session.
-  std::size_t cancel() {
-    send("CANCEL");
+  /// `CANCEL` / `CANCEL <id>`: cooperatively cancels every in-flight
+  /// synthesis on the daemon, or only the request tagged `id`; returns the
+  /// number of jobs signalled.  Issue it from a *separate* connection —
+  /// the protocol is synchronous per session.
+  std::size_t cancel(std::optional<std::uint64_t> id = std::nullopt) {
+    send(id.has_value() ? "CANCEL " + std::to_string(*id) : "CANCEL");
     std::istringstream is{require_ok(read_line(), "OK cancelled ")};
     std::size_t n = 0;
     is >> n;
     return n;
+  }
+
+  /// `RELOAD <path>`: hot cache swap; {loaded, skipped, cleared}.
+  /// Throws on ERR.
+  struct reload_reply {
+    std::size_t loaded = 0;
+    std::size_t skipped = 0;
+    std::size_t cleared = 0;
+  };
+  reload_reply reload(const std::string& path) {
+    send("RELOAD " + path);
+    std::istringstream is{require_ok(read_line(), "OK reloaded ")};
+    reload_reply r;
+    std::string kw;
+    is >> r.loaded >> kw >> r.skipped >> kw >> r.cleared;
+    return r;
+  }
+
+  /// `FAILPOINT SET <name> <spec>`: arms a fault-injection point on the
+  /// daemon (chaos builds only).  Throws on ERR.
+  void failpoint_set(const std::string& name, const std::string& spec) {
+    send("FAILPOINT SET " + name + " " + spec);
+    require_ok(read_line(), "OK failpoint ");
+  }
+
+  /// `FAILPOINT CLEAR [name]`.  Throws on ERR.
+  void failpoint_clear(const std::string& name = "") {
+    send(name.empty() ? "FAILPOINT CLEAR" : "FAILPOINT CLEAR " + name);
+    require_ok(read_line(), "OK failpoints ");
   }
 
   bool ping() {
@@ -200,7 +245,36 @@ private:
       r.error = head.substr(4);
       return r;
     }
+    if (head.rfind("BUSY ", 0) == 0) {
+      return parse_busy(head);
+    }
     return parse_result_block(head, head_keyword);
+  }
+
+  /// Parses `BUSY retry-after <ms>` into a shed reply.
+  static synth_reply parse_busy(const std::string& head) {
+    synth_reply r;
+    r.busy = true;
+    r.error = "busy";
+    std::istringstream is{head};
+    std::string kw;
+    is >> kw >> kw >> r.retry_after_ms;
+    return r;
+  }
+
+  /// Consumes a trailing ` id=<n>` token if present; 0 otherwise.
+  static std::uint64_t parse_trailing_id(std::istringstream& is) {
+    std::string tok;
+    while (is >> tok) {
+      if (tok.rfind("id=", 0) == 0) {
+        try {
+          return std::stoull(tok.substr(3));
+        } catch (const std::exception&) {
+          return 0;
+        }
+      }
+    }
+    return 0;
   }
 
   /// Parses `<kw> [index] <status> <gates> <num_chains> <seconds>` plus
@@ -225,6 +299,7 @@ private:
       throw std::runtime_error{"malformed result head: " + head};
     }
     synth_reply r;
+    r.request_id = parse_trailing_id(is);
     r.ok = true;
     r.outcome = status == "success" ? synth::status::success
                 : status == "timeout" ? synth::status::timeout

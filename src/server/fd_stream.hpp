@@ -18,6 +18,8 @@
 #include <istream>
 #include <streambuf>
 
+#include "util/failpoint.hpp"
+
 namespace stpes::server {
 
 class fd_streambuf final : public std::streambuf {
@@ -35,6 +37,12 @@ protected:
   int_type underflow() override {
     if (gptr() < egptr()) {
       return traits_type::to_int_type(*gptr());
+    }
+    // Chaos seam: a fired `fd_stream.read` is a peer that vanished —
+    // surfaces as EOF exactly like a real dead connection.
+    if (const int injected = STPES_FAILPOINT_ERRNO("fd_stream.read")) {
+      errno = injected;
+      return traits_type::eof();
     }
     ssize_t n = 0;
     do {
@@ -63,6 +71,12 @@ protected:
 private:
   /// Writes out everything buffered; returns -1 on a write error.
   int flush_buffer() {
+    // Chaos seam: a fired `fd_stream.write` is EPIPE-at-the-peer; the
+    // stream goes bad and the session winds down like a real broken pipe.
+    if (const int injected = STPES_FAILPOINT_ERRNO("fd_stream.write")) {
+      errno = injected;
+      return -1;
+    }
     const char* p = pbase();
     while (p < pptr()) {
       ssize_t n = 0;

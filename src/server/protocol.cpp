@@ -20,6 +20,40 @@ std::size_t hex_digits_for(unsigned num_vars) {
 
 }  // namespace
 
+line_status read_limited_line(std::istream& in, std::string& line,
+                              std::size_t max_bytes) {
+  line.clear();
+  std::istream::int_type ci = 0;
+  bool saw_any = false;
+  bool over = false;
+  while ((ci = in.get()) != std::char_traits<char>::eof()) {
+    saw_any = true;
+    const char c = static_cast<char>(ci);
+    if (c == '\n') {
+      break;
+    }
+    if (over) {
+      continue;  // drain the oversized line without retaining it
+    }
+    if (line.size() >= max_bytes) {
+      over = true;
+      continue;
+    }
+    line.push_back(c);
+  }
+  if (!saw_any) {
+    return line_status::eof;
+  }
+  if (over) {
+    line.clear();
+    return line_status::too_long;
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  return line_status::ok;
+}
+
 std::vector<std::string> tokenize(std::string_view line) {
   std::vector<std::string> tokens;
   std::istringstream is{std::string{line}};
@@ -93,10 +127,15 @@ synth_args parse_synth_args(const std::vector<std::string>& tokens,
 }
 
 void write_result_block(std::ostream& os, std::string_view head,
-                        const synth::result& result) {
+                        const synth::result& result,
+                        std::uint64_t request_id) {
   os << head << " " << synth::to_string(result.outcome) << " "
      << result.optimum_gates << " " << result.chains.size() << " "
-     << result.seconds << "\n";
+     << result.seconds;
+  if (request_id != 0) {
+    os << " id=" << request_id;
+  }
+  os << "\n";
   for (const auto& c : result.chains) {
     os << service::serialize_chain(c) << "\n";
   }
@@ -104,6 +143,10 @@ void write_result_block(std::ostream& os, std::string_view head,
 
 void write_error(std::ostream& os, std::string_view reason) {
   os << "ERR " << reason << "\n";
+}
+
+void write_busy(std::ostream& os, unsigned retry_after_ms) {
+  os << "BUSY retry-after " << retry_after_ms << "\n";
 }
 
 }  // namespace stpes::server

@@ -10,35 +10,46 @@
 ///     STATS [TEXT|JSON]
 ///     SAVE <path>
 ///     LOAD <path>
-///     CANCEL
+///     RELOAD <path>
+///     CANCEL [id]
+///     FAILPOINT SET <name> <spec> | CLEAR [name] | LIST
 ///     PING | QUIT | SHUTDOWN
 ///
-/// Every reply starts with exactly one `OK ...` or `ERR <reason>` line.
-/// Multi-line payloads are counted, never sentinel-terminated: the OK line
-/// carries how many lines (or result blocks) follow, so a client always
-/// knows when a reply is complete.
+/// Every reply starts with exactly one `OK ...`, `ERR <reason>`, or
+/// `BUSY retry-after <ms>` line.  Multi-line payloads are counted, never
+/// sentinel-terminated: the OK line carries how many lines (or result
+/// blocks) follow, so a client always knows when a reply is complete.
 ///
-///     SYNTH reply:  OK <status> <gates> <num_chains> <seconds>
+///     SYNTH reply:  OK <status> <gates> <num_chains> <seconds> id=<id>
 ///                   then exactly <num_chains> `chain ...` lines
-///     BATCH reply:  OK <count>
+///     BATCH reply:  OK <count> id=<id>
 ///                   then <count> blocks, each
 ///                   RESULT <index> <status> <gates> <num_chains> <seconds>
 ///                   followed by its <num_chains> chain lines
 ///     STATS reply:  OK <num_lines>  then that many lines
 ///     CANCEL reply: OK cancelled <n>  (in-flight jobs signalled)
+///     RELOAD reply: OK reloaded <n> skipped <m> cleared <k>
+///     BUSY reply:   BUSY retry-after <ms>  (overload shed; retry later)
 ///
-/// `CANCEL` cooperatively cancels every in-flight synthesis on the daemon
-/// (the protocol is synchronous per session, so it is issued from another
-/// connection); cancelled requests reply `ERR timeout` to their own
-/// clients within the engines' cancellation poll stride.
+/// `CANCEL` cooperatively cancels every in-flight synthesis on the daemon;
+/// `CANCEL <id>` cancels only the request whose replies carry `id=<id>`
+/// (the protocol is synchronous per session, so both are issued from
+/// another connection — ids of in-flight requests are listed in the JSON
+/// STATS payload as `active_ids`).  Cancelled requests reply `ERR timeout`
+/// to their own clients within the engines' cancellation poll stride.
 ///
 /// A malformed request yields one `ERR <reason>` line and the session keeps
 /// serving: parse errors poison only the offending request, never the
-/// daemon.  Chain lines reuse the `service::chain_io` grammar, so a SYNTH
-/// reply can be pasted into a cache file and vice versa.
+/// daemon.  A line longer than the wire limit yields `ERR line-too-long`
+/// with the rest of that line discarded — the buffer never grows with the
+/// input.  When the admission queue is full the daemon sheds load with a
+/// `BUSY retry-after <ms>` reply instead of queueing unboundedly.  Chain
+/// lines reuse the `service::chain_io` grammar, so a SYNTH reply can be
+/// pasted into a cache file and vice versa.
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <stdexcept>
@@ -77,6 +88,23 @@ struct synth_args {
   std::optional<double> timeout_seconds;
 };
 
+/// Outcome of one bounded line read.
+enum class line_status {
+  ok,        ///< a complete line (possibly empty) was read
+  eof,       ///< stream ended before any byte of a new line
+  too_long,  ///< line exceeded the limit; the rest was discarded
+};
+
+/// Reads one '\n'-terminated line into `line` (CR stripped), never
+/// buffering more than `max_bytes` of it: once the limit is crossed the
+/// remainder of the line is consumed and dropped and `too_long` is
+/// returned, so a client sending an unbounded line costs the daemon a
+/// fixed-size buffer instead of an allocation proportional to the attack.
+/// A final unterminated line is returned as `ok`, matching std::getline.
+[[nodiscard]] line_status read_limited_line(std::istream& in,
+                                            std::string& line,
+                                            std::size_t max_bytes);
+
 /// Splits a line on whitespace.
 [[nodiscard]] std::vector<std::string> tokenize(std::string_view line);
 
@@ -89,10 +117,16 @@ struct synth_args {
 
 /// Writes `<status> <gates> <num_chains> <seconds>` plus the chain lines.
 /// `head` is the reply head to print first ("OK" or "RESULT <i>").
+/// A nonzero `request_id` appends ` id=<id>` to the head line (a trailing
+/// token, so count-driven readers that ignore extras stay compatible).
 void write_result_block(std::ostream& os, std::string_view head,
-                        const synth::result& result);
+                        const synth::result& result,
+                        std::uint64_t request_id = 0);
 
 /// Writes the single-line `ERR <reason>` reply.
 void write_error(std::ostream& os, std::string_view reason);
+
+/// Writes the single-line `BUSY retry-after <ms>` overload-shed reply.
+void write_busy(std::ostream& os, unsigned retry_after_ms);
 
 }  // namespace stpes::server

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/failpoint.hpp"
+
 namespace stpes::server {
 
 namespace {
@@ -16,14 +18,8 @@ service::batch_options to_batch_options(const server_options& opts) {
   b.num_threads = opts.num_threads;
   b.cache_shards = opts.cache_shards;
   b.cache_capacity_per_shard = opts.cache_capacity_per_shard;
+  b.max_pending_jobs = opts.max_pending_jobs;
   return b;
-}
-
-/// Strips a trailing '\r' so netcat/CRLF clients work unchanged.
-void strip_cr(std::string& line) {
-  if (!line.empty() && line.back() == '\r') {
-    line.pop_back();
-  }
 }
 
 std::string cache_stats_json(const service::shard_cache_stats& s) {
@@ -41,22 +37,28 @@ synthesis_server::synthesis_server(server_options opts)
 
 void synthesis_server::serve(std::istream& in, std::ostream& out) {
   sessions_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t session_requests = 0;
   std::string line;
-  while (!draining() && std::getline(in, line)) {
-    strip_cr(line);
-    if (line.empty()) {
-      continue;
+  while (!draining()) {
+    const auto status =
+        read_limited_line(in, line, options_.limits.max_line_bytes);
+    if (status == line_status::eof) {
+      break;
     }
-    if (line.size() > options_.limits.max_line_bytes) {
+    if (status == line_status::too_long) {
+      // The oversized remainder was discarded by the bounded reader; the
+      // session never buffers more than the limit.
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      write_error(out, "line too long (" + std::to_string(line.size()) +
-                           " bytes, max " +
+      write_error(out, "line-too-long (max " +
                            std::to_string(options_.limits.max_line_bytes) +
-                           ")");
+                           " bytes)");
       out.flush();
       continue;
     }
-    const bool keep_going = handle_line(line, in, out);
+    if (line.empty()) {
+      continue;
+    }
+    const bool keep_going = handle_line(line, in, out, session_requests);
     out.flush();
     if (!keep_going) {
       break;
@@ -65,7 +67,8 @@ void synthesis_server::serve(std::istream& in, std::ostream& out) {
 }
 
 bool synthesis_server::handle_line(const std::string& line, std::istream& in,
-                                   std::ostream& out) {
+                                   std::ostream& out,
+                                   std::uint64_t& session_requests) {
   const auto tokens = tokenize(line);
   if (tokens.empty()) {  // whitespace-only line
     return true;
@@ -78,11 +81,11 @@ bool synthesis_server::handle_line(const std::string& line, std::istream& in,
     return true;
   }
   if (verb == "SYNTH") {
-    handle_synth(tokens, out);
+    handle_synth(tokens, out, session_requests);
     return true;
   }
   if (verb == "BATCH") {
-    return handle_batch(in, out);
+    return handle_batch(in, out, session_requests);
   }
   if (verb == "STATS") {
     handle_stats(tokens, out);
@@ -96,14 +99,16 @@ bool synthesis_server::handle_line(const std::string& line, std::istream& in,
     handle_load(tokens, out);
     return true;
   }
+  if (verb == "RELOAD") {
+    handle_reload(tokens, out);
+    return true;
+  }
   if (verb == "CANCEL") {
-    // The protocol is synchronous per session, so CANCEL necessarily
-    // arrives on a different connection than the synthesis it interrupts.
-    // It cancels every in-flight job; the interrupted sessions reply
-    // `ERR timeout` to their own clients within the engines' poll stride.
-    cancels_.fetch_add(1, std::memory_order_relaxed);
-    const auto n = synth_.cancel_inflight();
-    out << "OK cancelled " << n << "\n";
+    handle_cancel(tokens, out);
+    return true;
+  }
+  if (verb == "FAILPOINT") {
+    handle_failpoint(tokens, out);
     return true;
   }
   if (verb == "QUIT") {
@@ -121,8 +126,24 @@ bool synthesis_server::handle_line(const std::string& line, std::istream& in,
   return true;
 }
 
+bool synthesis_server::quota_exceeded(std::uint64_t& session_requests,
+                                      std::size_t incoming,
+                                      std::ostream& out) {
+  if (options_.max_session_requests != 0 &&
+      session_requests + incoming > options_.max_session_requests) {
+    quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "quota-exceeded (max " +
+                         std::to_string(options_.max_session_requests) +
+                         " requests per session)");
+    return true;
+  }
+  session_requests += incoming;
+  return false;
+}
+
 void synthesis_server::handle_synth(const std::vector<std::string>& tokens,
-                                    std::ostream& out) {
+                                    std::ostream& out,
+                                    std::uint64_t& session_requests) {
   service::batch_request request;
   try {
     auto args = parse_synth_args(
@@ -135,17 +156,28 @@ void synthesis_server::handle_synth(const std::vector<std::string>& tokens,
     write_error(out, e.what());
     return;
   }
-  const auto batch = synth_.run(std::vector<service::batch_request>{request});
+  if (quota_exceeded(session_requests, 1, out)) {
+    return;
+  }
+  if (synth_.would_overload(1)) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    write_busy(out, options_.overload_retry_ms);
+    return;
+  }
+  const auto id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const auto batch =
+      synth_.run(std::vector<service::batch_request>{request}, id);
   const auto& result = batch.results.front();
   if (result.outcome == synth::status::timeout) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     write_error(out, "timeout");
     return;
   }
-  write_result_block(out, "OK", result);
+  write_result_block(out, "OK", result, id);
 }
 
-bool synthesis_server::handle_batch(std::istream& in, std::ostream& out) {
+bool synthesis_server::handle_batch(std::istream& in, std::ostream& out,
+                                    std::uint64_t& session_requests) {
   // Consume the whole block before replying, so a parse error mid-block
   // cannot desynchronize the session (later body lines must never be
   // re-interpreted as commands).
@@ -154,8 +186,20 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out) {
   std::size_t body_lines = 0;
   std::string line;
   bool terminated = false;
-  while (std::getline(in, line)) {
-    strip_cr(line);
+  while (true) {
+    const auto status =
+        read_limited_line(in, line, options_.limits.max_line_bytes);
+    if (status == line_status::eof) {
+      break;
+    }
+    if (status == line_status::too_long) {
+      ++body_lines;
+      if (first_error.empty()) {
+        first_error = "batch line " + std::to_string(body_lines) +
+                      " too long";
+      }
+      continue;  // keep consuming until END
+    }
     if (line.empty()) {
       continue;
     }
@@ -164,16 +208,11 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out) {
       break;
     }
     ++body_lines;
-    if (line.size() > options_.limits.max_line_bytes ||
-        body_lines > options_.limits.max_batch_requests) {
+    if (body_lines > options_.limits.max_batch_requests) {
       if (first_error.empty()) {
-        first_error = body_lines > options_.limits.max_batch_requests
-                          ? "batch exceeds " +
-                                std::to_string(
-                                    options_.limits.max_batch_requests) +
-                                " requests"
-                          : "batch line " + std::to_string(body_lines) +
-                                " too long";
+        first_error =
+            "batch exceeds " +
+            std::to_string(options_.limits.max_batch_requests) + " requests";
       }
       continue;  // keep consuming until END
     }
@@ -201,8 +240,17 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out) {
     write_error(out, first_error);
     return true;
   }
-  const auto batch = synth_.run(requests);
-  out << "OK " << batch.results.size() << "\n";
+  if (quota_exceeded(session_requests, requests.size(), out)) {
+    return true;
+  }
+  if (synth_.would_overload(requests.size())) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    write_busy(out, options_.overload_retry_ms);
+    return true;
+  }
+  const auto id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const auto batch = synth_.run(requests, id);
+  out << "OK " << batch.results.size() << " id=" << id << "\n";
   for (std::size_t i = 0; i < batch.results.size(); ++i) {
     if (batch.results[i].outcome == synth::status::timeout) {
       timeouts_.fetch_add(1, std::memory_order_relaxed);
@@ -211,6 +259,95 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out) {
                        batch.results[i]);
   }
   return true;
+}
+
+void synthesis_server::handle_cancel(const std::vector<std::string>& tokens,
+                                     std::ostream& out) {
+  // The protocol is synchronous per session, so CANCEL necessarily
+  // arrives on a different connection than the synthesis it interrupts.
+  // Bare CANCEL cancels every in-flight job; `CANCEL <id>` only the jobs
+  // of that request (ids are in JSON STATS `active_ids`).  Interrupted
+  // sessions reply `ERR timeout` to their own clients within the
+  // engines' poll stride.
+  if (tokens.size() > 2) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "want CANCEL [id]");
+    return;
+  }
+  cancels_.fetch_add(1, std::memory_order_relaxed);
+  if (tokens.size() == 1) {
+    out << "OK cancelled " << synth_.cancel_inflight() << "\n";
+    return;
+  }
+  std::uint64_t id = 0;
+  std::size_t pos = 0;
+  try {
+    id = std::stoull(tokens[1], &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != tokens[1].size() || id == 0) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "bad request id '" + tokens[1] + "'");
+    return;
+  }
+  out << "OK cancelled " << synth_.cancel_request(id) << " id=" << id
+      << "\n";
+}
+
+void synthesis_server::handle_reload(const std::vector<std::string>& tokens,
+                                     std::ostream& out) {
+  if (tokens.size() != 2) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "want RELOAD <path>");
+    return;
+  }
+  try {
+    const auto report = synth_.reload_cache(tokens[1]);
+    out << "OK reloaded " << report.warm.loaded << " skipped "
+        << report.warm.skipped() << " cleared " << report.cleared << "\n";
+  } catch (const std::exception& e) {
+    write_error(out, e.what());
+  }
+}
+
+void synthesis_server::handle_failpoint(
+    const std::vector<std::string>& tokens, std::ostream& out) {
+  if (!util::failpoints_compiled_in()) {
+    write_error(out, "failpoints not compiled in (build with "
+                     "-DSTPES_FAILPOINTS=ON)");
+    return;
+  }
+  auto& registry = util::failpoint_registry::instance();
+  const std::string sub = tokens.size() > 1 ? tokens[1] : "";
+  if (sub == "SET" && tokens.size() == 4) {
+    if (registry.set(tokens[2], tokens[3])) {
+      out << "OK failpoint " << tokens[2] << " " << tokens[3] << "\n";
+    } else {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      write_error(out, "bad failpoint spec '" + tokens[3] + "'");
+    }
+    return;
+  }
+  if (sub == "CLEAR" && tokens.size() <= 3) {
+    if (tokens.size() == 3) {
+      registry.clear(tokens[2]);
+    } else {
+      registry.clear_all();
+    }
+    out << "OK failpoints cleared\n";
+    return;
+  }
+  if (sub == "LIST" && tokens.size() == 2) {
+    const auto points = registry.list();
+    out << "OK " << points.size() << "\n";
+    for (const auto& [name, spec] : points) {
+      out << name << " " << spec << "\n";
+    }
+    return;
+  }
+  parse_errors_.fetch_add(1, std::memory_order_relaxed);
+  write_error(out, "want FAILPOINT SET <name> <spec> | CLEAR [name] | LIST");
 }
 
 void synthesis_server::handle_stats(const std::vector<std::string>& tokens,
@@ -279,6 +416,8 @@ server_counters synthesis_server::counters() const {
   c.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   c.timeouts = timeouts_.load(std::memory_order_relaxed);
   c.cancels = cancels_.load(std::memory_order_relaxed);
+  c.busy = busy_.load(std::memory_order_relaxed);
+  c.quota_rejections = quota_rejections_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -291,6 +430,9 @@ std::string synthesis_server::stats_text() const {
      << "parse_errors      " << c.parse_errors << "\n"
      << "timeouts          " << c.timeouts << "\n"
      << "cancels           " << c.cancels << "\n"
+     << "busy              " << c.busy << "\n"
+     << "quota_rejections  " << c.quota_rejections << "\n"
+     << "pending_jobs      " << synth_.pending_jobs() << "\n"
      << "draining          " << (draining() ? 1 : 0) << "\n"
      << synth_.current_metrics().to_text()  //
      << "cache_lookup_hits " << cache.hits << "\n"
@@ -308,7 +450,15 @@ std::string synthesis_server::stats_json() const {
      << ",\"commands\":" << c.commands
      << ",\"parse_errors\":" << c.parse_errors
      << ",\"timeouts\":" << c.timeouts << ",\"cancels\":" << c.cancels
-     << ",\"draining\":" << (draining() ? "true" : "false") << "}"
+     << ",\"busy\":" << c.busy
+     << ",\"quota_rejections\":" << c.quota_rejections
+     << ",\"pending_jobs\":" << synth_.pending_jobs()
+     << ",\"active_ids\":[";
+  const auto ids = synth_.active_request_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    os << (i == 0 ? "" : ",") << ids[i];
+  }
+  os << "],\"draining\":" << (draining() ? "true" : "false") << "}"
      << ",\"synthesis\":" << synth_.current_metrics().to_json()
      << ",\"cache\":" << cache_stats_json(synth_.cache_stats()) << "}";
   return os.str();

@@ -21,9 +21,18 @@
 /// `CANCEL` (issued from any other connection, since the protocol is
 /// synchronous per session) flips the cancel flag of every in-flight
 /// synthesis, which the workers observe within their poll stride and
-/// return `status::timeout`.  The SIGTERM drain does the same after
+/// return `status::timeout`; `CANCEL <id>` targets one request by the id
+/// its replies carry.  The SIGTERM drain does the same after
 /// `drain_grace_seconds`, so a stuck request can never hold the daemon
 /// hostage.
+///
+/// Overload protection: `max_pending_jobs` bounds the admission queue
+/// (excess requests are shed with `BUSY retry-after <ms>` before any work
+/// is scheduled), `max_session_requests` caps what one client connection
+/// may consume, and oversized lines are rejected without ever being
+/// buffered (`ERR line-too-long`).  The `FAILPOINT` verb drives the
+/// `util::failpoint` registry in chaos builds and answers `ERR` when the
+/// hooks are compiled out.
 
 #pragma once
 
@@ -51,6 +60,16 @@ struct server_options {
   /// How long the SIGTERM drain waits for in-flight requests before
   /// cooperatively cancelling them.  0 = cancel immediately.
   double drain_grace_seconds = 5.0;
+  /// Admission bound on queued + running synthesis jobs; a SYNTH/BATCH
+  /// that would push past it is shed with `BUSY retry-after <ms>` instead
+  /// of queueing.  0 = unbounded (no shedding).
+  std::size_t max_pending_jobs = 0;
+  /// The retry hint carried by BUSY replies.
+  unsigned overload_retry_ms = 100;
+  /// Per-session quota of synthesis requests (SYNTH counts 1, BATCH
+  /// counts its body size); past it every further synthesis request on
+  /// that session gets `ERR quota-exceeded`.  0 = unlimited.
+  std::uint64_t max_session_requests = 0;
   request_limits limits;
 };
 
@@ -62,6 +81,8 @@ struct server_counters {
   std::uint64_t parse_errors = 0;  ///< ERR replies for malformed input
   std::uint64_t timeouts = 0;      ///< ERR timeout replies
   std::uint64_t cancels = 0;       ///< CANCEL commands handled
+  std::uint64_t busy = 0;          ///< BUSY load-shed replies
+  std::uint64_t quota_rejections = 0;  ///< ERR quota-exceeded replies
 };
 
 class synthesis_server {
@@ -97,18 +118,32 @@ public:
 
 private:
   /// Handles one request line; returns false when the session should end.
+  /// `session_requests` is the session's running synthesis-request count
+  /// for the per-session quota.
   bool handle_line(const std::string& line, std::istream& in,
-                   std::ostream& out);
+                   std::ostream& out, std::uint64_t& session_requests);
   void handle_synth(const std::vector<std::string>& tokens,
-                    std::ostream& out);
+                    std::ostream& out, std::uint64_t& session_requests);
   /// Returns false when the client disconnected mid-block.
-  bool handle_batch(std::istream& in, std::ostream& out);
+  bool handle_batch(std::istream& in, std::ostream& out,
+                    std::uint64_t& session_requests);
   void handle_stats(const std::vector<std::string>& tokens,
                     std::ostream& out);
   void handle_save(const std::vector<std::string>& tokens,
                    std::ostream& out);
   void handle_load(const std::vector<std::string>& tokens,
                    std::ostream& out);
+  void handle_reload(const std::vector<std::string>& tokens,
+                     std::ostream& out);
+  void handle_cancel(const std::vector<std::string>& tokens,
+                     std::ostream& out);
+  void handle_failpoint(const std::vector<std::string>& tokens,
+                        std::ostream& out);
+
+  /// True (after writing the ERR) when admitting `incoming` more requests
+  /// would exceed the session quota; otherwise charges them.
+  bool quota_exceeded(std::uint64_t& session_requests, std::size_t incoming,
+                      std::ostream& out);
 
   /// Applies the default / cap policy to a request's timeout.
   [[nodiscard]] double effective_timeout(
@@ -123,6 +158,11 @@ private:
   std::atomic<std::uint64_t> parse_errors_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> cancels_{0};
+  std::atomic<std::uint64_t> busy_{0};
+  std::atomic<std::uint64_t> quota_rejections_{0};
+  /// Server-assigned synthesis request ids (replies carry ` id=N`);
+  /// starts at 1 so 0 stays the untagged sentinel.
+  std::atomic<std::uint64_t> next_request_id_{1};
 };
 
 }  // namespace stpes::server

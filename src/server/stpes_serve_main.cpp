@@ -9,7 +9,14 @@
 ///     stpes-serve --socket=/tmp/stpes.sock [--engine=stp] [--threads=N]
 ///                 [--timeout=S] [--max-timeout=S] [--max-vars=N]
 ///                 [--drain-grace=S] [--warm=FILE] [--persist=FILE]
+///                 [--max-pending=N] [--quota=N] [--retry-ms=MS]
 ///     stpes-serve --pipe ...    # one session over stdin/stdout (CI)
+///
+/// Overload protection: `--max-pending` bounds the admission queue (excess
+/// requests get `BUSY retry-after <--retry-ms>`), `--quota` caps synthesis
+/// requests per client session.  In chaos builds the `STPES_FAILPOINTS`
+/// environment variable arms fault-injection points at startup (grammar in
+/// `util/failpoint.hpp`).
 ///
 /// SIGTERM/SIGINT drain gracefully: in-flight syntheses get
 /// `--drain-grace` seconds to finish, anything still running is then
@@ -25,6 +32,7 @@
 
 #include "server/server.hpp"
 #include "server/socket_server.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -37,6 +45,9 @@ struct cli_options {
   double max_timeout = 0.0;
   double drain_grace = 5.0;
   unsigned max_vars = 8;
+  std::size_t max_pending = 0;
+  std::uint64_t quota = 0;
+  unsigned retry_ms = 100;
   std::string warm_path;
   std::string persist_path;
 };
@@ -46,7 +57,8 @@ struct cli_options {
             << " (--socket=PATH | --pipe) [--engine=stp|bms|fen|cegar]"
                " [--threads=N] [--timeout=S] [--max-timeout=S]"
                " [--max-vars=N] [--drain-grace=S] [--warm=FILE]"
-               " [--persist=FILE]\n";
+               " [--persist=FILE] [--max-pending=N] [--quota=N]"
+               " [--retry-ms=MS]\n";
   std::exit(2);
 }
 
@@ -75,6 +87,12 @@ cli_options parse_cli(int argc, char** argv) {
       opts.drain_grace = std::stod(v);
     } else if (auto v = value("max-vars"); !v.empty()) {
       opts.max_vars = static_cast<unsigned>(std::stoul(v));
+    } else if (auto v = value("max-pending"); !v.empty()) {
+      opts.max_pending = std::stoul(v);
+    } else if (auto v = value("quota"); !v.empty()) {
+      opts.quota = std::stoull(v);
+    } else if (auto v = value("retry-ms"); !v.empty()) {
+      opts.retry_ms = static_cast<unsigned>(std::stoul(v));
     } else if (auto v = value("warm"); !v.empty()) {
       opts.warm_path = v;
     } else if (auto v = value("persist"); !v.empty()) {
@@ -104,6 +122,13 @@ void install_signal_handlers() {
   sigemptyset(&sa.sa_mask);
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  // A client that disconnects mid-reply must cost one session, not the
+  // daemon: with SIGPIPE ignored the write fails with EPIPE, the stream
+  // goes bad, and the session winds down.
+  struct sigaction ign{};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  sigaction(SIGPIPE, &ign, nullptr);
 }
 
 }  // namespace
@@ -125,6 +150,17 @@ int main(int argc, char** argv) {
   opts.num_threads = cli.threads;
   opts.drain_grace_seconds = cli.drain_grace;
   opts.limits.max_vars = cli.max_vars;
+  opts.max_pending_jobs = cli.max_pending;
+  opts.max_session_requests = cli.quota;
+  opts.overload_retry_ms = cli.retry_ms;
+
+  if (util::failpoints_compiled_in()) {
+    const auto armed = util::failpoint_registry::instance().load_from_env();
+    if (armed > 0) {
+      std::cerr << "stpes-serve: armed " << armed
+                << " failpoint(s) from STPES_FAILPOINTS\n";
+    }
+  }
 
   server::synthesis_server server{opts};
 

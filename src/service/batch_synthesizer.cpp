@@ -110,7 +110,7 @@ const shard_cache& batch_synthesizer::cache_for(core::engine e) const {
 }
 
 batch_result batch_synthesizer::run(
-    const std::vector<batch_request>& requests) {
+    const std::vector<batch_request>& requests, std::uint64_t request_id) {
   util::stopwatch timer;
   batch_result out;
   out.results.resize(requests.size());
@@ -170,14 +170,14 @@ batch_result batch_synthesizer::run(
 
   for (auto& [key, g] : groups) {
     group* gp = &g;
-    pool_->submit([this, gp, &out, latch, epoch] {
+    auto task = [this, gp, &out, latch, epoch, request_id] {
       try {
         bool computed = false;
         const auto canonical_result = cache_for(gp->engine).get_or_compute(
-            gp->canonical, [this, gp, epoch, &computed] {
+            gp->canonical, [this, gp, epoch, request_id, &computed] {
               computed = true;
               return run_cancellable(gp->canonical, gp->engine, gp->timeout,
-                                     epoch);
+                                     epoch, request_id);
             });
         if (computed) {
           metrics_.on_cache_miss();
@@ -211,7 +211,16 @@ batch_result batch_synthesizer::run(
         // Members keep their default-constructed failure results.
       }
       latch->arrive();
-    });
+    };
+    try {
+      pool_->submit(std::move(task));
+    } catch (...) {
+      // Submission itself failed (pool shut down, or the
+      // `thread_pool.submit` failpoint fired): the task will never run, so
+      // arrive for it here — otherwise the latch waits forever.  Members
+      // keep their default-constructed failure results.
+      latch->arrive();
+    }
   }
 
   for (const auto index : bypass) {
@@ -219,22 +228,35 @@ batch_result batch_synthesizer::run(
     const auto engine = req.engine.value_or(options_.engine);
     const auto timeout =
         req.timeout_seconds.value_or(options_.timeout_seconds);
-    pool_->submit(
-        [this, index, engine, timeout, epoch, &requests, &out, latch] {
-          try {
-            metrics_.on_bypass();
-            out.results[index] = run_cancellable(requests[index].function,
-                                                 engine, timeout, epoch);
-          } catch (const job_cancelled& c) {
-            out.results[index] = c.result;
-          } catch (...) {
-            // The slot keeps its default-constructed failure result.
-          }
-          latch->arrive();
-        });
+    auto task = [this, index, engine, timeout, epoch, request_id, &requests,
+                 &out, latch] {
+      try {
+        metrics_.on_bypass();
+        out.results[index] = run_cancellable(requests[index].function,
+                                             engine, timeout, epoch,
+                                             request_id);
+      } catch (const job_cancelled& c) {
+        out.results[index] = c.result;
+      } catch (...) {
+        // The slot keeps its default-constructed failure result.
+      }
+      latch->arrive();
+    };
+    try {
+      pool_->submit(std::move(task));
+    } catch (...) {
+      latch->arrive();  // same never-runs accounting as above
+    }
   }
 
   latch->wait();
+
+  if (request_id != 0) {
+    // The call is over; a CANCEL that raced with completion must not leak
+    // a blacklist entry that would kill an unrelated future id reuse.
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    cancelled_ids_.erase(request_id);
+  }
 
   out.metrics = metrics_.snapshot();
   out.cache = cache_stats();
@@ -257,10 +279,17 @@ std::size_t batch_synthesizer::warm_cache(const std::string& path) {
 }
 
 warm_report batch_synthesizer::warm_cache_verbose(const std::string& path) {
-  const auto entries = load_cache_file(path);
+  const auto loaded = load_cache_file_lenient(path);
+  warm_report report;
+  report.skipped_corrupt = loaded.skipped.size();
+  warm_entries(loaded.entries, report);
+  return report;
+}
+
+void batch_synthesizer::warm_entries(const std::vector<cache_entry>& entries,
+                                     warm_report& report) {
   const double budget = options_.timeout_seconds;
   auto& cache = cache_for(options_.engine);
-  warm_report report;
   for (const auto& e : entries) {
     if (e.meta.has_value() && !e.meta->engine.empty() &&
         !engine_name_matches(e.meta->engine, options_.engine)) {
@@ -281,6 +310,16 @@ warm_report batch_synthesizer::warm_cache_verbose(const std::string& path) {
       ++report.duplicates;
     }
   }
+}
+
+reload_report batch_synthesizer::reload_cache(const std::string& path) {
+  // Parse first: only after the file is known readable does the resident
+  // cache get dropped, so a bad path never leaves the daemon cold.
+  const auto loaded = load_cache_file_lenient(path);
+  reload_report report;
+  report.cleared = cache_for(options_.engine).clear();
+  report.warm.skipped_corrupt = loaded.skipped.size();
+  warm_entries(loaded.entries, report.warm);
   return report;
 }
 
@@ -302,18 +341,20 @@ std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
 
 synth::result batch_synthesizer::run_cancellable(
     const tt::truth_table& function, core::engine engine, double timeout,
-    std::uint64_t cancel_epoch) {
+    std::uint64_t cancel_epoch, std::uint64_t request_id) {
   core::run_context ctx{timeout};
   {
     std::lock_guard<std::mutex> lock{active_mutex_};
-    if (cancel_epoch_ != cancel_epoch) {
-      // Cancelled while still queued: never start the engine.
+    if (cancel_epoch_ != cancel_epoch ||
+        (request_id != 0 && cancelled_ids_.count(request_id) != 0)) {
+      // Cancelled while still queued (daemon-wide epoch bump, or this
+      // specific request id was cancelled): never start the engine.
       metrics_.on_cancelled();
       synth::result r;
       r.outcome = synth::status::timeout;
       throw job_cancelled{std::move(r)};
     }
-    active_.insert(&ctx);
+    active_.emplace(&ctx, request_id);
   }
   util::stopwatch sw;
   synth::result r;
@@ -351,10 +392,53 @@ std::uint64_t batch_synthesizer::current_cancel_epoch() const {
 std::size_t batch_synthesizer::cancel_inflight() {
   std::lock_guard<std::mutex> lock{active_mutex_};
   ++cancel_epoch_;
-  for (auto* ctx : active_) {
+  for (auto& [ctx, id] : active_) {
     ctx->request_cancel();
   }
   return active_.size();
+}
+
+std::size_t batch_synthesizer::cancel_request(std::uint64_t request_id) {
+  if (request_id == 0) {
+    return 0;  // 0 is the untagged sentinel, never a real request
+  }
+  std::lock_guard<std::mutex> lock{active_mutex_};
+  cancelled_ids_.insert(request_id);
+  std::size_t signalled = 0;
+  for (auto& [ctx, id] : active_) {
+    if (id == request_id) {
+      ctx->request_cancel();
+      ++signalled;
+    }
+  }
+  return signalled;
+}
+
+std::vector<std::uint64_t> batch_synthesizer::active_request_ids() const {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    ids.reserve(active_.size());
+    for (const auto& [ctx, id] : active_) {
+      if (id != 0) {
+        ids.push_back(id);
+      }
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+bool batch_synthesizer::would_overload(std::size_t incoming) const {
+  if (options_.max_pending_jobs == 0) {
+    return false;
+  }
+  return pool_->pending() + incoming > options_.max_pending_jobs;
+}
+
+std::size_t batch_synthesizer::pending_jobs() const {
+  return pool_->pending();
 }
 
 unsigned batch_synthesizer::num_threads() const {

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct batch_options {
   unsigned num_threads = 0;      ///< 0 = hardware concurrency
   std::size_t cache_shards = 16;
   std::size_t cache_capacity_per_shard = 4096;  ///< 0 = unbounded
+  /// Admission bound: when queued + running pool jobs would exceed this,
+  /// `would_overload()` tells callers to shed instead of enqueue.
+  /// 0 = unbounded (accept everything, the pre-overload-control behavior).
+  std::size_t max_pending_jobs = 0;
 };
 
 /// One synthesis request: a function plus optional per-request overrides of
@@ -76,12 +81,21 @@ struct warm_report {
   /// Non-success entry recorded under a smaller budget than the current
   /// one: retrying with more budget could succeed, so it is skipped.
   std::size_t skipped_budget = 0;
+  /// Entries the lenient loader dropped (torn write, checksum mismatch,
+  /// parse damage); the rest of the file loaded anyway.
+  std::size_t skipped_corrupt = 0;
   /// Key already resident (the existing entry wins).
   std::size_t duplicates = 0;
 
   [[nodiscard]] std::size_t skipped() const {
-    return skipped_engine + skipped_budget;
+    return skipped_engine + skipped_budget + skipped_corrupt;
   }
+};
+
+/// What a `reload_cache` swap did.
+struct reload_report {
+  std::size_t cleared = 0;  ///< resident entries dropped before warming
+  warm_report warm;
 };
 
 class batch_synthesizer {
@@ -96,15 +110,27 @@ public:
   /// overlapping `run()` calls share the pool and the caches, the
   /// single-flight guarantee holds across them, and each call waits only
   /// for its own requests (server front-ends call this from one thread
-  /// per connection).
-  batch_result run(const std::vector<batch_request>& requests);
+  /// per connection).  `request_id` tags every job of this call in the
+  /// active registry so `cancel_request(id)` can cancel exactly this call;
+  /// 0 = untagged (cancellable only daemon-wide).
+  batch_result run(const std::vector<batch_request>& requests,
+                   std::uint64_t request_id = 0);
 
   /// Convenience overload: plain functions, batch-default options.
   batch_result run(const std::vector<tt::truth_table>& functions);
 
+  /// Admission check for load shedding: true when accepting `incoming`
+  /// more jobs would push the pool past `options().max_pending_jobs`.
+  /// Always false when the bound is 0 (unbounded).  Racy by design — a
+  /// shed decision needs "roughly at capacity", not a linearizable count.
+  [[nodiscard]] bool would_overload(std::size_t incoming) const;
+
+  /// Queued plus running pool jobs right now (the shedding signal).
+  [[nodiscard]] std::size_t pending_jobs() const;
+
   /// Pre-populates the cache of the batch-default engine from a `chain_io`
   /// file.  Returns the number of entries loaded (0 when the file does not
-  /// exist).  Throws `std::runtime_error` on a corrupt file.
+  /// exist).  Throws `std::runtime_error` on an unreadable file.
   std::size_t warm_cache(const std::string& path);
 
   /// Like `warm_cache`, but reports what was skipped and why.  Entries
@@ -112,8 +138,17 @@ public:
   /// under one engine's constraints is not trusted under another's), and
   /// timeout/failure entries recorded under a smaller budget than
   /// `options().timeout_seconds` are dropped so they can be retried.
-  /// Entries without metadata (pre-meta files) load as before.
+  /// Entries without metadata (pre-meta files) load as before.  Loading is
+  /// *lenient*: corrupted entries are counted in `skipped_corrupt` and the
+  /// intact remainder still warms (graceful degradation); only an
+  /// unsupported format version throws.
   warm_report warm_cache_verbose(const std::string& path);
+
+  /// Hot cache swap (daemon RELOAD): parses `path` first, and only when it
+  /// is readable clears every ready entry of the default engine's cache
+  /// and warms from the file — an unreadable file aborts the reload with
+  /// the resident cache untouched.  In-flight computations are unaffected.
+  reload_report reload_cache(const std::string& path);
 
   /// Persists the batch-default engine's cache; returns entries written.
   std::size_t persist_cache(const std::string& path) const;
@@ -126,6 +161,17 @@ public:
   /// and the SIGTERM drain grace period.  Returns the number of in-flight
   /// jobs signalled.
   std::size_t cancel_inflight();
+
+  /// Cancels only the jobs tagged with `request_id` (in-flight flags
+  /// flipped, queued jobs of that id die unstarted); every other request
+  /// keeps running.  Returns in-flight jobs signalled; id 0 is a no-op.
+  /// The seam behind the daemon's `CANCEL <id>` verb.
+  std::size_t cancel_request(std::uint64_t request_id);
+
+  /// Ids of every request with at least one registered in-flight job,
+  /// sorted ascending (untagged id-0 jobs are omitted).  Surfaced through
+  /// STATS so an operator can target `CANCEL <id>`.
+  [[nodiscard]] std::vector<std::uint64_t> active_request_ids() const;
 
   [[nodiscard]] const batch_options& options() const { return options_; }
   /// Resolved worker count (after the 0 = hardware-concurrency default).
@@ -144,17 +190,27 @@ private:
 
   /// Runs the engine for `function` under a registered, cancellable run
   /// context; `cancel_epoch` is the epoch observed when the job was
-  /// queued (a newer epoch means the job was cancelled while queued).
+  /// queued (a newer epoch means the job was cancelled while queued) and
+  /// `request_id` tags the context for per-request cancellation.
   synth::result run_cancellable(const tt::truth_table& function,
                                 core::engine engine, double timeout,
-                                std::uint64_t cancel_epoch);
+                                std::uint64_t cancel_epoch,
+                                std::uint64_t request_id);
   [[nodiscard]] std::uint64_t current_cancel_epoch() const;
 
+  /// Shared insert loop behind `warm_cache_verbose` / `reload_cache`:
+  /// applies the engine/budget skip policy and counts into `report`.
+  void warm_entries(const std::vector<cache_entry>& entries,
+                    warm_report& report);
+
   batch_options options_;
-  /// In-flight run contexts plus the queued-job cancellation epoch;
-  /// `cancel_inflight()` flips every registered flag and bumps the epoch.
+  /// In-flight run contexts (tagged with their request id) plus the
+  /// queued-job cancellation epoch; `cancel_inflight()` flips every
+  /// registered flag and bumps the epoch, `cancel_request(id)` flips only
+  /// matching tags and blacklists the id for still-queued jobs.
   mutable std::mutex active_mutex_;
-  std::unordered_set<core::run_context*> active_;
+  std::unordered_map<core::run_context*, std::uint64_t> active_;
+  std::unordered_set<std::uint64_t> cancelled_ids_;
   std::uint64_t cancel_epoch_ = 0;
   /// One cache per engine: chain sets differ across engines, so results
   /// must never cross engine boundaries.

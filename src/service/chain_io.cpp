@@ -1,16 +1,29 @@
 #include "service/chain_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 
 namespace stpes::service {
 
 namespace {
 
-constexpr const char* kHeader = "stpes-chains v1";
+constexpr const char* kHeaderV1 = "stpes-chains v1";
+constexpr const char* kHeaderV2 = "stpes-chains v2";
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error{"chain_io: " + what};
@@ -48,8 +61,8 @@ unsigned parse_unsigned(const std::string& tok, const char* what) {
 }
 
 /// Parses the optional `meta` line: `key=value` tokens, unknown keys are
-/// ignored (forward compatibility within header v1), tokens without '='
-/// are rejected.
+/// ignored (forward compatibility within a format version), tokens
+/// without '=' are rejected.
 entry_meta parse_meta(std::string_view line) {
   entry_meta meta;
   for (const auto& tok : tokens_after(line, "meta")) {
@@ -88,6 +101,220 @@ synth::status parse_status(const std::string& tok) {
     return synth::status::failure;
   }
   fail("bad status: " + tok);
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  std::ostringstream os;
+  os << std::hex << std::setw(8) << std::setfill('0') << crc;
+  return os.str();
+}
+
+/// The entry block (entry + meta + chain lines, each newline-terminated)
+/// exactly as written to disk — the bytes the CRC covers.
+std::string serialize_entry(const cache_entry& e) {
+  std::ostringstream os;
+  os << "entry " << e.function.to_hex() << " " << e.function.num_vars()
+     << " " << synth::to_string(e.result.outcome) << " "
+     << e.result.optimum_gates << " " << e.result.seconds << " "
+     << e.result.chains.size() << "\n";
+  if (e.meta.has_value()) {
+    os << "meta";
+    if (!e.meta->engine.empty()) {
+      os << " engine=" << e.meta->engine;
+    }
+    os << " budget=" << e.meta->budget_seconds << "\n";
+  }
+  for (const auto& c : e.result.chains) {
+    os << serialize_chain(c) << "\n";
+  }
+  return os.str();
+}
+
+/// Parses one entry starting at `lines[i]` (which must be an `entry`
+/// line).  Returns the entry and the index of the first line after its
+/// block.  Throws `std::runtime_error` on any damage; the caller decides
+/// whether that aborts the load (strict) or skips the entry (lenient).
+std::pair<cache_entry, std::size_t> parse_entry(
+    const std::vector<std::string>& lines, std::size_t i, bool v2) {
+  const std::size_t block_begin = i;
+  const auto toks = tokens_after(lines[i], "entry");
+  if (toks.size() != 6) {
+    fail("entry line needs 6 fields: " + lines[i]);
+  }
+  cache_entry e;
+  const unsigned num_vars = parse_unsigned(toks[1], "num_vars");
+  if (num_vars > 16) {
+    fail("num_vars out of range: " + toks[1]);
+  }
+  try {
+    e.function = tt::truth_table::from_hex(num_vars, toks[0]);
+  } catch (const std::exception& ex) {
+    fail(std::string{"bad truth table: "} + ex.what());
+  }
+  e.result.outcome = parse_status(toks[2]);
+  e.result.optimum_gates = parse_unsigned(toks[3], "optimum_gates");
+  try {
+    e.result.seconds = std::stod(toks[4]);
+  } catch (const std::exception&) {
+    fail("bad seconds: " + toks[4]);
+  }
+  const unsigned num_chains = parse_unsigned(toks[5], "num_chains");
+  ++i;
+  // Optional `meta` line between the entry header and its chains.
+  if (i < lines.size() && lines[i].rfind("meta", 0) == 0) {
+    e.meta = parse_meta(lines[i]);
+    ++i;
+  }
+  e.result.chains.reserve(num_chains);
+  for (unsigned j = 0; j < num_chains; ++j) {
+    if (i >= lines.size()) {
+      fail("truncated file: entry " + toks[0] + " promises " + toks[5] +
+           " chains");
+    }
+    auto c = parse_chain(lines[i]);
+    if (c.num_inputs() != num_vars) {
+      fail("chain arity " + std::to_string(c.num_inputs()) +
+           " does not match entry arity " + std::to_string(num_vars));
+    }
+    if (c.simulate() != e.function) {
+      fail("verification failed: chain does not realize " + toks[0]);
+    }
+    e.result.chains.push_back(std::move(c));
+    ++i;
+  }
+  if (v2) {
+    if (i >= lines.size() || lines[i].rfind("crc ", 0) != 0) {
+      fail("missing crc line for entry " + toks[0]);
+    }
+    std::string block;
+    for (std::size_t k = block_begin; k < i; ++k) {
+      block += lines[k];
+      block += '\n';
+    }
+    if (lines[i].substr(4) != crc_hex(util::crc32(block))) {
+      fail("crc mismatch for entry " + toks[0]);
+    }
+    ++i;
+  }
+  return {std::move(e), i};
+}
+
+std::vector<std::string> read_lines(std::istream& is) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// The one parser behind both load modes.  `lenient` turns per-entry
+/// exceptions into skip reports and resynchronizes at the next `entry`
+/// line; an unsupported format version throws in both modes.
+load_report load_lines(const std::vector<std::string>& lines,
+                       bool lenient) {
+  load_report report;
+  std::size_t i = 0;
+  while (i < lines.size() && (lines[i].empty() || lines[i][0] == '#')) {
+    ++i;
+  }
+  bool v2 = false;
+  if (i >= lines.size()) {
+    if (!lenient) {
+      fail("missing header (want '" + std::string{kHeaderV2} + "')");
+    }
+    report.skipped.push_back({1, "missing header (empty file)"});
+    return report;
+  }
+  if (lines[i] == kHeaderV1) {
+    ++i;
+  } else if (lines[i] == kHeaderV2) {
+    v2 = true;
+    ++i;
+  } else if (lines[i].rfind("stpes-chains ", 0) == 0) {
+    // A *known-unsupported* version is rejected loudly in both modes:
+    // loading zero entries from a newer-generation file would read as "the
+    // cache was cold" when the truth is "this binary cannot read it".
+    fail("unsupported format version '" + lines[i].substr(13) +
+         "' (this build reads '" + std::string{kHeaderV1} + "' and '" +
+         std::string{kHeaderV2} + "' only; regenerate the file or upgrade)");
+  } else {
+    if (!lenient) {
+      fail("missing or unsupported header (want '" +
+           std::string{kHeaderV2} + "')");
+    }
+    // Possibly a torn header write; every entry re-verifies by simulation
+    // (and simulation is the integrity check v1 relies on), so salvage
+    // what parses instead of rejecting wholesale.
+    report.skipped.push_back({i + 1, "missing header (not a header line)"});
+  }
+  while (i < lines.size()) {
+    const auto& line = lines[i];
+    if (line.empty() || line[0] == '#') {
+      ++i;
+      continue;
+    }
+    if (line.rfind("entry ", 0) != 0) {
+      if (!lenient) {
+        fail("expected 'entry' line, got: " + line);
+      }
+      const bool dup_header = line.rfind("stpes-chains ", 0) == 0;
+      report.skipped.push_back(
+          {i + 1, dup_header ? "duplicate header" : "stray line: " + line});
+      ++i;
+      continue;
+    }
+    const std::size_t entry_line = i;
+    try {
+      auto [entry, next] = parse_entry(lines, i, v2);
+      report.entries.push_back(std::move(entry));
+      i = next;
+    } catch (const std::runtime_error& ex) {
+      if (!lenient) {
+        throw;
+      }
+      report.skipped.push_back({entry_line + 1, ex.what()});
+      ++i;
+      while (i < lines.size() && lines[i].rfind("entry ", 0) != 0) {
+        ++i;
+      }
+    }
+  }
+  return report;
+}
+
+/// fsync a path (best effort is NOT enough here: persistence is the
+/// crash-safety contract, so a failed fsync fails the save).
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    fail("cannot reopen for fsync: " + path + ": " + std::strerror(errno));
+  }
+  int err = STPES_FAILPOINT_ERRNO("chain_io.save.fsync");
+  if (err == 0 && ::fsync(fd) != 0) {
+    err = errno;
+  }
+  ::close(fd);
+  if (err != 0) {
+    fail("fsync " + path + ": " + std::strerror(err));
+  }
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+/// Best effort: some filesystems refuse directory fsync, and by this point
+/// the data file is already safely renamed.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
 }
 
 }  // namespace
@@ -141,112 +368,53 @@ chain::boolean_chain parse_chain(std::string_view line) {
 }
 
 void save_cache(std::ostream& os, const std::vector<cache_entry>& entries) {
-  os << kHeader << "\n";
+  os << kHeaderV2 << "\n";
   for (const auto& e : entries) {
-    os << "entry " << e.function.to_hex() << " " << e.function.num_vars()
-       << " " << synth::to_string(e.result.outcome) << " "
-       << e.result.optimum_gates << " " << e.result.seconds << " "
-       << e.result.chains.size() << "\n";
-    if (e.meta.has_value()) {
-      os << "meta";
-      if (!e.meta->engine.empty()) {
-        os << " engine=" << e.meta->engine;
-      }
-      os << " budget=" << e.meta->budget_seconds << "\n";
-    }
-    for (const auto& c : e.result.chains) {
-      os << serialize_chain(c) << "\n";
-    }
+    const auto block = serialize_entry(e);
+    os << block << "crc " << crc_hex(util::crc32(block)) << "\n";
   }
 }
 
 std::vector<cache_entry> load_cache(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line)) {
-    fail("missing header (want '" + std::string{kHeader} + "')");
-  }
-  if (line != kHeader) {
-    // Distinguish "newer/unknown format version" from "not a chain file
-    // at all": the former gets a precise message naming the version, so
-    // a user running an old binary against a new cache knows what to do.
-    // Policy: unknown versions are always rejected, never migrated (see
-    // chain_io.hpp).
-    if (line.rfind("stpes-chains ", 0) == 0) {
-      fail("unsupported format version '" + line.substr(13) +
-           "' (this build reads '" + std::string{kHeader} +
-           "' only; regenerate the file or upgrade)");
-    }
-    fail("missing or unsupported header (want '" + std::string{kHeader} +
-         "')");
-  }
-  std::vector<cache_entry> entries;
-  // One line of lookahead: detecting the optional `meta` line after an
-  // entry header requires reading one line too many when it is absent.
-  bool have_lookahead = false;
-  while (have_lookahead || std::getline(is, line)) {
-    have_lookahead = false;
-    if (line.empty() || line[0] == '#') {
-      continue;
-    }
-    const auto toks = tokens_after(line, "entry");
-    if (toks.size() != 6) {
-      fail("entry line needs 6 fields: " + line);
-    }
-    cache_entry e;
-    const unsigned num_vars = parse_unsigned(toks[1], "num_vars");
-    if (num_vars > 16) {
-      fail("num_vars out of range: " + toks[1]);
-    }
-    try {
-      e.function = tt::truth_table::from_hex(num_vars, toks[0]);
-    } catch (const std::exception& ex) {
-      fail(std::string{"bad truth table: "} + ex.what());
-    }
-    e.result.outcome = parse_status(toks[2]);
-    e.result.optimum_gates = parse_unsigned(toks[3], "optimum_gates");
-    try {
-      e.result.seconds = std::stod(toks[4]);
-    } catch (const std::exception&) {
-      fail("bad seconds: " + toks[4]);
-    }
-    const unsigned num_chains = parse_unsigned(toks[5], "num_chains");
-    // Optional `meta` line between the entry header and its chains.
-    if (std::getline(is, line)) {
-      if (line.rfind("meta", 0) == 0) {
-        e.meta = parse_meta(line);
-      } else {
-        have_lookahead = true;  // first chain line (or the next entry)
-      }
-    }
-    e.result.chains.reserve(num_chains);
-    for (unsigned i = 0; i < num_chains; ++i) {
-      if (!have_lookahead && !std::getline(is, line)) {
-        fail("truncated file: entry " + toks[0] + " promises " +
-             toks[5] + " chains");
-      }
-      have_lookahead = false;
-      auto c = parse_chain(line);
-      if (c.num_inputs() != num_vars) {
-        fail("chain arity " + std::to_string(c.num_inputs()) +
-             " does not match entry arity " + std::to_string(num_vars));
-      }
-      if (c.simulate() != e.function) {
-        fail("verification failed: chain does not realize " + toks[0]);
-      }
-      e.result.chains.push_back(std::move(c));
-    }
-    entries.push_back(std::move(e));
-  }
-  return entries;
+  return load_lines(read_lines(is), /*lenient=*/false).entries;
+}
+
+load_report load_cache_lenient(std::istream& is) {
+  return load_lines(read_lines(is), /*lenient=*/true);
 }
 
 void save_cache_file(const std::string& path,
                      const std::vector<cache_entry>& entries) {
-  std::ofstream os{path};
-  if (!os) {
-    fail("cannot open for writing: " + path);
+  // Unique temp name: concurrent SAVEs to one path must not clobber each
+  // other's scratch file (last rename wins, both files stay whole).
+  static std::atomic<std::uint64_t> save_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                          "." + std::to_string(++save_seq);
+  try {
+    {
+      std::ofstream os{tmp, std::ios::trunc};
+      STPES_FAILPOINT("chain_io.save.open");
+      if (!os) {
+        fail("cannot open for writing: " + tmp);
+      }
+      save_cache(os, entries);
+      STPES_FAILPOINT("chain_io.save.write");
+      os.flush();
+      if (!os) {
+        fail("write failed: " + tmp);
+      }
+    }
+    fsync_path(tmp);
+    STPES_FAILPOINT("chain_io.save.rename");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      fail("rename " + tmp + " -> " + path + ": " + std::strerror(errno));
+    }
+    fsync_parent_dir(path);
+  } catch (...) {
+    // The target was never touched; drop the scratch file and report.
+    ::unlink(tmp.c_str());
+    throw;
   }
-  save_cache(os, entries);
 }
 
 std::vector<cache_entry> load_cache_file(const std::string& path) {
@@ -254,7 +422,17 @@ std::vector<cache_entry> load_cache_file(const std::string& path) {
   if (!is) {
     return {};
   }
+  STPES_FAILPOINT("chain_io.load.read");
   return load_cache(is);
+}
+
+load_report load_cache_file_lenient(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) {
+    return {};
+  }
+  STPES_FAILPOINT("chain_io.load.read");
+  return load_cache_lenient(is);
 }
 
 }  // namespace stpes::service

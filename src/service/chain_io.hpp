@@ -1,49 +1,66 @@
 /// \file chain_io.hpp
 /// \brief Compact line-based (de)serialization of Boolean chains and NPN
-///        cache entries.
+///        cache entries, with per-entry checksums and crash-safe saving.
 ///
 /// The shard cache holds every optimum chain per canonical class; those are
 /// expensive to recompute and cheap to store, so the service can persist the
 /// cache at shutdown and warm it at startup.  The format is a plain text
 /// file meant to be diffable and greppable:
 ///
-///     stpes-chains v1
+///     stpes-chains v2
 ///     entry 0x8ff8 4 success 3 0.0421 2
 ///     meta engine=stp budget=5
 ///     chain 4 3 6 0 8 0 1 6 2 3 14 4 5
 ///     chain 4 3 5 1 6 0 1 14 1 2 8 4 5
+///     crc 5f3a9c01
 ///
 /// `entry <hex> <num_vars> <status> <optimum_gates> <seconds> <num_chains>`
-/// is followed by an optional `meta` line and then exactly `num_chains`
-/// chain lines.  A chain line is
+/// is followed by an optional `meta` line, exactly `num_chains` chain
+/// lines, and (in v2) a `crc <hex32>` line holding the CRC-32 of every
+/// preceding line of the entry block, newlines included.  A chain line is
 /// `chain <num_inputs> <num_steps> <output> <out_compl> (<op> <f0> <f1>)*`.
 /// Loading re-verifies every chain by simulation against the entry's truth
-/// table and rejects the file on any mismatch — a cache file can never
-/// inject a wrong circuit.
+/// table and rejects any mismatch — a cache file can never inject a wrong
+/// circuit; the checksum additionally catches torn writes and bit flips in
+/// fields that simulation cannot see (seconds, gate counts, metadata).
 ///
 /// The `meta` line records provenance as `key=value` tokens: `engine=<name>`
 /// names the synthesis engine the entry was computed with, `budget=<s>`
-/// the wall-clock budget it ran under (0 = unlimited).  Files written
-/// before the meta line existed load fine (the line is optional), and
-/// unknown `key=value` tokens are ignored so future fields stay within
-/// header v1.  Consumers use the metadata to decide trust: a warmed entry
-/// from a different engine, or a failure recorded under a smaller budget,
-/// can be skipped instead of served blindly.
+/// the wall-clock budget it ran under (0 = unlimited).  Unknown `key=value`
+/// tokens are ignored so future fields stay within the version.
 ///
-/// Format versioning policy (v1 -> v2 and beyond): the header line is the
-/// contract.  A loader reads *exactly* the versions it knows — a file
-/// whose header names any other `stpes-chains vN` is rejected with an
-/// error that states the unknown version; it is never silently migrated,
-/// down-converted, or partially read.  Cache entries are cheap to
-/// regenerate and dangerous to misread (a wrong "optimum" poisons every
-/// rewrite that consumes it), so the failure mode is loud by design.
-/// Additive evolution that does not change the meaning of existing lines
-/// (new meta keys, new optional line kinds ignored by old readers) stays
-/// within v1; anything a v1 reader would misinterpret requires bumping
-/// the header to v2 and teaching the loader both versions explicitly.
+/// Two load modes:
+///
+///   * **Strict** (`load_cache`): the first malformed line, checksum
+///     mismatch, or failed verification throws.  For contexts where a
+///     damaged file means a damaged pipeline and silence would hide it.
+///   * **Lenient** (`load_cache_lenient`): damage is contained to the
+///     entry it occurs in.  The parser records a `load_skip` naming the
+///     line and reason, resynchronizes at the next `entry` line, and keeps
+///     loading — a crash-truncated or partially corrupted cache file warms
+///     every entry that survived intact.  This is the daemon's LOAD/RELOAD
+///     path.  The single exception: an unsupported `stpes-chains vN`
+///     header still throws in both modes (see the versioning policy
+///     below) — a whole file from a different format generation must fail
+///     loudly, not load as zero entries.
+///
+/// Format versioning policy (unchanged from v1): the header line is the
+/// contract.  The loader reads exactly the versions it knows — v1 (no
+/// `crc` lines) and v2 — and a file whose header names any other
+/// `stpes-chains vN` is rejected with an error stating the version; it is
+/// never silently migrated, down-converted, or partially read.  Writers
+/// always emit v2.
+///
+/// `save_cache_file` is crash-safe: it writes to a temporary file in the
+/// same directory, fsyncs it, and atomically renames it over the target,
+/// so a reader observes either the complete old file or the complete new
+/// one — never a torn mixture.  Failpoints (`chain_io.save.open`,
+/// `chain_io.save.write`, `chain_io.save.fsync`, `chain_io.save.rename`,
+/// `chain_io.load.read`) let tests inject a crash at every stage.
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -72,6 +89,18 @@ struct cache_entry {
   std::optional<entry_meta> meta;
 };
 
+/// One entry (or stray line) the lenient loader refused, and why.
+struct load_skip {
+  std::size_t line = 0;  ///< 1-based line number in the file
+  std::string reason;
+};
+
+/// What a lenient load salvaged and what it had to drop.
+struct load_report {
+  std::vector<cache_entry> entries;
+  std::vector<load_skip> skipped;
+};
+
 /// Serializes a chain to one `chain ...` line (no trailing newline).
 [[nodiscard]] std::string serialize_chain(const chain::boolean_chain& c);
 
@@ -80,19 +109,31 @@ struct cache_entry {
 /// topological order, bad output signal).
 [[nodiscard]] chain::boolean_chain parse_chain(std::string_view line);
 
-/// Writes the versioned header and all entries.
+/// Writes the versioned v2 header and all entries with per-entry CRCs.
 void save_cache(std::ostream& os, const std::vector<cache_entry>& entries);
 
-/// Parses a cache file, re-simulating every chain against its entry's
-/// function.  Throws `std::runtime_error` on version mismatch, malformed
-/// lines, or a chain that does not realize its function.
+/// Strict load: parses a v1 or v2 cache file, re-simulating every chain
+/// against its entry's function and (v2) verifying every checksum.  Throws
+/// `std::runtime_error` on version mismatch, malformed lines, checksum
+/// mismatch, or a chain that does not realize its function.
 [[nodiscard]] std::vector<cache_entry> load_cache(std::istream& is);
 
-/// Convenience file wrappers; `load_cache_file` returns an empty vector if
-/// the file does not exist (a cold cache is not an error).
+/// Lenient load: damaged entries are skipped and reported, intact entries
+/// load.  Throws only on an unsupported `stpes-chains vN` header.
+[[nodiscard]] load_report load_cache_lenient(std::istream& is);
+
+/// Crash-safe file save: temp file + fsync + atomic rename.  Throws
+/// `std::runtime_error` (leaving any existing file untouched) when any
+/// stage fails; the temporary is removed on failure.
 void save_cache_file(const std::string& path,
                      const std::vector<cache_entry>& entries);
+
+/// Strict file load; returns an empty vector if the file does not exist
+/// (a cold cache is not an error).
 [[nodiscard]] std::vector<cache_entry> load_cache_file(
     const std::string& path);
+
+/// Lenient file load; an absent file is an empty report, not an error.
+[[nodiscard]] load_report load_cache_file_lenient(const std::string& path);
 
 }  // namespace stpes::service

@@ -1,5 +1,7 @@
 #include "service/shard_cache.hpp"
 
+#include "util/failpoint.hpp"
+
 namespace stpes::service {
 
 shard_cache::shard_cache(options opts)
@@ -100,6 +102,7 @@ synth::result shard_cache::get_or_compute(const tt::truth_table& key,
 }
 
 bool shard_cache::insert(const tt::truth_table& key, synth::result value) {
+  STPES_FAILPOINT("shard_cache.insert");
   shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   auto it = s.map.find(key);
@@ -113,6 +116,22 @@ bool shard_cache::insert(const tt::truth_table& key, synth::result value) {
   touch(s, key);
   evict_excess(s);
   return true;
+}
+
+std::size_t shard_cache::clear() {
+  std::size_t dropped = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    // Only ready keys live in the LRU list, so walking it leaves every
+    // pinned in-flight entry (and its waiters) alone.
+    for (const auto& key : sp->lru) {
+      sp->map.erase(key);
+      ++dropped;
+    }
+    sp->lru.clear();
+    sp->lru_pos.clear();
+  }
+  return dropped;
 }
 
 std::vector<std::pair<tt::truth_table, synth::result>> shard_cache::dump()

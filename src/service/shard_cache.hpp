@@ -68,8 +68,14 @@ public:
                                const compute_fn& compute);
 
   /// Inserts a ready entry (cache warming).  Returns false when the key is
-  /// already resident (the existing entry wins).
+  /// already resident (the existing entry wins).  The `shard_cache.insert`
+  /// failpoint throws here in chaos builds.
   bool insert(const tt::truth_table& key, synth::result value);
+
+  /// Drops every *ready* entry; in-flight entries stay pinned so their
+  /// single-flight waiters are untouched.  Returns entries dropped.  The
+  /// seam behind hot cache reload (daemon RELOAD).
+  std::size_t clear();
 
   /// Copies out every ready entry (for persistence).  Entries still in
   /// flight are skipped.

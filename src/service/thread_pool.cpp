@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace stpes::service {
 
 thread_pool::thread_pool(unsigned num_threads) {
@@ -16,6 +18,7 @@ thread_pool::thread_pool(unsigned num_threads) {
 thread_pool::~thread_pool() { shutdown(); }
 
 void thread_pool::submit(std::function<void()> task) {
+  STPES_FAILPOINT("thread_pool.submit");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -45,6 +48,11 @@ void thread_pool::shutdown() {
       w.join();
     }
   }
+}
+
+std::size_t thread_pool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + active_;
 }
 
 std::size_t thread_pool::tasks_executed() const {

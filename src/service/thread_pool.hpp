@@ -37,8 +37,15 @@ public:
   thread_pool(const thread_pool&) = delete;
   thread_pool& operator=(const thread_pool&) = delete;
 
-  /// Enqueues a task.  Throws `std::runtime_error` after `shutdown()`.
+  /// Enqueues a task.  Throws `std::runtime_error` after `shutdown()` or
+  /// when the `thread_pool.submit` failpoint fires (chaos tests); callers
+  /// own the failure accounting for a task that was never queued.
   void submit(std::function<void()> task);
+
+  /// Tasks queued plus tasks currently running — the admission-control
+  /// load signal.  A racy snapshot by nature; overload shedding only needs
+  /// "roughly how far behind are we".
+  [[nodiscard]] std::size_t pending() const;
 
   /// Blocks until the queue is empty and every worker is idle.  Tasks
   /// submitted while waiting extend the wait.

@@ -1,0 +1,47 @@
+/// \file crc32.hpp
+/// \brief CRC-32 (IEEE 802.3, reflected 0xEDB88320) over byte strings.
+///
+/// Used by `service::chain_io` to checksum each persisted cache entry so a
+/// bit flip or torn write is detected at load time and degrades to a
+/// skipped entry instead of a wrong circuit.  Table-driven, header-only;
+/// the table is built once per process.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace stpes::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of `data` (initial value 0, standard final inversion).
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data) {
+  const auto& table = detail::crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace stpes::util

@@ -1,0 +1,227 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace stpes::util {
+
+namespace {
+
+/// The few symbolic errno names chaos specs actually use; anything else is
+/// written numerically.
+int errno_from_name(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "EIO") {
+    return 5;
+  }
+  if (name == "EAGAIN") {
+    return 11;
+  }
+  if (name == "ENOSPC") {
+    return 28;
+  }
+  if (name == "EPIPE") {
+    return 32;
+  }
+  if (name == "ECONNRESET") {
+    return 104;
+  }
+  // Numeric form.
+  std::size_t pos = 0;
+  int value = 0;
+  try {
+    value = std::stoi(name, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != name.size() || value <= 0) {
+    ok = false;
+    return 0;
+  }
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+failpoint_registry& failpoint_registry::instance() {
+  static failpoint_registry registry;
+  return registry;
+}
+
+bool failpoint_registry::parse_spec(const std::string& spec, point& out) {
+  point p;
+  bool have_trigger = false;
+  for (const auto& tok : split(spec, ',')) {
+    if (tok == "off" || tok == "once" || tok == "always") {
+      if (have_trigger) {
+        return false;
+      }
+      have_trigger = true;
+      p.mode = tok == "off"     ? trigger::off
+               : tok == "once"  ? trigger::once
+                                : trigger::always;
+    } else if (tok.rfind("every=", 0) == 0) {
+      if (have_trigger) {
+        return false;
+      }
+      have_trigger = true;
+      p.mode = trigger::every;
+      const auto value = tok.substr(6);
+      std::size_t pos = 0;
+      unsigned long n = 0;
+      try {
+        n = std::stoul(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != value.size() || n == 0) {
+        return false;
+      }
+      p.every_n = n;
+    } else if (tok.rfind("errno=", 0) == 0) {
+      bool ok = false;
+      p.err = errno_from_name(tok.substr(6), ok);
+      if (!ok) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  if (!have_trigger) {
+    return false;
+  }
+  out = p;
+  return true;
+}
+
+bool failpoint_registry::set(const std::string& name,
+                             const std::string& spec) {
+  point p;
+  if (name.empty() || !parse_spec(spec, p)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (p.mode == trigger::off) {
+    points_.erase(name);
+  } else {
+    points_[name] = p;
+  }
+  return true;
+}
+
+void failpoint_registry::clear(const std::string& name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  points_.erase(name);
+}
+
+void failpoint_registry::clear_all() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  points_.clear();
+}
+
+int failpoint_registry::should_fail(const std::string& name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = points_.find(name);
+  if (it == points_.end()) {
+    return 0;
+  }
+  point& p = it->second;
+  ++p.evals;
+  switch (p.mode) {
+    case trigger::off:
+      return 0;
+    case trigger::once:
+      if (p.spent) {
+        return 0;
+      }
+      p.spent = true;
+      ++p.fired;
+      return p.err;
+    case trigger::always:
+      ++p.fired;
+      return p.err;
+    case trigger::every:
+      if (p.evals % p.every_n != 0) {
+        return 0;
+      }
+      ++p.fired;
+      return p.err;
+  }
+  return 0;
+}
+
+std::uint64_t failpoint_registry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::pair<std::string, std::string>> failpoint_registry::list()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    out.reserve(points_.size());
+    for (const auto& [name, p] : points_) {
+      std::string spec;
+      switch (p.mode) {
+        case trigger::off:
+          spec = "off";
+          break;
+        case trigger::once:
+          spec = p.spent ? "once(spent)" : "once";
+          break;
+        case trigger::always:
+          spec = "always";
+          break;
+        case trigger::every:
+          spec = "every=" + std::to_string(p.every_n);
+          break;
+      }
+      spec += ",errno=" + std::to_string(p.err) +
+              " hits=" + std::to_string(p.fired);
+      out.emplace_back(name, spec);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t failpoint_registry::load_from_env(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') {
+    return 0;
+  }
+  std::size_t armed = 0;
+  for (const auto& item : split(raw, ';')) {
+    if (item.empty()) {
+      continue;
+    }
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      continue;  // malformed item: skipped, not fatal
+    }
+    if (set(item.substr(0, eq), item.substr(eq + 1))) {
+      ++armed;
+    }
+  }
+  return armed;
+}
+
+}  // namespace stpes::util

@@ -1,0 +1,138 @@
+/// \file failpoint.hpp
+/// \brief Named, deterministically-triggerable fault-injection points.
+///
+/// A failpoint is a named hook compiled into an I/O or scheduling seam
+/// (file save/rename, cache insertion, task submission, socket reads and
+/// writes).  In a normal run every hook is off and costs one hash lookup;
+/// in a chaos run, tests or the daemon's `FAILPOINT` verb arm individual
+/// hooks with a trigger spec:
+///
+///     off                 never fires (the default)
+///     once                fires on the first evaluation, then disarms
+///     always              fires on every evaluation
+///     every=N             fires on every Nth evaluation (N >= 1)
+///
+/// Any trigger may append `,errno=E` (numeric, or EIO / ENOSPC / EPIPE /
+/// ECONNRESET / EAGAIN) to pick which error the site simulates; EIO is the
+/// default.  Several points are armed at once through the environment:
+///
+///     STPES_FAILPOINTS="chain_io.save.rename=once;fd_stream.read=every=7"
+///
+/// Sites use the two macros below.  `STPES_FAILPOINT(name)` throws
+/// `failpoint_error` — for seams whose real failures surface as
+/// exceptions.  `STPES_FAILPOINT_ERRNO(name)` evaluates to the errno to
+/// simulate (0 = no fault) — for syscall-shaped seams that must set
+/// `errno` and return a failure code instead of throwing.
+///
+/// When the build does not define `STPES_FAILPOINTS_ENABLED` (the Release
+/// default, gated by the `STPES_FAILPOINTS` CMake option), both macros
+/// compile to constants, the registry is never consulted on any hot path,
+/// and the fault-injection surface costs exactly nothing — the bench
+/// regression guard holds Release to that.
+///
+/// Triggering is deterministic by design: `every=N` counts evaluations of
+/// that one point, so a chaos test that replays the same request sequence
+/// injects the same faults.  The registry itself is thread-safe (one
+/// mutex; failpoints guard I/O seams, not inner loops).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace stpes::util {
+
+/// Thrown by `STPES_FAILPOINT` sites when their point fires.  Derives from
+/// `std::runtime_error` so every existing catch-and-report path treats an
+/// injected fault exactly like the real failure it stands in for.
+struct failpoint_error : std::runtime_error {
+  failpoint_error(const std::string& name, int err)
+      : std::runtime_error{"failpoint '" + name + "' injected errno " +
+                           std::to_string(err)},
+        point(name),
+        injected_errno(err) {}
+
+  std::string point;
+  int injected_errno;
+};
+
+/// True when failpoint hooks are compiled into this build.
+[[nodiscard]] constexpr bool failpoints_compiled_in() {
+#if defined(STPES_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Process-wide registry of armed failpoints.  Points not present are off.
+class failpoint_registry {
+public:
+  static failpoint_registry& instance();
+
+  /// Arms `name` with a trigger spec (grammar in the file comment).
+  /// Returns false — and leaves the point unchanged — on a malformed spec.
+  /// `set(name, "off")` disarms like `clear`.
+  bool set(const std::string& name, const std::string& spec);
+
+  /// Disarms one point / every point.
+  void clear(const std::string& name);
+  void clear_all();
+
+  /// Evaluates a point: returns 0 when it does not fire, the configured
+  /// errno when it does.  Called by the site macros on every pass.
+  int should_fail(const std::string& name);
+
+  /// Times `name` actually fired (0 when unknown or never fired).
+  [[nodiscard]] std::uint64_t hits(const std::string& name) const;
+
+  /// Every armed point as `(name, "spec hits=N")`, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> list()
+      const;
+
+  /// Arms points from `name=spec;name=spec` in the environment variable
+  /// `var`; returns how many were armed.  Malformed items are skipped.
+  std::size_t load_from_env(const char* var = "STPES_FAILPOINTS");
+
+private:
+  enum class trigger { off, once, every, always };
+
+  struct point {
+    trigger mode = trigger::off;
+    std::uint64_t every_n = 1;  ///< period for trigger::every
+    int err = 5;                ///< EIO; what the site simulates
+    std::uint64_t evals = 0;    ///< evaluations since armed
+    std::uint64_t fired = 0;    ///< times the point fired
+    bool spent = false;         ///< trigger::once already consumed
+  };
+
+  static bool parse_spec(const std::string& spec, point& out);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, point> points_;
+};
+
+}  // namespace stpes::util
+
+#if defined(STPES_FAILPOINTS_ENABLED)
+/// Throws `failpoint_error` when the named point fires.
+#define STPES_FAILPOINT(name)                                             \
+  do {                                                                    \
+    if (const int stpes_fp_err =                                          \
+            ::stpes::util::failpoint_registry::instance().should_fail(    \
+                name)) {                                                  \
+      throw ::stpes::util::failpoint_error{name, stpes_fp_err};           \
+    }                                                                     \
+  } while (0)
+/// Evaluates to the errno to simulate (0 = no fault) for syscall seams.
+#define STPES_FAILPOINT_ERRNO(name) \
+  (::stpes::util::failpoint_registry::instance().should_fail(name))
+#else
+#define STPES_FAILPOINT(name) ((void)0)
+#define STPES_FAILPOINT_ERRNO(name) 0
+#endif

@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/exact_synthesis.hpp"
 #include "service/chain_io.hpp"
@@ -16,8 +20,11 @@ using stpes::chain::boolean_chain;
 using stpes::service::cache_entry;
 using stpes::service::load_cache;
 using stpes::service::load_cache_file;
+using stpes::service::load_cache_file_lenient;
+using stpes::service::load_cache_lenient;
 using stpes::service::parse_chain;
 using stpes::service::save_cache;
+using stpes::service::save_cache_file;
 using stpes::service::serialize_chain;
 using stpes::tt::truth_table;
 
@@ -232,6 +239,174 @@ TEST(ChainIo, MalformedMetaLinesAreRejected) {
 
 TEST(ChainIo, MissingCacheFileIsEmptyNotError) {
   EXPECT_TRUE(load_cache_file("/nonexistent/stpes-cache.txt").empty());
+  EXPECT_TRUE(load_cache_file_lenient("/nonexistent/x.txt").entries.empty());
+}
+
+/// Builds a healthy three-entry v2 file (AND, XOR, OR of two variables).
+std::string three_entry_file() {
+  std::vector<cache_entry> entries;
+  for (const unsigned op : {0x8u, 0x6u, 0xEu}) {
+    boolean_chain c{2};
+    c.set_output(c.add_step(op, 0, 1));
+    cache_entry e;
+    e.function = c.simulate();
+    e.result.outcome = stpes::synth::status::success;
+    e.result.optimum_gates = 1;
+    e.result.chains = {c};
+    entries.push_back(std::move(e));
+  }
+  std::ostringstream os;
+  save_cache(os, entries);
+  return os.str();
+}
+
+TEST(ChainIo, V2FilesCarryPerEntryCrcAndRoundTrip) {
+  const auto text = three_entry_file();
+  EXPECT_EQ(text.rfind("stpes-chains v2\n", 0), 0u) << text;
+  // One `crc <8 hex digits>` line per entry.
+  std::size_t crc_lines = 0;
+  std::istringstream is{text};
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("crc ", 0) == 0) {
+      ++crc_lines;
+      EXPECT_EQ(line.size(), 4u + 8u) << line;
+    }
+  }
+  EXPECT_EQ(crc_lines, 3u);
+  // Both loaders accept the healthy file in full.
+  std::istringstream strict{text};
+  EXPECT_EQ(load_cache(strict).size(), 3u);
+  std::istringstream lenient{text};
+  const auto report = load_cache_lenient(lenient);
+  EXPECT_EQ(report.entries.size(), 3u);
+  EXPECT_TRUE(report.skipped.empty());
+}
+
+TEST(ChainIo, V1FilesStillLoadWithoutCrcLines) {
+  // The previous generation's format: no crc lines, simulation is the
+  // only integrity check.  Reject-never-migrate means v1 must keep
+  // loading in both modes.
+  std::string v1 =
+      "stpes-chains v1\n"
+      "entry 0x8 2 success 1 0.0 1\n"
+      "chain 2 1 2 0 8 0 1\n";
+  std::istringstream strict{v1};
+  EXPECT_EQ(load_cache(strict).size(), 1u);
+  std::istringstream lenient{v1};
+  const auto report = load_cache_lenient(lenient);
+  EXPECT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(report.skipped.empty());
+}
+
+TEST(ChainIo, CorruptionMatrixTruncatedFile) {
+  // Torn write: the file ends mid-entry.  The intact prefix loads, the
+  // tail becomes one skip report.
+  auto text = three_entry_file();
+  text.resize(text.size() * 2 / 3);
+  text.resize(text.rfind('\n') + 1);  // cut at a line boundary
+  std::istringstream is{text};
+  const auto report = load_cache_lenient(is);
+  EXPECT_GE(report.entries.size(), 1u);
+  EXPECT_LT(report.entries.size(), 3u);
+  ASSERT_GE(report.skipped.size(), 1u);
+  EXPECT_GT(report.skipped[0].line, 1u);
+  EXPECT_FALSE(report.skipped[0].reason.empty());
+}
+
+TEST(ChainIo, CorruptionMatrixBitFlippedEntry) {
+  // Flip one payload bit in the middle entry: its CRC no longer matches,
+  // it is skipped with a crc-mismatch report, and the neighbours load.
+  auto text = three_entry_file();
+  const auto pos = text.find("entry 0x6");
+  ASSERT_NE(pos, std::string::npos);
+  // Damage a digit of the seconds field: still parseable, CRC-different.
+  const auto sec = text.find(" 0 ", pos);
+  ASSERT_NE(sec, std::string::npos);
+  text[sec + 1] = '1';
+  std::istringstream is{text};
+  const auto report = load_cache_lenient(is);
+  EXPECT_EQ(report.entries.size(), 2u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].reason.find("crc mismatch"),
+            std::string::npos)
+      << report.skipped[0].reason;
+
+  // The strict loader refuses the same damage outright.
+  std::istringstream strict{text};
+  EXPECT_THROW(load_cache(strict), std::runtime_error);
+}
+
+TEST(ChainIo, CorruptionMatrixDuplicatedHeader) {
+  // A botched concatenation duplicates the header mid-file; the stray
+  // header is reported and every entry still loads.
+  auto text = three_entry_file();
+  const auto pos = text.find("entry 0xe");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "stpes-chains v2\n");
+  std::istringstream is{text};
+  const auto report = load_cache_lenient(is);
+  EXPECT_EQ(report.entries.size(), 3u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].reason, "duplicate header");
+}
+
+TEST(ChainIo, CorruptionMatrixZeroByteFile) {
+  std::istringstream is{""};
+  const auto report = load_cache_lenient(is);
+  EXPECT_TRUE(report.entries.empty());
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].reason.find("missing header"),
+            std::string::npos);
+}
+
+TEST(ChainIo, CorruptionMatrixGarbageHeaderStillSalvages) {
+  // A torn header write: lenient mode reports it and salvages the entries
+  // (simulation re-verification is the integrity floor).
+  std::string text =
+      "stpes-chain\n"  // torn mid-word
+      "entry 0x8 2 success 1 0.0 1\n"
+      "chain 2 1 2 0 8 0 1\n";
+  std::istringstream is{text};
+  const auto report = load_cache_lenient(is);
+  EXPECT_EQ(report.entries.size(), 1u);
+  // Two reports: the header is missing, and the torn line itself is stray.
+  ASSERT_EQ(report.skipped.size(), 2u);
+  EXPECT_NE(report.skipped[0].reason.find("missing header"),
+            std::string::npos);
+  EXPECT_EQ(report.skipped[1].reason, "stray line: stpes-chain");
+}
+
+TEST(ChainIo, LenientLoadStillRejectsUnsupportedVersions) {
+  // Reject-never-migrate: a newer-generation file must fail loudly in
+  // BOTH modes — silently loading zero entries would read as "cold
+  // cache" when the truth is "cannot read this format".
+  std::istringstream is{"stpes-chains v999\nentry 0x8 2 success 1 0.0 0\n"};
+  EXPECT_THROW(load_cache_lenient(is), std::runtime_error);
+}
+
+TEST(ChainIo, AtomicSaveReplacesTheFileWholesale) {
+  const std::string path = ::testing::TempDir() + "chain_io_atomic.txt";
+  boolean_chain c{2};
+  c.set_output(c.add_step(0x8, 0, 1));
+  cache_entry e;
+  e.function = c.simulate();
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 1;
+  e.result.chains = {c};
+
+  save_cache_file(path, {e});
+  save_cache_file(path, {e, e});  // overwrite in place
+  std::ifstream is{path};
+  const std::string content{std::istreambuf_iterator<char>{is},
+                            std::istreambuf_iterator<char>{}};
+  // The second save fully replaced the first (no interleaved halves) and
+  // left no scratch file behind.
+  EXPECT_EQ(content.rfind("stpes-chains v2\n", 0), 0u);
+  const auto loaded = load_cache_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(std::remove((path + ".tmp.0").c_str()), -1);
+  std::remove(path.c_str());
 }
 
 TEST(ChainIo, RealSynthesisResultSurvivesDisk) {

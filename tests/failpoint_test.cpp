@@ -1,0 +1,204 @@
+/// \file failpoint_test.cpp
+/// \brief The failpoint registry and the seams it is wired into.
+///
+/// Trigger semantics (once / always / every=N / errno overrides), spec
+/// rejection, environment loading, and one test per instrumented seam
+/// proving the component recovers after the injected fault: thread-pool
+/// submission, cache insertion, and the atomic save path (a failed rename
+/// must leave the previous file intact and no scratch file behind).
+/// Everything here is skipped in builds that compile the hooks out.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "chain/boolean_chain.hpp"
+#include "service/chain_io.hpp"
+#include "service/shard_cache.hpp"
+#include "service/thread_pool.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using stpes::service::cache_entry;
+using stpes::service::load_cache_file;
+using stpes::service::save_cache_file;
+using stpes::util::failpoint_error;
+using stpes::util::failpoint_registry;
+using stpes::util::failpoints_compiled_in;
+
+/// Clears the process-global registry around every test in this file.
+class Failpoint : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!failpoints_compiled_in()) {
+      GTEST_SKIP() << "failpoints compiled out (STPES_FAILPOINTS=OFF)";
+    }
+    failpoint_registry::instance().clear_all();
+  }
+  void TearDown() override { failpoint_registry::instance().clear_all(); }
+};
+
+cache_entry and2_entry() {
+  stpes::chain::boolean_chain c{2};
+  c.set_output(c.add_step(0x8, 0, 1));
+  cache_entry e;
+  e.function = c.simulate();
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 1;
+  e.result.chains = {c};
+  return e;
+}
+
+TEST_F(Failpoint, OnceFiresExactlyOnce) {
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("t.once", "once"));
+  EXPECT_EQ(reg.should_fail("t.once"), 5);  // EIO default
+  EXPECT_EQ(reg.should_fail("t.once"), 0);
+  EXPECT_EQ(reg.should_fail("t.once"), 0);
+  EXPECT_EQ(reg.hits("t.once"), 1u);
+}
+
+TEST_F(Failpoint, EveryNFiresOnEveryNthEvaluation) {
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("t.every", "every=3"));
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (reg.should_fail("t.every") != 0) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(reg.hits("t.every"), 3u);
+}
+
+TEST_F(Failpoint, AlwaysFiresUntilCleared) {
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("t.always", "always,errno=EPIPE"));
+  EXPECT_EQ(reg.should_fail("t.always"), 32);
+  EXPECT_EQ(reg.should_fail("t.always"), 32);
+  reg.clear("t.always");
+  EXPECT_EQ(reg.should_fail("t.always"), 0);
+}
+
+TEST_F(Failpoint, ErrnoOverridesSymbolicAndNumeric) {
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("t.sym", "always,errno=ENOSPC"));
+  EXPECT_EQ(reg.should_fail("t.sym"), 28);
+  ASSERT_TRUE(reg.set("t.num", "always,errno=13"));
+  EXPECT_EQ(reg.should_fail("t.num"), 13);
+}
+
+TEST_F(Failpoint, MalformedSpecsAreRejectedWithoutArming) {
+  auto& reg = failpoint_registry::instance();
+  EXPECT_FALSE(reg.set("t.bad", ""));
+  EXPECT_FALSE(reg.set("t.bad", "sometimes"));
+  EXPECT_FALSE(reg.set("t.bad", "every=0"));
+  EXPECT_FALSE(reg.set("t.bad", "every=x"));
+  EXPECT_FALSE(reg.set("t.bad", "once,always"));      // two triggers
+  EXPECT_FALSE(reg.set("t.bad", "errno=5"));          // no trigger
+  EXPECT_FALSE(reg.set("t.bad", "once,errno=EBOGUS"));
+  EXPECT_FALSE(reg.set("", "once"));
+  EXPECT_EQ(reg.should_fail("t.bad"), 0);
+  EXPECT_TRUE(reg.list().empty());
+}
+
+TEST_F(Failpoint, OffSpecDisarmsAnArmedPoint) {
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("t.off", "always"));
+  ASSERT_TRUE(reg.set("t.off", "off"));
+  EXPECT_EQ(reg.should_fail("t.off"), 0);
+  EXPECT_TRUE(reg.list().empty());
+}
+
+TEST_F(Failpoint, LoadsMultiplePointsFromTheEnvironment) {
+  ::setenv("STPES_FAILPOINTS_TEST",
+           "a.b=once;bad-item;c.d=every=2,errno=EAGAIN;=once", 1);
+  auto& reg = failpoint_registry::instance();
+  EXPECT_EQ(reg.load_from_env("STPES_FAILPOINTS_TEST"), 2u);
+  EXPECT_EQ(reg.should_fail("a.b"), 5);
+  EXPECT_EQ(reg.should_fail("c.d"), 0);
+  EXPECT_EQ(reg.should_fail("c.d"), 11);
+  ::unsetenv("STPES_FAILPOINTS_TEST");
+}
+
+TEST_F(Failpoint, ListRendersSortedSpecsWithHitCounts) {
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("z.point", "always"));
+  ASSERT_TRUE(reg.set("a.point", "every=4,errno=EPIPE"));
+  reg.should_fail("z.point");
+  const auto points = reg.list();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].first, "a.point");
+  EXPECT_EQ(points[0].second, "every=4,errno=32 hits=0");
+  EXPECT_EQ(points[1].first, "z.point");
+  EXPECT_EQ(points[1].second, "always,errno=5 hits=1");
+}
+
+TEST_F(Failpoint, ThreadPoolRecoversAfterInjectedSubmitFailure) {
+  stpes::service::thread_pool pool{2};
+  failpoint_registry::instance().set("thread_pool.submit", "once");
+  EXPECT_THROW(pool.submit([] {}), failpoint_error);
+  // The pool is not poisoned: the next submission runs normally.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_F(Failpoint, ShardCacheInsertFaultLeavesTheCacheConsistent) {
+  stpes::service::shard_cache cache;
+  const auto e = and2_entry();
+  failpoint_registry::instance().set("shard_cache.insert", "once");
+  EXPECT_THROW(cache.insert(e.function, e.result), failpoint_error);
+  EXPECT_EQ(cache.size(), 0u);
+  // Retry succeeds and the entry is served.
+  EXPECT_TRUE(cache.insert(e.function, e.result));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(Failpoint, FailedRenameLeavesThePreviousFileIntact) {
+  const std::string path = ::testing::TempDir() + "failpoint_rename.txt";
+  const auto e = and2_entry();
+  save_cache_file(path, {e});
+
+  failpoint_registry::instance().set("chain_io.save.rename", "once");
+  EXPECT_THROW(save_cache_file(path, {e, e}), failpoint_error);
+
+  // The target still holds the first save, whole and loadable, and the
+  // aborted save's scratch file was removed.
+  EXPECT_EQ(load_cache_file(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(Failpoint, FailedWriteNeverTouchesTheTarget) {
+  const std::string path = ::testing::TempDir() + "failpoint_write.txt";
+  const auto e = and2_entry();
+  failpoint_registry::instance().set("chain_io.save.write", "once");
+  EXPECT_THROW(save_cache_file(path, {e}), failpoint_error);
+  std::ifstream is{path};
+  EXPECT_FALSE(is.good());  // target was never created
+}
+
+TEST_F(Failpoint, InjectedFsyncFailureFailsTheSave) {
+  const std::string path = ::testing::TempDir() + "failpoint_fsync.txt";
+  const auto e = and2_entry();
+  failpoint_registry::instance().set("chain_io.save.fsync",
+                                     "once,errno=ENOSPC");
+  try {
+    save_cache_file(path, {e});
+    FAIL() << "fsync failure must fail the save";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string{ex.what()}.find("fsync"), std::string::npos)
+        << ex.what();
+  }
+  std::ifstream is{path};
+  EXPECT_FALSE(is.good());
+}
+
+}  // namespace

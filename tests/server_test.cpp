@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +30,7 @@
 #include "server/fd_stream.hpp"
 #include "server/server.hpp"
 #include "service/chain_io.hpp"
+#include "util/failpoint.hpp"
 #include "workload/collections.hpp"
 
 namespace {
@@ -185,14 +187,24 @@ TEST(Server, OversizedPayloadsAreRejectedUpFront) {
   EXPECT_EQ(lines[0].rfind("ERR truth table too large", 0), 0u) << lines[0];
   EXPECT_EQ(lines[1], "OK pong");
 
-  // A line beyond max_line_bytes is refused without parsing.
+  // A line beyond max_line_bytes is refused without parsing — and without
+  // buffering: the bounded reader drops the excess as it streams in.
   const std::string huge(8192, 'a');
   const auto out2 = run_session(server, huge + "\nPING\n");
   const auto lines2 = split_lines(out2);
   ASSERT_EQ(lines2.size(), 2u);
-  EXPECT_EQ(lines2[0].rfind("ERR line too long", 0), 0u) << lines2[0];
+  EXPECT_EQ(lines2[0].rfind("ERR line-too-long", 0), 0u) << lines2[0];
   EXPECT_EQ(lines2[1], "OK pong");
   EXPECT_EQ(server.synthesizer().current_metrics().requests, 0u);
+
+  // Same for a multi-megabyte line: the reply must not echo its size back
+  // (the old implementation buffered the whole line before rejecting).
+  const std::string monster(4u << 20, 'b');
+  const auto out3 = run_session(server, monster + "\nPING\n");
+  const auto lines3 = split_lines(out3);
+  ASSERT_EQ(lines3.size(), 2u);
+  EXPECT_EQ(lines3[0].rfind("ERR line-too-long", 0), 0u) << lines3[0];
+  EXPECT_EQ(lines3[1], "OK pong");
 }
 
 TEST(Server, BatchBlockAnswersEveryRequestInOrder) {
@@ -205,7 +217,7 @@ TEST(Server, BatchBlockAnswersEveryRequestInOrder) {
                                "END\n");
   const auto lines = split_lines(out);
   ASSERT_GE(lines.size(), 4u);
-  EXPECT_EQ(lines[0], "OK 3");
+  EXPECT_EQ(lines[0].rfind("OK 3 id=", 0), 0u) << lines[0];
   EXPECT_EQ(lines[1].rfind("RESULT 0 success 1 ", 0), 0u) << lines[1];
   // Duplicate requests (indices 0 and 2) get identical result blocks.
   std::size_t result2_pos = 0;
@@ -286,9 +298,20 @@ TEST(Server, ConcurrentClientsOnOneClassShareSingleFlight) {
 
   ASSERT_TRUE(reply_a.ok);
   ASSERT_TRUE(reply_b.ok);
-  // Byte-identical replies: same cached canonical result, same rewrite.
-  EXPECT_EQ(raw_a, raw_b);
+  // Byte-identical replies modulo the per-request id tag: same cached
+  // canonical result, same rewrite.
+  const auto strip_id = [](std::string raw) {
+    const auto pos = raw.find(" id=");
+    if (pos != std::string::npos) {
+      raw.erase(pos, raw.find('\n', pos) - pos);
+    }
+    return raw;
+  };
+  EXPECT_EQ(strip_id(raw_a), strip_id(raw_b));
   EXPECT_FALSE(raw_a.empty());
+  EXPECT_NE(reply_a.request_id, 0u);
+  EXPECT_NE(reply_b.request_id, 0u);
+  EXPECT_NE(reply_a.request_id, reply_b.request_id);
 
   // Exactly one synthesis ran; the second client was served from the
   // ready entry or waited on the in-flight one.
@@ -442,6 +465,215 @@ TEST(Server, CancelStopsAnInFlightBatch) {
   controller.client().quit();
   worker.finish();
   controller.finish();
+}
+
+TEST(Server, OverloadShedsWithBusyRetryAfter) {
+  auto opts = quick_options();
+  opts.num_threads = 1;
+  opts.max_pending_jobs = 1;
+  opts.overload_retry_ms = 250;
+  synthesis_server server{opts};
+  pipe_session worker{server};
+  pipe_session extra{server};
+  pipe_session controller{server};
+
+  // One hard 6-input function saturates the single worker thread.
+  const auto hard = stpes::workload::pdsd_functions(6, 3, 1).front();
+  line_client::synth_reply worker_reply;
+  std::thread runner{[&] {
+    worker_reply = worker.client().synth(engine::stp, hard);
+  }};
+  while (server.synthesizer().pending_jobs() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The admission queue (bound 1) is full: the next request is shed with
+  // the configured retry hint instead of queueing behind the long job.
+  const auto shed = extra.client().synth(
+      engine::stp, truth_table::from_hex(2, "8"));
+  EXPECT_TRUE(shed.busy);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.retry_after_ms, 250u);
+  EXPECT_GE(server.counters().busy, 1u);
+
+  while (server.synthesizer().pending_jobs() > 0) {
+    controller.client().cancel();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  runner.join();
+
+  // Once the queue drains, the same session is served normally again.
+  const auto ok = extra.client().synth(
+      engine::stp, truth_table::from_hex(2, "8"));
+  EXPECT_TRUE(ok.ok) << ok.error;
+
+  worker.client().quit();
+  extra.client().quit();
+  controller.client().quit();
+  worker.finish();
+  extra.finish();
+  controller.finish();
+}
+
+TEST(Server, SessionQuotaRejectsPastTheLimit) {
+  auto opts = quick_options();
+  opts.max_session_requests = 2;
+  synthesis_server server{opts};
+  const auto out = run_session(server,
+                               "SYNTH stp 2 8\n"
+                               "SYNTH stp 2 6\n"
+                               "SYNTH stp 2 8\n"
+                               "PING\n");
+  const auto lines = split_lines(out);
+  std::size_t err_at = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("ERR quota-exceeded", 0) == 0) {
+      err_at = i;
+    }
+  }
+  ASSERT_GT(err_at, 0u) << out;
+  // Non-synthesis verbs are not metered and the session stays open.
+  EXPECT_EQ(lines.back(), "OK pong");
+  EXPECT_EQ(server.counters().quota_rejections, 1u);
+  EXPECT_EQ(server.synthesizer().current_metrics().requests, 2u);
+
+  // A BATCH block is charged by body size: 3 requests overrun a fresh
+  // session's quota of 2 up front, before any synthesis runs.
+  const auto out2 = run_session(server,
+                                "BATCH\nstp 2 8\nstp 2 6\nstp 2 9\nEND\n");
+  EXPECT_EQ(split_lines(out2).front().rfind("ERR quota-exceeded", 0), 0u)
+      << out2;
+  EXPECT_EQ(server.synthesizer().current_metrics().requests, 2u);
+}
+
+TEST(Server, ReloadSwapsTheCacheInPlace) {
+  temp_file file{"server_reload.txt"};
+  synthesis_server server{quick_options()};
+
+  // Synthesize two classes, persist them, then synthesize a third class
+  // (3-var: every nontrivial 2-var function is NPN-equivalent to AND or
+  // XOR, both already resident).
+  auto out = run_session(
+      server, "SYNTH stp 2 8\nSYNTH stp 2 6\nSAVE " + file.path() + "\n");
+  EXPECT_NE(out.find("OK saved 2"), std::string::npos) << out;
+  run_session(server, "SYNTH stp 3 80\n");
+  EXPECT_EQ(server.synthesizer().cache_stats().size, 3u);
+
+  // RELOAD drops the resident three and warms the saved two.
+  out = run_session(server, "RELOAD " + file.path() + "\n");
+  EXPECT_NE(out.find("OK reloaded 2 skipped 0 cleared 3"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(server.synthesizer().cache_stats().size, 2u);
+
+  // An absent file reads as an empty cache file (matching LOAD), so the
+  // swap still happens and leaves the cache empty.
+  out = run_session(server, "RELOAD " + file.path() + ".missing\n");
+  EXPECT_EQ(split_lines(out).front().rfind("OK reloaded 0 skipped 0", 0),
+            0u)
+      << out;
+  EXPECT_EQ(server.synthesizer().cache_stats().size, 0u);
+}
+
+TEST(Server, CancelByIdStopsOnlyThatRequest) {
+  auto opts = quick_options();
+  opts.num_threads = 4;
+  synthesis_server server{opts};
+  pipe_session victim{server};
+  pipe_session survivor{server};
+  pipe_session controller{server};
+
+  // Two hard 6-input functions (cache-bypass, one engine run each) on
+  // separate sessions; each gets its own server-assigned request id.
+  const auto hard = stpes::workload::pdsd_functions(6, 3, 2);
+  line_client::synth_reply victim_reply;
+  line_client::synth_reply survivor_reply;
+  std::thread victim_runner{[&] {
+    victim_reply = victim.client().synth(engine::stp, hard[0], 60.0);
+  }};
+  std::thread survivor_runner{[&] {
+    survivor_reply = survivor.client().synth(engine::stp, hard[1], 2.0);
+  }};
+
+  // Wait until both requests are registered, then cancel the lowest id
+  // (the first SYNTH issued — ids are assigned in arrival order, and the
+  // victim's 60 s budget means it cannot have finished on its own).
+  std::vector<std::uint64_t> ids;
+  while ((ids = server.synthesizer().active_request_ids()).size() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto victim_id = *std::min_element(ids.begin(), ids.end());
+  EXPECT_GE(controller.client().cancel(victim_id), 1u);
+
+  victim_runner.join();
+  survivor_runner.join();
+
+  // The victim came back as a timeout long before its 60 s budget; the
+  // survivor ran to its own conclusion (success or its 2 s timeout).
+  EXPECT_FALSE(victim_reply.ok);
+  EXPECT_EQ(victim_reply.error, "timeout");
+  EXPECT_TRUE(survivor_reply.ok || survivor_reply.error == "timeout");
+  EXPECT_GE(server.synthesizer().current_metrics().cancelled, 1u);
+
+  victim.client().quit();
+  survivor.client().quit();
+  controller.client().quit();
+  victim.finish();
+  survivor.finish();
+  controller.finish();
+}
+
+TEST(Server, RepliesCarryTheRequestId) {
+  synthesis_server server{quick_options()};
+  pipe_session s{server};
+  const auto r1 = s.client().synth(engine::stp,
+                                   truth_table::from_hex(2, "8"));
+  const auto r2 = s.client().synth(engine::stp,
+                                   truth_table::from_hex(2, "6"));
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_NE(r1.request_id, 0u);
+  EXPECT_GT(r2.request_id, r1.request_id);
+  const auto batch = s.client().batch(
+      {{engine::stp, truth_table::from_hex(2, "9")}});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_GT(batch[0].request_id, r2.request_id);
+  s.client().quit();
+}
+
+TEST(Server, FailpointVerbDrivesTheRegistry) {
+  synthesis_server server{quick_options()};
+  if (!stpes::util::failpoints_compiled_in()) {
+    const auto out = run_session(server, "FAILPOINT LIST\n");
+    EXPECT_EQ(split_lines(out).front().rfind("ERR failpoints not", 0), 0u)
+        << out;
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  stpes::util::failpoint_registry::instance().clear_all();
+
+  // SET arms a point; the next SAVE hits it and reports the injection.
+  temp_file file{"server_failpoint.txt"};
+  auto out = run_session(server,
+                         "FAILPOINT SET chain_io.save.open once\n"
+                         "SAVE " + file.path() + "\n"
+                         "SAVE " + file.path() + "\n");
+  auto lines = split_lines(out);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("OK failpoint chain_io.save.open", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("ERR failpoint 'chain_io.save.open'", 0), 0u)
+      << lines[1];
+  EXPECT_EQ(lines[2].rfind("OK saved", 0), 0u) << lines[2];  // once = spent
+
+  // LIST shows the armed point with its hit count, CLEAR disarms.
+  out = run_session(server, "FAILPOINT LIST\nFAILPOINT CLEAR\n");
+  EXPECT_NE(out.find("chain_io.save.open"), std::string::npos) << out;
+  EXPECT_NE(out.find("OK failpoints cleared"), std::string::npos) << out;
+
+  // Malformed specs are rejected without arming anything.
+  out = run_session(server, "FAILPOINT SET x every=0\n");
+  EXPECT_EQ(split_lines(out).front().rfind("ERR bad failpoint spec", 0), 0u)
+      << out;
+  stpes::util::failpoint_registry::instance().clear_all();
 }
 
 TEST(Server, ShutdownDrainsEverySession) {

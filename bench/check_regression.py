@@ -86,6 +86,14 @@ def main():
             if base.get(key) != cur.get(key):
                 errors += fail(f"{name}: {key} changed "
                                f"{base.get(key)} -> {cur.get(key)}")
+        # Partial (budget-truncated but solved) counts are gated once the
+        # baseline records them; older baselines predate the field.
+        if "solved_partial" in base:
+            if base["solved_partial"] != cur.get("solved_partial"):
+                errors += fail(
+                    f"{name}: solved_partial changed "
+                    f"{base['solved_partial']} -> "
+                    f"{cur.get('solved_partial')}")
 
         # Search-effort counters.  Only gated when the baseline carries
         # them, so pre-counter baselines keep working until deliberately
@@ -107,6 +115,27 @@ def main():
                     if base_val != cur_val:
                         errors += fail(f"{name}: counter {key} missing "
                                        f"({base_val} vs {cur_val})")
+                    continue
+                slack = base_val * args.counter_tolerance
+                if abs(cur_val - base_val) > slack:
+                    errors += fail(
+                        f"{name}: counter {key} drifted beyond "
+                        f"{100 * args.counter_tolerance:.0f}%: "
+                        f"{base_val} -> {cur_val}")
+            # Memo-effectiveness counters, gated only once a baseline
+            # regenerated with the memoized engine carries them (older
+            # baselines simply skip this part).  A collapse in the hit
+            # count means the cache keying or the merge broke, which
+            # shows up as a perf cliff long before the wall-clock gate
+            # trips on fast hardware.
+            for key in ("factor_memo_hits", "factor_memo_misses"):
+                base_val = base_counters.get(key)
+                cur_val = cur_counters.get(key)
+                if base_val is None:
+                    continue
+                if cur_val is None:
+                    errors += fail(f"{name}: counter {key} missing from "
+                                   "fresh run")
                     continue
                 slack = base_val * args.counter_tolerance
                 if abs(cur_val - base_val) > slack:

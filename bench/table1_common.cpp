@@ -44,6 +44,8 @@ table1_options parse_options(int argc, char** argv,
       options.timeout = std::stod(*v);
     } else if (auto v = flag_value(arg, "seed")) {
       options.seed = std::stoull(*v);
+    } else if (auto v = flag_value(arg, "threads")) {
+      options.threads = static_cast<unsigned>(std::stoul(*v));
     } else if (arg == "--json" && i + 1 < argc) {
       options.json_path = argv[++i];
     } else if (auto v = flag_value(arg, "json")) {
@@ -64,7 +66,8 @@ table1_options parse_options(int argc, char** argv,
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--count=N] [--timeout=S] [--seed=S]"
-                   " [--engines=stp,bms,fen,cegar] [--json PATH]\n";
+                   " [--threads=N] [--engines=stp,bms,fen,cegar]"
+                   " [--json PATH]\n";
       std::exit(2);
     }
   }
@@ -94,11 +97,12 @@ int run_table1(const std::string& collection_name,
 
   std::cout << "== Table I / " << collection_name << " ==  instances="
             << selected.size() << " timeout=" << options.timeout
-            << "s seed=" << options.seed << "\n";
+            << "s seed=" << options.seed << " threads="
+            << (options.threads == 0 ? 1u : options.threads) << "\n";
 
   util::table_printer table;
-  table.set_header({"engine", "mean(s)", "#t/o", "#ok", "mean/sol(s)",
-                    "avg#sol"});
+  table.set_header({"engine", "mean(s)", "#t/o", "#ok", "#part",
+                    "mean/sol(s)", "avg#sol"});
 
   // optimum sizes per instance for cross-checking.
   std::vector<std::vector<unsigned>> optima(selected.size());
@@ -107,15 +111,23 @@ int run_table1(const std::string& collection_name,
   struct engine_stats {
     std::string name;
     std::size_t solved = 0;
+    /// Solved with a budget-truncated chain enumeration
+    /// (`result::enumeration_complete == false`): the optimum size is
+    /// proven but the run spent the whole budget, so its seconds and
+    /// effort counters are deadline-shaped noise.
+    std::size_t solved_partial = 0;
     std::size_t timeouts = 0;
-    double wall_seconds = 0.0;   ///< wall clock over the whole sweep
-    double total_seconds = 0.0;  ///< engine-reported time, solved only
+    double wall_seconds = 0.0;  ///< wall clock over the whole sweep
+    /// Engine-reported time over *completely enumerated* solves only;
+    /// a partial solve's time is identically the budget.
+    double total_seconds = 0.0;
     std::size_t total_gates = 0;
     double total_solutions = 0.0;
-    /// Per-stage effort summed over *solved* instances only: a solved
-    /// run's search is deterministic in the function, so these aggregates
-    /// are machine-independent and regression-gateable (a timed-out run's
-    /// counters depend on where the wall clock cut it off).
+    /// Per-stage effort summed over *completely enumerated* solved
+    /// instances only: such a run's search is deterministic in the
+    /// function, so these aggregates are machine-independent and
+    /// regression-gateable (a timed-out or deadline-cut run's counters
+    /// depend on where the wall clock cut it off).
     core::stage_counters counters;
   };
   std::vector<engine_stats> all_stats;
@@ -125,42 +137,55 @@ int run_table1(const std::string& collection_name,
     util::stopwatch engine_timer;
     double total_seconds = 0.0;
     std::size_t solved = 0;
+    std::size_t solved_partial = 0;
     std::size_t timeouts = 0;
     std::size_t total_gates = 0;
     double total_solutions = 0.0;
     double total_per_solution = 0.0;
     core::stage_counters counters;
     for (std::size_t i = 0; i < selected.size(); ++i) {
-      const auto r =
-          core::exact_synthesis(selected[i], which, options.timeout);
+      core::run_context run_ctx{options.timeout};
+      synth::spec spec;
+      spec.function = selected[i];
+      spec.ctx = &run_ctx;
+      spec.num_threads = options.threads;
+      const auto r = core::exact_synthesis(spec, which);
       if (r.ok()) {
         ++solved;
-        total_seconds += r.seconds;
         total_gates += r.optimum_gates;
-        total_solutions += static_cast<double>(r.chains.size());
-        total_per_solution +=
-            r.seconds / static_cast<double>(r.chains.size());
         optima[i].push_back(r.optimum_gates);
-        counters += r.counters;
+        if (r.enumeration_complete) {
+          total_seconds += r.seconds;
+          total_solutions += static_cast<double>(r.chains.size());
+          total_per_solution +=
+              r.seconds / static_cast<double>(r.chains.size());
+          counters += r.counters;
+        } else {
+          ++solved_partial;
+        }
       } else {
         ++timeouts;
       }
     }
-    all_stats.push_back(engine_stats{engine_name, solved, timeouts,
+    const std::size_t complete = solved - solved_partial;
+    all_stats.push_back(engine_stats{engine_name, solved, solved_partial,
+                                     timeouts,
                                      engine_timer.elapsed_seconds(),
                                      total_seconds, total_gates,
                                      total_solutions, counters});
     const double mean =
-        solved > 0 ? total_seconds / static_cast<double>(solved) : 0.0;
+        complete > 0 ? total_seconds / static_cast<double>(complete) : 0.0;
     std::vector<std::string> row{
         core::to_string(which), util::table_printer::fmt(mean),
-        std::to_string(timeouts), std::to_string(solved)};
+        std::to_string(timeouts), std::to_string(solved),
+        std::to_string(solved_partial)};
     if (which == core::engine::stp) {
       row.push_back(util::table_printer::fmt(
-          solved > 0 ? total_per_solution / static_cast<double>(solved)
-                     : 0.0));
+          complete > 0 ? total_per_solution / static_cast<double>(complete)
+                       : 0.0));
       row.push_back(util::table_printer::fmt(
-          solved > 0 ? total_solutions / static_cast<double>(solved) : 0.0,
+          complete > 0 ? total_solutions / static_cast<double>(complete)
+                       : 0.0,
           1));
     } else {
       row.push_back("-");
@@ -193,25 +218,32 @@ int run_table1(const std::string& collection_name,
          << ",\"instances\":" << selected.size()
          << ",\"timeout_s\":" << options.timeout
          << ",\"seed\":" << options.seed
+         << ",\"threads\":" << (options.threads == 0 ? 1u : options.threads)
          << ",\"disagreements\":" << disagreements << ",\"engines\":[";
     for (std::size_t i = 0; i < all_stats.size(); ++i) {
       const auto& s = all_stats[i];
       const auto solved = static_cast<double>(s.solved);
+      const auto complete =
+          static_cast<double>(s.solved - s.solved_partial);
       if (i > 0) {
         json << ",";
       }
+      // `mean_seconds` and `avg_solutions` average over the *completely
+      // enumerated* solves only: a partial solve's time is identically
+      // the budget and its solution count is deadline-shaped.
       json << "{\"engine\":\"" << s.name << "\""
            << ",\"solved\":" << s.solved
+           << ",\"solved_partial\":" << s.solved_partial
            << ",\"timeouts\":" << s.timeouts
            << ",\"wall_seconds\":" << s.wall_seconds
            << ",\"mean_seconds\":"
-           << (s.solved > 0 ? s.total_seconds / solved : 0.0)
+           << (complete > 0 ? s.total_seconds / complete : 0.0)
            << ",\"total_gates\":" << s.total_gates
            << ",\"mean_gates\":"
            << (s.solved > 0 ? static_cast<double>(s.total_gates) / solved
                             : 0.0)
            << ",\"avg_solutions\":"
-           << (s.solved > 0 ? s.total_solutions / solved : 0.0)
+           << (complete > 0 ? s.total_solutions / complete : 0.0)
            << ",\"counters\":{"
            << "\"fences_enumerated\":" << s.counters.fences_enumerated
            << ",\"dags_generated\":" << s.counters.dags_generated
@@ -222,6 +254,9 @@ int run_table1(const std::string& collection_name,
            << s.counters.factorization_prunes
            << ",\"dont_care_expansions\":"
            << s.counters.dont_care_expansions
+           << ",\"factor_memo_hits\":" << s.counters.factor_memo_hits
+           << ",\"factor_memo_misses\":"
+           << s.counters.factor_memo_misses
            << ",\"allsat_propagations\":" << s.counters.allsat_propagations
            << ",\"allsat_merges\":" << s.counters.allsat_merges
            << ",\"sat_decisions\":" << s.counters.sat_decisions

@@ -11,7 +11,7 @@
 /// seconds of budget each).  `--full` (or env STP_BENCH_FULL=1) switches to
 /// paper-scale settings: the whole collection with a 180 s timeout.
 /// Other flags: --count=N, --timeout=SECONDS, --engines=stp,bms,fen,cegar,
-/// --seed=S.
+/// --seed=S, --threads=N (STP DAG-sweep workers).
 
 #pragma once
 
@@ -27,6 +27,11 @@ struct table1_options {
   double timeout = 3.0;        ///< per-instance budget in seconds
   bool full = false;           ///< paper-scale run
   std::uint64_t seed = 1;      ///< generator seed (printed for provenance)
+  /// Worker threads for the STP engine's intra-instance DAG sweep
+  /// (`--threads=N`; 0 keeps the engine default of 1).  The solution set
+  /// and the deterministic counters are thread-count independent, so the
+  /// flag only moves wall clock.
+  unsigned threads = 0;
   std::vector<std::string> engines{"bms", "fen", "cegar", "stp"};
   /// When non-empty, per-collection wall-clock and gate-count stats are
   /// also written to this path as one JSON object (`--json <path>` or

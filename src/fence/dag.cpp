@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <unordered_set>
 
 namespace stpes::fence {
@@ -74,10 +75,16 @@ struct generator {
 
   dag_topology current;
   std::vector<unsigned> level_first;  // first gate index of each level
+  mutable std::uint64_t ticks = 0;
 
   bool limit_reached() const {
+    // A cancel is an atomic load (cheap, polled every call); the deadline
+    // needs a clock read, so it is polled at a stride.  Without the stride
+    // poll a single large fence can overrun the budget by seconds.
     return (options.limit != 0 && out.size() >= options.limit) ||
-           (ctx != nullptr && ctx->cancel_requested());
+           (ctx != nullptr &&
+            (ctx->cancel_requested() ||
+             ((++ticks & 0x3FF) == 0 && ctx->deadline_expired())));
   }
 
   void pruned() const {

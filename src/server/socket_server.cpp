@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "server/fd_stream.hpp"
+#include "util/failpoint.hpp"
 
 namespace stpes::server {
 
@@ -82,7 +83,16 @@ void unix_socket_server::run() {
     if ((fds[0].revents & POLLIN) == 0) {
       continue;
     }
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    // Accept-time fault seam: an injected errno behaves exactly like a
+    // transient kernel-level accept failure (ECONNABORTED, EMFILE, ...) —
+    // the connection is dropped, the loop keeps serving.
+    int client = -1;
+    if (const int injected = STPES_FAILPOINT_ERRNO("socket_server.accept");
+        injected != 0) {
+      errno = injected;
+    } else {
+      client = ::accept(listen_fd_, nullptr, nullptr);
+    }
     if (client < 0) {
       continue;
     }

@@ -188,6 +188,7 @@ batch_result batch_synthesizer::run(
           auto& slot = out.results[m.index];
           slot.outcome = canonical_result.outcome;
           slot.optimum_gates = canonical_result.optimum_gates;
+          slot.enumeration_complete = canonical_result.enumeration_complete;
           slot.seconds = canonical_result.seconds;
           if (!canonical_result.ok()) {
             continue;  // timeout/failure propagates, as in the serial path
@@ -296,11 +297,12 @@ void batch_synthesizer::warm_entries(const std::vector<cache_entry>& entries,
       ++report.skipped_engine;
       continue;
     }
-    if (!e.result.ok() && e.meta.has_value() &&
-        e.meta->budget_seconds != 0.0 &&
+    if ((!e.result.ok() || !e.result.enumeration_complete) &&
+        e.meta.has_value() && e.meta->budget_seconds != 0.0 &&
         (budget == 0.0 || e.meta->budget_seconds < budget)) {
       // Recorded under a smaller budget than we now have: a timeout there
-      // might be a success here, so let it re-run.
+      // might be a success here, and a budget-truncated (partial) chain
+      // enumeration might be completed here, so let it re-run.
       ++report.skipped_budget;
       continue;
     }
@@ -333,7 +335,10 @@ std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
   const entry_meta meta{wire_engine_name(options_.engine),
                         options_.timeout_seconds};
   for (auto& [function, result] : dumped) {
-    entries.push_back(cache_entry{function, std::move(result), meta});
+    entry_meta entry_provenance = meta;
+    entry_provenance.partial = !result.enumeration_complete;
+    entries.push_back(
+        cache_entry{function, std::move(result), entry_provenance});
   }
   save_cache_file(path, entries);
   return entries.size();
@@ -379,6 +384,12 @@ synth::result batch_synthesizer::run_cancellable(
   metrics_.on_counters(r.counters);
   if (ctx.cancel_requested()) {
     metrics_.on_cancelled();
+    // An explicit cancel beats partial progress: even when the cut run
+    // salvaged optimum chains (success with an incomplete enumeration),
+    // the caller asked for the request to die, so the reply stays
+    // timeout-shaped and the salvage is discarded.
+    r.outcome = synth::status::timeout;
+    r.chains.clear();
     throw job_cancelled{std::move(r)};
   }
   return r;

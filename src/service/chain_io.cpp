@@ -83,6 +83,8 @@ entry_meta parse_meta(std::string_view line) {
       if (meta.budget_seconds < 0.0) {
         fail("bad meta budget: " + value);
       }
+    } else if (key == "partial") {
+      meta.partial = value != "0";
     }
     // Unknown keys: tolerated, so future writers can extend the meta line
     // without bumping the header version.
@@ -122,7 +124,11 @@ std::string serialize_entry(const cache_entry& e) {
     if (!e.meta->engine.empty()) {
       os << " engine=" << e.meta->engine;
     }
-    os << " budget=" << e.meta->budget_seconds << "\n";
+    os << " budget=" << e.meta->budget_seconds;
+    if (e.meta->partial) {
+      os << " partial=1";
+    }
+    os << "\n";
   }
   for (const auto& c : e.result.chains) {
     os << serialize_chain(c) << "\n";
@@ -163,6 +169,9 @@ std::pair<cache_entry, std::size_t> parse_entry(
   // Optional `meta` line between the entry header and its chains.
   if (i < lines.size() && lines[i].rfind("meta", 0) == 0) {
     e.meta = parse_meta(lines[i]);
+    if (e.meta->partial) {
+      e.result.enumeration_complete = false;
+    }
     ++i;
   }
   e.result.chains.reserve(num_chains);

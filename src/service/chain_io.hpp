@@ -80,6 +80,12 @@ struct entry_meta {
   std::string engine;
   /// Wall-clock budget the result was computed under; 0 = unlimited.
   double budget_seconds = 0.0;
+  /// True when the recorded success carries a budget-truncated
+  /// (incomplete) chain enumeration — `result::enumeration_complete` was
+  /// false when the entry was persisted.  Like a recorded timeout, such
+  /// an entry is only trusted under a budget no larger than the one it
+  /// was computed with.
+  bool partial = false;
 };
 
 /// One persisted cache entry: a function and its full synthesis result.

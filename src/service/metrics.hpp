@@ -30,6 +30,8 @@ struct atomic_stage_counters {
   std::atomic<std::uint64_t> factorization_attempts{0};
   std::atomic<std::uint64_t> factorization_prunes{0};
   std::atomic<std::uint64_t> dont_care_expansions{0};
+  std::atomic<std::uint64_t> factor_memo_hits{0};
+  std::atomic<std::uint64_t> factor_memo_misses{0};
   std::atomic<std::uint64_t> allsat_propagations{0};
   std::atomic<std::uint64_t> allsat_merges{0};
   std::atomic<std::uint64_t> sat_decisions{0};
@@ -47,6 +49,10 @@ struct atomic_stage_counters {
                                    std::memory_order_relaxed);
     dont_care_expansions.fetch_add(c.dont_care_expansions,
                                    std::memory_order_relaxed);
+    factor_memo_hits.fetch_add(c.factor_memo_hits,
+                               std::memory_order_relaxed);
+    factor_memo_misses.fetch_add(c.factor_memo_misses,
+                                 std::memory_order_relaxed);
     allsat_propagations.fetch_add(c.allsat_propagations,
                                   std::memory_order_relaxed);
     allsat_merges.fetch_add(c.allsat_merges, std::memory_order_relaxed);
@@ -66,6 +72,9 @@ struct atomic_stage_counters {
         factorization_prunes.load(std::memory_order_relaxed);
     c.dont_care_expansions =
         dont_care_expansions.load(std::memory_order_relaxed);
+    c.factor_memo_hits = factor_memo_hits.load(std::memory_order_relaxed);
+    c.factor_memo_misses =
+        factor_memo_misses.load(std::memory_order_relaxed);
     c.allsat_propagations =
         allsat_propagations.load(std::memory_order_relaxed);
     c.allsat_merges = allsat_merges.load(std::memory_order_relaxed);
@@ -152,6 +161,8 @@ struct metrics_snapshot {
        << "factorizations    " << stage.factorization_attempts << " (+"
        << stage.factorization_prunes << " pruned, "
        << stage.dont_care_expansions << " dc expansions)\n"
+       << "factor_memo       " << stage.factor_memo_hits << " hits, "
+       << stage.factor_memo_misses << " misses\n"
        << "allsat            " << stage.allsat_propagations
        << " propagations, " << stage.allsat_merges << " merges\n"
        << "sat               " << stage.sat_decisions << " decisions, "
@@ -195,6 +206,8 @@ struct metrics_snapshot {
        << ",\"factorization_attempts\":" << stage.factorization_attempts
        << ",\"factorization_prunes\":" << stage.factorization_prunes
        << ",\"dont_care_expansions\":" << stage.dont_care_expansions
+       << ",\"factor_memo_hits\":" << stage.factor_memo_hits
+       << ",\"factor_memo_misses\":" << stage.factor_memo_misses
        << ",\"allsat_propagations\":" << stage.allsat_propagations
        << ",\"allsat_merges\":" << stage.allsat_merges
        << ",\"sat_decisions\":" << stage.sat_decisions

@@ -85,12 +85,23 @@ std::vector<logic_matrix> logic_matrix::split(std::size_t parts) const {
   const unsigned part_vars =
       num_vars() - static_cast<unsigned>(std::countr_zero(parts));
   const std::uint64_t part_cols = std::uint64_t{1} << part_vars;
+  const auto& words = top_.words();
   std::vector<logic_matrix> result;
   result.reserve(parts);
   for (std::size_t p = 0; p < parts; ++p) {
     logic_matrix block{part_vars};
-    for (std::uint64_t c = 0; c < part_cols; ++c) {
-      block.set_column(c, column_is_true(p * part_cols + c));
+    if (part_cols >= 64) {
+      // Word-aligned block: hand the source words over directly.
+      const std::size_t part_words = static_cast<std::size_t>(part_cols / 64);
+      block.top_ = tt::truth_table::from_words(
+          part_vars, words.data() + p * part_words, part_words);
+    } else {
+      // Sub-word block: part_cols divides 64, so the block never straddles
+      // a word boundary.
+      const std::uint64_t first = p * part_cols;
+      const std::uint64_t mask = (std::uint64_t{1} << part_cols) - 1;
+      const std::uint64_t w = (words[first >> 6] >> (first & 63)) & mask;
+      block.top_ = tt::truth_table::from_words(part_vars, &w, 1);
     }
     result.push_back(std::move(block));
   }
@@ -98,10 +109,18 @@ std::vector<logic_matrix> logic_matrix::split(std::size_t parts) const {
 }
 
 std::vector<std::uint64_t> logic_matrix::true_columns() const {
+  const auto& words = top_.words();
+  std::size_t count = 0;
+  for (const std::uint64_t w : words) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
   std::vector<std::uint64_t> cols;
-  for (std::uint64_t c = 0; c < num_cols(); ++c) {
-    if (column_is_true(c)) {
-      cols.push_back(c);
+  cols.reserve(count);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint64_t base = static_cast<std::uint64_t>(i) << 6;
+    for (std::uint64_t w = words[i]; w != 0; w &= w - 1) {
+      cols.push_back(base +
+                     static_cast<std::uint64_t>(std::countr_zero(w)));
     }
   }
   return cols;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace stpes::stp {
 
@@ -54,10 +55,19 @@ matrix matrix::boolean_true() { return matrix{{1}, {0}}; }
 matrix matrix::boolean_false() { return matrix{{0}, {1}}; }
 
 matrix matrix::multiply(const matrix& other) const {
+  matrix result;
+  multiply_into(other, result);
+  return result;
+}
+
+void matrix::multiply_into(const matrix& other, matrix& result) const {
   if (cols_ != other.rows_) {
     throw std::invalid_argument{"matrix::multiply: dimension mismatch"};
   }
-  matrix result{rows_, other.cols_};
+  assert(&result != this && &result != &other);
+  result.rows_ = rows_;
+  result.cols_ = other.cols_;
+  result.data_.assign(rows_ * other.cols_, 0);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const int v = at(r, k);
@@ -69,7 +79,6 @@ matrix matrix::multiply(const matrix& other) const {
       }
     }
   }
-  return result;
 }
 
 matrix matrix::kronecker(const matrix& other) const {
@@ -91,13 +100,43 @@ matrix matrix::kronecker(const matrix& other) const {
   return result;
 }
 
+matrix matrix::kron_identity(std::size_t k) const {
+  matrix result{rows_ * k, cols_ * k};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const int v = at(r, c);
+      if (v == 0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        result.at(r * k + i, c * k + i) = v;
+      }
+    }
+  }
+  return result;
+}
+
 matrix matrix::stp(const matrix& other) const {
+  matrix result;
+  stp_into(other, result);
+  return result;
+}
+
+void matrix::stp_into(const matrix& other, matrix& result) const {
   const std::size_t t = std::lcm(cols_, other.rows_);
-  const matrix left =
-      t == cols_ ? *this : kronecker(identity(t / cols_));
-  const matrix right =
-      t == other.rows_ ? other : other.kronecker(identity(t / other.rows_));
-  return left.multiply(right);
+  const matrix* left = this;
+  const matrix* right = &other;
+  matrix left_pad;
+  matrix right_pad;
+  if (t != cols_) {
+    left_pad = kron_identity(t / cols_);
+    left = &left_pad;
+  }
+  if (t != other.rows_) {
+    right_pad = other.kron_identity(t / other.rows_);
+    right = &right_pad;
+  }
+  left->multiply_into(*right, result);
 }
 
 std::string matrix::to_string() const {
@@ -120,8 +159,10 @@ matrix stp_chain(const std::vector<matrix>& factors) {
     throw std::invalid_argument{"stp_chain: empty product"};
   }
   matrix acc = factors.front();
+  matrix scratch;  // ping-pongs with acc so each step reuses capacity
   for (std::size_t i = 1; i < factors.size(); ++i) {
-    acc = acc.stp(factors[i]);
+    acc.stp_into(factors[i], scratch);
+    std::swap(acc, scratch);
   }
   return acc;
 }

@@ -64,12 +64,26 @@ public:
   /// Ordinary matrix product (requires cols() == other.rows()).
   [[nodiscard]] matrix multiply(const matrix& other) const;
 
+  /// Ordinary matrix product written into `result`, reusing its storage
+  /// (no allocation when `result` already has capacity).  `result` must
+  /// not alias either operand.
+  void multiply_into(const matrix& other, matrix& result) const;
+
   /// Kronecker product.
   [[nodiscard]] matrix kronecker(const matrix& other) const;
+
+  /// `*this (x) I_k`, built directly from the diagonal structure — the
+  /// identity factor of the lcm padding is never materialized.
+  [[nodiscard]] matrix kron_identity(std::size_t k) const;
 
   /// Semi-tensor product per Definition 1:
   /// X |x Y = (X (x) I_{t/n}) * (Y (x) I_{t/p}) with t = lcm(n, p).
   [[nodiscard]] matrix stp(const matrix& other) const;
+
+  /// Semi-tensor product written into `result` (same contract as
+  /// `multiply_into`); the long left-to-right products of `stp_chain` ping
+  /// -pong between two buffers instead of allocating per factor.
+  void stp_into(const matrix& other, matrix& result) const;
 
   /// Multi-line debug rendering.
   [[nodiscard]] std::string to_string() const;

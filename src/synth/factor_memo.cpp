@@ -1,0 +1,52 @@
+#include "synth/factor_memo.hpp"
+
+#include <utility>
+
+namespace stpes::synth {
+
+std::size_t factor_key_hash::operator()(const factor_key& k) const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 12) + (h >> 21);
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return h;
+  };
+  std::uint64_t h = 0x2545F4914F6CDD1Dull;
+  h = mix(h, k.cone);
+  h = mix(h, (static_cast<std::uint64_t>(k.cone_a) << 32) | k.cone_b);
+  h = mix(h, k.onset.hash());
+  h = mix(h, k.careset.hash());
+  return static_cast<std::size_t>(h);
+}
+
+const factor_memo::factorizations_ptr* factor_memo::find(
+    const factor_key& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void factor_memo::insert(factor_key key, factorizations_ptr value) {
+  map_.try_emplace(std::move(key), std::move(value));
+}
+
+void factor_memo::merge_from(factor_memo&& delta, std::size_t cap) {
+  if (map_.empty() && (cap == 0 || delta.map_.size() <= cap)) {
+    map_ = std::move(delta.map_);
+    return;
+  }
+  if (cap == 0 || map_.size() + delta.map_.size() <= cap) {
+    // Node splice: no per-entry allocation; existing entries win, same as
+    // try_emplace.
+    map_.merge(delta.map_);
+  } else {
+    for (auto& [key, value] : delta.map_) {
+      if (map_.size() >= cap) {
+        break;
+      }
+      map_.try_emplace(key, std::move(value));
+    }
+  }
+  delta.map_.clear();
+}
+
+}  // namespace stpes::synth

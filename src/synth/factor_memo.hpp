@@ -1,0 +1,80 @@
+/// \file factor_memo.hpp
+/// \brief Per-run memo of requirement factorizations.
+///
+/// The DAG search re-derives the same child requirements across thousands
+/// of candidate topologies that share sub-structure; the memo caches the
+/// complete answer of `factor_requirement` for every query it has seen —
+/// including the empty list, which is a real UNSAT verdict for the split,
+/// not a cache miss.  Keys are full (no lossy hashing): a collision could
+/// silently drop solutions, and the key is a handful of inline words.
+///
+/// Concurrency model: during one gate-count level of the parallel sweep
+/// the memo accumulated from previous levels is immutable and read by all
+/// worker tasks; each task records its new entries in a private delta
+/// memo, and the deltas are folded back in task order once the workers
+/// have joined.  That keeps every lookup lock-free and the hit/miss
+/// counters bit-identical at any thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/factorize.hpp"
+#include "tt/truth_table.hpp"
+
+namespace stpes::synth {
+
+/// Full key of one factorization query: the requirement (cone + ISF) and
+/// the fixed child cone split.  Deliberately NOT canonicalized under
+/// (cone_a, cone_b) exchange: the per-family branch caps truncate the
+/// enumeration order-dependently, so a mirrored query can legitimately
+/// yield a different surviving branch set.
+struct factor_key {
+  std::uint32_t cone = 0;
+  std::uint32_t cone_a = 0;
+  std::uint32_t cone_b = 0;
+  tt::truth_table onset;
+  tt::truth_table careset;
+
+  bool operator==(const factor_key& other) const {
+    return cone == other.cone && cone_a == other.cone_a &&
+           cone_b == other.cone_b && onset == other.onset &&
+           careset == other.careset;
+  }
+};
+
+struct factor_key_hash {
+  std::size_t operator()(const factor_key& k) const;
+};
+
+/// Maps factorization queries to their complete (possibly empty) branch
+/// lists.  Values are shared_ptr so callers hold results alive for free
+/// across rehashes and across the thread-pool merge.
+class factor_memo {
+public:
+  using factorizations_ptr = std::shared_ptr<const std::vector<factorization>>;
+
+  /// Looks up `key`; nullptr when the query was never solved.  A non-null
+  /// result pointing at an empty vector is a cached UNSAT verdict.
+  [[nodiscard]] const factorizations_ptr* find(const factor_key& key) const;
+
+  /// Records the answer for `key`; an existing entry is kept (identical by
+  /// construction — `factor_requirement` is a pure function of the key).
+  void insert(factor_key key, factorizations_ptr value);
+
+  /// Adopts entries of `delta` not already present, stopping once this
+  /// memo holds `cap` entries (0 = unlimited).  Called once per worker
+  /// task, in task order, after a parallel level has joined; the cap keeps
+  /// the merged memo within the same bound the tasks honoured locally.
+  void merge_from(factor_memo&& delta, std::size_t cap = 0);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+private:
+  std::unordered_map<factor_key, factorizations_ptr, factor_key_hash> map_;
+};
+
+}  // namespace stpes::synth

@@ -2,59 +2,55 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 #include <numeric>
+#include <utility>
 
 namespace stpes::synth {
 
 namespace {
 
-/// Expands a variable mask into a minterm-assignment mask.
+/// Expands a variable mask into a minterm-assignment mask.  Minterm bit v
+/// is exactly the value of variable v, so this is the variable mask
+/// restricted to the function's inputs.
 std::uint64_t assignment_mask(std::uint32_t var_mask, unsigned num_vars) {
-  std::uint64_t mask = 0;
-  for (unsigned v = 0; v < num_vars; ++v) {
-    if ((var_mask >> v) & 1) {
-      mask |= std::uint64_t{1} << v;
-    }
-  }
-  return mask;
+  return var_mask & ((std::uint64_t{1} << num_vars) - 1);
 }
 
-/// Cell state for the AND-like solve.
-enum : std::uint8_t { kUnknown = 0, kOne = 1, kZero = 2 };
+/// Builds a child ISF from its class-replicated forced-one set and a
+/// forced-zero set that carries at least one representative bit per
+/// forced-zero class: smoothing over the variables outside the cone
+/// replicates every zero across its whole minterm class.
+tt::isf child_isf(const tt::truth_table& one_full, const tt::truth_table& zero,
+                  std::uint32_t cone) {
+  const tt::truth_table zero_full = zero.smooth_over(~cone);
+  return tt::isf{one_full, one_full | zero_full};
+}
 
-/// Builds the global-space ISF of a child from per-cell states.
-tt::isf isf_from_cells(const std::vector<std::uint8_t>& cells,
-                       std::uint64_t amask, unsigned num_vars) {
-  tt::truth_table on{num_vars};
-  tt::truth_table care{num_vars};
-  const std::uint64_t bits = std::uint64_t{1} << num_vars;
-  for (std::uint64_t m = 0; m < bits; ++m) {
-    switch (cells[m & amask]) {
-      case kOne:
-        on.set_bit(m, true);
-        care.set_bit(m, true);
-        break;
-      case kZero:
-        care.set_bit(m, true);
-        break;
-      default:
-        break;
+/// Calls `fn(m)` for every set minterm of `table`, in minterm order.
+template <typename Fn>
+void for_each_one(const tt::truth_table& table, Fn&& fn) {
+  const auto& words = table.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    for (std::uint64_t w = words[wi]; w != 0; w &= w - 1) {
+      fn((std::uint64_t{wi} << 6) +
+         static_cast<std::uint64_t>(std::countr_zero(w)));
     }
   }
-  return tt::isf{on, care};
 }
 
 struct and_solver {
   const factorize_options& options;
   core::run_context* ctx;
-  unsigned num_vars;
-  std::uint64_t amask, bmask;
-  std::vector<std::uint8_t> u, v;
+  std::uint32_t cone_a, cone_b;
+  bool complemented;
+  // Forced-one sets are class-replicated across the full input space;
+  // forced-zero sets hold the replicated static zeros plus one
+  // representative bit per branch choice (replicated again at emit).
+  tt::truth_table u_one, v_one, u_zero, v_zero;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
   std::vector<factorization>& out;
-  bool complemented;
-  std::uint32_t cone_a, cone_b;
   std::size_t emitted = 0;
 
   void emit() {
@@ -65,8 +61,8 @@ struct and_solver {
     factorization f;
     f.family = op_family::and_like;
     f.output_complemented = complemented;
-    f.left = requirement{cone_a, isf_from_cells(u, amask, num_vars)};
-    f.right = requirement{cone_b, isf_from_cells(v, bmask, num_vars)};
+    f.left = requirement{cone_a, child_isf(u_one, u_zero, cone_a)};
+    f.right = requirement{cone_b, child_isf(v_one, v_zero, cone_b)};
     out.push_back(std::move(f));
   }
 
@@ -79,7 +75,7 @@ struct and_solver {
     }
     while (next < pending.size()) {
       const auto [a, b] = pending[next];
-      if (u[a] == kZero || v[b] == kZero) {
+      if (u_zero.get_bit(a) || v_zero.get_bit(b)) {
         ++next;  // already satisfied by an earlier choice
         continue;
       }
@@ -88,14 +84,12 @@ struct and_solver {
       if (ctx != nullptr) {
         ++ctx->counters.dont_care_expansions;
       }
-      const auto saved_u = u[a];
-      u[a] = kZero;
+      u_zero.set_bit(a, true);
       branch(next + 1);
-      u[a] = saved_u;
-      const auto saved_v = v[b];
-      v[b] = kZero;
+      u_zero.set_bit(a, false);
+      v_zero.set_bit(b, true);
       branch(next + 1);
-      v[b] = saved_v;
+      v_zero.set_bit(b, false);
       return;
     }
     emit();
@@ -109,67 +103,37 @@ void solve_and_family(const requirement& r, bool complemented,
                       core::run_context* ctx,
                       std::vector<factorization>& out) {
   const unsigned n = r.func.num_vars();
-  const std::uint64_t bits = std::uint64_t{1} << n;
   const std::uint64_t amask = assignment_mask(cone_a, n);
   const std::uint64_t bmask = assignment_mask(cone_b, n);
-
   const tt::isf target = complemented ? r.func.complement() : r.func;
-  std::vector<std::uint8_t> u(bits, kUnknown);
-  std::vector<std::uint8_t> v(bits, kUnknown);
+  const tt::truth_table off = target.offset();
 
-  // Forced assignments from on-minterms.
-  for (std::uint64_t m = 0; m < bits; ++m) {
-    if (!target.careset().get_bit(m) || !target.onset().get_bit(m)) {
-      continue;
-    }
-    u[m & amask] = kOne;
-    v[m & bmask] = kOne;
+  // Forced ones: every cell class containing an on-minterm must output 1.
+  // One smooth per cone replaces a pass over every minterm.
+  const tt::truth_table u_one = target.onset().smooth_over(~cone_a);
+  const tt::truth_table v_one = target.onset().smooth_over(~cone_b);
+  // An off-minterm whose classes are forced one on both sides makes the
+  // split unsatisfiable.
+  if (!(off & u_one & v_one).is_const0()) {
+    return;
   }
-  // Off-minterm constraints: propagate or collect choices.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
-  for (std::uint64_t m = 0; m < bits; ++m) {
-    if (!target.careset().get_bit(m) || target.onset().get_bit(m)) {
-      continue;
-    }
-    const std::uint64_t a = m & amask;
-    const std::uint64_t b = m & bmask;
-    if (u[a] == kOne && v[b] == kOne) {
-      return;  // unsatisfiable split
-    }
-    if (u[a] == kOne) {
-      v[b] = kZero;
-    } else if (v[b] == kOne) {
-      u[a] = kZero;
-    } else {
-      pending.emplace_back(a, b);
-    }
-  }
-  // Re-check pending constraints against the forced zeros, then branch.
+  // An off-minterm with exactly one side forced one forces the other
+  // side's class to zero (the smooth replicates across the class).
+  const tt::truth_table v_zero = (off & u_one).smooth_over(~cone_b);
+  const tt::truth_table u_zero = (off & v_one).smooth_over(~cone_a);
+  // Everything left is a free binary choice for the brancher.
+  const tt::truth_table open_set = off & ~u_one & ~v_one & ~u_zero & ~v_zero;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> open;
-  for (const auto& [a, b] : pending) {
-    if (u[a] == kZero || v[b] == kZero) {
-      continue;
-    }
-    if (u[a] == kOne && v[b] == kOne) {
-      return;
-    }
-    if (u[a] == kOne) {
-      v[b] = kZero;
-      continue;
-    }
-    if (v[b] == kOne) {
-      u[a] = kZero;
-      continue;
-    }
-    open.emplace_back(a, b);
-  }
+  for_each_one(open_set, [&](std::uint64_t m) {
+    open.emplace_back(m & amask, m & bmask);
+  });
   // Deduplicate identical constraints to keep branching shallow.
   std::sort(open.begin(), open.end());
   open.erase(std::unique(open.begin(), open.end()), open.end());
 
-  and_solver solver{options,      ctx,  n,   amask,        bmask,
-                    std::move(u), std::move(v), open, out,
-                    complemented, cone_a,       cone_b};
+  and_solver solver{options, ctx,    cone_a, cone_b,          complemented,
+                    u_one,   v_one,  u_zero, v_zero,          std::move(open),
+                    out};
   solver.branch(0);
 }
 
@@ -218,6 +182,13 @@ struct parity_dsu {
   }
 };
 
+/// Representative-bit masks of one parity component, bucketed by side and
+/// by the cell value under the identity (no-flip) assignment.  Flipping
+/// the component swaps the one/zero roles.
+struct component_masks {
+  tt::truth_table u_one, u_zero, v_one, v_zero;
+};
+
 /// XOR-like solve for R' = u ^ v on the care set.
 void solve_xor_family(const requirement& r, bool complemented,
                       std::uint32_t cone_a, std::uint32_t cone_b,
@@ -233,36 +204,61 @@ void solve_xor_family(const requirement& r, bool complemented,
   // Cell ids: u-cell m|A -> (m & amask), v-cell m|B -> bits + (m & bmask).
   parity_dsu dsu(2 * bits);
   std::vector<char> touched(2 * bits, 0);
-  for (std::uint64_t m = 0; m < bits; ++m) {
-    if (!target.careset().get_bit(m)) {
-      continue;
+  const auto& on_words = target.onset().words();
+  bool conflict = false;
+  for_each_one(target.careset(), [&](std::uint64_t m) {
+    if (conflict) {
+      return;
     }
     const auto ua = static_cast<std::uint32_t>(m & amask);
     const auto vb = static_cast<std::uint32_t>(bits + (m & bmask));
     touched[ua] = 1;
     touched[vb] = 1;
-    if (!dsu.unite(ua, vb,
-                   target.onset().get_bit(m) ? std::uint8_t{1}
-                                             : std::uint8_t{0})) {
-      return;  // parity conflict: not XOR-decomposable on this split
-    }
+    const auto rel =
+        static_cast<std::uint8_t>((on_words[m >> 6] >> (m & 63)) & 1);
+    conflict = !dsu.unite(ua, vb, rel);
+  });
+  if (conflict) {
+    return;  // parity conflict: not XOR-decomposable on this split
   }
 
-  // Collect component roots of touched cells.
+  // One pass over the cells: collect component roots in first-seen order
+  // and bucket every cell's representative bit by (component, side,
+  // no-flip value), so each flip pattern below is a handful of word ORs.
   std::vector<std::uint32_t> roots;
+  std::vector<component_masks> comps;
   for (std::uint32_t c = 0; c < 2 * bits; ++c) {
     if (!touched[c]) {
       continue;
     }
     const auto [root, parity] = dsu.find(c);
-    (void)parity;
-    if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+    auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
       roots.push_back(root);
+      comps.push_back(component_masks{tt::truth_table{n}, tt::truth_table{n},
+                                      tt::truth_table{n}, tt::truth_table{n}});
+      it = roots.end() - 1;
     }
+    auto& cm = comps[static_cast<std::size_t>(it - roots.begin())];
+    const bool is_u = c < bits;
+    const std::uint64_t cls = is_u ? c : c - bits;
+    tt::truth_table& mask = is_u ? (parity != 0 ? cm.u_one : cm.u_zero)
+                                 : (parity != 0 ? cm.v_one : cm.v_zero);
+    mask.set_bit(cls, true);
   }
   const unsigned flip_bits =
       std::min<unsigned>(static_cast<unsigned>(roots.size()),
                          options.max_xor_components);
+  // Components beyond the flip budget keep the identity assignment.
+  component_masks fixed{tt::truth_table{n}, tt::truth_table{n},
+                        tt::truth_table{n}, tt::truth_table{n}};
+  for (std::size_t k = flip_bits; k < comps.size(); ++k) {
+    fixed.u_one |= comps[k].u_one;
+    fixed.u_zero |= comps[k].u_zero;
+    fixed.v_one |= comps[k].v_one;
+    fixed.v_zero |= comps[k].v_zero;
+  }
+
   std::size_t emitted = 0;
   for (std::uint64_t flips = 0; flips < (std::uint64_t{1} << flip_bits);
        ++flips) {
@@ -276,27 +272,21 @@ void solve_xor_family(const requirement& r, bool complemented,
         break;
       }
     }
-    std::vector<std::uint8_t> u(bits, kUnknown);
-    std::vector<std::uint8_t> v(bits, kUnknown);
-    for (std::uint32_t c = 0; c < 2 * bits; ++c) {
-      if (!touched[c]) {
-        continue;
-      }
-      auto [root, parity] = dsu.find(c);
-      const auto root_pos = static_cast<std::size_t>(
-          std::find(roots.begin(), roots.end(), root) - roots.begin());
-      std::uint8_t value = parity;
-      if (root_pos < flip_bits && ((flips >> root_pos) & 1)) {
-        value ^= 1;
-      }
-      auto& side = c < bits ? u : v;
-      side[c < bits ? c : c - bits] = value ? kOne : kZero;
+    component_masks sel = fixed;
+    for (unsigned k = 0; k < flip_bits; ++k) {
+      const bool flip = ((flips >> k) & 1) != 0;
+      sel.u_one |= flip ? comps[k].u_zero : comps[k].u_one;
+      sel.u_zero |= flip ? comps[k].u_one : comps[k].u_zero;
+      sel.v_one |= flip ? comps[k].v_zero : comps[k].v_one;
+      sel.v_zero |= flip ? comps[k].v_one : comps[k].v_zero;
     }
     factorization f;
     f.family = op_family::xor_like;
     f.output_complemented = complemented;
-    f.left = requirement{cone_a, isf_from_cells(u, amask, n)};
-    f.right = requirement{cone_b, isf_from_cells(v, bmask, n)};
+    f.left = requirement{
+        cone_a, child_isf(sel.u_one.smooth_over(~cone_a), sel.u_zero, cone_a)};
+    f.right = requirement{
+        cone_b, child_isf(sel.v_one.smooth_over(~cone_b), sel.v_zero, cone_b)};
     out.push_back(std::move(f));
     ++emitted;
   }

@@ -30,6 +30,10 @@ struct spec {
   core::run_context* ctx = nullptr;
   /// Upper bound on chain size before giving up as unrealizable.
   unsigned max_gates = 24;
+  /// Worker threads for engines with an intra-instance parallel search
+  /// (currently the STP DAG sweep): 0 = keep the engine's configured
+  /// default, 1 = force sequential, N = fan out over N workers.
+  unsigned num_threads = 0;
 };
 
 enum class status { success, timeout, failure };
@@ -44,6 +48,15 @@ struct result {
   std::vector<chain::boolean_chain> chains;
   /// Optimum step count (valid when outcome == success).
   unsigned optimum_gates = 0;
+  /// True when `chains` is the engine's complete solution set under its
+  /// configured caps.  False when the deadline (or an external cancel)
+  /// cut the optimum level's sweep after at least one optimum chain was
+  /// verified: `optimum_gates` is still the proven minimum — every
+  /// smaller gate count was exhausted before the level started — but
+  /// `chains` may be a strict subset of the complete set.  This is the
+  /// same notion of "solved" that single-solution CNF engines report;
+  /// those engines always set it to true.
+  bool enumeration_complete = true;
   /// Wall-clock seconds spent.
   double seconds = 0.0;
   /// Per-stage effort spent on this call (delta, not cumulative).

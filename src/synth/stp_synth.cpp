@@ -4,14 +4,18 @@
 #include <bit>
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "allsat/circuit_allsat.hpp"
 #include "fence/dag.hpp"
 #include "fence/fence.hpp"
+#include "service/thread_pool.hpp"
+#include "synth/factor_memo.hpp"
 
 namespace stpes::synth {
 
@@ -59,45 +63,26 @@ struct slot_index_map {
   }
 };
 
-/// Strongly mixed 64-bit cache key for factorization results (requirement +
-/// cone split).  A full-key map would dodge the (astronomically unlikely)
-/// collision; every cached chain is independently re-verified by the
-/// circuit solver, so a collision can only lose solutions, not emit wrong
-/// ones.
-std::uint64_t factor_cache_key(const requirement& r, std::uint32_t cone_a,
-                               std::uint32_t cone_b) {
-  auto mix = [](std::uint64_t h, std::uint64_t v) {
-    h ^= v + 0x9E3779B97F4A7C15ull + (h << 12) + (h >> 21);
-    h *= 0xFF51AFD7ED558CCDull;
-    h ^= h >> 33;
-    return h;
-  };
-  std::uint64_t h = 0x2545F4914F6CDD1Dull;
-  h = mix(h, r.cone);
-  h = mix(h, r.func.onset().hash());
-  h = mix(h, r.func.careset().hash());
-  h = mix(h, (static_cast<std::uint64_t>(cone_a) << 32) | cone_b);
-  return h;
-}
-
 struct search_context {
   const stp_options& options;
-  tt::isf target;           // root requirement (complete or with DCs)
+  const tt::isf& target;    // root requirement (complete or with DCs)
   std::uint32_t root_cone;  // variables the root may consume
   unsigned num_vars;
-  core::run_context& rc;  // shared deadline / cancel flag / counters
+  core::run_context& rc;  // this task's deadline / cancel flag / counters
   stp_stats& stats;
+
+  /// Two-level factorization memo: `shared_memo` holds everything learned
+  /// before this level started (immutable while tasks run), `local_memo`
+  /// collects this task's new entries for the post-join merge.  Same split
+  /// for the fruitless-pending-state memo (keys include the structural
+  /// suffix of the DAG, so they transfer across DAGs and levels).
+  const factor_memo& shared_memo;
+  factor_memo& local_memo;
+  const std::unordered_set<std::uint64_t>& shared_failed;
+  std::unordered_set<std::uint64_t>& local_failed;
 
   std::vector<chain::boolean_chain> solutions;
   std::unordered_set<std::size_t> solution_hashes;
-  /// Factorizations repeat massively across DAGs and branches.  Values are
-  /// shared_ptr so callers hold them alive for free across rehashes.
-  std::unordered_map<std::uint64_t,
-                     std::shared_ptr<const std::vector<factorization>>>
-      factor_cache;
-  /// Pending states proven fruitless, shared across DAGs of one size
-  /// (the key includes the structural prefix of the DAG).
-  std::unordered_set<std::uint64_t> failed_states;
   bool stop = false;  // cancelled, deadline expired, or solution cap hit
   std::uint64_t ticks = 0;
 
@@ -107,17 +92,40 @@ struct search_context {
     }
   }
 
+  [[nodiscard]] bool state_failed(std::uint64_t key) const {
+    return shared_failed.contains(key) || local_failed.contains(key);
+  }
+
+  void record_failed(std::uint64_t key) {
+    if (options.failed_memo_cap == 0 ||
+        shared_failed.size() + local_failed.size() <
+            options.failed_memo_cap) {
+      local_failed.insert(key);
+    }
+  }
+
   std::shared_ptr<const std::vector<factorization>> factor(
       const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b) {
-    const std::uint64_t key = factor_cache_key(r, cone_a, cone_b);
-    const auto it = factor_cache.find(key);
-    if (it != factor_cache.end()) {
-      return it->second;
+    factor_key key{r.cone, cone_a, cone_b, r.func.onset(), r.func.careset()};
+    if (const auto* hit = shared_memo.find(key)) {
+      ++rc.counters.factor_memo_hits;
+      return *hit;
     }
+    if (const auto* hit = local_memo.find(key)) {
+      ++rc.counters.factor_memo_hits;
+      return *hit;
+    }
+    ++rc.counters.factor_memo_misses;
     auto result = std::make_shared<const std::vector<factorization>>(
         factor_requirement(r, cone_a, cone_b, options.factor, &rc));
     stats.factorizations += result->size();
-    factor_cache.emplace(key, result);
+    // The cap is checked against the level-start snapshot plus this task's
+    // own delta — both thread-count independent, so capped runs stay
+    // deterministic.
+    if (options.factor_memo_cap == 0 ||
+        shared_memo.size() + local_memo.size() < options.factor_memo_cap) {
+      local_memo.insert(std::move(key), result);
+    }
     return result;
   }
 };
@@ -282,7 +290,7 @@ private:
       return;
     }
     const std::uint64_t key = pending_state_key(pos);
-    if (ctx_.failed_states.contains(key)) {
+    if (ctx_.state_failed(key)) {
       return;
     }
     // Memoize only *structural* failures (no complete candidate assembled):
@@ -295,7 +303,7 @@ private:
     enumerate_partitions(pos, g, topo_gate.fanin[0], topo_gate.fanin[1],
                          state.req);
     if (ctx_.stats.candidates == candidates_before && !ctx_.stop) {
-      ctx_.failed_states.insert(key);
+      ctx_.record_failed(key);
     }
   }
 
@@ -385,6 +393,14 @@ private:
   void try_split(std::size_t pos, int g, int child_a, int child_b,
                  const requirement& req, std::uint32_t cone_a,
                  std::uint32_t cone_b) {
+    // Poll here as well as in descend(): one descend can enumerate tens of
+    // thousands of splits on wide cones, and each split costs a
+    // factorization solve — per-descend polling alone lets a deadline slip
+    // by seconds.
+    ctx_.tick();
+    if (ctx_.stop) {
+      return;
+    }
     const auto factorizations_ptr = ctx_.factor(req, cone_a, cone_b);
     const auto& factorizations = *factorizations_ptr;
     const auto& topo_gate = dag_.gates[static_cast<std::size_t>(g)];
@@ -573,6 +589,193 @@ private:
   std::vector<slot_state> slot_states_;
 };
 
+/// DAGs per worker task.  Fixed (thread-count independent) so the chunk
+/// boundaries, the memo snapshots each task sees, and the task-order merge
+/// are identical no matter how many workers execute the tasks.
+constexpr std::size_t kLevelChunk = 64;
+
+/// One worker task's private output, merged in task order after the join.
+struct task_output {
+  std::vector<chain::boolean_chain> solutions;
+  stp_stats stats;
+  core::stage_counters counters;
+  factor_memo memo_delta;
+  std::unordered_set<std::uint64_t> failed_delta;
+};
+
+void accumulate(stp_stats& into, const stp_stats& from) {
+  into.fences += from.fences;
+  into.dags += from.dags;
+  into.partitions_tried += from.partitions_tried;
+  into.factorizations += from.factorizations;
+  into.candidates += from.candidates;
+  into.verified += from.verified;
+}
+
+/// Runs one gate-count level over the materialized candidate DAGs, fanning
+/// fixed contiguous chunks across `pool` (or inline when null).
+///
+/// Determinism contract: every task reads only the level-start snapshot of
+/// `memo` / `failed` plus its private delta, chunk boundaries depend only
+/// on `dags.size()`, and solutions are committed strictly in task order
+/// (deduplicated, capped) — so the returned solution list is bit-identical
+/// at any thread count, and with `max_solutions == 0` the merged counters
+/// are too.  The in-order commit runs concurrently with later tasks so a
+/// solution-cap hit cancels the rest of the level early via `level_rc`.
+std::vector<chain::boolean_chain> run_level(
+    const stp_options& options, const tt::isf& target, std::uint32_t root_cone,
+    unsigned num_vars, const std::vector<dag_topology>& dags,
+    core::run_context& rc, stp_stats& stats, factor_memo& memo,
+    std::unordered_set<std::uint64_t>& failed, service::thread_pool* pool) {
+  const std::size_t num_tasks = (dags.size() + kLevelChunk - 1) / kLevelChunk;
+  std::vector<task_output> outputs(num_tasks);
+  // Level-local cancel hub: a child of `rc`, so external cancels and the
+  // deadline propagate down, while a solution-cap hit cancels only the
+  // remainder of this level.
+  core::run_context level_rc(&rc);
+
+  std::mutex commit_mutex;
+  std::vector<char> task_done(num_tasks, 0);
+  std::size_t committed = 0;
+  std::unordered_set<std::size_t> merged_hashes;
+  std::vector<chain::boolean_chain> merged;
+  // Commits the ready in-order prefix of task solutions; caller holds the
+  // commit mutex.
+  const auto commit_ready = [&] {
+    while (committed < num_tasks && task_done[committed] != 0) {
+      for (auto& c : outputs[committed].solutions) {
+        if (options.max_solutions != 0 &&
+            merged.size() >= options.max_solutions) {
+          break;
+        }
+        if (merged_hashes.insert(c.hash()).second) {
+          merged.push_back(std::move(c));
+          if (options.max_solutions != 0 &&
+              merged.size() >= options.max_solutions) {
+            level_rc.request_cancel();
+          }
+        }
+      }
+      outputs[committed].solutions.clear();
+      ++committed;
+    }
+  };
+
+  const auto run_task = [&](std::size_t task_idx) {
+    task_output& out = outputs[task_idx];
+    if (level_rc.should_stop()) {
+      // Cap hit, external cancel, or deadline: skip the chunk entirely so
+      // the level winds down without paying a tick stride per task.  The
+      // slot still commits (empty) to keep the in-order merge moving.
+      const std::lock_guard<std::mutex> lock(commit_mutex);
+      task_done[task_idx] = 1;
+      commit_ready();
+      return;
+    }
+    core::run_context task_rc(&level_rc);
+    search_context ctx{options,        target,           root_cone,
+                       num_vars,       task_rc,          out.stats,
+                       memo,           out.memo_delta,   failed,
+                       out.failed_delta, {},             {}};
+    const std::size_t begin = task_idx * kLevelChunk;
+    const std::size_t end = std::min(begin + kLevelChunk, dags.size());
+    for (std::size_t i = begin; i < end && !ctx.stop; ++i) {
+      dag_search search{ctx, dags[i]};
+      search.run();
+    }
+    out.solutions = std::move(ctx.solutions);
+    out.counters = task_rc.counters;
+    const std::lock_guard<std::mutex> lock(commit_mutex);
+    task_done[task_idx] = 1;
+    commit_ready();
+  };
+
+  if (pool == nullptr) {
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (level_rc.should_stop()) {
+        break;  // cap hit, external cancel, or deadline: skip the rest
+      }
+      run_task(t);
+    }
+  } else {
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      try {
+        pool->submit([&run_task, t] { run_task(t); });
+      } catch (const std::exception&) {
+        run_task(t);  // pool rejected the task (shutdown/failpoint)
+      }
+    }
+    pool->wait_idle();
+  }
+
+  // Fold the private deltas back in task order: stats and counters become
+  // thread-count independent, and the memos carry over to the next level.
+  for (auto& out : outputs) {
+    accumulate(stats, out.stats);
+    rc.counters += out.counters;
+    memo.merge_from(std::move(out.memo_delta), options.factor_memo_cap);
+    if (options.failed_memo_cap == 0 ||
+        failed.size() + out.failed_delta.size() <= options.failed_memo_cap) {
+      failed.merge(out.failed_delta);  // node splice, no per-key realloc
+    } else {
+      for (const auto key : out.failed_delta) {
+        if (failed.size() >= options.failed_memo_cap) {
+          break;
+        }
+        failed.insert(key);
+      }
+    }
+  }
+  return merged;
+}
+
+/// Materializes the candidate DAGs of one gate count, honouring the
+/// per-size cap with the same accounting as the sequential sweep.
+std::vector<dag_topology> materialize_level_dags(
+    const stp_options& options, const fence::dag_options& dag_opts,
+    const std::vector<fence::fence>& fences, core::run_context& rc,
+    stp_stats& stats) {
+  std::vector<dag_topology> level_dags;
+  std::size_t dag_count = 0;
+  for (const auto& fc : fences) {
+    if (rc.should_stop()) {
+      break;
+    }
+    for (auto& dag : fence::generate_dags(fc, dag_opts, &rc)) {
+      ++stats.dags;
+      ++dag_count;
+      if (options.max_dags_per_size != 0 &&
+          dag_count > options.max_dags_per_size) {
+        break;
+      }
+      level_dags.push_back(std::move(dag));
+    }
+  }
+  // Sweep order heuristic: the fence enumerator emits the narrow, deep
+  // topologies first and the wide, high-PI-capacity shapes last, and on
+  // hard instances the realizable topologies concentrate in the latter.
+  // Reversing surfaces first optimum chains orders of magnitude sooner
+  // (sub-second instead of 20s+ on the hard NPN4 classes) while leaving
+  // the swept set — and therefore the complete solution set of a finished
+  // level — unchanged.  The order is still a fixed permutation of the
+  // generation order, so chunking and the merged results stay
+  // deterministic and thread-count independent.
+  if (options.reverse_dag_sweep) {
+    std::reverse(level_dags.begin(), level_dags.end());
+  }
+  return level_dags;
+}
+
+/// Resolves the worker count: the spec override wins, 0 means one worker
+/// per hardware thread.
+unsigned resolve_threads(unsigned spec_threads, unsigned option_threads) {
+  unsigned resolved = spec_threads != 0 ? spec_threads : option_threads;
+  if (resolved == 0) {
+    resolved = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return resolved;
+}
+
 }  // namespace
 
 stp_engine::stp_engine(stp_options options) : options_(options) {}
@@ -603,65 +806,56 @@ result stp_engine::run(const spec& s) {
   dag_opts.allow_shared_gates = options_.allow_shared_gates;
   dag_opts.limit = options_.max_dags_per_size;
 
-  // The factorization cache and the failure memo are sound across gate
+  const unsigned threads = resolve_threads(s.num_threads, options_.num_threads);
+  std::optional<service::thread_pool> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+  }
+
+  // The factorization memo and the failure memo are sound across gate
   // counts (their keys are self-contained), so they persist over the
   // whole size sweep.
-  search_context ctx{options_,
-                     tt::isf::from_function(f),
-                     (1u << n) - 1,
-                     n,
-                     rc,
-                     stats_,
-                     {},
-                     {},
-                     {},
-                     {},
-                     false,
-                     0};
+  const tt::isf target = tt::isf::from_function(f);
+  const std::uint32_t root_cone = (1u << n) - 1;
+  factor_memo memo;
+  std::unordered_set<std::uint64_t> failed_states;
+
   for (unsigned gates = std::max(1u, n - 1); gates <= s.max_gates; ++gates) {
     if (rc.should_stop()) {
       out.outcome = status::timeout;
       return finish(out);
     }
-    ctx.solutions.clear();
-    ctx.solution_hashes.clear();
-    ctx.stop = false;
-
     const auto fences = options_.use_fence_pruning
                             ? fence::pruned_fences(gates, &rc)
                             : fence::all_fences(gates, &rc);
     stats_.fences += fences.size();
-    std::size_t dag_count = 0;
-    for (const auto& fc : fences) {
-      if (ctx.stop) {
-        break;
-      }
-      for (const auto& dag : fence::generate_dags(fc, dag_opts, &rc)) {
-        if (ctx.stop) {
-          break;
-        }
-        ++stats_.dags;
-        ++dag_count;
-        if (options_.max_dags_per_size != 0 &&
-            dag_count > options_.max_dags_per_size) {
-          break;
-        }
-        dag_search search{ctx, dag};
-        search.run();
-      }
-    }
+    const auto level_dags =
+        materialize_level_dags(options_, dag_opts, fences, rc, stats_);
+    auto solutions =
+        run_level(options_, target, root_cone, n, level_dags, rc, stats_,
+                  memo, failed_states, pool ? &*pool : nullptr);
 
-    if (!ctx.solutions.empty()) {
+    // Reaching this level at all proves every smaller gate count was
+    // exhausted without a solution, so any chain found here is optimum —
+    // even when the deadline cut the level's sweep short.  A cut sweep
+    // only makes the *set* partial, which `enumeration_complete = false`
+    // records; this matches what single-solution CNF engines count as
+    // solved.  Only a level interrupted before its first verified chain
+    // is a genuine timeout.  (A solution-cap stop cancels only
+    // `level_rc`, not `rc`, so capped runs report a complete
+    // enumeration under their configured cap.)
+    if (!solutions.empty()) {
       out.outcome = status::success;
       out.optimum_gates = gates;
-      out.chains.reserve(ctx.solutions.size());
-      for (const auto& c : ctx.solutions) {
+      out.enumeration_complete = !rc.should_stop();
+      out.chains.reserve(solutions.size());
+      for (const auto& c : solutions) {
         out.chains.push_back(
             lift_chain_to_original(c, old_of_new, s.function.num_vars()));
       }
       return finish(out);
     }
-    if (ctx.stop && rc.should_stop()) {
+    if (rc.should_stop()) {
       out.outcome = status::timeout;
       return finish(out);
     }
@@ -722,8 +916,14 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
   dag_opts.allow_shared_gates = options_.allow_shared_gates;
   dag_opts.limit = options_.max_dags_per_size;
 
-  search_context ctx{options_, root, cone, n,     rc, stats_, {}, {},
-                     {},       {},   false, 0};
+  const unsigned threads = resolve_threads(0, options_.num_threads);
+  std::optional<service::thread_pool> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+  }
+
+  factor_memo memo;
+  std::unordered_set<std::uint64_t> failed_states;
   // Every accepted completion depends on all *required* variables, so
   // |required| - 1 is a sound lower bound even when the cone fell back to
   // the full input set.
@@ -734,33 +934,26 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
       out.outcome = status::timeout;
       return finish(out);
     }
-    ctx.solutions.clear();
-    ctx.solution_hashes.clear();
-    ctx.stop = false;
     const auto fences = options_.use_fence_pruning
                             ? fence::pruned_fences(gates, &rc)
                             : fence::all_fences(gates, &rc);
     stats_.fences += fences.size();
-    for (const auto& fc : fences) {
-      if (ctx.stop) {
-        break;
-      }
-      for (const auto& dag : fence::generate_dags(fc, dag_opts, &rc)) {
-        if (ctx.stop) {
-          break;
-        }
-        ++stats_.dags;
-        dag_search search{ctx, dag};
-        search.run();
-      }
-    }
-    if (!ctx.solutions.empty()) {
+    const auto level_dags =
+        materialize_level_dags(options_, dag_opts, fences, rc, stats_);
+    auto solutions = run_level(options_, root, cone, n, level_dags, rc,
+                               stats_, memo, failed_states,
+                               pool ? &*pool : nullptr);
+    // Solutions first, deadline second: chains found at this level are
+    // optimum regardless of where the deadline landed (see run() for the
+    // full rationale); a cut sweep is recorded via the completeness flag.
+    if (!solutions.empty()) {
       out.outcome = status::success;
       out.optimum_gates = gates;
-      out.chains = std::move(ctx.solutions);
+      out.enumeration_complete = !rc.should_stop();
+      out.chains = std::move(solutions);
       return finish(out);
     }
-    if (ctx.stop && rc.should_stop()) {
+    if (rc.should_stop()) {
       out.outcome = status::timeout;
       return finish(out);
     }

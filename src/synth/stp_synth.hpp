@@ -15,6 +15,12 @@
 ///      solver plus simulation (Section III-C) and collects *all* optimum
 ///      chains of the first feasible r.
 ///
+/// Under a wall-clock budget the first feasible level may be cut short
+/// after some optimum chains were already verified; the engine then still
+/// reports success (the optimum size is proven — every smaller level was
+/// exhausted) with `result::enumeration_complete = false` marking the
+/// possibly-partial chain set.
+///
 /// Solutions are plain 2-LUT `boolean_chain`s; `core/selector.hpp` picks
 /// among them by arbitrary cost functions, which is the flexibility the
 /// paper advertises over single-solution CNF-based engines.
@@ -44,8 +50,34 @@ struct stp_options {
   bool normalize_polarity = true;
   /// Stop after this many optimum chains (0 = enumerate all).
   std::size_t max_solutions = 0;
+  /// Sweep each gate count's candidate DAGs in *reverse* generation
+  /// order.  The fence enumerator emits narrow, deep topologies first;
+  /// on hard instances the realizable shapes concentrate at the end, so
+  /// the reverse sweep finds first optimum chains orders of magnitude
+  /// sooner (sub-second instead of 20s+ on the hard NPN4 classes) under
+  /// a wall-clock budget.  The swept set, and thus the complete solution
+  /// set of a finished level, is identical either way; off = generation
+  /// order (ablation).
+  bool reverse_dag_sweep = true;
   /// Cap on DAG topologies per gate count (0 = unlimited).
   std::size_t max_dags_per_size = 0;
+  /// Worker threads for the intra-instance DAG sweep: candidate DAGs of
+  /// the current gate count are fanned out in fixed contiguous chunks.
+  /// 1 = sequential (default), 0 = one per hardware thread.  The solution
+  /// set is bit-identical at any thread count (chunking, memo snapshots
+  /// and the merge order are all thread-count independent); with
+  /// `max_solutions == 0` the effort counters are identical too.
+  unsigned num_threads = 1;
+  /// Entry cap of the per-run factorization memo (0 = unlimited).  Hard
+  /// 6-input instances otherwise grow the memo into millions of entries
+  /// (gigabytes, plus seconds of merge/teardown past the deadline); the
+  /// cap bounds memory while keeping the hit rate of the small, hot keys.
+  /// Applied deterministically, so capped runs stay thread-count
+  /// independent.
+  std::size_t factor_memo_cap = 1u << 19;
+  /// Entry cap of the fruitless-pending-state memo (0 = unlimited), for
+  /// the same memory/teardown reasons as `factor_memo_cap`.
+  std::size_t failed_memo_cap = 2u << 20;
   /// Branch caps of the per-vertex factorization.
   factorize_options factor;
 };

@@ -1,7 +1,6 @@
 #include "tt/isf.hpp"
 
 #include <cassert>
-#include <vector>
 
 namespace stpes::tt {
 
@@ -19,7 +18,16 @@ isf isf::from_function(const truth_table& function) {
 }
 
 bool isf::accepts(const truth_table& candidate) const {
-  return (candidate & care_) == on_;
+  // Word-at-a-time with early exit; no temporary tables.
+  const auto& cand = candidate.words();
+  const auto& care = care_.words();
+  const auto& on = on_.words();
+  for (std::size_t i = 0; i < care.size(); ++i) {
+    if ((cand[i] & care[i]) != on[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 isf isf::complement() const { return isf{~on_ & care_, care_}; }
@@ -27,10 +35,14 @@ isf isf::complement() const { return isf{~on_ & care_, care_}; }
 std::optional<isf> isf::intersect(const isf& other) const {
   assert(num_vars() == other.num_vars());
   // Conflict: a minterm in both care sets with opposite polarity.
-  const truth_table both_care = care_ & other.care_;
-  if (((on_ ^ other.on_) & both_care) != truth_table::constant(num_vars(),
-                                                               false)) {
-    return std::nullopt;
+  const auto& a_on = on_.words();
+  const auto& b_on = other.on_.words();
+  const auto& a_care = care_.words();
+  const auto& b_care = other.care_.words();
+  for (std::size_t i = 0; i < a_care.size(); ++i) {
+    if (((a_on[i] ^ b_on[i]) & a_care[i] & b_care[i]) != 0) {
+      return std::nullopt;
+    }
   }
   return isf{on_ | other.on_, care_ | other.care_};
 }
@@ -49,61 +61,23 @@ std::uint32_t isf::required_support_mask() const {
   return mask;
 }
 
-std::uint64_t isf::assignment_mask(std::uint32_t var_mask) const {
-  std::uint64_t mask = 0;
-  for (unsigned v = 0; v < num_vars(); ++v) {
-    if ((var_mask >> v) & 1) {
-      mask |= std::uint64_t{1} << v;
-    }
-  }
-  return mask;
-}
-
 std::optional<isf> isf::project_to_cone(std::uint32_t var_mask) const {
-  const std::uint64_t amask = assignment_mask(var_mask);
-  const std::uint64_t bits = care_.num_bits();
-  // Class value: 0 = unconstrained, 1 = forced one, 2 = forced zero.
-  std::vector<std::uint8_t> cls(bits, 0);
-  for (std::uint64_t t = 0; t < bits; ++t) {
-    if (!care_.get_bit(t)) {
-      continue;
-    }
-    const std::uint64_t key = t & amask;
-    const std::uint8_t want = on_.get_bit(t) ? 1 : 2;
-    if (cls[key] == 0) {
-      cls[key] = want;
-    } else if (cls[key] != want) {
-      return std::nullopt;
-    }
+  // Minterms agreeing on the cone variables form one class; smoothing over
+  // the complement of the cone replicates "any care minterm of the class
+  // is on / off" across the whole class in a few word passes.
+  const std::uint32_t outside = ~var_mask;
+  const truth_table forced1 = on_.smooth_over(outside);
+  const truth_table forced0 = offset().smooth_over(outside);
+  if (!(forced1 & forced0).is_const0()) {
+    return std::nullopt;  // some class is forced both ways
   }
-  truth_table new_on{num_vars()};
-  truth_table new_care{num_vars()};
-  for (std::uint64_t t = 0; t < bits; ++t) {
-    const std::uint8_t v = cls[t & amask];
-    if (v != 0) {
-      new_care.set_bit(t, true);
-      if (v == 1) {
-        new_on.set_bit(t, true);
-      }
-    }
-  }
-  return isf{new_on, new_care};
+  return isf{forced1, forced1 | forced0};
 }
 
 truth_table isf::completion_in_cone(std::uint32_t var_mask) const {
-  const std::uint64_t amask = assignment_mask(var_mask);
-  const std::uint64_t bits = care_.num_bits();
-  std::vector<std::uint8_t> one(bits, 0);
-  for (std::uint64_t t = 0; t < bits; ++t) {
-    if (care_.get_bit(t) && on_.get_bit(t)) {
-      one[t & amask] = 1;
-    }
-  }
-  truth_table result{num_vars()};
-  for (std::uint64_t t = 0; t < bits; ++t) {
-    result.set_bit(t, one[t & amask] != 0);
-  }
-  return result;
+  // Classes with at least one on care minterm become 1; don't-care classes
+  // resolve to 0 — exactly the smoothed on-set.
+  return on_.smooth_over(~var_mask);
 }
 
 }  // namespace stpes::tt

@@ -82,10 +82,6 @@ public:
   }
 
 private:
-  /// Expands a variable-index mask into a minterm-bit mask:
-  /// bit v of `var_mask` set -> assignment bit (1 << v) participates.
-  [[nodiscard]] std::uint64_t assignment_mask(std::uint32_t var_mask) const;
-
   truth_table on_;
   truth_table care_;
 };

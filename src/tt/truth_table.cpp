@@ -160,6 +160,16 @@ truth_table truth_table::from_binary(unsigned num_vars,
   return result;
 }
 
+truth_table truth_table::from_words(unsigned num_vars,
+                                    const std::uint64_t* words,
+                                    std::size_t count) {
+  truth_table result{num_vars};
+  assert(count == result.words_.size());
+  std::memcpy(result.words_.data(), words, count * sizeof(std::uint64_t));
+  result.mask_excess_bits();
+  return result;
+}
+
 truth_table truth_table::operator~() const {
   truth_table result{*this};
   for (auto& w : result.words_) {
@@ -295,43 +305,92 @@ truth_table truth_table::swap_variables(unsigned a, unsigned b) const {
   if (a == b) {
     return *this;
   }
-  truth_table result{num_vars_};
-  for (std::uint64_t t = 0; t < num_bits(); ++t) {
-    const bool bit_a = (t >> a) & 1;
-    const bool bit_b = (t >> b) & 1;
-    std::uint64_t src = t;
-    src &= ~((std::uint64_t{1} << a) | (std::uint64_t{1} << b));
-    src |= (static_cast<std::uint64_t>(bit_b) << a);
-    src |= (static_cast<std::uint64_t>(bit_a) << b);
-    // f'(t) with x_a, x_b swapped reads the original at the swapped index,
-    // and swapping twice is the identity, so a single direction suffices.
-    result.set_bit(t, get_bit(src));
+  if (a > b) {
+    std::swap(a, b);
+  }
+  truth_table result{*this};
+  if (b < 6) {
+    // Delta-swap inside each word: a minterm with x_a=1, x_b=0 exchanges
+    // with its partner `d` positions up (x_a=0, x_b=1).
+    const unsigned d = (1u << b) - (1u << a);
+    const std::uint64_t lower = kProjection[a] & ~kProjection[b];
+    for (auto& w : result.words_) {
+      const std::uint64_t t = ((w >> d) ^ w) & lower;
+      w ^= t ^ (t << d);
+    }
+  } else if (a < 6) {
+    // x_a lives inside a word, x_b selects word blocks of 2^(b-6) words:
+    // exchange the x_a=1 half of each low-block word with the x_a=0 half
+    // of its high-block partner.
+    const std::size_t block = std::size_t{1} << (b - 6);
+    const unsigned s = 1u << a;
+    const std::uint64_t pa = kProjection[a];
+    for (std::size_t w = 0; w < result.words_.size(); w += 2 * block) {
+      for (std::size_t i = 0; i < block; ++i) {
+        std::uint64_t& lo = result.words_[w + i];
+        std::uint64_t& hi = result.words_[w + i + block];
+        const std::uint64_t new_lo = (lo & ~pa) | ((hi & ~pa) << s);
+        const std::uint64_t new_hi = (hi & pa) | ((lo & pa) >> s);
+        lo = new_lo;
+        hi = new_hi;
+      }
+    }
+  } else {
+    // Both variables select whole words: swap the (x_a=1, x_b=0) word with
+    // its (x_a=0, x_b=1) partner.
+    const std::size_t bit_a = std::size_t{1} << (a - 6);
+    const std::size_t bit_b = std::size_t{1} << (b - 6);
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+      if ((w & bit_a) != 0 && (w & bit_b) == 0) {
+        std::swap(result.words_[w], result.words_[(w ^ bit_a) | bit_b]);
+      }
+    }
   }
   return result;
 }
 
 truth_table truth_table::flip_variable(unsigned var) const {
   assert(var < num_vars_);
-  truth_table result{num_vars_};
-  const std::uint64_t flip = std::uint64_t{1} << var;
-  for (std::uint64_t t = 0; t < num_bits(); ++t) {
-    result.set_bit(t, get_bit(t ^ flip));
+  truth_table result{*this};
+  if (var < 6) {
+    const unsigned s = 1u << var;
+    const std::uint64_t pv = kProjection[var];
+    for (auto& w : result.words_) {
+      w = ((w & pv) >> s) | ((w & ~pv) << s);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < result.words_.size(); w += 2 * block) {
+      for (std::size_t i = 0; i < block; ++i) {
+        std::swap(result.words_[w + i], result.words_[w + i + block]);
+      }
+    }
   }
   return result;
 }
 
 truth_table truth_table::permute(const std::vector<unsigned>& perm) const {
   assert(perm.size() == num_vars_);
-  truth_table result{num_vars_};
-  for (std::uint64_t t = 0; t < num_bits(); ++t) {
-    // New input t maps new variable i's value onto old variable perm[i].
-    std::uint64_t src = 0;
-    for (unsigned i = 0; i < num_vars_; ++i) {
-      if ((t >> i) & 1) {
-        src |= std::uint64_t{1} << perm[i];
-      }
+  // Decompose the permutation into at most n-1 transpositions, each one a
+  // word-parallel swap: place original variable perm[i] at position i,
+  // tracking where every variable currently sits.
+  truth_table result{*this};
+  std::vector<unsigned> where(num_vars_);
+  std::vector<unsigned> who(num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    where[v] = who[v] = v;
+  }
+  for (unsigned i = 0; i < num_vars_; ++i) {
+    const unsigned v = perm[i];
+    const unsigned j = where[v];
+    if (j != i) {
+      result = result.swap_variables(i, j);
+      const unsigned displaced = who[i];
+      who[i] = v;
+      where[v] = i;
+      who[j] = displaced;
+      where[displaced] = j;
     }
-    result.set_bit(t, get_bit(src));
   }
   return result;
 }
@@ -339,10 +398,23 @@ truth_table truth_table::permute(const std::vector<unsigned>& perm) const {
 truth_table truth_table::extend_to(unsigned new_num_vars) const {
   assert(new_num_vars >= num_vars_);
   truth_table result{new_num_vars};
-  const std::uint64_t mask = num_bits() - 1;
-  for (std::uint64_t t = 0; t < result.num_bits(); ++t) {
-    result.set_bit(t, get_bit(t & mask));
+  if (num_vars_ <= 6) {
+    std::uint64_t pattern = words_[0];
+    // Replicate the 2^n-bit pattern across a full word by doubling.
+    for (std::uint64_t span = num_bits(); span < 64; span *= 2) {
+      pattern |= pattern << span;
+    }
+    for (auto& w : result.words_) {
+      w = pattern;
+    }
+  } else {
+    // Word counts are powers of two, so replication is a wrapped copy.
+    const std::size_t src_words = words_.size();
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+      result.words_[w] = words_[w & (src_words - 1)];
+    }
   }
+  result.mask_excess_bits();
   return result;
 }
 
@@ -354,18 +426,71 @@ truth_table truth_table::shrink_to_support(
       support.push_back(v);
     }
   }
-  truth_table result{static_cast<unsigned>(support.size())};
-  for (std::uint64_t t = 0; t < result.num_bits(); ++t) {
-    std::uint64_t src = 0;
-    for (std::size_t i = 0; i < support.size(); ++i) {
-      if ((t >> i) & 1) {
-        src |= std::uint64_t{1} << support[i];
-      }
-    }
-    result.set_bit(t, get_bit(src));
+  const unsigned k = static_cast<unsigned>(support.size());
+  // Compact the support down to positions [0, k) with word-parallel swaps
+  // (tracking positions as in permute), then truncate: the remaining
+  // variables are irrelevant, so the low 2^k bits are the shrunk function.
+  truth_table compact{*this};
+  std::vector<unsigned> where(num_vars_);
+  std::vector<unsigned> who(num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    where[v] = who[v] = v;
   }
+  for (unsigned i = 0; i < k; ++i) {
+    const unsigned v = support[i];
+    const unsigned j = where[v];
+    if (j != i) {
+      compact = compact.swap_variables(i, j);
+      const unsigned displaced = who[i];
+      who[i] = v;
+      where[v] = i;
+      who[j] = displaced;
+      where[displaced] = j;
+    }
+  }
+  truth_table result{k};
+  std::memcpy(result.words_.data(), compact.words_.data(),
+              result.words_.size() * sizeof(std::uint64_t));
+  result.mask_excess_bits();
   if (old_of_new != nullptr) {
     *old_of_new = std::move(support);
+  }
+  return result;
+}
+
+void truth_table::smooth_in_place(unsigned var) {
+  assert(var < num_vars_);
+  if (var < 6) {
+    const unsigned s = 1u << var;
+    const std::uint64_t pv = kProjection[var];
+    for (auto& w : words_) {
+      const std::uint64_t merged = (w & ~pv) | ((w & pv) >> s);
+      w = merged | (merged << s);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < words_.size(); w += 2 * block) {
+      for (std::size_t i = 0; i < block; ++i) {
+        const std::uint64_t merged = words_[w + i] | words_[w + i + block];
+        words_[w + i] = merged;
+        words_[w + i + block] = merged;
+      }
+    }
+  }
+}
+
+truth_table truth_table::smooth(unsigned var) const {
+  truth_table result{*this};
+  result.smooth_in_place(var);
+  return result;
+}
+
+truth_table truth_table::smooth_over(std::uint32_t var_mask) const {
+  truth_table result{*this};
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if ((var_mask >> v) & 1) {
+      result.smooth_in_place(v);
+    }
   }
   return result;
 }

@@ -103,6 +103,11 @@ public:
   /// Parses a binary string of length 2^num_vars, most significant minterm
   /// (all-ones assignment) first.
   static truth_table from_binary(unsigned num_vars, std::string_view bits);
+  /// Builds a table directly from `count` packed words (minterm order);
+  /// `count` must equal `words().size()` for `num_vars`.  Excess bits are
+  /// masked off.
+  static truth_table from_words(unsigned num_vars, const std::uint64_t* words,
+                                std::size_t count);
   /// @}
 
   /// \name Boolean connectives (operands must have equal num_vars)
@@ -150,6 +155,14 @@ public:
   /// variable it represents.
   [[nodiscard]] truth_table shrink_to_support(
       std::vector<unsigned>* old_of_new = nullptr) const;
+  /// Existential quantification of `var`: bit `t` of the result is
+  /// `f(t[var:=0]) | f(t[var:=1])`, so the result no longer depends on
+  /// `var` (the merged value is replicated along it).
+  [[nodiscard]] truth_table smooth(unsigned var) const;
+  /// Existential quantification over every variable in `var_mask` (bits
+  /// at or above `num_vars()` are ignored).  The result is constant along
+  /// the quantified variables — one word-parallel pass per variable.
+  [[nodiscard]] truth_table smooth_over(std::uint32_t var_mask) const;
   /// @}
 
   /// \name Serialization
@@ -163,6 +176,7 @@ public:
 
 private:
   void mask_excess_bits();
+  void smooth_in_place(unsigned var);
 
   unsigned num_vars_ = 0;
   word_storage words_;

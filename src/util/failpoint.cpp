@@ -23,6 +23,9 @@ int errno_from_name(const std::string& name, bool& ok) {
   if (name == "EPIPE") {
     return 32;
   }
+  if (name == "ECONNABORTED") {
+    return 103;
+  }
   if (name == "ECONNRESET") {
     return 104;
   }

@@ -50,6 +50,11 @@ struct stage_counters {
   std::uint64_t factorization_attempts = 0;
   std::uint64_t factorization_prunes = 0;
   std::uint64_t dont_care_expansions = 0;
+  // Factorization memo (synth/factor_memo): requirement decompositions
+  // served from cache vs. solved fresh.  Hits measure how much of the
+  // DAG-search effort is shared sub-structure.
+  std::uint64_t factor_memo_hits = 0;
+  std::uint64_t factor_memo_misses = 0;
   // Circuit AllSAT verification (allsat/, stp/).
   std::uint64_t allsat_propagations = 0;
   std::uint64_t allsat_merges = 0;
@@ -65,6 +70,8 @@ struct stage_counters {
     factorization_attempts += o.factorization_attempts;
     factorization_prunes += o.factorization_prunes;
     dont_care_expansions += o.dont_care_expansions;
+    factor_memo_hits += o.factor_memo_hits;
+    factor_memo_misses += o.factor_memo_misses;
     allsat_propagations += o.allsat_propagations;
     allsat_merges += o.allsat_merges;
     sat_decisions += o.sat_decisions;
@@ -80,6 +87,8 @@ struct stage_counters {
     factorization_attempts -= o.factorization_attempts;
     factorization_prunes -= o.factorization_prunes;
     dont_care_expansions -= o.dont_care_expansions;
+    factor_memo_hits -= o.factor_memo_hits;
+    factor_memo_misses -= o.factor_memo_misses;
     allsat_propagations -= o.allsat_propagations;
     allsat_merges -= o.allsat_merges;
     sat_decisions -= o.sat_decisions;
@@ -91,8 +100,9 @@ struct stage_counters {
   [[nodiscard]] std::uint64_t total() const {
     return fences_enumerated + dags_generated + dags_pruned +
            factorization_attempts + factorization_prunes +
-           dont_care_expansions + allsat_propagations + allsat_merges +
-           sat_decisions + sat_conflicts + sat_restarts;
+           dont_care_expansions + factor_memo_hits + factor_memo_misses +
+           allsat_propagations + allsat_merges + sat_decisions +
+           sat_conflicts + sat_restarts;
   }
 };
 
@@ -121,6 +131,16 @@ public:
   /// Adopts an existing `time_budget` deadline (deprecation shim path).
   explicit run_context(util::time_budget budget) : budget_(budget) {}
 
+  /// A worker-local child context: inherits the parent's deadline and
+  /// observes the parent's cancel flag (transitively, so a cancel anywhere
+  /// up the chain stops the worker), while owning its *own* counters and
+  /// its own cancel flag.  The parallel DAG search gives every worker task
+  /// one child so counters stay single-writer; the coordinator merges the
+  /// deltas deterministically after the tasks are joined.  The parent must
+  /// outlive the child.
+  explicit run_context(const run_context* parent)
+      : budget_(parent->budget_), parent_(parent) {}
+
   run_context(const run_context&) = delete;
   run_context& operator=(const run_context&) = delete;
 
@@ -139,7 +159,8 @@ public:
   void request_cancel() { cancel_.store(true, std::memory_order_release); }
 
   [[nodiscard]] bool cancel_requested() const {
-    return cancel_.load(std::memory_order_acquire);
+    return cancel_.load(std::memory_order_acquire) ||
+           (parent_ != nullptr && parent_->cancel_requested());
   }
 
   /// The single poll every layer uses: cancelled or past the deadline.
@@ -153,6 +174,7 @@ public:
 private:
   util::time_budget budget_;
   std::atomic<bool> cancel_{false};
+  const run_context* parent_ = nullptr;
 };
 
 }  // namespace stpes::core

@@ -165,6 +165,43 @@ TEST(ChainIo, MetaLineRoundTrips) {
   EXPECT_DOUBLE_EQ(loaded[0].meta->budget_seconds, 5.0);
 }
 
+TEST(ChainIo, PartialMetaRoundTripsAndMarksTheLoadedResult) {
+  // A success persisted with a budget-truncated enumeration carries
+  // `partial=1` on its meta line; loading it must restore
+  // `enumeration_complete == false` so the warm path can refuse to trust
+  // it under a larger budget.
+  const auto c = example_chain();
+  cache_entry e;
+  e.function = c.simulate();
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 3;
+  e.result.enumeration_complete = false;
+  e.result.chains = {c};
+  e.meta = stpes::service::entry_meta{"stp", 5.0, true};
+
+  std::stringstream file;
+  save_cache(file, {e});
+  EXPECT_NE(file.str().find("partial=1"), std::string::npos) << file.str();
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_TRUE(loaded[0].meta.has_value());
+  EXPECT_TRUE(loaded[0].meta->partial);
+  EXPECT_FALSE(loaded[0].result.enumeration_complete);
+  // Entries without the token stay complete (backward compatibility with
+  // files written before the flag existed).
+  cache_entry complete = e;
+  complete.result.enumeration_complete = true;
+  complete.meta = stpes::service::entry_meta{"stp", 5.0};
+  std::stringstream old_file;
+  save_cache(old_file, {complete});
+  EXPECT_EQ(old_file.str().find("partial"), std::string::npos)
+      << old_file.str();
+  const auto old_loaded = load_cache(old_file);
+  ASSERT_EQ(old_loaded.size(), 1u);
+  EXPECT_TRUE(old_loaded[0].result.enumeration_complete);
+  EXPECT_FALSE(old_loaded[0].meta->partial);
+}
+
 TEST(ChainIo, MetaOnChainFreeEntryDoesNotSwallowTheNextEntry) {
   // A timeout entry (zero chains) with a meta line, followed by another
   // entry: the lookahead must hand the second entry header back.

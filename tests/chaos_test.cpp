@@ -34,6 +34,7 @@
 #include "server/client.hpp"
 #include "server/fd_stream.hpp"
 #include "server/server.hpp"
+#include "server/socket_server.hpp"
 #include "service/chain_io.hpp"
 #include "util/failpoint.hpp"
 
@@ -320,6 +321,45 @@ TEST_F(Chaos, ChaosWriteFaultDropsTheSessionNotTheDaemon) {
   EXPECT_TRUE(s.client().ping());
   s.client().quit();
   s.finish();
+}
+
+TEST_F(Chaos, ChaosAcceptFaultsDelayButNeverDropConnections) {
+  server_options opts;
+  opts.default_timeout_seconds = 5.0;
+  opts.num_threads = 2;
+  synthesis_server server{opts};
+  const std::string socket_path =
+      "/tmp/stpes_chaos_accept_" + std::to_string(::getpid()) + ".sock";
+  stpes::server::unix_socket_server transport{server, socket_path};
+  std::thread accept_thread{[&] { transport.run(); }};
+
+  // `every=2` fires on every second accept attempt; the un-accepted
+  // connection stays in the listen backlog and the next poll round picks
+  // it up, so clients only see added latency.  (`always` would starve the
+  // backlog and busy-poll — the seam models transient ECONNABORTED/EMFILE
+  // faults, not a dead listener.)
+  auto& reg = failpoint_registry::instance();
+  ASSERT_TRUE(reg.set("socket_server.accept", "every=2,errno=ECONNABORTED"));
+
+  const auto and2 = truth_table::from_hex(2, "8");
+  for (int i = 0; i < 4; ++i) {
+    stpes::server::unix_client client{socket_path};
+    const auto r = client.session().synth(engine::stp, and2);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(client.session().ping());
+    client.session().quit();
+  }
+  EXPECT_GE(reg.hits("socket_server.accept"), 1u);
+  reg.clear_all();
+
+  // With the fault cleared the listener serves normally.
+  {
+    stpes::server::unix_client client{socket_path};
+    EXPECT_TRUE(client.session().ping());
+    client.session().quit();
+  }
+  transport.stop();
+  accept_thread.join();
 }
 
 TEST_F(Chaos, ChaosOverloadStormShedsInsteadOfQueueing) {

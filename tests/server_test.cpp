@@ -588,21 +588,27 @@ TEST(Server, CancelByIdStopsOnlyThatRequest) {
   const auto hard = stpes::workload::pdsd_functions(6, 3, 2);
   line_client::synth_reply victim_reply;
   line_client::synth_reply survivor_reply;
+  // Register the victim first and capture its id while it is the only
+  // active request — starting both SYNTHs concurrently would race for the
+  // lower id, and cancelling the wrong one silently passes the victim.
   std::thread victim_runner{[&] {
     victim_reply = victim.client().synth(engine::stp, hard[0], 60.0);
   }};
+  std::vector<std::uint64_t> ids;
+  while ((ids = server.synthesizer().active_request_ids()).empty()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto victim_id = ids.front();
   std::thread survivor_runner{[&] {
     survivor_reply = survivor.client().synth(engine::stp, hard[1], 2.0);
   }};
 
-  // Wait until both requests are registered, then cancel the lowest id
-  // (the first SYNTH issued — ids are assigned in arrival order, and the
-  // victim's 60 s budget means it cannot have finished on its own).
-  std::vector<std::uint64_t> ids;
-  while ((ids = server.synthesizer().active_request_ids()).size() < 2) {
+  // Cancel only once the survivor is in flight too, so "the other request
+  // keeps running" is actually exercised (the victim's 60 s budget means
+  // it cannot have finished on its own by then).
+  while (server.synthesizer().active_request_ids().size() < 2) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  const auto victim_id = *std::min_element(ids.begin(), ids.end());
   EXPECT_GE(controller.client().cancel(victim_id), 1u);
 
   victim_runner.join();

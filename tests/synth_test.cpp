@@ -8,6 +8,7 @@
 #include "synth/stp_synth.hpp"
 #include "tt/npn.hpp"
 #include "util/rng.hpp"
+#include "workload/collections.hpp"
 
 namespace {
 
@@ -175,6 +176,52 @@ TEST(Synthesis, TimeoutIsReported) {
     const auto r = exact_synthesis(s, e);
     EXPECT_EQ(r.outcome, status::timeout) << stpes::core::to_string(e);
   }
+}
+
+TEST(Synthesis, DeadlineCutLevelReportsPartialSuccess) {
+  // The hard NPN4 classes find their first optimum chains in well under a
+  // second (the reverse DAG sweep surfaces them early) but need minutes to
+  // exhaust the winning level.  Under a budget between those two times the
+  // engine must report success with `enumeration_complete == false`: the
+  // optimum size is proven (all smaller levels were exhausted) while the
+  // chain set is possibly partial.  Every reported chain must still be a
+  // verified realization at the claimed optimum size.
+  const auto functions = stpes::workload::npn4_classes();
+  for (std::size_t i = 0; i < functions.size(); i += 8) {
+    stpes::core::run_context ctx{2.5};
+    spec s;
+    s.function = functions[i];
+    s.ctx = &ctx;
+    const auto r = exact_synthesis(s, engine::stp);
+    if (r.outcome != status::success || r.enumeration_complete) {
+      continue;
+    }
+    ASSERT_FALSE(r.chains.empty());
+    for (const auto& c : r.chains) {
+      EXPECT_EQ(c.simulate(), s.function);
+      EXPECT_EQ(c.size(), r.optimum_gates);
+    }
+    return;
+  }
+  FAIL() << "no class produced a deadline-cut partial success";
+}
+
+TEST(Synthesis, CompleteRunsReportCompleteEnumeration) {
+  // Without a deadline the sweep always finishes, so the flag must stay
+  // true — including under a solution cap, which truncates deliberately
+  // rather than by wall clock.
+  spec s;
+  s.function = truth_table::from_hex(4, "0xe8e8");
+  const auto full = exact_synthesis(s, engine::stp);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full.enumeration_complete);
+
+  stpes::synth::stp_options options;
+  options.max_solutions = 1;
+  stpes::synth::stp_engine eng{options};
+  const auto capped = eng.run(s);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_TRUE(capped.enumeration_complete);
 }
 
 TEST(Synthesis, TreeOnlyAblationStillFindsTreeOptima) {

@@ -7,7 +7,8 @@ Usage:
 
 Each invocation appends exactly one line: a compact JSON object with the
 run's configuration, its per-engine solve/timeout/wall-clock numbers, and
-the memo-effectiveness counters when the run carries them.  CI keeps the
+every stage counter the run carries (memo effectiveness, SAT effort, the
+sweep_* series, ...).  CI keeps the
 trend file in an `actions/cache` slot keyed per branch, so every push
 extends the same file and the artifact that gets uploaded is the whole
 history, not one point — a perf cliff shows up as a kink in a series
@@ -61,11 +62,12 @@ def main():
             "mean_seconds": engine.get("mean_seconds"),
             "wall_seconds": engine.get("wall_seconds"),
         }
-        counters = engine.get("counters", {})
-        for key in ("factor_memo_hits", "factor_memo_misses",
-                    "dags_generated", "factorization_attempts"):
-            if key in counters:
-                entry[key] = counters[key]
+        # Every stage counter the run carries is exported: the counter set
+        # grows with the engine (the sweep_* members arrived with the
+        # SAT-sweeping subsystem) and the trend plotter filters by key, so
+        # a hand-maintained allowlist here just loses new series.
+        for key, value in sorted(engine.get("counters", {}).items()):
+            entry[key] = value
         point["engines"].append(entry)
 
     lines = []

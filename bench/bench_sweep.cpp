@@ -1,0 +1,224 @@
+/// \file bench_sweep.cpp
+/// \brief SAT-sweeping benchmark over the vendored AIGER circuits.
+///
+/// Runs `sweep::sweep` with each prover (CDCL cones and the paper's
+/// circuit AllSAT) over every benchmark listed in the
+/// `tests/data/aig/MANIFEST`, equivalence-checks every swept network
+/// against its original with the AllSAT miter path, and emits the same
+/// gated JSON shape as the table1 binaries:
+///
+///   * `solved` / `timeouts` — completed vs. deadline-cut sweeps,
+///   * `total_gates` / `mean_gates` — AND counts *after* sweeping (the
+///     deterministic quality trajectory),
+///   * `disagreements` — equivalence-check failures (0 in a healthy run),
+///   * `counters` — the full stage-counter set; the `sweep_*` members are
+///     deterministic for a fixed seed and benchmark set.
+///
+/// Flags: --timeout=S --seed=S --engines=cdcl,allsat --json PATH
+///        --data DIR (defaults to the source-tree benchmark directory).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aig/aiger_io.hpp"
+#include "sweep/sweep.hpp"
+#include "table1_common.hpp"
+#include "util/run_context.hpp"
+#include "util/stopwatch.hpp"
+
+#ifndef STPES_SWEEP_BENCH_DATA_DIR
+#define STPES_SWEEP_BENCH_DATA_DIR "tests/data/aig"
+#endif
+
+namespace {
+
+struct sweep_bench_options {
+  double timeout = 10.0;  ///< per-benchmark budget in seconds
+  std::uint64_t seed = 1;
+  std::vector<std::string> engines{"cdcl", "allsat"};
+  std::string json_path;
+  std::string data_dir = STPES_SWEEP_BENCH_DATA_DIR;
+};
+
+std::optional<std::string> flag_value(const std::string& arg,
+                                      const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    return arg.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+sweep_bench_options parse_options(int argc, char** argv) {
+  sweep_bench_options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto v = flag_value(arg, "timeout")) {
+      options.timeout = std::stod(*v);
+    } else if (auto v = flag_value(arg, "seed")) {
+      options.seed = std::stoull(*v);
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else if (auto v = flag_value(arg, "json")) {
+      options.json_path = *v;
+    } else if (arg == "--data" && i + 1 < argc) {
+      options.data_dir = argv[++i];
+    } else if (auto v = flag_value(arg, "data")) {
+      options.data_dir = *v;
+    } else if (auto v = flag_value(arg, "engines")) {
+      options.engines.clear();
+      std::size_t start = 0;
+      while (start <= v->size()) {
+        const auto comma = v->find(',', start);
+        options.engines.push_back(v->substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start));
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else {
+      std::cerr << "usage: bench_sweep [--timeout=S] [--seed=S]"
+                   " [--engines=cdcl,allsat] [--json PATH] [--data DIR]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Benchmark names from the MANIFEST, in file order (deterministic across
+/// platforms, unlike directory iteration).
+std::vector<std::string> manifest_names(const std::string& data_dir) {
+  const auto path = std::filesystem::path{data_dir} / "MANIFEST";
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "cannot read " << path.string() << "\n";
+    std::exit(2);
+  }
+  std::vector<std::string> names;
+  std::string crc;
+  std::size_t bytes = 0;
+  std::string name;
+  while (in >> crc >> bytes >> name) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+struct engine_stats {
+  std::string name;
+  std::size_t solved = 0;
+  std::size_t timeouts = 0;
+  std::uint64_t total_gates = 0;  ///< AND nodes after sweeping
+  std::uint64_t merged_nodes = 0;
+  double total_seconds = 0.0;
+  double wall_seconds = 0.0;
+  stpes::core::stage_counters counters;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_options(argc, argv);
+  const auto names = manifest_names(options.data_dir);
+
+  std::size_t disagreements = 0;
+  std::vector<engine_stats> all_stats;
+  for (const auto& engine_name : options.engines) {
+    stpes::sweep::prover engine{};
+    try {
+      engine = stpes::sweep::prover_from_string(engine_name);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    engine_stats stats;
+    stats.name = engine_name;
+    const stpes::util::stopwatch wall;
+    std::cout << "engine " << engine_name << "\n";
+    for (const auto& name : names) {
+      const auto path = std::filesystem::path{options.data_dir} / name;
+      stpes::aig::aig_network network;
+      try {
+        network = stpes::aig::read_aiger_file(path.string());
+      } catch (const std::exception& e) {
+        std::cerr << "cannot load " << path.string() << ": " << e.what()
+                  << "\n";
+        return 2;
+      }
+      stpes::core::run_context ctx{options.timeout};
+      stpes::sweep::sweep_options sweep_opts;
+      sweep_opts.seed = options.seed;
+      sweep_opts.engine = engine;
+      const auto result = stpes::sweep::sweep(network, sweep_opts, &ctx);
+      stats.counters += result.counters;
+      if (result.completed) {
+        ++stats.solved;
+        stats.total_seconds += result.seconds;
+      } else {
+        ++stats.timeouts;
+      }
+      stats.total_gates += result.ands_after;
+      stats.merged_nodes += result.merged_nodes;
+      const bool equivalent =
+          stpes::sweep::networks_equivalent(network, result.swept);
+      if (!equivalent) {
+        ++disagreements;
+      }
+      std::cout << "  " << name << ": " << result.ands_before << " -> "
+                << result.ands_after << " ands, " << result.merged_nodes
+                << " merged, " << result.proofs << " proofs, "
+                << result.refutations << " refutations, "
+                << result.sim_rounds << " sim rounds"
+                << (result.completed ? "" : " [timeout]")
+                << (equivalent ? "" : " [NOT EQUIVALENT]") << "\n";
+    }
+    stats.wall_seconds = wall.elapsed_seconds();
+    all_stats.push_back(stats);
+  }
+  if (disagreements > 0) {
+    std::cout << "WARNING: " << disagreements
+              << " swept networks failed the equivalence check!\n";
+  }
+
+  if (!options.json_path.empty()) {
+    std::ofstream json{options.json_path};
+    if (!json) {
+      std::cerr << "cannot write " << options.json_path << "\n";
+      return static_cast<int>(disagreements) + 1;
+    }
+    json << "{\"collection\":\"sweep_aiger\""
+         << ",\"instances\":" << names.size()
+         << ",\"timeout_s\":" << options.timeout
+         << ",\"seed\":" << options.seed << ",\"threads\":1"
+         << ",\"disagreements\":" << disagreements << ",\"engines\":[";
+    for (std::size_t i = 0; i < all_stats.size(); ++i) {
+      const auto& s = all_stats[i];
+      if (i > 0) {
+        json << ",";
+      }
+      json << "{\"engine\":\"" << s.name << "\""
+           << ",\"solved\":" << s.solved << ",\"solved_partial\":0"
+           << ",\"timeouts\":" << s.timeouts
+           << ",\"wall_seconds\":" << s.wall_seconds << ",\"mean_seconds\":"
+           << (s.solved > 0 ? s.total_seconds /
+                                  static_cast<double>(s.solved)
+                            : 0.0)
+           << ",\"total_gates\":" << s.total_gates << ",\"mean_gates\":"
+           << (names.empty() ? 0.0
+                             : static_cast<double>(s.total_gates) /
+                                   static_cast<double>(names.size()))
+           << ",\"merged_nodes\":" << s.merged_nodes
+           << ",\"counters\":" << stpes::bench::counters_json(s.counters)
+           << "}";
+    }
+    json << "]}\n";
+  }
+  return static_cast<int>(disagreements);
+}

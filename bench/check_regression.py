@@ -23,8 +23,10 @@ two parts, per engine present in both files:
     still be cut by the deadline while sweeping the residual search
     space, so those tails wobble slightly with machine load.  A change
     beyond the tolerance means the search explored a different space.
-    Wall-clock-dependent counters (AllSAT/SAT totals) are reported but
-    never gated;
+    The SAT-sweeping counters (`sweep_*`) are deterministic in the seed
+    and the committed benchmark set, so they are gated exactly when the
+    baseline carries them.  Wall-clock-dependent counters (AllSAT/SAT
+    totals) are reported but never gated;
   * performance trajectory: `wall_seconds` may not regress by more than
     the tolerance (default +25%).  Getting faster never fails.
 
@@ -94,6 +96,14 @@ def main():
                     f"{name}: solved_partial changed "
                     f"{base['solved_partial']} -> "
                     f"{cur.get('solved_partial')}")
+        # Sweep-bench runs carry the merge count at the engine level; it
+        # is part of the correctness trajectory (fewer merges = the sweep
+        # stopped finding equivalences it used to prove).
+        if "merged_nodes" in base:
+            if base["merged_nodes"] != cur.get("merged_nodes"):
+                errors += fail(
+                    f"{name}: merged_nodes changed "
+                    f"{base['merged_nodes']} -> {cur.get('merged_nodes')}")
 
         # Search-effort counters.  Only gated when the baseline carries
         # them, so pre-counter baselines keep working until deliberately
@@ -142,6 +152,23 @@ def main():
                     errors += fail(
                         f"{name}: counter {key} drifted beyond "
                         f"{100 * args.counter_tolerance:.0f}%: "
+                        f"{base_val} -> {cur_val}")
+            # SAT-sweeping counters are gated *exactly*: the simulation
+            # seed is fixed, the benchmark set is committed, and the
+            # class-refinement / proof schedule is deterministic in both,
+            # so any drift means the sweep's behaviour changed.  Gated
+            # only once a baseline carries them (table1 baselines
+            # predating the sweep subsystem skip this part).
+            for key in ("sweep_sim_rounds", "sweep_candidates",
+                        "sweep_proofs", "sweep_refutations",
+                        "sweep_merged_nodes"):
+                base_val = base_counters.get(key)
+                if base_val is None:
+                    continue
+                cur_val = cur_counters.get(key)
+                if base_val != cur_val:
+                    errors += fail(
+                        f"{name}: counter {key} changed "
                         f"{base_val} -> {cur_val}")
 
         base_wall = float(base["wall_seconds"])

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "core/exact_synthesis.hpp"
 #include "util/stopwatch.hpp"
@@ -244,29 +245,34 @@ int run_table1(const std::string& collection_name,
                             : 0.0)
            << ",\"avg_solutions\":"
            << (complete > 0 ? s.total_solutions / complete : 0.0)
-           << ",\"counters\":{"
-           << "\"fences_enumerated\":" << s.counters.fences_enumerated
-           << ",\"dags_generated\":" << s.counters.dags_generated
-           << ",\"dags_pruned\":" << s.counters.dags_pruned
-           << ",\"factorization_attempts\":"
-           << s.counters.factorization_attempts
-           << ",\"factorization_prunes\":"
-           << s.counters.factorization_prunes
-           << ",\"dont_care_expansions\":"
-           << s.counters.dont_care_expansions
-           << ",\"factor_memo_hits\":" << s.counters.factor_memo_hits
-           << ",\"factor_memo_misses\":"
-           << s.counters.factor_memo_misses
-           << ",\"allsat_propagations\":" << s.counters.allsat_propagations
-           << ",\"allsat_merges\":" << s.counters.allsat_merges
-           << ",\"sat_decisions\":" << s.counters.sat_decisions
-           << ",\"sat_conflicts\":" << s.counters.sat_conflicts
-           << ",\"sat_restarts\":" << s.counters.sat_restarts << "}"
-           << "}";
+           << ",\"counters\":" << counters_json(s.counters) << "}";
     }
     json << "]}\n";
   }
   return disagreements;
+}
+
+std::string counters_json(const core::stage_counters& c) {
+  std::ostringstream os;
+  os << "{\"fences_enumerated\":" << c.fences_enumerated
+     << ",\"dags_generated\":" << c.dags_generated
+     << ",\"dags_pruned\":" << c.dags_pruned
+     << ",\"factorization_attempts\":" << c.factorization_attempts
+     << ",\"factorization_prunes\":" << c.factorization_prunes
+     << ",\"dont_care_expansions\":" << c.dont_care_expansions
+     << ",\"factor_memo_hits\":" << c.factor_memo_hits
+     << ",\"factor_memo_misses\":" << c.factor_memo_misses
+     << ",\"allsat_propagations\":" << c.allsat_propagations
+     << ",\"allsat_merges\":" << c.allsat_merges
+     << ",\"sat_decisions\":" << c.sat_decisions
+     << ",\"sat_conflicts\":" << c.sat_conflicts
+     << ",\"sat_restarts\":" << c.sat_restarts
+     << ",\"sweep_sim_rounds\":" << c.sweep_sim_rounds
+     << ",\"sweep_candidates\":" << c.sweep_candidates
+     << ",\"sweep_proofs\":" << c.sweep_proofs
+     << ",\"sweep_refutations\":" << c.sweep_refutations
+     << ",\"sweep_merged_nodes\":" << c.sweep_merged_nodes << "}";
+  return os.str();
 }
 
 }  // namespace stpes::bench

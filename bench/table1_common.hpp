@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "tt/truth_table.hpp"
+#include "util/run_context.hpp"
 
 namespace stpes::bench {
 
@@ -50,5 +51,10 @@ table1_options parse_options(int argc, char** argv,
 int run_table1(const std::string& collection_name,
                const std::vector<tt::truth_table>& functions,
                const table1_options& options);
+
+/// Renders a full `stage_counters` object as the `"counters"` JSON value
+/// shared by every BENCH_*.json emitter (table1 rows and the sweep bench),
+/// so the regression gate and the trend exporter see one key set.
+std::string counters_json(const core::stage_counters& counters);
 
 }  // namespace stpes::bench

@@ -1,0 +1,149 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stpes::aig {
+
+literal aig_network::create_and(literal a, literal b) {
+  // Constant and trivial-pair folding.
+  if (a == lit_false || b == lit_false || a == lit_not(b)) {
+    return lit_false;
+  }
+  if (a == lit_true) {
+    return b;
+  }
+  if (b == lit_true) {
+    return a;
+  }
+  if (a == b) {
+    return a;
+  }
+  assert(lit_var(a) <= max_var() && lit_var(b) <= max_var());
+  if (a < b) {
+    std::swap(a, b);  // normalize: fanin0 is the larger literal
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) {
+    ++strash_hits_;
+    return make_lit(it->second);
+  }
+  const std::uint32_t var = max_var() + 1;
+  nodes_.push_back(and_node{a, b});
+  strash_.emplace(key, var);
+  return make_lit(var);
+}
+
+bool aig_network::is_well_formed() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::uint32_t var = num_inputs_ + 1 + static_cast<std::uint32_t>(i);
+    const auto& n = nodes_[i];
+    if (n.fanin0 < n.fanin1) {
+      return false;
+    }
+    if (lit_var(n.fanin0) >= var || lit_var(n.fanin1) >= var) {
+      return false;
+    }
+  }
+  for (const auto out : outputs_) {
+    if (lit_var(out) > max_var()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint64_t>> aig_network::simulate_words(
+    const std::vector<std::vector<std::uint64_t>>& input_words) const {
+  assert(input_words.size() == num_inputs_);
+  const std::size_t w = input_words.empty() ? 0 : input_words.front().size();
+  std::vector<std::vector<std::uint64_t>> rows(max_var() + 1);
+  rows[0].assign(w, 0);  // constant false
+  for (unsigned i = 0; i < num_inputs_; ++i) {
+    assert(input_words[i].size() == w);
+    rows[i + 1] = input_words[i];
+  }
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    const auto& n = nodes_[j];
+    const auto& f0 = rows[lit_var(n.fanin0)];
+    const auto& f1 = rows[lit_var(n.fanin1)];
+    const std::uint64_t m0 = lit_complemented(n.fanin0) ? ~0ull : 0ull;
+    const std::uint64_t m1 = lit_complemented(n.fanin1) ? ~0ull : 0ull;
+    auto& out = rows[num_inputs_ + 1 + j];
+    out.resize(w);
+    for (std::size_t k = 0; k < w; ++k) {
+      out[k] = (f0[k] ^ m0) & (f1[k] ^ m1);
+    }
+  }
+  return rows;
+}
+
+std::vector<tt::truth_table> aig_network::simulate() const {
+  const unsigned n = num_inputs_;
+  std::vector<tt::truth_table> values(max_var() + 1);
+  values[0] = tt::truth_table::constant(n, false);
+  for (unsigned i = 0; i < n; ++i) {
+    values[i + 1] = tt::truth_table::nth_var(n, i);
+  }
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    const auto& nd = nodes_[j];
+    auto a = values[lit_var(nd.fanin0)];
+    auto b = values[lit_var(nd.fanin1)];
+    if (lit_complemented(nd.fanin0)) {
+      a = ~a;
+    }
+    if (lit_complemented(nd.fanin1)) {
+      b = ~b;
+    }
+    values[n + 1 + j] = a & b;
+  }
+  std::vector<tt::truth_table> out;
+  out.reserve(outputs_.size());
+  for (const auto po : outputs_) {
+    auto v = values[lit_var(po)];
+    if (lit_complemented(po)) {
+      v = ~v;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> aig_network::cone(
+    const std::vector<std::uint32_t>& roots) const {
+  std::vector<bool> seen(max_var() + 1, false);
+  std::vector<std::uint32_t> stack;
+  for (const auto r : roots) {
+    assert(r <= max_var());
+    if (r != 0 && !seen[r]) {
+      seen[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const auto var = stack.back();
+    stack.pop_back();
+    if (!is_and(var)) {
+      continue;
+    }
+    const auto& nd = node(var);
+    for (const auto fanin : {nd.fanin0, nd.fanin1}) {
+      const auto fv = lit_var(fanin);
+      if (fv != 0 && !seen[fv]) {
+        seen[fv] = true;
+        stack.push_back(fv);
+      }
+    }
+  }
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t v = 1; v <= max_var(); ++v) {
+    if (seen[v]) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace stpes::aig

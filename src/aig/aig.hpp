@@ -1,0 +1,155 @@
+/// \file aig.hpp
+/// \brief And-inverter graphs: the netlist substrate of the SAT-sweeping
+///        workload (follow-up paper, arXiv 2312.00421).
+///
+/// An AIG is a combinational network of 2-input AND nodes with optional
+/// inversion on every edge.  We use the AIGER literal convention
+/// throughout: variable 0 is the constant FALSE, variables 1..I are the
+/// primary inputs, variables I+1..I+A are the AND nodes, and a *literal*
+/// is `2 * var + complement`.  Nodes are stored in topological order by
+/// construction — every fanin literal refers to a smaller variable — so
+/// a single forward pass is a valid evaluation order and the binary
+/// AIGER delta encoding applies directly.
+///
+/// `create_and` performs constant folding (x & 0, x & 1, x & x, x & ~x)
+/// and structural hashing: building the same (normalized) fanin pair
+/// twice returns the existing node, so functionally redundant structure
+/// introduced by a reader or a rewriter collapses for free.  Semantic
+/// redundancy — structurally different nodes computing the same function
+/// — is what `sweep::sweep` exists to remove.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace stpes::aig {
+
+/// An AIGER literal: `2 * var + complement`.
+using literal = std::uint32_t;
+
+/// Constant-false / constant-true literals (variable 0).
+inline constexpr literal lit_false = 0;
+inline constexpr literal lit_true = 1;
+
+[[nodiscard]] constexpr std::uint32_t lit_var(literal l) { return l >> 1; }
+[[nodiscard]] constexpr bool lit_complemented(literal l) {
+  return (l & 1u) != 0;
+}
+[[nodiscard]] constexpr literal make_lit(std::uint32_t var,
+                                         bool complement = false) {
+  return (var << 1) | (complement ? 1u : 0u);
+}
+[[nodiscard]] constexpr literal lit_not(literal l) { return l ^ 1u; }
+
+/// A combinational and-inverter graph.
+class aig_network {
+public:
+  /// One AND node; `create_and` normalizes the pair so `fanin0 >= fanin1`
+  /// as literals — the binary AIGER `rhs0 >= rhs1` convention, which both
+  /// canonicalizes the strash key and makes the delta encoding direct.
+  struct and_node {
+    literal fanin0 = 0;  ///< larger fanin literal
+    literal fanin1 = 0;  ///< smaller (or equal-var) fanin literal
+  };
+
+  aig_network() = default;
+  /// Network with `num_inputs` primary inputs and no nodes yet.
+  explicit aig_network(unsigned num_inputs) : num_inputs_(num_inputs) {}
+
+  [[nodiscard]] unsigned num_inputs() const { return num_inputs_; }
+  [[nodiscard]] unsigned num_ands() const {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  [[nodiscard]] unsigned num_outputs() const {
+    return static_cast<unsigned>(outputs_.size());
+  }
+  /// Highest variable index in use (the AIGER `M` of a packed network).
+  [[nodiscard]] std::uint32_t max_var() const {
+    return num_inputs_ + num_ands();
+  }
+
+  /// Literal of primary input `i` (0-based).
+  [[nodiscard]] literal input_lit(unsigned i) const {
+    return make_lit(i + 1);
+  }
+  /// The AND node of variable `var` (must satisfy `is_and(var)`).
+  [[nodiscard]] const and_node& node(std::uint32_t var) const {
+    return nodes_[var - num_inputs_ - 1];
+  }
+  [[nodiscard]] bool is_input(std::uint32_t var) const {
+    return var >= 1 && var <= num_inputs_;
+  }
+  [[nodiscard]] bool is_and(std::uint32_t var) const {
+    return var > num_inputs_ && var <= max_var();
+  }
+
+  [[nodiscard]] const std::vector<and_node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<literal>& outputs() const {
+    return outputs_;
+  }
+
+  /// AND of two existing literals.  Folds constants and trivial pairs
+  /// (`x & x`, `x & ~x`) and structurally hashes: an already-present
+  /// normalized fanin pair returns the existing node's literal instead of
+  /// growing the network.
+  literal create_and(literal a, literal b);
+
+  /// \name Derived connectives (built from AND nodes)
+  /// @{
+  literal create_or(literal a, literal b) {
+    return lit_not(create_and(lit_not(a), lit_not(b)));
+  }
+  literal create_xor(literal a, literal b) {
+    return lit_not(create_and(lit_not(create_and(a, lit_not(b))),
+                              lit_not(create_and(lit_not(a), b))));
+  }
+  /// `sel ? t : e`.
+  literal create_mux(literal sel, literal t, literal e) {
+    return lit_not(create_and(lit_not(create_and(sel, t)),
+                              lit_not(create_and(lit_not(sel), e))));
+  }
+  /// @}
+
+  /// Appends a primary output driven by `l`.
+  void add_output(literal l) { outputs_.push_back(l); }
+
+  /// Structural-hash lookups served from an existing node (statistics for
+  /// tests and the reader's dedup accounting).
+  [[nodiscard]] std::uint64_t strash_hits() const { return strash_hits_; }
+
+  /// Structural sanity: every fanin refers to a smaller existing variable,
+  /// every output literal exists.
+  [[nodiscard]] bool is_well_formed() const;
+
+  /// Word-parallel simulation (the packed-uint64 kernel style of the
+  /// synthesis hot path): `input_words[i]` holds the pattern words of
+  /// input `i`, all inputs the same word count W.  Returns one W-word row
+  /// per *variable* (row 0 = constant false, then inputs, then ANDs), so
+  /// `value of literal l = rows[lit_var(l)] ^ (lit_complemented(l) ? ~0 :
+  /// 0)`.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> simulate_words(
+      const std::vector<std::vector<std::uint64_t>>& input_words) const;
+
+  /// Exhaustive truth-table simulation of every output (num_inputs() must
+  /// be small enough for `tt::truth_table`, i.e. <= 16).
+  [[nodiscard]] std::vector<tt::truth_table> simulate() const;
+
+  /// Variables in the transitive fanin cone of `roots` (AND and input
+  /// variables, sorted ascending; constant 0 excluded).
+  [[nodiscard]] std::vector<std::uint32_t> cone(
+      const std::vector<std::uint32_t>& roots) const;
+
+private:
+  unsigned num_inputs_ = 0;
+  std::vector<and_node> nodes_;
+  std::vector<literal> outputs_;
+  /// Normalized (fanin0, fanin1) pair -> node variable.
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+  std::uint64_t strash_hits_ = 0;
+};
+
+}  // namespace stpes::aig

@@ -1,0 +1,357 @@
+#include "aig/aiger_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace stpes::aig {
+
+namespace {
+
+/// Hard sanity bound on the header's `M`: a larger value is a corrupt or
+/// hostile header, not a benchmark (2^28 variables is ~4 GiB of nodes).
+constexpr std::uint64_t kMaxVariables = 1ull << 28;
+
+struct header {
+  bool binary = false;
+  std::uint64_t m = 0, i = 0, l = 0, o = 0, a = 0;
+};
+
+header parse_header(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw aiger_error("aiger: empty input, no header line");
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  std::istringstream hs{line};
+  std::string magic;
+  header h;
+  if (!(hs >> magic) || (magic != "aag" && magic != "aig")) {
+    throw aiger_error("aiger: bad magic '" + magic + "' (want aag or aig)");
+  }
+  h.binary = magic == "aig";
+  if (!(hs >> h.m >> h.i >> h.l >> h.o >> h.a)) {
+    throw aiger_error("aiger: short header (want M I L O A)");
+  }
+  std::string extra;
+  if (hs >> extra) {
+    throw aiger_error("aiger: trailing token '" + extra + "' in header");
+  }
+  if (h.l != 0) {
+    throw unsupported_latches_error(
+        "aiger: " + std::to_string(h.l) +
+        " latch(es); only combinational networks are supported");
+  }
+  if (h.m > kMaxVariables) {
+    throw aiger_error("aiger: header M=" + std::to_string(h.m) +
+                      " exceeds the sanity bound");
+  }
+  if (h.m < h.i + h.l + h.a) {
+    throw aiger_error("aiger: header M=" + std::to_string(h.m) +
+                      " smaller than I+L+A");
+  }
+  if (h.binary && h.m != h.i + h.l + h.a) {
+    throw aiger_error("aiger: binary header requires M = I+L+A");
+  }
+  return h;
+}
+
+/// One whitespace-separated line of exactly `count` unsigned literals.
+std::vector<std::uint64_t> parse_literal_line(std::istream& in,
+                                              std::size_t count,
+                                              const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw aiger_error(std::string("aiger: truncated file, missing ") + what +
+                      " line");
+  }
+  std::istringstream ls{line};
+  std::vector<std::uint64_t> lits(count);
+  for (auto& lit : lits) {
+    if (!(ls >> lit)) {
+      throw aiger_error(std::string("aiger: malformed ") + what + " line '" +
+                        line + "'");
+    }
+  }
+  std::string extra;
+  if (ls >> extra) {
+    throw aiger_error(std::string("aiger: trailing token '") + extra +
+                      "' on " + what + " line");
+  }
+  return lits;
+}
+
+void check_lit_range(std::uint64_t lit, std::uint64_t m, const char* what) {
+  if ((lit >> 1) > m) {
+    throw aiger_error(std::string("aiger: ") + what + " literal " +
+                      std::to_string(lit) + " out of range (M=" +
+                      std::to_string(m) + ")");
+  }
+}
+
+/// Shared tail of both readers: maps every file literal through the
+/// var -> internal-literal table built while creating the nodes.
+literal map_file_lit(std::uint64_t file_lit,
+                     const std::vector<literal>& var_map) {
+  const auto mapped = var_map[file_lit >> 1];
+  return (file_lit & 1) != 0 ? lit_not(mapped) : mapped;
+}
+
+/// The per-variable "where is it defined" table of the ASCII reader.
+enum class var_kind : std::uint8_t { undefined, constant, input, and_gate };
+
+aig_network read_ascii(std::istream& in, const header& h) {
+  aig_network network{static_cast<unsigned>(h.i)};
+
+  std::vector<var_kind> kind(h.m + 1, var_kind::undefined);
+  std::vector<std::uint32_t> and_index(h.m + 1, 0);
+  kind[0] = var_kind::constant;
+
+  // var -> internal literal, filled as definitions are resolved.
+  std::vector<literal> var_map(h.m + 1, lit_false);
+
+  for (std::uint64_t i = 0; i < h.i; ++i) {
+    const auto lit = parse_literal_line(in, 1, "input").front();
+    if (lit == 0 || (lit & 1) != 0) {
+      throw aiger_error("aiger: input literal " + std::to_string(lit) +
+                        " must be a positive even literal");
+    }
+    check_lit_range(lit, h.m, "input");
+    const auto var = lit >> 1;
+    if (kind[var] != var_kind::undefined) {
+      throw aiger_error("aiger: variable " + std::to_string(var) +
+                        " defined twice");
+    }
+    kind[var] = var_kind::input;
+    var_map[var] = network.input_lit(static_cast<unsigned>(i));
+  }
+
+  std::vector<std::uint64_t> output_lits(h.o);
+  for (auto& lit : output_lits) {
+    lit = parse_literal_line(in, 1, "output").front();
+    check_lit_range(lit, h.m, "output");
+  }
+
+  struct and_def {
+    std::uint64_t rhs0 = 0, rhs1 = 0;
+  };
+  std::vector<and_def> ands(h.a);
+  for (std::uint64_t j = 0; j < h.a; ++j) {
+    const auto lits = parse_literal_line(in, 3, "and");
+    const auto lhs = lits[0];
+    if (lhs == 0 || (lhs & 1) != 0) {
+      throw aiger_error("aiger: and lhs " + std::to_string(lhs) +
+                        " must be a positive even literal");
+    }
+    check_lit_range(lhs, h.m, "and lhs");
+    check_lit_range(lits[1], h.m, "and rhs");
+    check_lit_range(lits[2], h.m, "and rhs");
+    const auto var = lhs >> 1;
+    if (kind[var] != var_kind::undefined) {
+      throw aiger_error("aiger: variable " + std::to_string(var) +
+                        " defined twice");
+    }
+    kind[var] = var_kind::and_gate;
+    and_index[var] = static_cast<std::uint32_t>(j);
+    ands[j] = and_def{lits[1], lits[2]};
+  }
+
+  // Resolve AND definitions depth-first; the spec allows any definition
+  // order, so this is where out-of-order bodies get topologically sorted
+  // and where a definition cycle is detected.
+  std::vector<std::uint8_t> state(h.m + 1, 0);  // 0 new, 1 open, 2 done
+  state[0] = 2;
+  for (std::uint64_t v = 1; v <= h.m; ++v) {
+    if (kind[v] == var_kind::input) {
+      state[v] = 2;
+    }
+  }
+  std::vector<std::uint64_t> stack;
+  for (std::uint64_t root = 1; root <= h.m; ++root) {
+    if (kind[root] != var_kind::and_gate || state[root] == 2) {
+      continue;
+    }
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const auto var = stack.back();
+      if (state[var] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      const auto& def = ands[and_index[var]];
+      bool ready = true;
+      for (const auto rhs : {def.rhs0, def.rhs1}) {
+        const auto rv = rhs >> 1;
+        if (kind[rv] == var_kind::undefined) {
+          throw aiger_error("aiger: literal " + std::to_string(rhs) +
+                            " references undefined variable " +
+                            std::to_string(rv));
+        }
+        if (state[rv] == 2) {
+          continue;
+        }
+        if (state[rv] == 1) {
+          throw aiger_error("aiger: combinational cycle through variable " +
+                            std::to_string(rv));
+        }
+        stack.push_back(rv);
+        ready = false;
+      }
+      if (!ready) {
+        state[var] = 1;
+        continue;
+      }
+      var_map[var] = network.create_and(map_file_lit(def.rhs0, var_map),
+                                        map_file_lit(def.rhs1, var_map));
+      state[var] = 2;
+      stack.pop_back();
+    }
+  }
+
+  for (const auto lit : output_lits) {
+    if (kind[lit >> 1] == var_kind::undefined) {
+      throw aiger_error("aiger: output literal " + std::to_string(lit) +
+                        " references undefined variable " +
+                        std::to_string(lit >> 1));
+    }
+    network.add_output(map_file_lit(lit, var_map));
+  }
+  return network;
+}
+
+std::uint64_t read_varint(std::istream& in) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) {
+      throw aiger_error("aiger: truncated binary and section");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+    if (shift > 63) {
+      throw aiger_error("aiger: varint overflow in binary and section");
+    }
+  }
+}
+
+aig_network read_binary(std::istream& in, const header& h) {
+  aig_network network{static_cast<unsigned>(h.i)};
+  // Binary numbering is implicit and contiguous: inputs are variables
+  // 1..I, ANDs I+1..I+A.
+  std::vector<literal> var_map(h.m + 1, lit_false);
+  for (std::uint64_t i = 0; i < h.i; ++i) {
+    var_map[i + 1] = network.input_lit(static_cast<unsigned>(i));
+  }
+
+  std::vector<std::uint64_t> output_lits(h.o);
+  for (auto& lit : output_lits) {
+    lit = parse_literal_line(in, 1, "output").front();
+    check_lit_range(lit, h.m, "output");
+  }
+
+  for (std::uint64_t j = 0; j < h.a; ++j) {
+    const std::uint64_t var = h.i + 1 + j;
+    const std::uint64_t lhs = var << 1;
+    const std::uint64_t delta0 = read_varint(in);
+    if (delta0 == 0 || delta0 > lhs) {
+      throw aiger_error("aiger: binary delta0 out of range at and " +
+                        std::to_string(j));
+    }
+    const std::uint64_t rhs0 = lhs - delta0;
+    const std::uint64_t delta1 = read_varint(in);
+    if (delta1 > rhs0) {
+      throw aiger_error("aiger: binary delta1 out of range at and " +
+                        std::to_string(j));
+    }
+    const std::uint64_t rhs1 = rhs0 - delta1;
+    var_map[var] = network.create_and(map_file_lit(rhs0, var_map),
+                                      map_file_lit(rhs1, var_map));
+  }
+
+  for (const auto lit : output_lits) {
+    network.add_output(map_file_lit(lit, var_map));
+  }
+  return network;
+}
+
+void write_varint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>(0x80 | (value & 0x7F)));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+}  // namespace
+
+aig_network read_aiger(std::istream& in) {
+  const auto h = parse_header(in);
+  return h.binary ? read_binary(in, h) : read_ascii(in, h);
+}
+
+aig_network read_aiger_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw aiger_error("aiger: cannot open '" + path + "'");
+  }
+  return read_aiger(in);
+}
+
+void write_aiger_ascii(std::ostream& out, const aig_network& network) {
+  // Internal numbering is already the packed topological numbering the
+  // format wants, so both writers are straight dumps.
+  out << "aag " << network.max_var() << ' ' << network.num_inputs()
+      << " 0 " << network.num_outputs() << ' ' << network.num_ands() << '\n';
+  for (unsigned i = 0; i < network.num_inputs(); ++i) {
+    out << network.input_lit(i) << '\n';
+  }
+  for (const auto po : network.outputs()) {
+    out << po << '\n';
+  }
+  for (std::size_t j = 0; j < network.nodes().size(); ++j) {
+    const auto& n = network.nodes()[j];
+    const std::uint64_t lhs =
+        (static_cast<std::uint64_t>(network.num_inputs()) + 1 + j) << 1;
+    out << lhs << ' ' << n.fanin0 << ' ' << n.fanin1 << '\n';
+  }
+}
+
+void write_aiger_binary(std::ostream& out, const aig_network& network) {
+  out << "aig " << network.max_var() << ' ' << network.num_inputs()
+      << " 0 " << network.num_outputs() << ' ' << network.num_ands() << '\n';
+  for (const auto po : network.outputs()) {
+    out << po << '\n';
+  }
+  for (std::size_t j = 0; j < network.nodes().size(); ++j) {
+    const auto& n = network.nodes()[j];
+    const std::uint64_t lhs =
+        (static_cast<std::uint64_t>(network.num_inputs()) + 1 + j) << 1;
+    write_varint(out, lhs - n.fanin0);
+    write_varint(out, static_cast<std::uint64_t>(n.fanin0) - n.fanin1);
+  }
+}
+
+void write_aiger_file(const std::string& path, const aig_network& network) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    throw aiger_error("aiger: cannot write '" + path + "'");
+  }
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".aag") == 0) {
+    write_aiger_ascii(out, network);
+  } else {
+    write_aiger_binary(out, network);
+  }
+}
+
+}  // namespace stpes::aig

@@ -1,0 +1,68 @@
+/// \file aiger_io.hpp
+/// \brief AIGER reader/writer (ASCII `aag` and binary `aig`, format 1.9
+///        header subset), combinational networks only.
+///
+/// The sweep workload consumes public benchmark circuits, and AIGER is
+/// their lingua franca.  We support exactly the combinational core of the
+/// format:
+///
+///   * header `aag|aig M I L O A`; any latch count `L > 0` is rejected
+///     with `unsupported_latches_error` — the sweep engine (and the
+///     circuit AllSAT solver behind it) reasons about combinational
+///     equivalence only, and silently dropping sequential behaviour would
+///     "prove" wrong merges;
+///   * ASCII bodies may list AND definitions in any order (the spec does
+///     not require topological order); the reader reorders them and
+///     reports a cycle as `aiger_error`;
+///   * binary bodies use the standard delta/varint encoding with the
+///     implicit contiguous numbering;
+///   * the symbol table and comment section are accepted and ignored.
+///
+/// Reading rebuilds the network through `aig_network::create_and`, so
+/// structurally duplicate ANDs in a file are deduplicated on the way in
+/// (the resulting network can have fewer nodes than the header's `A`);
+/// output literals are remapped accordingly.  Every malformed input —
+/// bad magic, short header, counts that disagree with the body, literals
+/// out of range, truncated varints — raises `aiger_error` with a message
+/// naming what was wrong and never leaves a partially valid network in
+/// the caller's hands.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace stpes::aig {
+
+/// Any malformed or unreadable AIGER input; the message is presentable to
+/// a daemon client as an `ERR` reply.
+struct aiger_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The file is valid AIGER but sequential (`L > 0`); named separately so
+/// callers can distinguish "bad file" from "unsupported feature".
+struct unsupported_latches_error : aiger_error {
+  using aiger_error::aiger_error;
+};
+
+/// Reads one network, auto-detecting ASCII (`aag`) vs binary (`aig`) from
+/// the magic.  Throws `aiger_error` / `unsupported_latches_error`.
+aig_network read_aiger(std::istream& in);
+
+/// Opens and reads `path`; an unopenable file is an `aiger_error`.
+aig_network read_aiger_file(const std::string& path);
+
+/// Writes the ASCII (`aag`) form.
+void write_aiger_ascii(std::ostream& out, const aig_network& network);
+
+/// Writes the binary (`aig`) form.
+void write_aiger_binary(std::ostream& out, const aig_network& network);
+
+/// Writes to `path`; ASCII when `path` ends in `.aag`, binary otherwise.
+void write_aiger_file(const std::string& path, const aig_network& network);
+
+}  // namespace stpes::aig

@@ -144,6 +144,58 @@ public:
     return {loaded, skipped};
   }
 
+  struct sweep_reply {
+    bool ok = false;
+    bool busy = false;  ///< the daemon shed this request (overload)
+    std::string error;  ///< ERR reason when !ok ("timeout", parse message)
+    std::uint64_t ands_before = 0;
+    std::uint64_t ands_after = 0;
+    std::uint64_t merged = 0;
+    std::uint64_t proofs = 0;
+    std::uint64_t refutations = 0;
+    std::uint64_t sim_rounds = 0;
+    double seconds = 0.0;
+    std::uint64_t request_id = 0;
+    unsigned retry_after_ms = 0;  ///< BUSY retry hint (only when `busy`)
+  };
+
+  /// `SWEEP <path> [timeout_s] [prover]`; throws only on a broken
+  /// transport, not on ERR replies.
+  sweep_reply sweep(const std::string& path,
+                    std::optional<double> timeout_seconds = std::nullopt,
+                    const std::string& prover = "") {
+    std::ostringstream req;
+    req << "SWEEP " << path;
+    if (timeout_seconds.has_value() || !prover.empty()) {
+      req << " " << timeout_seconds.value_or(0.0);
+    }
+    if (!prover.empty()) {
+      req << " " << prover;
+    }
+    send(req.str());
+    const auto head = read_line();
+    sweep_reply r;
+    if (head.rfind("ERR ", 0) == 0) {
+      r.error = head.substr(4);
+      return r;
+    }
+    if (head.rfind("BUSY ", 0) == 0) {
+      const auto busy = parse_busy(head);
+      r.busy = true;
+      r.error = busy.error;
+      r.retry_after_ms = busy.retry_after_ms;
+      return r;
+    }
+    std::istringstream is{require_ok(head, "OK swept ")};
+    if (!(is >> r.ands_before >> r.ands_after >> r.merged >> r.proofs >>
+          r.refutations >> r.sim_rounds >> r.seconds)) {
+      throw std::runtime_error{"malformed sweep reply: " + head};
+    }
+    r.request_id = parse_trailing_id(is);
+    r.ok = true;
+    return r;
+  }
+
   /// `CANCEL` / `CANCEL <id>`: cooperatively cancels every in-flight
   /// synthesis on the daemon, or only the request tagged `id`; returns the
   /// number of jobs signalled.  Issue it from a *separate* connection —

@@ -7,6 +7,7 @@
 ///
 ///     SYNTH <engine> <n> <hex-tt> [timeout_s]
 ///     BATCH ... <engine> <n> <hex-tt> [timeout_s] per line ... END
+///     SWEEP <path> [timeout_s] [prover]
 ///     STATS [TEXT|JSON]
 ///     SAVE <path>
 ///     LOAD <path>
@@ -26,12 +27,21 @@
 ///                   then <count> blocks, each
 ///                   RESULT <index> <status> <gates> <num_chains> <seconds>
 ///                   followed by its <num_chains> chain lines
+///     SWEEP reply:  OK swept <ands_before> <ands_after> <merged> <proofs>
+///                   <refutations> <sim_rounds> <seconds> id=<id>
 ///     STATS reply:  OK <num_lines>  then that many lines
 ///     CANCEL reply: OK cancelled <n>  (in-flight jobs signalled)
 ///     RELOAD reply: OK reloaded <n> skipped <m> cleared <k>
 ///     BUSY reply:   BUSY retry-after <ms>  (overload shed; retry later)
 ///
-/// `CANCEL` cooperatively cancels every in-flight synthesis on the daemon;
+/// `SWEEP` loads a combinational AIGER file from the daemon's filesystem
+/// and SAT-sweeps it on the worker pool (see `sweep/sweep.hpp`); the
+/// optional prover is `cdcl` (default) or `allsat`.  Sweep jobs run under
+/// the same registered run contexts as synthesis, so CANCEL / CANCEL <id>
+/// and the drain grace apply to them unchanged, and in-flight sweeps report
+/// live progress in the JSON STATS payload under `sweeps`.
+///
+/// `CANCEL` cooperatively cancels every in-flight job on the daemon;
 /// `CANCEL <id>` cancels only the request whose replies carry `id=<id>`
 /// (the protocol is synchronous per session, so both are issued from
 /// another connection — ids of in-flight requests are listed in the JSON
@@ -79,6 +89,9 @@ struct request_limits {
   std::size_t max_line_bytes = 4096;
   /// Requests per BATCH block.
   std::size_t max_batch_requests = 4096;
+  /// Largest AIG (in AND nodes) a SWEEP request may load; a bigger file
+  /// is refused after the header, before any simulation or proving.
+  std::size_t max_aig_ands = 1u << 20;
 };
 
 /// A parsed `SYNTH`-shaped request body: `<engine> <n> <hex> [timeout_s]`.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "aig/aiger_io.hpp"
 #include "util/failpoint.hpp"
 
 namespace stpes::server {
@@ -86,6 +88,10 @@ bool synthesis_server::handle_line(const std::string& line, std::istream& in,
   }
   if (verb == "BATCH") {
     return handle_batch(in, out, session_requests);
+  }
+  if (verb == "SWEEP") {
+    handle_sweep(tokens, out, session_requests);
+    return true;
   }
   if (verb == "STATS") {
     handle_stats(tokens, out);
@@ -261,6 +267,107 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out,
   return true;
 }
 
+void synthesis_server::handle_sweep(const std::vector<std::string>& tokens,
+                                    std::ostream& out,
+                                    std::uint64_t& session_requests) {
+  if (tokens.size() < 2 || tokens.size() > 4) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "want SWEEP <path> [timeout_s] [cdcl|allsat]");
+    return;
+  }
+  const std::string& path = tokens[1];
+  std::optional<double> requested_timeout;
+  if (tokens.size() >= 3) {
+    double seconds = 0.0;
+    std::size_t pos = 0;
+    try {
+      seconds = std::stod(tokens[2], &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != tokens[2].size() || seconds < 0.0) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      write_error(out, "bad timeout '" + tokens[2] + "'");
+      return;
+    }
+    requested_timeout = seconds;
+  }
+  sweep::prover engine = sweep::prover::cdcl;
+  if (tokens.size() == 4) {
+    try {
+      engine = sweep::prover_from_string(tokens[3]);
+    } catch (const std::exception& e) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      write_error(out, e.what());
+      return;
+    }
+  }
+  if (quota_exceeded(session_requests, 1, out)) {
+    return;
+  }
+  if (synth_.would_overload(1)) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    write_busy(out, options_.overload_retry_ms);
+    return;
+  }
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  const auto id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // The progress sink lives on this stack frame; it is registered only
+  // while the job is in flight, and `run_job` blocks until the job ended,
+  // so STATS never reads a dangling pointer.
+  sweep::sweep_progress progress;
+  {
+    std::lock_guard<std::mutex> lock{sweeps_mutex_};
+    active_sweeps_.emplace(id, &progress);
+  }
+  sweep::sweep_result result;
+  auto outcome = service::job_outcome::rejected;
+  std::optional<std::string> failure;
+  try {
+    outcome = synth_.run_job(
+        id, effective_timeout(requested_timeout),
+        [&](core::run_context& ctx) {
+          // Reading inside the job keeps the session thread shed-able and
+          // lets a queued-then-cancelled SWEEP skip even the file I/O.
+          auto network = aig::read_aiger_file(path);
+          if (network.num_ands() > options_.limits.max_aig_ands) {
+            throw protocol_error(
+                "aig too large (" + std::to_string(network.num_ands()) +
+                " ands, max " +
+                std::to_string(options_.limits.max_aig_ands) + ")");
+          }
+          sweep::sweep_options sweep_opts;
+          sweep_opts.engine = engine;
+          sweep_opts.progress = &progress;
+          result = sweep::sweep(network, sweep_opts, &ctx);
+        });
+  } catch (const std::exception& e) {
+    failure = e.what();  // unreadable/malformed file, size cap, ...
+  }
+  {
+    std::lock_guard<std::mutex> lock{sweeps_mutex_};
+    active_sweeps_.erase(id);
+  }
+  if (failure.has_value()) {
+    write_error(out, *failure);
+    return;
+  }
+  if (outcome == service::job_outcome::rejected) {
+    write_error(out, "rejected");
+    return;
+  }
+  if (outcome == service::job_outcome::cancelled || !result.completed) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    write_error(out, "timeout");
+    return;
+  }
+  out << "OK swept " << result.ands_before << " " << result.ands_after
+      << " " << result.merged_nodes << " " << result.proofs << " "
+      << result.refutations << " " << result.sim_rounds << " "
+      << result.seconds << " id=" << id << "\n";
+}
+
 void synthesis_server::handle_cancel(const std::vector<std::string>& tokens,
                                      std::ostream& out) {
   // The protocol is synchronous per session, so CANCEL necessarily
@@ -418,6 +525,7 @@ server_counters synthesis_server::counters() const {
   c.cancels = cancels_.load(std::memory_order_relaxed);
   c.busy = busy_.load(std::memory_order_relaxed);
   c.quota_rejections = quota_rejections_.load(std::memory_order_relaxed);
+  c.sweeps = sweeps_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -432,6 +540,11 @@ std::string synthesis_server::stats_text() const {
      << "cancels           " << c.cancels << "\n"
      << "busy              " << c.busy << "\n"
      << "quota_rejections  " << c.quota_rejections << "\n"
+     << "sweeps            " << c.sweeps << "\n"
+     << "sweeps_active     " << [this] {
+          std::lock_guard<std::mutex> lock{sweeps_mutex_};
+          return active_sweeps_.size();
+        }() << "\n"
      << "pending_jobs      " << synth_.pending_jobs() << "\n"
      << "draining          " << (draining() ? 1 : 0) << "\n"
      << synth_.current_metrics().to_text()  //
@@ -458,7 +571,25 @@ std::string synthesis_server::stats_json() const {
   for (std::size_t i = 0; i < ids.size(); ++i) {
     os << (i == 0 ? "" : ",") << ids[i];
   }
-  os << "],\"draining\":" << (draining() ? "true" : "false") << "}"
+  os << "],\"sweeps\":{\"admitted\":" << c.sweeps << ",\"active\":[";
+  {
+    std::lock_guard<std::mutex> lock{sweeps_mutex_};
+    bool first = true;
+    for (const auto& [id, progress] : active_sweeps_) {
+      os << (first ? "" : ",") << "{\"id\":" << id << ",\"sim_rounds\":"
+         << progress->sim_rounds.load(std::memory_order_relaxed)
+         << ",\"candidates\":"
+         << progress->candidates.load(std::memory_order_relaxed)
+         << ",\"proofs\":"
+         << progress->proofs.load(std::memory_order_relaxed)
+         << ",\"refutations\":"
+         << progress->refutations.load(std::memory_order_relaxed)
+         << ",\"merged_nodes\":"
+         << progress->merged_nodes.load(std::memory_order_relaxed) << "}";
+      first = false;
+    }
+  }
+  os << "]},\"draining\":" << (draining() ? "true" : "false") << "}"
      << ",\"synthesis\":" << synth_.current_metrics().to_json()
      << ",\"cache\":" << cache_stats_json(synth_.cache_stats()) << "}";
   return os.str();

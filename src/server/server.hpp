@@ -39,10 +39,13 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "server/protocol.hpp"
 #include "service/batch_synthesizer.hpp"
+#include "sweep/sweep.hpp"
 
 namespace stpes::server {
 
@@ -83,6 +86,7 @@ struct server_counters {
   std::uint64_t cancels = 0;       ///< CANCEL commands handled
   std::uint64_t busy = 0;          ///< BUSY load-shed replies
   std::uint64_t quota_rejections = 0;  ///< ERR quota-exceeded replies
+  std::uint64_t sweeps = 0;        ///< SWEEP requests admitted
 };
 
 class synthesis_server {
@@ -127,6 +131,8 @@ private:
   /// Returns false when the client disconnected mid-block.
   bool handle_batch(std::istream& in, std::ostream& out,
                     std::uint64_t& session_requests);
+  void handle_sweep(const std::vector<std::string>& tokens,
+                    std::ostream& out, std::uint64_t& session_requests);
   void handle_stats(const std::vector<std::string>& tokens,
                     std::ostream& out);
   void handle_save(const std::vector<std::string>& tokens,
@@ -160,9 +166,16 @@ private:
   std::atomic<std::uint64_t> cancels_{0};
   std::atomic<std::uint64_t> busy_{0};
   std::atomic<std::uint64_t> quota_rejections_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
   /// Server-assigned synthesis request ids (replies carry ` id=N`);
   /// starts at 1 so 0 stays the untagged sentinel.
   std::atomic<std::uint64_t> next_request_id_{1};
+  /// Live progress of in-flight SWEEP jobs, keyed by request id.  The
+  /// handler registers a stack-owned `sweep_progress` for the duration of
+  /// its job; STATS renders the registry under `sweeps` in the JSON
+  /// payload so an operator can watch (and target-cancel) a long sweep.
+  mutable std::mutex sweeps_mutex_;
+  std::map<std::uint64_t, const sweep::sweep_progress*> active_sweeps_;
 };
 
 }  // namespace stpes::server

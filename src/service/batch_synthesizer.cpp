@@ -275,6 +275,68 @@ batch_result batch_synthesizer::run(
   return run(requests);
 }
 
+job_outcome batch_synthesizer::run_job(
+    std::uint64_t request_id, double timeout_seconds,
+    const std::function<void(core::run_context&)>& body) {
+  const std::uint64_t epoch = current_cancel_epoch();
+  auto latch = std::make_shared<completion_latch>();
+  latch->pending = 1;
+  // The caller blocks on the latch, so these locals outlive the task.
+  job_outcome outcome = job_outcome::rejected;
+  std::exception_ptr error;
+
+  auto task = [this, epoch, request_id, timeout_seconds, latch, &body,
+               &outcome, &error] {
+    core::run_context ctx{timeout_seconds};
+    {
+      std::lock_guard<std::mutex> lock{active_mutex_};
+      if (cancel_epoch_ != epoch ||
+          (request_id != 0 && cancelled_ids_.count(request_id) != 0)) {
+        // Cancelled while still queued: never start the body.
+        metrics_.on_cancelled();
+        outcome = job_outcome::cancelled;
+        latch->arrive();
+        return;
+      }
+      active_.emplace(&ctx, request_id);
+    }
+    try {
+      body(ctx);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock{active_mutex_};
+      active_.erase(&ctx);
+    }
+    metrics_.on_counters(ctx.counters);
+    if (ctx.cancel_requested()) {
+      metrics_.on_cancelled();
+      outcome = job_outcome::cancelled;
+    } else if (error == nullptr) {
+      outcome = job_outcome::completed;
+    }
+    latch->arrive();
+  };
+  try {
+    pool_->submit(std::move(task));
+  } catch (...) {
+    latch->arrive();  // the task will never run; outcome stays `rejected`
+  }
+  latch->wait();
+
+  if (request_id != 0) {
+    // Same blacklist hygiene as `run()`: a CANCEL racing with completion
+    // must not poison an unrelated reuse of the id.
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    cancelled_ids_.erase(request_id);
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+  return outcome;
+}
+
 std::size_t batch_synthesizer::warm_cache(const std::string& path) {
   return warm_cache_verbose(path).loaded;
 }

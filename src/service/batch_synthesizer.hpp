@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -98,6 +99,13 @@ struct reload_report {
   warm_report warm;
 };
 
+/// How a generic `run_job` call ended.
+enum class job_outcome {
+  completed,  ///< the body ran to the end without an observed cancel
+  cancelled,  ///< cancelled (queued or in flight) / deadline may have cut it
+  rejected,   ///< never ran: pool shut down or submission failpoint fired
+};
+
 class batch_synthesizer {
 public:
   explicit batch_synthesizer(batch_options opts = {});
@@ -118,6 +126,18 @@ public:
 
   /// Convenience overload: plain functions, batch-default options.
   batch_result run(const std::vector<tt::truth_table>& functions);
+
+  /// Runs an arbitrary `body` as one pool job under a registered,
+  /// cancellable run context — the generic seam behind non-synthesis
+  /// workloads (the daemon's SWEEP verb).  The context carries the
+  /// `timeout_seconds` deadline and is registered in the same active-jobs
+  /// table as synthesis runs, so `cancel_inflight()`, `cancel_request(id)`,
+  /// the SIGTERM drain, and `active_request_ids()` all apply unchanged.
+  /// Blocks until the job finished (or was rejected).  The body's stage
+  /// counters are folded into the service metrics; an exception thrown by
+  /// the body is rethrown here after deregistration.
+  job_outcome run_job(std::uint64_t request_id, double timeout_seconds,
+                      const std::function<void(core::run_context&)>& body);
 
   /// Admission check for load shedding: true when accepting `incoming`
   /// more jobs would push the pool past `options().max_pending_jobs`.

@@ -37,6 +37,11 @@ struct atomic_stage_counters {
   std::atomic<std::uint64_t> sat_decisions{0};
   std::atomic<std::uint64_t> sat_conflicts{0};
   std::atomic<std::uint64_t> sat_restarts{0};
+  std::atomic<std::uint64_t> sweep_sim_rounds{0};
+  std::atomic<std::uint64_t> sweep_candidates{0};
+  std::atomic<std::uint64_t> sweep_proofs{0};
+  std::atomic<std::uint64_t> sweep_refutations{0};
+  std::atomic<std::uint64_t> sweep_merged_nodes{0};
 
   void add(const core::stage_counters& c) {
     fences_enumerated.fetch_add(c.fences_enumerated,
@@ -59,6 +64,15 @@ struct atomic_stage_counters {
     sat_decisions.fetch_add(c.sat_decisions, std::memory_order_relaxed);
     sat_conflicts.fetch_add(c.sat_conflicts, std::memory_order_relaxed);
     sat_restarts.fetch_add(c.sat_restarts, std::memory_order_relaxed);
+    sweep_sim_rounds.fetch_add(c.sweep_sim_rounds,
+                               std::memory_order_relaxed);
+    sweep_candidates.fetch_add(c.sweep_candidates,
+                               std::memory_order_relaxed);
+    sweep_proofs.fetch_add(c.sweep_proofs, std::memory_order_relaxed);
+    sweep_refutations.fetch_add(c.sweep_refutations,
+                                std::memory_order_relaxed);
+    sweep_merged_nodes.fetch_add(c.sweep_merged_nodes,
+                                 std::memory_order_relaxed);
   }
 
   [[nodiscard]] core::stage_counters load() const {
@@ -81,6 +95,13 @@ struct atomic_stage_counters {
     c.sat_decisions = sat_decisions.load(std::memory_order_relaxed);
     c.sat_conflicts = sat_conflicts.load(std::memory_order_relaxed);
     c.sat_restarts = sat_restarts.load(std::memory_order_relaxed);
+    c.sweep_sim_rounds = sweep_sim_rounds.load(std::memory_order_relaxed);
+    c.sweep_candidates = sweep_candidates.load(std::memory_order_relaxed);
+    c.sweep_proofs = sweep_proofs.load(std::memory_order_relaxed);
+    c.sweep_refutations =
+        sweep_refutations.load(std::memory_order_relaxed);
+    c.sweep_merged_nodes =
+        sweep_merged_nodes.load(std::memory_order_relaxed);
     return c;
   }
 };
@@ -167,7 +188,11 @@ struct metrics_snapshot {
        << " propagations, " << stage.allsat_merges << " merges\n"
        << "sat               " << stage.sat_decisions << " decisions, "
        << stage.sat_conflicts << " conflicts, " << stage.sat_restarts
-       << " restarts\n";
+       << " restarts\n"
+       << "sweep             " << stage.sweep_candidates << " candidates, "
+       << stage.sweep_proofs << " proofs, " << stage.sweep_refutations
+       << " refutations, " << stage.sweep_merged_nodes << " merged, "
+       << stage.sweep_sim_rounds << " sim rounds\n";
     if (synth_latency_count > 0) {
       os << "synth_mean_ms     "
          << 1e3 * synth_latency_total_s /
@@ -212,7 +237,12 @@ struct metrics_snapshot {
        << ",\"allsat_merges\":" << stage.allsat_merges
        << ",\"sat_decisions\":" << stage.sat_decisions
        << ",\"sat_conflicts\":" << stage.sat_conflicts
-       << ",\"sat_restarts\":" << stage.sat_restarts << "}"
+       << ",\"sat_restarts\":" << stage.sat_restarts
+       << ",\"sweep_sim_rounds\":" << stage.sweep_sim_rounds
+       << ",\"sweep_candidates\":" << stage.sweep_candidates
+       << ",\"sweep_proofs\":" << stage.sweep_proofs
+       << ",\"sweep_refutations\":" << stage.sweep_refutations
+       << ",\"sweep_merged_nodes\":" << stage.sweep_merged_nodes << "}"
        << ",\"synth_latency_count\":" << synth_latency_count
        << ",\"synth_latency_total_s\":" << synth_latency_total_s
        << ",\"synth_latency_buckets\":[";

@@ -1,0 +1,548 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "allsat/circuit_allsat.hpp"
+#include "chain/boolean_chain.hpp"
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stpes::sweep {
+
+const char* to_string(prover p) {
+  return p == prover::cdcl ? "cdcl" : "allsat";
+}
+
+prover prover_from_string(std::string_view name) {
+  if (name == "cdcl") {
+    return prover::cdcl;
+  }
+  if (name == "allsat") {
+    return prover::allsat;
+  }
+  throw std::invalid_argument("unknown sweep prover: " + std::string(name));
+}
+
+namespace {
+
+/// Signature partition of all variables: `rep[v]` is the smallest variable
+/// whose normalized signature equals v's, and `phase[v]` is 1 when v's
+/// simulated values are the complement of its representative's.
+struct partition {
+  std::vector<std::uint32_t> rep;
+  std::vector<std::uint8_t> phase;
+};
+
+/// Phase normalization: complement a row whose first simulated bit is 1,
+/// so a node and its inversion share a signature (and the constant class
+/// is keyed off variable 0's all-zero row).
+std::uint64_t phase_mask(const std::vector<std::uint64_t>& row) {
+  return (row[0] & 1ull) != 0 ? ~0ull : 0ull;
+}
+
+partition partition_by_signature(
+    const std::vector<std::vector<std::uint64_t>>& rows) {
+  const auto n = static_cast<std::uint32_t>(rows.size());
+  const std::size_t w = rows[0].size();
+  partition part;
+  part.rep.resize(n);
+  part.phase.assign(n, 0);
+  // Hash bucket of class leaders; exact (normalized) comparison inside a
+  // bucket guards against hash collisions.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  buckets.reserve(2 * n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint64_t mask_v = phase_mask(rows[v]);
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over normalized words
+    for (std::size_t k = 0; k < w; ++k) {
+      h ^= rows[v][k] ^ mask_v;
+      h *= 0x100000001b3ull;
+    }
+    auto& bucket = buckets[h];
+    std::uint32_t rep = v;
+    for (const std::uint32_t leader : bucket) {
+      const std::uint64_t mask_l = phase_mask(rows[leader]);
+      bool equal = true;
+      for (std::size_t k = 0; k < w; ++k) {
+        if ((rows[v][k] ^ mask_v) != (rows[leader][k] ^ mask_l)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        rep = leader;
+        break;
+      }
+    }
+    if (rep == v) {
+      bucket.push_back(v);
+    }
+    part.rep[v] = rep;
+    part.phase[v] =
+        static_cast<std::uint8_t>((rows[v][0] ^ rows[rep][0]) & 1ull);
+  }
+  return part;
+}
+
+/// Verdict of one miter proof.
+enum class verdict { proven, refuted, unresolved };
+
+struct proof_outcome {
+  verdict kind = verdict::unresolved;
+  /// Refutation witness: (primary-input index, value) per cone input.
+  std::vector<std::pair<std::uint32_t, bool>> cex;
+};
+
+/// The suspected relation is always `cand == rep ^ phase`; a miter proof
+/// asks the solver for an input where they *differ*, so UNSAT is the
+/// equivalence proof and a model is the counterexample.
+
+proof_outcome prove_cdcl(const aig::aig_network& net, std::uint32_t rep_var,
+                         std::uint32_t cand_var, bool phase,
+                         core::run_context* ctx) {
+  std::vector<std::uint32_t> roots{cand_var};
+  if (rep_var != 0) {
+    roots.push_back(rep_var);
+  }
+  const auto cone = net.cone(roots);
+
+  sat::solver solver;
+  solver.set_run_context(ctx);
+  std::unordered_map<std::uint32_t, sat::var> sat_var;
+  sat_var.reserve(cone.size());
+  for (const auto v : cone) {
+    sat_var.emplace(v, solver.new_var());
+  }
+  const auto map_lit = [&](aig::literal l) {
+    return sat::lit{sat_var.at(aig::lit_var(l)), aig::lit_complemented(l)};
+  };
+
+  bool trivially_unsat = false;
+  const auto add = [&](sat::clause_lits lits) {
+    if (!solver.add_clause(std::move(lits))) {
+      trivially_unsat = true;
+    }
+  };
+  // Tseitin encoding of every AND in the two cones: c <-> (a & b).
+  // `create_and` folds constants, so fanins are always real variables.
+  for (const auto v : cone) {
+    if (!net.is_and(v)) {
+      continue;
+    }
+    const auto& nd = net.node(v);
+    const sat::lit c = sat::pos(sat_var.at(v));
+    const sat::lit a = map_lit(nd.fanin0);
+    const sat::lit b = map_lit(nd.fanin1);
+    add({~c, a});
+    add({~c, b});
+    add({c, ~a, ~b});
+  }
+  // The miter constraint: cand differs from rep ^ phase.
+  const sat::lit c = sat::pos(sat_var.at(cand_var));
+  if (rep_var == 0) {
+    add({phase ? ~c : c});
+  } else {
+    const sat::lit r = sat::pos(sat_var.at(rep_var));
+    if (phase) {
+      add({~c, r});
+      add({c, ~r});
+    } else {
+      add({c, r});
+      add({~c, ~r});
+    }
+  }
+
+  proof_outcome out;
+  if (trivially_unsat) {
+    out.kind = verdict::proven;
+    return out;
+  }
+  switch (solver.solve()) {
+    case sat::solve_result::unsat:
+      out.kind = verdict::proven;
+      break;
+    case sat::solve_result::sat:
+      out.kind = verdict::refuted;
+      for (const auto v : cone) {
+        if (net.is_input(v)) {
+          out.cex.emplace_back(v - 1, solver.model_value(sat_var.at(v)));
+        }
+      }
+      break;
+    case sat::solve_result::unknown:
+      out.kind = verdict::unresolved;
+      break;
+  }
+  return out;
+}
+
+/// 4-bit LUT of `(a ^ inv0) & (b ^ inv1)` under the chain's bit-(b<<1|a)
+/// operator convention.
+unsigned and_op(bool inv0, bool inv1) {
+  unsigned op = 0;
+  for (unsigned pattern = 0; pattern < 4; ++pattern) {
+    const bool a = (pattern & 1u) != 0;
+    const bool b = (pattern & 2u) != 0;
+    if ((a != inv0) && (b != inv1)) {
+      op |= 1u << pattern;
+    }
+  }
+  return op;
+}
+
+constexpr unsigned op_xor = 0x6;
+constexpr unsigned op_xnor = 0x9;
+
+/// Appends the AND nodes of `cone` (ascending = topological) to `ch`; the
+/// caller pre-fills `sig` with the chain signals of the cone's inputs.
+void append_cone_steps(chain::boolean_chain& ch, const aig::aig_network& net,
+                       const std::vector<std::uint32_t>& cone,
+                       std::vector<std::uint32_t>& sig) {
+  for (const auto v : cone) {
+    if (!net.is_and(v)) {
+      continue;
+    }
+    const auto& nd = net.node(v);
+    sig[v] = ch.add_step(and_op(aig::lit_complemented(nd.fanin0),
+                                aig::lit_complemented(nd.fanin1)),
+                         sig[aig::lit_var(nd.fanin0)],
+                         sig[aig::lit_var(nd.fanin1)]);
+  }
+}
+
+proof_outcome prove_allsat(const aig::aig_network& net, std::uint32_t rep_var,
+                           std::uint32_t cand_var, bool phase,
+                           core::run_context* ctx) {
+  std::vector<std::uint32_t> roots{cand_var};
+  if (rep_var != 0) {
+    roots.push_back(rep_var);
+  }
+  const auto cone = net.cone(roots);
+  std::vector<std::uint32_t> cone_inputs;
+  for (const auto v : cone) {
+    if (net.is_input(v)) {
+      cone_inputs.push_back(v);
+    }
+  }
+
+  chain::boolean_chain miter(static_cast<unsigned>(cone_inputs.size()));
+  std::vector<std::uint32_t> sig(net.max_var() + 1, 0);
+  for (std::uint32_t i = 0; i < cone_inputs.size(); ++i) {
+    sig[cone_inputs[i]] = i;
+  }
+  append_cone_steps(miter, net, cone, sig);
+  if (rep_var == 0) {
+    // Against the constant: the output literal cand ^ phase is 1 exactly
+    // on the inputs where cand differs from its suspected constant value.
+    miter.set_output(sig[cand_var], phase);
+  } else {
+    miter.set_output(
+        miter.add_step(phase ? op_xnor : op_xor, sig[rep_var], sig[cand_var]));
+  }
+
+  const auto all = allsat::solve_all(miter, /*target=*/true, ctx);
+  proof_outcome out;
+  if (all.satisfiable) {
+    out.kind = verdict::refuted;
+    // Any completion of the first solution cube drives the miter to 1;
+    // complete don't-cares with 0.
+    const auto& cube = all.solutions.front();
+    for (std::uint32_t i = 0; i < cone_inputs.size(); ++i) {
+      out.cex.emplace_back(cone_inputs[i] - 1, cube.values[i] == 1);
+    }
+  } else if (ctx != nullptr && ctx->should_stop()) {
+    out.kind = verdict::unresolved;  // truncated traverse, not a proof
+  } else {
+    out.kind = verdict::proven;
+  }
+  return out;
+}
+
+/// Rebuilds `src` with every merged variable replaced by its recorded
+/// representative literal, dropping nodes that become unreachable from the
+/// outputs.  Structural hashing inside `create_and` collapses any pairs the
+/// substitution made identical.
+aig::aig_network rebuild_merged(
+    const aig::aig_network& src,
+    const std::unordered_map<std::uint32_t, aig::literal>& merged) {
+  // Liveness from the outputs, resolving merges.  Representatives are
+  // never merged themselves (a smaller equivalent node would have been the
+  // representative), so resolution is a single hop.
+  const auto resolve = [&](std::uint32_t v) {
+    const auto it = merged.find(v);
+    return it == merged.end() ? v : aig::lit_var(it->second);
+  };
+  std::vector<char> live(src.max_var() + 1, 0);
+  std::vector<std::uint32_t> stack;
+  const auto mark = [&](std::uint32_t v) {
+    v = resolve(v);
+    if (live[v] == 0) {
+      live[v] = 1;
+      if (src.is_and(v)) {
+        stack.push_back(v);
+      }
+    }
+  };
+  for (const auto o : src.outputs()) {
+    mark(aig::lit_var(o));
+  }
+  while (!stack.empty()) {
+    const auto v = stack.back();
+    stack.pop_back();
+    const auto& nd = src.node(v);
+    mark(aig::lit_var(nd.fanin0));
+    mark(aig::lit_var(nd.fanin1));
+  }
+
+  aig::aig_network out(src.num_inputs());
+  std::vector<aig::literal> lit_of(src.max_var() + 1, aig::lit_false);
+  for (unsigned i = 0; i < src.num_inputs(); ++i) {
+    lit_of[i + 1] = out.input_lit(i);
+  }
+  const auto remap = [&](aig::literal l) {
+    std::uint32_t v = aig::lit_var(l);
+    bool c = aig::lit_complemented(l);
+    const auto it = merged.find(v);
+    if (it != merged.end()) {
+      v = aig::lit_var(it->second);
+      c ^= aig::lit_complemented(it->second);
+    }
+    return lit_of[v] ^ (c ? 1u : 0u);
+  };
+  for (std::uint32_t v = src.num_inputs() + 1; v <= src.max_var(); ++v) {
+    if (live[v] == 0 || merged.count(v) != 0) {
+      continue;
+    }
+    const auto& nd = src.node(v);
+    lit_of[v] = out.create_and(remap(nd.fanin0), remap(nd.fanin1));
+  }
+  for (const auto o : src.outputs()) {
+    out.add_output(remap(o));
+  }
+  return out;
+}
+
+}  // namespace
+
+sweep_result sweep(const aig::aig_network& network,
+                   const sweep_options& options, core::run_context* ctx) {
+  const util::stopwatch timer;
+  core::run_context local;
+  core::run_context& rc = ctx != nullptr ? *ctx : local;
+  const core::stage_counters counters_before = rc.counters;
+  sweep_progress* progress = options.progress;
+
+  sweep_result result;
+  result.ands_before = network.num_ands();
+
+  const auto finish = [&](bool completed) {
+    result.completed = completed;
+    result.ands_after = result.swept.num_ands();
+    result.counters = rc.counters - counters_before;
+    result.seconds = timer.elapsed_seconds();
+    return result;
+  };
+
+  // Constant folding in create_and means a network without inputs has no
+  // AND nodes either; both degenerate shapes have nothing to sweep.
+  if (network.num_ands() == 0 || network.num_inputs() == 0) {
+    result.swept = network;
+    return finish(!rc.should_stop());
+  }
+
+  const unsigned n_in = network.num_inputs();
+  const unsigned words_per_round = std::max(1u, options.sim_words);
+  util::rng prng(options.seed);
+  std::vector<std::vector<std::uint64_t>> patterns(n_in);
+  const auto add_random_round = [&] {
+    for (auto& row : patterns) {
+      for (unsigned k = 0; k < words_per_round; ++k) {
+        row.push_back(prng.next_u64());
+      }
+    }
+  };
+  std::vector<std::vector<std::uint64_t>> rows;
+  const auto simulate = [&] {
+    rows = network.simulate_words(patterns);
+    ++rc.counters.sweep_sim_rounds;
+    ++result.sim_rounds;
+    if (progress != nullptr) {
+      progress->sim_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Stage 1: random simulation until the partition stabilizes.
+  add_random_round();
+  simulate();
+  partition part = partition_by_signature(rows);
+  for (unsigned round = 1; round < options.max_sim_rounds; ++round) {
+    if (rc.should_stop()) {
+      break;
+    }
+    add_random_round();
+    simulate();
+    partition refined = partition_by_signature(rows);
+    const bool stable = refined.rep == part.rep;
+    part = std::move(refined);
+    if (stable) {
+      break;
+    }
+  }
+
+  // Stage 2: proving passes.  Every refutation's counterexample is folded
+  // into the pattern set before the next pass, so refuted pairs are split
+  // apart and each pass with refutations strictly refines the partition;
+  // the loop therefore terminates (classes are bounded by the variable
+  // count) once a pass resolves every candidate without a refutation.
+  std::unordered_map<std::uint32_t, aig::literal> merged;
+  bool aborted = false;
+  while (!aborted) {
+    std::vector<std::vector<std::uint64_t>> cex_words(n_in);
+    unsigned cex_count = 0;
+    bool refuted_this_pass = false;
+    for (std::uint32_t v = n_in + 1; v <= network.max_var(); ++v) {
+      if (rc.should_stop()) {
+        aborted = true;
+        break;
+      }
+      if (merged.count(v) != 0) {
+        continue;
+      }
+      const std::uint32_t rep = part.rep[v];
+      if (rep == v) {
+        continue;
+      }
+      const bool phase = part.phase[v] != 0;
+      ++rc.counters.sweep_candidates;
+      ++result.candidates;
+      if (progress != nullptr) {
+        progress->candidates.fetch_add(1, std::memory_order_relaxed);
+      }
+      const proof_outcome outcome =
+          options.engine == prover::cdcl
+              ? prove_cdcl(network, rep, v, phase, &rc)
+              : prove_allsat(network, rep, v, phase, &rc);
+      switch (outcome.kind) {
+        case verdict::proven:
+          ++rc.counters.sweep_proofs;
+          ++result.proofs;
+          ++rc.counters.sweep_merged_nodes;
+          ++result.merged_nodes;
+          merged.emplace(v, aig::make_lit(rep, phase));
+          if (progress != nullptr) {
+            progress->proofs.fetch_add(1, std::memory_order_relaxed);
+            progress->merged_nodes.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        case verdict::refuted: {
+          ++rc.counters.sweep_refutations;
+          ++result.refutations;
+          if (progress != nullptr) {
+            progress->refutations.fetch_add(1, std::memory_order_relaxed);
+          }
+          refuted_this_pass = true;
+          const unsigned word = cex_count / 64;
+          const unsigned bit = cex_count % 64;
+          if (bit == 0) {
+            for (auto& row : cex_words) {
+              row.push_back(0);
+            }
+          }
+          for (const auto& [input, value] : outcome.cex) {
+            if (value) {
+              cex_words[input][word] |= 1ull << bit;
+            }
+          }
+          ++cex_count;
+          break;
+        }
+        case verdict::unresolved:
+          // A deadline or cancel observed inside the prover.
+          aborted = true;
+          break;
+      }
+      if (aborted) {
+        break;
+      }
+    }
+    if (aborted || !refuted_this_pass) {
+      break;
+    }
+    for (unsigned i = 0; i < n_in; ++i) {
+      patterns[i].insert(patterns[i].end(), cex_words[i].begin(),
+                         cex_words[i].end());
+    }
+    simulate();
+    part = partition_by_signature(rows);
+  }
+
+  result.swept = rebuild_merged(network, merged);
+  return finish(!aborted);
+}
+
+bool networks_equivalent(const aig::aig_network& a, const aig::aig_network& b,
+                         core::run_context* ctx) {
+  if (a.num_inputs() != b.num_inputs() ||
+      a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  const unsigned n = a.num_inputs();
+  for (unsigned k = 0; k < a.num_outputs(); ++k) {
+    if (ctx != nullptr && ctx->should_stop()) {
+      return false;
+    }
+    const aig::literal la = a.outputs()[k];
+    const aig::literal lb = b.outputs()[k];
+    const bool ca = aig::lit_complemented(la);
+    const bool cb = aig::lit_complemented(lb);
+    const bool a_const = aig::lit_var(la) == 0;
+    const bool b_const = aig::lit_var(lb) == 0;
+    if (a_const && b_const) {
+      if (ca != cb) {
+        return false;
+      }
+      continue;
+    }
+
+    // One miter chain over all primary inputs; input i is chain signal i.
+    chain::boolean_chain miter(n);
+    const auto append_side = [&](const aig::aig_network& net,
+                                 std::uint32_t root) {
+      std::vector<std::uint32_t> sig(net.max_var() + 1, 0);
+      for (unsigned i = 0; i < n; ++i) {
+        sig[i + 1] = i;
+      }
+      append_cone_steps(miter, net, net.cone({root}), sig);
+      return sig[root];
+    };
+    if (a_const || b_const) {
+      // Against a constant side c: the miter is the other side's literal
+      // complemented by c, true exactly where the two outputs differ.
+      const auto& net = a_const ? b : a;
+      const auto root_lit = a_const ? lb : la;
+      const std::uint32_t sig = append_side(net, aig::lit_var(root_lit));
+      miter.set_output(sig, ca != cb);
+    } else {
+      const std::uint32_t sig_a = append_side(a, aig::lit_var(la));
+      const std::uint32_t sig_b = append_side(b, aig::lit_var(lb));
+      miter.set_output(miter.add_step(ca != cb ? op_xnor : op_xor, sig_a,
+                                      sig_b));
+    }
+    const auto all = allsat::solve_all(miter, /*target=*/true, ctx);
+    if (all.satisfiable) {
+      return false;  // a concrete disagreeing input exists
+    }
+    if (ctx != nullptr && ctx->should_stop()) {
+      return false;  // truncated traverse: UNSAT answer is not trusted
+    }
+  }
+  return true;
+}
+
+}  // namespace stpes::sweep

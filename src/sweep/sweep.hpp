@@ -1,0 +1,116 @@
+/// \file sweep.hpp
+/// \brief SAT sweeping over and-inverter graphs (follow-up paper,
+///        arXiv 2312.00421): STP-style word-parallel simulation seeds
+///        node-equivalence classes, the circuit solvers prove or refute
+///        each candidate pair on an XOR-miter, and proven-equivalent
+///        nodes are merged with their fanout rewired.
+///
+/// The pipeline per `sweep()` call:
+///
+///   1. **Simulate.**  Word-parallel packed-uint64 simulation (the same
+///      kernel style as the synthesis hot path) over seeded random
+///      patterns; nodes are partitioned into candidate classes by their
+///      signature, normalized up to complement so a node and its
+///      inversion land in the same class.  The constant-false variable
+///      participates, so constant nodes are candidates too.  Rounds of
+///      additional patterns refine the partition until it stabilizes.
+///   2. **Prove.**  For every non-representative class member, an
+///      XOR-miter between the member and its class representative (the
+///      smallest variable, hence always an earlier node) is handed to a
+///      prover: the CDCL solver on a Tseitin encoding of the two cones
+///      (default), or the paper's circuit AllSAT solver on the miter as
+///      a 2-LUT network (`prover::allsat`).  UNSAT proves equivalence;
+///      a model is a counterexample that is fed back into the pattern
+///      set, splitting every class it distinguishes before the next
+///      proving pass.
+///   3. **Merge.**  Proven members are replaced by their representative
+///      (with the phase folded into the edge) in one topological
+///      rebuild; structural hashing during the rebuild collapses any
+///      structure the substitutions made redundant.
+///
+/// Everything is threaded through `core::run_context`: the simulation,
+/// partition, and proving loops poll `should_stop()` at bounded strides,
+/// the CDCL / AllSAT strides apply inside a proof, and effort lands in
+/// the `sweep_*` stage counters.  A cancelled or deadline-cut run
+/// returns `completed == false` with the merges proven so far already
+/// applied — they are sound regardless of where the run stopped.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "aig/aig.hpp"
+#include "util/run_context.hpp"
+
+namespace stpes::sweep {
+
+/// Which engine proves candidate miters.
+enum class prover {
+  cdcl,    ///< Tseitin cones on the CDCL solver (scales best)
+  allsat,  ///< the paper's circuit AllSAT traverse on the miter network
+};
+
+const char* to_string(prover p);
+/// Parses "cdcl" / "allsat" (throws std::invalid_argument otherwise).
+prover prover_from_string(std::string_view name);
+
+/// Live progress of one in-flight sweep, safe to read from other threads
+/// (the daemon's STATS path polls it while the job runs on a worker).
+struct sweep_progress {
+  std::atomic<std::uint64_t> sim_rounds{0};
+  std::atomic<std::uint64_t> candidates{0};
+  std::atomic<std::uint64_t> proofs{0};
+  std::atomic<std::uint64_t> refutations{0};
+  std::atomic<std::uint64_t> merged_nodes{0};
+};
+
+struct sweep_options {
+  /// Pattern-generator seed (printed by benches for provenance).
+  std::uint64_t seed = 1;
+  /// 64-bit words of random patterns per simulation round.
+  unsigned sim_words = 4;
+  /// Refinement rounds before the first proving pass (the partition
+  /// usually stabilizes much earlier; stable partitions stop the loop).
+  unsigned max_sim_rounds = 8;
+  prover engine = prover::cdcl;
+  /// Optional live progress sink (not owned; may be null).
+  sweep_progress* progress = nullptr;
+};
+
+/// Outcome of one sweep run.
+struct sweep_result {
+  /// The swept network (valid even for incomplete runs: only proven
+  /// merges are applied).
+  aig::aig_network swept;
+  /// True iff every candidate was resolved before deadline/cancel.
+  bool completed = false;
+  std::uint64_t ands_before = 0;
+  std::uint64_t ands_after = 0;
+  std::uint64_t sim_rounds = 0;
+  std::uint64_t candidates = 0;    ///< miter proofs attempted
+  std::uint64_t proofs = 0;        ///< UNSAT miters (equivalences)
+  std::uint64_t refutations = 0;   ///< SAT miters (counterexamples)
+  std::uint64_t merged_nodes = 0;  ///< nodes replaced by a representative
+  /// Per-run effort delta (also accumulated into the caller's context).
+  core::stage_counters counters;
+  double seconds = 0.0;
+};
+
+/// Sweeps `network` under `options`; `ctx` (when set) carries deadline,
+/// cancel flag, and accumulates the `sweep_*` / solver stage counters.
+sweep_result sweep(const aig::aig_network& network,
+                   const sweep_options& options = {},
+                   core::run_context* ctx = nullptr);
+
+/// Combinational equivalence of two AIGs with matching input/output
+/// counts, proved output by output with the paper's circuit AllSAT
+/// solver on an XOR-miter (the same "judging" path the synthesis
+/// engines use).  Returns true only for a complete UNSAT proof of every
+/// output; a deadline/cancel abort returns false (check the context to
+/// distinguish "different" from "unproven").
+bool networks_equivalent(const aig::aig_network& a, const aig::aig_network& b,
+                         core::run_context* ctx = nullptr);
+
+}  // namespace stpes::sweep

@@ -62,6 +62,15 @@ struct stage_counters {
   std::uint64_t sat_decisions = 0;
   std::uint64_t sat_conflicts = 0;
   std::uint64_t sat_restarts = 0;
+  // SAT sweeping (sweep/): simulation refinement rounds, candidate pairs
+  // tried, miter verdicts, and nodes actually merged into their class
+  // representative.  proofs + refutations <= candidates (a deadline or
+  // cancel can cut a round between the two).
+  std::uint64_t sweep_sim_rounds = 0;
+  std::uint64_t sweep_candidates = 0;
+  std::uint64_t sweep_proofs = 0;
+  std::uint64_t sweep_refutations = 0;
+  std::uint64_t sweep_merged_nodes = 0;
 
   stage_counters& operator+=(const stage_counters& o) {
     fences_enumerated += o.fences_enumerated;
@@ -77,6 +86,11 @@ struct stage_counters {
     sat_decisions += o.sat_decisions;
     sat_conflicts += o.sat_conflicts;
     sat_restarts += o.sat_restarts;
+    sweep_sim_rounds += o.sweep_sim_rounds;
+    sweep_candidates += o.sweep_candidates;
+    sweep_proofs += o.sweep_proofs;
+    sweep_refutations += o.sweep_refutations;
+    sweep_merged_nodes += o.sweep_merged_nodes;
     return *this;
   }
 
@@ -94,6 +108,11 @@ struct stage_counters {
     sat_decisions -= o.sat_decisions;
     sat_conflicts -= o.sat_conflicts;
     sat_restarts -= o.sat_restarts;
+    sweep_sim_rounds -= o.sweep_sim_rounds;
+    sweep_candidates -= o.sweep_candidates;
+    sweep_proofs -= o.sweep_proofs;
+    sweep_refutations -= o.sweep_refutations;
+    sweep_merged_nodes -= o.sweep_merged_nodes;
     return *this;
   }
 
@@ -102,7 +121,9 @@ struct stage_counters {
            factorization_attempts + factorization_prunes +
            dont_care_expansions + factor_memo_hits + factor_memo_misses +
            allsat_propagations + allsat_merges + sat_decisions +
-           sat_conflicts + sat_restarts;
+           sat_conflicts + sat_restarts + sweep_sim_rounds +
+           sweep_candidates + sweep_proofs + sweep_refutations +
+           sweep_merged_nodes;
   }
 };
 

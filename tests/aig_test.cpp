@@ -1,0 +1,150 @@
+/// \file aig_test.cpp
+/// \brief `aig_network` invariants: literal helpers, constant folding and
+///        structural hashing in `create_and`, the derived connectives, the
+///        word-parallel and exhaustive simulators, and cone extraction.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace {
+
+using stpes::aig::aig_network;
+using stpes::aig::lit_complemented;
+using stpes::aig::lit_false;
+using stpes::aig::lit_not;
+using stpes::aig::lit_true;
+using stpes::aig::lit_var;
+using stpes::aig::literal;
+using stpes::aig::make_lit;
+using stpes::tt::truth_table;
+
+TEST(Aig, LiteralHelpersFollowTheAigerConvention) {
+  EXPECT_EQ(lit_var(lit_false), 0u);
+  EXPECT_EQ(lit_var(lit_true), 0u);
+  EXPECT_FALSE(lit_complemented(lit_false));
+  EXPECT_TRUE(lit_complemented(lit_true));
+  EXPECT_EQ(make_lit(3), 6u);
+  EXPECT_EQ(make_lit(3, true), 7u);
+  EXPECT_EQ(lit_not(make_lit(3)), make_lit(3, true));
+  EXPECT_EQ(lit_var(make_lit(7, true)), 7u);
+}
+
+TEST(Aig, CreateAndFoldsConstantsAndTrivialPairs) {
+  aig_network net{2};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  EXPECT_EQ(net.create_and(a, lit_false), lit_false);
+  EXPECT_EQ(net.create_and(lit_false, b), lit_false);
+  EXPECT_EQ(net.create_and(a, lit_true), a);
+  EXPECT_EQ(net.create_and(lit_true, b), b);
+  EXPECT_EQ(net.create_and(a, a), a);
+  EXPECT_EQ(net.create_and(a, lit_not(a)), lit_false);
+  EXPECT_EQ(net.create_and(lit_not(b), lit_not(b)), lit_not(b));
+  // None of the folds created a node.
+  EXPECT_EQ(net.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashingDeduplicatesCommutedPairs) {
+  aig_network net{2};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  const literal ab = net.create_and(a, b);
+  EXPECT_EQ(net.num_ands(), 1u);
+  // Same pair, both orders, and with complemented fanins as a distinct key.
+  EXPECT_EQ(net.create_and(a, b), ab);
+  EXPECT_EQ(net.create_and(b, a), ab);
+  EXPECT_EQ(net.num_ands(), 1u);
+  EXPECT_EQ(net.strash_hits(), 2u);
+  const literal nab = net.create_and(lit_not(a), lit_not(b));
+  EXPECT_NE(nab, ab);
+  EXPECT_EQ(net.num_ands(), 2u);
+  // The stored node is pair-normalized: fanin0 >= fanin1 as literals.
+  for (const auto& nd : net.nodes()) {
+    EXPECT_GE(nd.fanin0, nd.fanin1);
+  }
+  EXPECT_TRUE(net.is_well_formed());
+}
+
+TEST(Aig, DerivedConnectivesSimulateCorrectly) {
+  aig_network net{3};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  const literal c = net.input_lit(2);
+  net.add_output(net.create_and(a, b));
+  net.add_output(net.create_or(a, b));
+  net.add_output(net.create_xor(a, b));
+  net.add_output(net.create_mux(a, b, c));
+  net.add_output(lit_not(net.create_xor(a, b)));
+
+  const auto tts = net.simulate();
+  ASSERT_EQ(tts.size(), 5u);
+  // 3-var tables over inputs (a, b, c); bit index = c<<2 | b<<1 | a.
+  EXPECT_EQ(tts[0], truth_table(3, 0x88));  // a & b
+  EXPECT_EQ(tts[1], truth_table(3, 0xEE));  // a | b
+  EXPECT_EQ(tts[2], truth_table(3, 0x66));  // a ^ b
+  EXPECT_EQ(tts[3], truth_table(3, 0xD8));  // a ? b : c
+  EXPECT_EQ(tts[4], truth_table(3, 0x99));  // !(a ^ b)
+}
+
+TEST(Aig, SimulateWordsMatchesExhaustiveSimulation) {
+  aig_network net{2};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  const literal x = net.create_xor(a, b);
+  net.add_output(x);
+
+  // Drive the word simulator with the exhaustive patterns of 2 inputs in
+  // the low 4 bits: input i's word is the truth table of variable i.
+  const std::vector<std::vector<std::uint64_t>> inputs{{0xAull}, {0xCull}};
+  const auto rows = net.simulate_words(inputs);
+  ASSERT_EQ(rows.size(), net.max_var() + 1);
+  EXPECT_EQ(rows[0][0], 0ull);          // constant false row
+  EXPECT_EQ(rows[1][0] & 0xF, 0xAull);  // input a
+  EXPECT_EQ(rows[2][0] & 0xF, 0xCull);  // input b
+  const std::uint64_t out_word =
+      rows[lit_var(x)][0] ^ (lit_complemented(x) ? ~0ull : 0ull);
+  EXPECT_EQ(out_word & 0xF, 0x6ull);  // a ^ b
+}
+
+TEST(Aig, ConeCollectsExactlyTheTransitiveFanin) {
+  aig_network net{3};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  const literal c = net.input_lit(2);
+  const literal ab = net.create_and(a, b);
+  const literal bc = net.create_and(b, c);
+  net.add_output(ab);
+  net.add_output(bc);
+
+  // The cone of (a & b) holds inputs a, b and the node itself, not c.
+  const auto cone = net.cone({lit_var(ab)});
+  EXPECT_EQ(cone, (std::vector<std::uint32_t>{1, 2, lit_var(ab)}));
+  // A joint cone over both roots covers everything except variable 0.
+  const auto both = net.cone({lit_var(ab), lit_var(bc)});
+  EXPECT_EQ(both.size(), 5u);
+  EXPECT_TRUE(net.is_well_formed());
+}
+
+TEST(Aig, MaxVarAndAccessorsStayConsistent) {
+  aig_network net{4};
+  EXPECT_EQ(net.num_inputs(), 4u);
+  EXPECT_EQ(net.max_var(), 4u);
+  const literal n =
+      net.create_and(net.input_lit(0), net.input_lit(3));
+  EXPECT_EQ(net.max_var(), 5u);
+  EXPECT_TRUE(net.is_and(lit_var(n)));
+  EXPECT_FALSE(net.is_input(lit_var(n)));
+  EXPECT_TRUE(net.is_input(1));
+  EXPECT_FALSE(net.is_and(1));
+  EXPECT_FALSE(net.is_input(0));
+  EXPECT_FALSE(net.is_and(0));
+  EXPECT_EQ(net.node(lit_var(n)).fanin0, net.input_lit(3));
+  EXPECT_EQ(net.node(lit_var(n)).fanin1, net.input_lit(0));
+}
+
+}  // namespace

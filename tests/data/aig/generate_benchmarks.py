@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Regenerates the vendored AIGER sweep benchmarks and their MANIFEST.
+
+The circuits are synthetic but purpose-built for SAT sweeping: each one
+computes the same function through two *structurally different*
+decompositions (structural hashing cannot collapse them; only an
+equivalence proof can), stays within 4 inputs and a few dozen AND gates so
+the circuit-AllSAT equivalence check in the tests is instant, and is
+committed to the repository so CI never needs the network.
+
+MANIFEST lines are `<crc32-hex> <bytes> <name>`, sorted by name; the CRC is
+zlib.crc32, which matches `stpes::util::crc32` bit for bit.
+
+Run from anywhere: paths are relative to this script's directory.
+"""
+
+import zlib
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+class Aig:
+    """Minimal AIG builder with AIGER literal numbering (2*var + c)."""
+
+    def __init__(self, num_inputs):
+        self.n = num_inputs
+        self.ands = []  # (lhs, rhs0, rhs1), lhs implicit ascending
+        self.outputs = []
+        self.strash = {}
+
+    def inp(self, i):
+        return 2 * (i + 1)
+
+    def AND(self, a, b):
+        if a < b:
+            a, b = b, a
+        key = (a, b)
+        if key in self.strash:
+            return self.strash[key]
+        var = self.n + len(self.ands) + 1
+        self.ands.append((2 * var, a, b))
+        self.strash[key] = 2 * var
+        return 2 * var
+
+    def OR(self, a, b):
+        return self.AND(a ^ 1, b ^ 1) ^ 1
+
+    def XOR(self, a, b):
+        return self.OR(self.AND(a, b ^ 1), self.AND(a ^ 1, b))
+
+    def MUX(self, s, t, e):  # s ? t : e
+        return self.OR(self.AND(s, t), self.AND(s ^ 1, e))
+
+    def out(self, lit):
+        self.outputs.append(lit)
+
+
+def ascii_bytes(g):
+    m = g.n + len(g.ands)
+    lines = [f"aag {m} {g.n} 0 {len(g.outputs)} {len(g.ands)}"]
+    lines += [str(g.inp(i)) for i in range(g.n)]
+    lines += [str(o) for o in g.outputs]
+    lines += [f"{lhs} {a} {b}" for lhs, a, b in g.ands]
+    return ("\n".join(lines) + "\n").encode()
+
+
+def binary_bytes(g):
+    m = g.n + len(g.ands)
+    out = bytearray(
+        f"aig {m} {g.n} 0 {len(g.outputs)} {len(g.ands)}\n".encode())
+    for o in g.outputs:
+        out += f"{o}\n".encode()
+    for lhs, a, b in g.ands:
+        for delta in (lhs - a, a - b):  # a >= b by construction
+            while True:
+                byte = delta & 0x7F
+                delta >>= 7
+                if delta:
+                    out.append(byte | 0x80)
+                else:
+                    out.append(byte)
+                    break
+    return bytes(out)
+
+
+def xor_two_ways():
+    # XOR as OR-of-minterms vs. complement of XNOR's minterm OR.  The two
+    # internal nodes are equivalent up to phase (n_xnor == !n_xor), so this
+    # also exercises phase-normalized classes.
+    g = Aig(2)
+    a, b = g.inp(0), g.inp(1)
+    xor_a = g.OR(g.AND(a, b ^ 1), g.AND(a ^ 1, b))
+    xor_b = g.AND(g.AND(a, b) ^ 1, g.AND(a ^ 1, b ^ 1) ^ 1)
+    g.out(xor_a)
+    g.out(xor_b)
+    return g
+
+
+def maj3_two_ways():
+    # Majority as OR of pairs vs. (a & b) | (c & (a ^ b)).
+    g = Aig(3)
+    a, b, c = g.inp(0), g.inp(1), g.inp(2)
+    maj_a = g.OR(g.OR(g.AND(a, b), g.AND(b, c)), g.AND(a, c))
+    maj_b = g.OR(g.AND(a, b), g.AND(c, g.XOR(a, b)))
+    g.out(maj_a)
+    g.out(maj_b)
+    return g
+
+
+def mux_consensus():
+    # A 2:1 mux vs. the same mux with its redundant consensus term.
+    g = Aig(3)
+    s, a, b = g.inp(0), g.inp(1), g.inp(2)
+    mux = g.OR(g.AND(s, a), g.AND(s ^ 1, b))
+    with_consensus = g.OR(mux, g.AND(a, b))
+    g.out(mux)
+    g.out(with_consensus)
+    return g
+
+
+def const_nodes():
+    # z = (a & b) & (a & !b) is semantically constant false but
+    # structurally three live AND gates; c | z must sweep to plain c and
+    # !z to constant true.
+    g = Aig(3)
+    a, b, c = g.inp(0), g.inp(1), g.inp(2)
+    z = g.AND(g.AND(a, b), g.AND(a, b ^ 1))
+    g.out(g.OR(c, z))
+    g.out(z ^ 1)
+    return g
+
+
+def ite_chain():
+    # ITE(s, a, ITE(s, b, c)) == ITE(s, a, c): the nested mux is redundant
+    # under the outer select.
+    g = Aig(4)
+    s, a, b, c = g.inp(0), g.inp(1), g.inp(2), g.inp(3)
+    nested = g.MUX(s, a, g.MUX(s, b, c))
+    flat = g.MUX(s, a, c)
+    g.out(nested)
+    g.out(flat)
+    return g
+
+
+def parity4_two_ways():
+    # 4-input parity as a balanced tree vs. a linear chain (the a ^ b leaf
+    # is shared; everything above differs).  Vendored in *binary* AIGER.
+    g = Aig(4)
+    a, b, c, d = (g.inp(i) for i in range(4))
+    tree = g.XOR(g.XOR(a, b), g.XOR(c, d))
+    chain = g.XOR(g.XOR(g.XOR(a, b), c), d)
+    g.out(tree)
+    g.out(chain)
+    return g
+
+
+BENCHMARKS = [
+    ("xor_two_ways.aag", ascii_bytes, xor_two_ways),
+    ("maj3_two_ways.aag", ascii_bytes, maj3_two_ways),
+    ("mux_consensus.aag", ascii_bytes, mux_consensus),
+    ("const_nodes.aag", ascii_bytes, const_nodes),
+    ("ite_chain.aag", ascii_bytes, ite_chain),
+    ("parity4_two_ways.aig", binary_bytes, parity4_two_ways),
+]
+
+
+def main():
+    manifest = []
+    for name, encode, build in BENCHMARKS:
+        data = encode(build())
+        (HERE / name).write_bytes(data)
+        manifest.append(f"{zlib.crc32(data):08x} {len(data)} {name}")
+        print(f"wrote {name}: {len(data)} bytes")
+    manifest.sort(key=lambda line: line.split()[2])
+    (HERE / "MANIFEST").write_text("\n".join(manifest) + "\n")
+    print(f"wrote MANIFEST ({len(manifest)} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -225,6 +227,134 @@ TEST(ProtocolFuzz, SessionSurvivesGarbageAndStaysResponsive) {
     ASSERT_NE(transcript.find("OK pong\nOK bye\n"), std::string::npos)
         << "seed " << seed << ": session died before the liveness probe";
   }
+}
+
+// SWEEP is deliberately absent from `kVerbs`: its argument is a filesystem
+// path, and a randomly generated token could name a real file (or a
+// device).  The SWEEP-specific fuzzing below keeps every path either
+// provably nonexistent or inside the test's own TempDir, so the fuzzer
+// still never touches foreign filesystem state.
+
+TEST(ProtocolFuzz, SweepArgumentSoupIsRejectedWithoutReachingTheJobLayer) {
+  server_options opts;
+  opts.default_timeout_seconds = 30.0;
+  opts.num_threads = 1;
+  synthesis_server server{opts};
+
+  rng r{0x53574545'50ull};  // "SWEEP"
+  std::string input;
+  std::size_t requests = 0;
+  for (int i = 0; i < 300; ++i, ++requests) {
+    switch (r.next_below(5)) {
+      case 0:
+        input += "SWEEP";  // missing path
+        break;
+      case 1:
+        // Nonexistent path plus fuzzed trailing arguments (timeout and
+        // prover slots get token soup).
+        input += "SWEEP /nonexistent/fuzz/" + fuzz_token(r) + " " +
+                 fuzz_token(r) + " " + fuzz_token(r);
+        break;
+      case 2:
+        input += "SWEEP /nonexistent/fuzz/" + fuzz_token(r);
+        break;
+      case 3: {
+        // Path long enough to trip read_limited_line: the whole line is
+        // dropped before SWEEP ever dispatches.
+        std::string path(request_limits{}.max_line_bytes + 64, 'p');
+        input += "SWEEP /nonexistent/" + path;
+        break;
+      }
+      default:
+        // Too many arguments.
+        input += "SWEEP a b c d e";
+        break;
+    }
+    input += '\n';
+  }
+  input += "PING\nQUIT\n";
+
+  std::istringstream in{input};
+  std::ostringstream out;
+  server.serve(in, out);
+
+  const std::string transcript = out.str();
+  std::istringstream replies{transcript};
+  std::string line;
+  std::size_t err_lines = 0;
+  while (std::getline(replies, line)) {
+    if (line.rfind("ERR", 0) == 0) {
+      ++err_lines;
+    } else {
+      ASSERT_TRUE(line == "OK pong" || line == "OK bye") << line;
+    }
+  }
+  // Every fuzzed SWEEP earned exactly one ERR (none silently vanished,
+  // none produced an OK), and the probe still answered.
+  EXPECT_EQ(err_lines, requests);
+  ASSERT_NE(transcript.find("OK pong\nOK bye\n"), std::string::npos);
+  // Nothing oversized, malformed, or unreadable was ever admitted as a
+  // job: only the well-formed nonexistent-path lines were (they fail at
+  // file-open inside the job), so no sweep may have merged anything.
+  EXPECT_EQ(server.synthesizer().current_metrics().stage.sweep_merged_nodes,
+            0u);
+}
+
+TEST(ProtocolFuzz, SweepsInterleavedWithCancelsKeepTheFramingInvariant) {
+  // A real (tiny) benchmark in TempDir so some SWEEPs genuinely run; the
+  // protocol is synchronous per session, so the interleaved CANCELs land
+  // between jobs and must each earn their own OK/ERR without disturbing
+  // framing.
+  const std::string path = ::testing::TempDir() + "protocol_fuzz_sweep.aag";
+  {
+    std::ofstream os{path};
+    os << "aag 4 2 0 1 2\n2\n4\n8\n6 4 2\n8 5 3\n";  // !(a&b) & ... = nor-ish
+  }
+
+  server_options opts;
+  opts.default_timeout_seconds = 30.0;
+  opts.num_threads = 1;
+  synthesis_server server{opts};
+
+  rng r{0xCA4CE1ull};
+  std::string input;
+  for (int i = 0; i < 120; ++i) {
+    switch (r.next_below(4)) {
+      case 0:
+        input += "SWEEP " + path;
+        break;
+      case 1:
+        input += "SWEEP " + path + " 5 " +
+                 (r.next_below(2) == 0 ? "cdcl" : "allsat");
+        break;
+      case 2:
+        input += "CANCEL";  // broadcast; nothing in flight is fine
+        break;
+      default:
+        input += "CANCEL " + std::to_string(r.next_below(1000));
+        break;
+    }
+    input += '\n';
+  }
+  input += "PING\nQUIT\n";
+
+  std::istringstream in{input};
+  std::ostringstream out;
+  server.serve(in, out);
+
+  const std::string transcript = out.str();
+  std::istringstream replies{transcript};
+  std::string line;
+  while (std::getline(replies, line)) {
+    const bool known_head = line.rfind("OK swept ", 0) == 0 ||
+                            line.rfind("OK cancelled ", 0) == 0 ||
+                            line.rfind("ERR", 0) == 0 || line == "OK pong" ||
+                            line == "OK bye";
+    ASSERT_TRUE(known_head) << line;
+  }
+  ASSERT_NE(transcript.find("OK pong\nOK bye\n"), std::string::npos);
+  EXPECT_GT(server.counters().sweeps, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

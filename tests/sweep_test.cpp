@@ -1,0 +1,292 @@
+/// \file sweep_test.cpp
+/// \brief SAT-sweeping engine: merges under both provers, constant-node
+///        detection, counterexample-driven refinement (the refutation
+///        path), cancellation semantics, determinism, and the acceptance
+///        sweep over every vendored AIGER benchmark.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/aiger_io.hpp"
+#include "sweep/sweep.hpp"
+#include "util/run_context.hpp"
+
+#ifndef STPES_AIG_DATA_DIR
+#define STPES_AIG_DATA_DIR "tests/data/aig"
+#endif
+
+namespace {
+
+using stpes::aig::aig_network;
+using stpes::aig::lit_not;
+using stpes::aig::literal;
+using stpes::sweep::networks_equivalent;
+using stpes::sweep::prover;
+using stpes::sweep::sweep;
+using stpes::sweep::sweep_options;
+
+/// XOR built two structurally different ways (strash cannot collapse
+/// them); the classic one-pair sweeping instance.
+aig_network xor_two_ways() {
+  aig_network net{2};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  const literal via_minterms =
+      net.create_or(net.create_and(a, lit_not(b)),
+                    net.create_and(lit_not(a), b));
+  const literal via_xnor =
+      net.create_and(lit_not(net.create_and(a, b)),
+                     lit_not(net.create_and(lit_not(a), lit_not(b))));
+  net.add_output(via_minterms);
+  net.add_output(lit_not(via_xnor));
+  return net;
+}
+
+sweep_options with(prover engine) {
+  sweep_options opts;
+  opts.engine = engine;
+  return opts;
+}
+
+class SweepProvers : public ::testing::TestWithParam<prover> {};
+
+INSTANTIATE_TEST_SUITE_P(BothProvers, SweepProvers,
+                         ::testing::Values(prover::cdcl, prover::allsat),
+                         [](const auto& info) {
+                           return stpes::sweep::to_string(info.param);
+                         });
+
+TEST_P(SweepProvers, MergesTheTwoXorImplementations) {
+  const auto net = xor_two_ways();
+  const auto result = sweep(net, with(GetParam()));
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.merged_nodes, 1u);
+  EXPECT_EQ(result.proofs, result.merged_nodes);
+  EXPECT_LT(result.ands_after, result.ands_before);
+  EXPECT_EQ(net.simulate(), result.swept.simulate());
+  EXPECT_TRUE(networks_equivalent(net, result.swept));
+  // The two outputs now share one node: identical or complementary
+  // literals of the same variable (the pair is equivalent up to phase).
+  ASSERT_EQ(result.swept.num_outputs(), 2u);
+  EXPECT_EQ(stpes::aig::lit_var(result.swept.outputs()[0]),
+            stpes::aig::lit_var(result.swept.outputs()[1]));
+}
+
+TEST_P(SweepProvers, SweepsSemanticConstantsToTheConstantNode) {
+  // z = (a & b) & (a & !b) is structurally three live ANDs but identically
+  // false; c | z must collapse to plain c and !z to constant true.
+  aig_network net{3};
+  const literal a = net.input_lit(0);
+  const literal b = net.input_lit(1);
+  const literal c = net.input_lit(2);
+  const literal z =
+      net.create_and(net.create_and(a, b), net.create_and(a, lit_not(b)));
+  net.add_output(net.create_or(c, z));
+  net.add_output(lit_not(z));
+
+  const auto result = sweep(net, with(GetParam()));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.swept.num_ands(), 0u);
+  ASSERT_EQ(result.swept.num_outputs(), 2u);
+  EXPECT_EQ(result.swept.outputs()[0], net.input_lit(2));
+  EXPECT_EQ(result.swept.outputs()[1], stpes::aig::lit_true);
+  EXPECT_TRUE(networks_equivalent(net, result.swept));
+}
+
+TEST_P(SweepProvers, RefutesFalseCandidatesAndRefinesWithTheWitness) {
+  // A 16-input conjunction is 1 on exactly one of 65536 assignments, so
+  // a few hundred random patterns (fixed seed) class it — and its deep
+  // prefixes — with constant false.  The prover must refute those
+  // candidates, and folding the witnesses back into the pattern set must
+  // split the classes so the sweep still terminates with the function
+  // intact (nothing may actually merge with the constant).
+  constexpr unsigned n = 16;
+  aig_network net{n};
+  literal all = net.input_lit(0);
+  for (unsigned i = 1; i < n; ++i) {
+    all = net.create_and(all, net.input_lit(i));
+  }
+  net.add_output(all);
+
+  const auto result = sweep(net, with(GetParam()));
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.refutations, 1u);
+  EXPECT_GT(result.sim_rounds, 1u);  // the witness round re-simulated
+  EXPECT_EQ(result.merged_nodes, 0u);
+  EXPECT_EQ(result.ands_after, result.ands_before);
+  EXPECT_TRUE(networks_equivalent(net, result.swept));
+}
+
+TEST_P(SweepProvers, SweptDeadConesAreDropped) {
+  // Once the redundant output is redirected to the surviving node, the
+  // losing implementation's cone is unreachable and must not be copied.
+  const auto net = xor_two_ways();
+  const auto result = sweep(net, with(GetParam()));
+  ASSERT_TRUE(result.completed);
+  // 6 ANDs before (3 per implementation); one implementation survives.
+  EXPECT_EQ(result.ands_before, 6u);
+  EXPECT_EQ(result.ands_after, 3u);
+}
+
+TEST(Sweep, DegenerateNetworksAreReturnedUnchanged) {
+  // No inputs / no nodes: nothing to simulate, nothing to prove.
+  aig_network empty{0};
+  empty.add_output(stpes::aig::lit_true);
+  const auto r1 = sweep(empty);
+  EXPECT_TRUE(r1.completed);
+  EXPECT_EQ(r1.swept.outputs(), empty.outputs());
+
+  aig_network wires{2};
+  wires.add_output(wires.input_lit(1));
+  wires.add_output(lit_not(wires.input_lit(0)));
+  const auto r2 = sweep(wires);
+  EXPECT_TRUE(r2.completed);
+  EXPECT_EQ(r2.swept.outputs(), wires.outputs());
+  EXPECT_EQ(r2.candidates, 0u);
+}
+
+TEST(Sweep, CancelledRunReturnsAValidPartialNetwork) {
+  const auto net = xor_two_ways();
+  stpes::core::run_context ctx{60.0};
+  ctx.request_cancel();
+  const auto result = sweep(net, {}, &ctx);
+  EXPECT_FALSE(result.completed);
+  // Merges recorded before the cancel (none here) are sound; the returned
+  // network must still be the same function.
+  EXPECT_TRUE(networks_equivalent(net, result.swept));
+  EXPECT_EQ(net.simulate(), result.swept.simulate());
+}
+
+TEST(Sweep, ExpiredDeadlineCountsAsIncomplete) {
+  const auto net = xor_two_ways();
+  stpes::core::run_context ctx{1e-9};  // expires before the first poll
+  const auto result = sweep(net, {}, &ctx);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(net.simulate(), result.swept.simulate());
+}
+
+TEST(Sweep, FixedSeedIsDeterministic) {
+  const auto net = xor_two_ways();
+  sweep_options opts;
+  opts.seed = 42;
+  const auto a = sweep(net, opts);
+  const auto b = sweep(net, opts);
+  EXPECT_EQ(a.sim_rounds, b.sim_rounds);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.proofs, b.proofs);
+  EXPECT_EQ(a.refutations, b.refutations);
+  EXPECT_EQ(a.merged_nodes, b.merged_nodes);
+  EXPECT_EQ(a.swept.simulate(), b.swept.simulate());
+}
+
+TEST(Sweep, StageCountersFlowIntoTheRunContext) {
+  const auto net = xor_two_ways();
+  stpes::core::run_context ctx{60.0};
+  const auto result = sweep(net, {}, &ctx);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(ctx.counters.sweep_sim_rounds, result.sim_rounds);
+  EXPECT_EQ(ctx.counters.sweep_candidates, result.candidates);
+  EXPECT_EQ(ctx.counters.sweep_proofs, result.proofs);
+  EXPECT_EQ(ctx.counters.sweep_refutations, result.refutations);
+  EXPECT_EQ(ctx.counters.sweep_merged_nodes, result.merged_nodes);
+  // The result's delta view matches (no other stage ran).
+  EXPECT_EQ(result.counters.sweep_proofs, result.proofs);
+}
+
+TEST(Sweep, ProgressStructIsBumpedLive) {
+  stpes::sweep::sweep_progress progress;
+  sweep_options opts;
+  opts.progress = &progress;
+  const auto result = sweep(xor_two_ways(), opts);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(progress.sim_rounds.load(), result.sim_rounds);
+  EXPECT_EQ(progress.candidates.load(), result.candidates);
+  EXPECT_EQ(progress.proofs.load(), result.proofs);
+  EXPECT_EQ(progress.merged_nodes.load(), result.merged_nodes);
+}
+
+TEST(Sweep, NetworksEquivalentDetectsRealDifferences) {
+  aig_network f{2};
+  f.add_output(f.create_and(f.input_lit(0), f.input_lit(1)));
+  aig_network g{2};
+  g.add_output(g.create_or(g.input_lit(0), g.input_lit(1)));
+  EXPECT_FALSE(networks_equivalent(f, g));
+  EXPECT_TRUE(networks_equivalent(f, f));
+
+  // Arity mismatches short-circuit to false.
+  aig_network h{3};
+  h.add_output(h.create_and(h.input_lit(0), h.input_lit(1)));
+  EXPECT_FALSE(networks_equivalent(f, h));
+  aig_network two_outs{2};
+  two_outs.add_output(two_outs.input_lit(0));
+  two_outs.add_output(two_outs.input_lit(1));
+  EXPECT_FALSE(networks_equivalent(f, two_outs));
+
+  // Constant outputs compare by complement, against constants and
+  // against live cones.
+  aig_network k0{2};
+  k0.add_output(stpes::aig::lit_false);
+  aig_network k1{2};
+  k1.add_output(stpes::aig::lit_true);
+  EXPECT_FALSE(networks_equivalent(k0, k1));
+  EXPECT_TRUE(networks_equivalent(k1, k1));
+  // A *semantically* constant-false cone — (a&b) & (a&!b), three live
+  // ANDs that the constructor's folds cannot collapse — against a
+  // constant output exercises the one-const-side miter path with a real
+  // AllSAT solve.
+  aig_network dead{2};
+  {
+    const literal a = dead.input_lit(0);
+    const literal b = dead.input_lit(1);
+    dead.add_output(dead.create_and(dead.create_and(a, b),
+                                    dead.create_and(a, lit_not(b))));
+  }
+  EXPECT_EQ(dead.num_ands(), 3u);
+  EXPECT_TRUE(networks_equivalent(dead, k0));
+  EXPECT_FALSE(networks_equivalent(dead, k1));
+}
+
+TEST(Sweep, ProverNamesRoundTrip) {
+  EXPECT_EQ(stpes::sweep::prover_from_string("cdcl"), prover::cdcl);
+  EXPECT_EQ(stpes::sweep::prover_from_string("allsat"), prover::allsat);
+  EXPECT_STREQ(stpes::sweep::to_string(prover::cdcl), "cdcl");
+  EXPECT_STREQ(stpes::sweep::to_string(prover::allsat), "allsat");
+  EXPECT_THROW(stpes::sweep::prover_from_string("dpll"),
+               std::invalid_argument);
+}
+
+TEST_P(SweepProvers, EveryVendoredBenchmarkSweepsSoundly) {
+  // The acceptance bar: every committed benchmark's swept network is
+  // AllSAT-equivalence-checked against the original (zero disagreements)
+  // and the corpus yields merges on at least two circuits.
+  namespace fs = std::filesystem;
+  const fs::path dir{STPES_AIG_DATA_DIR};
+  std::ifstream manifest{dir / "MANIFEST"};
+  ASSERT_TRUE(manifest.is_open()) << (dir / "MANIFEST");
+  std::string crc;
+  std::uintmax_t bytes = 0;
+  std::string name;
+  unsigned benchmarks_with_merges = 0;
+  std::size_t entries = 0;
+  while (manifest >> crc >> bytes >> name) {
+    ++entries;
+    const auto net = stpes::aig::read_aiger_file((dir / name).string());
+    const auto result = sweep(net, with(GetParam()));
+    EXPECT_TRUE(result.completed) << name;
+    EXPECT_TRUE(networks_equivalent(net, result.swept)) << name;
+    EXPECT_LE(result.ands_after, result.ands_before) << name;
+    if (result.merged_nodes > 0) {
+      ++benchmarks_with_merges;
+    }
+  }
+  EXPECT_GE(entries, 4u);
+  EXPECT_GE(benchmarks_with_merges, 2u);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 Usage:
     check_regression.py --baseline BENCH_table1_npn4.json --fresh fresh.json
                         [--runtime-tolerance 0.25]
+    check_regression.py --baseline BENCH_table1_npn4.json --audit-baseline
 
 Exit code 0 when the fresh run is acceptable, 1 otherwise.  The gate has
 two parts, per engine present in both files:
@@ -13,30 +14,63 @@ two parts, per engine present in both files:
     change in what gets synthesized, or how small, is a regression (or an
     improvement that must be re-baselined deliberately);
   * search-effort trajectory, gated when the baseline carries a
-    `counters` object (pre-counter baselines skip this part):
-    `fences_enumerated` must match exactly — the fence families are
-    generated wholesale per gate count, so the sum over solved instances
-    is fully determined by what was solved and at which size.  The volume
-    counters (`dags_generated`, `dags_pruned`, `factorization_attempts`)
-    are gated with a relative tolerance (default +/-10%,
-    `--counter-tolerance`): a run that finds all its optima early can
-    still be cut by the deadline while sweeping the residual search
-    space, so those tails wobble slightly with machine load.  A change
-    beyond the tolerance means the search explored a different space.
-    The SAT-sweeping counters (`sweep_*`) are deterministic in the seed
-    and the committed benchmark set, so they are gated exactly when the
-    baseline carries them.  Wall-clock-dependent counters (AllSAT/SAT
-    totals) are reported but never gated;
+    `counters` object (pre-counter baselines skip this part).  The
+    counters fall into three classes:
+
+      - **exactly gated** — deterministic in the committed benchmark set
+        alone: `fences_enumerated` (fence families are generated
+        wholesale per gate count, so the sum over completely enumerated
+        solves is fully determined by what was solved at which size) and
+        the SAT-sweeping counters `sweep_*` (fixed simulation seed,
+        deterministic refinement/proof schedule).  Any drift means the
+        search behaviour changed.
+      - **tolerance gated** (default +/-10%, `--counter-tolerance`) —
+        the volume counters (`dags_generated`, `dags_pruned`,
+        `factorization_attempts`), the memo-effectiveness counters
+        (`factor_memo_hits`/`misses`), and the lower-bound-probe /
+        portfolio counters (`probe_calls`, `probe_unsat_levels`,
+        `probe_sat_levels`, `portfolio_probe_wins`,
+        `portfolio_sweep_wins`).  The probe's conflict-budget cutoff is
+        machine-independent, but under a wall-clock deadline or the
+        portfolio race the losing side is cancelled at a
+        timing-dependent point, so these totals wobble with machine
+        load; a change beyond the tolerance means the probe/race
+        behaviour genuinely shifted.
+      - **reported, never gated** — wall-clock-shaped totals (AllSAT
+        propagations, SAT decisions/conflicts/restarts);
   * performance trajectory: `wall_seconds` may not regress by more than
     the tolerance (default +25%).  Getting faster never fails.
 
 The instance count, timeout, and seed must match, otherwise the comparison
 is meaningless and the script errors out.
+
+`--audit-baseline` skips the comparison and instead checks the baseline
+itself for schema drift: every engine entry carrying a `counters` object
+must carry *all* counter keys the current binaries emit.  A missing key
+means the committed BENCH_*.json predates a counter added since — stale
+against the gated schema — and must be regenerated deliberately.
 """
 
 import argparse
 import json
 import sys
+
+# Counter keys gated exactly (deterministic in the committed benchmark
+# set), with tolerance (volume / probe / race counters), and the full
+# schema the current bench binaries emit (the --audit-baseline contract).
+EXACT_COUNTERS = ("fences_enumerated", "sweep_sim_rounds",
+                  "sweep_candidates", "sweep_proofs", "sweep_refutations",
+                  "sweep_merged_nodes")
+VOLUME_COUNTERS = ("dags_generated", "dags_pruned",
+                   "factorization_attempts")
+MEMO_COUNTERS = ("factor_memo_hits", "factor_memo_misses")
+PROBE_COUNTERS = ("probe_calls", "probe_unsat_levels", "probe_sat_levels",
+                  "portfolio_probe_wins", "portfolio_sweep_wins")
+UNGATED_COUNTERS = ("factorization_prunes", "dont_care_expansions",
+                    "allsat_propagations", "allsat_merges",
+                    "sat_decisions", "sat_conflicts", "sat_restarts")
+ALL_COUNTERS = (EXACT_COUNTERS + VOLUME_COUNTERS + MEMO_COUNTERS +
+                PROBE_COUNTERS + UNGATED_COUNTERS)
 
 
 def load(path):
@@ -49,19 +83,56 @@ def fail(msg):
     return 1
 
 
+def audit_baseline(baseline, path):
+    """Checks the committed baseline against the current counter schema."""
+    errors = 0
+    for eng in baseline.get("engines", []):
+        counters = eng.get("counters")
+        if counters is None:
+            print(f"{path}: engine '{eng.get('engine')}' carries no "
+                  "counters (pre-counter baseline) [SKIP]")
+            continue
+        missing = [k for k in ALL_COUNTERS if k not in counters]
+        unknown = [k for k in counters if k not in ALL_COUNTERS]
+        if missing:
+            errors += fail(
+                f"{path}: engine '{eng.get('engine')}' baseline is stale "
+                f"against the gated counter schema, missing: "
+                f"{', '.join(missing)} — regenerate the BENCH file")
+        if unknown:
+            errors += fail(
+                f"{path}: engine '{eng.get('engine')}' baseline carries "
+                f"counters this checker does not know: "
+                f"{', '.join(unknown)} — update check_regression.py")
+        if not missing and not unknown:
+            print(f"{path}: engine '{eng.get('engine')}' counter schema "
+                  "up to date [OK]")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--fresh")
+    parser.add_argument("--audit-baseline", action="store_true",
+                        help="instead of comparing, check the baseline "
+                             "file itself for counter-schema drift")
     parser.add_argument("--runtime-tolerance", type=float, default=0.25,
                         help="allowed fractional wall-clock regression")
     parser.add_argument("--counter-tolerance", type=float, default=0.10,
-                        help="allowed fractional drift of the volume "
-                             "search-effort counters (DAGs, factorization "
-                             "attempts)")
+                        help="allowed fractional drift of the volume, "
+                             "memo, and probe/portfolio search-effort "
+                             "counters")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
+    if args.audit_baseline:
+        errors = audit_baseline(baseline, args.baseline)
+        if errors == 0:
+            print("baseline schema audit passed")
+        return 1 if errors else 0
+    if args.fresh is None:
+        parser.error("--fresh is required unless --audit-baseline is set")
     fresh = load(args.fresh)
     errors = 0
 
@@ -117,8 +188,7 @@ def main():
                     f"{name}: counter fences_enumerated changed "
                     f"{base_counters.get('fences_enumerated')} -> "
                     f"{cur_counters.get('fences_enumerated')}")
-            for key in ("dags_generated", "dags_pruned",
-                        "factorization_attempts"):
+            for key in VOLUME_COUNTERS:
                 base_val = base_counters.get(key)
                 cur_val = cur_counters.get(key)
                 if base_val is None or cur_val is None:
@@ -132,13 +202,16 @@ def main():
                         f"{name}: counter {key} drifted beyond "
                         f"{100 * args.counter_tolerance:.0f}%: "
                         f"{base_val} -> {cur_val}")
-            # Memo-effectiveness counters, gated only once a baseline
-            # regenerated with the memoized engine carries them (older
-            # baselines simply skip this part).  A collapse in the hit
-            # count means the cache keying or the merge broke, which
-            # shows up as a perf cliff long before the wall-clock gate
-            # trips on fast hardware.
-            for key in ("factor_memo_hits", "factor_memo_misses"):
+            # Memo-effectiveness and probe/portfolio counters, gated only
+            # once a baseline regenerated with the respective subsystem
+            # carries them (older baselines simply skip this part).  A
+            # memo-hit collapse means the cache keying broke; a probe
+            # drift means levels stopped being refuted (or the portfolio
+            # race flipped) — both show up here long before the
+            # wall-clock gate trips on fast hardware.  The probe counters
+            # share the tolerance because a deadline or the race cancels
+            # the probe at a timing-dependent point.
+            for key in MEMO_COUNTERS + PROBE_COUNTERS:
                 base_val = base_counters.get(key)
                 cur_val = cur_counters.get(key)
                 if base_val is None:
@@ -159,9 +232,9 @@ def main():
             # so any drift means the sweep's behaviour changed.  Gated
             # only once a baseline carries them (table1 baselines
             # predating the sweep subsystem skip this part).
-            for key in ("sweep_sim_rounds", "sweep_candidates",
-                        "sweep_proofs", "sweep_refutations",
-                        "sweep_merged_nodes"):
+            for key in EXACT_COUNTERS:
+                if key == "fences_enumerated":
+                    continue  # gated above, unconditionally
                 base_val = base_counters.get(key)
                 if base_val is None:
                     continue

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Render the bench trend JSONL into a single static HTML dashboard.
+
+Usage:
+    render_trend.py --trend bench_trend.jsonl --out bench_dashboard.html
+                    [--title "stpes bench trend"]
+
+Pure-stdlib companion to append_trend.py: reads the rolling JSONL window
+that CI accumulates per branch and emits one self-contained HTML file
+(inline SVG, no JavaScript, no external assets) that the bench-guard job
+publishes as an artifact.  Per (collection, engine) pair it renders
+
+  * a summary table of the headline series — solve/partial/timeout
+    counts, mean and wall-clock seconds — with the latest value and the
+    p50 / p90 over the window, so "is this run typical?" is one glance;
+  * a sparkline grid with one chart per numeric series the points carry
+    (stage counters included).  Series are discovered from the data, not
+    allowlisted, so new counters (the probe_* family, say) show up the
+    first time a run exports them.
+
+A perf cliff reads as a kink in the matching sparkline; a behaviour
+change reads as a step in a counter series that the regression gate
+tolerances may have absorbed point by point.
+"""
+
+import argparse
+import html
+import json
+import os
+import sys
+
+# Headline series summarized with percentiles at the top of each section.
+HEADLINE = ("solved", "solved_partial", "timeouts", "mean_seconds",
+            "wall_seconds")
+
+CHART_W = 220
+CHART_H = 48
+PAD = 4
+
+STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em;
+     border-bottom: 1px solid #ccd; padding-bottom: .2em; }
+table { border-collapse: collapse; margin: .8em 0; }
+th, td { border: 1px solid #ccd; padding: .25em .6em; text-align: right;
+         font-variant-numeric: tabular-nums; }
+th { background: #eef; }
+.grid { display: flex; flex-wrap: wrap; gap: .8em; }
+.cell { border: 1px solid #dde; border-radius: 4px; padding: .4em .6em; }
+.cell .k { font-size: .75em; color: #667; }
+.cell .v { font-size: .9em; font-weight: 600; }
+.muted { color: #667; font-size: .85em; }
+svg polyline { fill: none; stroke: #3b5bdb; stroke-width: 1.5; }
+svg .dot { fill: #e8590c; }
+"""
+
+
+def load_points(path):
+    points = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                points.append(json.loads(line))
+    return points
+
+
+def percentile(values, q):
+    """Nearest-rank percentile; `values` need not be sorted."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def sparkline(values):
+    """One inline-SVG polyline over `values`, latest point highlighted."""
+    if len(values) < 2:
+        return '<span class="muted">single point</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    inner_w = CHART_W - 2 * PAD
+    inner_h = CHART_H - 2 * PAD
+    coords = []
+    for i, v in enumerate(values):
+        x = PAD + inner_w * i / (len(values) - 1)
+        y = PAD + inner_h * (1.0 - (v - lo) / span)
+        coords.append(f"{x:.1f},{y:.1f}")
+    last_x, last_y = coords[-1].split(",")
+    return (f'<svg width="{CHART_W}" height="{CHART_H}" '
+            f'viewBox="0 0 {CHART_W} {CHART_H}">'
+            f'<polyline points="{" ".join(coords)}"/>'
+            f'<circle class="dot" cx="{last_x}" cy="{last_y}" r="2.5"/>'
+            '</svg>')
+
+
+def series_of(entries):
+    """Maps every numeric key carried by `entries` to its value series.
+
+    A key missing from an early point (a counter that did not exist yet)
+    contributes only from its first appearance, so new series start mid-
+    window instead of being padded with fake zeros.
+    """
+    keys = []
+    for entry in entries:
+        for key, value in entry.items():
+            if key == "engine" or not isinstance(value, (int, float)):
+                continue
+            if key not in keys:
+                keys.append(key)
+    return {k: [e[k] for e in entries if k in e] for k in sorted(keys)}
+
+
+def render_section(collection, engine, points, entries, out):
+    latest = points[-1]
+    out.append(f"<h2>{html.escape(collection)} / "
+               f"{html.escape(engine)}</h2>")
+    out.append(f'<p class="muted">{len(entries)} run(s) in window &middot; '
+               f'latest: instances={fmt(latest.get("instances"))}, '
+               f'timeout={fmt(latest.get("timeout_s"))}s, '
+               f'seed={fmt(latest.get("seed"))}, '
+               f'threads={fmt(latest.get("threads"))}, '
+               f'commit={html.escape(str(latest.get("commit", ""))[:12])}'
+               '</p>')
+
+    series = series_of(entries)
+
+    out.append("<table><tr><th>series</th><th>latest</th><th>p50</th>"
+               "<th>p90</th><th>min</th><th>max</th></tr>")
+    for key in HEADLINE:
+        values = series.get(key)
+        if not values:
+            continue
+        out.append(f"<tr><td style='text-align:left'>{html.escape(key)}"
+                   f"</td><td>{fmt(values[-1])}</td>"
+                   f"<td>{fmt(percentile(values, 50))}</td>"
+                   f"<td>{fmt(percentile(values, 90))}</td>"
+                   f"<td>{fmt(min(values))}</td>"
+                   f"<td>{fmt(max(values))}</td></tr>")
+    out.append("</table>")
+
+    out.append('<div class="grid">')
+    for key, values in series.items():
+        out.append('<div class="cell">'
+                   f'<div class="k">{html.escape(key)}</div>'
+                   f'<div class="v">{fmt(values[-1])}</div>'
+                   f'{sparkline(values)}</div>')
+    out.append("</div>")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trend", required=True,
+                        help="JSONL trend file written by append_trend.py")
+    parser.add_argument("--out", required=True,
+                        help="HTML file to write")
+    parser.add_argument("--title", default="stpes bench trend")
+    args = parser.parse_args()
+
+    points = load_points(args.trend) if os.path.exists(args.trend) else []
+
+    # Group per (collection, engine): the trend file interleaves
+    # collections (npn4, sweep, ...) run by run.
+    groups = {}
+    for point in points:
+        for entry in point.get("engines", []):
+            key = (point.get("collection", "?"), entry.get("engine", "?"))
+            groups.setdefault(key, []).append((point, entry))
+
+    out = ["<!DOCTYPE html><html><head><meta charset='utf-8'>",
+           f"<title>{html.escape(args.title)}</title>",
+           f"<style>{STYLE}</style></head><body>",
+           f"<h1>{html.escape(args.title)}</h1>",
+           f'<p class="muted">{len(points)} trend point(s), oldest first; '
+           'the highlighted dot is the latest run.</p>']
+    if not groups:
+        out.append("<p>No trend points yet — the dashboard fills in as "
+                   "bench-guard runs accumulate.</p>")
+    for (collection, engine), pairs in sorted(groups.items()):
+        render_section(collection, engine, [p for p, _ in pairs],
+                       [e for _, e in pairs], out)
+    out.append("</body></html>")
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(out) + "\n")
+    print(f"dashboard: {args.out} ({len(groups)} section(s), "
+          f"{len(points)} point(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

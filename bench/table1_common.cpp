@@ -271,7 +271,12 @@ std::string counters_json(const core::stage_counters& c) {
      << ",\"sweep_candidates\":" << c.sweep_candidates
      << ",\"sweep_proofs\":" << c.sweep_proofs
      << ",\"sweep_refutations\":" << c.sweep_refutations
-     << ",\"sweep_merged_nodes\":" << c.sweep_merged_nodes << "}";
+     << ",\"sweep_merged_nodes\":" << c.sweep_merged_nodes
+     << ",\"probe_calls\":" << c.probe_calls
+     << ",\"probe_unsat_levels\":" << c.probe_unsat_levels
+     << ",\"probe_sat_levels\":" << c.probe_sat_levels
+     << ",\"portfolio_probe_wins\":" << c.portfolio_probe_wins
+     << ",\"portfolio_sweep_wins\":" << c.portfolio_sweep_wins << "}";
   return os.str();
 }
 

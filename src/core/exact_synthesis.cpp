@@ -19,6 +19,8 @@ const char* to_string(engine e) {
       return "FEN";
     case engine::cegar:
       return "CEGAR";
+    case engine::portfolio:
+      return "PORTFOLIO";
   }
   return "?";
 }
@@ -36,6 +38,9 @@ engine engine_from_string(std::string_view name) {
   if (name == "cegar" || name == "CEGAR" || name == "abc" || name == "ABC") {
     return engine::cegar;
   }
+  if (name == "portfolio" || name == "PORTFOLIO") {
+    return engine::portfolio;
+  }
   throw std::invalid_argument{"unknown engine: " + std::string{name}};
 }
 
@@ -49,6 +54,12 @@ synth::result exact_synthesis(const synth::spec& s, engine which) {
       return synth::fen_synthesize(s);
     case engine::cegar:
       return synth::cegar_synthesize(s);
+    case engine::portfolio: {
+      synth::stp_options options;
+      options.engine = synth::stp_level_engine::portfolio;
+      synth::stp_engine eng{options};
+      return eng.run(s);
+    }
   }
   throw std::logic_error{"exact_synthesis: bad engine"};
 }

@@ -18,17 +18,22 @@
 
 namespace stpes::core {
 
-/// The four Table-I engines.
+/// The four Table-I engines plus the probe/sweep portfolio.
 enum class engine {
   stp,    ///< the paper's STP factorization + circuit AllSAT (all optima)
   bms,    ///< baseline SSV CNF encoding
   fen,    ///< fence-constrained SSV CNF encoding
   cegar,  ///< CEGAR SSV encoding (stand-in for ABC lutexact)
+  /// The STP engine with `stp_level_engine::portfolio`: the CNF
+  /// lower-bound probe races the sweep per level, first proof wins.
+  /// Same solution set as `stp`; effort counters are race-dependent.
+  portfolio,
 };
 
 const char* to_string(engine e);
 
-/// Parses "stp" / "bms" / "fen" / "cegar" (throws on anything else).
+/// Parses "stp" / "bms" / "fen" / "cegar" / "portfolio" (throws on
+/// anything else).
 engine engine_from_string(std::string_view name);
 
 /// Runs `which` on the given spec.  `s.ctx` (when set) carries the

@@ -38,6 +38,8 @@ const char* wire_engine_name(core::engine e) {
       return "fen";
     case core::engine::cegar:
       return "cegar";
+    case core::engine::portfolio:
+      return "portfolio";
   }
   return "?";
 }

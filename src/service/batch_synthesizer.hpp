@@ -203,7 +203,7 @@ public:
   [[nodiscard]] shard_cache_stats cache_stats() const;
 
 private:
-  static constexpr std::size_t kNumEngines = 4;
+  static constexpr std::size_t kNumEngines = 5;
 
   shard_cache& cache_for(core::engine e);
   const shard_cache& cache_for(core::engine e) const;

@@ -42,6 +42,11 @@ struct atomic_stage_counters {
   std::atomic<std::uint64_t> sweep_proofs{0};
   std::atomic<std::uint64_t> sweep_refutations{0};
   std::atomic<std::uint64_t> sweep_merged_nodes{0};
+  std::atomic<std::uint64_t> probe_calls{0};
+  std::atomic<std::uint64_t> probe_unsat_levels{0};
+  std::atomic<std::uint64_t> probe_sat_levels{0};
+  std::atomic<std::uint64_t> portfolio_probe_wins{0};
+  std::atomic<std::uint64_t> portfolio_sweep_wins{0};
 
   void add(const core::stage_counters& c) {
     fences_enumerated.fetch_add(c.fences_enumerated,
@@ -73,6 +78,15 @@ struct atomic_stage_counters {
                                 std::memory_order_relaxed);
     sweep_merged_nodes.fetch_add(c.sweep_merged_nodes,
                                  std::memory_order_relaxed);
+    probe_calls.fetch_add(c.probe_calls, std::memory_order_relaxed);
+    probe_unsat_levels.fetch_add(c.probe_unsat_levels,
+                                 std::memory_order_relaxed);
+    probe_sat_levels.fetch_add(c.probe_sat_levels,
+                               std::memory_order_relaxed);
+    portfolio_probe_wins.fetch_add(c.portfolio_probe_wins,
+                                   std::memory_order_relaxed);
+    portfolio_sweep_wins.fetch_add(c.portfolio_sweep_wins,
+                                   std::memory_order_relaxed);
   }
 
   [[nodiscard]] core::stage_counters load() const {
@@ -102,6 +116,14 @@ struct atomic_stage_counters {
         sweep_refutations.load(std::memory_order_relaxed);
     c.sweep_merged_nodes =
         sweep_merged_nodes.load(std::memory_order_relaxed);
+    c.probe_calls = probe_calls.load(std::memory_order_relaxed);
+    c.probe_unsat_levels =
+        probe_unsat_levels.load(std::memory_order_relaxed);
+    c.probe_sat_levels = probe_sat_levels.load(std::memory_order_relaxed);
+    c.portfolio_probe_wins =
+        portfolio_probe_wins.load(std::memory_order_relaxed);
+    c.portfolio_sweep_wins =
+        portfolio_sweep_wins.load(std::memory_order_relaxed);
     return c;
   }
 };
@@ -192,7 +214,13 @@ struct metrics_snapshot {
        << "sweep             " << stage.sweep_candidates << " candidates, "
        << stage.sweep_proofs << " proofs, " << stage.sweep_refutations
        << " refutations, " << stage.sweep_merged_nodes << " merged, "
-       << stage.sweep_sim_rounds << " sim rounds\n";
+       << stage.sweep_sim_rounds << " sim rounds\n"
+       << "probe             " << stage.probe_calls << " calls, "
+       << stage.probe_unsat_levels << " unsat levels, "
+       << stage.probe_sat_levels << " sat levels\n"
+       << "portfolio         " << stage.portfolio_probe_wins
+       << " probe wins, " << stage.portfolio_sweep_wins
+       << " sweep wins\n";
     if (synth_latency_count > 0) {
       os << "synth_mean_ms     "
          << 1e3 * synth_latency_total_s /
@@ -242,7 +270,12 @@ struct metrics_snapshot {
        << ",\"sweep_candidates\":" << stage.sweep_candidates
        << ",\"sweep_proofs\":" << stage.sweep_proofs
        << ",\"sweep_refutations\":" << stage.sweep_refutations
-       << ",\"sweep_merged_nodes\":" << stage.sweep_merged_nodes << "}"
+       << ",\"sweep_merged_nodes\":" << stage.sweep_merged_nodes
+       << ",\"probe_calls\":" << stage.probe_calls
+       << ",\"probe_unsat_levels\":" << stage.probe_unsat_levels
+       << ",\"probe_sat_levels\":" << stage.probe_sat_levels
+       << ",\"portfolio_probe_wins\":" << stage.portfolio_probe_wins
+       << ",\"portfolio_sweep_wins\":" << stage.portfolio_sweep_wins << "}"
        << ",\"synth_latency_count\":" << synth_latency_count
        << ",\"synth_latency_total_s\":" << synth_latency_total_s
        << ",\"synth_latency_buckets\":[";

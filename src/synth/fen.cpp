@@ -5,48 +5,6 @@
 
 namespace stpes::synth {
 
-namespace {
-
-/// Builds the fence-restricted fanin pair list: step i sits on its fence
-/// level; fanins come from strictly lower levels (or inputs), at least one
-/// from the level directly below.
-std::vector<std::vector<std::pair<unsigned, unsigned>>> fence_pairs(
-    const fence::fence& fc, unsigned num_inputs) {
-  std::vector<unsigned> level_of_step;
-  for (unsigned l = 0; l < fc.num_levels(); ++l) {
-    for (unsigned c = 0; c < fc.widths[l]; ++c) {
-      level_of_step.push_back(l);
-    }
-  }
-  const unsigned num_steps = fc.num_nodes();
-  // Signal level: inputs are below level 0.
-  auto signal_level = [&](unsigned signal) -> int {
-    return signal < num_inputs
-               ? -1
-               : static_cast<int>(level_of_step[signal - num_inputs]);
-  };
-  std::vector<std::vector<std::pair<unsigned, unsigned>>> pairs(num_steps);
-  for (unsigned i = 0; i < num_steps; ++i) {
-    const int level = static_cast<int>(level_of_step[i]);
-    for (unsigned k = 1; k < num_inputs + i; ++k) {
-      for (unsigned j = 0; j < k; ++j) {
-        const int lj = signal_level(j);
-        const int lk = signal_level(k);
-        if (lj >= level || lk >= level) {
-          continue;  // fanins strictly below
-        }
-        if (lj != level - 1 && lk != level - 1) {
-          continue;  // at least one fanin from the level directly below
-        }
-        pairs[i].emplace_back(j, k);
-      }
-    }
-  }
-  return pairs;
-}
-
-}  // namespace
-
 result fen_engine::run(const spec& s) {
   util::stopwatch watch;
   stats_ = fen_stats{};
@@ -83,7 +41,8 @@ result fen_engine::run(const spec& s) {
       ++stats_.fences;
       sat::solver solver;
       solver.set_run_context(&rc);
-      ssv_encoding encoding{solver, f, gates, fence_pairs(fc, f.num_vars())};
+      ssv_encoding encoding{solver, f, gates,
+                            fence_fanin_pairs(fc, f.num_vars())};
       encoding.encode_structure();
       encoding.encode_all_rows();
       ++stats_.solver_calls;

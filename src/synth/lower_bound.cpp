@@ -1,0 +1,211 @@
+#include "synth/lower_bound.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "fence/fence.hpp"
+#include "sat/solver.hpp"
+#include "synth/ssv_encoding.hpp"
+
+namespace stpes::synth {
+
+namespace {
+
+using sat::neg;
+using sat::pos;
+
+/// Colexicographic order on fanin pairs (j < k per pair): compare by the
+/// larger fanin first.  Matches percy's pair ordering.
+bool colex_less(const std::pair<unsigned, unsigned>& a,
+                const std::pair<unsigned, unsigned>& b) {
+  return a.second < b.second ||
+         (a.second == b.second && a.first < b.first);
+}
+
+bool pair_contains(const std::pair<unsigned, unsigned>& p, unsigned signal) {
+  return p.first == signal || p.second == signal;
+}
+
+/// colex: for consecutive steps on the same fence level, forbid the later
+/// step from selecting a colexicographically smaller pair.  Same-level
+/// steps have identical allowed-pair lists (fanins come from strictly
+/// lower levels only), and swapping them — renaming their output signals
+/// in every later step, which is closed under the same-level pair lists —
+/// maps chains to chains, so one order suffices.
+void add_colex(sat::solver& solver, const ssv_encoding& enc,
+               const std::vector<unsigned>& level_of_step) {
+  for (unsigned i = 0; i + 1 < enc.num_steps(); ++i) {
+    if (level_of_step[i] != level_of_step[i + 1]) {
+      continue;
+    }
+    const auto& pi = enc.fanin_pairs(i);
+    const auto& pn = enc.fanin_pairs(i + 1);
+    for (std::size_t p = 0; p < pi.size(); ++p) {
+      for (std::size_t q = 0; q < pn.size(); ++q) {
+        if (colex_less(pn[q], pi[p])) {
+          solver.add_clause(
+              {neg(enc.select_var(i, p)), neg(enc.select_var(i + 1, q))});
+        }
+      }
+    }
+  }
+}
+
+/// noreapply: forbid step i' from pairing step i's output with one of
+/// step i's own fanins.  Such a step computes a two-variable function of
+/// i's fanins and can be rewired to consume them directly; the rewrite
+/// strictly decreases the fanin-index sum, so iterating it terminates in
+/// a chain at this or an already-refuted smaller gate count.
+void add_noreapply(sat::solver& solver, const ssv_encoding& enc,
+                   unsigned num_inputs) {
+  for (unsigned i = 0; i < enc.num_steps(); ++i) {
+    const unsigned out_signal = num_inputs + i;
+    const auto& pi = enc.fanin_pairs(i);
+    for (unsigned i2 = i + 1; i2 < enc.num_steps(); ++i2) {
+      const auto& p2 = enc.fanin_pairs(i2);
+      for (std::size_t q = 0; q < p2.size(); ++q) {
+        if (!pair_contains(p2[q], out_signal)) {
+          continue;
+        }
+        const unsigned other =
+            p2[q].first == out_signal ? p2[q].second : p2[q].first;
+        for (std::size_t p = 0; p < pi.size(); ++p) {
+          if (pair_contains(pi[p], other)) {
+            solver.add_clause(
+                {neg(enc.select_var(i, p)), neg(enc.select_var(i2, q))});
+          }
+        }
+      }
+    }
+  }
+}
+
+/// symvar: for every input pair p < q the ISF is symmetric in (on-set and
+/// care-set both invariant under the swap), a step may use q only if an
+/// earlier step uses p — otherwise relabelling p <-> q (inputs all sit
+/// below level 0, so fence pair lists are closed under it) yields an
+/// equivalent chain that the constraint admits.
+void add_symvar(sat::solver& solver, const ssv_encoding& enc,
+                const tt::isf& target) {
+  const unsigned n = target.num_vars();
+  for (unsigned p = 0; p < n; ++p) {
+    for (unsigned q = p + 1; q < n; ++q) {
+      if (target.onset().swap_variables(p, q) != target.onset() ||
+          target.careset().swap_variables(p, q) != target.careset()) {
+        continue;
+      }
+      for (unsigned i = 0; i < enc.num_steps(); ++i) {
+        const auto& pairs = enc.fanin_pairs(i);
+        for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+          if (!pair_contains(pairs[idx], q) ||
+              pair_contains(pairs[idx], p)) {
+            continue;
+          }
+          sat::clause_lits clause{neg(enc.select_var(i, idx))};
+          for (unsigned i2 = 0; i2 < i; ++i2) {
+            const auto& earlier = enc.fanin_pairs(i2);
+            for (std::size_t e = 0; e < earlier.size(); ++e) {
+              if (pair_contains(earlier[e], p)) {
+                clause.push_back(pos(enc.select_var(i2, e)));
+              }
+            }
+          }
+          solver.add_clause(clause);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+probe_result lower_bound_prober::probe(const tt::isf& target,
+                                       unsigned num_gates,
+                                       core::run_context* ctx) const {
+  probe_result out;
+  if (num_gates == 0 || target.num_vars() > options_.max_vars) {
+    return out;  // unknown
+  }
+
+  // The SSV encoding requires a normal target (row 0 = 0).  A care row 0
+  // forced to 1 is existence-equivalent to the complemented ISF (same
+  // chains, output inverted); a don't-care row 0 already satisfies the
+  // invariant (the on-set is masked by the care set).
+  tt::isf t = target;
+  const bool complemented = t.careset().get_bit(0) && t.onset().get_bit(0);
+  if (complemented) {
+    t = t.complement();
+  }
+  const unsigned n = t.num_vars();
+  const bool restricted_care = !t.careset().is_const1();
+
+  ssv_options enc_options;
+  enc_options.use_all_steps = options_.alonce_clauses;
+
+  bool any_unknown = false;
+  for (const auto& fc : fence::pruned_fences(num_gates)) {
+    if (ctx != nullptr && ctx->should_stop()) {
+      out.verdict = probe_verdict::unknown;
+      return out;
+    }
+    sat::solver solver;
+    if (ctx != nullptr) {
+      solver.set_run_context(ctx);
+    }
+    if (options_.conflict_budget != 0) {
+      solver.set_conflict_budget(options_.conflict_budget);
+    }
+    ssv_encoding enc{solver, t.onset(), num_gates, fence_fanin_pairs(fc, n),
+                     enc_options};
+    if (restricted_care) {
+      enc.set_output_care(t.careset());
+    }
+    enc.encode_structure();
+    const auto level_of_step = fence_level_of_step(fc);
+    if (options_.colex_clauses) {
+      add_colex(solver, enc, level_of_step);
+    }
+    if (options_.noreapply_clauses) {
+      add_noreapply(solver, enc, n);
+    }
+    if (options_.symvar_clauses) {
+      add_symvar(solver, enc, t);
+    }
+    // Row encoding dominates the build at larger n (2^n rows of clauses
+    // per fence), so poll cancellation between rows: an in-flight probe
+    // must honour the cancel flag within the documented latency bound even
+    // before the solver starts.
+    bool build_cancelled = false;
+    for (std::uint64_t row = 1; row < t.onset().num_bits(); ++row) {
+      if ((row & 0xF) == 0 && ctx != nullptr && ctx->should_stop()) {
+        build_cancelled = true;
+        break;
+      }
+      enc.encode_row(row);
+    }
+    if (build_cancelled) {
+      out.verdict = probe_verdict::unknown;
+      return out;
+    }
+    ++out.solver_calls;
+    if (ctx != nullptr) {
+      ++ctx->counters.probe_calls;
+    }
+    switch (solver.solve()) {
+      case sat::solve_result::sat:
+        out.verdict = probe_verdict::feasible;
+        out.witness = enc.extract_chain(complemented);
+        return out;
+      case sat::solve_result::unknown:
+        any_unknown = true;
+        break;
+      case sat::solve_result::unsat:
+        break;
+    }
+  }
+  out.verdict =
+      any_unknown ? probe_verdict::unknown : probe_verdict::infeasible;
+  return out;
+}
+
+}  // namespace stpes::synth

@@ -23,6 +23,47 @@ std::vector<std::vector<std::pair<unsigned, unsigned>>> all_fanin_pairs(
   return pairs;
 }
 
+std::vector<unsigned> fence_level_of_step(const fence::fence& fc) {
+  std::vector<unsigned> level_of_step;
+  level_of_step.reserve(fc.num_nodes());
+  for (unsigned l = 0; l < fc.num_levels(); ++l) {
+    for (unsigned c = 0; c < fc.widths[l]; ++c) {
+      level_of_step.push_back(l);
+    }
+  }
+  return level_of_step;
+}
+
+std::vector<std::vector<std::pair<unsigned, unsigned>>> fence_fanin_pairs(
+    const fence::fence& fc, unsigned num_inputs) {
+  const auto level_of_step = fence_level_of_step(fc);
+  const unsigned num_steps = fc.num_nodes();
+  // Signal level: inputs are below level 0.
+  auto signal_level = [&](unsigned signal) -> int {
+    return signal < num_inputs
+               ? -1
+               : static_cast<int>(level_of_step[signal - num_inputs]);
+  };
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> pairs(num_steps);
+  for (unsigned i = 0; i < num_steps; ++i) {
+    const int level = static_cast<int>(level_of_step[i]);
+    for (unsigned k = 1; k < num_inputs + i; ++k) {
+      for (unsigned j = 0; j < k; ++j) {
+        const int lj = signal_level(j);
+        const int lk = signal_level(k);
+        if (lj >= level || lk >= level) {
+          continue;  // fanins strictly below
+        }
+        if (lj != level - 1 && lk != level - 1) {
+          continue;  // at least one fanin from the level directly below
+        }
+        pairs[i].emplace_back(j, k);
+      }
+    }
+  }
+  return pairs;
+}
+
 ssv_encoding::ssv_encoding(
     sat::solver& solver, const tt::truth_table& function, unsigned num_steps,
     std::optional<std::vector<std::vector<std::pair<unsigned, unsigned>>>>
@@ -73,6 +114,11 @@ std::optional<bool> ssv_encoding::input_value(unsigned signal,
     return ((row >> signal) & 1) != 0;
   }
   return std::nullopt;
+}
+
+void ssv_encoding::set_output_care(tt::truth_table care) {
+  assert(care.num_vars() == num_inputs_);
+  output_care_ = std::move(care);
 }
 
 void ssv_encoding::encode_structure() {
@@ -171,9 +217,11 @@ void ssv_encoding::encode_row(std::uint64_t t) {
       }
     }
   }
-  // Output constraint on the last step.
-  solver_.add_clause({function_.get_bit(t) ? pos(x(num_steps_ - 1, t))
-                                           : neg(x(num_steps_ - 1, t))});
+  // Output constraint on the last step (care rows only).
+  if (!output_care_ || output_care_->get_bit(t)) {
+    solver_.add_clause({function_.get_bit(t) ? pos(x(num_steps_ - 1, t))
+                                             : neg(x(num_steps_ - 1, t))});
+  }
 }
 
 void ssv_encoding::encode_all_rows() {

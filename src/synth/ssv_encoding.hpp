@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "chain/boolean_chain.hpp"
+#include "fence/fence.hpp"
 #include "sat/solver.hpp"
 #include "tt/truth_table.hpp"
 
@@ -56,6 +57,13 @@ public:
                    allowed_pairs = std::nullopt,
                ssv_options options = {});
 
+  /// Restricts the output constraint to the rows set in `care` (same
+  /// width as the target): rows outside the care set get full value
+  /// propagation but no output pin, which encodes an incompletely
+  /// specified target.  Call before the rows are encoded.  Default: all
+  /// rows are care rows.
+  void set_output_care(tt::truth_table care);
+
   /// Emits selection/operator constraints (call once).
   void encode_structure();
 
@@ -71,6 +79,23 @@ public:
       bool output_complemented) const;
 
   [[nodiscard]] unsigned num_steps() const { return num_steps_; }
+
+  /// \name Selection-variable access for symmetry-break layers
+  ///
+  /// The lower-bound probe (`synth/lower_bound`) emits percy-style
+  /// symmetry-break clause families (colex, noreapply, symvar) *on top*
+  /// of this encoding; those clauses only mention selection variables, so
+  /// exposing them keeps the break logic out of the core encoder.
+  /// @{
+  [[nodiscard]] sat::var select_var(unsigned step,
+                                    std::size_t pair_index) const {
+    return select_[step][pair_index];
+  }
+  [[nodiscard]] const std::vector<std::pair<unsigned, unsigned>>&
+  fanin_pairs(unsigned step) const {
+    return pairs_[step];
+  }
+  /// @}
 
 private:
   [[nodiscard]] sat::var x(unsigned step, std::uint64_t row) const;
@@ -91,11 +116,22 @@ private:
   std::vector<std::array<sat::var, 3>> op_;    // op_[i][pattern-1]
   std::vector<std::vector<sat::var>> value_;   // value_[i][row-1]
   std::vector<bool> row_encoded_;
+  std::optional<tt::truth_table> output_care_;
 };
 
 /// Builds the unrestricted fanin pair list for `num_steps` steps over
 /// `num_inputs` inputs.
 std::vector<std::vector<std::pair<unsigned, unsigned>>> all_fanin_pairs(
     unsigned num_inputs, unsigned num_steps);
+
+/// Builds the fence-restricted fanin pair list: step i sits on its fence
+/// level; fanins come from strictly lower levels (or inputs), at least one
+/// from the level directly below.  Shared by the FEN engine and the
+/// lower-bound probe (both attack one fence family per CNF call).
+std::vector<std::vector<std::pair<unsigned, unsigned>>> fence_fanin_pairs(
+    const fence::fence& fc, unsigned num_inputs);
+
+/// Fence level of every step of `fc`, in step order (level 0 first).
+std::vector<unsigned> fence_level_of_step(const fence::fence& fc);
 
 }  // namespace stpes::synth

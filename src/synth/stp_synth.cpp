@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -601,6 +602,11 @@ struct task_output {
   core::stage_counters counters;
   factor_memo memo_delta;
   std::unordered_set<std::uint64_t> failed_delta;
+  // Set when the task observed a cancel or deadline: factorizations abort
+  // mid-enumeration under cancellation, so the deltas may record states as
+  // "failed" (or memoize factor lists) that were never exhaustively
+  // refuted — unsound to carry into later levels.
+  bool tainted = false;
 };
 
 void accumulate(stp_stats& into, const stp_stats& from) {
@@ -635,6 +641,8 @@ std::vector<chain::boolean_chain> run_level(
   core::run_context level_rc(&rc);
 
   std::mutex commit_mutex;
+  std::condition_variable tasks_cv;
+  std::size_t tasks_finished = 0;
   std::vector<char> task_done(num_tasks, 0);
   std::size_t committed = 0;
   std::unordered_set<std::size_t> merged_hashes;
@@ -667,9 +675,13 @@ std::vector<chain::boolean_chain> run_level(
       // Cap hit, external cancel, or deadline: skip the chunk entirely so
       // the level winds down without paying a tick stride per task.  The
       // slot still commits (empty) to keep the in-order merge moving.
-      const std::lock_guard<std::mutex> lock(commit_mutex);
-      task_done[task_idx] = 1;
-      commit_ready();
+      {
+        const std::lock_guard<std::mutex> lock(commit_mutex);
+        task_done[task_idx] = 1;
+        commit_ready();
+        ++tasks_finished;
+      }
+      tasks_cv.notify_all();
       return;
     }
     core::run_context task_rc(&level_rc);
@@ -685,9 +697,14 @@ std::vector<chain::boolean_chain> run_level(
     }
     out.solutions = std::move(ctx.solutions);
     out.counters = task_rc.counters;
-    const std::lock_guard<std::mutex> lock(commit_mutex);
-    task_done[task_idx] = 1;
-    commit_ready();
+    out.tainted = task_rc.should_stop();
+    {
+      const std::lock_guard<std::mutex> lock(commit_mutex);
+      task_done[task_idx] = 1;
+      commit_ready();
+      ++tasks_finished;
+    }
+    tasks_cv.notify_all();
   };
 
   if (pool == nullptr) {
@@ -705,7 +722,11 @@ std::vector<chain::boolean_chain> run_level(
         run_task(t);  // pool rejected the task (shutdown/failpoint)
       }
     }
-    pool->wait_idle();
+    // Wait on the level's own completion latch, not `pool->wait_idle()`:
+    // in portfolio mode the pool also carries the concurrent lower-bound
+    // probe task, whose lifetime this level must not block on.
+    std::unique_lock<std::mutex> lock(commit_mutex);
+    tasks_cv.wait(lock, [&] { return tasks_finished == num_tasks; });
   }
 
   // Fold the private deltas back in task order: stats and counters become
@@ -713,6 +734,9 @@ std::vector<chain::boolean_chain> run_level(
   for (auto& out : outputs) {
     accumulate(stats, out.stats);
     rc.counters += out.counters;
+    if (out.tainted) {
+      continue;  // cancelled mid-chunk: deltas may be truncated, drop them
+    }
     memo.merge_from(std::move(out.memo_delta), options.factor_memo_cap);
     if (options.failed_memo_cap == 0 ||
         failed.size() + out.failed_delta.size() <= options.failed_memo_cap) {
@@ -776,6 +800,178 @@ unsigned resolve_threads(unsigned spec_threads, unsigned option_threads) {
   return resolved;
 }
 
+/// One portfolio level: the CNF probe races the STP sweep, first proof
+/// wins, loser cancelled through its child run_context.
+///
+/// The probe runs as one pool task under `probe_rc`; the sweep runs on the
+/// calling thread (fanning chunks over `sweep_pool` when non-null) under
+/// `sweep_rc`.  A probe-infeasible verdict cancels `sweep_rc` — sound and
+/// *result-preserving*, because infeasible levels have no solutions to
+/// lose; the sweep finishing first just makes the probe's answer moot and
+/// the probe is cancelled on the way out (observed within one solver poll
+/// stride).  Either way both sides are joined before returning, so the
+/// child counters merge race-free into `rc`.
+std::vector<chain::boolean_chain> run_portfolio_level(
+    const stp_options& options, const lower_bound_prober& prober,
+    const tt::isf& target, std::uint32_t root_cone, unsigned num_vars,
+    unsigned gates, const std::vector<dag_topology>& dags,
+    core::run_context& rc, stp_stats& stats, factor_memo& memo,
+    std::unordered_set<std::uint64_t>& failed, service::thread_pool& pool,
+    service::thread_pool* sweep_pool,
+    std::optional<chain::boolean_chain>& witness) {
+  core::run_context probe_rc(&rc);
+  core::run_context sweep_rc(&rc);
+
+  std::mutex race_mutex;
+  std::condition_variable race_cv;
+  bool probe_done = false;
+  bool sweep_done = false;
+  bool probe_won = false;
+  probe_result probe_out;
+
+  bool probe_running = true;
+  try {
+    pool.submit([&] {
+      const auto verdict = prober.probe(target, gates, &probe_rc);
+      {
+        const std::lock_guard<std::mutex> lock(race_mutex);
+        probe_out = verdict;
+        probe_done = true;
+        if (verdict.verdict == probe_verdict::infeasible && !sweep_done) {
+          probe_won = true;
+          sweep_rc.request_cancel();
+        }
+        // Notify under the lock: the waiter owns this cv's stack frame and
+        // destroys it as soon as the predicate holds, so an unlocked notify
+        // could race the destructor.
+        race_cv.notify_all();
+      }
+    });
+  } catch (const std::exception&) {
+    probe_running = false;  // pool rejected (shutdown/failpoint): sweep only
+  }
+
+  auto solutions = run_level(options, target, root_cone, num_vars, dags,
+                             sweep_rc, stats, memo, failed, sweep_pool);
+  {
+    const std::lock_guard<std::mutex> lock(race_mutex);
+    sweep_done = true;
+  }
+  probe_rc.request_cancel();
+  if (probe_running) {
+    std::unique_lock<std::mutex> lock(race_mutex);
+    race_cv.wait(lock, [&] { return probe_done; });
+  }
+
+  rc.counters += probe_rc.counters;
+  rc.counters += sweep_rc.counters;
+  if (probe_out.verdict == probe_verdict::feasible) {
+    ++rc.counters.probe_sat_levels;
+    witness = std::move(probe_out.witness);
+  }
+  if (probe_won) {
+    ++rc.counters.probe_unsat_levels;
+    ++rc.counters.portfolio_probe_wins;
+  } else if (probe_running && !rc.should_stop()) {
+    ++rc.counters.portfolio_sweep_wins;
+  }
+  return solutions;
+}
+
+/// The shared ascending-size sweep behind `run` and `run_with_dont_cares`:
+/// per gate count, materialize the pruned topologies and decide the level
+/// with the configured `stp_level_engine`.  Sets `out`'s outcome, optimum,
+/// chains (un-lifted), and completeness flag.
+void run_size_sweep(const stp_options& options, const tt::isf& target,
+                    std::uint32_t root_cone, unsigned num_vars,
+                    unsigned start_gates, unsigned max_gates,
+                    core::run_context& rc, stp_stats& stats,
+                    service::thread_pool* pool,
+                    service::thread_pool* sweep_pool, result& out) {
+  fence::dag_options dag_opts;
+  dag_opts.allow_shared_gates = options.allow_shared_gates;
+  dag_opts.limit = options.max_dags_per_size;
+
+  // The factorization memo and the failure memo are sound across gate
+  // counts (their keys are self-contained), so they persist over the
+  // whole size sweep.
+  factor_memo memo;
+  std::unordered_set<std::uint64_t> failed_states;
+  const lower_bound_prober prober{options.probe};
+
+  for (unsigned gates = start_gates; gates <= max_gates; ++gates) {
+    if (rc.should_stop()) {
+      out.outcome = status::timeout;
+      return;
+    }
+    std::optional<chain::boolean_chain> witness;
+    if (options.engine == stp_level_engine::probe_sweep) {
+      // Pre-sweep gate: one CNF call per pruned fence refutes the whole
+      // level; `unknown` (budget/size cutoff) falls through to the sweep,
+      // so the probe can only skip work, never change the result.
+      auto pr = prober.probe(target, gates, &rc);
+      if (pr.verdict == probe_verdict::infeasible) {
+        ++rc.counters.probe_unsat_levels;
+        continue;  // no DAG of this level is materialized or swept
+      }
+      if (pr.verdict == probe_verdict::feasible) {
+        ++rc.counters.probe_sat_levels;
+        witness = std::move(pr.witness);
+      }
+    }
+    const auto fences = options.use_fence_pruning
+                            ? fence::pruned_fences(gates, &rc)
+                            : fence::all_fences(gates, &rc);
+    stats.fences += fences.size();
+    const auto level_dags =
+        materialize_level_dags(options, dag_opts, fences, rc, stats);
+    auto solutions =
+        options.engine == stp_level_engine::portfolio && pool != nullptr
+            ? run_portfolio_level(options, prober, target, root_cone,
+                                  num_vars, gates, level_dags, rc, stats,
+                                  memo, failed_states, *pool, sweep_pool,
+                                  witness)
+            : run_level(options, target, root_cone, num_vars, level_dags,
+                        rc, stats, memo, failed_states, sweep_pool);
+
+    // Reaching this level at all proves every smaller gate count was
+    // exhausted without a solution, so any chain found here is optimum —
+    // even when the deadline cut the level's sweep short.  A cut sweep
+    // only makes the *set* partial, which `enumeration_complete = false`
+    // records; this matches what single-solution CNF engines count as
+    // solved.  Only a level interrupted before its first verified chain
+    // is a genuine timeout.  (A solution-cap stop cancels only
+    // `level_rc`, not `rc`, so capped runs report a complete
+    // enumeration under their configured cap.)
+    if (!solutions.empty()) {
+      out.outcome = status::success;
+      out.optimum_gates = gates;
+      out.enumeration_complete = !rc.should_stop();
+      out.chains = std::move(solutions);
+      return;
+    }
+    if (rc.should_stop()) {
+      // The deadline cut this level before the sweep surfaced a chain.
+      // If the probe already answered `feasible`, its SAT model is a
+      // chain of exactly `gates` steps; re-verified against the
+      // requirement it salvages a proven-optimum partial success —
+      // every smaller level was exhausted above, this level is realized.
+      if (witness.has_value() &&
+          ((witness->simulate() ^ target.onset()) & target.careset())
+              .is_const0()) {
+        out.outcome = status::success;
+        out.optimum_gates = gates;
+        out.enumeration_complete = false;
+        out.chains = {std::move(*witness)};
+        return;
+      }
+      out.outcome = status::timeout;
+      return;
+    }
+  }
+  out.outcome = status::failure;
+}
+
 }  // namespace
 
 stp_engine::stp_engine(stp_options options) : options_(options) {}
@@ -802,65 +998,23 @@ result stp_engine::run(const spec& s) {
   const auto f = shrink_for_synthesis(s.function, old_of_new);
   const unsigned n = f.num_vars();
 
-  fence::dag_options dag_opts;
-  dag_opts.allow_shared_gates = options_.allow_shared_gates;
-  dag_opts.limit = options_.max_dags_per_size;
-
   const unsigned threads = resolve_threads(s.num_threads, options_.num_threads);
+  // Portfolio mode needs a pool even single-threaded (the probe task);
+  // the sweep then runs inline so the probe is not queued behind it.
   std::optional<service::thread_pool> pool;
-  if (threads > 1) {
+  if (threads > 1 || options_.engine == stp_level_engine::portfolio) {
     pool.emplace(threads);
   }
+  service::thread_pool* sweep_pool = threads > 1 ? &*pool : nullptr;
 
-  // The factorization memo and the failure memo are sound across gate
-  // counts (their keys are self-contained), so they persist over the
-  // whole size sweep.
   const tt::isf target = tt::isf::from_function(f);
   const std::uint32_t root_cone = (1u << n) - 1;
-  factor_memo memo;
-  std::unordered_set<std::uint64_t> failed_states;
-
-  for (unsigned gates = std::max(1u, n - 1); gates <= s.max_gates; ++gates) {
-    if (rc.should_stop()) {
-      out.outcome = status::timeout;
-      return finish(out);
-    }
-    const auto fences = options_.use_fence_pruning
-                            ? fence::pruned_fences(gates, &rc)
-                            : fence::all_fences(gates, &rc);
-    stats_.fences += fences.size();
-    const auto level_dags =
-        materialize_level_dags(options_, dag_opts, fences, rc, stats_);
-    auto solutions =
-        run_level(options_, target, root_cone, n, level_dags, rc, stats_,
-                  memo, failed_states, pool ? &*pool : nullptr);
-
-    // Reaching this level at all proves every smaller gate count was
-    // exhausted without a solution, so any chain found here is optimum —
-    // even when the deadline cut the level's sweep short.  A cut sweep
-    // only makes the *set* partial, which `enumeration_complete = false`
-    // records; this matches what single-solution CNF engines count as
-    // solved.  Only a level interrupted before its first verified chain
-    // is a genuine timeout.  (A solution-cap stop cancels only
-    // `level_rc`, not `rc`, so capped runs report a complete
-    // enumeration under their configured cap.)
-    if (!solutions.empty()) {
-      out.outcome = status::success;
-      out.optimum_gates = gates;
-      out.enumeration_complete = !rc.should_stop();
-      out.chains.reserve(solutions.size());
-      for (const auto& c : solutions) {
-        out.chains.push_back(
-            lift_chain_to_original(c, old_of_new, s.function.num_vars()));
-      }
-      return finish(out);
-    }
-    if (rc.should_stop()) {
-      out.outcome = status::timeout;
-      return finish(out);
-    }
+  run_size_sweep(options_, target, root_cone, n, std::max(1u, n - 1),
+                 s.max_gates, rc, stats_, pool ? &*pool : nullptr,
+                 sweep_pool, out);
+  for (auto& c : out.chains) {
+    c = lift_chain_to_original(c, old_of_new, s.function.num_vars());
   }
-  out.outcome = status::failure;
   return finish(out);
 }
 
@@ -912,53 +1066,23 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
     }
   }
 
-  fence::dag_options dag_opts;
-  dag_opts.allow_shared_gates = options_.allow_shared_gates;
-  dag_opts.limit = options_.max_dags_per_size;
-
   const unsigned threads = resolve_threads(0, options_.num_threads);
   std::optional<service::thread_pool> pool;
-  if (threads > 1) {
+  if (threads > 1 || options_.engine == stp_level_engine::portfolio) {
     pool.emplace(threads);
   }
+  service::thread_pool* sweep_pool = threads > 1 ? &*pool : nullptr;
 
-  factor_memo memo;
-  std::unordered_set<std::uint64_t> failed_states;
   // Every accepted completion depends on all *required* variables, so
   // |required| - 1 is a sound lower bound even when the cone fell back to
   // the full input set.
   const unsigned lower = static_cast<unsigned>(
       std::max(1, std::popcount(required) - 1));
-  for (unsigned gates = lower; gates <= max_gates; ++gates) {
-    if (rc.should_stop()) {
-      out.outcome = status::timeout;
-      return finish(out);
-    }
-    const auto fences = options_.use_fence_pruning
-                            ? fence::pruned_fences(gates, &rc)
-                            : fence::all_fences(gates, &rc);
-    stats_.fences += fences.size();
-    const auto level_dags =
-        materialize_level_dags(options_, dag_opts, fences, rc, stats_);
-    auto solutions = run_level(options_, root, cone, n, level_dags, rc,
-                               stats_, memo, failed_states,
-                               pool ? &*pool : nullptr);
-    // Solutions first, deadline second: chains found at this level are
-    // optimum regardless of where the deadline landed (see run() for the
-    // full rationale); a cut sweep is recorded via the completeness flag.
-    if (!solutions.empty()) {
-      out.outcome = status::success;
-      out.optimum_gates = gates;
-      out.enumeration_complete = !rc.should_stop();
-      out.chains = std::move(solutions);
-      return finish(out);
-    }
-    if (rc.should_stop()) {
-      out.outcome = status::timeout;
-      return finish(out);
-    }
-  }
-  out.outcome = status::failure;
+  // The probe receives the same (cone-projected) requirement the sweep
+  // decides: infeasibility of the k-gate question over all n inputs
+  // subsumes the cone-restricted sweep, so a skipped level is sound.
+  run_size_sweep(options_, root, cone, n, lower, max_gates, rc, stats_,
+                 pool ? &*pool : nullptr, sweep_pool, out);
   return finish(out);
 }
 

@@ -30,9 +30,30 @@
 #include <cstdint>
 
 #include "synth/factorize.hpp"
+#include "synth/lower_bound.hpp"
 #include "synth/spec.hpp"
 
 namespace stpes::synth {
+
+/// How each gate-count level is decided before/while the STP sweep runs.
+///
+/// The sweep *enumerates all* optimum chains; the CNF lower-bound probe
+/// (`synth/lower_bound.hpp`) only decides *existence*, but refutes a whole
+/// level orders of magnitude faster on the hard instances.  Combining the
+/// two keeps the paper's all-optima semantics while killing the sweep's
+/// worst case (exhausting the last infeasible level).
+enum class stp_level_engine {
+  /// Sweep every level (the paper's baseline; ablation reference).
+  sweep,
+  /// Run the probe first: UNSAT skips the level's sweep entirely, SAT or
+  /// unknown falls through to the sweep.  Sequential, deterministic.
+  probe_sweep,
+  /// Race the probe against the sweep on the thread pool; the first
+  /// proof wins and cancels the loser through `core::run_context`.  The
+  /// solution set is still bit-identical to `sweep` (the probe can only
+  /// cancel solution-free levels); effort counters become race-dependent.
+  portfolio,
+};
 
 /// Tuning knobs; the defaults reproduce the paper's configuration, the
 /// toggles exist for the ablation benchmarks.
@@ -78,6 +99,11 @@ struct stp_options {
   /// Entry cap of the fruitless-pending-state memo (0 = unlimited), for
   /// the same memory/teardown reasons as `factor_memo_cap`.
   std::size_t failed_memo_cap = 2u << 20;
+  /// Per-level engine: lower-bound probe gating (default), plain sweep,
+  /// or the probe-vs-sweep portfolio race.
+  stp_level_engine engine = stp_level_engine::probe_sweep;
+  /// Knobs of the lower-bound probe (budget, clause families, size cap).
+  lower_bound_options probe;
   /// Branch caps of the per-vertex factorization.
   factorize_options factor;
 };

@@ -71,6 +71,16 @@ struct stage_counters {
   std::uint64_t sweep_proofs = 0;
   std::uint64_t sweep_refutations = 0;
   std::uint64_t sweep_merged_nodes = 0;
+  // Lower-bound probe (synth/lower_bound) and the per-level engine
+  // portfolio (stp_synth).  `probe_calls` counts CNF solver calls; the
+  // *_levels counters count levels classified by the probe; the
+  // portfolio_* counters count which engine produced the per-level
+  // verdict first (race-dependent: tolerance-gated in benches).
+  std::uint64_t probe_calls = 0;
+  std::uint64_t probe_unsat_levels = 0;
+  std::uint64_t probe_sat_levels = 0;
+  std::uint64_t portfolio_probe_wins = 0;
+  std::uint64_t portfolio_sweep_wins = 0;
 
   stage_counters& operator+=(const stage_counters& o) {
     fences_enumerated += o.fences_enumerated;
@@ -91,6 +101,11 @@ struct stage_counters {
     sweep_proofs += o.sweep_proofs;
     sweep_refutations += o.sweep_refutations;
     sweep_merged_nodes += o.sweep_merged_nodes;
+    probe_calls += o.probe_calls;
+    probe_unsat_levels += o.probe_unsat_levels;
+    probe_sat_levels += o.probe_sat_levels;
+    portfolio_probe_wins += o.portfolio_probe_wins;
+    portfolio_sweep_wins += o.portfolio_sweep_wins;
     return *this;
   }
 
@@ -113,6 +128,11 @@ struct stage_counters {
     sweep_proofs -= o.sweep_proofs;
     sweep_refutations -= o.sweep_refutations;
     sweep_merged_nodes -= o.sweep_merged_nodes;
+    probe_calls -= o.probe_calls;
+    probe_unsat_levels -= o.probe_unsat_levels;
+    probe_sat_levels -= o.probe_sat_levels;
+    portfolio_probe_wins -= o.portfolio_probe_wins;
+    portfolio_sweep_wins -= o.portfolio_sweep_wins;
     return *this;
   }
 
@@ -123,7 +143,8 @@ struct stage_counters {
            allsat_propagations + allsat_merges + sat_decisions +
            sat_conflicts + sat_restarts + sweep_sim_rounds +
            sweep_candidates + sweep_proofs + sweep_refutations +
-           sweep_merged_nodes;
+           sweep_merged_nodes + probe_calls + probe_unsat_levels +
+           probe_sat_levels + portfolio_probe_wins + portfolio_sweep_wins;
   }
 };
 

@@ -25,7 +25,7 @@ using stpes::synth::status;
 using stpes::tt::truth_table;
 
 constexpr engine kAllEngines[] = {engine::stp, engine::bms, engine::fen,
-                                  engine::cegar};
+                                  engine::cegar, engine::portfolio};
 
 TEST(Cancellation, PreCancelledContextReturnsTimeoutImmediately) {
   // The flag is checked before any search starts: a context cancelled

@@ -20,7 +20,7 @@ using stpes::synth::status;
 using stpes::tt::truth_table;
 
 constexpr engine kAllEngines[] = {engine::stp, engine::bms, engine::fen,
-                                  engine::cegar};
+                                  engine::cegar, engine::portfolio};
 
 void expect_all_engines_agree(const truth_table& f, double timeout = 60.0) {
   result reference;
@@ -252,6 +252,7 @@ TEST(Synthesis, EngineNamesRoundTrip) {
   EXPECT_EQ(engine_from_string("BMS"), engine::bms);
   EXPECT_EQ(engine_from_string("fen"), engine::fen);
   EXPECT_EQ(engine_from_string("abc"), engine::cegar);
+  EXPECT_EQ(engine_from_string("portfolio"), engine::portfolio);
   EXPECT_THROW(engine_from_string("nope"), std::invalid_argument);
   for (const auto e : kAllEngines) {
     EXPECT_EQ(engine_from_string(stpes::core::to_string(e)), e);

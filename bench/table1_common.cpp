@@ -82,17 +82,28 @@ table1_options parse_options(int argc, char** argv,
 int run_table1(const std::string& collection_name,
                const std::vector<tt::truth_table>& functions,
                const table1_options& options) {
-  std::vector<tt::truth_table> selected;
-  if (options.count == 0 || options.count >= functions.size()) {
-    selected = functions;
+  std::vector<std::vector<tt::truth_table>> instances;
+  instances.reserve(functions.size());
+  for (const auto& f : functions) {
+    instances.push_back({f});
+  }
+  return run_table1(collection_name, instances, options);
+}
+
+int run_table1(const std::string& collection_name,
+               const std::vector<std::vector<tt::truth_table>>& instances,
+               const table1_options& options) {
+  std::vector<std::vector<tt::truth_table>> selected;
+  if (options.count == 0 || options.count >= instances.size()) {
+    selected = instances;
   } else {
     // Deterministic spread across the collection (covers easy and hard).
     const double stride =
-        static_cast<double>(functions.size()) /
+        static_cast<double>(instances.size()) /
         static_cast<double>(options.count);
     for (std::size_t i = 0; i < options.count; ++i) {
       selected.push_back(
-          functions[static_cast<std::size_t>(i * stride)]);
+          instances[static_cast<std::size_t>(i * stride)]);
     }
   }
 
@@ -147,7 +158,13 @@ int run_table1(const std::string& collection_name,
     for (std::size_t i = 0; i < selected.size(); ++i) {
       core::run_context run_ctx{options.timeout};
       synth::spec spec;
-      spec.function = selected[i];
+      // A 1-element instance takes the historical single-output spec
+      // path, keeping those rows bit-identical to the scalar overload.
+      if (selected[i].size() == 1) {
+        spec.function = selected[i].front();
+      } else {
+        spec.functions = selected[i];
+      }
       spec.ctx = &run_ctx;
       spec.num_threads = options.threads;
       const auto r = core::exact_synthesis(spec, which);

@@ -52,6 +52,15 @@ int run_table1(const std::string& collection_name,
                const std::vector<tt::truth_table>& functions,
                const table1_options& options);
 
+/// Multi-output variant: each instance is one output list synthesized as
+/// a single shared chain.  Single-output instances take the exact
+/// single-output spec path, so a collection of 1-element lists is
+/// bit-identical to the overload above.  Emits the same table layout and
+/// BENCH_*.json schema (gates are whole-chain gate counts).
+int run_table1(const std::string& collection_name,
+               const std::vector<std::vector<tt::truth_table>>& instances,
+               const table1_options& options);
+
 /// Renders a full `stage_counters` object as the `"counters"` JSON value
 /// shared by every BENCH_*.json emitter (table1 rows and the sweep bench),
 /// so the regression gate and the trend exporter see one key set.

@@ -1,0 +1,24 @@
+/// \file table1_madd.cpp
+/// \brief Multi-output row: small arithmetic blocks (adders and
+///        comparators up to 4 inputs, 2-3 outputs each) synthesized as
+///        one shared chain per instance.
+///
+/// The collection is tiny and fixed (no sampling), so the default run
+/// covers every instance; `--count=N` still takes a deterministic
+/// stride subset.  Gate counts are whole-chain sizes, which is exactly
+/// what the joint-vs-separate sharing argument is about: the committed
+/// baseline pins the shared-chain optima (e.g. the 5-gate full adder).
+
+#include "table1_common.hpp"
+#include "workload/collections.hpp"
+
+int main(int argc, char** argv) {
+  const auto options =
+      stpes::bench::parse_options(argc, argv, /*default_count=*/0,
+                                  /*default_timeout=*/5.0);
+  std::vector<std::vector<stpes::tt::truth_table>> instances;
+  for (auto& instance : stpes::workload::madd_collection()) {
+    instances.push_back(std::move(instance.functions));
+  }
+  return stpes::bench::run_table1("MADD", instances, options);
+}

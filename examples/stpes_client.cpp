@@ -2,15 +2,17 @@
 /// \brief Command-line client for a running stpes-serve daemon.
 ///
 ///     stpes-client --socket=/tmp/stpes.sock synth stp 4 0x8ff8 [timeout]
+///     stpes-client --socket=/tmp/stpes.sock synth stp 3 96,e8 [timeout]
 ///     stpes-client --socket=/tmp/stpes.sock batch < functions.txt
 ///     stpes-client --socket=/tmp/stpes.sock stats [json]
 ///     stpes-client --socket=/tmp/stpes.sock save /tmp/cache.txt
 ///     stpes-client --socket=/tmp/stpes.sock load /tmp/cache.txt
 ///     stpes-client --socket=/tmp/stpes.sock ping | shutdown
 ///
-/// `batch` reads `<engine> <n> <hex> [timeout]` lines from stdin.  The
-/// exit code is 0 on an OK reply, 1 on ERR (including `ERR timeout`), and
-/// 2 on usage or connection problems.
+/// `batch` reads `<engine> <n> <hex> [timeout]` lines from stdin.  A
+/// comma-separated hex list (`96,e8`) asks for one shared multi-output
+/// chain.  The exit code is 0 on an OK reply, 1 on ERR (including
+/// `ERR timeout`), and 2 on usage or connection problems.
 
 #include <iostream>
 #include <string>
@@ -23,12 +25,31 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr
       << "usage: stpes-client --socket=PATH <command>\n"
-         "  synth <engine> <n> <hex> [timeout]   one function\n"
+         "  synth <engine> <n> <hex>[,<hex>...] [timeout]   one request\n"
          "  batch                                requests from stdin\n"
          "  stats [json]                         daemon counters\n"
          "  save <path> | load <path>            cache persistence\n"
          "  ping | shutdown\n";
   std::exit(2);
+}
+
+/// Splits a `<hex>[,<hex>...]` payload into per-output truth tables.
+std::vector<stpes::tt::truth_table> parse_targets(unsigned num_vars,
+                                                  const std::string& list) {
+  std::vector<stpes::tt::truth_table> targets;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const auto comma = list.find(',', begin);
+    const auto piece = list.substr(
+        begin,
+        comma == std::string::npos ? std::string::npos : comma - begin);
+    targets.push_back(stpes::tt::truth_table::from_hex(num_vars, piece));
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return targets;
 }
 
 int print_reply(const stpes::server::line_client::synth_reply& r) {
@@ -72,12 +93,14 @@ int main(int argc, char** argv) {
     if (command == "synth" && (args.size() == 4 || args.size() == 5)) {
       const auto engine = core::engine_from_string(args[1]);
       const auto num_vars = static_cast<unsigned>(std::stoul(args[2]));
-      const auto function = tt::truth_table::from_hex(num_vars, args[3]);
+      const auto targets = parse_targets(num_vars, args[3]);
       std::optional<double> timeout;
       if (args.size() == 5) {
         timeout = std::stod(args[4]);
       }
-      return print_reply(client.synth(engine, function, timeout));
+      return print_reply(targets.size() == 1
+                             ? client.synth(engine, targets.front(), timeout)
+                             : client.synth(engine, targets, timeout));
     }
     if (command == "batch" && args.size() == 1) {
       std::vector<std::pair<core::engine, tt::truth_table>> requests;

@@ -45,8 +45,8 @@ using signal_values = std::vector<std::int8_t>;
 
 circuit_allsat_result solve_all(const chain::boolean_chain& network,
                                 bool target, core::run_context* ctx) {
-  return solve_all(lut_network::from_chain(network),
-                   std::vector<bool>{target}, ctx);
+  const auto net = lut_network::from_chain(network);
+  return solve_all(net, std::vector<bool>(net.outputs.size(), target), ctx);
 }
 
 circuit_allsat_result solve_all(const lut_network& network,

@@ -6,7 +6,9 @@ lut_network lut_network::from_chain(const chain::boolean_chain& chain) {
   lut_network net;
   net.num_inputs = chain.num_inputs();
   net.steps = chain.steps();
-  net.outputs.push_back(output{chain.output(), chain.output_complemented()});
+  for (const auto& o : chain.outputs()) {
+    net.outputs.push_back(output{o.signal, o.complemented});
+  }
   return net;
 }
 

@@ -29,7 +29,7 @@ struct lut_network {
   std::vector<chain::step> steps;
   std::vector<output> outputs;
 
-  /// Wraps a single-output chain.
+  /// Wraps a chain, carrying over its full output list.
   static lut_network from_chain(const chain::boolean_chain& chain);
 
   [[nodiscard]] unsigned num_signals() const {

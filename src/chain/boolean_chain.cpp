@@ -23,8 +23,27 @@ void boolean_chain::set_output(std::uint32_t signal, bool complemented) {
   if (signal >= num_inputs_ + num_steps()) {
     throw std::invalid_argument{"boolean_chain: bad output signal"};
   }
-  output_ = signal;
-  output_complemented_ = complemented;
+  outputs_.assign(1, output_ref{signal, complemented});
+}
+
+void boolean_chain::set_outputs(std::vector<output_ref> outputs) {
+  if (outputs.empty()) {
+    throw std::invalid_argument{"boolean_chain: empty output list"};
+  }
+  for (const auto& o : outputs) {
+    if (o.signal >= num_inputs_ + num_steps()) {
+      throw std::invalid_argument{"boolean_chain: bad output signal"};
+    }
+  }
+  outputs_ = std::move(outputs);
+}
+
+unsigned boolean_chain::add_output(std::uint32_t signal, bool complemented) {
+  if (signal >= num_inputs_ + num_steps()) {
+    throw std::invalid_argument{"boolean_chain: bad output signal"};
+  }
+  outputs_.push_back(output_ref{signal, complemented});
+  return num_outputs() - 1;
 }
 
 bool boolean_chain::is_well_formed() const {
@@ -35,7 +54,16 @@ bool boolean_chain::is_well_formed() const {
       return false;
     }
   }
-  return output_ < num_inputs_ + num_steps() || (num_inputs_ == 0 && steps_.empty());
+  if (outputs_.empty()) {
+    return false;
+  }
+  for (const auto& o : outputs_) {
+    if (o.signal >= num_inputs_ + num_steps() &&
+        !(num_inputs_ == 0 && steps_.empty())) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::vector<tt::truth_table> boolean_chain::simulate_all() const {
@@ -51,13 +79,32 @@ std::vector<tt::truth_table> boolean_chain::simulate_all() const {
   return signals;
 }
 
-tt::truth_table boolean_chain::simulate() const {
+tt::truth_table boolean_chain::simulate() const { return simulate_output(0); }
+
+tt::truth_table boolean_chain::simulate_output(unsigned index) const {
   const auto signals = simulate_all();
   if (signals.empty()) {
     throw std::logic_error{"boolean_chain: nothing to simulate"};
   }
-  const auto& out = signals[output_];
-  return output_complemented_ ? ~out : out;
+  if (index >= outputs_.size()) {
+    throw std::out_of_range{"boolean_chain: bad output index"};
+  }
+  const auto& o = outputs_[index];
+  const auto& out = signals[o.signal];
+  return o.complemented ? ~out : out;
+}
+
+std::vector<tt::truth_table> boolean_chain::simulate_outputs() const {
+  const auto signals = simulate_all();
+  if (signals.empty()) {
+    throw std::logic_error{"boolean_chain: nothing to simulate"};
+  }
+  std::vector<tt::truth_table> out;
+  out.reserve(outputs_.size());
+  for (const auto& o : outputs_) {
+    out.push_back(o.complemented ? ~signals[o.signal] : signals[o.signal]);
+  }
+  return out;
 }
 
 unsigned boolean_chain::depth() const {
@@ -67,7 +114,14 @@ unsigned boolean_chain::depth() const {
     level[num_inputs_ + j] =
         1 + std::max(level[s.fanin[0]], level[s.fanin[1]]);
   }
-  return level.empty() ? 0 : level[output_];
+  if (level.empty()) {
+    return 0;
+  }
+  unsigned max_level = 0;
+  for (const auto& o : outputs_) {
+    max_level = std::max(max_level, level[o.signal]);
+  }
+  return max_level;
 }
 
 unsigned boolean_chain::xor_count() const {
@@ -106,11 +160,14 @@ std::string boolean_chain::to_string() const {
     out += "(" + signal_name(s.fanin[0]) + ", " + signal_name(s.fanin[1]) +
            ")\n";
   }
-  out += "f = ";
-  if (output_complemented_) {
-    out += "!";
+  for (std::size_t h = 0; h < outputs_.size(); ++h) {
+    out += outputs_.size() == 1 ? "f" : "f" + std::to_string(h);
+    out += " = ";
+    if (outputs_[h].complemented) {
+      out += "!";
+    }
+    out += signal_name(outputs_[h].signal) + "\n";
   }
-  out += signal_name(output_) + "\n";
   return out;
 }
 
@@ -131,10 +188,18 @@ std::string boolean_chain::to_dot() const {
              ";\n";
     }
   }
-  out += "  out [shape=plaintext,label=\"f" +
-         std::string(output_complemented_ ? " = !" : " = ") + "x" +
-         std::to_string(output_) + "\"];\n";
-  out += "  x" + std::to_string(output_) + " -> out;\n}\n";
+  for (std::size_t h = 0; h < outputs_.size(); ++h) {
+    const std::string name =
+        outputs_.size() == 1 ? "f" : "f" + std::to_string(h);
+    const std::string node = outputs_.size() == 1 ? "out" : "out" +
+        std::to_string(h);
+    out += "  " + node + " [shape=plaintext,label=\"" + name +
+           std::string(outputs_[h].complemented ? " = !" : " = ") + "x" +
+           std::to_string(outputs_[h].signal) + "\"];\n";
+    out += "  x" + std::to_string(outputs_[h].signal) + " -> " + node +
+           ";\n";
+  }
+  out += "}\n";
   return out;
 }
 
@@ -148,15 +213,18 @@ std::size_t boolean_chain::hash() const {
     mix(s.fanin[0]);
     mix(s.fanin[1]);
   }
-  mix(output_);
-  mix(output_complemented_ ? 1 : 0);
+  // One (signal, complement) pair per output: for m = 1 this is the exact
+  // historical hash, so solution dedup and ordering are unchanged.
+  for (const auto& o : outputs_) {
+    mix(o.signal);
+    mix(o.complemented ? 1 : 0);
+  }
   return h;
 }
 
 bool boolean_chain::operator==(const boolean_chain& other) const {
   return num_inputs_ == other.num_inputs_ && steps_ == other.steps_ &&
-         output_ == other.output_ &&
-         output_complemented_ == other.output_complemented_;
+         outputs_ == other.outputs_;
 }
 
 }  // namespace stpes::chain

@@ -8,9 +8,11 @@
 /// than a homogeneous gate library, so downstream cost functions can pick
 /// among all optimum chains (see `cost` and `core/selector`).
 ///
-/// Signal numbering: 0..n-1 are primary inputs, n+j is step j.  The chain
-/// output is one signal, optionally complemented (Knuth's definition allows
-/// f = x_l or !x_l).
+/// Signal numbering: 0..n-1 are primary inputs, n+j is step j.  A chain
+/// carries an ordered *list* of outputs; each output is one signal,
+/// optionally complemented (Knuth's definition allows f = x_l or !x_l).
+/// The historical single-output API (`set_output`/`output`/`simulate`)
+/// remains and addresses output 0, so m = 1 callers are unchanged.
 
 #pragma once
 
@@ -34,11 +36,21 @@ struct step {
   }
 };
 
-/// A single-output Boolean chain.
+/// One chain output: a signal index plus a complement flag.
+struct output_ref {
+  std::uint32_t signal = 0;
+  bool complemented = false;
+
+  bool operator==(const output_ref& other) const {
+    return signal == other.signal && complemented == other.complemented;
+  }
+};
+
+/// A multi-output Boolean chain (m = 1 in the classic Knuth setting).
 class boolean_chain {
 public:
   boolean_chain() = default;
-  /// Chain with `num_inputs` primary inputs and no steps yet.
+  /// Chain with `num_inputs` primary inputs, no steps, one output (x0).
   explicit boolean_chain(unsigned num_inputs);
 
   [[nodiscard]] unsigned num_inputs() const { return num_inputs_; }
@@ -51,26 +63,46 @@ public:
   std::uint32_t add_step(unsigned op, std::uint32_t fanin0,
                          std::uint32_t fanin1);
 
-  /// Selects the output signal.
+  /// Selects output 0, discarding any further outputs (m = 1 API).
   void set_output(std::uint32_t signal, bool complemented = false);
-  [[nodiscard]] std::uint32_t output() const { return output_; }
+  /// Output 0's signal (m = 1 API).
+  [[nodiscard]] std::uint32_t output() const { return outputs_[0].signal; }
+  /// Output 0's complement flag (m = 1 API).
   [[nodiscard]] bool output_complemented() const {
-    return output_complemented_;
+    return outputs_[0].complemented;
   }
 
-  /// Structural sanity: every fanin refers to an earlier signal, the
+  /// \name Multi-output access
+  /// @{
+  [[nodiscard]] unsigned num_outputs() const {
+    return static_cast<unsigned>(outputs_.size());
+  }
+  [[nodiscard]] const std::vector<output_ref>& outputs() const {
+    return outputs_;
+  }
+  /// Replaces the whole output list (must be non-empty, signals valid).
+  void set_outputs(std::vector<output_ref> outputs);
+  /// Appends one output and returns its index.
+  unsigned add_output(std::uint32_t signal, bool complemented = false);
+  /// @}
+
+  /// Structural sanity: every fanin refers to an earlier signal, every
   /// output exists, ops are 4-bit.
   [[nodiscard]] bool is_well_formed() const;
 
   /// Truth table of every signal (inputs first, then steps).
   [[nodiscard]] std::vector<tt::truth_table> simulate_all() const;
-  /// Truth table of the chain output.
+  /// Truth table of chain output 0 (m = 1 API).
   [[nodiscard]] tt::truth_table simulate() const;
+  /// Truth table of chain output `index`.
+  [[nodiscard]] tt::truth_table simulate_output(unsigned index) const;
+  /// Truth tables of all outputs, in output order.
+  [[nodiscard]] std::vector<tt::truth_table> simulate_outputs() const;
 
   /// \name Cost measures for optimum-solution selection
   /// @{
   [[nodiscard]] unsigned size() const { return num_steps(); }
-  /// Longest input-to-output path length in steps.
+  /// Longest input-to-output path length in steps (max over outputs).
   [[nodiscard]] unsigned depth() const;
   /// Steps whose operator is XOR or XNOR (relevant e.g. when mapping to
   /// technologies where parity gates are expensive, or cheap).
@@ -81,20 +113,21 @@ public:
   /// @}
 
   /// Human-readable listing, one step per line:
-  /// "x5 = 0x8(x0, x1)" style, mirroring Example 7 of the paper.
+  /// "x5 = 0x8(x0, x1)" style, mirroring Example 7 of the paper.  A
+  /// single output prints as "f = x5"; m >= 2 prints "f0 = x5" etc.
   [[nodiscard]] std::string to_string() const;
   /// Graphviz dot rendering.
   [[nodiscard]] std::string to_dot() const;
 
-  /// Stable content hash (for dedup across solution sets).
+  /// Stable content hash (for dedup across solution sets).  For m = 1 the
+  /// value is identical to the historical single-output hash.
   [[nodiscard]] std::size_t hash() const;
   bool operator==(const boolean_chain& other) const;
 
 private:
   unsigned num_inputs_ = 0;
   std::vector<step> steps_;
-  std::uint32_t output_ = 0;
-  bool output_complemented_ = false;
+  std::vector<output_ref> outputs_{output_ref{}};
 };
 
 struct boolean_chain_hash {

@@ -44,28 +44,41 @@ boolean_chain apply_inverse_npn_to_chain(
     op = fold_input_negations(op, neg[0], neg[1]);
     result.add_step(op, fanin[0], fanin[1]);
   }
-  bool out_complemented = chain.output_complemented();
-  std::uint32_t out_signal = chain.output();
-  if (out_signal < n) {
-    // Output is a PI: rewire and absorb its polarity.
-    out_complemented ^= ((transform.input_negation >> out_signal) & 1) != 0;
-    out_signal = transform.perm[out_signal];
+  // The NPN transform carries a single output-negation bit, so it applies
+  // to output 0; further outputs (the cache only stores m = 1 chains, but
+  // the rewrite is total anyway) keep their own polarity modulo PI rewiring.
+  std::vector<output_ref> outputs = chain.outputs();
+  for (std::size_t h = 0; h < outputs.size(); ++h) {
+    auto& o = outputs[h];
+    if (o.signal < n) {
+      // Output is a PI: rewire and absorb its polarity.
+      o.complemented ^= ((transform.input_negation >> o.signal) & 1) != 0;
+      o.signal = transform.perm[o.signal];
+    }
+    if (h == 0 && transform.output_negation) {
+      o.complemented = !o.complemented;
+    }
   }
-  if (transform.output_negation) {
-    out_complemented = !out_complemented;
-  }
-  result.set_output(out_signal, out_complemented);
+  result.set_outputs(std::move(outputs));
   return result;
 }
 
 std::string to_blif(const boolean_chain& chain,
                     const std::string& model_name) {
   const unsigned n = chain.num_inputs();
+  const unsigned m = chain.num_outputs();
+  auto out_name = [&](unsigned h) {
+    return m == 1 ? std::string{"f"} : "f" + std::to_string(h);
+  };
   std::string out = ".model " + model_name + "\n.inputs";
   for (unsigned v = 0; v < n; ++v) {
     out += " x" + std::to_string(v);
   }
-  out += "\n.outputs f\n";
+  out += "\n.outputs";
+  for (unsigned h = 0; h < m; ++h) {
+    out += " " + out_name(h);
+  }
+  out += "\n";
   for (std::size_t j = 0; j < chain.steps().size(); ++j) {
     const auto& st = chain.steps()[j];
     out += ".names x" + std::to_string(st.fanin[0]) + " x" +
@@ -77,8 +90,11 @@ std::string to_blif(const boolean_chain& chain,
       }
     }
   }
-  out += ".names x" + std::to_string(chain.output()) + " f\n";
-  out += chain.output_complemented() ? "0 1\n" : "1 1\n";
+  for (unsigned h = 0; h < m; ++h) {
+    const auto& o = chain.outputs()[h];
+    out += ".names x" + std::to_string(o.signal) + " " + out_name(h) + "\n";
+    out += o.complemented ? "0 1\n" : "1 1\n";
+  }
   out += ".end\n";
   return out;
 }
@@ -86,15 +102,24 @@ std::string to_blif(const boolean_chain& chain,
 std::string to_verilog(const boolean_chain& chain,
                        const std::string& module_name) {
   const unsigned n = chain.num_inputs();
+  const unsigned m = chain.num_outputs();
+  auto out_name = [&](unsigned h) {
+    return m == 1 ? std::string{"f"} : "f" + std::to_string(h);
+  };
   std::string out = "module " + module_name + "(";
   for (unsigned v = 0; v < n; ++v) {
     out += "x" + std::to_string(v) + ", ";
   }
-  out += "f);\n";
+  for (unsigned h = 0; h < m; ++h) {
+    out += out_name(h) + (h + 1 == m ? "" : ", ");
+  }
+  out += ");\n";
   for (unsigned v = 0; v < n; ++v) {
     out += "  input x" + std::to_string(v) + ";\n";
   }
-  out += "  output f;\n";
+  for (unsigned h = 0; h < m; ++h) {
+    out += "  output " + out_name(h) + ";\n";
+  }
   for (std::size_t j = 0; j < chain.steps().size(); ++j) {
     out += "  wire x" + std::to_string(n + j) + ";\n";
   }
@@ -119,9 +144,13 @@ std::string to_verilog(const boolean_chain& chain,
     }
     out += "  assign x" + std::to_string(n + j) + " = " + expr + ";\n";
   }
-  out += "  assign f = " +
-         std::string{chain.output_complemented() ? "~" : ""} + "x" +
-         std::to_string(chain.output()) + ";\nendmodule\n";
+  for (unsigned h = 0; h < m; ++h) {
+    const auto& o = chain.outputs()[h];
+    out += "  assign " + out_name(h) + " = " +
+           std::string{o.complemented ? "~" : ""} + "x" +
+           std::to_string(o.signal) + ";\n";
+  }
+  out += "endmodule\n";
   return out;
 }
 

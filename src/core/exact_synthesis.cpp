@@ -6,6 +6,7 @@
 #include "synth/bms.hpp"
 #include "synth/cegar.hpp"
 #include "synth/fen.hpp"
+#include "util/stopwatch.hpp"
 
 namespace stpes::core {
 
@@ -44,7 +45,12 @@ engine engine_from_string(std::string_view name) {
   throw std::invalid_argument{"unknown engine: " + std::string{name}};
 }
 
-synth::result exact_synthesis(const synth::spec& s, engine which) {
+namespace {
+
+/// Dispatches to the selected engine; the spec's targets must already be
+/// non-degenerate and pairwise distinct modulo complement (the pre-pass
+/// below guarantees it).
+synth::result run_engine(const synth::spec& s, engine which) {
   switch (which) {
     case engine::stp:
       return synth::stp_synthesize(s);
@@ -64,11 +70,68 @@ synth::result exact_synthesis(const synth::spec& s, engine which) {
   throw std::logic_error{"exact_synthesis: bad engine"};
 }
 
+}  // namespace
+
+synth::result exact_synthesis(const synth::spec& s, engine which) {
+  // Shared degenerate pre-pass: constants, literals, duplicate and
+  // complemented outputs are classified once here, so no engine ever
+  // searches for them (they used to re-implement this check one by one).
+  const auto targets = s.targets();
+  const auto plan = synth::analyze_outputs(targets);
+
+  if (plan.all_degenerate()) {
+    util::stopwatch watch;
+    synth::result out;
+    if (targets.size() == 1) {
+      // The historical m = 1 chains (const-1 as a 0xF step, not a
+      // complemented const-0 output) stay bit-identical.
+      (void)synth::synthesize_degenerate(targets.front(), out);
+      out.seconds = watch.elapsed_seconds();
+      return out;
+    }
+    out.outcome = synth::status::success;
+    out.optimum_gates = plan.needs_constant ? 1u : 0u;
+    out.chains = {synth::bind_plan_outputs(
+        plan, chain::boolean_chain{targets.front().num_vars()})};
+    out.seconds = watch.elapsed_seconds();
+    return out;
+  }
+
+  synth::spec engine_spec = s;
+  if (plan.distinct.size() == 1) {
+    engine_spec.function = plan.distinct.front();
+    engine_spec.functions.clear();
+  } else {
+    engine_spec.functions = plan.distinct;
+    engine_spec.function = tt::truth_table{};
+  }
+  auto r = run_engine(engine_spec, which);
+  if (!r.ok()) {
+    return r;
+  }
+  for (auto& c : r.chains) {
+    c = synth::bind_plan_outputs(plan, std::move(c));
+  }
+  if (plan.needs_constant) {
+    ++r.optimum_gates;  // the shared const-0 step appended by the bind
+  }
+  return r;
+}
+
 synth::result exact_synthesis(const tt::truth_table& function, engine which,
                               double timeout_seconds) {
   run_context ctx{timeout_seconds};
   synth::spec s;
   s.function = function;
+  s.ctx = &ctx;
+  return exact_synthesis(s, which);
+}
+
+synth::result exact_synthesis(const std::vector<tt::truth_table>& functions,
+                              engine which, double timeout_seconds) {
+  run_context ctx{timeout_seconds};
+  synth::spec s;
+  s.functions = functions;
   s.ctx = &ctx;
   return exact_synthesis(s, which);
 }

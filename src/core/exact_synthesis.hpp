@@ -36,9 +36,14 @@ const char* to_string(engine e);
 /// anything else).
 engine engine_from_string(std::string_view name);
 
-/// Runs `which` on the given spec.  `s.ctx` (when set) carries the
-/// deadline, the cancel flag, and accumulates per-stage counters; the
-/// per-call counter delta is also returned in `result::counters`.
+/// Runs `which` on the given spec (single- or multi-output).  A shared
+/// pre-pass classifies every requested output first (constants, literals,
+/// duplicates, complements — `synth::analyze_outputs`), so engines only
+/// ever search for the pairwise-distinct non-degenerate functions; the
+/// requested outputs are bound back onto each returned chain.  `s.ctx`
+/// (when set) carries the deadline, the cancel flag, and accumulates
+/// per-stage counters; the per-call counter delta is also returned in
+/// `result::counters`.
 synth::result exact_synthesis(const synth::spec& s,
                               engine which = engine::stp);
 
@@ -46,6 +51,12 @@ synth::result exact_synthesis(const synth::spec& s,
 /// context (0 = unbounded).  Not cancellable from outside — callers that
 /// need that must own a `run_context` and use the spec overload.
 synth::result exact_synthesis(const tt::truth_table& function,
+                              engine which = engine::stp,
+                              double timeout_seconds = 0.0);
+
+/// Multi-output convenience overload: one chain realizing all of
+/// `functions`, in order.
+synth::result exact_synthesis(const std::vector<tt::truth_table>& functions,
                               engine which = engine::stp,
                               double timeout_seconds = 0.0);
 

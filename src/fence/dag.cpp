@@ -55,6 +55,24 @@ std::vector<unsigned> dag_topology::gates_in_cone() const {
   return count;
 }
 
+std::vector<int> dag_topology::roots() const {
+  std::vector<bool> has_fanout(gates.size(), false);
+  for (const auto& g : gates) {
+    for (const int fi : g.fanin) {
+      if (fi != kPiSlot) {
+        has_fanout[static_cast<std::size_t>(fi)] = true;
+      }
+    }
+  }
+  std::vector<int> out;
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    if (!has_fanout[g]) {
+      out.push_back(static_cast<int>(g));
+    }
+  }
+  return out;
+}
+
 std::string dag_topology::signature() const {
   std::string out;
   for (const auto& g : gates) {
@@ -94,7 +112,9 @@ struct generator {
   }
 
   void emit() {
-    // Every non-root gate needs a fanout; optionally restrict to trees.
+    // At most `max_outputs` gates may dangle (each must later carry an
+    // output); optionally restrict to trees.  The top gate always
+    // dangles, so max_outputs == 1 reproduces the single-root family.
     const unsigned k = current.num_gates();
     std::vector<unsigned> fanout(k, 0);
     for (const auto& g : current.gates) {
@@ -104,9 +124,13 @@ struct generator {
         }
       }
     }
+    unsigned dangling = 1;  // the last gate, by construction
     for (unsigned g = 0; g + 1 < k; ++g) {
-      if (fanout[g] == 0 ||
-          (!options.allow_shared_gates && fanout[g] > 1)) {
+      if (fanout[g] == 0 && ++dangling > options.max_outputs) {
+        pruned();
+        return;
+      }
+      if (!options.allow_shared_gates && fanout[g] > 1) {
         pruned();
         return;
       }

@@ -48,6 +48,10 @@ struct dag_topology {
   [[nodiscard]] int root() const {
     return static_cast<int>(gates.size()) - 1;
   }
+  /// All fanout-free gates in index order.  Single-output topologies have
+  /// exactly one (== root()); multi-output generation allows up to
+  /// `dag_options::max_outputs`, and each must be bound to an output.
+  [[nodiscard]] std::vector<int> roots() const;
   /// Total number of open PI slots.
   [[nodiscard]] unsigned num_pi_slots() const;
   /// Number of open PI slots in the cone of each gate (counting a shared
@@ -69,6 +73,10 @@ struct dag_options {
   bool allow_shared_gates = true;
   /// Hard cap on the number of topologies generated (0 = unlimited).
   std::size_t limit = 0;
+  /// Number of chain outputs the topologies may serve: up to this many
+  /// gates may be fanout-free (each such gate must later be bound to an
+  /// output).  1 reproduces the classic single-root family.
+  unsigned max_outputs = 1;
 };
 
 /// All valid DAG topologies for one fence.  With a `ctx`, every emitted

@@ -82,4 +82,41 @@ std::vector<fence> pruned_fences(unsigned k, core::run_context* ctx) {
   return out;
 }
 
+bool is_pruned_valid_multi(const fence& f, unsigned max_outputs) {
+  if (f.widths.empty()) {
+    return false;
+  }
+  // Walking top-down, every gate a level's consumers cannot absorb must
+  // dangle, and a chain with m outputs has at most m dangling gates (a
+  // dangling gate in no output's cone contradicts optimality).  The top
+  // level has no consumers, so it dangles entirely.
+  unsigned above = 0;
+  unsigned forced_dangling = 0;
+  for (std::size_t i = f.widths.size(); i-- > 0;) {
+    const unsigned consumable = 2 * above;
+    if (f.widths[i] > consumable) {
+      forced_dangling += f.widths[i] - consumable;
+      if (forced_dangling > max_outputs) {
+        return false;
+      }
+    }
+    above += f.widths[i];
+  }
+  return true;
+}
+
+std::vector<fence> pruned_fences_multi(unsigned k, unsigned max_outputs,
+                                       core::run_context* ctx) {
+  std::vector<fence> out;
+  for (const auto& f : all_fences(k)) {
+    if (is_pruned_valid_multi(f, max_outputs)) {
+      out.push_back(f);
+    }
+  }
+  if (ctx != nullptr) {
+    ctx->counters.fences_enumerated += out.size();
+  }
+  return out;
+}
+
 }  // namespace stpes::fence

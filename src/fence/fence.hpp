@@ -52,4 +52,16 @@ std::vector<fence> pruned_fences(unsigned k,
 /// True iff `f` survives the paper's pruning rules.
 bool is_pruned_valid(const fence& f);
 
+/// Multi-output generalization of the pruning rules: a chain with up to
+/// `max_outputs` outputs may leave up to that many gates without fanout
+/// (each dangling gate must be an output signal), so a level may exceed
+/// the fanin capacity of the levels above by the remaining dangle budget.
+/// `is_pruned_valid_multi(f, 1) == is_pruned_valid(f)`.
+bool is_pruned_valid_multi(const fence& f, unsigned max_outputs);
+
+/// The pruned fence family for chains with up to `max_outputs` outputs.
+/// Counts into `fences_enumerated` like `pruned_fences`.
+std::vector<fence> pruned_fences_multi(unsigned k, unsigned max_outputs,
+                                       core::run_context* ctx = nullptr);
+
 }  // namespace stpes::fence

@@ -68,6 +68,29 @@ public:
     return read_result_reply("OK");
   }
 
+  /// Multi-output `SYNTH`: one chain realizing every listed function over
+  /// the same inputs, in order (a comma-separated hex list on the wire).
+  /// The reply's chains are `mchain` lines; `simulate_output(k)` of any of
+  /// them realizes `functions[k]`.
+  synth_reply synth(core::engine engine,
+                    const std::vector<tt::truth_table>& functions,
+                    std::optional<double> timeout_seconds = std::nullopt) {
+    if (functions.empty()) {
+      throw std::invalid_argument{"line_client::synth: empty function list"};
+    }
+    std::ostringstream req;
+    req << "SYNTH " << core::to_string(engine) << " "
+        << functions.front().num_vars() << " ";
+    for (std::size_t k = 0; k < functions.size(); ++k) {
+      req << (k == 0 ? "" : ",") << functions[k].to_hex();
+    }
+    if (timeout_seconds.has_value()) {
+      req << " " << *timeout_seconds;
+    }
+    send(req.str());
+    return read_result_reply("OK");
+  }
+
   /// `BATCH ... END`; one reply per request, in request order.
   std::vector<synth_reply> batch(
       const std::vector<std::pair<core::engine, tt::truth_table>>&

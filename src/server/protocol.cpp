@@ -67,7 +67,7 @@ std::vector<std::string> tokenize(std::string_view line) {
 synth_args parse_synth_args(const std::vector<std::string>& tokens,
                             const request_limits& limits) {
   if (tokens.size() < 3 || tokens.size() > 4) {
-    reject("want <engine> <n> <hex-tt> [timeout_s]");
+    reject("want <engine> <n> <hex-tt>[,<hex-tt>...] [timeout_s]");
   }
   synth_args args;
   try {
@@ -95,19 +95,49 @@ synth_args parse_synth_args(const std::vector<std::string>& tokens,
     num_vars = static_cast<unsigned>(value);
   }
 
-  std::string hex = tokens[2];
-  if (hex.rfind("0x", 0) == 0 || hex.rfind("0X", 0) == 0) {
-    hex.erase(0, 2);
+  // The payload is a comma-separated hex list: one table per output.
+  // Single-entry lists take the historical single-output path, so their
+  // parse (and every ERR message it can produce) is unchanged.
+  std::vector<std::string> hex_list;
+  {
+    const std::string& payload = tokens[2];
+    std::size_t begin = 0;
+    while (begin <= payload.size()) {
+      const auto comma = payload.find(',', begin);
+      hex_list.push_back(payload.substr(
+          begin, comma == std::string::npos ? std::string::npos
+                                            : comma - begin));
+      if (comma == std::string::npos) {
+        break;
+      }
+      begin = comma + 1;
+    }
   }
-  if (hex.size() != hex_digits_for(num_vars)) {
-    reject("truth table payload is " + std::to_string(hex.size()) +
-           " hex digits, n=" + std::to_string(num_vars) + " needs " +
-           std::to_string(hex_digits_for(num_vars)));
+  if (hex_list.size() > limits.max_outputs) {
+    reject("too many outputs: " + std::to_string(hex_list.size()) +
+           ", max " + std::to_string(limits.max_outputs));
   }
-  try {
-    args.function = tt::truth_table::from_hex(num_vars, hex);
-  } catch (const std::exception& e) {
-    reject(std::string{"bad truth table: "} + e.what());
+  std::vector<tt::truth_table> functions;
+  functions.reserve(hex_list.size());
+  for (auto& hex : hex_list) {
+    if (hex.rfind("0x", 0) == 0 || hex.rfind("0X", 0) == 0) {
+      hex.erase(0, 2);
+    }
+    if (hex.size() != hex_digits_for(num_vars)) {
+      reject("truth table payload is " + std::to_string(hex.size()) +
+             " hex digits, n=" + std::to_string(num_vars) + " needs " +
+             std::to_string(hex_digits_for(num_vars)));
+    }
+    try {
+      functions.push_back(tt::truth_table::from_hex(num_vars, hex));
+    } catch (const std::exception& e) {
+      reject(std::string{"bad truth table: "} + e.what());
+    }
+  }
+  if (functions.size() == 1) {
+    args.function = std::move(functions.front());
+  } else {
+    args.functions = std::move(functions);
   }
 
   if (tokens.size() == 4) {
@@ -128,10 +158,14 @@ synth_args parse_synth_args(const std::vector<std::string>& tokens,
 
 void write_result_block(std::ostream& os, std::string_view head,
                         const synth::result& result,
-                        std::uint64_t request_id) {
+                        std::uint64_t request_id,
+                        std::size_t num_outputs) {
   os << head << " " << synth::to_string(result.outcome) << " "
      << result.optimum_gates << " " << result.chains.size() << " "
      << result.seconds;
+  if (num_outputs >= 2) {
+    os << " outputs=" << num_outputs;
+  }
   if (request_id != 0) {
     os << " id=" << request_id;
   }

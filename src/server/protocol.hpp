@@ -5,8 +5,8 @@
 /// client that can write to a socket (netcat, a Python rewrite loop, the
 /// bundled `stpes-client`) can use it:
 ///
-///     SYNTH <engine> <n> <hex-tt> [timeout_s]
-///     BATCH ... <engine> <n> <hex-tt> [timeout_s] per line ... END
+///     SYNTH <engine> <n> <hex-tt>[,<hex-tt>...] [timeout_s]
+///     BATCH ... <engine> <n> <hex-tt>[,...] [timeout_s] per line ... END
 ///     SWEEP <path> [timeout_s] [prover]
 ///     STATS [TEXT|JSON]
 ///     SAVE <path>
@@ -21,12 +21,22 @@
 /// sentinel-terminated: the OK line carries how many lines (or result
 /// blocks) follow, so a client always knows when a reply is complete.
 ///
-///     SYNTH reply:  OK <status> <gates> <num_chains> <seconds> id=<id>
-///                   then exactly <num_chains> `chain ...` lines
+///     SYNTH reply:  OK <status> <gates> <num_chains> <seconds>
+///                   [outputs=<m>] id=<id>
+///                   then exactly <num_chains> `chain ...` (or, for
+///                   m >= 2, `mchain ...`) lines
 ///     BATCH reply:  OK <count> id=<id>
 ///                   then <count> blocks, each
 ///                   RESULT <index> <status> <gates> <num_chains> <seconds>
+///                   [outputs=<m>]
 ///                   followed by its <num_chains> chain lines
+///
+/// A comma-separated hex list makes the request multi-output: one chain
+/// realizing every listed function over the same `n` inputs, in order.
+/// `outputs=<m>` is echoed on the head line only for m >= 2, so
+/// single-output replies are byte-identical to the previous protocol
+/// generation (count-driven readers that ignore unknown trailing tokens
+/// need no change either way).
 ///     SWEEP reply:  OK swept <ands_before> <ands_after> <merged> <proofs>
 ///                   <refutations> <sim_rounds> <seconds> id=<id>
 ///     STATS reply:  OK <num_lines>  then that many lines
@@ -89,15 +99,25 @@ struct request_limits {
   std::size_t max_line_bytes = 4096;
   /// Requests per BATCH block.
   std::size_t max_batch_requests = 4096;
+  /// Outputs per request (comma-separated hex list entries).
+  std::size_t max_outputs = 8;
   /// Largest AIG (in AND nodes) a SWEEP request may load; a bigger file
   /// is refused after the header, before any simulation or proving.
   std::size_t max_aig_ands = 1u << 20;
 };
 
-/// A parsed `SYNTH`-shaped request body: `<engine> <n> <hex> [timeout_s]`.
+/// A parsed `SYNTH`-shaped request body:
+/// `<engine> <n> <hex>[,<hex>...] [timeout_s]`.
 struct synth_args {
   core::engine engine = core::engine::stp;
   tt::truth_table function;
+  /// Multi-output request (comma-separated hex list): when non-empty,
+  /// `function` is ignored (the same convention as `synth::spec`).
+  std::vector<tt::truth_table> functions;
+  /// Requested output count (1 for the classic single-output form).
+  [[nodiscard]] std::size_t num_outputs() const {
+    return functions.empty() ? 1 : functions.size();
+  }
   std::optional<double> timeout_seconds;
 };
 
@@ -130,11 +150,14 @@ enum class line_status {
 
 /// Writes `<status> <gates> <num_chains> <seconds>` plus the chain lines.
 /// `head` is the reply head to print first ("OK" or "RESULT <i>").
-/// A nonzero `request_id` appends ` id=<id>` to the head line (a trailing
-/// token, so count-driven readers that ignore extras stay compatible).
+/// `num_outputs >= 2` appends ` outputs=<m>`, and a nonzero `request_id`
+/// appends ` id=<id>`, to the head line (trailing tokens, so count-driven
+/// readers that ignore extras stay compatible; single-output head lines
+/// are unchanged).
 void write_result_block(std::ostream& os, std::string_view head,
                         const synth::result& result,
-                        std::uint64_t request_id = 0);
+                        std::uint64_t request_id = 0,
+                        std::size_t num_outputs = 1);
 
 /// Writes the single-line `ERR <reason>` reply.
 void write_error(std::ostream& os, std::string_view reason);

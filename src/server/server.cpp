@@ -151,10 +151,13 @@ void synthesis_server::handle_synth(const std::vector<std::string>& tokens,
                                     std::ostream& out,
                                     std::uint64_t& session_requests) {
   service::batch_request request;
+  std::size_t num_outputs = 1;
   try {
     auto args = parse_synth_args(
         {tokens.begin() + 1, tokens.end()}, options_.limits);
+    num_outputs = args.num_outputs();
     request.function = std::move(args.function);
+    request.functions = std::move(args.functions);
     request.engine = args.engine;
     request.timeout_seconds = effective_timeout(args.timeout_seconds);
   } catch (const protocol_error& e) {
@@ -179,7 +182,7 @@ void synthesis_server::handle_synth(const std::vector<std::string>& tokens,
     write_error(out, "timeout");
     return;
   }
-  write_result_block(out, "OK", result, id);
+  write_result_block(out, "OK", result, id, num_outputs);
 }
 
 bool synthesis_server::handle_batch(std::istream& in, std::ostream& out,
@@ -188,6 +191,7 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out,
   // cannot desynchronize the session (later body lines must never be
   // re-interpreted as commands).
   std::vector<service::batch_request> requests;
+  std::vector<std::size_t> request_outputs;  ///< per request, for the echo
   std::string first_error;
   std::size_t body_lines = 0;
   std::string line;
@@ -228,7 +232,9 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out,
     try {
       auto args = parse_synth_args(tokenize(line), options_.limits);
       service::batch_request request;
+      request_outputs.push_back(args.num_outputs());
       request.function = std::move(args.function);
+      request.functions = std::move(args.functions);
       request.engine = args.engine;
       request.timeout_seconds = effective_timeout(args.timeout_seconds);
       requests.push_back(std::move(request));
@@ -262,7 +268,7 @@ bool synthesis_server::handle_batch(std::istream& in, std::ostream& out,
       timeouts_.fetch_add(1, std::memory_order_relaxed);
     }
     write_result_block(out, "RESULT " + std::to_string(i),
-                       batch.results[i]);
+                       batch.results[i], 0, request_outputs[i]);
   }
   return true;
 }

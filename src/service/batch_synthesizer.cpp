@@ -117,45 +117,59 @@ batch_result batch_synthesizer::run(
   batch_result out;
   out.results.resize(requests.size());
 
-  // Group cacheable requests by (engine, canonical class).  A std::map
-  // keyed by the canonical table keeps submission order deterministic.
+  // Group cacheable requests by (engine, cache key).  A std::map keyed by
+  // the key's function list keeps submission order deterministic.  Single-
+  // output requests (n <= 5) canonize first, so the key is the NPN class
+  // representative; multi-output requests key on the exact function list
+  // (no NPN for m >= 2) and skip the rewrite step.
   struct member {
     std::size_t index;
-    tt::npn_transform transform;
+    tt::npn_transform transform;  ///< canonized groups only
   };
   struct group {
     core::engine engine{};
-    tt::truth_table canonical;
-    double timeout = 0.0;  ///< max over members; no request gets less
+    cache_key key;
+    bool canonized = false;  ///< rewrite members through the inverse NPN
+    double timeout = 0.0;    ///< max over members; no request gets less
     std::vector<member> members;
   };
-  std::map<std::pair<int, tt::truth_table>, group> groups;
-  std::vector<std::size_t> bypass;  ///< request indices with n > 5
+  std::map<std::pair<int, std::vector<tt::truth_table>>, group> groups;
+  std::vector<std::size_t> bypass;  ///< single-output indices with n > 5
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     metrics_.on_request();
     const auto& req = requests[i];
-    if (req.function.num_vars() > 5) {
+    const bool multi = req.functions.size() >= 2;
+    if (!multi && req.targets().front().num_vars() > 5) {
       bypass.push_back(i);
       continue;
     }
     const auto engine = req.engine.value_or(options_.engine);
     const auto timeout =
         req.timeout_seconds.value_or(options_.timeout_seconds);
-    auto canon = tt::exact_npn_canonize(req.function);
-    const std::pair<int, tt::truth_table> key{static_cast<int>(engine),
-                                              canon.canonical};
-    auto it = groups.find(key);
+    member m{i, {}};
+    cache_key key;
+    if (multi) {
+      key.functions = req.functions;
+    } else {
+      auto canon = tt::exact_npn_canonize(req.targets().front());
+      key.functions = {canon.canonical};
+      m.transform = std::move(canon.transform);
+    }
+    const std::pair<int, std::vector<tt::truth_table>> map_key{
+        static_cast<int>(engine), key.functions};
+    auto it = groups.find(map_key);
     if (it == groups.end()) {
       group g;
       g.engine = engine;
-      g.canonical = canon.canonical;
+      g.key = std::move(key);
+      g.canonized = !multi;
       g.timeout = timeout;
-      g.members.push_back(member{i, std::move(canon.transform)});
-      groups.emplace(key, std::move(g));
+      g.members.push_back(std::move(m));
+      groups.emplace(map_key, std::move(g));
     } else {
       it->second.timeout = std::max(it->second.timeout, timeout);
-      it->second.members.push_back(member{i, std::move(canon.transform)});
+      it->second.members.push_back(std::move(m));
     }
   }
   out.unique_classes = groups.size();
@@ -176,10 +190,10 @@ batch_result batch_synthesizer::run(
       try {
         bool computed = false;
         const auto canonical_result = cache_for(gp->engine).get_or_compute(
-            gp->canonical, [this, gp, epoch, request_id, &computed] {
+            gp->key, [this, gp, epoch, request_id, &computed] {
               computed = true;
-              return run_cancellable(gp->canonical, gp->engine, gp->timeout,
-                                     epoch, request_id);
+              return run_cancellable(gp->key.functions, gp->engine,
+                                     gp->timeout, epoch, request_id);
             });
         if (computed) {
           metrics_.on_cache_miss();
@@ -197,8 +211,12 @@ batch_result batch_synthesizer::run(
           }
           slot.chains.reserve(canonical_result.chains.size());
           for (const auto& c : canonical_result.chains) {
+            // Exact-key (multi-output) groups cached the requested
+            // functions verbatim; only canonized groups rewrite.
             slot.chains.push_back(
-                chain::apply_inverse_npn_to_chain(c, m.transform));
+                gp->canonized
+                    ? chain::apply_inverse_npn_to_chain(c, m.transform)
+                    : c);
           }
         }
       } catch (const job_cancelled& c) {
@@ -235,7 +253,7 @@ batch_result batch_synthesizer::run(
                  &out, latch] {
       try {
         metrics_.on_bypass();
-        out.results[index] = run_cancellable(requests[index].function,
+        out.results[index] = run_cancellable(requests[index].targets(),
                                              engine, timeout, epoch,
                                              request_id);
       } catch (const job_cancelled& c) {
@@ -272,7 +290,7 @@ batch_result batch_synthesizer::run(
   std::vector<batch_request> requests;
   requests.reserve(functions.size());
   for (const auto& f : functions) {
-    requests.push_back(batch_request{f, std::nullopt, std::nullopt});
+    requests.push_back(batch_request{f, {}, std::nullopt, std::nullopt});
   }
   return run(requests);
 }
@@ -370,7 +388,7 @@ void batch_synthesizer::warm_entries(const std::vector<cache_entry>& entries,
       ++report.skipped_budget;
       continue;
     }
-    if (cache.insert(e.function, e.result)) {
+    if (cache.insert(cache_key{e.targets()}, e.result)) {
       ++report.loaded;
     } else {
       ++report.duplicates;
@@ -392,25 +410,32 @@ reload_report batch_synthesizer::reload_cache(const std::string& path) {
 std::size_t batch_synthesizer::persist_cache(const std::string& path) const {
   auto dumped = cache_for(options_.engine).dump();
   // Deterministic file order regardless of shard/hash layout.
-  std::sort(dumped.begin(), dumped.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(dumped.begin(), dumped.end(), [](const auto& a, const auto& b) {
+    return a.first.functions < b.first.functions;
+  });
   std::vector<cache_entry> entries;
   entries.reserve(dumped.size());
   const entry_meta meta{wire_engine_name(options_.engine),
                         options_.timeout_seconds};
-  for (auto& [function, result] : dumped) {
-    entry_meta entry_provenance = meta;
-    entry_provenance.partial = !result.enumeration_complete;
-    entries.push_back(
-        cache_entry{function, std::move(result), entry_provenance});
+  for (auto& [key, result] : dumped) {
+    cache_entry e;
+    if (key.functions.size() == 1) {
+      e.function = key.functions.front();
+    } else {
+      e.functions = key.functions;
+    }
+    e.result = std::move(result);
+    e.meta = meta;
+    e.meta->partial = !e.result.enumeration_complete;
+    entries.push_back(std::move(e));
   }
   save_cache_file(path, entries);
   return entries.size();
 }
 
 synth::result batch_synthesizer::run_cancellable(
-    const tt::truth_table& function, core::engine engine, double timeout,
-    std::uint64_t cancel_epoch, std::uint64_t request_id) {
+    const std::vector<tt::truth_table>& functions, core::engine engine,
+    double timeout, std::uint64_t cancel_epoch, std::uint64_t request_id) {
   core::run_context ctx{timeout};
   {
     std::lock_guard<std::mutex> lock{active_mutex_};
@@ -429,7 +454,11 @@ synth::result batch_synthesizer::run_cancellable(
   synth::result r;
   try {
     synth::spec s;
-    s.function = function;
+    if (functions.size() == 1) {
+      s.function = functions.front();
+    } else {
+      s.functions = functions;
+    }
     s.ctx = &ctx;
     r = core::exact_synthesis(s, engine);
   } catch (...) {

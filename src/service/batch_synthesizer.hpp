@@ -5,18 +5,23 @@
 /// vector of truth tables (e.g. all cuts of a network) and it returns one
 /// `synth::result` per input, computed as follows:
 ///
-///  1. NPN-canonize every request (n <= 5) and group requests by
-///     (engine, canonical class) — duplicate work collapses up front.
-///  2. Schedule exactly one exact-synthesis run per unique class on the
+///  1. NPN-canonize every single-output request (n <= 5) and group
+///     requests by (engine, canonical class) — duplicate work collapses up
+///     front.  Multi-output requests (m >= 2) have no NPN class algebra;
+///     they group by (engine, exact function list) and hit the cache's
+///     exact-key path instead (keyed on the concatenated truth-table
+///     words, see `service::cache_key`).
+///  2. Schedule exactly one exact-synthesis run per unique key on the
 ///     thread pool; the sharded cache's single-flight guarantee keeps this
 ///     true even across overlapping `run()` calls sharing one synthesizer.
 ///  3. Rewrite the cached canonical chains back through
-///     `chain::apply_inverse_npn_to_chain` per request.
+///     `chain::apply_inverse_npn_to_chain` per request (single-output
+///     groups only — exact-key results are returned as cached).
 ///
-/// Results are bitwise identical to the serial
+/// Single-output results are bitwise identical to the serial
 /// `core::npn_cached_synthesizer` path: same canonical run, same structural
-/// rewrite, same chain order.  Functions with n > 5 bypass the cache and
-/// are synthesized directly (still in parallel).
+/// rewrite, same chain order.  Single-output functions with n > 5 bypass
+/// the cache and are synthesized directly (still in parallel).
 ///
 /// The cache can be warmed from / persisted to a `chain_io` file, carrying
 /// synthesis effort across process runs.
@@ -55,10 +60,20 @@ struct batch_options {
   std::size_t max_pending_jobs = 0;
 };
 
-/// One synthesis request: a function plus optional per-request overrides of
-/// the batch defaults.
+/// One synthesis request: a function (or an ordered m-output function
+/// list) plus optional per-request overrides of the batch defaults.
 struct batch_request {
   tt::truth_table function;
+  /// Multi-output request: when non-empty, one chain must realize all of
+  /// these functions in order and `function` is ignored (the same
+  /// convention as `synth::spec`).
+  std::vector<tt::truth_table> functions;
+  /// The effective target list: `functions` when non-empty, else
+  /// `{function}`.
+  [[nodiscard]] std::vector<tt::truth_table> targets() const {
+    return functions.empty() ? std::vector<tt::truth_table>{function}
+                             : functions;
+  }
   std::optional<core::engine> engine;
   std::optional<double> timeout_seconds;
 };
@@ -208,11 +223,12 @@ private:
   shard_cache& cache_for(core::engine e);
   const shard_cache& cache_for(core::engine e) const;
 
-  /// Runs the engine for `function` under a registered, cancellable run
-  /// context; `cancel_epoch` is the epoch observed when the job was
-  /// queued (a newer epoch means the job was cancelled while queued) and
-  /// `request_id` tags the context for per-request cancellation.
-  synth::result run_cancellable(const tt::truth_table& function,
+  /// Runs the engine for the target list (size 1 = classic single-output)
+  /// under a registered, cancellable run context; `cancel_epoch` is the
+  /// epoch observed when the job was queued (a newer epoch means the job
+  /// was cancelled while queued) and `request_id` tags the context for
+  /// per-request cancellation.
+  synth::result run_cancellable(const std::vector<tt::truth_table>& functions,
                                 core::engine engine, double timeout,
                                 std::uint64_t cancel_epoch,
                                 std::uint64_t request_id);

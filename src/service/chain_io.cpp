@@ -24,6 +24,7 @@ namespace {
 
 constexpr const char* kHeaderV1 = "stpes-chains v1";
 constexpr const char* kHeaderV2 = "stpes-chains v2";
+constexpr const char* kHeaderV3 = "stpes-chains v3";
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error{"chain_io: " + what};
@@ -114,9 +115,14 @@ std::string crc_hex(std::uint32_t crc) {
 /// The entry block (entry + meta + chain lines, each newline-terminated)
 /// exactly as written to disk — the bytes the CRC covers.
 std::string serialize_entry(const cache_entry& e) {
+  const auto fs = e.targets();
   std::ostringstream os;
-  os << "entry " << e.function.to_hex() << " " << e.function.num_vars()
-     << " " << synth::to_string(e.result.outcome) << " "
+  os << "entry ";
+  for (std::size_t k = 0; k < fs.size(); ++k) {
+    os << (k == 0 ? "" : ",") << fs[k].to_hex();
+  }
+  os << " " << fs.front().num_vars() << " "
+     << synth::to_string(e.result.outcome) << " "
      << e.result.optimum_gates << " " << e.result.seconds << " "
      << e.result.chains.size() << "\n";
   if (e.meta.has_value()) {
@@ -137,11 +143,12 @@ std::string serialize_entry(const cache_entry& e) {
 }
 
 /// Parses one entry starting at `lines[i]` (which must be an `entry`
-/// line).  Returns the entry and the index of the first line after its
-/// block.  Throws `std::runtime_error` on any damage; the caller decides
-/// whether that aborts the load (strict) or skips the entry (lenient).
+/// line).  `version` is the file's declared format generation (1..3).
+/// Returns the entry and the index of the first line after its block.
+/// Throws `std::runtime_error` on any damage; the caller decides whether
+/// that aborts the load (strict) or skips the entry (lenient).
 std::pair<cache_entry, std::size_t> parse_entry(
-    const std::vector<std::string>& lines, std::size_t i, bool v2) {
+    const std::vector<std::string>& lines, std::size_t i, int version) {
   const std::size_t block_begin = i;
   const auto toks = tokens_after(lines[i], "entry");
   if (toks.size() != 6) {
@@ -152,10 +159,36 @@ std::pair<cache_entry, std::size_t> parse_entry(
   if (num_vars > 16) {
     fail("num_vars out of range: " + toks[1]);
   }
-  try {
-    e.function = tt::truth_table::from_hex(num_vars, toks[0]);
-  } catch (const std::exception& ex) {
-    fail(std::string{"bad truth table: "} + ex.what());
+  // The first field is a comma-separated target list (one truth table per
+  // output); a pre-v3 file must only ever contain single-function entries.
+  std::vector<tt::truth_table> functions;
+  {
+    std::size_t begin = 0;
+    const std::string& list = toks[0];
+    while (begin <= list.size()) {
+      const auto comma = list.find(',', begin);
+      const auto piece = list.substr(
+          begin, comma == std::string::npos ? std::string::npos
+                                            : comma - begin);
+      try {
+        functions.push_back(tt::truth_table::from_hex(num_vars, piece));
+      } catch (const std::exception& ex) {
+        fail(std::string{"bad truth table: "} + ex.what());
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      begin = comma + 1;
+    }
+  }
+  if (functions.size() > 1 && version < 3) {
+    fail("multi-output entry in a v" + std::to_string(version) +
+         " file (needs v3): " + toks[0]);
+  }
+  if (functions.size() == 1) {
+    e.function = functions.front();
+  } else {
+    e.functions = functions;
   }
   e.result.outcome = parse_status(toks[2]);
   e.result.optimum_gates = parse_unsigned(toks[3], "optimum_gates");
@@ -185,13 +218,21 @@ std::pair<cache_entry, std::size_t> parse_entry(
       fail("chain arity " + std::to_string(c.num_inputs()) +
            " does not match entry arity " + std::to_string(num_vars));
     }
-    if (c.simulate() != e.function) {
-      fail("verification failed: chain does not realize " + toks[0]);
+    if (c.num_outputs() != functions.size()) {
+      fail("chain has " + std::to_string(c.num_outputs()) +
+           " outputs, entry lists " + std::to_string(functions.size()) +
+           " functions");
+    }
+    for (std::size_t k = 0; k < functions.size(); ++k) {
+      if (c.simulate_output(static_cast<unsigned>(k)) != functions[k]) {
+        fail("verification failed: chain output " + std::to_string(k) +
+             " does not realize " + toks[0]);
+      }
     }
     e.result.chains.push_back(std::move(c));
     ++i;
   }
-  if (v2) {
+  if (version >= 2) {
     if (i >= lines.size() || lines[i].rfind("crc ", 0) != 0) {
       fail("missing crc line for entry " + toks[0]);
     }
@@ -230,10 +271,10 @@ load_report load_lines(const std::vector<std::string>& lines,
   while (i < lines.size() && (lines[i].empty() || lines[i][0] == '#')) {
     ++i;
   }
-  bool v2 = false;
+  int version = 1;
   if (i >= lines.size()) {
     if (!lenient) {
-      fail("missing header (want '" + std::string{kHeaderV2} + "')");
+      fail("missing header (want '" + std::string{kHeaderV3} + "')");
     }
     report.skipped.push_back({1, "missing header (empty file)"});
     return report;
@@ -241,19 +282,22 @@ load_report load_lines(const std::vector<std::string>& lines,
   if (lines[i] == kHeaderV1) {
     ++i;
   } else if (lines[i] == kHeaderV2) {
-    v2 = true;
+    version = 2;
+    ++i;
+  } else if (lines[i] == kHeaderV3) {
+    version = 3;
     ++i;
   } else if (lines[i].rfind("stpes-chains ", 0) == 0) {
     // A *known-unsupported* version is rejected loudly in both modes:
     // loading zero entries from a newer-generation file would read as "the
     // cache was cold" when the truth is "this binary cannot read it".
     fail("unsupported format version '" + lines[i].substr(13) +
-         "' (this build reads '" + std::string{kHeaderV1} + "' and '" +
-         std::string{kHeaderV2} + "' only; regenerate the file or upgrade)");
+         "' (this build reads '" + std::string{kHeaderV1} + "' through '" +
+         std::string{kHeaderV3} + "' only; regenerate the file or upgrade)");
   } else {
     if (!lenient) {
       fail("missing or unsupported header (want '" +
-           std::string{kHeaderV2} + "')");
+           std::string{kHeaderV3} + "')");
     }
     // Possibly a torn header write; every entry re-verifies by simulation
     // (and simulation is the integrity check v1 relies on), so salvage
@@ -278,7 +322,7 @@ load_report load_lines(const std::vector<std::string>& lines,
     }
     const std::size_t entry_line = i;
     try {
-      auto [entry, next] = parse_entry(lines, i, v2);
+      auto [entry, next] = parse_entry(lines, i, version);
       report.entries.push_back(std::move(entry));
       i = next;
     } catch (const std::runtime_error& ex) {
@@ -330,15 +374,87 @@ void fsync_parent_dir(const std::string& path) {
 
 std::string serialize_chain(const chain::boolean_chain& c) {
   std::ostringstream os;
-  os << "chain " << c.num_inputs() << " " << c.num_steps() << " "
-     << c.output() << " " << (c.output_complemented() ? 1 : 0);
+  if (c.num_outputs() <= 1) {
+    // The historical v2 grammar, byte for byte: single-output chain lines
+    // (and thus single-output SYNTH replies) are unchanged across the
+    // format generations.
+    os << "chain " << c.num_inputs() << " " << c.num_steps() << " "
+       << c.output() << " " << (c.output_complemented() ? 1 : 0);
+  } else {
+    os << "mchain " << c.num_inputs() << " " << c.num_steps() << " "
+       << c.num_outputs();
+    for (const auto& o : c.outputs()) {
+      os << " " << o.signal << " " << (o.complemented ? 1 : 0);
+    }
+  }
   for (const auto& s : c.steps()) {
     os << " " << s.op << " " << s.fanin[0] << " " << s.fanin[1];
   }
   return os.str();
 }
 
+namespace {
+
+/// Parses the m-output `mchain` grammar:
+/// `mchain <ni> <ns> <m> (<output> <compl>)^m (<op> <f0> <f1>)*`.
+chain::boolean_chain parse_mchain(const std::vector<std::string>& toks,
+                                  std::string_view line) {
+  if (toks.size() < 5) {
+    fail("mchain line too short: " + std::string{line});
+  }
+  const unsigned num_inputs = parse_unsigned(toks[0], "num_inputs");
+  const unsigned num_steps = parse_unsigned(toks[1], "num_steps");
+  const unsigned num_outputs = parse_unsigned(toks[2], "num_outputs");
+  if (num_outputs < 2) {
+    fail("mchain needs >= 2 outputs (single-output lines use 'chain')");
+  }
+  const std::size_t expected = 3 + 2 * static_cast<std::size_t>(num_outputs) +
+                               3 * static_cast<std::size_t>(num_steps);
+  if (toks.size() != expected) {
+    fail("mchain line has " + std::to_string(toks.size()) +
+         " tokens, expected " + std::to_string(expected));
+  }
+  chain::boolean_chain c{num_inputs};
+  const std::size_t steps_at = 3 + 2 * static_cast<std::size_t>(num_outputs);
+  for (unsigned j = 0; j < num_steps; ++j) {
+    const unsigned op = parse_unsigned(toks[steps_at + 3 * j], "op");
+    if (op > 0xF) {
+      fail("op out of range: " + toks[steps_at + 3 * j]);
+    }
+    const unsigned f0 = parse_unsigned(toks[steps_at + 3 * j + 1], "fanin");
+    const unsigned f1 = parse_unsigned(toks[steps_at + 3 * j + 2], "fanin");
+    try {
+      c.add_step(op, f0, f1);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+  for (unsigned k = 0; k < num_outputs; ++k) {
+    const unsigned signal = parse_unsigned(toks[3 + 2 * k], "output");
+    const unsigned compl_flag =
+        parse_unsigned(toks[4 + 2 * k], "output_complemented");
+    if (compl_flag > 1) {
+      fail("output_complemented must be 0 or 1");
+    }
+    try {
+      if (k == 0) {
+        c.set_output(signal, compl_flag == 1);
+      } else {
+        c.add_output(signal, compl_flag == 1);
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
 chain::boolean_chain parse_chain(std::string_view line) {
+  if (line.rfind("mchain", 0) == 0) {
+    return parse_mchain(tokens_after(line, "mchain"), line);
+  }
   const auto toks = tokens_after(line, "chain");
   if (toks.size() < 4) {
     fail("chain line too short: " + std::string{line});
@@ -377,7 +493,7 @@ chain::boolean_chain parse_chain(std::string_view line) {
 }
 
 void save_cache(std::ostream& os, const std::vector<cache_entry>& entries) {
-  os << kHeaderV2 << "\n";
+  os << kHeaderV3 << "\n";
   for (const auto& e : entries) {
     const auto block = serialize_entry(e);
     os << block << "crc " << crc_hex(util::crc32(block)) << "\n";

@@ -1,28 +1,40 @@
 /// \file chain_io.hpp
-/// \brief Compact line-based (de)serialization of Boolean chains and NPN
-///        cache entries, with per-entry checksums and crash-safe saving.
+/// \brief Compact line-based (de)serialization of Boolean chains and
+///        synthesis cache entries, with per-entry checksums and crash-safe
+///        saving.
 ///
-/// The shard cache holds every optimum chain per canonical class; those are
+/// The shard cache holds every optimum chain per cached class; those are
 /// expensive to recompute and cheap to store, so the service can persist the
 /// cache at shutdown and warm it at startup.  The format is a plain text
 /// file meant to be diffable and greppable:
 ///
-///     stpes-chains v2
+///     stpes-chains v3
 ///     entry 0x8ff8 4 success 3 0.0421 2
 ///     meta engine=stp budget=5
 ///     chain 4 3 6 0 8 0 1 6 2 3 14 4 5
 ///     chain 4 3 5 1 6 0 1 14 1 2 8 4 5
 ///     crc 5f3a9c01
+///     entry 0x96,0xe8 3 success 5 0.0087 1
+///     mchain 3 5 7 0 5 1 6 0 1 ...
+///     crc 90211c7e
 ///
-/// `entry <hex> <num_vars> <status> <optimum_gates> <seconds> <num_chains>`
-/// is followed by an optional `meta` line, exactly `num_chains` chain
-/// lines, and (in v2) a `crc <hex32>` line holding the CRC-32 of every
-/// preceding line of the entry block, newlines included.  A chain line is
-/// `chain <num_inputs> <num_steps> <output> <out_compl> (<op> <f0> <f1>)*`.
-/// Loading re-verifies every chain by simulation against the entry's truth
-/// table and rejects any mismatch — a cache file can never inject a wrong
-/// circuit; the checksum additionally catches torn writes and bit flips in
-/// fields that simulation cannot see (seconds, gate counts, metadata).
+/// `entry <hex>[,<hex>...] <num_vars> <status> <optimum_gates> <seconds>
+/// <num_chains>` is followed by an optional `meta` line, exactly
+/// `num_chains` chain lines, and (in v2/v3) a `crc <hex32>` line holding
+/// the CRC-32 of every preceding line of the entry block, newlines
+/// included.  The hex field is the comma-separated target list: one truth
+/// table per output, in output order (no comma for the classic
+/// single-output entry — byte-identical to v2 there).  A single-output
+/// chain line is
+/// `chain <num_inputs> <num_steps> <output> <out_compl> (<op> <f0> <f1>)*`;
+/// an m-output chain (m >= 2, v3 only) is
+/// `mchain <num_inputs> <num_steps> <m> (<output> <out_compl>)^m
+/// (<op> <f0> <f1>)*`.
+/// Loading re-verifies every chain by simulation, output for output,
+/// against the entry's truth tables and rejects any mismatch — a cache
+/// file can never inject a wrong circuit; the checksum additionally
+/// catches torn writes and bit flips in fields that simulation cannot see
+/// (seconds, gate counts, metadata).
 ///
 /// The `meta` line records provenance as `key=value` tokens: `engine=<name>`
 /// names the synthesis engine the entry was computed with, `budget=<s>`
@@ -46,10 +58,12 @@
 ///
 /// Format versioning policy (unchanged from v1): the header line is the
 /// contract.  The loader reads exactly the versions it knows — v1 (no
-/// `crc` lines) and v2 — and a file whose header names any other
-/// `stpes-chains vN` is rejected with an error stating the version; it is
-/// never silently migrated, down-converted, or partially read.  Writers
-/// always emit v2.
+/// `crc` lines), v2, and v3 (multi-output entries) — and a file whose
+/// header names any other `stpes-chains vN` is rejected with an error
+/// stating the version; it is never silently migrated, down-converted, or
+/// partially read.  v1/v2 files load read-only as before; a multi-output
+/// entry or `mchain` line inside a pre-v3 file is damage, not data.
+/// Writers always emit v3.
 ///
 /// `save_cache_file` is crash-safe: it writes to a temporary file in the
 /// same directory, fsyncs it, and atomically renames it over the target,
@@ -88,9 +102,20 @@ struct entry_meta {
   bool partial = false;
 };
 
-/// One persisted cache entry: a function and its full synthesis result.
+/// One persisted cache entry: the target function(s) and the full
+/// synthesis result.
 struct cache_entry {
   tt::truth_table function;
+  /// Multi-output entries: when non-empty, the entry's key is this
+  /// ordered function list and `function` is ignored (the same
+  /// `function` / `functions` convention as `synth::spec`).
+  std::vector<tt::truth_table> functions;
+  /// The effective target list: `functions` when non-empty, else
+  /// `{function}`.
+  [[nodiscard]] std::vector<tt::truth_table> targets() const {
+    return functions.empty() ? std::vector<tt::truth_table>{function}
+                             : functions;
+  }
   synth::result result;
   std::optional<entry_meta> meta;
 };
@@ -107,21 +132,24 @@ struct load_report {
   std::vector<load_skip> skipped;
 };
 
-/// Serializes a chain to one `chain ...` line (no trailing newline).
+/// Serializes a chain to one `chain ...` line (single-output, the v2
+/// grammar byte for byte) or one `mchain ...` line (m >= 2 outputs).  No
+/// trailing newline.
 [[nodiscard]] std::string serialize_chain(const chain::boolean_chain& c);
 
-/// Parses a `chain ...` line.  Throws `std::runtime_error` on malformed
-/// input (wrong token count, non-numeric fields, fanin violating
-/// topological order, bad output signal).
+/// Parses a `chain ...` or `mchain ...` line.  Throws `std::runtime_error`
+/// on malformed input (wrong token count, non-numeric fields, fanin
+/// violating topological order, bad output signal).
 [[nodiscard]] chain::boolean_chain parse_chain(std::string_view line);
 
-/// Writes the versioned v2 header and all entries with per-entry CRCs.
+/// Writes the versioned v3 header and all entries with per-entry CRCs.
 void save_cache(std::ostream& os, const std::vector<cache_entry>& entries);
 
-/// Strict load: parses a v1 or v2 cache file, re-simulating every chain
-/// against its entry's function and (v2) verifying every checksum.  Throws
-/// `std::runtime_error` on version mismatch, malformed lines, checksum
-/// mismatch, or a chain that does not realize its function.
+/// Strict load: parses a v1, v2, or v3 cache file, re-simulating every
+/// chain output against its entry's functions and (v2/v3) verifying every
+/// checksum.  Throws `std::runtime_error` on version mismatch, malformed
+/// lines, checksum mismatch, or a chain that does not realize its
+/// functions.
 [[nodiscard]] std::vector<cache_entry> load_cache(std::istream& is);
 
 /// Lenient load: damaged entries are skipped and reported, intact entries

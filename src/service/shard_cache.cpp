@@ -13,11 +13,11 @@ shard_cache::shard_cache(options opts)
   }
 }
 
-shard_cache::shard& shard_cache::shard_for(const tt::truth_table& key) {
-  return *shards_[key.hash() % shards_.size()];
+shard_cache::shard& shard_cache::shard_for(const cache_key& key) {
+  return *shards_[cache_key_hash{}(key) % shards_.size()];
 }
 
-void shard_cache::touch(shard& s, const tt::truth_table& key) {
+void shard_cache::touch(shard& s, const cache_key& key) {
   auto pos = s.lru_pos.find(key);
   if (pos != s.lru_pos.end()) {
     s.lru.splice(s.lru.begin(), s.lru, pos->second);
@@ -34,7 +34,7 @@ void shard_cache::evict_excess(shard& s) {
   // Only ready entries are in the LRU list; in-flight entries are pinned,
   // so `map.size()` may transiently exceed capacity while computes run.
   while (s.lru.size() > 0 && s.map.size() > capacity_per_shard_) {
-    const tt::truth_table victim = s.lru.back();
+    const cache_key victim = s.lru.back();
     s.lru.pop_back();
     s.lru_pos.erase(victim);
     s.map.erase(victim);
@@ -42,7 +42,7 @@ void shard_cache::evict_excess(shard& s) {
   }
 }
 
-void shard_cache::finish_entry(shard& s, const tt::truth_table& key,
+void shard_cache::finish_entry(shard& s, const cache_key& key,
                                const entry_ptr& e, synth::result value) {
   e->value = std::move(value);
   e->ready = true;
@@ -53,7 +53,7 @@ void shard_cache::finish_entry(shard& s, const tt::truth_table& key,
   s.ready_cv.notify_all();
 }
 
-synth::result shard_cache::get_or_compute(const tt::truth_table& key,
+synth::result shard_cache::get_or_compute(const cache_key& key,
                                           const compute_fn& compute) {
   shard& s = shard_for(key);
   entry_ptr e;
@@ -101,7 +101,7 @@ synth::result shard_cache::get_or_compute(const tt::truth_table& key,
   }
 }
 
-bool shard_cache::insert(const tt::truth_table& key, synth::result value) {
+bool shard_cache::insert(const cache_key& key, synth::result value) {
   STPES_FAILPOINT("shard_cache.insert");
   shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mutex);
@@ -134,9 +134,9 @@ std::size_t shard_cache::clear() {
   return dropped;
 }
 
-std::vector<std::pair<tt::truth_table, synth::result>> shard_cache::dump()
+std::vector<std::pair<cache_key, synth::result>> shard_cache::dump()
     const {
-  std::vector<std::pair<tt::truth_table, synth::result>> out;
+  std::vector<std::pair<cache_key, synth::result>> out;
   for (const auto& sp : shards_) {
     std::lock_guard<std::mutex> lock(sp->mutex);
     for (const auto& [key, e] : sp->map) {

@@ -1,15 +1,19 @@
 /// \file shard_cache.hpp
-/// \brief Sharded, bounded, thread-safe NPN synthesis-result cache with
+/// \brief Sharded, bounded, thread-safe synthesis-result cache with
 ///        single-flight semantics.
 ///
-/// Keys are canonical truth tables (the output of `tt::exact_npn_canonize`);
-/// values are complete `synth::result`s for the canonical representative.
-/// The table is split into N independently-locked shards so concurrent
-/// workers rarely contend; each shard is a bounded LRU.  `get_or_compute`
-/// guarantees *single flight*: when two workers ask for the same missing
-/// class, exactly one runs the (expensive) synthesis while the other blocks
-/// on the in-flight entry — the same contract as Go's singleflight or a
-/// memoizing future.
+/// Keys are ordered target-function lists (`cache_key`).  Single-output
+/// entries hold the NPN-canonical truth table (the output of
+/// `tt::exact_npn_canonize`); multi-output entries hold the raw m-output
+/// function list and match exactly on the concatenation of the tables'
+/// words — NPN class algebra is only defined per function, so for m >= 2
+/// the cache falls back to exact-key identity.  Values are complete
+/// `synth::result`s for the key.  The table is split into N
+/// independently-locked shards so concurrent workers rarely contend; each
+/// shard is a bounded LRU.  `get_or_compute` guarantees *single flight*:
+/// when two workers ask for the same missing key, exactly one runs the
+/// (expensive) synthesis while the other blocks on the in-flight entry —
+/// the same contract as Go's singleflight or a memoizing future.
 ///
 /// Failure results (timeout / unrealizable) are cached like successes,
 /// matching the serial `core::npn_cached_synthesizer` semantics: retrying a
@@ -34,6 +38,32 @@
 #include "tt/truth_table.hpp"
 
 namespace stpes::service {
+
+/// One cache key: the ordered target-function list of a synthesis problem.
+/// m = 1 keys carry the NPN-canonical representative; m >= 2 keys carry
+/// the raw functions and compare exactly, word for word, output for
+/// output (order matters: {f, g} and {g, f} are different problems).
+struct cache_key {
+  std::vector<tt::truth_table> functions;
+
+  friend bool operator==(const cache_key& a, const cache_key& b) {
+    return a.functions == b.functions;
+  }
+};
+
+/// Hash over the concatenated per-function hashes (which in turn cover
+/// every word of every table), so two keys collide only when the whole
+/// concatenated word sequence does.
+struct cache_key_hash {
+  std::size_t operator()(const cache_key& k) const {
+    std::size_t h = k.functions.size();
+    const tt::truth_table_hash hash_one;
+    for (const auto& f : k.functions) {
+      h ^= hash_one(f) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
 
 /// Aggregated counters across all shards.
 struct shard_cache_stats {
@@ -64,13 +94,24 @@ public:
   /// outside any shard lock, so it may be arbitrarily slow.  If `compute`
   /// throws, the in-flight entry is abandoned (waiters receive a failure
   /// result) and the exception propagates to the computing caller.
-  synth::result get_or_compute(const tt::truth_table& key,
+  synth::result get_or_compute(const cache_key& key,
                                const compute_fn& compute);
+
+  /// Single-output convenience: wraps `key` into a one-function cache key.
+  synth::result get_or_compute(const tt::truth_table& key,
+                               const compute_fn& compute) {
+    return get_or_compute(cache_key{{key}}, compute);
+  }
 
   /// Inserts a ready entry (cache warming).  Returns false when the key is
   /// already resident (the existing entry wins).  The `shard_cache.insert`
   /// failpoint throws here in chaos builds.
-  bool insert(const tt::truth_table& key, synth::result value);
+  bool insert(const cache_key& key, synth::result value);
+
+  /// Single-output convenience overload.
+  bool insert(const tt::truth_table& key, synth::result value) {
+    return insert(cache_key{{key}}, std::move(value));
+  }
 
   /// Drops every *ready* entry; in-flight entries stay pinned so their
   /// single-flight waiters are untouched.  Returns entries dropped.  The
@@ -79,7 +120,7 @@ public:
 
   /// Copies out every ready entry (for persistence).  Entries still in
   /// flight are skipped.
-  [[nodiscard]] std::vector<std::pair<tt::truth_table, synth::result>> dump()
+  [[nodiscard]] std::vector<std::pair<cache_key, synth::result>> dump()
       const;
 
   [[nodiscard]] shard_cache_stats stats() const;
@@ -96,11 +137,11 @@ private:
   struct shard {
     mutable std::mutex mutex;
     std::condition_variable ready_cv;  ///< signaled when any entry readies
-    std::unordered_map<tt::truth_table, entry_ptr, tt::truth_table_hash> map;
+    std::unordered_map<cache_key, entry_ptr, cache_key_hash> map;
     /// LRU order over *ready* keys, most recent at the front.
-    std::list<tt::truth_table> lru;
-    std::unordered_map<tt::truth_table, std::list<tt::truth_table>::iterator,
-                       tt::truth_table_hash>
+    std::list<cache_key> lru;
+    std::unordered_map<cache_key, std::list<cache_key>::iterator,
+                       cache_key_hash>
         lru_pos;
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -108,12 +149,12 @@ private:
     std::size_t evictions = 0;
   };
 
-  shard& shard_for(const tt::truth_table& key);
+  shard& shard_for(const cache_key& key);
   /// Marks `key` ready, links it into the LRU, and evicts beyond capacity.
   /// Caller must hold the shard lock.
-  void finish_entry(shard& s, const tt::truth_table& key,
+  void finish_entry(shard& s, const cache_key& key,
                     const entry_ptr& e, synth::result value);
-  void touch(shard& s, const tt::truth_table& key);
+  void touch(shard& s, const cache_key& key);
   void evict_excess(shard& s);
 
   std::size_t capacity_per_shard_;

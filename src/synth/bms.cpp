@@ -18,12 +18,46 @@ result bms_engine::run(const spec& s) {
     return r;
   };
 
-  if (synthesize_degenerate(s.function, out)) {
+  const auto targets = s.targets();
+  if (targets.size() >= 2) {
+    // Multi-output path: union-support shrink, multi-output SSV encoding.
+    // The caller (core pre-pass) guarantees every target is non-degenerate
+    // and pairwise distinct modulo complement.
+    std::vector<unsigned> old_of_new;
+    const auto fs = shrink_for_synthesis(targets, old_of_new);
+    for (unsigned gates = std::max(1u, trivial_lower_bound(fs));
+         gates <= s.max_gates; ++gates) {
+      if (rc.should_stop()) {
+        out.outcome = status::timeout;
+        return finish(out);
+      }
+      sat::solver solver;
+      solver.set_run_context(&rc);
+      ssv_encoding encoding{solver, fs, gates};
+      encoding.encode_structure();
+      encoding.encode_all_rows();
+      ++stats_.solver_calls;
+      const auto answer = solver.solve();
+      stats_.conflicts += solver.stats().conflicts;
+      if (answer == sat::solve_result::sat) {
+        out.outcome = status::success;
+        out.optimum_gates = gates;
+        out.chains = {lift_chain_to_original(encoding.extract_chain(false),
+                                             old_of_new,
+                                             targets.front().num_vars())};
+        return finish(out);
+      }
+      if (answer == sat::solve_result::unknown) {
+        out.outcome = status::timeout;
+        return finish(out);
+      }
+    }
+    out.outcome = status::failure;
     return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
-  auto f = shrink_for_synthesis(s.function, old_of_new);
+  auto f = shrink_for_synthesis(targets.front(), old_of_new);
   const bool complemented = f.get_bit(0);
   if (complemented) {
     f = ~f;  // synthesize the normal complement
@@ -48,7 +82,7 @@ result bms_engine::run(const spec& s) {
       out.optimum_gates = gates;
       out.chains = {lift_chain_to_original(encoding.extract_chain(complemented),
                                            old_of_new,
-                                           s.function.num_vars())};
+                                           targets.front().num_vars())};
       return finish(out);
     }
     if (answer == sat::solve_result::unknown) {

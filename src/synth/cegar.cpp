@@ -18,12 +18,73 @@ result cegar_engine::run(const spec& s) {
     return r;
   };
 
-  if (synthesize_degenerate(s.function, out)) {
+  const auto targets = s.targets();
+  if (targets.size() >= 2) {
+    // Multi-output path: refinement adds the first row on which *any*
+    // output disagrees with its target.  The caller (core pre-pass)
+    // guarantees non-degenerate, pairwise-distinct targets.
+    std::vector<unsigned> old_of_new;
+    const auto fs = shrink_for_synthesis(targets, old_of_new);
+    for (unsigned gates = std::max(1u, trivial_lower_bound(fs));
+         gates <= s.max_gates; ++gates) {
+      if (rc.should_stop()) {
+        out.outcome = status::timeout;
+        return finish(out);
+      }
+      sat::solver solver;
+      solver.set_run_context(&rc);
+      ssv_encoding encoding{solver, fs, gates};
+      encoding.encode_structure();
+      encoding.encode_row(fs.front().num_bits() - 1);
+
+      bool size_done = false;
+      while (!size_done) {
+        if (rc.should_stop()) {
+          out.outcome = status::timeout;
+          return finish(out);
+        }
+        ++stats_.solver_calls;
+        const auto answer = solver.solve();
+        stats_.conflicts = solver.stats().conflicts;
+        if (answer == sat::solve_result::unknown) {
+          out.outcome = status::timeout;
+          return finish(out);
+        }
+        if (answer == sat::solve_result::unsat) {
+          size_done = true;  // no chain of this size
+          continue;
+        }
+        auto candidate = encoding.extract_chain(false);
+        const auto realized = candidate.simulate_outputs();
+        std::uint64_t counterexample = 0;
+        for (std::uint64_t t = 1;
+             t < fs.front().num_bits() && counterexample == 0; ++t) {
+          for (std::size_t h = 0; h < fs.size(); ++h) {
+            if (realized[h].get_bit(t) != fs[h].get_bit(t)) {
+              counterexample = t;
+              break;
+            }
+          }
+        }
+        if (counterexample == 0) {
+          // Outputs are normal-complement matched at row 0 by
+          // construction, so no mismatch anywhere means success.
+          out.outcome = status::success;
+          out.optimum_gates = gates;
+          out.chains = {lift_chain_to_original(candidate, old_of_new,
+                                               targets.front().num_vars())};
+          return finish(out);
+        }
+        encoding.encode_row(counterexample);
+        ++stats_.refinements;
+      }
+    }
+    out.outcome = status::failure;
     return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
-  auto f = shrink_for_synthesis(s.function, old_of_new);
+  auto f = shrink_for_synthesis(targets.front(), old_of_new);
   const bool complemented = f.get_bit(0);
   if (complemented) {
     f = ~f;
@@ -70,7 +131,7 @@ result cegar_engine::run(const spec& s) {
         out.outcome = status::success;
         out.optimum_gates = gates;
         out.chains = {lift_chain_to_original(candidate, old_of_new,
-                                             s.function.num_vars())};
+                                             targets.front().num_vars())};
         return finish(out);
       }
       // Add the first counterexample row.

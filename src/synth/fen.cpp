@@ -19,12 +19,57 @@ result fen_engine::run(const spec& s) {
     return r;
   };
 
-  if (synthesize_degenerate(s.function, out)) {
+  const auto targets = s.targets();
+  if (targets.size() >= 2) {
+    // Multi-output path: the single-top fence family is incomplete for
+    // m >= 2 (disjoint-support outputs need several dangling gates), so
+    // iterate the multi-output pruned family instead.  The caller (core
+    // pre-pass) guarantees non-degenerate, pairwise-distinct targets.
+    std::vector<unsigned> old_of_new;
+    const auto fs = shrink_for_synthesis(targets, old_of_new);
+    const auto max_outputs = static_cast<unsigned>(fs.size());
+    bool multi_timed_out = false;
+    for (unsigned gates = std::max(1u, trivial_lower_bound(fs));
+         gates <= s.max_gates; ++gates) {
+      for (const auto& fc :
+           fence::pruned_fences_multi(gates, max_outputs, &rc)) {
+        if (rc.should_stop()) {
+          out.outcome = status::timeout;
+          return finish(out);
+        }
+        ++stats_.fences;
+        sat::solver solver;
+        solver.set_run_context(&rc);
+        ssv_encoding encoding{solver, fs, gates,
+                              fence_fanin_pairs(fc, fs.front().num_vars())};
+        encoding.encode_structure();
+        encoding.encode_all_rows();
+        ++stats_.solver_calls;
+        const auto answer = solver.solve();
+        stats_.conflicts += solver.stats().conflicts;
+        if (answer == sat::solve_result::sat) {
+          out.outcome = status::success;
+          out.optimum_gates = gates;
+          out.chains = {lift_chain_to_original(encoding.extract_chain(false),
+                                               old_of_new,
+                                               targets.front().num_vars())};
+          return finish(out);
+        }
+        if (answer == sat::solve_result::unknown) {
+          multi_timed_out = true;
+          break;
+        }
+      }
+      if (multi_timed_out) {
+        break;
+      }
+    }
+    out.outcome = multi_timed_out ? status::timeout : status::failure;
     return finish(out);
   }
 
   std::vector<unsigned> old_of_new;
-  auto f = shrink_for_synthesis(s.function, old_of_new);
+  auto f = shrink_for_synthesis(targets.front(), old_of_new);
   const bool complemented = f.get_bit(0);
   if (complemented) {
     f = ~f;
@@ -53,7 +98,7 @@ result fen_engine::run(const spec& s) {
         out.optimum_gates = gates;
         out.chains = {lift_chain_to_original(
             encoding.extract_chain(complemented), old_of_new,
-            s.function.num_vars())};
+            targets.front().num_vars())};
         return finish(out);
       }
       if (answer == sat::solve_result::unknown) {

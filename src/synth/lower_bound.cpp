@@ -117,6 +117,49 @@ void add_symvar(sat::solver& solver, const ssv_encoding& enc,
   }
 }
 
+/// symvar for multi-output targets: the relabelling argument needs the
+/// *whole* specification to be invariant under the swap, so the break
+/// applies to a pair (p, q) only when every output function is symmetric
+/// in it.  (Complementing an output preserves symmetry, so checking the
+/// raw functions also covers the encoder's normalized forms.)
+void add_symvar_multi(sat::solver& solver, const ssv_encoding& enc,
+                      const std::vector<tt::truth_table>& functions) {
+  const unsigned n = functions.front().num_vars();
+  for (unsigned p = 0; p < n; ++p) {
+    for (unsigned q = p + 1; q < n; ++q) {
+      bool symmetric = true;
+      for (const auto& f : functions) {
+        if (f.swap_variables(p, q) != f) {
+          symmetric = false;
+          break;
+        }
+      }
+      if (!symmetric) {
+        continue;
+      }
+      for (unsigned i = 0; i < enc.num_steps(); ++i) {
+        const auto& pairs = enc.fanin_pairs(i);
+        for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+          if (!pair_contains(pairs[idx], q) ||
+              pair_contains(pairs[idx], p)) {
+            continue;
+          }
+          sat::clause_lits clause{neg(enc.select_var(i, idx))};
+          for (unsigned i2 = 0; i2 < i; ++i2) {
+            const auto& earlier = enc.fanin_pairs(i2);
+            for (std::size_t e = 0; e < earlier.size(); ++e) {
+              if (pair_contains(earlier[e], p)) {
+                clause.push_back(pos(enc.select_var(i2, e)));
+              }
+            }
+          }
+          solver.add_clause(clause);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 probe_result lower_bound_prober::probe(const tt::isf& target,
@@ -195,6 +238,81 @@ probe_result lower_bound_prober::probe(const tt::isf& target,
       case sat::solve_result::sat:
         out.verdict = probe_verdict::feasible;
         out.witness = enc.extract_chain(complemented);
+        return out;
+      case sat::solve_result::unknown:
+        any_unknown = true;
+        break;
+      case sat::solve_result::unsat:
+        break;
+    }
+  }
+  out.verdict =
+      any_unknown ? probe_verdict::unknown : probe_verdict::infeasible;
+  return out;
+}
+
+probe_result lower_bound_prober::probe_multi(
+    const std::vector<tt::truth_table>& functions, unsigned num_gates,
+    core::run_context* ctx) const {
+  probe_result out;
+  if (functions.empty() || num_gates == 0 ||
+      functions.front().num_vars() > options_.max_vars) {
+    return out;  // unknown
+  }
+  const unsigned n = functions.front().num_vars();
+  const auto max_outputs = static_cast<unsigned>(functions.size());
+
+  ssv_options enc_options;
+  enc_options.use_all_steps = options_.alonce_clauses;
+
+  // The multi-output encoding normalizes each function's polarity
+  // internally, so no pre-complementation is needed here.
+  bool any_unknown = false;
+  for (const auto& fc : fence::pruned_fences_multi(num_gates, max_outputs)) {
+    if (ctx != nullptr && ctx->should_stop()) {
+      out.verdict = probe_verdict::unknown;
+      return out;
+    }
+    sat::solver solver;
+    if (ctx != nullptr) {
+      solver.set_run_context(ctx);
+    }
+    if (options_.conflict_budget != 0) {
+      solver.set_conflict_budget(options_.conflict_budget);
+    }
+    ssv_encoding enc{solver, functions, num_gates,
+                     fence_fanin_pairs(fc, n), enc_options};
+    enc.encode_structure();
+    const auto level_of_step = fence_level_of_step(fc);
+    if (options_.colex_clauses) {
+      add_colex(solver, enc, level_of_step);
+    }
+    if (options_.noreapply_clauses) {
+      add_noreapply(solver, enc, n);
+    }
+    if (options_.symvar_clauses) {
+      add_symvar_multi(solver, enc, functions);
+    }
+    bool build_cancelled = false;
+    for (std::uint64_t row = 1; row < functions.front().num_bits(); ++row) {
+      if ((row & 0xF) == 0 && ctx != nullptr && ctx->should_stop()) {
+        build_cancelled = true;
+        break;
+      }
+      enc.encode_row(row);
+    }
+    if (build_cancelled) {
+      out.verdict = probe_verdict::unknown;
+      return out;
+    }
+    ++out.solver_calls;
+    if (ctx != nullptr) {
+      ++ctx->counters.probe_calls;
+    }
+    switch (solver.solve()) {
+      case sat::solve_result::sat:
+        out.verdict = probe_verdict::feasible;
+        out.witness = enc.extract_chain(false);
         return out;
       case sat::solve_result::unknown:
         any_unknown = true;

@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "chain/boolean_chain.hpp"
 #include "tt/isf.hpp"
@@ -96,6 +97,16 @@ public:
   /// `probe_calls` and SAT-stage counters.
   [[nodiscard]] probe_result probe(const tt::isf& target, unsigned num_gates,
                                    core::run_context* ctx = nullptr) const;
+
+  /// Multi-output variant: decides whether any `num_gates`-gate chain
+  /// computes *all* of `functions` (each output possibly complemented).
+  /// Uses the multi-output fence family and the per-output
+  /// output-selection SSV encoding; the symvar break applies to an input
+  /// pair only when *every* function is symmetric in it.  Soundness
+  /// contract matches `probe`.
+  [[nodiscard]] probe_result probe_multi(
+      const std::vector<tt::truth_table>& functions, unsigned num_gates,
+      core::run_context* ctx = nullptr) const;
 
   [[nodiscard]] const lower_bound_options& options() const {
     return options_;

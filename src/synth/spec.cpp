@@ -1,6 +1,10 @@
 #include "synth/spec.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
+#include <utility>
 
 namespace stpes::synth {
 
@@ -51,9 +55,121 @@ bool synthesize_degenerate(const tt::truth_table& f, result& out) {
   return false;
 }
 
+output_plan analyze_outputs(const std::vector<tt::truth_table>& targets) {
+  if (targets.empty()) {
+    throw std::invalid_argument{"analyze_outputs: empty target list"};
+  }
+  const unsigned n = targets[0].num_vars();
+  output_plan plan;
+  plan.outputs.reserve(targets.size());
+  for (const auto& f : targets) {
+    if (f.num_vars() != n) {
+      throw std::invalid_argument{
+          "analyze_outputs: outputs over different variable counts"};
+    }
+    output_plan::entry e;
+    const auto support = f.support_mask();
+    if (support == 0) {
+      e.what = output_plan::kind::constant;
+      e.complemented = f.is_const1();
+      plan.needs_constant = true;
+    } else if ((support & (support - 1)) == 0) {
+      e.what = output_plan::kind::literal;
+      e.var = static_cast<unsigned>(std::countr_zero(support));
+      e.complemented = !f.cofactor1(e.var).is_const1();
+    } else {
+      e.what = output_plan::kind::synth;
+      bool found = false;
+      for (std::size_t i = 0; i < plan.distinct.size(); ++i) {
+        if (plan.distinct[i] == f) {
+          e.synth_index = i;
+          found = true;
+          break;
+        }
+        if (~plan.distinct[i] == f) {
+          e.synth_index = i;
+          e.complemented = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        e.synth_index = plan.distinct.size();
+        plan.distinct.push_back(f);
+      }
+    }
+    plan.outputs.push_back(e);
+  }
+  return plan;
+}
+
+chain::boolean_chain bind_plan_outputs(const output_plan& plan,
+                                       chain::boolean_chain chain) {
+  assert(chain.num_outputs() == plan.distinct.size() ||
+         plan.all_degenerate());
+  std::uint32_t const_signal = 0;
+  if (plan.needs_constant) {
+    // One shared const-0 step; const-1 outputs complement it.
+    const_signal = chain.add_step(0x0, 0, 0);
+  }
+  const auto synth_outputs = chain.outputs();  // copy: rebinding below
+  std::vector<chain::output_ref> bound;
+  bound.reserve(plan.outputs.size());
+  for (const auto& e : plan.outputs) {
+    switch (e.what) {
+      case output_plan::kind::constant:
+        bound.push_back({const_signal, e.complemented});
+        break;
+      case output_plan::kind::literal:
+        bound.push_back({e.var, e.complemented});
+        break;
+      case output_plan::kind::synth: {
+        auto o = synth_outputs[e.synth_index];
+        o.complemented = o.complemented != e.complemented;
+        bound.push_back(o);
+        break;
+      }
+    }
+  }
+  chain.set_outputs(std::move(bound));
+  return chain;
+}
+
 tt::truth_table shrink_for_synthesis(const tt::truth_table& f,
                                      std::vector<unsigned>& old_of_new) {
   return f.shrink_to_support(&old_of_new);
+}
+
+std::vector<tt::truth_table> shrink_for_synthesis(
+    const std::vector<tt::truth_table>& fs,
+    std::vector<unsigned>& old_of_new) {
+  assert(!fs.empty());
+  std::uint32_t union_mask = 0;
+  for (const auto& f : fs) {
+    union_mask |= f.support_mask();
+  }
+  old_of_new.clear();
+  const unsigned n = fs[0].num_vars();
+  for (unsigned v = 0; v < n; ++v) {
+    if ((union_mask >> v) & 1) {
+      old_of_new.push_back(v);
+    }
+  }
+  const unsigned k = static_cast<unsigned>(old_of_new.size());
+  std::vector<tt::truth_table> shrunk;
+  shrunk.reserve(fs.size());
+  for (const auto& f : fs) {
+    tt::truth_table g{k};
+    for (std::uint64_t t = 0; t < g.num_bits(); ++t) {
+      std::uint64_t row = 0;
+      for (unsigned v = 0; v < k; ++v) {
+        row |= ((t >> v) & 1) << old_of_new[v];
+      }
+      g.set_bit(t, f.get_bit(row));
+    }
+    shrunk.push_back(std::move(g));
+  }
+  return shrunk;
 }
 
 chain::boolean_chain lift_chain_to_original(
@@ -71,14 +187,25 @@ chain::boolean_chain lift_chain_to_original(
   for (const auto& st : shrunk_chain.steps()) {
     lifted.add_step(st.op, map_signal(st.fanin[0]), map_signal(st.fanin[1]));
   }
-  lifted.set_output(map_signal(shrunk_chain.output()),
-                    shrunk_chain.output_complemented());
+  std::vector<chain::output_ref> outputs = shrunk_chain.outputs();
+  for (auto& o : outputs) {
+    o.signal = map_signal(o.signal);
+  }
+  lifted.set_outputs(std::move(outputs));
   return lifted;
 }
 
 unsigned trivial_lower_bound(const tt::truth_table& f) {
   const unsigned s = f.support_size();
   return s <= 1 ? 0 : s - 1;
+}
+
+unsigned trivial_lower_bound(const std::vector<tt::truth_table>& fs) {
+  unsigned bound = static_cast<unsigned>(fs.size());
+  for (const auto& f : fs) {
+    bound = std::max(bound, trivial_lower_bound(f));
+  }
+  return bound;
 }
 
 }  // namespace stpes::synth

@@ -98,6 +98,58 @@ ssv_encoding::ssv_encoding(
   }
 }
 
+ssv_encoding::ssv_encoding(
+    sat::solver& solver, std::vector<tt::truth_table> functions,
+    unsigned num_steps,
+    std::optional<std::vector<std::vector<std::pair<unsigned, unsigned>>>>
+        allowed_pairs,
+    ssv_options options)
+    : solver_(solver),
+      num_inputs_(functions.at(0).num_vars()),
+      num_steps_(num_steps),
+      options_(options),
+      pairs_(allowed_pairs
+                 ? std::move(*allowed_pairs)
+                 : all_fanin_pairs(functions.at(0).num_vars(), num_steps)),
+      row_encoded_(functions.at(0).num_bits(), false) {
+  // Normal chains force every step to 0 on the all-zeros row, so a target
+  // with f(0...0) == 1 is synthesized as its complement and the inversion
+  // is restored on the extracted output flag.
+  functions_.reserve(functions.size());
+  output_complements_.reserve(functions.size());
+  for (auto& f : functions) {
+    assert(f.num_vars() == num_inputs_);
+    const bool complemented = f.get_bit(0);
+    functions_.push_back(complemented ? ~f : std::move(f));
+    output_complements_.push_back(complemented);
+  }
+  function_ = functions_[0];
+  assert(pairs_.size() == num_steps_);
+  select_.resize(num_steps_);
+  op_.resize(num_steps_);
+  value_.resize(num_steps_);
+  const std::uint64_t rows = function_.num_bits() - 1;
+  for (unsigned i = 0; i < num_steps_; ++i) {
+    for (std::size_t p = 0; p < pairs_[i].size(); ++p) {
+      select_[i].push_back(solver_.new_var());
+    }
+    for (auto& v : op_[i]) {
+      v = solver_.new_var();
+    }
+    value_[i].resize(rows);
+    for (auto& v : value_[i]) {
+      v = solver_.new_var();
+    }
+  }
+  out_sel_.resize(functions_.size());
+  for (auto& sel : out_sel_) {
+    sel.resize(num_steps_);
+    for (auto& v : sel) {
+      v = solver_.new_var();
+    }
+  }
+}
+
 var ssv_encoding::x(unsigned step, std::uint64_t row) const {
   assert(row >= 1);
   return value_[step][row - 1];
@@ -149,7 +201,13 @@ void ssv_encoding::encode_structure() {
     }
   }
   if (options_.use_all_steps) {
-    for (unsigned i = 0; i + 1 < num_steps_; ++i) {
+    // Single-output: the last step is the output, every earlier step must
+    // feed a later one.  Multi-output: no step is pinned, so *every* step
+    // must either feed a later step or carry some output.
+    for (unsigned i = 0; i < num_steps_; ++i) {
+      if (!multi_mode() && i + 1 == num_steps_) {
+        break;
+      }
       sat::clause_lits used;
       const unsigned signal = num_inputs_ + i;
       for (unsigned i2 = i + 1; i2 < num_steps_; ++i2) {
@@ -160,8 +218,20 @@ void ssv_encoding::encode_structure() {
           }
         }
       }
+      for (const auto& sel : out_sel_) {
+        used.push_back(pos(sel[i]));
+      }
       solver_.add_clause(used);  // empty list -> trivially UNSAT, intended
     }
+  }
+  // Every output binds to at least one step.
+  for (const auto& sel : out_sel_) {
+    sat::clause_lits alo;
+    alo.reserve(sel.size());
+    for (const auto v : sel) {
+      alo.push_back(pos(v));
+    }
+    solver_.add_clause(alo);
   }
 }
 
@@ -217,6 +287,18 @@ void ssv_encoding::encode_row(std::uint64_t t) {
       }
     }
   }
+  if (multi_mode()) {
+    // Output-selection constraints: o(h, i) -> x(i, t) == f_h(t).
+    assert(!output_care_ && "care sets are single-output only");
+    for (std::size_t h = 0; h < functions_.size(); ++h) {
+      for (unsigned i = 0; i < num_steps_; ++i) {
+        solver_.add_clause({neg(out_sel_[h][i]),
+                            functions_[h].get_bit(t) ? pos(x(i, t))
+                                                     : neg(x(i, t))});
+      }
+    }
+    return;
+  }
   // Output constraint on the last step (care rows only).
   if (!output_care_ || output_care_->get_bit(t)) {
     solver_.add_clause({function_.get_bit(t) ? pos(x(num_steps_ - 1, t))
@@ -254,6 +336,25 @@ chain::boolean_chain ssv_encoding::extract_chain(
       }
     }
     out.add_step(op, fanin.first, fanin.second);
+  }
+  if (multi_mode()) {
+    std::vector<chain::output_ref> outputs;
+    outputs.reserve(functions_.size());
+    for (std::size_t h = 0; h < functions_.size(); ++h) {
+      bool bound = false;
+      for (unsigned i = 0; i < num_steps_; ++i) {
+        if (solver_.model_value(out_sel_[h][i])) {
+          outputs.push_back(
+              {num_inputs_ + i, output_complements_[h]});
+          bound = true;
+          break;
+        }
+      }
+      assert(bound);
+      (void)bound;
+    }
+    out.set_outputs(std::move(outputs));
+    return out;
   }
   out.set_output(num_inputs_ + num_steps_ - 1, output_complemented);
   return out;

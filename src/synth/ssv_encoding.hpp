@@ -57,6 +57,20 @@ public:
                    allowed_pairs = std::nullopt,
                ssv_options options = {});
 
+  /// Multi-output variant (percy's ssv multi-output encoding): each
+  /// function of `functions` gets output-selection variables o(h, i)
+  /// binding it to some step; no step is pinned to any particular output.
+  /// Non-normal functions are complement-normalized internally and the
+  /// inversion is restored on the extracted chain's output flag, so the
+  /// list may mix polarities freely.  `use_all_steps` then means: every
+  /// step feeds a later step or carries an output.
+  ssv_encoding(sat::solver& solver, std::vector<tt::truth_table> functions,
+               unsigned num_steps,
+               std::optional<std::vector<
+                   std::vector<std::pair<unsigned, unsigned>>>>
+                   allowed_pairs = std::nullopt,
+               ssv_options options = {});
+
   /// Restricts the output constraint to the rows set in `care` (same
   /// width as the target): rows outside the care set get full value
   /// propagation but no output pin, which encodes an incompletely
@@ -75,10 +89,17 @@ public:
   void encode_all_rows();
 
   /// Extracts the chain from the solver's model after a SAT answer.
+  /// In multi-output mode every output is read from its selection
+  /// variables (with the normalization complement folded back in) and
+  /// `output_complemented` is ignored.
   [[nodiscard]] chain::boolean_chain extract_chain(
       bool output_complemented) const;
 
   [[nodiscard]] unsigned num_steps() const { return num_steps_; }
+  /// Number of outputs (1 for the single-output constructor).
+  [[nodiscard]] unsigned num_outputs() const {
+    return multi_mode() ? static_cast<unsigned>(functions_.size()) : 1;
+  }
 
   /// \name Selection-variable access for symmetry-break layers
   ///
@@ -97,6 +118,9 @@ public:
   }
   /// @}
 
+  /// True when built by the multi-output constructor.
+  [[nodiscard]] bool multi_mode() const { return !functions_.empty(); }
+
 private:
   [[nodiscard]] sat::var x(unsigned step, std::uint64_t row) const;
   [[nodiscard]] sat::var g(unsigned step, unsigned pattern) const;
@@ -106,7 +130,11 @@ private:
                                                 std::uint64_t row) const;
 
   sat::solver& solver_;
-  const tt::truth_table& function_;
+  tt::truth_table function_;  ///< single-output target (multi: functions_[0])
+  /// Multi-output mode: complement-normalized targets + their inversion
+  /// flags.  Empty in single-output mode.
+  std::vector<tt::truth_table> functions_;
+  std::vector<bool> output_complements_;
   unsigned num_inputs_;
   unsigned num_steps_;
   ssv_options options_;
@@ -115,6 +143,7 @@ private:
   std::vector<std::vector<sat::var>> select_;  // select_[i][pair index]
   std::vector<std::array<sat::var, 3>> op_;    // op_[i][pattern-1]
   std::vector<std::vector<sat::var>> value_;   // value_[i][row-1]
+  std::vector<std::vector<sat::var>> out_sel_;  // out_sel_[h][i], multi only
   std::vector<bool> row_encoded_;
   std::optional<tt::truth_table> output_care_;
 };

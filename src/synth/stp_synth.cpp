@@ -69,6 +69,11 @@ struct search_context {
   const tt::isf& target;    // root requirement (complete or with DCs)
   std::uint32_t root_cone;  // variables the root may consume
   unsigned num_vars;
+  /// Multi-output mode: the (shrunk) target list, in output order;
+  /// nullptr = classic single-output search.  In multi mode `target` and
+  /// `root_cone` are unused placeholders — every dangling DAG gate is
+  /// seeded from one of these functions instead.
+  const std::vector<tt::truth_table>* multi;
   core::run_context& rc;  // this task's deadline / cancel flag / counters
   stp_stats& stats;
 
@@ -202,7 +207,11 @@ public:
         }
       }
     }
-    std::vector<int> stack{dag.root()};
+    // Multi-output topologies have several fanout-free gates; seed the DFS
+    // from all of them (ascending, so the highest — the classic root — is
+    // processed first).  Single-output DAGs have roots() == {root()}, so
+    // the order is unchanged there.
+    std::vector<int> stack = dag.roots();
     order_.reserve(dag.gates.size());
     while (!stack.empty()) {
       const int g = stack.back();
@@ -236,6 +245,10 @@ public:
   }
 
   void run() {
+    if (ctx_.multi != nullptr) {
+      run_multi();
+      return;
+    }
     const auto root = static_cast<std::size_t>(dag_.root());
     if (capacity_[root] <
         static_cast<unsigned>(std::popcount(ctx_.root_cone))) {
@@ -250,6 +263,79 @@ public:
     gates_[root].req_hash = gates_[root].req.cone * 0x9E3779B97F4A7C15ull +
                             gates_[root].req.func.hash();
     descend(0);
+  }
+
+  /// Multi-output search: every fanout-free gate must carry one output
+  /// (a dangling non-output gate contradicts optimality), so enumerate
+  /// the injective assignments of fanout-free gates to target functions
+  /// and run the factorization DFS once per assignment.  Root signals are
+  /// canonically normal — the inversion rides on the output's complement
+  /// flag, the same canonicalization the CNF encodings use; complementing
+  /// a dangling gate's LUT yields an equivalent chain, so no optimum is
+  /// lost.  Outputs not bound to a fanout-free gate are matched against
+  /// interior signals when a complete candidate is assembled.
+  void run_multi() {
+    const auto& fs = *ctx_.multi;
+    const auto roots = dag_.roots();
+    const std::size_t m = fs.size();
+    if (roots.size() > m) {
+      ++ctx_.rc.counters.dags_pruned;
+      return;  // some dangling gate could carry no output
+    }
+    std::vector<tt::isf> reqs;
+    reqs.reserve(m);
+    std::vector<std::uint32_t> cones(m);
+    std::vector<bool> inverted(m);
+    for (std::size_t h = 0; h < m; ++h) {
+      auto fp = fs[h];
+      inverted[h] = fp.get_bit(0);
+      if (inverted[h]) {
+        fp = ~fp;
+      }
+      cones[h] = fp.support_mask();
+      reqs.push_back(tt::isf::from_function(fp));
+    }
+    std::vector<int> chosen(roots.size(), -1);
+    std::vector<bool> used(m, false);
+    const auto assign_roots = [&](auto&& self, std::size_t ri) -> void {
+      if (ctx_.stop) {
+        return;
+      }
+      if (ri == roots.size()) {
+        gates_.assign(dag_.gates.size(), gate_state());
+        slot_states_.assign(dag_.num_pi_slots(), slot_state{});
+        root_of_output_.assign(m, -1);
+        root_output_inverted_.assign(m, false);
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+          const auto g = static_cast<std::size_t>(roots[i]);
+          const auto h = static_cast<std::size_t>(chosen[i]);
+          gates_[g].has_requirement = true;
+          gates_[g].req.cone = cones[h];
+          gates_[g].req.func = reqs[h];
+          gates_[g].req_hash =
+              gates_[g].req.cone * 0x9E3779B97F4A7C15ull +
+              gates_[g].req.func.hash();
+          root_of_output_[h] = roots[i];
+          root_output_inverted_[h] = inverted[h];
+        }
+        descend(0);
+        return;
+      }
+      const auto g = static_cast<std::size_t>(roots[ri]);
+      for (std::size_t h = 0; h < m; ++h) {
+        if (used[h] ||
+            capacity_[g] <
+                static_cast<unsigned>(std::popcount(cones[h]))) {
+          continue;
+        }
+        used[h] = true;
+        chosen[ri] = static_cast<int>(h);
+        self(self, ri + 1);
+        used[h] = false;
+        chosen[ri] = -1;
+      }
+    };
+    assign_roots(assign_roots, 0);
   }
 
 private:
@@ -548,6 +634,10 @@ private:
       signal_of_gate[g] =
           candidate.add_step(op, fanin_signal[0], fanin_signal[1]);
     }
+    if (ctx_.multi != nullptr) {
+      emit_multi(candidate, signal_of_gate);
+      return;
+    }
     candidate.set_output(signal_of_gate.back());
 
     if (!solution_is_new(candidate)) {
@@ -573,6 +663,72 @@ private:
     }
   }
 
+  /// Multi-output candidate: bind the assigned fanout-free gates, match
+  /// the remaining targets against interior signals (smallest signal,
+  /// exact before complemented — a deterministic canonical choice), then
+  /// verify and record.  A candidate whose interior realizes no match for
+  /// some output is simply not a solution of the multi-output spec.
+  void emit_multi(chain::boolean_chain& candidate,
+                  const std::vector<std::uint32_t>& signal_of_gate) {
+    const auto& fs = *ctx_.multi;
+    const auto sims = candidate.simulate_all();
+    std::vector<chain::output_ref> outs(fs.size());
+    for (std::size_t h = 0; h < fs.size(); ++h) {
+      if (root_of_output_[h] >= 0) {
+        const auto sig =
+            signal_of_gate[static_cast<std::size_t>(root_of_output_[h])];
+        const bool c = root_output_inverted_[h];
+        if ((c ? ~sims[sig] : sims[sig]) != fs[h]) {
+          return;  // factorization slack (ISF requirements): reject
+        }
+        outs[h] = chain::output_ref{sig, c};
+        continue;
+      }
+      bool found = false;
+      for (std::uint32_t sig = 0; sig < sims.size() && !found; ++sig) {
+        if (sims[sig] == fs[h]) {
+          outs[h] = chain::output_ref{sig, false};
+          found = true;
+        } else if (~sims[sig] == fs[h]) {
+          outs[h] = chain::output_ref{sig, true};
+          found = true;
+        }
+      }
+      if (!found) {
+        return;
+      }
+    }
+    candidate.set_outputs(std::move(outs));
+    if (!solution_is_new(candidate)) {
+      return;
+    }
+    // Section III-C judging over the multi-output network: Algorithm 1's
+    // PO loop drives every output to 1; the merged solution set must
+    // simulate to the conjunction of the output functions.
+    allsat::lut_network net;
+    net.num_inputs = candidate.num_inputs();
+    net.steps = candidate.steps();
+    auto conjunction = tt::truth_table::constant(ctx_.num_vars, true);
+    for (const auto& o : candidate.outputs()) {
+      net.outputs.push_back(allsat::lut_network::output{o.signal,
+                                                        o.complemented});
+      conjunction =
+          conjunction & (o.complemented ? ~sims[o.signal] : sims[o.signal]);
+    }
+    const auto allsat_result = allsat::solve_all(
+        net, std::vector<bool>(net.outputs.size(), true), &ctx_.rc);
+    if (allsat::solutions_to_function(
+            ctx_.num_vars, allsat_result.solutions) != conjunction) {
+      return;
+    }
+    ++ctx_.stats.verified;
+    ctx_.solutions.push_back(std::move(candidate));
+    if (ctx_.options.max_solutions != 0 &&
+        ctx_.solutions.size() >= ctx_.options.max_solutions) {
+      ctx_.stop = true;
+    }
+  }
+
   bool solution_is_new(const chain::boolean_chain& candidate) {
     return ctx_.solution_hashes.insert(candidate.hash()).second;
   }
@@ -588,6 +744,11 @@ private:
   std::vector<bool> symmetric_children_;
   std::vector<gate_state> gates_;
   std::vector<slot_state> slot_states_;
+  /// Multi mode, per output: fanout-free gate bound to it (-1 = matched
+  /// against interior signals at emit time) and the polarity inversion
+  /// folded onto the output flag by root normalization.
+  std::vector<int> root_of_output_;
+  std::vector<bool> root_output_inverted_;
 };
 
 /// DAGs per worker task.  Fixed (thread-count independent) so the chunk
@@ -630,8 +791,9 @@ void accumulate(stp_stats& into, const stp_stats& from) {
 /// solution-cap hit cancels the rest of the level early via `level_rc`.
 std::vector<chain::boolean_chain> run_level(
     const stp_options& options, const tt::isf& target, std::uint32_t root_cone,
-    unsigned num_vars, const std::vector<dag_topology>& dags,
-    core::run_context& rc, stp_stats& stats, factor_memo& memo,
+    unsigned num_vars, const std::vector<tt::truth_table>* multi,
+    const std::vector<dag_topology>& dags, core::run_context& rc,
+    stp_stats& stats, factor_memo& memo,
     std::unordered_set<std::uint64_t>& failed, service::thread_pool* pool) {
   const std::size_t num_tasks = (dags.size() + kLevelChunk - 1) / kLevelChunk;
   std::vector<task_output> outputs(num_tasks);
@@ -686,9 +848,10 @@ std::vector<chain::boolean_chain> run_level(
     }
     core::run_context task_rc(&level_rc);
     search_context ctx{options,        target,           root_cone,
-                       num_vars,       task_rc,          out.stats,
-                       memo,           out.memo_delta,   failed,
-                       out.failed_delta, {},             {}};
+                       num_vars,       multi,            task_rc,
+                       out.stats,      memo,             out.memo_delta,
+                       failed,         out.failed_delta, {},
+                       {}};
     const std::size_t begin = task_idx * kLevelChunk;
     const std::size_t end = std::min(begin + kLevelChunk, dags.size());
     for (std::size_t i = begin; i < end && !ctx.stop; ++i) {
@@ -814,8 +977,9 @@ unsigned resolve_threads(unsigned spec_threads, unsigned option_threads) {
 std::vector<chain::boolean_chain> run_portfolio_level(
     const stp_options& options, const lower_bound_prober& prober,
     const tt::isf& target, std::uint32_t root_cone, unsigned num_vars,
-    unsigned gates, const std::vector<dag_topology>& dags,
-    core::run_context& rc, stp_stats& stats, factor_memo& memo,
+    const std::vector<tt::truth_table>* multi, unsigned gates,
+    const std::vector<dag_topology>& dags, core::run_context& rc,
+    stp_stats& stats, factor_memo& memo,
     std::unordered_set<std::uint64_t>& failed, service::thread_pool& pool,
     service::thread_pool* sweep_pool,
     std::optional<chain::boolean_chain>& witness) {
@@ -832,7 +996,9 @@ std::vector<chain::boolean_chain> run_portfolio_level(
   bool probe_running = true;
   try {
     pool.submit([&] {
-      const auto verdict = prober.probe(target, gates, &probe_rc);
+      const auto verdict = multi != nullptr
+                               ? prober.probe_multi(*multi, gates, &probe_rc)
+                               : prober.probe(target, gates, &probe_rc);
       {
         const std::lock_guard<std::mutex> lock(race_mutex);
         probe_out = verdict;
@@ -851,8 +1017,8 @@ std::vector<chain::boolean_chain> run_portfolio_level(
     probe_running = false;  // pool rejected (shutdown/failpoint): sweep only
   }
 
-  auto solutions = run_level(options, target, root_cone, num_vars, dags,
-                             sweep_rc, stats, memo, failed, sweep_pool);
+  auto solutions = run_level(options, target, root_cone, num_vars, multi,
+                             dags, sweep_rc, stats, memo, failed, sweep_pool);
   {
     const std::lock_guard<std::mutex> lock(race_mutex);
     sweep_done = true;
@@ -884,13 +1050,17 @@ std::vector<chain::boolean_chain> run_portfolio_level(
 /// chains (un-lifted), and completeness flag.
 void run_size_sweep(const stp_options& options, const tt::isf& target,
                     std::uint32_t root_cone, unsigned num_vars,
+                    const std::vector<tt::truth_table>* multi,
                     unsigned start_gates, unsigned max_gates,
                     core::run_context& rc, stp_stats& stats,
                     service::thread_pool* pool,
                     service::thread_pool* sweep_pool, result& out) {
+  const unsigned max_outputs =
+      multi != nullptr ? static_cast<unsigned>(multi->size()) : 1;
   fence::dag_options dag_opts;
   dag_opts.allow_shared_gates = options.allow_shared_gates;
   dag_opts.limit = options.max_dags_per_size;
+  dag_opts.max_outputs = max_outputs;
 
   // The factorization memo and the failure memo are sound across gate
   // counts (their keys are self-contained), so they persist over the
@@ -909,7 +1079,8 @@ void run_size_sweep(const stp_options& options, const tt::isf& target,
       // Pre-sweep gate: one CNF call per pruned fence refutes the whole
       // level; `unknown` (budget/size cutoff) falls through to the sweep,
       // so the probe can only skip work, never change the result.
-      auto pr = prober.probe(target, gates, &rc);
+      auto pr = multi != nullptr ? prober.probe_multi(*multi, gates, &rc)
+                                 : prober.probe(target, gates, &rc);
       if (pr.verdict == probe_verdict::infeasible) {
         ++rc.counters.probe_unsat_levels;
         continue;  // no DAG of this level is materialized or swept
@@ -919,20 +1090,24 @@ void run_size_sweep(const stp_options& options, const tt::isf& target,
         witness = std::move(pr.witness);
       }
     }
-    const auto fences = options.use_fence_pruning
-                            ? fence::pruned_fences(gates, &rc)
-                            : fence::all_fences(gates, &rc);
+    const auto fences =
+        options.use_fence_pruning
+            ? (multi != nullptr
+                   ? fence::pruned_fences_multi(gates, max_outputs, &rc)
+                   : fence::pruned_fences(gates, &rc))
+            : fence::all_fences(gates, &rc);
     stats.fences += fences.size();
     const auto level_dags =
         materialize_level_dags(options, dag_opts, fences, rc, stats);
     auto solutions =
         options.engine == stp_level_engine::portfolio && pool != nullptr
             ? run_portfolio_level(options, prober, target, root_cone,
-                                  num_vars, gates, level_dags, rc, stats,
-                                  memo, failed_states, *pool, sweep_pool,
-                                  witness)
-            : run_level(options, target, root_cone, num_vars, level_dags,
-                        rc, stats, memo, failed_states, sweep_pool);
+                                  num_vars, multi, gates, level_dags, rc,
+                                  stats, memo, failed_states, *pool,
+                                  sweep_pool, witness)
+            : run_level(options, target, root_cone, num_vars, multi,
+                        level_dags, rc, stats, memo, failed_states,
+                        sweep_pool);
 
     // Reaching this level at all proves every smaller gate count was
     // exhausted without a solution, so any chain found here is optimum —
@@ -956,9 +1131,26 @@ void run_size_sweep(const stp_options& options, const tt::isf& target,
       // chain of exactly `gates` steps; re-verified against the
       // requirement it salvages a proven-optimum partial success —
       // every smaller level was exhausted above, this level is realized.
-      if (witness.has_value() &&
-          ((witness->simulate() ^ target.onset()) & target.careset())
-              .is_const0()) {
+      const auto witness_ok = [&] {
+        if (!witness.has_value()) {
+          return false;
+        }
+        if (multi == nullptr) {
+          return ((witness->simulate() ^ target.onset()) & target.careset())
+              .is_const0();
+        }
+        if (witness->num_outputs() != multi->size()) {
+          return false;
+        }
+        const auto sims = witness->simulate_outputs();
+        for (std::size_t h = 0; h < multi->size(); ++h) {
+          if (sims[h] != (*multi)[h]) {
+            return false;
+          }
+        }
+        return true;
+      };
+      if (witness_ok()) {
         out.outcome = status::success;
         out.optimum_gates = gates;
         out.enumeration_complete = false;
@@ -990,13 +1182,7 @@ result stp_engine::run(const spec& s) {
     return r;
   };
 
-  if (synthesize_degenerate(s.function, out)) {
-    return finish(out);
-  }
-
-  std::vector<unsigned> old_of_new;
-  const auto f = shrink_for_synthesis(s.function, old_of_new);
-  const unsigned n = f.num_vars();
+  const auto targets = s.targets();
 
   const unsigned threads = resolve_threads(s.num_threads, options_.num_threads);
   // Portfolio mode needs a pool even single-threaded (the probe task);
@@ -1007,13 +1193,36 @@ result stp_engine::run(const spec& s) {
   }
   service::thread_pool* sweep_pool = threads > 1 ? &*pool : nullptr;
 
+  if (targets.size() >= 2) {
+    // Multi-output sweep over the union support.  The caller (core
+    // pre-pass) guarantees non-degenerate, pairwise-distinct targets.
+    std::vector<unsigned> old_of_new;
+    const auto fs = shrink_for_synthesis(targets, old_of_new);
+    const unsigned n = fs.front().num_vars();
+    // Placeholder root requirement: the multi path seeds every dangling
+    // gate from `fs` instead, but the context holds a reference.
+    const tt::isf target = tt::isf::from_function(fs.front());
+    const std::uint32_t root_cone = (1u << n) - 1;
+    run_size_sweep(options_, target, root_cone, n, &fs,
+                   std::max(1u, trivial_lower_bound(fs)), s.max_gates, rc,
+                   stats_, pool ? &*pool : nullptr, sweep_pool, out);
+    for (auto& c : out.chains) {
+      c = lift_chain_to_original(c, old_of_new, targets.front().num_vars());
+    }
+    return finish(out);
+  }
+
+  std::vector<unsigned> old_of_new;
+  const auto f = shrink_for_synthesis(targets.front(), old_of_new);
+  const unsigned n = f.num_vars();
+
   const tt::isf target = tt::isf::from_function(f);
   const std::uint32_t root_cone = (1u << n) - 1;
-  run_size_sweep(options_, target, root_cone, n, std::max(1u, n - 1),
-                 s.max_gates, rc, stats_, pool ? &*pool : nullptr,
-                 sweep_pool, out);
+  run_size_sweep(options_, target, root_cone, n, nullptr,
+                 std::max(1u, n - 1), s.max_gates, rc, stats_,
+                 pool ? &*pool : nullptr, sweep_pool, out);
   for (auto& c : out.chains) {
-    c = lift_chain_to_original(c, old_of_new, s.function.num_vars());
+    c = lift_chain_to_original(c, old_of_new, targets.front().num_vars());
   }
   return finish(out);
 }
@@ -1081,8 +1290,8 @@ result stp_engine::run_with_dont_cares(const tt::isf& target,
   // The probe receives the same (cone-projected) requirement the sweep
   // decides: infeasibility of the k-gate question over all n inputs
   // subsumes the cone-restricted sweep, so a skipped level is sound.
-  run_size_sweep(options_, root, cone, n, lower, max_gates, rc, stats_,
-                 pool ? &*pool : nullptr, sweep_pool, out);
+  run_size_sweep(options_, root, cone, n, nullptr, lower, max_gates, rc,
+                 stats_, pool ? &*pool : nullptr, sweep_pool, out);
   return finish(out);
 }
 

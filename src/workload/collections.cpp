@@ -34,6 +34,77 @@ std::vector<tt::truth_table> npn4_classes() {
   return tt::enumerate_npn_classes(4);
 }
 
+namespace {
+
+/// Decodes `width` consecutive input variables (starting at `first`) of
+/// minterm `t` as an unsigned integer, variable `first` being bit 0.
+unsigned decode_operand(std::uint64_t t, unsigned first, unsigned width) {
+  unsigned value = 0;
+  for (unsigned b = 0; b < width; ++b) {
+    if ((t >> (first + b)) & 1) {
+      value |= 1u << b;
+    }
+  }
+  return value;
+}
+
+/// A `width`-bit ripple adder a + b as `width + 1` outputs (sum bits
+/// little-endian, then carry-out) over `2 * width` inputs.
+multi_output_instance adder_instance(const std::string& name,
+                                     unsigned width) {
+  const unsigned num_vars = 2 * width;
+  std::vector<tt::truth_table> outputs(width + 1,
+                                       tt::truth_table{num_vars});
+  for (std::uint64_t t = 0; t < (std::uint64_t{1} << num_vars); ++t) {
+    const unsigned sum = decode_operand(t, 0, width) +
+                         decode_operand(t, width, width);
+    for (unsigned k = 0; k <= width; ++k) {
+      outputs[k].set_bit(t, (sum >> k) & 1);
+    }
+  }
+  return {name, std::move(outputs)};
+}
+
+/// A `width`-bit magnitude comparator a vs b as the 3 one-hot outputs
+/// (less-than, equal, greater-than) over `2 * width` inputs.
+multi_output_instance comparator_instance(const std::string& name,
+                                          unsigned width) {
+  const unsigned num_vars = 2 * width;
+  std::vector<tt::truth_table> outputs(3, tt::truth_table{num_vars});
+  for (std::uint64_t t = 0; t < (std::uint64_t{1} << num_vars); ++t) {
+    const unsigned a = decode_operand(t, 0, width);
+    const unsigned b = decode_operand(t, width, width);
+    outputs[0].set_bit(t, a < b);
+    outputs[1].set_bit(t, a == b);
+    outputs[2].set_bit(t, a > b);
+  }
+  return {name, std::move(outputs)};
+}
+
+/// The 3-input full adder (a, b, carry-in) as (sum, carry-out).
+multi_output_instance full_adder_instance() {
+  std::vector<tt::truth_table> outputs(2, tt::truth_table{3});
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    const unsigned ones = static_cast<unsigned>((t & 1) + ((t >> 1) & 1) +
+                                                ((t >> 2) & 1));
+    outputs[0].set_bit(t, ones & 1);
+    outputs[1].set_bit(t, ones >= 2);
+  }
+  return {"full-adder", std::move(outputs)};
+}
+
+}  // namespace
+
+std::vector<multi_output_instance> madd_collection() {
+  std::vector<multi_output_instance> out;
+  out.push_back(adder_instance("half-adder", 1));
+  out.push_back(full_adder_instance());
+  out.push_back(comparator_instance("cmp1", 1));
+  out.push_back(comparator_instance("cmp2", 2));
+  out.push_back(adder_instance("add2", 2));
+  return out;
+}
+
 tt::truth_table random_read_once_tree(unsigned num_vars, util::rng& rng) {
   std::vector<tt::truth_table> leaves;
   leaves.reserve(num_vars);

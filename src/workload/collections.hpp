@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tt/truth_table.hpp"
@@ -50,5 +51,19 @@ tt::truth_table random_prime_function(unsigned num_vars, util::rng& rng);
 /// A random fully-DSD function over all `num_vars` inputs (one sample of
 /// the FDSD distribution).
 tt::truth_table random_read_once_tree(unsigned num_vars, util::rng& rng);
+
+/// One multi-output benchmark instance: `functions[k]` is output k's
+/// truth table; all outputs share one input space.
+struct multi_output_instance {
+  std::string name;
+  std::vector<tt::truth_table> functions;
+};
+
+/// The MADD collection: small arithmetic blocks whose outputs share
+/// logic, so the joint optimum chain is strictly smaller than the
+/// per-output optima combined.  Adders and comparators up to 4 inputs
+/// with 2-3 outputs, computed from their arithmetic definitions (no
+/// baked-in tables) and deterministic.
+std::vector<multi_output_instance> madd_collection();
 
 }  // namespace stpes::workload

@@ -116,8 +116,8 @@ TEST(BatchService, NpnVariantsCollapseToOneSynthesisRun) {
 TEST(BatchService, PerRequestEngineOverridesAreHonored) {
   const auto f = truth_table::from_hex(3, "0xe8");
   std::vector<batch_request> requests;
-  requests.push_back(batch_request{f, std::nullopt, std::nullopt});
-  requests.push_back(batch_request{f, engine::bms, std::nullopt});
+  requests.push_back(batch_request{f, {}, std::nullopt, std::nullopt});
+  requests.push_back(batch_request{f, {}, engine::bms, std::nullopt});
 
   batch_options opts;  // default engine: stp
   opts.num_threads = 2;
@@ -152,6 +152,96 @@ TEST(BatchService, LargeFunctionsBypassTheCache) {
       EXPECT_EQ(c.simulate(), functions[i]);
     }
   }
+}
+
+TEST(BatchService, MultiOutputRequestsSolveJointlyAndKeyExactly) {
+  const auto sum = truth_table::from_hex(3, "0x96");
+  const auto carry = truth_table::from_hex(3, "0xe8");
+  std::vector<batch_request> requests;
+  requests.push_back(
+      batch_request{truth_table{}, {sum, carry}, std::nullopt, std::nullopt});
+  requests.push_back(batch_request{sum, {}, std::nullopt, std::nullopt});
+  requests.push_back(batch_request{carry, {}, std::nullopt, std::nullopt});
+
+  batch_options opts;
+  opts.num_threads = 2;
+  opts.timeout_seconds = 120.0;
+  batch_synthesizer service{opts};
+  const auto cold = service.run(requests);
+
+  // Three groups: the joint pair keys on the exact function list, the two
+  // single-output requests on their NPN classes.
+  EXPECT_EQ(cold.unique_classes, 3u);
+  EXPECT_EQ(cold.metrics.synth_runs, 3u);
+  EXPECT_EQ(cold.metrics.cache_misses, 3u);
+
+  // The joint chain is the proven full-adder optimum: 5 shared gates,
+  // strictly better than the 2 + 4 the separate syntheses need.
+  ASSERT_TRUE(cold.results[0].ok());
+  EXPECT_EQ(cold.results[0].optimum_gates, 5u);
+  ASSERT_FALSE(cold.results[0].chains.empty());
+  for (const auto& c : cold.results[0].chains) {
+    ASSERT_EQ(c.num_outputs(), 2u);
+    EXPECT_EQ(c.simulate_output(0), sum);
+    EXPECT_EQ(c.simulate_output(1), carry);
+  }
+  ASSERT_TRUE(cold.results[1].ok());
+  ASSERT_TRUE(cold.results[2].ok());
+  EXPECT_EQ(cold.results[1].optimum_gates, 2u);
+  EXPECT_EQ(cold.results[2].optimum_gates, 4u);
+
+  // A repeated joint request is an exact-key cache hit: no new synthesis.
+  const auto warm = service.run(
+      {batch_request{truth_table{}, {sum, carry}, std::nullopt, std::nullopt}});
+  EXPECT_EQ(warm.metrics.synth_runs, 3u);
+  EXPECT_GE(warm.metrics.cache_hits, 1u);
+  ASSERT_TRUE(warm.results[0].ok());
+  ASSERT_EQ(warm.results[0].chains.size(), cold.results[0].chains.size());
+  for (std::size_t j = 0; j < warm.results[0].chains.size(); ++j) {
+    EXPECT_TRUE(warm.results[0].chains[j] == cold.results[0].chains[j]);
+  }
+
+  // Output order is part of the key: (carry, sum) is a different function
+  // list, so it synthesizes fresh instead of reusing the (sum, carry)
+  // entry with scrambled outputs.
+  const auto swapped = service.run(
+      {batch_request{truth_table{}, {carry, sum}, std::nullopt, std::nullopt}});
+  EXPECT_EQ(swapped.metrics.synth_runs, 4u);
+  ASSERT_TRUE(swapped.results[0].ok());
+  EXPECT_EQ(swapped.results[0].chains.front().simulate_output(0), carry);
+  EXPECT_EQ(swapped.results[0].chains.front().simulate_output(1), sum);
+}
+
+TEST(BatchService, MultiOutputEntriesPersistAndWarmAcrossInstances) {
+  const auto sum = truth_table::from_hex(3, "0x96");
+  const auto carry = truth_table::from_hex(3, "0xe8");
+  const std::vector<batch_request> requests{
+      batch_request{truth_table{}, {sum, carry}, std::nullopt, std::nullopt}};
+  const std::string path =
+      ::testing::TempDir() + "/stpes_batch_cache_multi_test.txt";
+  std::remove(path.c_str());
+
+  batch_options opts;
+  opts.num_threads = 2;
+  opts.timeout_seconds = 120.0;
+  batch_synthesizer first{opts};
+  const auto cold = first.run(requests);
+  ASSERT_TRUE(cold.results[0].ok());
+  EXPECT_EQ(first.persist_cache(path), 1u);
+
+  batch_synthesizer second{opts};
+  EXPECT_EQ(second.warm_cache(path), 1u);
+  const auto warm = second.run(requests);
+  EXPECT_EQ(warm.metrics.synth_runs, 0u);
+  EXPECT_EQ(warm.metrics.cache_hits, 1u);
+  ASSERT_TRUE(warm.results[0].ok());
+  ASSERT_EQ(warm.results[0].chains.size(), cold.results[0].chains.size());
+  for (std::size_t j = 0; j < warm.results[0].chains.size(); ++j) {
+    EXPECT_TRUE(warm.results[0].chains[j] == cold.results[0].chains[j]);
+    EXPECT_EQ(warm.results[0].chains[j].simulate_output(0), sum);
+    EXPECT_EQ(warm.results[0].chains[j].simulate_output(1), carry);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(BatchService, CachePersistsAndWarmsAcrossInstances) {

@@ -297,9 +297,9 @@ std::string three_entry_file() {
   return os.str();
 }
 
-TEST(ChainIo, V2FilesCarryPerEntryCrcAndRoundTrip) {
+TEST(ChainIo, V3FilesCarryPerEntryCrcAndRoundTrip) {
   const auto text = three_entry_file();
-  EXPECT_EQ(text.rfind("stpes-chains v2\n", 0), 0u) << text;
+  EXPECT_EQ(text.rfind("stpes-chains v3\n", 0), 0u) << text;
   // One `crc <8 hex digits>` line per entry.
   std::size_t crc_lines = 0;
   std::istringstream is{text};
@@ -312,6 +312,23 @@ TEST(ChainIo, V2FilesCarryPerEntryCrcAndRoundTrip) {
   }
   EXPECT_EQ(crc_lines, 3u);
   // Both loaders accept the healthy file in full.
+  std::istringstream strict{text};
+  EXPECT_EQ(load_cache(strict).size(), 3u);
+  std::istringstream lenient{text};
+  const auto report = load_cache_lenient(lenient);
+  EXPECT_EQ(report.entries.size(), 3u);
+  EXPECT_TRUE(report.skipped.empty());
+}
+
+TEST(ChainIo, V2FilesStillLoadReadOnly) {
+  // Reject-never-migrate: the previous generation keeps loading in both
+  // modes.  The per-entry CRC covers only the entry block (never the
+  // header line), so a v2 file is byte-for-byte a v3 file with the old
+  // header — as long as it contains no multi-output entries.
+  auto text = three_entry_file();
+  const auto pos = text.find("stpes-chains v3");
+  ASSERT_EQ(pos, 0u);
+  text.replace(0, 15, "stpes-chains v2");
   std::istringstream strict{text};
   EXPECT_EQ(load_cache(strict).size(), 3u);
   std::istringstream lenient{text};
@@ -439,11 +456,137 @@ TEST(ChainIo, AtomicSaveReplacesTheFileWholesale) {
                             std::istreambuf_iterator<char>{}};
   // The second save fully replaced the first (no interleaved halves) and
   // left no scratch file behind.
-  EXPECT_EQ(content.rfind("stpes-chains v2\n", 0), 0u);
+  EXPECT_EQ(content.rfind("stpes-chains v3\n", 0), 0u);
   const auto loaded = load_cache_file(path);
   EXPECT_EQ(loaded.size(), 2u);
   EXPECT_EQ(std::remove((path + ".tmp.0").c_str()), -1);
   std::remove(path.c_str());
+}
+
+/// A 2-output full-adder chain: sum = a ^ b ^ c, carry = maj(a, b, c).
+boolean_chain full_adder_chain() {
+  boolean_chain c{3};
+  const auto ab = c.add_step(0x6, 0, 1);     // a ^ b
+  const auto sum = c.add_step(0x6, 2, ab);   // (a ^ b) ^ c
+  const auto g1 = c.add_step(0x8, 0, 1);     // a & b
+  const auto g2 = c.add_step(0x8, 2, ab);    // c & (a ^ b)
+  const auto carry = c.add_step(0xE, g1, g2);
+  c.set_output(sum);
+  c.add_output(carry);
+  return c;
+}
+
+TEST(ChainIo, MultiOutputChainLineRoundTrips) {
+  const auto original = full_adder_chain();
+  const auto line = serialize_chain(original);
+  EXPECT_EQ(line.rfind("mchain 3 5 2 ", 0), 0u) << line;
+  const auto parsed = parse_chain(line);
+  EXPECT_TRUE(parsed == original);
+  ASSERT_EQ(parsed.num_outputs(), 2u);
+  EXPECT_EQ(parsed.simulate_output(0), truth_table::from_hex(3, "96"));
+  EXPECT_EQ(parsed.simulate_output(1), truth_table::from_hex(3, "e8"));
+}
+
+TEST(ChainIo, SingleOutputChainLinesAreUnchangedByTheV3Grammar) {
+  // The m = 1 grammar (keyword, field order, byte layout) must stay
+  // byte-identical across format generations: SYNTH replies and old cache
+  // files both depend on it.
+  boolean_chain c{2};
+  c.set_output(c.add_step(0x8, 0, 1));
+  EXPECT_EQ(serialize_chain(c), "chain 2 1 2 0 8 0 1");
+}
+
+TEST(ChainIo, MalformedMchainLinesAreRejected) {
+  // Too few outputs for the keyword (m = 1 lines must use `chain`).
+  EXPECT_THROW(parse_chain("mchain 2 1 1 2 0 8 0 1"), std::runtime_error);
+  // Token count not matching m and num_steps.
+  EXPECT_THROW(parse_chain("mchain 2 1 2 2 0 8 0 1"), std::runtime_error);
+  // Output signal that does not exist.
+  EXPECT_THROW(parse_chain("mchain 2 1 2 2 0 9 0 8 0 1"),
+               std::runtime_error);
+  // Output-complemented flag that is not 0/1.
+  EXPECT_THROW(parse_chain("mchain 2 1 2 2 0 2 7 8 0 1"),
+               std::runtime_error);
+}
+
+TEST(ChainIo, MultiOutputEntryRoundTripVerifiesEveryOutput) {
+  const auto c = full_adder_chain();
+  cache_entry e;
+  e.functions = {c.simulate_output(0), c.simulate_output(1)};
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 5;
+  e.result.chains = {c};
+
+  std::stringstream file;
+  save_cache(file, {e});
+  EXPECT_NE(file.str().find("entry 0x96,0xe8 3 success 5"),
+            std::string::npos)
+      << file.str();
+  const auto loaded = load_cache(file);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].targets(), e.functions);
+  ASSERT_EQ(loaded[0].result.chains.size(), 1u);
+  EXPECT_TRUE(loaded[0].result.chains[0] == c);
+}
+
+TEST(ChainIo, CorruptionMatrixMultiEntryWithSwappedOutputsIsRejected) {
+  // The entry lists (carry, sum) but the chain realizes (sum, carry):
+  // per-output re-verification must refuse it even though the *set* of
+  // realized functions matches.
+  const auto c = full_adder_chain();
+  cache_entry e;
+  e.functions = {c.simulate_output(1), c.simulate_output(0)};  // swapped
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 5;
+  e.result.chains = {c};
+  std::stringstream file;
+  save_cache(file, {e});
+  EXPECT_THROW(load_cache(file), std::runtime_error);
+}
+
+TEST(ChainIo, CorruptionMatrixOutputCountMismatchIsRejected) {
+  // Entry lists two functions but the chain only carries one output.
+  boolean_chain c{3};
+  c.set_output(c.add_step(0x6, 0, 1));
+  cache_entry e;
+  e.functions = {c.simulate(), truth_table::from_hex(3, "e8")};
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 1;
+  e.result.chains = {c};
+  std::stringstream file;
+  save_cache(file, {e});
+  std::istringstream strict{file.str()};
+  EXPECT_THROW(load_cache(strict), std::runtime_error);
+  std::istringstream lenient{file.str()};
+  const auto report = load_cache_lenient(lenient);
+  EXPECT_TRUE(report.entries.empty());
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].reason.find("outputs"), std::string::npos)
+      << report.skipped[0].reason;
+}
+
+TEST(ChainIo, CorruptionMatrixMultiEntryInPreV3FileIsDamageNotData) {
+  // Reject-never-migrate also cuts the other way: a v2 header promises a
+  // single-output file, so a comma list inside one is damage.  Lenient
+  // mode skips the entry, strict mode throws.
+  const auto c = full_adder_chain();
+  cache_entry e;
+  e.functions = {c.simulate_output(0), c.simulate_output(1)};
+  e.result.outcome = stpes::synth::status::success;
+  e.result.optimum_gates = 5;
+  e.result.chains = {c};
+  std::stringstream file;
+  save_cache(file, {e});
+  auto text = file.str();
+  text.replace(0, 15, "stpes-chains v2");
+  std::istringstream strict{text};
+  EXPECT_THROW(load_cache(strict), std::runtime_error);
+  std::istringstream lenient{text};
+  const auto report = load_cache_lenient(lenient);
+  EXPECT_TRUE(report.entries.empty());
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].reason.find("needs v3"), std::string::npos)
+      << report.skipped[0].reason;
 }
 
 TEST(ChainIo, RealSynthesisResultSurvivesDisk) {

@@ -49,7 +49,7 @@ std::string fuzz_token(rng& r) {
     const std::uint64_t roll = r.next_below(10);
     char c = 0;
     if (roll < 6) {
-      c = static_cast<char>("0123456789abcdefx.-+"[r.next_below(20)]);
+      c = static_cast<char>("0123456789abcdefx.-+,"[r.next_below(21)]);
     } else if (roll < 9) {
       c = static_cast<char>(' ' + r.next_below(95));  // any printable
     } else {
@@ -145,12 +145,28 @@ TEST(ProtocolFuzz, ParseSynthArgsReturnsValidOrThrowsProtocolError) {
     const std::uint64_t n = r.next_below(6);
     for (std::uint64_t i = 0; i < n; ++i) {
       // Bias toward almost-valid requests so the deep checks (hex length
-      // vs arity, timeout sign) get hit, not just the token-count gate.
-      switch (r.next_below(6)) {
+      // vs arity, timeout sign, output-list shape) get hit, not just the
+      // token-count gate.
+      switch (r.next_below(7)) {
         case 0: tokens.push_back("stp"); break;
         case 1: tokens.push_back("bench"); break;
         case 2: tokens.push_back(std::to_string(r.next_below(40))); break;
         case 3: tokens.push_back("8"); break;
+        case 4: {
+          // A comma list of plausible hex pieces, sometimes degenerate
+          // (leading/trailing/double commas, over-long lists).
+          std::string list;
+          const std::uint64_t pieces = r.next_below(12);
+          for (std::uint64_t p = 0; p < pieces; ++p) {
+            if (p > 0 || r.next_below(8) == 0) {
+              list += ',';
+            }
+            const char* const kPieces[] = {"8", "6", "96", "e8", "0x8", ""};
+            list += kPieces[r.next_below(std::size(kPieces))];
+          }
+          tokens.push_back(list.empty() ? "," : list);
+          break;
+        }
         default: tokens.push_back(fuzz_token(r)); break;
       }
     }
@@ -158,6 +174,14 @@ TEST(ProtocolFuzz, ParseSynthArgsReturnsValidOrThrowsProtocolError) {
       const auto args = parse_synth_args(tokens, limits);
       // Whatever survives parsing must respect the wire limits.
       EXPECT_LE(args.function.num_vars(), limits.max_vars);
+      EXPECT_GE(args.num_outputs(), 1u);
+      EXPECT_LE(args.num_outputs(), limits.max_outputs);
+      for (const auto& f : args.functions) {
+        // Every function of a surviving list shares one arity under the
+        // cap (a mixed-arity list must have been rejected).
+        EXPECT_EQ(f.num_vars(), args.functions.front().num_vars());
+        EXPECT_LE(f.num_vars(), limits.max_vars);
+      }
       if (args.timeout_seconds) {
         EXPECT_GE(*args.timeout_seconds, 0.0);
       }
@@ -213,12 +237,13 @@ TEST(ProtocolFuzz, SessionSurvivesGarbageAndStaysResponsive) {
     while (std::getline(replies, line)) {
       ++lines;
       // Framing invariant: with payload-carrying verbs excluded from the
-      // generator, every reply line opens with a known head.  `chain` and
-      // `RESULT` appear when a mutated SYNTH/BATCH accidentally parses.
+      // generator, every reply line opens with a known head.  `chain`,
+      // `mchain`, and `RESULT` appear when a mutated SYNTH/BATCH (possibly
+      // with a comma list) accidentally parses.
       const bool known_head =
           line.rfind("OK", 0) == 0 || line.rfind("ERR", 0) == 0 ||
           line.rfind("BUSY", 0) == 0 || line.rfind("chain", 0) == 0 ||
-          line.rfind("RESULT", 0) == 0;
+          line.rfind("mchain", 0) == 0 || line.rfind("RESULT", 0) == 0;
       ASSERT_TRUE(known_head) << "seed " << seed << ": bad reply line: "
                               << line;
     }

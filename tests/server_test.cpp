@@ -176,6 +176,83 @@ TEST(Server, MalformedLinesPoisonOnlyTheirRequest) {
   EXPECT_EQ(server.counters().parse_errors, 8u);
 }
 
+TEST(Server, MultiOutputSynthReturnsOneSharedChainSet) {
+  synthesis_server server{quick_options()};
+  // The 2-output full adder over a comma-separated hex list: sum, carry.
+  const auto lines =
+      split_lines(run_session(server, "SYNTH stp 3 96,e8\n"));
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("OK success 5 ", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find(" outputs=2 "), std::string::npos) << lines[0];
+  const auto sum = truth_table::from_hex(3, "96");
+  const auto carry = truth_table::from_hex(3, "e8");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].rfind("mchain 3 5 2 ", 0), 0u) << lines[i];
+    const auto c = stpes::service::parse_chain(lines[i]);
+    ASSERT_EQ(c.num_outputs(), 2u);
+    EXPECT_EQ(c.simulate_output(0), sum);
+    EXPECT_EQ(c.simulate_output(1), carry);
+  }
+  // Single-output replies carry no outputs= tag: byte compatibility with
+  // the previous protocol generation.
+  const auto single = split_lines(run_session(server, "SYNTH stp 2 8\n"));
+  ASSERT_GE(single.size(), 1u);
+  EXPECT_EQ(single[0].find("outputs="), std::string::npos) << single[0];
+}
+
+TEST(Server, MalformedOutputListsAreRejected) {
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server,
+                               "SYNTH stp 2 8,\n"
+                               "SYNTH stp 2 ,8\n"
+                               "SYNTH stp 2 8,fff\n"
+                               "SYNTH stp 2 8,6,9,8,6,9,8,6,9\n"
+                               "SYNTH stp 3 96,e8\n");
+  const auto lines = split_lines(out);
+  ASSERT_GE(lines.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(lines[i].rfind("ERR ", 0), 0u) << lines[i];
+  }
+  EXPECT_NE(lines[3].find("too many outputs"), std::string::npos)
+      << lines[3];
+  // The well-formed list after the garbage still synthesizes.
+  EXPECT_EQ(lines[4].rfind("OK success 5 ", 0), 0u) << lines[4];
+  EXPECT_EQ(server.counters().parse_errors, 4u);
+}
+
+TEST(Server, BatchRowsAcceptMultiOutputLists) {
+  synthesis_server server{quick_options()};
+  const auto out = run_session(server,
+                               "BATCH\n"
+                               "stp 3 96,e8\n"
+                               "stp 2 8\n"
+                               "END\n");
+  const auto lines = split_lines(out);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("OK 2 id=", 0), 0u) << lines[0];
+  // The multi row's RESULT head is tagged; its chains are mchain lines.
+  EXPECT_EQ(lines[1].rfind("RESULT 0 success 5 ", 0), 0u) << lines[1];
+  EXPECT_NE(lines[1].find(" outputs=2"), std::string::npos) << lines[1];
+  std::size_t result1_at = 0;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    if (lines[i].rfind("RESULT 1 ", 0) == 0) {
+      result1_at = i;
+    }
+  }
+  ASSERT_GT(result1_at, 2u);
+  const auto sum = truth_table::from_hex(3, "96");
+  const auto carry = truth_table::from_hex(3, "e8");
+  for (std::size_t i = 2; i < result1_at; ++i) {
+    const auto c = stpes::service::parse_chain(lines[i]);
+    ASSERT_EQ(c.num_outputs(), 2u);
+    EXPECT_EQ(c.simulate_output(0), sum);
+    EXPECT_EQ(c.simulate_output(1), carry);
+  }
+  // The single-output row stays untagged.
+  EXPECT_EQ(lines[result1_at].find("outputs="), std::string::npos)
+      << lines[result1_at];
+}
+
 TEST(Server, OversizedPayloadsAreRejectedUpFront) {
   synthesis_server server{quick_options()};
   // Arity over the wire limit: rejected before any synthesis work.

@@ -99,4 +99,59 @@ TEST(Workload, PdsdRejectsTooFewInputs) {
   EXPECT_THROW(pdsd_functions(3, 1, 0), std::invalid_argument);
 }
 
+TEST(Workload, MaddCollectionMatchesItsArithmeticDefinitions) {
+  const auto instances = stpes::workload::madd_collection();
+  ASSERT_EQ(instances.size(), 5u);
+  for (const auto& instance : instances) {
+    ASSERT_GE(instance.functions.size(), 2u);
+    ASSERT_LE(instance.functions.size(), 3u);
+    EXPECT_LE(instance.functions.front().num_vars(), 4u);
+    for (const auto& f : instance.functions) {
+      EXPECT_EQ(f.num_vars(), instance.functions.front().num_vars());
+    }
+  }
+
+  // The full adder's outputs are the known (sum, carry) pair.
+  EXPECT_EQ(instances[1].name, "full-adder");
+  EXPECT_EQ(instances[1].functions[0], truth_table(3, 0x96));
+  EXPECT_EQ(instances[1].functions[1], truth_table(3, 0xE8));
+
+  // Comparator outputs are one-hot over every minterm; equality holds
+  // exactly on the diagonal.
+  const auto& cmp2 = instances[3];
+  EXPECT_EQ(cmp2.name, "cmp2");
+  const auto& lt = cmp2.functions[0];
+  const auto& eq = cmp2.functions[1];
+  const auto& gt = cmp2.functions[2];
+  for (std::uint64_t t = 0; t < lt.num_bits(); ++t) {
+    EXPECT_EQ(static_cast<int>(lt.get_bit(t)) + eq.get_bit(t) +
+                  gt.get_bit(t),
+              1);
+    const unsigned a = static_cast<unsigned>(t & 3);
+    const unsigned b = static_cast<unsigned>((t >> 2) & 3);
+    EXPECT_EQ(eq.get_bit(t), a == b);
+  }
+
+  // The 2-bit adder reconstructs a + b from its output bits.
+  const auto& add2 = instances[4];
+  EXPECT_EQ(add2.name, "add2");
+  for (std::uint64_t t = 0; t < add2.functions[0].num_bits(); ++t) {
+    const unsigned sum = static_cast<unsigned>(t & 3) +
+                         static_cast<unsigned>((t >> 2) & 3);
+    unsigned decoded = 0;
+    for (unsigned k = 0; k < 3; ++k) {
+      decoded |= static_cast<unsigned>(add2.functions[k].get_bit(t)) << k;
+    }
+    EXPECT_EQ(decoded, sum);
+  }
+
+  // Deterministic: a second call reproduces the collection exactly.
+  const auto again = stpes::workload::madd_collection();
+  ASSERT_EQ(again.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(again[i].name, instances[i].name);
+    EXPECT_EQ(again[i].functions, instances[i].functions);
+  }
+}
+
 }  // namespace

@@ -2,29 +2,38 @@
 /// \brief Command-line client for a running stpes-serve daemon.
 ///
 ///     stpes-client --socket=/tmp/stpes.sock synth stp 4 0x8ff8 [timeout]
-///     stpes-client --socket=/tmp/stpes.sock synth stp 3 96,e8 [timeout]
+///     stpes-client --connect=127.0.0.1:9100 synth stp 3 96,e8 [timeout]
 ///     stpes-client --socket=/tmp/stpes.sock batch < functions.txt
-///     stpes-client --socket=/tmp/stpes.sock stats [json]
+///     stpes-client --connect=host:port stats [json]
 ///     stpes-client --socket=/tmp/stpes.sock save /tmp/cache.txt
 ///     stpes-client --socket=/tmp/stpes.sock load /tmp/cache.txt
 ///     stpes-client --socket=/tmp/stpes.sock ping | shutdown
 ///
-/// `batch` reads `<engine> <n> <hex> [timeout]` lines from stdin.  A
-/// comma-separated hex list (`96,e8`) asks for one shared multi-output
-/// chain.  The exit code is 0 on an OK reply, 1 on ERR (including
-/// `ERR timeout`), and 2 on usage or connection problems.
+/// `--socket=PATH` dials a Unix socket; `--connect=SPEC` accepts any
+/// endpoint form (`host:port`, `unix:/path`, or a bare path) and is how a
+/// TCP daemon or a `stpes-route` front is reached.  `batch` reads
+/// `<engine> <n> <hex> [timeout]` lines from stdin.  A comma-separated
+/// hex list (`96,e8`) asks for one shared multi-output chain.  The exit
+/// code is 0 on an OK reply, 1 on ERR (including `ERR timeout`), and 2 on
+/// usage or connection problems.
+
+#include <unistd.h>
 
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "server/client.hpp"
+#include "server/fd_stream.hpp"
+#include "server/resilient_client.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::cerr
-      << "usage: stpes-client --socket=PATH <command>\n"
+      << "usage: stpes-client --socket=PATH | --connect=SPEC <command>\n"
+         "  SPEC: host:port, unix:/path, or /path\n"
          "  synth <engine> <n> <hex>[,<hex>...] [timeout]   one request\n"
          "  batch                                requests from stdin\n"
          "  stats [json]                         daemon counters\n"
@@ -32,6 +41,22 @@ namespace {
          "  ping | shutdown\n";
   std::exit(2);
 }
+
+/// An endpoint-agnostic connection owning the fd, the stream, and the
+/// protocol client.
+struct connection_holder {
+  explicit connection_holder(const stpes::server::endpoint& ep)
+      : fd(stpes::server::connect_endpoint(ep, 5000)),
+        io(fd),
+        client(io, io) {}
+  ~connection_holder() { ::close(fd); }
+  connection_holder(const connection_holder&) = delete;
+  connection_holder& operator=(const connection_holder&) = delete;
+
+  int fd;
+  stpes::server::fd_iostream io;
+  stpes::server::line_client client;
+};
 
 /// Splits a `<hex>[,<hex>...]` payload into per-output truth tables.
 std::vector<stpes::tt::truth_table> parse_targets(unsigned num_vars,
@@ -71,23 +96,32 @@ int print_reply(const stpes::server::line_client::synth_reply& r) {
 int main(int argc, char** argv) {
   using namespace stpes;
 
-  std::string socket_path;
+  std::optional<server::endpoint> target;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--socket=", 0) == 0) {
-      socket_path = arg.substr(9);
+      server::endpoint ep;
+      ep.host_or_path = arg.substr(9);
+      target = ep;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      try {
+        target = server::endpoint::parse(arg.substr(10));
+      } catch (const std::exception& e) {
+        std::cerr << "stpes-client: " << e.what() << "\n";
+        usage();
+      }
     } else {
       args.push_back(arg);
     }
   }
-  if (socket_path.empty() || args.empty()) {
+  if (!target.has_value() || target->host_or_path.empty() || args.empty()) {
     usage();
   }
 
   try {
-    server::unix_client connection{socket_path};
-    auto& client = connection.session();
+    connection_holder connection{*target};
+    auto& client = connection.client;
     const std::string& command = args[0];
 
     if (command == "synth" && (args.size() == 4 || args.size() == 5)) {

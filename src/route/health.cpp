@@ -1,0 +1,93 @@
+#include "route/health.hpp"
+
+namespace stpes::route {
+
+const char* to_string(backend_health h) {
+  return h == backend_health::healthy ? "healthy" : "down";
+}
+
+bool health_tracker::attemptable(std::size_t idx,
+                                 clock::time_point now) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return attemptable_locked(backends_[idx], now);
+}
+
+bool health_tracker::healthy(std::size_t idx) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return backends_[idx].pub.state == backend_health::healthy;
+}
+
+bool health_tracker::attemptable_locked(const state& s,
+                                        clock::time_point now) const {
+  if (s.pub.state == backend_health::healthy) {
+    return true;
+  }
+  return now - s.down_since >= std::chrono::milliseconds(probation_ms_);
+}
+
+void health_tracker::record_success(std::size_t idx) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto& s = backends_[idx];
+  ++s.pub.successes_total;
+  s.pub.consecutive_failures = 0;
+  if (s.pub.state == backend_health::down) {
+    s.pub.state = backend_health::healthy;
+    ++s.pub.readmissions;
+  }
+}
+
+void health_tracker::record_failure(std::size_t idx, clock::time_point now) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto& s = backends_[idx];
+  ++s.pub.failures_total;
+  ++s.pub.consecutive_failures;
+  if (s.pub.state == backend_health::healthy) {
+    if (s.pub.consecutive_failures >= fail_threshold_) {
+      s.pub.state = backend_health::down;
+      s.down_since = now;
+      ++s.pub.ejections;
+    }
+  } else {
+    // A failed probation trial: refresh the window so the next attempt
+    // waits another full probation period.
+    s.down_since = now;
+  }
+}
+
+unsigned health_tracker::retry_hint_ms(unsigned floor_ms,
+                                       clock::time_point now) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  bool any = false;
+  std::chrono::milliseconds best{0};
+  for (const auto& s : backends_) {
+    if (attemptable_locked(s, now)) {
+      return floor_ms;  // something is usable right now
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            s.down_since + std::chrono::milliseconds(probation_ms_) - now);
+    if (!any || remaining < best) {
+      best = remaining;
+      any = true;
+    }
+  }
+  const auto hint = any ? static_cast<unsigned>(best.count()) : floor_ms;
+  return hint > floor_ms ? hint : floor_ms;
+}
+
+backend_status health_tracker::status(std::size_t idx) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return backends_[idx].pub;
+}
+
+std::vector<backend_status> health_tracker::snapshot() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<backend_status> out;
+  out.reserve(backends_.size());
+  for (const auto& s : backends_) {
+    out.push_back(s.pub);
+  }
+  return out;
+}
+
+}  // namespace stpes::route

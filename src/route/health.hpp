@@ -1,0 +1,98 @@
+/// \file health.hpp
+/// \brief Per-backend health state machine: ejection and probation.
+///
+/// One tracker serves the whole router: the prober thread and every
+/// session thread feed it transport-level successes and failures, and the
+/// request path asks it which replicas are worth trying.  The machine per
+/// backend:
+///
+///     healthy --(fail_threshold consecutive failures)--> down
+///     down    --(probation_ms elapsed)--> probe-eligible
+///     probe-eligible --(one success)--> healthy (readmission)
+///                    --(one failure)--> down again, timer refreshed
+///
+/// While a backend is down and inside its probation window, `attemptable`
+/// is false: no request and no probe touches it, so a dead shard costs
+/// each key one failed connect per window at most, not per request.  Once
+/// the window elapses, requests *and* probes may try it again — whichever
+/// arrives first decides readmission, so recovery needs no dedicated
+/// probe round-trip on the hot path.
+///
+/// All methods are thread-safe (one mutex; health transitions are rare
+/// events compared to request traffic).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stpes::route {
+
+enum class backend_health { healthy, down };
+
+[[nodiscard]] const char* to_string(backend_health h);
+
+/// One backend's externally visible state.
+struct backend_status {
+  backend_health state = backend_health::healthy;
+  unsigned consecutive_failures = 0;
+  std::uint64_t failures_total = 0;
+  std::uint64_t successes_total = 0;
+  std::uint64_t ejections = 0;     ///< healthy -> down transitions
+  std::uint64_t readmissions = 0;  ///< down -> healthy transitions
+};
+
+class health_tracker {
+public:
+  using clock = std::chrono::steady_clock;
+
+  health_tracker(std::size_t num_backends, unsigned fail_threshold,
+                 unsigned probation_ms)
+      : fail_threshold_(fail_threshold == 0 ? 1 : fail_threshold),
+        probation_ms_(probation_ms),
+        backends_(num_backends) {}
+
+  /// True when a request or probe should try this backend now: healthy,
+  /// or down with its probation window elapsed.
+  [[nodiscard]] bool attemptable(std::size_t idx,
+                                 clock::time_point now = clock::now()) const;
+
+  /// True when the backend is currently marked healthy.
+  [[nodiscard]] bool healthy(std::size_t idx) const;
+
+  /// A transport-level success: resets the failure streak; a down
+  /// backend is readmitted.
+  void record_success(std::size_t idx);
+
+  /// A transport-level failure: extends the streak; at the threshold the
+  /// backend is ejected (marked down) and its probation timer starts.
+  void record_failure(std::size_t idx, clock::time_point now = clock::now());
+
+  /// Milliseconds until *some* backend becomes attemptable again — the
+  /// computed retry hint for degraded-mode BUSY replies.  At least
+  /// `floor_ms`; `floor_ms` exactly when anything is attemptable already.
+  [[nodiscard]] unsigned retry_hint_ms(
+      unsigned floor_ms, clock::time_point now = clock::now()) const;
+
+  [[nodiscard]] backend_status status(std::size_t idx) const;
+  [[nodiscard]] std::vector<backend_status> snapshot() const;
+
+private:
+  struct state {
+    backend_status pub;
+    clock::time_point down_since{};
+  };
+
+  [[nodiscard]] bool attemptable_locked(const state& s,
+                                        clock::time_point now) const;
+
+  const unsigned fail_threshold_;
+  const unsigned probation_ms_;
+  mutable std::mutex mutex_;
+  std::vector<state> backends_;
+};
+
+}  // namespace stpes::route

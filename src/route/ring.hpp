@@ -1,0 +1,111 @@
+/// \file ring.hpp
+/// \brief Consistent-hash ring over named backends.
+///
+/// The routing invariant the service tier depends on: requests for one
+/// NPN class always land on the same shard, so each shard's warm cache
+/// stays hot and disjoint instead of every shard slowly accumulating a
+/// copy of the whole workload.  Classic Karger ring with virtual nodes:
+/// every backend owns `vnodes` points hashed from its *name* (so the
+/// mapping is stable under config reordering and under adding/removing
+/// other backends — only ~1/N of keys move), and a key is served by the
+/// first point clockwise from its hash.
+///
+/// `preference()` returns the full failover order: the home backend
+/// first, then each next *distinct* backend walking the ring — which is
+/// exactly the order the router tries replicas in when shards die.
+/// Everything here is immutable after construction and therefore
+/// trivially thread-safe.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stpes::route {
+
+/// FNV-1a, 64-bit, with a murmur-style avalanche finalizer.  Raw FNV-1a
+/// is fine for table lookups but terrible as ring coordinates: for short
+/// strings the high bits are dominated by `basis * prime^length`, so
+/// same-length point names cluster on one arc and a backend can end up
+/// owning most of the hash space.  The finalizer spreads every input bit
+/// across the whole word, which is what uniform arc ownership needs.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+class hash_ring {
+public:
+  /// `names` identify the backends (endpoint specs in practice); their
+  /// order defines the indices `preference()` returns.
+  explicit hash_ring(std::vector<std::string> names, unsigned vnodes = 64)
+      : names_(std::move(names)) {
+    points_.reserve(names_.size() * vnodes);
+    for (std::size_t b = 0; b < names_.size(); ++b) {
+      for (unsigned v = 0; v < vnodes; ++v) {
+        points_.emplace_back(
+            fnv1a64(names_[b] + "#" + std::to_string(v)), b);
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  [[nodiscard]] std::size_t num_backends() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+  /// The home backend of `key_hash` (first ring point clockwise).
+  [[nodiscard]] std::size_t home(std::uint64_t key_hash) const {
+    return points_[successor(key_hash)].second;
+  }
+
+  /// Failover order for `key_hash`: every backend exactly once, home
+  /// first, then by ring walk — the order replicas are tried when the
+  /// home shard is down.
+  [[nodiscard]] std::vector<std::size_t> preference(
+      std::uint64_t key_hash) const {
+    std::vector<std::size_t> order;
+    order.reserve(names_.size());
+    std::vector<bool> seen(names_.size(), false);
+    for (std::size_t step = 0;
+         step < points_.size() && order.size() < names_.size(); ++step) {
+      const auto backend =
+          points_[(successor(key_hash) + step) % points_.size()].second;
+      if (!seen[backend]) {
+        seen[backend] = true;
+        order.push_back(backend);
+      }
+    }
+    return order;
+  }
+
+private:
+  /// Index of the first point with hash >= key_hash (wrapping).
+  [[nodiscard]] std::size_t successor(std::uint64_t key_hash) const {
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(),
+        std::make_pair(key_hash, std::size_t{0}));
+    return it == points_.end()
+               ? 0
+               : static_cast<std::size_t>(it - points_.begin());
+  }
+
+  std::vector<std::string> names_;
+  /// (point hash, backend index), sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace stpes::route

@@ -1,0 +1,523 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "tt/npn.hpp"
+#include "util/failpoint.hpp"
+
+namespace stpes::route {
+
+using server::client_metrics;
+using server::resilient_client;
+using server::retry_policy;
+
+struct router::session_clients {
+  explicit session_clients(router& r) : owner(r) {
+    clients.resize(r.endpoints_.size());
+    last_seen.resize(r.endpoints_.size());
+  }
+  ~session_clients() { flush(); }
+
+  resilient_client& get(std::size_t idx) {
+    if (clients[idx] == nullptr) {
+      clients[idx] = std::make_unique<resilient_client>(
+          owner.endpoints_[idx], owner.options_.backend_policy);
+    }
+    return *clients[idx];
+  }
+
+  /// Pushes this session's client-metric deltas into the router-wide
+  /// aggregates (called after every routed request so STATS is live).
+  void flush() {
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      if (clients[i] != nullptr) {
+        owner.absorb_metrics(clients[i]->metrics(), last_seen[i]);
+      }
+    }
+  }
+
+  router& owner;
+  std::vector<std::unique_ptr<resilient_client>> clients;
+  std::vector<client_metrics> last_seen;
+};
+
+namespace {
+
+retry_policy probe_policy(const retry_policy& base) {
+  retry_policy p = base;
+  p.max_attempts = 1;  // a probe is one trial; the tracker does the rest
+  return p;
+}
+
+}  // namespace
+
+router::router(router_options opts)
+    : options_(std::move(opts)),
+      ring_(options_.backends, options_.vnodes),
+      health_(options_.backends.size(), options_.fail_threshold,
+              options_.probation_ms) {
+  if (options_.backends.empty()) {
+    throw std::runtime_error{"router needs at least one backend"};
+  }
+  endpoints_.reserve(options_.backends.size());
+  for (const auto& spec : options_.backends) {
+    endpoints_.push_back(server::endpoint::parse(spec));  // throws on junk
+  }
+  probe_clients_.resize(endpoints_.size());
+  probe_metrics_seen_.resize(endpoints_.size());
+}
+
+router::~router() { stop_probes(); }
+
+std::string router::request_key(const server::synth_args& args) {
+  std::ostringstream key;
+  if (args.functions.empty()) {
+    const auto& f = args.function;
+    if (f.num_vars() <= 5) {
+      // The same canonization the shard caches key on: every member of
+      // an NPN class routes to the class's one warm shard.
+      key << "npn1:" << f.num_vars() << ":"
+          << tt::exact_npn_canonize(f).canonical.to_hex();
+    } else {
+      key << "raw1:" << f.num_vars() << ":" << f.to_hex();
+    }
+  } else {
+    key << "m" << args.functions.size() << ":"
+        << args.functions.front().num_vars();
+    for (const auto& f : args.functions) {
+      key << ":" << f.to_hex();
+    }
+  }
+  return key.str();
+}
+
+void router::serve(std::istream& in, std::ostream& out) {
+  sessions_.fetch_add(1, std::memory_order_relaxed);
+  session_clients clients{*this};
+  std::string line;
+  while (!draining()) {
+    const auto status =
+        server::read_limited_line(in, line, options_.limits.max_line_bytes);
+    if (status == server::line_status::eof) {
+      break;
+    }
+    if (status == server::line_status::too_long) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      server::write_error(
+          out, "line-too-long (max " +
+                   std::to_string(options_.limits.max_line_bytes) +
+                   " bytes)");
+      out.flush();
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    const bool keep_going = handle_line(line, in, out, clients);
+    clients.flush();
+    out.flush();
+    if (!keep_going) {
+      break;
+    }
+  }
+}
+
+bool router::handle_line(const std::string& line, std::istream& in,
+                         std::ostream& out, session_clients& clients) {
+  const auto tokens = server::tokenize(line);
+  if (tokens.empty()) {
+    return true;
+  }
+  commands_.fetch_add(1, std::memory_order_relaxed);
+  const std::string& verb = tokens.front();
+
+  if (verb == "PING") {
+    out << "OK pong\n";
+    return true;
+  }
+  if (verb == "SYNTH") {
+    route_synth(line, tokens, out, clients);
+    return true;
+  }
+  if (verb == "BATCH") {
+    return route_batch(in, out, clients);
+  }
+  if (verb == "STATS") {
+    const std::string mode = tokens.size() > 1 ? tokens[1] : "TEXT";
+    if (mode == "JSON") {
+      out << "OK 1\n" << stats_json() << "\n";
+    } else if (mode == "TEXT") {
+      const auto text = stats_text();
+      out << "OK "
+          << std::count(text.begin(), text.end(), '\n') << "\n"
+          << text;
+    } else {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      server::write_error(out,
+                          "unknown STATS mode '" + mode + "' (want "
+                          "TEXT|JSON)");
+    }
+    return true;
+  }
+  if (verb == "QUIT") {
+    out << "OK bye\n";
+    return false;
+  }
+  if (verb == "SHUTDOWN") {
+    out << "OK shutting-down\n";
+    shutdown_.store(true, std::memory_order_release);
+    begin_drain();
+    return false;
+  }
+  parse_errors_.fetch_add(1, std::memory_order_relaxed);
+  server::write_error(out, "command '" + verb +
+                               "' is not routable (router speaks SYNTH, "
+                               "BATCH, STATS, PING, QUIT, SHUTDOWN)");
+  return true;
+}
+
+std::string router::forward(const server::synth_args& args,
+                            const std::string& line,
+                            session_clients& clients, bool* busy_reply,
+                            bool* err_reply) {
+  *busy_reply = false;
+  *err_reply = false;
+  const auto key_hash = fnv1a64(request_key(args));
+  const auto order = ring_.preference(key_hash);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const auto idx = order[rank];
+    if (!health_.attemptable(idx)) {
+      continue;
+    }
+    auto& client = clients.get(idx);
+    try {
+      const auto reply = client.forward_synth(line);
+      health_.record_success(idx);
+      if (rank > 0) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+      *busy_reply = reply.busy;
+      *err_reply = !reply.ok && !reply.busy;
+      if (reply.busy && client.last_raw().empty()) {
+        // The final BUSY came from an attempt whose connection was since
+        // dropped; re-frame it from the parsed reply.
+        return "BUSY retry-after " + std::to_string(reply.retry_after_ms) +
+               "\n";
+      }
+      return client.last_raw();
+    } catch (const server::transport_error&) {
+      // This replica is unreachable even after the client's own retries:
+      // feed the tracker and walk to the next ring replica.
+      backend_failures_.fetch_add(1, std::memory_order_relaxed);
+      health_.record_failure(idx);
+    }
+  }
+  return {};  // every replica down or unattemptable — degraded mode
+}
+
+void router::route_synth(const std::string& line,
+                         const std::vector<std::string>& tokens,
+                         std::ostream& out, session_clients& clients) {
+  server::synth_args args;
+  try {
+    args = server::parse_synth_args({tokens.begin() + 1, tokens.end()},
+                                    options_.limits);
+  } catch (const server::protocol_error& e) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    server::write_error(out, e.what());
+    return;
+  }
+  bool busy = false;
+  bool err = false;
+  const auto raw = forward(args, line, clients, &busy, &err);
+  if (raw.empty()) {
+    degraded_busy_.fetch_add(1, std::memory_order_relaxed);
+    server::write_busy(
+        out, health_.retry_hint_ms(options_.min_retry_hint_ms));
+    return;
+  }
+  if (busy) {
+    routed_busy_.fetch_add(1, std::memory_order_relaxed);
+  } else if (err) {
+    routed_error_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    routed_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+  out << raw;
+}
+
+bool router::route_batch(std::istream& in, std::ostream& out,
+                         session_clients& clients) {
+  // Same bounded block consumption as the daemon: the whole body is read
+  // (and validated) before any reply, so a parse error mid-block can
+  // never desynchronize the session.
+  std::vector<std::pair<server::synth_args, std::string>> entries;
+  std::string first_error;
+  std::size_t body_lines = 0;
+  std::string line;
+  bool terminated = false;
+  while (true) {
+    const auto status =
+        server::read_limited_line(in, line, options_.limits.max_line_bytes);
+    if (status == server::line_status::eof) {
+      break;
+    }
+    if (status == server::line_status::too_long) {
+      ++body_lines;
+      if (first_error.empty()) {
+        first_error =
+            "batch line " + std::to_string(body_lines) + " too long";
+      }
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    ++body_lines;
+    if (body_lines > options_.limits.max_batch_requests) {
+      if (first_error.empty()) {
+        first_error = "batch exceeds " +
+                      std::to_string(options_.limits.max_batch_requests) +
+                      " requests";
+      }
+      continue;
+    }
+    if (!first_error.empty()) {
+      continue;
+    }
+    try {
+      auto args =
+          server::parse_synth_args(server::tokenize(line), options_.limits);
+      entries.emplace_back(std::move(args), "SYNTH " + line);
+    } catch (const server::protocol_error& e) {
+      first_error =
+          "batch line " + std::to_string(body_lines) + ": " + e.what();
+    }
+  }
+  if (!terminated) {
+    return false;  // client went away mid-block
+  }
+  if (!first_error.empty()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    server::write_error(out, first_error);
+    return true;
+  }
+  out << "OK " << entries.size() << "\n";
+  // Each entry routes to its own home shard; the reply blocks come back
+  // in request order regardless of which backends served (or failed)
+  // them, so replies can neither cross nor go missing.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    bool busy = false;
+    bool err = false;
+    const auto raw =
+        forward(entries[i].first, entries[i].second, clients, &busy, &err);
+    if (raw.empty()) {
+      degraded_busy_.fetch_add(1, std::memory_order_relaxed);
+      out << "RESULT " << i << " busy 0 0 0 retry-after "
+          << health_.retry_hint_ms(options_.min_retry_hint_ms) << "\n";
+      continue;
+    }
+    // Re-frame the backend's head line as this batch's RESULT block.
+    const auto newline = raw.find('\n');
+    const std::string head = raw.substr(0, newline);
+    const std::string tail =
+        newline == std::string::npos ? "" : raw.substr(newline + 1);
+    if (head.rfind("OK ", 0) == 0) {
+      routed_ok_.fetch_add(1, std::memory_order_relaxed);
+      out << "RESULT " << i << " " << head.substr(3) << "\n" << tail;
+    } else if (head.rfind("BUSY", 0) == 0) {
+      routed_busy_.fetch_add(1, std::memory_order_relaxed);
+      out << "RESULT " << i << " busy 0 0 0 "
+          << (head.size() > 5 ? head.substr(5) : "") << "\n";
+    } else if (head == "ERR timeout") {
+      // Matches the daemon's own batch grammar: a timed-out entry is a
+      // counted result block, not a session error.
+      routed_error_.fetch_add(1, std::memory_order_relaxed);
+      out << "RESULT " << i << " timeout 0 0 0\n";
+    } else {
+      routed_error_.fetch_add(1, std::memory_order_relaxed);
+      out << "RESULT " << i << " error 0 0 0 "
+          << (head.rfind("ERR ", 0) == 0 ? head.substr(4) : head) << "\n";
+    }
+  }
+  return true;
+}
+
+void router::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void router::start_probes() {
+  if (options_.probe_interval_ms == 0 ||
+      probing_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  prober_ = std::thread{[this] { probe_loop(); }};
+}
+
+void router::stop_probes() {
+  probing_.store(false, std::memory_order_release);
+  if (prober_.joinable()) {
+    prober_.join();
+  }
+}
+
+void router::probe_loop() {
+  while (probing_.load(std::memory_order_acquire)) {
+    probe_once();
+    // Sleep in small slices so stop_probes() joins quickly.
+    const auto interval =
+        std::chrono::milliseconds(options_.probe_interval_ms);
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (probing_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+void router::probe_once() {
+  for (std::size_t idx = 0; idx < endpoints_.size(); ++idx) {
+    if (!health_.attemptable(idx)) {
+      continue;  // inside its probation window: leave it alone
+    }
+    if (probe_clients_[idx] == nullptr) {
+      probe_clients_[idx] = std::make_unique<resilient_client>(
+          endpoints_[idx], probe_policy(options_.backend_policy));
+    }
+    bool alive = false;
+    // Chaos seam: a fired `route.probe` is a blackholed probe — the
+    // packet never arrives, the backend looks dead to the prober even
+    // though it is serving requests fine.
+    if (STPES_FAILPOINT_ERRNO("route.probe") == 0) {
+      alive = probe_clients_[idx]->ping();
+    } else {
+      probe_clients_[idx]->disconnect();
+    }
+    if (alive) {
+      probes_ok_.fetch_add(1, std::memory_order_relaxed);
+      health_.record_success(idx);
+    } else {
+      probes_failed_.fetch_add(1, std::memory_order_relaxed);
+      health_.record_failure(idx);
+    }
+    absorb_metrics(probe_clients_[idx]->metrics(),
+                   probe_metrics_seen_[idx]);
+  }
+}
+
+void router::absorb_metrics(const client_metrics& total,
+                            client_metrics& last_seen) {
+  client_retries_.fetch_add(total.retries - last_seen.retries,
+                            std::memory_order_relaxed);
+  client_reconnects_.fetch_add(total.reconnects - last_seen.reconnects,
+                               std::memory_order_relaxed);
+  client_busy_backoffs_.fetch_add(
+      total.busy_backoffs - last_seen.busy_backoffs,
+      std::memory_order_relaxed);
+  client_io_timeouts_.fetch_add(total.io_timeouts - last_seen.io_timeouts,
+                                std::memory_order_relaxed);
+  client_backoff_ms_.fetch_add(
+      total.backoff_ms_total - last_seen.backoff_ms_total,
+      std::memory_order_relaxed);
+  last_seen = total;
+}
+
+router_counters router::counters() const {
+  router_counters c;
+  c.sessions = sessions_.load(std::memory_order_relaxed);
+  c.commands = commands_.load(std::memory_order_relaxed);
+  c.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  c.routed_ok = routed_ok_.load(std::memory_order_relaxed);
+  c.routed_busy = routed_busy_.load(std::memory_order_relaxed);
+  c.routed_error = routed_error_.load(std::memory_order_relaxed);
+  c.failovers = failovers_.load(std::memory_order_relaxed);
+  c.degraded_busy = degraded_busy_.load(std::memory_order_relaxed);
+  c.backend_failures = backend_failures_.load(std::memory_order_relaxed);
+  c.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  c.probes_ok = probes_ok_.load(std::memory_order_relaxed);
+  c.probes_failed = probes_failed_.load(std::memory_order_relaxed);
+  c.client_retries = client_retries_.load(std::memory_order_relaxed);
+  c.client_reconnects = client_reconnects_.load(std::memory_order_relaxed);
+  c.client_busy_backoffs =
+      client_busy_backoffs_.load(std::memory_order_relaxed);
+  c.client_io_timeouts =
+      client_io_timeouts_.load(std::memory_order_relaxed);
+  c.client_backoff_ms = client_backoff_ms_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string router::stats_text() const {
+  const auto c = counters();
+  std::ostringstream os;
+  os << "sessions            " << c.sessions << "\n"
+     << "commands            " << c.commands << "\n"
+     << "parse_errors        " << c.parse_errors << "\n"
+     << "routed_ok           " << c.routed_ok << "\n"
+     << "routed_busy         " << c.routed_busy << "\n"
+     << "routed_error        " << c.routed_error << "\n"
+     << "failovers           " << c.failovers << "\n"
+     << "degraded_busy       " << c.degraded_busy << "\n"
+     << "backend_failures    " << c.backend_failures << "\n"
+     << "idle_timeouts       " << c.idle_timeouts << "\n"
+     << "probes_ok           " << c.probes_ok << "\n"
+     << "probes_failed       " << c.probes_failed << "\n"
+     << "client_retries      " << c.client_retries << "\n"
+     << "client_reconnects   " << c.client_reconnects << "\n"
+     << "client_busy_backoffs " << c.client_busy_backoffs << "\n"
+     << "client_io_timeouts  " << c.client_io_timeouts << "\n"
+     << "client_backoff_ms   " << c.client_backoff_ms << "\n";
+  const auto states = health_.snapshot();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << "backend." << i << "             " << options_.backends[i] << " "
+       << to_string(states[i].state) << " fails "
+       << states[i].consecutive_failures << "\n";
+  }
+  return os.str();
+}
+
+std::string router::stats_json() const {
+  const auto c = counters();
+  std::ostringstream os;
+  os << "{\"router\":{\"sessions\":" << c.sessions
+     << ",\"commands\":" << c.commands
+     << ",\"parse_errors\":" << c.parse_errors
+     << ",\"routed_ok\":" << c.routed_ok
+     << ",\"routed_busy\":" << c.routed_busy
+     << ",\"routed_error\":" << c.routed_error
+     << ",\"failovers\":" << c.failovers
+     << ",\"degraded_busy\":" << c.degraded_busy
+     << ",\"backend_failures\":" << c.backend_failures
+     << ",\"idle_timeouts\":" << c.idle_timeouts
+     << ",\"draining\":" << (draining() ? "true" : "false")
+     << "},\"client\":{\"retries\":" << c.client_retries
+     << ",\"reconnects\":" << c.client_reconnects
+     << ",\"busy_backoffs\":" << c.client_busy_backoffs
+     << ",\"io_timeouts\":" << c.client_io_timeouts
+     << ",\"backoff_ms_total\":" << c.client_backoff_ms
+     << "},\"probes\":{\"ok\":" << c.probes_ok
+     << ",\"failed\":" << c.probes_failed << "},\"backends\":[";
+  const auto states = health_.snapshot();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "{\"name\":\"" << options_.backends[i]
+       << "\",\"state\":\"" << to_string(states[i].state)
+       << "\",\"consecutive_failures\":" << states[i].consecutive_failures
+       << ",\"failures_total\":" << states[i].failures_total
+       << ",\"successes_total\":" << states[i].successes_total
+       << ",\"ejections\":" << states[i].ejections
+       << ",\"readmissions\":" << states[i].readmissions << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace stpes::route

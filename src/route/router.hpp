@@ -1,0 +1,219 @@
+/// \file router.hpp
+/// \brief The routing tier: consistent-hash failover over N daemons.
+///
+/// `route::router` is a `session_host` like `synthesis_server`, so it
+/// runs behind the same Unix/TCP listeners — clients speak the ordinary
+/// line protocol to it and never learn the topology.  Per request:
+///
+///   1. Parse and validate (a malformed request dies here with `ERR`,
+///      never touching a backend).
+///   2. Key it: single-output requests by NPN class (n <= 5, the same
+///      canonization the shard caches use), everything else by the raw
+///      function list — so one class always hits one shard's warm cache.
+///   3. Walk the ring's preference order.  Each attemptable replica gets
+///      the request through that session's `resilient_client` (connect/
+///      read deadlines, capped backoff, BUSY floors); a transport failure
+///      feeds the health tracker and fails over to the next replica.
+///   4. If every replica is down: reply `BUSY retry-after <hint>` where
+///      the hint is computed from the earliest probation expiry — the
+///      degraded mode that keeps callers backing off instead of hanging.
+///
+/// Health is tracked two ways at once: passively (request-path transport
+/// failures) and actively (a prober thread STATS-pinging every backend on
+/// an interval).  `fail_threshold` consecutive failures eject a backend;
+/// after `probation_ms` one successful trial readmits it.  The probe loop
+/// evaluates the `route.probe` failpoint, so chaos tests can blackhole
+/// probes without any real network fault.
+///
+/// BUSY from a live backend is *forwarded*, not failed over: an
+/// overloaded shard asked for backpressure, and bouncing its load onto
+/// the next replica would destroy both cache locality and the shedding
+/// math.  Only dead transports fail over.
+///
+/// `BATCH` is decomposed: each body line routes independently to its own
+/// home shard, and the replies are reassembled into `RESULT <i>` blocks
+/// in request order — the counted framing guarantees a reply for every
+/// request even when shards die mid-batch.  A request that could not be
+/// served lands as `RESULT <i> busy|error 0 0 0 <reason...>` (trailing
+/// tokens, compatible with count-driven readers).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "route/health.hpp"
+#include "route/ring.hpp"
+#include "server/protocol.hpp"
+#include "server/resilient_client.hpp"
+#include "server/session_host.hpp"
+
+namespace stpes::route {
+
+struct router_options {
+  /// Backend endpoint specs (`unix:/path`, `/path`, or `host:port`).
+  std::vector<std::string> backends;
+  unsigned vnodes = 64;  ///< ring points per backend
+  /// Consecutive transport failures before a backend is ejected.
+  unsigned fail_threshold = 3;
+  /// How long an ejected backend sits out before a readmission trial.
+  unsigned probation_ms = 2000;
+  /// Active probe cadence (0 = passive health only).
+  unsigned probe_interval_ms = 500;
+  /// Per-backend retry behaviour of the forwarding clients.  Note
+  /// `max_attempts` here is attempts *per backend*; ring failover
+  /// multiplies by the replica count.
+  server::retry_policy backend_policy{
+      .max_attempts = 2,
+      .connect_timeout_ms = 1000,
+      .io_timeout_ms = 30000,
+      .base_backoff_ms = 5,
+      .max_backoff_ms = 200,
+      .jitter_seed = 0x5eedULL,
+  };
+  /// Floor for degraded-mode BUSY retry hints.
+  unsigned min_retry_hint_ms = 50;
+  double drain_grace_seconds = 1.0;
+  double idle_timeout_seconds = 0.0;
+  server::request_limits limits;
+};
+
+/// Router-level counters, all surfaced through its STATS verbs.
+struct router_counters {
+  std::uint64_t sessions = 0;
+  std::uint64_t commands = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t routed_ok = 0;     ///< OK replies relayed
+  std::uint64_t routed_busy = 0;   ///< backend BUSY relayed (backpressure)
+  std::uint64_t routed_error = 0;  ///< backend ERR relayed
+  std::uint64_t failovers = 0;     ///< served by a non-home replica
+  std::uint64_t degraded_busy = 0;  ///< all replicas down -> BUSY
+  std::uint64_t backend_failures = 0;  ///< transport failures observed
+  std::uint64_t idle_timeouts = 0;
+  std::uint64_t probes_ok = 0;
+  std::uint64_t probes_failed = 0;
+  // Aggregated resilient_client metrics across all sessions + prober.
+  std::uint64_t client_retries = 0;
+  std::uint64_t client_reconnects = 0;
+  std::uint64_t client_busy_backoffs = 0;
+  std::uint64_t client_io_timeouts = 0;
+  std::uint64_t client_backoff_ms = 0;
+};
+
+class router : public server::session_host {
+public:
+  /// Validates every endpoint spec eagerly (throws on a malformed one)
+  /// but connects lazily.  Probing starts with `start_probes()`.
+  explicit router(router_options opts);
+  ~router() override;
+
+  router(const router&) = delete;
+  router& operator=(const router&) = delete;
+
+  // session_host
+  void serve(std::istream& in, std::ostream& out) override;
+  void begin_drain() override;
+  [[nodiscard]] bool shutdown_requested() const override {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+  void cancel_inflight_jobs() override {}  // forwards are deadline-bounded
+  [[nodiscard]] double drain_grace_seconds() const override {
+    return options_.drain_grace_seconds;
+  }
+  [[nodiscard]] double idle_timeout_seconds() const override {
+    return options_.idle_timeout_seconds;
+  }
+  void note_idle_timeout() override {
+    idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Starts / stops the active prober thread.  Idempotent.
+  void start_probes();
+  void stop_probes();
+
+  /// One synchronous probe round over every attemptable backend —
+  /// exactly what the prober thread runs per interval.  Exposed so tests
+  /// drive health transitions deterministically, without sleeping.
+  void probe_once();
+
+  [[nodiscard]] router_counters counters() const;
+  [[nodiscard]] std::string stats_text() const;
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] const hash_ring& ring() const { return ring_; }
+  [[nodiscard]] health_tracker& health() { return health_; }
+  [[nodiscard]] const router_options& options() const { return options_; }
+
+  /// The routing key of a parsed request — NPN-canonical for
+  /// single-output n <= 5 (mirrors the shard caches), raw otherwise.
+  [[nodiscard]] static std::string request_key(
+      const server::synth_args& args);
+
+private:
+  /// One session's lazily-created per-backend clients plus the metric
+  /// snapshots used to flush deltas into the router-wide aggregates.
+  struct session_clients;
+
+  bool handle_line(const std::string& line, std::istream& in,
+                   std::ostream& out, session_clients& clients);
+  void route_synth(const std::string& line,
+                   const std::vector<std::string>& tokens, std::ostream& out,
+                   session_clients& clients);
+  bool route_batch(std::istream& in, std::ostream& out,
+                   session_clients& clients);
+
+  /// Routes one serialized SYNTH line; returns the raw reply to relay
+  /// (head + chain lines) or empty when every replica is down (the
+  /// caller writes the degraded reply).  `served_by` reports the replica.
+  [[nodiscard]] std::string forward(const server::synth_args& args,
+                                    const std::string& line,
+                                    session_clients& clients,
+                                    bool* busy_reply, bool* err_reply);
+
+  void probe_loop();
+  void absorb_metrics(const server::client_metrics& total,
+                      server::client_metrics& last_seen);
+
+  router_options options_;
+  std::vector<server::endpoint> endpoints_;
+  hash_ring ring_;
+  health_tracker health_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint64_t> commands_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> routed_ok_{0};
+  std::atomic<std::uint64_t> routed_busy_{0};
+  std::atomic<std::uint64_t> routed_error_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> degraded_busy_{0};
+  std::atomic<std::uint64_t> backend_failures_{0};
+  std::atomic<std::uint64_t> idle_timeouts_{0};
+  std::atomic<std::uint64_t> probes_ok_{0};
+  std::atomic<std::uint64_t> probes_failed_{0};
+  std::atomic<std::uint64_t> client_retries_{0};
+  std::atomic<std::uint64_t> client_reconnects_{0};
+  std::atomic<std::uint64_t> client_busy_backoffs_{0};
+  std::atomic<std::uint64_t> client_io_timeouts_{0};
+  std::atomic<std::uint64_t> client_backoff_ms_{0};
+
+  std::thread prober_;
+  std::atomic<bool> probing_{false};
+  /// Prober's own clients (never shared with sessions) + metric shadows.
+  std::vector<std::unique_ptr<server::resilient_client>> probe_clients_;
+  std::vector<server::client_metrics> probe_metrics_seen_;
+};
+
+}  // namespace stpes::route

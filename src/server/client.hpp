@@ -91,6 +91,14 @@ public:
     return read_result_reply("OK");
   }
 
+  /// Sends an already-serialized `SYNTH ...` request line verbatim and
+  /// parses the reply.  The forwarding primitive of the routing tier: the
+  /// router re-frames client requests without re-deriving them.
+  synth_reply forward_synth(const std::string& request_line) {
+    send(request_line);
+    return read_result_reply("OK");
+  }
+
   /// `BATCH ... END`; one reply per request, in request order.
   std::vector<synth_reply> batch(
       const std::vector<std::pair<core::engine, tt::truth_table>>&
@@ -326,14 +334,19 @@ private:
     return parse_result_block(head, head_keyword);
   }
 
-  /// Parses `BUSY retry-after <ms>` into a shed reply.
+  /// Parses `BUSY retry-after <ms>` into a shed reply.  A missing or
+  /// garbled ms field leaves the hint at 0 (callers fall back to their
+  /// own backoff schedule) — a daemon bug must not take the client down.
   static synth_reply parse_busy(const std::string& head) {
     synth_reply r;
     r.busy = true;
     r.error = "busy";
     std::istringstream is{head};
     std::string kw;
-    is >> kw >> kw >> r.retry_after_ms;
+    is >> kw >> kw;
+    if (!(is >> r.retry_after_ms)) {
+      r.retry_after_ms = 0;
+    }
     return r;
   }
 

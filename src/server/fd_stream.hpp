@@ -7,9 +7,18 @@
 /// writes with EINTR retry, no seeking, and the fd's lifetime stays with
 /// the caller (closing it concurrently from another thread is the drain
 /// path's way of unblocking a read).
+///
+/// An optional read timeout turns a blocked `read()` into a bounded
+/// `poll()`-then-read: when no byte arrives within the deadline the stream
+/// reports EOF and latches `timed_out()`, which is how the listeners shed
+/// idle sessions (`ERR idle-timeout`) and how `resilient_client` tells a
+/// stalled daemon from a closed one.  The timeout bounds *every* read gap,
+/// including the first one after `accept()`, so a half-open peer that
+/// connects and never writes cannot pin a session thread either.
 
 #pragma once
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <array>
@@ -24,7 +33,11 @@ namespace stpes::server {
 
 class fd_streambuf final : public std::streambuf {
 public:
-  explicit fd_streambuf(int fd) : fd_(fd) {
+  /// `read_timeout_ms < 0` blocks forever (the classic behaviour);
+  /// otherwise a read that sees no byte for that long returns EOF and
+  /// latches `timed_out()`.
+  explicit fd_streambuf(int fd, int read_timeout_ms = -1)
+      : fd_(fd), read_timeout_ms_(read_timeout_ms) {
     setg(in_.data(), in_.data(), in_.data());
     setp(out_.data(), out_.data() + out_.size());
   }
@@ -32,6 +45,10 @@ public:
 
   fd_streambuf(const fd_streambuf&) = delete;
   fd_streambuf& operator=(const fd_streambuf&) = delete;
+
+  /// True once a read deadline expired (sticky until `clear_timeout()`).
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+  void clear_timeout() { timed_out_ = false; }
 
 protected:
   int_type underflow() override {
@@ -43,6 +60,20 @@ protected:
     if (const int injected = STPES_FAILPOINT_ERRNO("fd_stream.read")) {
       errno = injected;
       return traits_type::eof();
+    }
+    if (read_timeout_ms_ >= 0) {
+      pollfd p{fd_, POLLIN, 0};
+      int ready = 0;
+      do {
+        ready = ::poll(&p, 1, read_timeout_ms_);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        timed_out_ = true;
+        return traits_type::eof();
+      }
+      if (ready < 0) {
+        return traits_type::eof();
+      }
     }
     ssize_t n = 0;
     do {
@@ -77,6 +108,21 @@ private:
       errno = injected;
       return -1;
     }
+    // Chaos seam: `fd_stream.write.partial` is a connection cut mid-write
+    // — half of the pending bytes reach the wire, then the stream dies.
+    // The peer sees a *truncated* reply, which is how the client suites
+    // exercise every torn-payload parse path without a real network.
+    if (const int injected =
+            STPES_FAILPOINT_ERRNO("fd_stream.write.partial")) {
+      const auto pending = static_cast<std::size_t>(pptr() - pbase());
+      if (pending > 1) {
+        [[maybe_unused]] const ssize_t n =
+            ::write(fd_, pbase(), pending / 2);
+      }
+      setp(out_.data(), out_.data() + out_.size());
+      errno = injected;
+      return -1;
+    }
     const char* p = pbase();
     while (p < pptr()) {
       ssize_t n = 0;
@@ -93,6 +139,8 @@ private:
   }
 
   int fd_;
+  int read_timeout_ms_;
+  bool timed_out_ = false;
   std::array<char, 4096> in_;
   std::array<char, 4096> out_;
 };
@@ -100,9 +148,13 @@ private:
 /// An iostream bound to an fd for the connection's lifetime.
 class fd_iostream final : public std::iostream {
 public:
-  explicit fd_iostream(int fd) : std::iostream(nullptr), buf_(fd) {
+  explicit fd_iostream(int fd, int read_timeout_ms = -1)
+      : std::iostream(nullptr), buf_(fd, read_timeout_ms) {
     rdbuf(&buf_);
   }
+
+  /// True once a read deadline expired (vs. a real EOF / dead peer).
+  [[nodiscard]] bool timed_out() const { return buf_.timed_out(); }
 
 private:
   fd_streambuf buf_;

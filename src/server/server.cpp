@@ -532,6 +532,7 @@ server_counters synthesis_server::counters() const {
   c.busy = busy_.load(std::memory_order_relaxed);
   c.quota_rejections = quota_rejections_.load(std::memory_order_relaxed);
   c.sweeps = sweeps_.load(std::memory_order_relaxed);
+  c.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -547,6 +548,7 @@ std::string synthesis_server::stats_text() const {
      << "busy              " << c.busy << "\n"
      << "quota_rejections  " << c.quota_rejections << "\n"
      << "sweeps            " << c.sweeps << "\n"
+     << "idle_timeouts     " << c.idle_timeouts << "\n"
      << "sweeps_active     " << [this] {
           std::lock_guard<std::mutex> lock{sweeps_mutex_};
           return active_sweeps_.size();
@@ -571,6 +573,7 @@ std::string synthesis_server::stats_json() const {
      << ",\"timeouts\":" << c.timeouts << ",\"cancels\":" << c.cancels
      << ",\"busy\":" << c.busy
      << ",\"quota_rejections\":" << c.quota_rejections
+     << ",\"idle_timeouts\":" << c.idle_timeouts
      << ",\"pending_jobs\":" << synth_.pending_jobs()
      << ",\"active_ids\":[";
   const auto ids = synth_.active_request_ids();

@@ -44,6 +44,7 @@
 #include <string>
 
 #include "server/protocol.hpp"
+#include "server/session_host.hpp"
 #include "service/batch_synthesizer.hpp"
 #include "sweep/sweep.hpp"
 
@@ -63,6 +64,11 @@ struct server_options {
   /// How long the SIGTERM drain waits for in-flight requests before
   /// cooperatively cancelling them.  0 = cancel immediately.
   double drain_grace_seconds = 5.0;
+  /// Per-connection idle read deadline applied by the socket transports:
+  /// a client that sends no byte for this long (including one that
+  /// connects and never writes) is shed with `ERR idle-timeout` and its
+  /// session thread reclaimed.  0 = never.
+  double idle_timeout_seconds = 0.0;
   /// Admission bound on queued + running synthesis jobs; a SYNTH/BATCH
   /// that would push past it is shed with `BUSY retry-after <ms>` instead
   /// of queueing.  0 = unbounded (no shedding).
@@ -87,9 +93,10 @@ struct server_counters {
   std::uint64_t busy = 0;          ///< BUSY load-shed replies
   std::uint64_t quota_rejections = 0;  ///< ERR quota-exceeded replies
   std::uint64_t sweeps = 0;        ///< SWEEP requests admitted
+  std::uint64_t idle_timeouts = 0;  ///< sessions shed on the idle deadline
 };
 
-class synthesis_server {
+class synthesis_server : public session_host {
 public:
   explicit synthesis_server(server_options opts = {});
 
@@ -99,17 +106,29 @@ public:
   /// Runs one session: reads requests from `in`, writes replies to `out`,
   /// returns on EOF, QUIT, SHUTDOWN, or drain.  Safe to call from many
   /// threads at once (one per connection).
-  void serve(std::istream& in, std::ostream& out);
+  void serve(std::istream& in, std::ostream& out) override;
 
   /// Stops all sessions after their in-flight request.  Idempotent.
-  void begin_drain();
+  void begin_drain() override;
   [[nodiscard]] bool draining() const {
     return draining_.load(std::memory_order_acquire);
   }
   /// True once a client issued SHUTDOWN (implies `draining()`); the
   /// transport layer uses this to stop accepting.
-  [[nodiscard]] bool shutdown_requested() const {
+  [[nodiscard]] bool shutdown_requested() const override {
     return shutdown_.load(std::memory_order_acquire);
+  }
+
+  // session_host drain/idle plumbing (used by the socket transports).
+  void cancel_inflight_jobs() override { synth_.cancel_inflight(); }
+  [[nodiscard]] double drain_grace_seconds() const override {
+    return options_.drain_grace_seconds;
+  }
+  [[nodiscard]] double idle_timeout_seconds() const override {
+    return options_.idle_timeout_seconds;
+  }
+  void note_idle_timeout() override {
+    idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// STATS payloads: server counters + synthesis metrics + cache stats.
@@ -167,6 +186,7 @@ private:
   std::atomic<std::uint64_t> busy_{0};
   std::atomic<std::uint64_t> quota_rejections_{0};
   std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> idle_timeouts_{0};
   /// Server-assigned synthesis request ids (replies carry ` id=N`);
   /// starts at 1 so 0 stays the untagged sentinel.
   std::atomic<std::uint64_t> next_request_id_{1};

@@ -1,0 +1,50 @@
+/// \file session_host.hpp
+/// \brief The contract between a stream transport and whatever serves it.
+///
+/// The Unix-socket and TCP listeners own sockets, threads, and drain
+/// sequencing; what runs *inside* a session is behind this interface.  Two
+/// implementations exist: `synthesis_server` (the daemon core) and
+/// `route::router` (the consistent-hash routing tier), so both binaries
+/// share one hardened accept loop instead of duplicating it.
+///
+/// A host must tolerate `serve()` being called from many threads at once
+/// (one per live connection) and must return from it promptly once
+/// `begin_drain()` has been observed — the listeners enforce the grace
+/// period and call `cancel_inflight_jobs()` when it runs out.
+
+#pragma once
+
+#include <iosfwd>
+
+namespace stpes::server {
+
+class session_host {
+public:
+  virtual ~session_host() = default;
+
+  /// Runs one session over the stream pair; returns on EOF/QUIT/drain.
+  virtual void serve(std::istream& in, std::ostream& out) = 0;
+
+  /// Stops all sessions after their in-flight request.  Idempotent.
+  virtual void begin_drain() = 0;
+
+  /// True once a client issued SHUTDOWN; the transport stops accepting.
+  [[nodiscard]] virtual bool shutdown_requested() const = 0;
+
+  /// Called by the drain path when the grace period expires: anything
+  /// still running must be cooperatively cancelled so session threads
+  /// join within a poll stride.
+  virtual void cancel_inflight_jobs() = 0;
+
+  /// How long the drain waits for in-flight work before cancelling.
+  [[nodiscard]] virtual double drain_grace_seconds() const = 0;
+
+  /// Per-connection idle read timeout (0 = none): a session whose client
+  /// sends no byte for this long is shed with `ERR idle-timeout`.
+  [[nodiscard]] virtual double idle_timeout_seconds() const = 0;
+
+  /// Counter hook: the transport shed a session on its idle deadline.
+  virtual void note_idle_timeout() = 0;
+};
+
+}  // namespace stpes::server

@@ -25,49 +25,21 @@ namespace {
 
 }  // namespace
 
-unix_socket_server::unix_socket_server(synthesis_server& server,
-                                       std::string socket_path)
-    : server_(server), path_(std::move(socket_path)) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path_.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error{"socket path too long: " + path_};
-  }
-  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    fail_errno("socket");
-  }
-  ::unlink(path_.c_str());  // stale socket from a previous daemon
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    fail_errno("bind " + path_);
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    fail_errno("listen");
-  }
+stream_listener::stream_listener(session_host& host) : host_(host) {
   if (::pipe(wake_fds_) < 0) {
     fail_errno("pipe");
   }
 }
 
-unix_socket_server::~unix_socket_server() {
+stream_listener::~stream_listener() {
   for (const int fd : {listen_fd_, wake_fds_[0], wake_fds_[1]}) {
     if (fd >= 0) {
       ::close(fd);
     }
   }
-  if (listen_fd_ >= 0) {
-    ::unlink(path_.c_str());
-  }
 }
 
-void unix_socket_server::run() {
+void stream_listener::run() {
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, -1);
@@ -87,7 +59,8 @@ void unix_socket_server::run() {
     // transient kernel-level accept failure (ECONNABORTED, EMFILE, ...) —
     // the connection is dropped, the loop keeps serving.
     int client = -1;
-    if (const int injected = STPES_FAILPOINT_ERRNO("socket_server.accept");
+    if (const int injected =
+            STPES_FAILPOINT_ERRNO(accept_failpoint_name());
         injected != 0) {
       errno = injected;
     } else {
@@ -96,18 +69,27 @@ void unix_socket_server::run() {
     if (client < 0) {
       continue;
     }
+    configure_accepted_fd(client);
     std::lock_guard<std::mutex> lock{mutex_};
     open_fds_.push_back(client);
     threads_.emplace_back([this, client] { handle_connection(client); });
+  }
+
+  // Stop listening before draining: a stopped daemon must look *dead*
+  // to peers — connection refused, port immediately rebindable — not
+  // like a blackhole whose backlog swallows connects until destruction.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
 
   // Drain: give in-flight requests a grace period to finish naturally,
   // wake idle readers, then cooperatively cancel whatever is still
   // running so the joins below are bounded by the engines' poll stride
   // rather than by a client's synthesis budget.
-  server_.begin_drain();
+  host_.begin_drain();
   unblock_open_connections();
-  const double grace = server_.options().drain_grace_seconds;
+  const double grace = host_.drain_grace_seconds();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(grace);
   while (std::chrono::steady_clock::now() < deadline) {
@@ -119,7 +101,7 @@ void unix_socket_server::run() {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  server_.synthesizer().cancel_inflight();
+  host_.cancel_inflight_jobs();
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock{mutex_};
@@ -130,16 +112,27 @@ void unix_socket_server::run() {
   }
 }
 
-void unix_socket_server::stop() {
+void stream_listener::stop() {
   stopping_.store(true, std::memory_order_release);
   // Wake the poll(); one byte is enough, and write() is signal-safe.
   [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], "x", 1);
 }
 
-void unix_socket_server::handle_connection(int fd) {
+void stream_listener::handle_connection(int fd) {
   {
-    fd_iostream io{fd};
-    server_.serve(io, io);
+    const double idle = host_.idle_timeout_seconds();
+    const int read_timeout_ms =
+        idle > 0.0 ? static_cast<int>(idle * 1000.0) : -1;
+    fd_iostream io{fd, read_timeout_ms};
+    host_.serve(io, io);
+    if (io.timed_out()) {
+      // The session ended because the peer went silent, not because it
+      // hung up: tell it why before closing, then reclaim the thread.
+      host_.note_idle_timeout();
+      io.clear();
+      io << "ERR idle-timeout\n";
+      io.flush();
+    }
   }
   {
     // Untrack before close: once closed, the fd number can be reused by a
@@ -149,15 +142,53 @@ void unix_socket_server::handle_connection(int fd) {
                     open_fds_.end());
   }
   ::close(fd);
-  if (server_.shutdown_requested()) {
+  if (host_.shutdown_requested()) {
     stop();  // a client-issued SHUTDOWN stops the accept loop too
   }
 }
 
-void unix_socket_server::unblock_open_connections() {
+void stream_listener::unblock_open_connections() {
   std::lock_guard<std::mutex> lock{mutex_};
   for (const int fd : open_fds_) {
     ::shutdown(fd, SHUT_RD);  // blocked reads return EOF; writes still work
+  }
+}
+
+unix_socket_server::unix_socket_server(session_host& host,
+                                       std::string socket_path)
+    : stream_listener(host), path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error{"socket path too long: " + path_};
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail_errno("socket");
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("bind " + path_);
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("listen");
+  }
+  bound_ = true;
+  adopt_listen_fd(fd);
+}
+
+unix_socket_server::~unix_socket_server() {
+  if (bound_) {
+    ::unlink(path_.c_str());
   }
 }
 

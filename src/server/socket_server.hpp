@@ -1,5 +1,5 @@
 /// \file socket_server.hpp
-/// \brief Unix-domain socket transport for `synthesis_server`.
+/// \brief Stream-socket transports for any `session_host`.
 ///
 /// Thread-per-connection on top of the shared daemon core: every accepted
 /// client gets its own session thread, and all of them fan work onto the
@@ -8,16 +8,28 @@
 /// call from a signal handler (it only stores an atomic and writes one
 /// byte).
 ///
+/// `stream_listener` is everything transport-independent — the accept
+/// loop, the per-connection session threads, the idle-timeout shedding,
+/// and the drain sequencing; `unix_socket_server` (this file) and
+/// `tcp_socket_server` (tcp_socket_server.hpp) only differ in how the
+/// listening socket is created.
+///
+/// Idle shedding: when the host reports a nonzero `idle_timeout_seconds`,
+/// each connection reads through a deadline-bounded stream; a client that
+/// stays silent past the deadline — including one that connects and never
+/// writes a byte (a half-open peer) — gets `ERR idle-timeout` and its
+/// session thread back.
+///
 /// Shutdown sequencing — the part that makes SIGTERM graceful:
 ///   1. `stop()` wakes the accept loop; no new connections are accepted.
-///   2. The daemon core drains: sessions finish their in-flight request.
+///   2. The host drains: sessions finish their in-flight request.
 ///   3. Idle connections blocked in `read()` are unblocked with
 ///      `shutdown(fd, SHUT_RD)`; their sessions see EOF and return.
-///   4. In-flight requests get `server_options::drain_grace_seconds` to
-///      finish; anything still running is then cooperatively cancelled
-///      through its `core::run_context` (the session replies ERR timeout
-///      and closes), so joins complete within the engines' poll stride.
-///   5. All session threads are joined, the socket file is unlinked.
+///   4. In-flight requests get `drain_grace_seconds()` to finish;
+///      anything still running is then cooperatively cancelled through
+///      `cancel_inflight_jobs()` (the session replies ERR timeout and
+///      closes), so joins complete within the engines' poll stride.
+///   5. All session threads are joined.
 /// A client that issues `SHUTDOWN` triggers the same sequence from inside
 /// a session.
 
@@ -29,20 +41,20 @@
 #include <thread>
 #include <vector>
 
-#include "server/server.hpp"
+#include "server/session_host.hpp"
 
 namespace stpes::server {
 
-class unix_socket_server {
+/// Accept loop + session threads + drain over an already-listening fd.
+/// Derived classes create the socket in their constructor and hand it
+/// over with `adopt_listen_fd()`.
+class stream_listener {
 public:
-  /// Binds and listens on `socket_path` (an existing socket file from a
-  /// dead daemon is replaced).  Throws `std::runtime_error` on bind
-  /// failure.
-  unix_socket_server(synthesis_server& server, std::string socket_path);
-  ~unix_socket_server();
+  explicit stream_listener(session_host& host);
+  virtual ~stream_listener();
 
-  unix_socket_server(const unix_socket_server&) = delete;
-  unix_socket_server& operator=(const unix_socket_server&) = delete;
+  stream_listener(const stream_listener&) = delete;
+  stream_listener& operator=(const stream_listener&) = delete;
 
   /// Accept loop; returns after `stop()` (or a client SHUTDOWN) once every
   /// session has drained and joined.
@@ -51,14 +63,23 @@ public:
   /// Requests shutdown.  Async-signal-safe: atomic store + pipe write.
   void stop();
 
-  [[nodiscard]] const std::string& socket_path() const { return path_; }
+protected:
+  /// Takes ownership of a bound+listening socket.  Called once, from the
+  /// derived constructor.
+  void adopt_listen_fd(int fd) { listen_fd_ = fd; }
+  [[nodiscard]] int listen_fd() const { return listen_fd_; }
+
+  /// The failpoint name evaluated on every accept (chaos seam).
+  [[nodiscard]] virtual const char* accept_failpoint_name() const = 0;
+
+  /// Transport hook applied to every accepted fd (e.g. TCP_NODELAY).
+  virtual void configure_accepted_fd(int /*fd*/) {}
 
 private:
   void handle_connection(int fd);
   void unblock_open_connections();
 
-  synthesis_server& server_;
-  std::string path_;
+  session_host& host_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
   std::atomic<bool> stopping_{false};
@@ -66,6 +87,27 @@ private:
   std::mutex mutex_;  ///< guards open_fds_ and threads_
   std::vector<int> open_fds_;
   std::vector<std::thread> threads_;
+};
+
+/// Listener over a Unix-domain socket file.
+class unix_socket_server final : public stream_listener {
+public:
+  /// Binds and listens on `socket_path` (an existing socket file from a
+  /// dead daemon is replaced).  Throws `std::runtime_error` on bind
+  /// failure.
+  unix_socket_server(session_host& host, std::string socket_path);
+  ~unix_socket_server() override;
+
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+
+protected:
+  [[nodiscard]] const char* accept_failpoint_name() const override {
+    return "socket_server.accept";
+  }
+
+private:
+  std::string path_;
+  bool bound_ = false;
 };
 
 }  // namespace stpes::server

@@ -3,20 +3,25 @@
 ///
 /// Long-lived front-end over `service::batch_synthesizer`: external tools
 /// (rewriting flows, mapper loops, SAT sweepers) connect over a Unix
-/// socket, speak the line protocol, and share one warm NPN cache without
-/// linking the library.
+/// socket or TCP, speak the line protocol, and share one warm NPN cache
+/// without linking the library.
 ///
 ///     stpes-serve --socket=/tmp/stpes.sock [--engine=stp] [--threads=N]
 ///                 [--timeout=S] [--max-timeout=S] [--max-vars=N]
-///                 [--drain-grace=S] [--warm=FILE] [--persist=FILE]
-///                 [--max-pending=N] [--quota=N] [--retry-ms=MS]
+///                 [--drain-grace=S] [--idle-timeout=S] [--warm=FILE]
+///                 [--persist=FILE] [--max-pending=N] [--quota=N]
+///                 [--retry-ms=MS]
+///     stpes-serve --listen=HOST:PORT ...   # TCP ("*:PORT" = any iface;
+///                                          # port 0 = ephemeral, printed)
 ///     stpes-serve --pipe ...    # one session over stdin/stdout (CI)
 ///
 /// Overload protection: `--max-pending` bounds the admission queue (excess
 /// requests get `BUSY retry-after <--retry-ms>`), `--quota` caps synthesis
-/// requests per client session.  In chaos builds the `STPES_FAILPOINTS`
-/// environment variable arms fault-injection points at startup (grammar in
-/// `util/failpoint.hpp`).
+/// requests per client session, and `--idle-timeout` sheds sessions whose
+/// peer goes silent (`ERR idle-timeout`) — including half-open TCP
+/// connections that never send a byte.  In chaos builds the
+/// `STPES_FAILPOINTS` environment variable arms fault-injection points at
+/// startup (grammar in `util/failpoint.hpp`).
 ///
 /// SIGTERM/SIGINT drain gracefully: in-flight syntheses get
 /// `--drain-grace` seconds to finish, anything still running is then
@@ -32,18 +37,21 @@
 
 #include "server/server.hpp"
 #include "server/socket_server.hpp"
+#include "server/tcp_socket_server.hpp"
 #include "util/failpoint.hpp"
 
 namespace {
 
 struct cli_options {
   std::string socket_path;
+  std::string listen_spec;
   bool pipe = false;
   std::string engine = "stp";
   unsigned threads = 0;
   double timeout = 5.0;
   double max_timeout = 0.0;
   double drain_grace = 5.0;
+  double idle_timeout = 0.0;
   unsigned max_vars = 8;
   std::size_t max_pending = 0;
   std::uint64_t quota = 0;
@@ -52,14 +60,62 @@ struct cli_options {
   std::string persist_path;
 };
 
-[[noreturn]] void usage(const char* argv0) {
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) {
+    std::cerr << argv0 << ": " << reason << "\n";
+  }
   std::cerr << "usage: " << argv0
-            << " (--socket=PATH | --pipe) [--engine=stp|bms|fen|cegar]"
+            << " (--socket=PATH | --listen=HOST:PORT | --pipe)"
+               " [--engine=stp|bms|fen|cegar]"
                " [--threads=N] [--timeout=S] [--max-timeout=S]"
-               " [--max-vars=N] [--drain-grace=S] [--warm=FILE]"
-               " [--persist=FILE] [--max-pending=N] [--quota=N]"
-               " [--retry-ms=MS]\n";
+               " [--max-vars=N] [--drain-grace=S] [--idle-timeout=S]"
+               " [--warm=FILE] [--persist=FILE] [--max-pending=N]"
+               " [--quota=N] [--retry-ms=MS]\n";
   std::exit(2);
+}
+
+/// Guarded numeric parsers: a malformed flag value is a usage error (exit
+/// 2 with a message), never an uncaught std::invalid_argument abort.
+std::uint64_t parse_u64(const char* argv0, const std::string& flag,
+                        const std::string& v) {
+  std::size_t pos = 0;
+  unsigned long long out = 0;
+  try {
+    out = std::stoull(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v.size() || v.empty()) {
+    usage(argv0, "--" + flag + " wants a non-negative integer, got '" + v +
+                     "'");
+  }
+  return out;
+}
+
+unsigned parse_unsigned(const char* argv0, const std::string& flag,
+                        const std::string& v, unsigned max_value = ~0u) {
+  const auto out = parse_u64(argv0, flag, v);
+  if (out > max_value) {
+    usage(argv0, "--" + flag + " value " + v + " exceeds " +
+                     std::to_string(max_value));
+  }
+  return static_cast<unsigned>(out);
+}
+
+double parse_seconds(const char* argv0, const std::string& flag,
+                     const std::string& v) {
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v.size() || v.empty() || out < 0.0) {
+    usage(argv0, "--" + flag + " wants non-negative seconds, got '" + v +
+                     "'");
+  }
+  return out;
 }
 
 cli_options parse_cli(int argc, char** argv) {
@@ -75,44 +131,51 @@ cli_options parse_cli(int argc, char** argv) {
       opts.pipe = true;
     } else if (auto v = value("socket"); !v.empty()) {
       opts.socket_path = v;
+    } else if (auto v = value("listen"); !v.empty()) {
+      opts.listen_spec = v;
     } else if (auto v = value("engine"); !v.empty()) {
       opts.engine = v;
     } else if (auto v = value("threads"); !v.empty()) {
-      opts.threads = static_cast<unsigned>(std::stoul(v));
+      opts.threads = parse_unsigned(argv[0], "threads", v);
     } else if (auto v = value("timeout"); !v.empty()) {
-      opts.timeout = std::stod(v);
+      opts.timeout = parse_seconds(argv[0], "timeout", v);
     } else if (auto v = value("max-timeout"); !v.empty()) {
-      opts.max_timeout = std::stod(v);
+      opts.max_timeout = parse_seconds(argv[0], "max-timeout", v);
     } else if (auto v = value("drain-grace"); !v.empty()) {
-      opts.drain_grace = std::stod(v);
+      opts.drain_grace = parse_seconds(argv[0], "drain-grace", v);
+    } else if (auto v = value("idle-timeout"); !v.empty()) {
+      opts.idle_timeout = parse_seconds(argv[0], "idle-timeout", v);
     } else if (auto v = value("max-vars"); !v.empty()) {
-      opts.max_vars = static_cast<unsigned>(std::stoul(v));
+      opts.max_vars = parse_unsigned(argv[0], "max-vars", v);
     } else if (auto v = value("max-pending"); !v.empty()) {
-      opts.max_pending = std::stoul(v);
+      opts.max_pending = parse_u64(argv[0], "max-pending", v);
     } else if (auto v = value("quota"); !v.empty()) {
-      opts.quota = std::stoull(v);
+      opts.quota = parse_u64(argv[0], "quota", v);
     } else if (auto v = value("retry-ms"); !v.empty()) {
-      opts.retry_ms = static_cast<unsigned>(std::stoul(v));
+      opts.retry_ms = parse_unsigned(argv[0], "retry-ms", v);
     } else if (auto v = value("warm"); !v.empty()) {
       opts.warm_path = v;
     } else if (auto v = value("persist"); !v.empty()) {
       opts.persist_path = v;
     } else {
-      usage(argv[0]);
+      usage(argv[0], "unknown argument '" + arg + "'");
     }
   }
-  if (opts.pipe == !opts.socket_path.empty()) {
-    // Exactly one transport must be selected.
-    usage(argv[0]);
+  const int transports = (opts.pipe ? 1 : 0) +
+                         (opts.socket_path.empty() ? 0 : 1) +
+                         (opts.listen_spec.empty() ? 0 : 1);
+  if (transports != 1) {
+    usage(argv[0],
+          "pick exactly one of --socket, --listen, --pipe");
   }
   return opts;
 }
 
-stpes::server::unix_socket_server* g_socket_server = nullptr;
+stpes::server::stream_listener* g_listener = nullptr;
 
 void on_signal(int) {
-  if (g_socket_server != nullptr) {
-    g_socket_server->stop();  // async-signal-safe: atomic + pipe write
+  if (g_listener != nullptr) {
+    g_listener->stop();  // async-signal-safe: atomic + pipe write
   }
 }
 
@@ -149,6 +212,7 @@ int main(int argc, char** argv) {
   opts.max_timeout_seconds = cli.max_timeout;
   opts.num_threads = cli.threads;
   opts.drain_grace_seconds = cli.drain_grace;
+  opts.idle_timeout_seconds = cli.idle_timeout;
   opts.limits.max_vars = cli.max_vars;
   opts.max_pending_jobs = cli.max_pending;
   opts.max_session_requests = cli.quota;
@@ -182,16 +246,31 @@ int main(int argc, char** argv) {
     std::cerr << "stpes-serve: pipe mode, engine=" << cli.engine << ", "
               << server.synthesizer().num_threads() << " threads\n";
     server.serve(std::cin, std::cout);
+  } else if (!cli.listen_spec.empty()) {
+    try {
+      const auto spec = server::tcp_listen_spec::parse(cli.listen_spec);
+      server::tcp_socket_server listener{server, spec};
+      g_listener = &listener;
+      install_signal_handlers();
+      std::cerr << "stpes-serve: listening on " << spec.host << ":"
+                << listener.port() << ", engine=" << cli.engine << ", "
+                << server.synthesizer().num_threads() << " threads\n";
+      listener.run();
+      g_listener = nullptr;
+    } catch (const std::exception& e) {
+      std::cerr << "stpes-serve: " << e.what() << "\n";
+      return 1;
+    }
   } else {
     try {
       server::unix_socket_server listener{server, cli.socket_path};
-      g_socket_server = &listener;
+      g_listener = &listener;
       install_signal_handlers();
       std::cerr << "stpes-serve: listening on " << cli.socket_path
                 << ", engine=" << cli.engine << ", "
                 << server.synthesizer().num_threads() << " threads\n";
       listener.run();
-      g_socket_server = nullptr;
+      g_listener = nullptr;
     } catch (const std::exception& e) {
       std::cerr << "stpes-serve: " << e.what() << "\n";
       return 1;

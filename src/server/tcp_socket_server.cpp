@@ -1,0 +1,100 @@
+#include "server/tcp_socket_server.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace stpes::server {
+
+tcp_listen_spec tcp_listen_spec::parse(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    throw std::runtime_error{"bad listen spec '" + spec +
+                             "' (want host:port)"};
+  }
+  tcp_listen_spec out;
+  out.host = spec.substr(0, colon);
+  if (out.host == "*") {
+    out.host.clear();
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_str, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != port_str.size() || port > 65535) {
+    throw std::runtime_error{"bad port '" + port_str + "' in listen spec '" +
+                             spec + "'"};
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+tcp_socket_server::tcp_socket_server(session_host& host,
+                                     const tcp_listen_spec& spec)
+    : stream_listener(host) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(spec.port);
+  if (spec.host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve the name (e.g. "localhost").
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(spec.host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr) {
+      throw std::runtime_error{"cannot resolve listen host '" + spec.host +
+                               "': " + ::gai_strerror(rc)};
+    }
+    addr.sin_addr =
+        reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error{"socket: " + std::string{std::strerror(errno)}};
+  }
+  // A restarted shard must rebind its port while old connections linger
+  // in TIME_WAIT — the router's kill/restart failover depends on it.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error{"bind " + spec.host + ":" +
+                             std::to_string(spec.port) + ": " + reason};
+  }
+  if (::listen(fd, 64) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error{"listen: " + reason};
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  adopt_listen_fd(fd);
+}
+
+void tcp_socket_server::configure_accepted_fd(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace stpes::server

@@ -1,0 +1,59 @@
+/// \file tcp_socket_server.hpp
+/// \brief TCP transport for any `session_host`.
+///
+/// The network half of the scale-out story: the same line protocol, quota
+/// and shedding machinery, cancel verbs, and graceful drain as the Unix
+/// listener, reachable over `host:port` so synthesis shards can live on
+/// other machines.  All of the hardened accept/drain logic is inherited
+/// from `stream_listener`; this class only creates the listening socket
+/// (IPv4, `SO_REUSEADDR` so a restarted shard can rebind immediately —
+/// the failover story depends on fast restarts) and applies
+/// `TCP_NODELAY` to accepted connections (the protocol is small
+/// request/reply lines; Nagle would add 40 ms to every reply).
+///
+/// Binding port 0 picks an ephemeral port, reported by `port()` — the
+/// tests and the router chaos suite use that to run whole backend fleets
+/// in one process without port collisions.
+///
+/// A stalled or half-open peer is bounded by the host's idle timeout
+/// (see `stream_listener`): the read deadline starts at `accept()`, so a
+/// SYN-scanner or a client that connects and never writes is shed with
+/// `ERR idle-timeout` instead of pinning a session thread forever.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/socket_server.hpp"
+
+namespace stpes::server {
+
+/// Parses `host:port` (host may be empty or `*` for INADDR_ANY).  Throws
+/// `std::runtime_error` on a malformed spec or an unresolvable host.
+struct tcp_listen_spec {
+  std::string host;          ///< empty = all interfaces
+  std::uint16_t port = 0;    ///< 0 = ephemeral
+  static tcp_listen_spec parse(const std::string& spec);
+};
+
+class tcp_socket_server final : public stream_listener {
+public:
+  /// Binds and listens on `spec.host:spec.port`.  Throws
+  /// `std::runtime_error` on resolve/bind failure.
+  tcp_socket_server(session_host& host, const tcp_listen_spec& spec);
+
+  /// The actually-bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+protected:
+  [[nodiscard]] const char* accept_failpoint_name() const override {
+    return "tcp_server.accept";
+  }
+  void configure_accepted_fd(int fd) override;
+
+private:
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace stpes::server

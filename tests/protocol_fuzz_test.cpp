@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -251,6 +252,102 @@ TEST(ProtocolFuzz, SessionSurvivesGarbageAndStaysResponsive) {
     // The transcript must end with the probe replies, in order.
     ASSERT_NE(transcript.find("OK pong\nOK bye\n"), std::string::npos)
         << "seed " << seed << ": session died before the liveness probe";
+  }
+}
+
+/// A read source that hands the parser at most `chunk` bytes per
+/// underflow — TCP's worst-case segmentation (one byte per segment, and
+/// splits straddling every token and line boundary), deterministically.
+class trickle_buf : public std::streambuf {
+public:
+  trickle_buf(std::string data, std::size_t chunk)
+      : data_(std::move(data)), chunk_(chunk) {}
+
+protected:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) {
+      return traits_type::eof();
+    }
+    const std::size_t n = std::min(chunk_, data_.size() - pos_);
+    char* const base = data_.data() + pos_;
+    setg(base, base, base + n);
+    pos_ += n;
+    return traits_type::to_int_type(*base);
+  }
+
+private:
+  std::string data_;
+  std::size_t chunk_;
+  std::size_t pos_ = 0;
+};
+
+/// Blanks the nondeterministic reply fields (wall-clock seconds, request
+/// ids) so transcripts from different runs compare structurally.
+std::string normalize_transcript(const std::string& transcript) {
+  std::istringstream is{transcript};
+  std::string line;
+  std::string out;
+  while (std::getline(is, line)) {
+    std::istringstream ls{line};
+    std::string tok;
+    bool first = true;
+    while (ls >> tok) {
+      if (tok.rfind("id=", 0) == 0) {
+        tok = "id=_";
+      } else if (tok.find('.') != std::string::npos &&
+                 tok.find_first_not_of("0123456789.e+-") ==
+                     std::string::npos) {
+        tok = "_";  // a wall-clock seconds field
+      }
+      if (!first) {
+        out += ' ';
+      }
+      out += tok;
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ProtocolFuzz, SegmentedDeliveryParsesIdenticallyToWholeLines) {
+  // A session touching every framing shape: single- and multi-output
+  // SYNTH, a BATCH body with its END, interleaved PINGs.
+  const std::string script =
+      "PING\n"
+      "SYNTH stp 3 e8\n"
+      "SYNTH stp 2 8\n"
+      "BATCH\n"
+      "stp 3 96\n"
+      "stp 2 6\n"
+      "END\n"
+      "SYNTH stp 2 8,6\n"
+      "PING\n"
+      "QUIT\n";
+
+  const auto run_with_chunk = [&script](std::size_t chunk) {
+    server_options opts;
+    opts.default_timeout_seconds = 30.0;
+    opts.num_threads = 1;
+    synthesis_server server{opts};
+    std::ostringstream out;
+    if (chunk == 0) {
+      std::istringstream in{script};
+      server.serve(in, out);
+    } else {
+      trickle_buf buf{script, chunk};
+      std::istream in{&buf};
+      server.serve(in, out);
+    }
+    return normalize_transcript(out.str());
+  };
+
+  const auto reference = run_with_chunk(0);
+  ASSERT_NE(reference.find("OK pong\nOK bye\n"), std::string::npos)
+      << reference;
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u}) {
+    EXPECT_EQ(run_with_chunk(chunk), reference)
+        << "segmentation at " << chunk << " bytes changed the parse";
   }
 }
 

@@ -28,7 +28,9 @@
 
 #include "server/client.hpp"
 #include "server/fd_stream.hpp"
+#include "server/resilient_client.hpp"
 #include "server/server.hpp"
+#include "server/socket_server.hpp"
 #include "service/chain_io.hpp"
 #include "util/failpoint.hpp"
 #include "workload/collections.hpp"
@@ -757,6 +759,34 @@ TEST(Server, FailpointVerbDrivesTheRegistry) {
   EXPECT_EQ(split_lines(out).front().rfind("ERR bad failpoint spec", 0), 0u)
       << out;
   stpes::util::failpoint_registry::instance().clear_all();
+}
+
+TEST(Server, UnixListenerShedsIdleSessionsWithErrAndCountsThem) {
+  auto opts = quick_options();
+  opts.idle_timeout_seconds = 0.2;
+  synthesis_server server{opts};
+  const std::string path =
+      "/tmp/stpes_idle_" + std::to_string(::getpid()) + ".sock";
+  stpes::server::unix_socket_server transport{server, path};
+  std::thread accept_thread{[&transport] { transport.run(); }};
+
+  stpes::server::endpoint ep;  // defaults to a unix-socket endpoint
+  ep.host_or_path = path;
+  const int fd = stpes::server::connect_endpoint(ep, 2000);
+  {
+    stpes::server::fd_iostream io{fd};
+    line_client client{io, io};
+    EXPECT_TRUE(client.ping());  // live traffic, then silence
+    std::string line;
+    ASSERT_TRUE(std::getline(io, line));
+    EXPECT_EQ(line, "ERR idle-timeout");
+    EXPECT_FALSE(std::getline(io, line)) << "expected EOF after the shed";
+  }
+  ::close(fd);
+  EXPECT_EQ(server.counters().idle_timeouts, 1u);
+
+  transport.stop();
+  accept_thread.join();
 }
 
 TEST(Server, ShutdownDrainsEverySession) {

@@ -30,12 +30,14 @@ two parts, per engine present in both files:
         (`factor_memo_hits`/`misses`), and the lower-bound-probe /
         portfolio counters (`probe_calls`, `probe_unsat_levels`,
         `probe_sat_levels`, `portfolio_probe_wins`,
-        `portfolio_sweep_wins`).  The probe's conflict-budget cutoff is
+        `portfolio_sweep_wins`), and the batched-factorization screen
+        counters (`kernel_batch_queries`, `kernel_batch_screened`,
+        `kernel_batch_survivors`).  The probe's conflict-budget cutoff is
         machine-independent, but under a wall-clock deadline or the
         portfolio race the losing side is cancelled at a
         timing-dependent point, so these totals wobble with machine
-        load; a change beyond the tolerance means the probe/race
-        behaviour genuinely shifted.
+        load; a change beyond the tolerance means the probe/race (or
+        screen) behaviour genuinely shifted.
       - **reported, never gated** — wall-clock-shaped totals (AllSAT
         propagations, SAT decisions/conflicts/restarts);
   * performance trajectory: `wall_seconds` may not regress by more than
@@ -66,11 +68,17 @@ VOLUME_COUNTERS = ("dags_generated", "dags_pruned",
 MEMO_COUNTERS = ("factor_memo_hits", "factor_memo_misses")
 PROBE_COUNTERS = ("probe_calls", "probe_unsat_levels", "probe_sat_levels",
                   "portfolio_probe_wins", "portfolio_sweep_wins")
+# Batched-factorization screen counters: the query volume tracks the memo
+# miss volume (every miss enters the screen), and the screened/survivor
+# split is the screen's selectivity.  Deadline cuts truncate a batch at a
+# timing-dependent split, so these share the volume tolerance.
+KERNEL_COUNTERS = ("kernel_batch_queries", "kernel_batch_screened",
+                   "kernel_batch_survivors")
 UNGATED_COUNTERS = ("factorization_prunes", "dont_care_expansions",
                     "allsat_propagations", "allsat_merges",
                     "sat_decisions", "sat_conflicts", "sat_restarts")
 ALL_COUNTERS = (EXACT_COUNTERS + VOLUME_COUNTERS + MEMO_COUNTERS +
-                PROBE_COUNTERS + UNGATED_COUNTERS)
+                PROBE_COUNTERS + KERNEL_COUNTERS + UNGATED_COUNTERS)
 
 
 def load(path):
@@ -211,7 +219,7 @@ def main():
             # wall-clock gate trips on fast hardware.  The probe counters
             # share the tolerance because a deadline or the race cancels
             # the probe at a timing-dependent point.
-            for key in MEMO_COUNTERS + PROBE_COUNTERS:
+            for key in MEMO_COUNTERS + PROBE_COUNTERS + KERNEL_COUNTERS:
                 base_val = base_counters.get(key)
                 cur_val = cur_counters.get(key)
                 if base_val is None:

@@ -293,7 +293,10 @@ std::string counters_json(const core::stage_counters& c) {
      << ",\"probe_unsat_levels\":" << c.probe_unsat_levels
      << ",\"probe_sat_levels\":" << c.probe_sat_levels
      << ",\"portfolio_probe_wins\":" << c.portfolio_probe_wins
-     << ",\"portfolio_sweep_wins\":" << c.portfolio_sweep_wins << "}";
+     << ",\"portfolio_sweep_wins\":" << c.portfolio_sweep_wins
+     << ",\"kernel_batch_queries\":" << c.kernel_batch_queries
+     << ",\"kernel_batch_screened\":" << c.kernel_batch_screened
+     << ",\"kernel_batch_survivors\":" << c.kernel_batch_survivors << "}";
   return os.str();
 }
 

@@ -47,6 +47,9 @@ struct atomic_stage_counters {
   std::atomic<std::uint64_t> probe_sat_levels{0};
   std::atomic<std::uint64_t> portfolio_probe_wins{0};
   std::atomic<std::uint64_t> portfolio_sweep_wins{0};
+  std::atomic<std::uint64_t> kernel_batch_queries{0};
+  std::atomic<std::uint64_t> kernel_batch_screened{0};
+  std::atomic<std::uint64_t> kernel_batch_survivors{0};
 
   void add(const core::stage_counters& c) {
     fences_enumerated.fetch_add(c.fences_enumerated,
@@ -87,6 +90,12 @@ struct atomic_stage_counters {
                                    std::memory_order_relaxed);
     portfolio_sweep_wins.fetch_add(c.portfolio_sweep_wins,
                                    std::memory_order_relaxed);
+    kernel_batch_queries.fetch_add(c.kernel_batch_queries,
+                                   std::memory_order_relaxed);
+    kernel_batch_screened.fetch_add(c.kernel_batch_screened,
+                                    std::memory_order_relaxed);
+    kernel_batch_survivors.fetch_add(c.kernel_batch_survivors,
+                                     std::memory_order_relaxed);
   }
 
   [[nodiscard]] core::stage_counters load() const {
@@ -124,6 +133,12 @@ struct atomic_stage_counters {
         portfolio_probe_wins.load(std::memory_order_relaxed);
     c.portfolio_sweep_wins =
         portfolio_sweep_wins.load(std::memory_order_relaxed);
+    c.kernel_batch_queries =
+        kernel_batch_queries.load(std::memory_order_relaxed);
+    c.kernel_batch_screened =
+        kernel_batch_screened.load(std::memory_order_relaxed);
+    c.kernel_batch_survivors =
+        kernel_batch_survivors.load(std::memory_order_relaxed);
     return c;
   }
 };
@@ -220,7 +235,10 @@ struct metrics_snapshot {
        << stage.probe_sat_levels << " sat levels\n"
        << "portfolio         " << stage.portfolio_probe_wins
        << " probe wins, " << stage.portfolio_sweep_wins
-       << " sweep wins\n";
+       << " sweep wins\n"
+       << "kernel_batch      " << stage.kernel_batch_queries
+       << " queries, " << stage.kernel_batch_screened << " screened, "
+       << stage.kernel_batch_survivors << " survivors\n";
     if (synth_latency_count > 0) {
       os << "synth_mean_ms     "
          << 1e3 * synth_latency_total_s /
@@ -275,7 +293,11 @@ struct metrics_snapshot {
        << ",\"probe_unsat_levels\":" << stage.probe_unsat_levels
        << ",\"probe_sat_levels\":" << stage.probe_sat_levels
        << ",\"portfolio_probe_wins\":" << stage.portfolio_probe_wins
-       << ",\"portfolio_sweep_wins\":" << stage.portfolio_sweep_wins << "}"
+       << ",\"portfolio_sweep_wins\":" << stage.portfolio_sweep_wins
+       << ",\"kernel_batch_queries\":" << stage.kernel_batch_queries
+       << ",\"kernel_batch_screened\":" << stage.kernel_batch_screened
+       << ",\"kernel_batch_survivors\":" << stage.kernel_batch_survivors
+       << "}"
        << ",\"synth_latency_count\":" << synth_latency_count
        << ",\"synth_latency_total_s\":" << synth_latency_total_s
        << ",\"synth_latency_buckets\":[";

@@ -3,27 +3,35 @@
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <vector>
+
+#include "tt/kernels/kernels.hpp"
 
 namespace stpes::stp {
 
 logic_matrix::logic_matrix(unsigned num_vars) : top_(num_vars) {}
 
 logic_matrix logic_matrix::from_truth_table(const tt::truth_table& f) {
+  // Column c of the canonical matrix form holds f(~c & mask): the
+  // semi-tensor row expansion is a full bit-order reversal of the table,
+  // one dispatched kernel pass instead of a per-minterm loop.
   logic_matrix m{f.num_vars()};
-  const std::uint64_t mask = f.num_bits() - 1;
-  for (std::uint64_t c = 0; c < f.num_bits(); ++c) {
-    m.top_.set_bit(c, f.get_bit(~c & mask));
-  }
+  const auto& src = f.words();
+  std::vector<std::uint64_t> reversed(src.size());
+  tt::kernels::active().reverse_table(reversed.data(), src.data(),
+                                      f.num_vars());
+  m.top_ = tt::truth_table::from_words(f.num_vars(), reversed.data(),
+                                       reversed.size());
   return m;
 }
 
 tt::truth_table logic_matrix::to_truth_table() const {
-  tt::truth_table f{num_vars()};
-  const std::uint64_t mask = f.num_bits() - 1;
-  for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
-    f.set_bit(t, top_.get_bit(~t & mask));
-  }
-  return f;
+  const auto& src = top_.words();
+  std::vector<std::uint64_t> reversed(src.size());
+  tt::kernels::active().reverse_table(reversed.data(), src.data(),
+                                      num_vars());
+  return tt::truth_table::from_words(num_vars(), reversed.data(),
+                                     reversed.size());
 }
 
 matrix logic_matrix::to_matrix() const {

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <utility>
 
+#include "tt/kernels/kernels.hpp"
+
 namespace stpes::synth {
 
 namespace {
@@ -97,26 +99,21 @@ struct and_solver {
 };
 
 /// AND-like solve for R' = u & v on the care set; appends all completions.
-void solve_and_family(const requirement& r, bool complemented,
-                      std::uint32_t cone_a, std::uint32_t cone_b,
-                      const factorize_options& options,
-                      core::run_context* ctx,
-                      std::vector<factorization>& out) {
-  const unsigned n = r.func.num_vars();
+/// The batch driver has already complemented the target, computed its
+/// offset and the class-replicated forced-one sets, and run the
+/// feasibility screen (`off & u_one & v_one == 0`) across the whole
+/// batch — this is the per-survivor branching tail.
+void solve_and_family_prescreened(const tt::truth_table& off,
+                                  const tt::truth_table& u_one,
+                                  const tt::truth_table& v_one,
+                                  bool complemented, std::uint32_t cone_a,
+                                  std::uint32_t cone_b,
+                                  const factorize_options& options,
+                                  core::run_context* ctx,
+                                  std::vector<factorization>& out) {
+  const unsigned n = off.num_vars();
   const std::uint64_t amask = assignment_mask(cone_a, n);
   const std::uint64_t bmask = assignment_mask(cone_b, n);
-  const tt::isf target = complemented ? r.func.complement() : r.func;
-  const tt::truth_table off = target.offset();
-
-  // Forced ones: every cell class containing an on-minterm must output 1.
-  // One smooth per cone replaces a pass over every minterm.
-  const tt::truth_table u_one = target.onset().smooth_over(~cone_a);
-  const tt::truth_table v_one = target.onset().smooth_over(~cone_b);
-  // An off-minterm whose classes are forced one on both sides makes the
-  // split unsatisfiable.
-  if (!(off & u_one & v_one).is_const0()) {
-    return;
-  }
   // An off-minterm with exactly one side forced one forces the other
   // side's class to zero (the smooth replicates across the class).
   const tt::truth_table v_zero = (off & u_one).smooth_over(~cone_b);
@@ -189,17 +186,17 @@ struct component_masks {
   tt::truth_table u_one, u_zero, v_one, v_zero;
 };
 
-/// XOR-like solve for R' = u ^ v on the care set.
-void solve_xor_family(const requirement& r, bool complemented,
+/// XOR-like solve for R' = u ^ v on the care set.  `target` is the
+/// already-complemented requirement (computed once per batch polarity).
+void solve_xor_family(const tt::isf& target, bool complemented,
                       std::uint32_t cone_a, std::uint32_t cone_b,
                       const factorize_options& options,
                       core::run_context* ctx,
                       std::vector<factorization>& out) {
-  const unsigned n = r.func.num_vars();
+  const unsigned n = target.num_vars();
   const std::uint64_t bits = std::uint64_t{1} << n;
   const std::uint64_t amask = assignment_mask(cone_a, n);
   const std::uint64_t bmask = assignment_mask(cone_b, n);
-  const tt::isf target = complemented ? r.func.complement() : r.func;
 
   // Cell ids: u-cell m|A -> (m & amask), v-cell m|B -> bits + (m & bmask).
   parity_dsu dsu(2 * bits);
@@ -292,30 +289,10 @@ void solve_xor_family(const requirement& r, bool complemented,
   }
 }
 
-}  // namespace
-
-std::vector<factorization> factor_requirement(
-    const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
-    const factorize_options& options, core::run_context* ctx) {
-  assert((cone_a | cone_b) == r.cone);
-  if (ctx != nullptr) {
-    ++ctx->counters.factorization_attempts;
-  }
-  std::vector<factorization> out;
-  if (r.func.is_unconstrained()) {
-    // Nothing to satisfy: children are unconstrained as well.
-    factorization f;
-    f.left = requirement{cone_a, tt::isf{r.func.num_vars()}};
-    f.right = requirement{cone_b, tt::isf{r.func.num_vars()}};
-    out.push_back(f);
-    return out;
-  }
-  for (const bool complemented : {false, true}) {
-    solve_and_family(r, complemented, cone_a, cone_b, options, ctx, out);
-    solve_xor_family(r, complemented, cone_a, cone_b, options, ctx, out);
-  }
-  // The AND-family branch enumeration can reach the same (u, v) pair along
-  // several choice orders; duplicates multiply the downstream search.
+/// The AND-family branch enumeration can reach the same (u, v) pair along
+/// several choice orders; duplicates multiply the downstream search.
+std::vector<factorization> dedup_factorizations(
+    std::vector<factorization>&& out) {
   std::vector<factorization> unique;
   unique.reserve(out.size());
   for (auto& f : out) {
@@ -329,10 +306,184 @@ std::vector<factorization> factor_requirement(
       unique.push_back(std::move(f));
     }
   }
-  if (ctx != nullptr && unique.empty()) {
-    ++ctx->counters.factorization_prunes;
-  }
   return unique;
+}
+
+}  // namespace
+
+std::vector<std::vector<factorization>> factor_requirement_batch(
+    const requirement& r, const cone_split* splits, std::size_t count,
+    const factorize_options& options, core::run_context* ctx) {
+  std::vector<std::vector<factorization>> lists(count);
+  if (count == 0) {
+    return lists;
+  }
+  if (ctx != nullptr) {
+    ctx->counters.factorization_attempts += count;
+  }
+  const unsigned n = r.func.num_vars();
+  if (r.func.is_unconstrained()) {
+    // Nothing to satisfy: children are unconstrained as well.
+    for (std::size_t i = 0; i < count; ++i) {
+      assert((splits[i].a | splits[i].b) == r.cone);
+      factorization f;
+      f.left = requirement{splits[i].a, tt::isf{n}};
+      f.right = requirement{splits[i].b, tt::isf{n}};
+      lists[i].push_back(std::move(f));
+    }
+    return lists;
+  }
+  if (ctx != nullptr) {
+    ctx->counters.kernel_batch_queries += count;
+  }
+
+  // Per polarity (not per split): the complemented target and both
+  // offsets, computed once per batch.
+  const tt::isf complemented_target = r.func.complement();
+  const tt::isf* const targets[2] = {&r.func, &complemented_target};
+  const std::array<tt::truth_table, 2> offs{r.func.offset(),
+                                            complemented_target.offset()};
+  const std::size_t num_words = r.func.onset().words().size();
+  const auto& ops = tt::kernels::active();
+
+  // Fixed-stride blocks with stack-resident scratch: the synthesis path
+  // batches at most a memo-miss chunk at a time, so the screen must not
+  // pay an allocation per call (the enumeration makes tens of millions of
+  // them per hard instance).
+  constexpr std::size_t kStride = 32;
+  bool stopped = false;
+  for (std::size_t base = 0; base < count && !stopped; base += kStride) {
+    const std::size_t block = std::min(kStride, count - base);
+    const cone_split* const bs = splits + base;
+
+    // The forced-one set of a cone depends only on (target onset, cone),
+    // so each *distinct* cone is smoothed once per polarity no matter how
+    // many splits share it.
+    std::array<std::uint32_t, 2 * kStride> cones;
+    std::size_t num_cones = 0;
+    for (std::size_t i = 0; i < block; ++i) {
+      assert((bs[i].a | bs[i].b) == r.cone);
+      cones[num_cones++] = bs[i].a;
+      cones[num_cones++] = bs[i].b;
+    }
+    std::sort(cones.begin(), cones.begin() + num_cones);
+    num_cones = static_cast<std::size_t>(
+        std::unique(cones.begin(), cones.begin() + num_cones) -
+        cones.begin());
+    const auto cone_index = [&](std::uint32_t c) {
+      return static_cast<std::uint8_t>(
+          std::lower_bound(cones.begin(), cones.begin() + num_cones, c) -
+          cones.begin());
+    };
+    std::array<std::uint8_t, kStride> ia;
+    std::array<std::uint8_t, kStride> ib;
+    for (std::size_t i = 0; i < block; ++i) {
+      ia[i] = cone_index(bs[i].a);
+      ib[i] = cone_index(bs[i].b);
+    }
+
+    // Per polarity: forced-one sets per distinct cone, then the
+    // AND-family feasibility screen (`off & u_one & v_one != 0` refutes
+    // the polarity) across the whole block in one kernel pass.
+    std::array<std::array<std::uint64_t, 2 * kStride>, 2> lanes;
+    std::array<std::vector<tt::truth_table>, 2> cone_one;  // W > 1 only
+    std::array<std::array<std::uint8_t, kStride>, 2> refuted{};
+    for (int p = 0; p < 2; ++p) {
+      if (num_words == 1) {
+        // Single-word tables (n <= 6, the NPN4/FDSD regime): lay the
+        // cones out struct-of-arrays so one masked-smooth kernel pass per
+        // variable quantifies every distinct cone at once, and the
+        // verdicts fall out of one batched AND3 pass.
+        std::array<std::uint8_t, 2 * kStride> select;
+        lanes[p].fill(targets[p]->onset().words()[0]);
+        for (unsigned v = 0; v < n; ++v) {
+          for (std::size_t c = 0; c < num_cones; ++c) {
+            select[c] = ((cones[c] >> v) & 1) == 0 ? 1 : 0;
+          }
+          ops.smooth_var_w1_masked(lanes[p].data(), select.data(),
+                                   num_cones, v);
+        }
+        std::array<std::uint64_t, kStride> off_lane;
+        std::array<std::uint64_t, kStride> a_lane;
+        std::array<std::uint64_t, kStride> b_lane;
+        off_lane.fill(offs[p].words()[0]);
+        for (std::size_t i = 0; i < block; ++i) {
+          a_lane[i] = lanes[p][ia[i]];
+          b_lane[i] = lanes[p][ib[i]];
+        }
+        ops.and3_nonzero_w1(off_lane.data(), a_lane.data(), b_lane.data(),
+                            block, refuted[p].data());
+      } else {
+        cone_one[p].reserve(num_cones);
+        for (std::size_t c = 0; c < num_cones; ++c) {
+          cone_one[p].push_back(targets[p]->onset().smooth_over(~cones[c]));
+        }
+        for (std::size_t i = 0; i < block; ++i) {
+          refuted[p][i] =
+              tt::kernels::words_any_and3(offs[p].words().data(),
+                                          cone_one[p][ia[i]].words().data(),
+                                          cone_one[p][ib[i]].words().data(),
+                                          num_words)
+                  ? 1
+                  : 0;
+        }
+      }
+    }
+
+    // Solve phase, in split order: the AND-family brancher runs only for
+    // polarities that survived the screen; the XOR parity solve has no
+    // batched screen and always runs.  Child forced-one tables are only
+    // materialized for the surviving solver calls.
+    for (std::size_t i = 0; i < block; ++i) {
+      const std::size_t gi = base + i;
+      if (ctx != nullptr && gi != 0 && (gi & 31) == 0 &&
+          ctx->should_stop()) {
+        stopped = true;  // remaining lists stay empty (and uncounted)
+        break;
+      }
+      std::vector<factorization> out;
+      bool survived = false;
+      for (int p = 0; p < 2; ++p) {
+        const bool complemented = p != 0;
+        if (refuted[p][i] == 0) {
+          survived = true;
+          if (num_words == 1) {
+            const auto u_one =
+                tt::truth_table::from_words(n, &lanes[p][ia[i]], 1);
+            const auto v_one =
+                tt::truth_table::from_words(n, &lanes[p][ib[i]], 1);
+            solve_and_family_prescreened(offs[p], u_one, v_one,
+                                         complemented, bs[i].a, bs[i].b,
+                                         options, ctx, out);
+          } else {
+            solve_and_family_prescreened(offs[p], cone_one[p][ia[i]],
+                                         cone_one[p][ib[i]], complemented,
+                                         bs[i].a, bs[i].b, options, ctx,
+                                         out);
+          }
+        }
+        solve_xor_family(*targets[p], complemented, bs[i].a, bs[i].b,
+                         options, ctx, out);
+      }
+      if (ctx != nullptr) {
+        ++(survived ? ctx->counters.kernel_batch_survivors
+                    : ctx->counters.kernel_batch_screened);
+      }
+      lists[gi] = dedup_factorizations(std::move(out));
+      if (ctx != nullptr && lists[gi].empty()) {
+        ++ctx->counters.factorization_prunes;
+      }
+    }
+  }
+  return lists;
+}
+
+std::vector<factorization> factor_requirement(
+    const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
+    const factorize_options& options, core::run_context* ctx) {
+  const cone_split split{cone_a, cone_b};
+  auto lists = factor_requirement_batch(r, &split, 1, options, ctx);
+  return std::move(lists.front());
 }
 
 bool is_factorable(const requirement& r, std::uint32_t cone_a,

@@ -67,6 +67,13 @@ struct factorize_options {
   unsigned max_xor_components = 5;
 };
 
+/// One candidate cone split of a requirement's cone: the left child may
+/// consume the variables of `a`, the right child those of `b`.
+struct cone_split {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
 /// All decompositions of `r` for the fixed cone split (cone_a, cone_b).
 /// Both cones must be subsets of `r.cone` and their union must cover it.
 /// When `ctx` is given the recursion observes its cancel flag between
@@ -77,6 +84,32 @@ struct factorize_options {
 std::vector<factorization> factor_requirement(
     const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b,
     const factorize_options& options = {}, core::run_context* ctx = nullptr);
+
+/// Batched form: decomposes `r` for every split in `splits` (result `i`
+/// corresponds to `splits[i]`) and returns lists identical to calling
+/// `factor_requirement` once per split.  The batch is where the vector
+/// kernel tier earns its keep: the target polarity complements/offsets are
+/// computed once per batch instead of once per split, the class-replicated
+/// forced-one sets are deduplicated per *distinct cone* and smoothed
+/// struct-of-arrays through the dispatched kernels, and the AND-family
+/// feasibility screen runs across the whole batch in one pass — only the
+/// surviving (split, polarity) queries reach the per-candidate branching
+/// solver.  Effort lands in `ctx->counters.kernel_batch_*`.
+///
+/// When `ctx` reports a stop mid-batch the remaining splits come back as
+/// empty lists (without a prune count), matching what the caller's own
+/// cancellation polling would have skipped.
+std::vector<std::vector<factorization>> factor_requirement_batch(
+    const requirement& r, const cone_split* splits, std::size_t count,
+    const factorize_options& options = {}, core::run_context* ctx = nullptr);
+
+/// Convenience overload over a materialized split vector.
+inline std::vector<std::vector<factorization>> factor_requirement_batch(
+    const requirement& r, const std::vector<cone_split>& splits,
+    const factorize_options& options = {}, core::run_context* ctx = nullptr) {
+  return factor_requirement_batch(r, splits.data(), splits.size(), options,
+                                  ctx);
+}
 
 /// True iff the requirement admits at least one decomposition for the
 /// split — the paper's prune test ("can this DAG realize f?") without

@@ -17,6 +17,7 @@
 #include "fence/fence.hpp"
 #include "service/thread_pool.hpp"
 #include "synth/factor_memo.hpp"
+#include "util/flat_set64.hpp"
 
 namespace stpes::synth {
 
@@ -64,6 +65,14 @@ struct slot_index_map {
   }
 };
 
+/// Cone splits resolved per batched factorization call.  A chunk
+/// amortizes the per-batch costs (target complement/offset, distinct-cone
+/// smooths, the vectorized screen) over many splits while bounding the
+/// work thrown away when a freshly verified solution stops the search
+/// mid-gate.  Fixed, so chunk boundaries — and therefore memo contents
+/// and counters — are deterministic.
+constexpr std::size_t kFactorChunk = 32;
+
 struct search_context {
   const stp_options& options;
   const tt::isf& target;    // root requirement (complete or with DCs)
@@ -84,11 +93,17 @@ struct search_context {
   /// suffix of the DAG, so they transfer across DAGs and levels).
   const factor_memo& shared_memo;
   factor_memo& local_memo;
-  const std::unordered_set<std::uint64_t>& shared_failed;
-  std::unordered_set<std::uint64_t>& local_failed;
+  const util::flat_set64& shared_failed;
+  util::flat_set64& local_failed;
 
   std::vector<chain::boolean_chain> solutions;
-  std::unordered_set<std::size_t> solution_hashes;
+  util::flat_set64 solution_hashes;
+  /// Per-DAG-position scratch for the splits a gate's partition
+  /// enumeration collects before chunked factorization.  Indexed by
+  /// position so the chunk loop can recurse into deeper gates without
+  /// clobbering, and kept across DAGs so the innermost enumeration never
+  /// touches the allocator once the capacities warm up.
+  std::vector<std::vector<cone_split>> split_scratch;
   bool stop = false;  // cancelled, deadline expired, or solution cap hit
   std::uint64_t ticks = 0;
 
@@ -110,29 +125,67 @@ struct search_context {
     }
   }
 
-  std::shared_ptr<const std::vector<factorization>> factor(
-      const requirement& r, std::uint32_t cone_a, std::uint32_t cone_b) {
-    factor_key key{r.cone, cone_a, cone_b, r.func.onset(), r.func.careset()};
-    if (const auto* hit = shared_memo.find(key)) {
-      ++rc.counters.factor_memo_hits;
-      return *hit;
+  /// Resolves the factorization lists of `r` for `count` (<= kFactorChunk)
+  /// cone splits starting at `splits`: the memos are probed in split order
+  /// first, then the misses are solved in one batched pipeline pass
+  /// (`factor_requirement_batch`).  Keys are distinct within one gate's
+  /// partition enumeration, so probing everything before solving leaves
+  /// the hit/miss totals exactly what the split-at-a-time path counted.
+  ///
+  /// `resolved[i]` points at the list for `splits[i]`, owned either by a
+  /// memo or by `keepalive[i]` (when the memo cap stopped the insert);
+  /// both outlive the caller's use of the chunk.  Everything else is
+  /// stack-buffered: this runs on the innermost enumeration path, once
+  /// per chunk, and must not touch the allocator when every split hits.
+  void factor_batch(
+      const requirement& r, const cone_split* splits, std::size_t count,
+      std::array<const std::vector<factorization>*, kFactorChunk>& resolved,
+      std::array<std::shared_ptr<const std::vector<factorization>>,
+                 kFactorChunk>& keepalive) {
+    assert(count <= kFactorChunk);
+    std::array<factor_key, kFactorChunk> miss_keys;
+    std::array<cone_split, kFactorChunk> miss_splits;
+    std::array<std::size_t, kFactorChunk> miss_of;
+    std::size_t misses = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      factor_key key{r.cone, splits[i].a, splits[i].b, r.func.onset(),
+                     r.func.careset()};
+      if (const auto* hit = shared_memo.find(key)) {
+        ++rc.counters.factor_memo_hits;
+        resolved[i] = hit->get();
+        continue;
+      }
+      if (const auto* hit = local_memo.find(key)) {
+        ++rc.counters.factor_memo_hits;
+        resolved[i] = hit->get();
+        continue;
+      }
+      ++rc.counters.factor_memo_misses;
+      miss_of[misses] = i;
+      miss_keys[misses] = std::move(key);
+      miss_splits[misses] = splits[i];
+      ++misses;
     }
-    if (const auto* hit = local_memo.find(key)) {
-      ++rc.counters.factor_memo_hits;
-      return *hit;
+    if (misses == 0) {
+      return;
     }
-    ++rc.counters.factor_memo_misses;
-    auto result = std::make_shared<const std::vector<factorization>>(
-        factor_requirement(r, cone_a, cone_b, options.factor, &rc));
-    stats.factorizations += result->size();
-    // The cap is checked against the level-start snapshot plus this task's
-    // own delta — both thread-count independent, so capped runs stay
-    // deterministic.
-    if (options.factor_memo_cap == 0 ||
-        shared_memo.size() + local_memo.size() < options.factor_memo_cap) {
-      local_memo.insert(std::move(key), result);
+    auto solved = factor_requirement_batch(r, miss_splits.data(), misses,
+                                           options.factor, &rc);
+    for (std::size_t j = 0; j < misses; ++j) {
+      auto result = std::make_shared<const std::vector<factorization>>(
+          std::move(solved[j]));
+      stats.factorizations += result->size();
+      resolved[miss_of[j]] = result.get();
+      // The cap is checked against the level-start snapshot plus this
+      // task's own delta — both thread-count independent, so capped runs
+      // stay deterministic.
+      if (options.factor_memo_cap == 0 ||
+          shared_memo.size() + local_memo.size() <
+              options.factor_memo_cap) {
+        local_memo.insert(std::move(miss_keys[j]), result);
+      }
+      keepalive[miss_of[j]] = std::move(result);
     }
-    return result;
   }
 };
 
@@ -145,6 +198,11 @@ public:
         slots_(dag),
         capacity_(dag.pi_slot_capacity()),
         cone_gates_(dag.gates_in_cone()) {
+    // Grown up front so enumerate_partitions can hold per-position
+    // references across its recursion; capacities persist between DAGs.
+    if (ctx_.split_scratch.size() < dag.gates.size()) {
+      ctx_.split_scratch.resize(dag.gates.size());
+    }
     // A cone of g gates depends on at most g + 1 distinct variables.
     for (std::size_t i = 0; i < capacity_.size(); ++i) {
       capacity_[i] = std::min(capacity_[i], cone_gates_[i] + 1);
@@ -395,7 +453,8 @@ private:
   }
 
   /// Enumerates cone splits (A, B) of the gate's cone, honouring cones
-  /// already fixed on shared children, then factorizes and recurses.
+  /// already fixed on shared children, then factorizes the collected
+  /// splits in chunked batches and recurses per split.
   void enumerate_partitions(std::size_t pos, int g, int child_a, int child_b,
                             const requirement& req) {
     const std::uint32_t cone = req.cone;
@@ -415,6 +474,10 @@ private:
     const unsigned cap_b = fanin_capacity(child_b);
     const bool both_slots = child_a == kPiSlot && child_b == kPiSlot;
 
+    // Pre-sized to the gate count when the search started: growing it
+    // here would invalidate the references outer recursion levels hold.
+    auto& splits = ctx_.split_scratch[pos];
+    splits.clear();
     auto assign = [&](auto&& self, std::size_t index, std::uint32_t a,
                       std::uint32_t b) -> void {
       if (ctx_.stop) {
@@ -440,7 +503,7 @@ private:
           return;  // mirrored split of identical subtrees
         }
         ++ctx_.stats.partitions_tried;
-        try_split(pos, g, child_a, child_b, req, a, b);
+        splits.push_back(cone_split{a, b});
         return;
       }
       const std::uint32_t bit = 1u << vars[index];
@@ -464,6 +527,29 @@ private:
       }
     };
     assign(assign, 0, 0, 0);
+    for (std::size_t base = 0; base < splits.size(); base += kFactorChunk) {
+      if (ctx_.stop) {
+        return;
+      }
+      const std::size_t end = std::min(base + kFactorChunk, splits.size());
+      std::array<const std::vector<factorization>*, kFactorChunk> resolved;
+      std::array<std::shared_ptr<const std::vector<factorization>>,
+                 kFactorChunk>
+          keepalive;
+      ctx_.factor_batch(req, splits.data() + base, end - base, resolved,
+                        keepalive);
+      for (std::size_t i = base; i < end; ++i) {
+        // Poll here as well as in descend(): one descend can enumerate
+        // tens of thousands of splits on wide cones, and each resolved
+        // split costs a full child recursion — per-descend polling alone
+        // lets a deadline slip by seconds.
+        ctx_.tick();
+        if (ctx_.stop) {
+          return;
+        }
+        try_split(pos, g, child_a, child_b, *resolved[i - base]);
+      }
+    }
   }
 
   [[nodiscard]] std::optional<std::uint32_t> fixed_cone(int child) const {
@@ -477,20 +563,9 @@ private:
     return std::nullopt;
   }
 
+  /// Recurses into every factorization of one already-resolved split.
   void try_split(std::size_t pos, int g, int child_a, int child_b,
-                 const requirement& req, std::uint32_t cone_a,
-                 std::uint32_t cone_b) {
-    // Poll here as well as in descend(): one descend can enumerate tens of
-    // thousands of splits on wide cones, and each split costs a
-    // factorization solve — per-descend polling alone lets a deadline slip
-    // by seconds.
-    ctx_.tick();
-    if (ctx_.stop) {
-      return;
-    }
-    const auto factorizations_ptr = ctx_.factor(req, cone_a, cone_b);
-    const auto& factorizations = *factorizations_ptr;
-    const auto& topo_gate = dag_.gates[static_cast<std::size_t>(g)];
+                 const std::vector<factorization>& factorizations) {
     const auto slot_ids = slots_.of_gate[static_cast<std::size_t>(g)];
     for (const auto& f : factorizations) {
       if (ctx_.stop) {
@@ -515,7 +590,6 @@ private:
                     });
       });
       gate = saved_gate;
-      (void)topo_gate;
     }
   }
 
@@ -730,7 +804,7 @@ private:
   }
 
   bool solution_is_new(const chain::boolean_chain& candidate) {
-    return ctx_.solution_hashes.insert(candidate.hash()).second;
+    return ctx_.solution_hashes.insert(candidate.hash());
   }
 
   search_context& ctx_;
@@ -762,7 +836,7 @@ struct task_output {
   stp_stats stats;
   core::stage_counters counters;
   factor_memo memo_delta;
-  std::unordered_set<std::uint64_t> failed_delta;
+  util::flat_set64 failed_delta;
   // Set when the task observed a cancel or deadline: factorizations abort
   // mid-enumeration under cancellation, so the deltas may record states as
   // "failed" (or memoize factor lists) that were never exhaustively
@@ -794,7 +868,7 @@ std::vector<chain::boolean_chain> run_level(
     unsigned num_vars, const std::vector<tt::truth_table>* multi,
     const std::vector<dag_topology>& dags, core::run_context& rc,
     stp_stats& stats, factor_memo& memo,
-    std::unordered_set<std::uint64_t>& failed, service::thread_pool* pool) {
+    util::flat_set64& failed, service::thread_pool* pool) {
   const std::size_t num_tasks = (dags.size() + kLevelChunk - 1) / kLevelChunk;
   std::vector<task_output> outputs(num_tasks);
   // Level-local cancel hub: a child of `rc`, so external cancels and the
@@ -807,7 +881,7 @@ std::vector<chain::boolean_chain> run_level(
   std::size_t tasks_finished = 0;
   std::vector<char> task_done(num_tasks, 0);
   std::size_t committed = 0;
-  std::unordered_set<std::size_t> merged_hashes;
+  util::flat_set64 merged_hashes;
   std::vector<chain::boolean_chain> merged;
   // Commits the ready in-order prefix of task solutions; caller holds the
   // commit mutex.
@@ -818,7 +892,7 @@ std::vector<chain::boolean_chain> run_level(
             merged.size() >= options.max_solutions) {
           break;
         }
-        if (merged_hashes.insert(c.hash()).second) {
+        if (merged_hashes.insert(c.hash())) {
           merged.push_back(std::move(c));
           if (options.max_solutions != 0 &&
               merged.size() >= options.max_solutions) {
@@ -851,7 +925,7 @@ std::vector<chain::boolean_chain> run_level(
                        num_vars,       multi,            task_rc,
                        out.stats,      memo,             out.memo_delta,
                        failed,         out.failed_delta, {},
-                       {}};
+                       {},             {}};
     const std::size_t begin = task_idx * kLevelChunk;
     const std::size_t end = std::min(begin + kLevelChunk, dags.size());
     for (std::size_t i = begin; i < end && !ctx.stop; ++i) {
@@ -903,14 +977,14 @@ std::vector<chain::boolean_chain> run_level(
     memo.merge_from(std::move(out.memo_delta), options.factor_memo_cap);
     if (options.failed_memo_cap == 0 ||
         failed.size() + out.failed_delta.size() <= options.failed_memo_cap) {
-      failed.merge(out.failed_delta);  // node splice, no per-key realloc
+      out.failed_delta.for_each(
+          [&](std::uint64_t key) { failed.insert(key); });
     } else {
-      for (const auto key : out.failed_delta) {
-        if (failed.size() >= options.failed_memo_cap) {
-          break;
+      out.failed_delta.for_each([&](std::uint64_t key) {
+        if (failed.size() < options.failed_memo_cap) {
+          failed.insert(key);
         }
-        failed.insert(key);
-      }
+      });
     }
   }
   return merged;
@@ -980,7 +1054,7 @@ std::vector<chain::boolean_chain> run_portfolio_level(
     const std::vector<tt::truth_table>* multi, unsigned gates,
     const std::vector<dag_topology>& dags, core::run_context& rc,
     stp_stats& stats, factor_memo& memo,
-    std::unordered_set<std::uint64_t>& failed, service::thread_pool& pool,
+    util::flat_set64& failed, service::thread_pool& pool,
     service::thread_pool* sweep_pool,
     std::optional<chain::boolean_chain>& witness) {
   core::run_context probe_rc(&rc);
@@ -1066,7 +1140,7 @@ void run_size_sweep(const stp_options& options, const tt::isf& target,
   // counts (their keys are self-contained), so they persist over the
   // whole size sweep.
   factor_memo memo;
-  std::unordered_set<std::uint64_t> failed_states;
+  util::flat_set64 failed_states;
   const lower_bound_prober prober{options.probe};
 
   for (unsigned gates = start_gates; gates <= max_gates; ++gates) {

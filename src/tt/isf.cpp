@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "tt/kernels/kernels.hpp"
+
 namespace stpes::tt {
 
 isf::isf(unsigned num_vars)
@@ -18,16 +20,10 @@ isf isf::from_function(const truth_table& function) {
 }
 
 bool isf::accepts(const truth_table& candidate) const {
-  // Word-at-a-time with early exit; no temporary tables.
-  const auto& cand = candidate.words();
+  // Word-at-a-time cover check; no temporary tables.
   const auto& care = care_.words();
-  const auto& on = on_.words();
-  for (std::size_t i = 0; i < care.size(); ++i) {
-    if ((cand[i] & care[i]) != on[i]) {
-      return false;
-    }
-  }
-  return true;
+  return kernels::words_accept(candidate.words().data(), care.data(),
+                               on_.words().data(), care.size());
 }
 
 isf isf::complement() const { return isf{~on_ & care_, care_}; }
@@ -35,14 +31,11 @@ isf isf::complement() const { return isf{~on_ & care_, care_}; }
 std::optional<isf> isf::intersect(const isf& other) const {
   assert(num_vars() == other.num_vars());
   // Conflict: a minterm in both care sets with opposite polarity.
-  const auto& a_on = on_.words();
-  const auto& b_on = other.on_.words();
   const auto& a_care = care_.words();
-  const auto& b_care = other.care_.words();
-  for (std::size_t i = 0; i < a_care.size(); ++i) {
-    if (((a_on[i] ^ b_on[i]) & a_care[i] & b_care[i]) != 0) {
-      return std::nullopt;
-    }
+  if (kernels::words_conflict(on_.words().data(), other.on_.words().data(),
+                              a_care.data(), other.care_.words().data(),
+                              a_care.size())) {
+    return std::nullopt;
   }
   return isf{on_ | other.on_, care_ | other.care_};
 }

@@ -1,0 +1,131 @@
+/// \file kernels.cpp
+/// \brief Runtime CPUID dispatch for the kernel tier: picks the widest
+///        tier that both the build and the CPU support, honouring the
+///        `STPES_FORCE_SCALAR` / `STPES_KERNEL_TIER` overrides, once per
+///        process.
+
+#include "tt/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tt/kernels/kernels_detail.hpp"
+
+namespace stpes::tt::kernels {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<const kernel_ops*> g_active{nullptr};
+
+}  // namespace
+
+bool tier_available(kernel_tier t) {
+  switch (t) {
+    case kernel_tier::scalar:
+      return true;
+    case kernel_tier::avx2:
+      return avx2_ops_or_null() != nullptr && cpu_has_avx2();
+    case kernel_tier::avx512:
+      return avx512_ops_or_null() != nullptr && cpu_has_avx512();
+  }
+  return false;
+}
+
+const kernel_ops& ops_for(kernel_tier t) {
+  if (t == kernel_tier::avx512 && tier_available(kernel_tier::avx512)) {
+    return *avx512_ops_or_null();
+  }
+  if (t == kernel_tier::avx2 && tier_available(kernel_tier::avx2)) {
+    return *avx2_ops_or_null();
+  }
+  return scalar_ops();
+}
+
+kernel_tier parse_tier(const char* value, kernel_tier fallback) {
+  if (value == nullptr) {
+    return fallback;
+  }
+  if (std::strcmp(value, "scalar") == 0) {
+    return kernel_tier::scalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    return kernel_tier::avx2;
+  }
+  if (std::strcmp(value, "avx512") == 0) {
+    return kernel_tier::avx512;
+  }
+  return fallback;
+}
+
+kernel_tier detect_best_tier() {
+  const char* force_scalar = std::getenv("STPES_FORCE_SCALAR");
+  if (force_scalar != nullptr && force_scalar[0] != '\0' &&
+      std::strcmp(force_scalar, "0") != 0) {
+    return kernel_tier::scalar;
+  }
+  kernel_tier best = kernel_tier::scalar;
+  if (tier_available(kernel_tier::avx2)) {
+    best = kernel_tier::avx2;
+  }
+  if (tier_available(kernel_tier::avx512)) {
+    best = kernel_tier::avx512;
+  }
+  const kernel_tier requested =
+      parse_tier(std::getenv("STPES_KERNEL_TIER"), best);
+  return tier_available(requested) ? requested : best;
+}
+
+const kernel_ops& active() {
+  const kernel_ops* p = g_active.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    // First use: selection is deterministic, so a racing duplicate store
+    // writes the same pointer.
+    p = &ops_for(detect_best_tier());
+    g_active.store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+kernel_tier active_tier() { return active().tier; }
+
+const char* tier_name(kernel_tier t) {
+  switch (t) {
+    case kernel_tier::scalar:
+      return "scalar";
+    case kernel_tier::avx2:
+      return "avx2";
+    case kernel_tier::avx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+kernel_tier force_tier(kernel_tier t) {
+  const kernel_tier previous = active_tier();
+  g_active.store(&ops_for(t), std::memory_order_release);
+  return previous;
+}
+
+}  // namespace stpes::tt::kernels

@@ -1,0 +1,225 @@
+/// \file kernels.hpp
+/// \brief Vector-kernel tier for the hot truth-table / ISF / logic-matrix
+///        word primitives: one scalar-uint64 reference implementation plus
+///        AVX2 and AVX-512 variants behind a function-pointer table that is
+///        selected once at startup via runtime CPUID dispatch.
+///
+/// Every kernel is a pure function over flat `uint64_t` word arrays, so all
+/// tiers are bit-identical by construction — the dispatched tier may only
+/// change *how fast* an answer is produced, never the answer.  The unit
+/// suite cross-checks every available tier against the scalar reference on
+/// randomized inputs, and the end-to-end bit-identity suite replays whole
+/// synthesis runs under forced-scalar vs. dispatched kernels.
+///
+/// Two call surfaces:
+///
+///   * The `bulk_*` / `words_*` inline wrappers below: used by
+///     `truth_table` / `isf` for single-table operations.  Tables of up to
+///     `kSmallWords` words (<= 8 variables — the NPN4/FDSD regime) stay in
+///     the inlined scalar loop, because an indirect call per 1-word AND
+///     costs more than the AND; larger tables go through the dispatched
+///     table where SIMD width actually pays.
+///   * `active()` directly: used by the batched factorization screen
+///     (`synth::factor_requirement_batch`), which lays many single-word
+///     queries out struct-of-arrays so even the n <= 6 regime fills whole
+///     vectors, and by `stp::logic_matrix` row expansion.
+///
+/// Dispatch order: `STPES_FORCE_SCALAR` (any non-empty value other than
+/// "0") pins the scalar tier; `STPES_KERNEL_TIER=scalar|avx2|avx512`
+/// selects a specific tier (clamped to what the build and the CPU
+/// support); otherwise the best runtime-supported tier wins.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stpes::tt::kernels {
+
+/// Instruction-set tiers, ascending.  A tier is usable only when both the
+/// compiler built its translation unit (see tt/CMakeLists.txt per-file
+/// arch flags) and the CPU reports the feature at runtime.
+enum class kernel_tier : int { scalar = 0, avx2 = 1, avx512 = 2 };
+
+/// The dispatched kernel table.  All pointers are non-null.  `dst` may
+/// alias either source operand; `n` is the word count.
+struct kernel_ops {
+  kernel_tier tier = kernel_tier::scalar;
+
+  // Boolean connectives over word arrays.
+  void (*vec_and)(std::uint64_t* dst, const std::uint64_t* a,
+                  const std::uint64_t* b, std::size_t n);
+  void (*vec_or)(std::uint64_t* dst, const std::uint64_t* a,
+                 const std::uint64_t* b, std::size_t n);
+  void (*vec_xor)(std::uint64_t* dst, const std::uint64_t* a,
+                  const std::uint64_t* b, std::size_t n);
+  /// dst = a & ~b.
+  void (*vec_andnot)(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n);
+  /// NOT + normalize: dst = ~a with `last_word_mask` applied to the final
+  /// word (the excess bits of a table with fewer than 64 minterms).
+  void (*vec_not_mask)(std::uint64_t* dst, const std::uint64_t* a,
+                       std::size_t n, std::uint64_t last_word_mask);
+
+  /// True iff (a & b & c) has any set bit — the AND-family infeasibility
+  /// test `off & u_one & v_one != 0`.
+  bool (*any_and3)(const std::uint64_t* a, const std::uint64_t* b,
+                   const std::uint64_t* c, std::size_t n);
+  /// ISF cover check: true iff (cand & care) == on for every word.
+  bool (*accepts)(const std::uint64_t* cand, const std::uint64_t* care,
+                  const std::uint64_t* on, std::size_t n);
+  /// ISF containment conflict: true iff some minterm is in both care sets
+  /// with opposite polarity, ((a_on ^ b_on) & a_care & b_care) != 0.
+  bool (*isf_conflict)(const std::uint64_t* a_on, const std::uint64_t* b_on,
+                       const std::uint64_t* a_care,
+                       const std::uint64_t* b_care, std::size_t n);
+
+  /// Cofactor split with respect to an in-word variable (`var` < 6): one
+  /// pass producing both cofactors, each replicated along `var` exactly as
+  /// `truth_table::cofactor0/1` produce them.  Variables >= 6 are whole
+  /// word moves and stay with the caller.
+  void (*cofactor_split)(const std::uint64_t* src, std::uint64_t* lo,
+                         std::uint64_t* hi, std::size_t n, unsigned var);
+
+  /// Struct-of-arrays batch over single-word tables (num_vars <= 6):
+  /// existentially quantifies `var` (< 6) in every lane whose `select`
+  /// byte is non-zero, leaving the other lanes untouched.  Matches
+  /// `truth_table::smooth` bit for bit.
+  void (*smooth_var_w1_masked)(std::uint64_t* lanes,
+                               const std::uint8_t* select, std::size_t count,
+                               unsigned var);
+  /// Batched verdicts: verdict[i] = (a[i] & b[i] & c[i]) != 0 ? 1 : 0.
+  void (*and3_nonzero_w1)(const std::uint64_t* a, const std::uint64_t* b,
+                          const std::uint64_t* c, std::size_t count,
+                          std::uint8_t* verdict);
+
+  /// STP semi-tensor row expansion: the logic-matrix column order is the
+  /// complemented minterm order, so converting between a truth table and
+  /// its canonical matrix form is a full bit-order reversal of the
+  /// 2^num_vars-bit table.  dst must not alias src.
+  void (*reverse_table)(std::uint64_t* dst, const std::uint64_t* src,
+                        unsigned num_vars);
+};
+
+/// The scalar reference tier; always available.
+const kernel_ops& scalar_ops();
+
+/// True when `t` was both compiled in and is supported by this CPU.
+bool tier_available(kernel_tier t);
+
+/// The table for `t`, falling back to scalar when `t` is unavailable.
+const kernel_ops& ops_for(kernel_tier t);
+
+/// Best available tier after applying the environment overrides
+/// (`STPES_FORCE_SCALAR`, `STPES_KERNEL_TIER`).
+kernel_tier detect_best_tier();
+
+/// Pure parser behind `STPES_KERNEL_TIER` (exposed for tests): accepts
+/// "scalar" / "avx2" / "avx512"; anything else (including null) returns
+/// `fallback`.
+kernel_tier parse_tier(const char* value, kernel_tier fallback);
+
+/// The active table: selected once on first use, cached for the process.
+const kernel_ops& active();
+kernel_tier active_tier();
+const char* tier_name(kernel_tier t);
+
+/// Test hook: replaces the active table with `t` (clamped to available
+/// tiers) and returns the previously active tier.  The bit-identity suite
+/// uses this to replay one synthesis in-process under several tiers;
+/// production code must not call it.
+kernel_tier force_tier(kernel_tier t);
+
+/// Word-count at or below which the inlined scalar loop beats an indirect
+/// dispatched call.  4 words = 8 variables, covering every function the
+/// synthesis engines enumerate today; the dispatched tier serves larger
+/// tables and the struct-of-arrays batch screens.
+inline constexpr std::size_t kSmallWords = 4;
+
+inline void bulk_and(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = a[i] & b[i];
+    }
+    return;
+  }
+  active().vec_and(dst, a, b, n);
+}
+
+inline void bulk_or(std::uint64_t* dst, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = a[i] | b[i];
+    }
+    return;
+  }
+  active().vec_or(dst, a, b, n);
+}
+
+inline void bulk_xor(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = a[i] ^ b[i];
+    }
+    return;
+  }
+  active().vec_xor(dst, a, b, n);
+}
+
+inline void bulk_not_mask(std::uint64_t* dst, const std::uint64_t* a,
+                          std::size_t n, std::uint64_t last_word_mask) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      dst[i] = ~a[i];
+    }
+    dst[n - 1] = ~a[n - 1] & last_word_mask;
+    return;
+  }
+  active().vec_not_mask(dst, a, n, last_word_mask);
+}
+
+inline bool words_accept(const std::uint64_t* cand, const std::uint64_t* care,
+                         const std::uint64_t* on, std::size_t n) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((cand[i] & care[i]) != on[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return active().accepts(cand, care, on, n);
+}
+
+inline bool words_conflict(const std::uint64_t* a_on,
+                           const std::uint64_t* b_on,
+                           const std::uint64_t* a_care,
+                           const std::uint64_t* b_care, std::size_t n) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (((a_on[i] ^ b_on[i]) & a_care[i] & b_care[i]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return active().isf_conflict(a_on, b_on, a_care, b_care, n);
+}
+
+inline bool words_any_and3(const std::uint64_t* a, const std::uint64_t* b,
+                           const std::uint64_t* c, std::size_t n) {
+  if (n <= kSmallWords) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((a[i] & b[i] & c[i]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return active().any_and3(a, b, c, n);
+}
+
+}  // namespace stpes::tt::kernels

@@ -1,0 +1,292 @@
+/// \file kernels_avx2.cpp
+/// \brief AVX2 kernel tier.  Compiled with -mavx2 (per-file flag); when the
+///        compiler cannot target AVX2 this unit degrades to a null tier and
+///        the dispatcher stays on scalar.  All loads/stores are unaligned —
+///        inline `word_storage` buffers are 32-byte aligned, heap spills
+///        are not.
+
+#include "tt/kernels/kernels.hpp"
+#include "tt/kernels/kernels_detail.hpp"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace stpes::tt::kernels {
+
+namespace {
+
+inline __m256i loadu(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void storeu(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void vec_and(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeu(dst + i, _mm256_and_si256(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] & b[i];
+  }
+}
+
+void vec_or(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeu(dst + i, _mm256_or_si256(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] | b[i];
+  }
+}
+
+void vec_xor(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeu(dst + i, _mm256_xor_si256(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] ^ b[i];
+  }
+}
+
+void vec_andnot(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // andnot computes ~first & second.
+    storeu(dst + i, _mm256_andnot_si256(loadu(b + i), loadu(a + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] & ~b[i];
+  }
+}
+
+void vec_not_mask(std::uint64_t* dst, const std::uint64_t* a, std::size_t n,
+                  std::uint64_t last_word_mask) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 4 <= n - 1; i += 4) {
+    storeu(dst + i, _mm256_xor_si256(loadu(a + i), ones));
+  }
+  for (; i + 1 < n; ++i) {
+    dst[i] = ~a[i];
+  }
+  dst[n - 1] = ~a[n - 1] & last_word_mask;
+}
+
+bool any_and3(const std::uint64_t* a, const std::uint64_t* b,
+              const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_and_si256(
+        _mm256_and_si256(loadu(a + i), loadu(b + i)), loadu(c + i));
+    if (!_mm256_testz_si256(x, x)) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i] & c[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool accepts(const std::uint64_t* cand, const std::uint64_t* care,
+             const std::uint64_t* on, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i diff = _mm256_xor_si256(
+        _mm256_and_si256(loadu(cand + i), loadu(care + i)), loadu(on + i));
+    if (!_mm256_testz_si256(diff, diff)) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((cand[i] & care[i]) != on[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool isf_conflict(const std::uint64_t* a_on, const std::uint64_t* b_on,
+                  const std::uint64_t* a_care, const std::uint64_t* b_care,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_and_si256(
+        _mm256_and_si256(_mm256_xor_si256(loadu(a_on + i), loadu(b_on + i)),
+                         loadu(a_care + i)),
+        loadu(b_care + i));
+    if (!_mm256_testz_si256(x, x)) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if (((a_on[i] ^ b_on[i]) & a_care[i] & b_care[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void cofactor_split(const std::uint64_t* src, std::uint64_t* lo,
+                    std::uint64_t* hi, std::size_t n, unsigned var) {
+  const unsigned s = 1u << var;
+  const std::uint64_t pv = detail::kProjection[var];
+  const __m256i vpv = _mm256_set1_epi64x(static_cast<long long>(pv));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(s));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i w = loadu(src + i);
+    const __m256i l = _mm256_andnot_si256(vpv, w);
+    const __m256i h = _mm256_and_si256(vpv, w);
+    storeu(lo + i, _mm256_or_si256(l, _mm256_sll_epi64(l, shift)));
+    storeu(hi + i, _mm256_or_si256(h, _mm256_srl_epi64(h, shift)));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t l = src[i] & ~pv;
+    const std::uint64_t h = src[i] & pv;
+    lo[i] = l | (l << s);
+    hi[i] = h | (h >> s);
+  }
+}
+
+void smooth_var_w1_masked(std::uint64_t* lanes, const std::uint8_t* select,
+                          std::size_t count, unsigned var) {
+  const unsigned s = 1u << var;
+  const std::uint64_t pv = detail::kProjection[var];
+  const __m256i vpv = _mm256_set1_epi64x(static_cast<long long>(pv));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(s));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    std::int32_t sel32 = 0;
+    std::memcpy(&sel32, select + i, 4);
+    const __m256i sel =
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(sel32));  // 4 bytes -> lanes
+    const __m256i mask = _mm256_cmpgt_epi64(sel, zero);
+    const __m256i w = loadu(lanes + i);
+    const __m256i merged =
+        _mm256_or_si256(_mm256_andnot_si256(vpv, w),
+                        _mm256_srl_epi64(_mm256_and_si256(vpv, w), shift));
+    const __m256i smoothed =
+        _mm256_or_si256(merged, _mm256_sll_epi64(merged, shift));
+    storeu(lanes + i, _mm256_blendv_epi8(w, smoothed, mask));
+  }
+  for (; i < count; ++i) {
+    if (select[i] != 0) {
+      const std::uint64_t w = lanes[i];
+      const std::uint64_t merged = (w & ~pv) | ((w & pv) >> s);
+      lanes[i] = merged | (merged << s);
+    }
+  }
+}
+
+void and3_nonzero_w1(const std::uint64_t* a, const std::uint64_t* b,
+                     const std::uint64_t* c, std::size_t count,
+                     std::uint8_t* verdict) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i x = _mm256_and_si256(
+        _mm256_and_si256(loadu(a + i), loadu(b + i)), loadu(c + i));
+    // Sign bit per 64-bit lane of the equals-zero compare: set = lane zero.
+    const int zeros =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(x, zero)));
+    for (int k = 0; k < 4; ++k) {
+      verdict[i + static_cast<std::size_t>(k)] =
+          ((zeros >> k) & 1) != 0 ? 0 : 1;
+    }
+  }
+  for (; i < count; ++i) {
+    verdict[i] = (a[i] & b[i] & c[i]) != 0 ? 1 : 0;
+  }
+}
+
+/// Reverses the bit order inside every byte (two nibble look-ups), then the
+/// byte order inside every 64-bit lane: together a per-word bit reversal.
+inline __m256i reverse_bits_per_word(__m256i v) {
+  const __m256i nib_mask = _mm256_set1_epi8(0x0F);
+  // lut_lo[n] = bitrev(n), lut_hi[n] = bitrev(n) << 4, per 128-bit lane.
+  const __m256i lut_lo = _mm256_setr_epi8(
+      0x0, 0x8, 0x4, 0xC, 0x2, 0xA, 0x6, 0xE, 0x1, 0x9, 0x5, 0xD, 0x3, 0xB,
+      0x7, 0xF, 0x0, 0x8, 0x4, 0xC, 0x2, 0xA, 0x6, 0xE, 0x1, 0x9, 0x5, 0xD,
+      0x3, 0xB, 0x7, 0xF);
+  const __m256i lut_hi = _mm256_setr_epi8(
+      0x00, static_cast<char>(0x80), 0x40, static_cast<char>(0xC0), 0x20,
+      static_cast<char>(0xA0), 0x60, static_cast<char>(0xE0), 0x10,
+      static_cast<char>(0x90), 0x50, static_cast<char>(0xD0), 0x30,
+      static_cast<char>(0xB0), 0x70, static_cast<char>(0xF0), 0x00,
+      static_cast<char>(0x80), 0x40, static_cast<char>(0xC0), 0x20,
+      static_cast<char>(0xA0), 0x60, static_cast<char>(0xE0), 0x10,
+      static_cast<char>(0x90), 0x50, static_cast<char>(0xD0), 0x30,
+      static_cast<char>(0xB0), 0x70, static_cast<char>(0xF0));
+  const __m256i lo = _mm256_and_si256(v, nib_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib_mask);
+  const __m256i rev_bytes = _mm256_or_si256(_mm256_shuffle_epi8(lut_hi, lo),
+                                            _mm256_shuffle_epi8(lut_lo, hi));
+  const __m256i bswap64 = _mm256_setr_epi8(
+      7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2,
+      1, 0, 15, 14, 13, 12, 11, 10, 9, 8);
+  return _mm256_shuffle_epi8(rev_bytes, bswap64);
+}
+
+void reverse_table(std::uint64_t* dst, const std::uint64_t* src,
+                   unsigned num_vars) {
+  if (num_vars <= 6) {
+    const std::uint64_t bits = std::uint64_t{1} << num_vars;
+    const std::uint64_t r = detail::bit_reverse64(src[0]);
+    dst[0] = bits == 64 ? r : r >> (64 - bits);
+    return;
+  }
+  const std::size_t n = std::size_t{1} << (num_vars - 6);
+  if (n < 4) {
+    for (std::size_t w = 0; w < n; ++w) {
+      dst[w] = detail::bit_reverse64(src[n - 1 - w]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; i += 4) {
+    const __m256i rev = reverse_bits_per_word(loadu(src + i));
+    // Reverse the four 64-bit lanes, then store the block mirrored.
+    storeu(dst + (n - 4 - i),
+           _mm256_permute4x64_epi64(rev, _MM_SHUFFLE(0, 1, 2, 3)));
+  }
+}
+
+}  // namespace
+
+const kernel_ops* avx2_ops_or_null() {
+  static const kernel_ops ops = {
+      kernel_tier::avx2,   vec_and,        vec_or,
+      vec_xor,             vec_andnot,     vec_not_mask,
+      any_and3,            accepts,        isf_conflict,
+      cofactor_split,      smooth_var_w1_masked,
+      and3_nonzero_w1,     reverse_table,
+  };
+  return &ops;
+}
+
+}  // namespace stpes::tt::kernels
+
+#else  // !__AVX2__
+
+namespace stpes::tt::kernels {
+
+const kernel_ops* avx2_ops_or_null() { return nullptr; }
+
+}  // namespace stpes::tt::kernels
+
+#endif

@@ -1,0 +1,203 @@
+/// \file kernels_avx512.cpp
+/// \brief AVX-512 kernel tier (F/BW/VL/DQ).  Compiled with the matching
+///        per-file arch flags; overrides the width-sensitive kernels with
+///        512-bit versions and inherits the rest from the AVX2 tier (a CPU
+///        reporting AVX-512 always has AVX2).
+
+#include "tt/kernels/kernels.hpp"
+#include "tt/kernels/kernels_detail.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512DQ__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+namespace stpes::tt::kernels {
+
+namespace {
+
+inline __m512i loadu(const std::uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void storeu(std::uint64_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+void vec_and(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    storeu(dst + i, _mm512_and_si512(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] & b[i];
+  }
+}
+
+void vec_or(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    storeu(dst + i, _mm512_or_si512(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] | b[i];
+  }
+}
+
+void vec_xor(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    storeu(dst + i, _mm512_xor_si512(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] ^ b[i];
+  }
+}
+
+void vec_andnot(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    storeu(dst + i, _mm512_andnot_si512(loadu(b + i), loadu(a + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] & ~b[i];
+  }
+}
+
+bool any_and3(const std::uint64_t* a, const std::uint64_t* b,
+              const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i ab = _mm512_and_si512(loadu(a + i), loadu(b + i));
+    if (_mm512_test_epi64_mask(ab, loadu(c + i)) != 0) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i] & c[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool accepts(const std::uint64_t* cand, const std::uint64_t* care,
+             const std::uint64_t* on, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i masked = _mm512_and_si512(loadu(cand + i), loadu(care + i));
+    if (_mm512_cmpneq_epi64_mask(masked, loadu(on + i)) != 0) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((cand[i] & care[i]) != on[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool isf_conflict(const std::uint64_t* a_on, const std::uint64_t* b_on,
+                  const std::uint64_t* a_care, const std::uint64_t* b_care,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x =
+        _mm512_and_si512(_mm512_xor_si512(loadu(a_on + i), loadu(b_on + i)),
+                         loadu(a_care + i));
+    if (_mm512_test_epi64_mask(x, loadu(b_care + i)) != 0) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if (((a_on[i] ^ b_on[i]) & a_care[i] & b_care[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void smooth_var_w1_masked(std::uint64_t* lanes, const std::uint8_t* select,
+                          std::size_t count, unsigned var) {
+  const unsigned s = 1u << var;
+  const std::uint64_t pv = detail::kProjection[var];
+  const __m512i vpv = _mm512_set1_epi64(static_cast<long long>(pv));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(s));
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m128i sel = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(select + i));  // 8 select bytes
+    const __mmask8 mask = _mm_test_epi8_mask(sel, sel);
+    const __m512i w = loadu(lanes + i);
+    const __m512i merged =
+        _mm512_or_si512(_mm512_andnot_si512(vpv, w),
+                        _mm512_srl_epi64(_mm512_and_si512(vpv, w), shift));
+    const __m512i smoothed =
+        _mm512_or_si512(merged, _mm512_sll_epi64(merged, shift));
+    storeu(lanes + i, _mm512_mask_mov_epi64(w, mask, smoothed));
+  }
+  for (; i < count; ++i) {
+    if (select[i] != 0) {
+      const std::uint64_t w = lanes[i];
+      const std::uint64_t merged = (w & ~pv) | ((w & pv) >> s);
+      lanes[i] = merged | (merged << s);
+    }
+  }
+}
+
+void and3_nonzero_w1(const std::uint64_t* a, const std::uint64_t* b,
+                     const std::uint64_t* c, std::size_t count,
+                     std::uint8_t* verdict) {
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m512i ab = _mm512_and_si512(loadu(a + i), loadu(b + i));
+    const __mmask8 nz = _mm512_test_epi64_mask(ab, loadu(c + i));
+    for (int k = 0; k < 8; ++k) {
+      verdict[i + static_cast<std::size_t>(k)] =
+          (static_cast<unsigned>(nz) >> k) & 1;
+    }
+  }
+  for (; i < count; ++i) {
+    verdict[i] = (a[i] & b[i] & c[i]) != 0 ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+const kernel_ops* avx512_ops_or_null() {
+  static const kernel_ops ops = [] {
+    // Inherit the byte-shuffle kernels (reverse_table, cofactor_split,
+    // vec_not_mask) from the widest lower tier the build provides.
+    const kernel_ops* base = avx2_ops_or_null();
+    kernel_ops o = base != nullptr ? *base : scalar_ops();
+    o.tier = kernel_tier::avx512;
+    o.vec_and = vec_and;
+    o.vec_or = vec_or;
+    o.vec_xor = vec_xor;
+    o.vec_andnot = vec_andnot;
+    o.any_and3 = any_and3;
+    o.accepts = accepts;
+    o.isf_conflict = isf_conflict;
+    o.smooth_var_w1_masked = smooth_var_w1_masked;
+    o.and3_nonzero_w1 = and3_nonzero_w1;
+    return o;
+  }();
+  return &ops;
+}
+
+}  // namespace stpes::tt::kernels
+
+#else  // no AVX-512 target support in this build
+
+namespace stpes::tt::kernels {
+
+const kernel_ops* avx512_ops_or_null() { return nullptr; }
+
+}  // namespace stpes::tt::kernels
+
+#endif

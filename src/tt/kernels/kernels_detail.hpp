@@ -1,0 +1,38 @@
+/// \file kernels_detail.hpp
+/// \brief Shared helpers for the kernel tier implementations.  Internal to
+///        src/tt/kernels — not part of the public kernel API.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tt/kernels/kernels.hpp"
+
+namespace stpes::tt::kernels {
+
+/// Tier tables from the arch-flagged translation units; null when the
+/// compiler did not build the tier (see tt/CMakeLists.txt).  Runtime CPU
+/// support is checked separately by the dispatcher.
+const kernel_ops* avx2_ops_or_null();
+const kernel_ops* avx512_ops_or_null();
+
+}  // namespace stpes::tt::kernels
+
+namespace stpes::tt::kernels::detail {
+
+/// Projection masks for variables 0..5 inside one 64-bit word (bit t is
+/// set iff variable v is 1 in minterm t); mirrors truth_table.cpp.
+inline constexpr std::uint64_t kProjection[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+/// Reverses the bit order of one word: SWAR swaps up to nibble level, then
+/// one byte swap.
+inline std::uint64_t bit_reverse64(std::uint64_t x) {
+  x = ((x & 0x5555555555555555ull) << 1) | ((x >> 1) & 0x5555555555555555ull);
+  x = ((x & 0x3333333333333333ull) << 2) | ((x >> 2) & 0x3333333333333333ull);
+  x = ((x & 0x0F0F0F0F0F0F0F0Full) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0Full);
+  return __builtin_bswap64(x);
+}
+
+}  // namespace stpes::tt::kernels::detail

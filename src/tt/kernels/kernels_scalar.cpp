@@ -1,0 +1,140 @@
+/// \file kernels_scalar.cpp
+/// \brief The scalar-uint64 reference tier.  Every other tier must match
+///        these functions bit for bit on every input; the kernel unit suite
+///        enforces that by cross-checking randomized buffers.
+
+#include "tt/kernels/kernels.hpp"
+#include "tt/kernels/kernels_detail.hpp"
+
+namespace stpes::tt::kernels {
+
+namespace {
+
+void vec_and(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] & b[i];
+  }
+}
+
+void vec_or(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] | b[i];
+  }
+}
+
+void vec_xor(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] ^ b[i];
+  }
+}
+
+void vec_andnot(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] & ~b[i];
+  }
+}
+
+void vec_not_mask(std::uint64_t* dst, const std::uint64_t* a, std::size_t n,
+                  std::uint64_t last_word_mask) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    dst[i] = ~a[i];
+  }
+  dst[n - 1] = ~a[n - 1] & last_word_mask;
+}
+
+bool any_and3(const std::uint64_t* a, const std::uint64_t* b,
+              const std::uint64_t* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i] & c[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool accepts(const std::uint64_t* cand, const std::uint64_t* care,
+             const std::uint64_t* on, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((cand[i] & care[i]) != on[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool isf_conflict(const std::uint64_t* a_on, const std::uint64_t* b_on,
+                  const std::uint64_t* a_care, const std::uint64_t* b_care,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (((a_on[i] ^ b_on[i]) & a_care[i] & b_care[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void cofactor_split(const std::uint64_t* src, std::uint64_t* lo,
+                    std::uint64_t* hi, std::size_t n, unsigned var) {
+  const unsigned s = 1u << var;
+  const std::uint64_t pv = detail::kProjection[var];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t l = src[i] & ~pv;
+    const std::uint64_t h = src[i] & pv;
+    lo[i] = l | (l << s);
+    hi[i] = h | (h >> s);
+  }
+}
+
+void smooth_var_w1_masked(std::uint64_t* lanes, const std::uint8_t* select,
+                          std::size_t count, unsigned var) {
+  const unsigned s = 1u << var;
+  const std::uint64_t pv = detail::kProjection[var];
+  for (std::size_t i = 0; i < count; ++i) {
+    if (select[i] != 0) {
+      const std::uint64_t w = lanes[i];
+      const std::uint64_t merged = (w & ~pv) | ((w & pv) >> s);
+      lanes[i] = merged | (merged << s);
+    }
+  }
+}
+
+void and3_nonzero_w1(const std::uint64_t* a, const std::uint64_t* b,
+                     const std::uint64_t* c, std::size_t count,
+                     std::uint8_t* verdict) {
+  for (std::size_t i = 0; i < count; ++i) {
+    verdict[i] = (a[i] & b[i] & c[i]) != 0 ? 1 : 0;
+  }
+}
+
+void reverse_table(std::uint64_t* dst, const std::uint64_t* src,
+                   unsigned num_vars) {
+  if (num_vars <= 6) {
+    const std::uint64_t bits = std::uint64_t{1} << num_vars;
+    const std::uint64_t r = detail::bit_reverse64(src[0]);
+    dst[0] = bits == 64 ? r : r >> (64 - bits);
+    return;
+  }
+  const std::size_t n = std::size_t{1} << (num_vars - 6);
+  for (std::size_t w = 0; w < n; ++w) {
+    dst[w] = detail::bit_reverse64(src[n - 1 - w]);
+  }
+}
+
+}  // namespace
+
+const kernel_ops& scalar_ops() {
+  static const kernel_ops ops = {
+      kernel_tier::scalar, vec_and,        vec_or,
+      vec_xor,             vec_andnot,     vec_not_mask,
+      any_and3,            accepts,        isf_conflict,
+      cofactor_split,      smooth_var_w1_masked,
+      and3_nonzero_w1,     reverse_table,
+  };
+  return ops;
+}
+
+}  // namespace stpes::tt::kernels

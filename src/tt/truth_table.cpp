@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "tt/kernels/kernels.hpp"
+
 namespace stpes::tt {
 
 namespace {
@@ -34,10 +36,11 @@ int hex_digit_value(char c) {
 }  // namespace
 
 truth_table::truth_table(unsigned num_vars)
-    : num_vars_(num_vars), words_(words_needed(num_vars)) {
+    : words_(words_needed(num_vars)) {
   if (num_vars > 16) {
     throw std::invalid_argument{"truth_table: more than 16 variables"};
   }
+  words_.set_aux(num_vars);
 }
 
 truth_table::truth_table(unsigned num_vars, std::uint64_t bits)
@@ -51,7 +54,7 @@ truth_table::truth_table(unsigned num_vars, std::uint64_t bits)
 }
 
 void truth_table::mask_excess_bits() {
-  if (num_vars_ < 6) {
+  if (num_vars() < 6) {
     words_[0] &= (std::uint64_t{1} << num_bits()) - 1;
   }
 }
@@ -172,34 +175,33 @@ truth_table truth_table::from_words(unsigned num_vars,
 
 truth_table truth_table::operator~() const {
   truth_table result{*this};
-  for (auto& w : result.words_) {
-    w = ~w;
-  }
-  result.mask_excess_bits();
+  // NOT + normalize in one kernel pass: the last-word mask re-applies
+  // mask_excess_bits for tables of fewer than 64 minterms.
+  const std::uint64_t last_mask =
+      num_vars() < 6 ? (std::uint64_t{1} << num_bits()) - 1 : ~std::uint64_t{0};
+  kernels::bulk_not_mask(result.words_.data(), words_.data(), words_.size(),
+                         last_mask);
   return result;
 }
 
 truth_table& truth_table::operator&=(const truth_table& other) {
-  assert(num_vars_ == other.num_vars_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
+  assert(num_vars() == other.num_vars());
+  kernels::bulk_and(words_.data(), words_.data(), other.words_.data(),
+                    words_.size());
   return *this;
 }
 
 truth_table& truth_table::operator|=(const truth_table& other) {
-  assert(num_vars_ == other.num_vars_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  assert(num_vars() == other.num_vars());
+  kernels::bulk_or(words_.data(), words_.data(), other.words_.data(),
+                   words_.size());
   return *this;
 }
 
 truth_table& truth_table::operator^=(const truth_table& other) {
-  assert(num_vars_ == other.num_vars_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= other.words_[i];
-  }
+  assert(num_vars() == other.num_vars());
+  kernels::bulk_xor(words_.data(), words_.data(), other.words_.data(),
+                    words_.size());
   return *this;
 }
 
@@ -222,7 +224,7 @@ truth_table truth_table::operator^(const truth_table& other) const {
 }
 
 bool truth_table::operator==(const truth_table& other) const {
-  return num_vars_ == other.num_vars_ && words_ == other.words_;
+  return num_vars() == other.num_vars() && words_ == other.words_;
 }
 
 bool truth_table::operator!=(const truth_table& other) const {
@@ -230,8 +232,8 @@ bool truth_table::operator!=(const truth_table& other) const {
 }
 
 bool truth_table::operator<(const truth_table& other) const {
-  if (num_vars_ != other.num_vars_) {
-    return num_vars_ < other.num_vars_;
+  if (num_vars() != other.num_vars()) {
+    return num_vars() < other.num_vars();
   }
   // Compare most significant words first for a natural numeric order.
   for (std::size_t i = words_.size(); i-- > 0;) {
@@ -243,7 +245,7 @@ bool truth_table::operator<(const truth_table& other) const {
 }
 
 truth_table truth_table::cofactor0(unsigned var) const {
-  assert(var < num_vars_);
+  assert(var < num_vars());
   truth_table result{*this};
   if (var < 6) {
     const unsigned shift = 1u << var;
@@ -263,7 +265,7 @@ truth_table truth_table::cofactor0(unsigned var) const {
 }
 
 truth_table truth_table::cofactor1(unsigned var) const {
-  assert(var < num_vars_);
+  assert(var < num_vars());
   truth_table result{*this};
   if (var < 6) {
     const unsigned shift = 1u << var;
@@ -288,7 +290,7 @@ bool truth_table::has_var(unsigned var) const {
 
 std::uint32_t truth_table::support_mask() const {
   std::uint32_t mask = 0;
-  for (unsigned v = 0; v < num_vars_; ++v) {
+  for (unsigned v = 0; v < num_vars(); ++v) {
     if (has_var(v)) {
       mask |= 1u << v;
     }
@@ -301,7 +303,7 @@ unsigned truth_table::support_size() const {
 }
 
 truth_table truth_table::swap_variables(unsigned a, unsigned b) const {
-  assert(a < num_vars_ && b < num_vars_);
+  assert(a < num_vars() && b < num_vars());
   if (a == b) {
     return *this;
   }
@@ -350,7 +352,7 @@ truth_table truth_table::swap_variables(unsigned a, unsigned b) const {
 }
 
 truth_table truth_table::flip_variable(unsigned var) const {
-  assert(var < num_vars_);
+  assert(var < num_vars());
   truth_table result{*this};
   if (var < 6) {
     const unsigned s = 1u << var;
@@ -370,17 +372,17 @@ truth_table truth_table::flip_variable(unsigned var) const {
 }
 
 truth_table truth_table::permute(const std::vector<unsigned>& perm) const {
-  assert(perm.size() == num_vars_);
+  assert(perm.size() == num_vars());
   // Decompose the permutation into at most n-1 transpositions, each one a
   // word-parallel swap: place original variable perm[i] at position i,
   // tracking where every variable currently sits.
   truth_table result{*this};
-  std::vector<unsigned> where(num_vars_);
-  std::vector<unsigned> who(num_vars_);
-  for (unsigned v = 0; v < num_vars_; ++v) {
+  std::vector<unsigned> where(num_vars());
+  std::vector<unsigned> who(num_vars());
+  for (unsigned v = 0; v < num_vars(); ++v) {
     where[v] = who[v] = v;
   }
-  for (unsigned i = 0; i < num_vars_; ++i) {
+  for (unsigned i = 0; i < num_vars(); ++i) {
     const unsigned v = perm[i];
     const unsigned j = where[v];
     if (j != i) {
@@ -396,9 +398,9 @@ truth_table truth_table::permute(const std::vector<unsigned>& perm) const {
 }
 
 truth_table truth_table::extend_to(unsigned new_num_vars) const {
-  assert(new_num_vars >= num_vars_);
+  assert(new_num_vars >= num_vars());
   truth_table result{new_num_vars};
-  if (num_vars_ <= 6) {
+  if (num_vars() <= 6) {
     std::uint64_t pattern = words_[0];
     // Replicate the 2^n-bit pattern across a full word by doubling.
     for (std::uint64_t span = num_bits(); span < 64; span *= 2) {
@@ -421,7 +423,7 @@ truth_table truth_table::extend_to(unsigned new_num_vars) const {
 truth_table truth_table::shrink_to_support(
     std::vector<unsigned>* old_of_new) const {
   std::vector<unsigned> support;
-  for (unsigned v = 0; v < num_vars_; ++v) {
+  for (unsigned v = 0; v < num_vars(); ++v) {
     if (has_var(v)) {
       support.push_back(v);
     }
@@ -431,9 +433,9 @@ truth_table truth_table::shrink_to_support(
   // (tracking positions as in permute), then truncate: the remaining
   // variables are irrelevant, so the low 2^k bits are the shrunk function.
   truth_table compact{*this};
-  std::vector<unsigned> where(num_vars_);
-  std::vector<unsigned> who(num_vars_);
-  for (unsigned v = 0; v < num_vars_; ++v) {
+  std::vector<unsigned> where(num_vars());
+  std::vector<unsigned> who(num_vars());
+  for (unsigned v = 0; v < num_vars(); ++v) {
     where[v] = who[v] = v;
   }
   for (unsigned i = 0; i < k; ++i) {
@@ -459,7 +461,7 @@ truth_table truth_table::shrink_to_support(
 }
 
 void truth_table::smooth_in_place(unsigned var) {
-  assert(var < num_vars_);
+  assert(var < num_vars());
   if (var < 6) {
     const unsigned s = 1u << var;
     const std::uint64_t pv = kProjection[var];
@@ -487,7 +489,7 @@ truth_table truth_table::smooth(unsigned var) const {
 
 truth_table truth_table::smooth_over(std::uint32_t var_mask) const {
   truth_table result{*this};
-  for (unsigned v = 0; v < num_vars_; ++v) {
+  for (unsigned v = 0; v < num_vars(); ++v) {
     if ((var_mask >> v) & 1) {
       result.smooth_in_place(v);
     }
@@ -517,7 +519,7 @@ std::string truth_table::to_binary() const {
 }
 
 std::size_t truth_table::hash() const {
-  std::size_t h = 0xcbf29ce484222325ull ^ num_vars_;
+  std::size_t h = 0xcbf29ce484222325ull ^ num_vars();
   for (auto w : words_) {
     h ^= w;
     h *= 0x100000001b3ull;

@@ -1,0 +1,145 @@
+/// \file flat_set64.hpp
+/// \brief Open-addressing set of 64-bit keys for the synthesis hot path.
+///
+/// The fruitless-state memo is probed twice per DFS descend — over a
+/// hundred million times on a hard instance — and `std::unordered_set`
+/// pays a prime modulo plus a node pointer chase per probe.  This set
+/// uses power-of-two capacity, a splitmix64 finalizer (the stored keys
+/// are already hashes, but cheap insurance against clustered inputs) and
+/// linear probing over a flat array, so the common miss costs one mixed
+/// multiply and one cache line.
+///
+/// Insert-only by design (the memos never erase); key 0 is tracked by a
+/// side flag so the table can use it as the empty sentinel.  Iteration
+/// order is a deterministic function of the insertion *sequence* (each
+/// worker task builds its delta in a deterministic order, so the capped
+/// thread-merge in run_level stays thread-count independent).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stpes::util {
+
+class flat_set64 {
+public:
+  flat_set64() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    if (key == 0) {
+      return has_zero_;
+    }
+    if (slots_.empty()) {
+      return false;
+    }
+    std::size_t i = index_of(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) {
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Inserts `key`; true when it was not yet present.
+  bool insert(std::uint64_t key) {
+    if (key == 0) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      size_ += fresh ? 1 : 0;
+      return fresh;
+    }
+    if (slots_.size() < 2 * (size_ + 1)) {
+      grow();
+    }
+    std::size_t i = index_of(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  void reserve(std::size_t count) {
+    std::size_t cap = kMinCapacity;
+    while (cap < 2 * count) {
+      cap *= 2;
+    }
+    if (cap > slots_.size()) {
+      rehash(cap);
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  /// Calls `fn(key)` for every key; the visit order is a deterministic
+  /// function of the insertion sequence (slot order of the flat table).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (has_zero_) {
+      fn(std::uint64_t{0});
+    }
+    for (const std::uint64_t k : slots_) {
+      if (k != 0) {
+        fn(k);
+      }
+    }
+  }
+
+private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  [[nodiscard]] std::size_t index_of(std::uint64_t key) const {
+    // splitmix64 finalizer.
+    std::uint64_t h = key;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  void grow() {
+    rehash(slots_.empty() ? kMinCapacity : 2 * slots_.size());
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (const std::uint64_t k : old) {
+      if (k == 0) {
+        continue;
+      }
+      std::size_t i = index_of(k);
+      while (slots_[i] != 0) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = k;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+};
+
+}  // namespace stpes::util

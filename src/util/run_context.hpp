@@ -81,6 +81,15 @@ struct stage_counters {
   std::uint64_t probe_sat_levels = 0;
   std::uint64_t portfolio_probe_wins = 0;
   std::uint64_t portfolio_sweep_wins = 0;
+  // Batched factorization screen (synth/factor_requirement_batch):
+  // constrained requirement/split queries entering the vectorized
+  // AND-feasibility screen, queries refuted in both polarities (the
+  // per-candidate solver never runs), and queries where at least one
+  // polarity survived into the solver.  On runs that finish without a
+  // deadline cut, screened + survivors == queries.
+  std::uint64_t kernel_batch_queries = 0;
+  std::uint64_t kernel_batch_screened = 0;
+  std::uint64_t kernel_batch_survivors = 0;
 
   stage_counters& operator+=(const stage_counters& o) {
     fences_enumerated += o.fences_enumerated;
@@ -106,6 +115,9 @@ struct stage_counters {
     probe_sat_levels += o.probe_sat_levels;
     portfolio_probe_wins += o.portfolio_probe_wins;
     portfolio_sweep_wins += o.portfolio_sweep_wins;
+    kernel_batch_queries += o.kernel_batch_queries;
+    kernel_batch_screened += o.kernel_batch_screened;
+    kernel_batch_survivors += o.kernel_batch_survivors;
     return *this;
   }
 
@@ -133,6 +145,9 @@ struct stage_counters {
     probe_sat_levels -= o.probe_sat_levels;
     portfolio_probe_wins -= o.portfolio_probe_wins;
     portfolio_sweep_wins -= o.portfolio_sweep_wins;
+    kernel_batch_queries -= o.kernel_batch_queries;
+    kernel_batch_screened -= o.kernel_batch_screened;
+    kernel_batch_survivors -= o.kernel_batch_survivors;
     return *this;
   }
 
@@ -144,7 +159,9 @@ struct stage_counters {
            sat_conflicts + sat_restarts + sweep_sim_rounds +
            sweep_candidates + sweep_proofs + sweep_refutations +
            sweep_merged_nodes + probe_calls + probe_unsat_levels +
-           probe_sat_levels + portfolio_probe_wins + portfolio_sweep_wins;
+           probe_sat_levels + portfolio_probe_wins + portfolio_sweep_wins +
+           kernel_batch_queries + kernel_batch_screened +
+           kernel_batch_survivors;
   }
 };
 

@@ -187,6 +187,70 @@ TEST(Factorize, RandomFunctionsSoundness) {
   }
 }
 
+TEST(Factorize, BatchMatchesSingleSplitCalls) {
+  // The batched entry point must return, per split, exactly what the
+  // one-split API returns — the vectorized screen and the shared
+  // per-batch precomputation are pure speedups.
+  stpes::util::rng rng{1234};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const unsigned n = 3 + static_cast<unsigned>(rng.next_below(3));
+    truth_table f{n};
+    for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+      f.set_bit(t, rng.next_bool());
+    }
+    if (f.support_mask() != (1u << n) - 1) {
+      continue;
+    }
+    const auto r = full_requirement(f);
+    const std::uint32_t all = (1u << n) - 1;
+    std::vector<stpes::synth::cone_split> splits;
+    for (std::uint32_t a = 1; a < all; ++a) {
+      splits.push_back({a, all & ~a});       // exact bipartitions
+      splits.push_back({a | 1u, all & ~a});  // and some sharing variable 0
+    }
+    const auto batched = stpes::synth::factor_requirement_batch(r, splits);
+    ASSERT_EQ(batched.size(), splits.size());
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+      const auto single = factor_requirement(r, splits[i].a, splits[i].b);
+      ASSERT_EQ(batched[i].size(), single.size()) << "split " << i;
+      for (std::size_t j = 0; j < single.size(); ++j) {
+        const auto& x = batched[i][j];
+        const auto& y = single[j];
+        EXPECT_EQ(x.family, y.family) << "split " << i << " branch " << j;
+        EXPECT_EQ(x.output_complemented, y.output_complemented)
+            << "split " << i << " branch " << j;
+        EXPECT_EQ(x.left.cone, y.left.cone);
+        EXPECT_EQ(x.right.cone, y.right.cone);
+        EXPECT_TRUE(x.left.func == y.left.func)
+            << "split " << i << " branch " << j;
+        EXPECT_TRUE(x.right.func == y.right.func)
+            << "split " << i << " branch " << j;
+      }
+    }
+  }
+}
+
+TEST(Factorize, BatchCountsScreenEffort) {
+  // On a run without a deadline every screened query either dies in the
+  // screen or survives into the solver: screened + survivors == queries.
+  stpes::core::run_context ctx;
+  const auto f = truth_table::from_hex(4, "0x8ff8");
+  const auto r = full_requirement(f);
+  const std::uint32_t all = 0xF;
+  std::vector<stpes::synth::cone_split> splits;
+  for (std::uint32_t a = 1; a < all; ++a) {
+    splits.push_back({a, all & ~a});
+  }
+  const auto lists =
+      stpes::synth::factor_requirement_batch(r, splits, {}, &ctx);
+  ASSERT_EQ(lists.size(), splits.size());
+  const auto& c = ctx.counters;
+  EXPECT_EQ(c.factorization_attempts, splits.size());
+  EXPECT_GT(c.kernel_batch_queries, 0u);
+  EXPECT_EQ(c.kernel_batch_screened + c.kernel_batch_survivors,
+            c.kernel_batch_queries);
+}
+
 TEST(Factorize, DeduplicatesBranches) {
   const auto f = truth_table::nth_var(2, 0) & truth_table::nth_var(2, 1);
   const auto r = full_requirement(f);

@@ -1,0 +1,346 @@
+// Vector-kernel tier unit suite: the packed/aligned word_storage layout
+// the tiers rely on, the runtime dispatch and override logic, and a
+// per-op cross-check of every tier the build + CPU provide against the
+// scalar reference on randomized buffers.
+
+#include "tt/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stpes::tt::truth_table;
+using stpes::tt::word_storage;
+using stpes::tt::kernels::active;
+using stpes::tt::kernels::active_tier;
+using stpes::tt::kernels::force_tier;
+using stpes::tt::kernels::kernel_ops;
+using stpes::tt::kernels::kernel_tier;
+using stpes::tt::kernels::ops_for;
+using stpes::tt::kernels::parse_tier;
+using stpes::tt::kernels::scalar_ops;
+using stpes::tt::kernels::tier_available;
+using stpes::tt::kernels::tier_name;
+using stpes::util::rng;
+
+std::vector<std::uint64_t> random_words(rng& r, std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) {
+    w = r.next_u64();
+  }
+  return out;
+}
+
+std::vector<kernel_tier> available_tiers() {
+  std::vector<kernel_tier> tiers{kernel_tier::scalar};
+  if (tier_available(kernel_tier::avx2)) {
+    tiers.push_back(kernel_tier::avx2);
+  }
+  if (tier_available(kernel_tier::avx512)) {
+    tiers.push_back(kernel_tier::avx512);
+  }
+  return tiers;
+}
+
+// ---------------------------------------------------------------------------
+// word_storage layout: the contract the SIMD loads depend on.
+
+TEST(WordStorage, StaysTwoAlignedSlots) {
+  // Duplicates the header's static_asserts as a runtime statement of
+  // intent: the padding of this struct is copied on the hottest path.
+  EXPECT_EQ(sizeof(word_storage), 64u);
+  EXPECT_GE(alignof(word_storage), 32u);
+}
+
+TEST(WordStorage, InlineWordsAreThirtyTwoByteAligned) {
+  // Inline storage (<= 8 variables) must be vector-load aligned wherever
+  // the object lands: on the stack, in a vector, after moves.
+  truth_table on_stack{8};
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(on_stack.words().data()) % 32,
+            0u);
+  std::vector<truth_table> moved;
+  for (unsigned n = 0; n <= 8; ++n) {
+    moved.push_back(truth_table{n});
+  }
+  for (const auto& t : moved) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.words().data()) % 32, 0u);
+  }
+}
+
+TEST(WordStorage, AuxWordRoundTripsAndIsIgnoredByEquality) {
+  word_storage a{2};
+  word_storage b{2};
+  a.set_aux(7);
+  b.set_aux(9);
+  EXPECT_EQ(a.aux(), 7u);
+  EXPECT_TRUE(a == b);  // aux is owner metadata, not content
+  const word_storage copy = a;
+  EXPECT_EQ(copy.aux(), 7u);
+}
+
+TEST(WordStorage, TruthTableKeepsVariableCountInAux) {
+  for (unsigned n = 0; n <= 10; ++n) {
+    const truth_table f{n};
+    EXPECT_EQ(f.num_vars(), n);
+    EXPECT_EQ(f.words().aux(), n);
+    EXPECT_EQ(f.num_bits(), std::uint64_t{1} << n);
+  }
+}
+
+TEST(WordStorage, HeapSpillKeepsCountAndContents) {
+  word_storage big{16};  // 10 variables: past the inline buffer
+  EXPECT_EQ(big.size(), 16u);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = i * 0x0101010101010101ull;
+  }
+  const word_storage copy = big;
+  EXPECT_TRUE(copy == big);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(KernelDispatch, ScalarTierIsAlwaysAvailable) {
+  EXPECT_TRUE(tier_available(kernel_tier::scalar));
+  EXPECT_EQ(scalar_ops().tier, kernel_tier::scalar);
+}
+
+TEST(KernelDispatch, ParseTierAcceptsKnownNamesOnly) {
+  EXPECT_EQ(parse_tier("scalar", kernel_tier::avx2), kernel_tier::scalar);
+  EXPECT_EQ(parse_tier("avx2", kernel_tier::scalar), kernel_tier::avx2);
+  EXPECT_EQ(parse_tier("avx512", kernel_tier::scalar), kernel_tier::avx512);
+  EXPECT_EQ(parse_tier(nullptr, kernel_tier::avx2), kernel_tier::avx2);
+  EXPECT_EQ(parse_tier("", kernel_tier::scalar), kernel_tier::scalar);
+  EXPECT_EQ(parse_tier("AVX2", kernel_tier::scalar), kernel_tier::scalar);
+  EXPECT_EQ(parse_tier("sse2", kernel_tier::avx2), kernel_tier::avx2);
+}
+
+TEST(KernelDispatch, OpsForReportsItsOwnTierOrFallsBackToScalar) {
+  for (const auto t :
+       {kernel_tier::scalar, kernel_tier::avx2, kernel_tier::avx512}) {
+    const kernel_ops& ops = ops_for(t);
+    if (tier_available(t)) {
+      EXPECT_EQ(ops.tier, t) << tier_name(t);
+    } else {
+      EXPECT_EQ(ops.tier, kernel_tier::scalar) << tier_name(t);
+    }
+    // Every slot of every table must be callable.
+    EXPECT_NE(ops.vec_and, nullptr);
+    EXPECT_NE(ops.vec_or, nullptr);
+    EXPECT_NE(ops.vec_xor, nullptr);
+    EXPECT_NE(ops.vec_andnot, nullptr);
+    EXPECT_NE(ops.vec_not_mask, nullptr);
+    EXPECT_NE(ops.any_and3, nullptr);
+    EXPECT_NE(ops.accepts, nullptr);
+    EXPECT_NE(ops.isf_conflict, nullptr);
+    EXPECT_NE(ops.cofactor_split, nullptr);
+    EXPECT_NE(ops.smooth_var_w1_masked, nullptr);
+    EXPECT_NE(ops.and3_nonzero_w1, nullptr);
+    EXPECT_NE(ops.reverse_table, nullptr);
+  }
+}
+
+TEST(KernelDispatch, ForceTierRoundTrips) {
+  const kernel_tier before = active_tier();
+  const kernel_tier prev = force_tier(kernel_tier::scalar);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(active_tier(), kernel_tier::scalar);
+  EXPECT_EQ(active().tier, kernel_tier::scalar);
+  force_tier(before);
+  EXPECT_EQ(active_tier(), before);
+}
+
+TEST(KernelDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(tier_name(kernel_tier::scalar), "scalar");
+  EXPECT_STREQ(tier_name(kernel_tier::avx2), "avx2");
+  EXPECT_STREQ(tier_name(kernel_tier::avx512), "avx512");
+}
+
+// ---------------------------------------------------------------------------
+// Per-op equivalence: every available tier against the scalar reference.
+
+class KernelTierEquivalence : public ::testing::TestWithParam<kernel_tier> {
+protected:
+  const kernel_ops& ref_ = scalar_ops();
+  const kernel_ops& ops_ = ops_for(GetParam());
+};
+
+constexpr std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33};
+
+TEST_P(KernelTierEquivalence, BooleanConnectives) {
+  rng r{static_cast<std::uint64_t>(GetParam()) * 977 + 1};
+  for (const std::size_t n : kSizes) {
+    const auto a = random_words(r, n);
+    const auto b = random_words(r, n);
+    std::vector<std::uint64_t> want(n);
+    std::vector<std::uint64_t> got(n);
+
+    ref_.vec_and(want.data(), a.data(), b.data(), n);
+    ops_.vec_and(got.data(), a.data(), b.data(), n);
+    EXPECT_EQ(want, got) << "and n=" << n;
+
+    ref_.vec_or(want.data(), a.data(), b.data(), n);
+    ops_.vec_or(got.data(), a.data(), b.data(), n);
+    EXPECT_EQ(want, got) << "or n=" << n;
+
+    ref_.vec_xor(want.data(), a.data(), b.data(), n);
+    ops_.vec_xor(got.data(), a.data(), b.data(), n);
+    EXPECT_EQ(want, got) << "xor n=" << n;
+
+    ref_.vec_andnot(want.data(), a.data(), b.data(), n);
+    ops_.vec_andnot(got.data(), a.data(), b.data(), n);
+    EXPECT_EQ(want, got) << "andnot n=" << n;
+
+    // Aliasing dst == a is allowed by the contract.
+    want = a;
+    ref_.vec_xor(want.data(), want.data(), b.data(), n);
+    got = a;
+    ops_.vec_xor(got.data(), got.data(), b.data(), n);
+    EXPECT_EQ(want, got) << "aliased xor n=" << n;
+
+    for (const std::uint64_t mask :
+         {~std::uint64_t{0}, std::uint64_t{0xff}, std::uint64_t{1}}) {
+      ref_.vec_not_mask(want.data(), a.data(), n, mask);
+      ops_.vec_not_mask(got.data(), a.data(), n, mask);
+      EXPECT_EQ(want, got) << "not_mask n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST_P(KernelTierEquivalence, Predicates) {
+  rng r{static_cast<std::uint64_t>(GetParam()) * 977 + 2};
+  for (const std::size_t n : kSizes) {
+    for (int round = 0; round < 32; ++round) {
+      auto a = random_words(r, n);
+      auto b = random_words(r, n);
+      auto c = random_words(r, n);
+      // Sparsify so both predicate outcomes actually occur.
+      for (auto& w : c) {
+        w &= r.next_u64() & r.next_u64() & r.next_u64();
+      }
+      EXPECT_EQ(ref_.any_and3(a.data(), b.data(), c.data(), n),
+                ops_.any_and3(a.data(), b.data(), c.data(), n))
+          << "any_and3 n=" << n;
+
+      // accepts: exercise the true case (on = cand & care) and a perturbed
+      // false case.
+      std::vector<std::uint64_t> on(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        on[i] = a[i] & b[i];
+      }
+      EXPECT_TRUE(ops_.accepts(a.data(), b.data(), on.data(), n));
+      on[r.next_u64() % n] ^= r.next_u64();
+      EXPECT_EQ(ref_.accepts(a.data(), b.data(), on.data(), n),
+                ops_.accepts(a.data(), b.data(), on.data(), n))
+          << "accepts n=" << n;
+
+      const auto a_care = random_words(r, n);
+      const auto b_care = random_words(r, n);
+      EXPECT_EQ(
+          ref_.isf_conflict(a.data(), b.data(), a_care.data(), b_care.data(),
+                            n),
+          ops_.isf_conflict(a.data(), b.data(), a_care.data(), b_care.data(),
+                            n))
+          << "isf_conflict n=" << n;
+      // Compatible pair: b agrees with a wherever both care.
+      auto b_on = a;
+      EXPECT_FALSE(ops_.isf_conflict(a.data(), b_on.data(), a_care.data(),
+                                     b_care.data(), n));
+    }
+  }
+}
+
+TEST_P(KernelTierEquivalence, CofactorSplitMatchesTruthTable) {
+  rng r{static_cast<std::uint64_t>(GetParam()) * 977 + 3};
+  for (unsigned num_vars = 6; num_vars <= 9; ++num_vars) {
+    const std::size_t n = std::size_t{1} << (num_vars - 6);
+    const auto words = random_words(r, n);
+    const auto f = truth_table::from_words(num_vars, words.data(), n);
+    for (unsigned var = 0; var < 6; ++var) {
+      std::vector<std::uint64_t> lo(n);
+      std::vector<std::uint64_t> hi(n);
+      ops_.cofactor_split(f.words().data(), lo.data(), hi.data(), n, var);
+      EXPECT_EQ(truth_table::from_words(num_vars, lo.data(), n),
+                f.cofactor0(var))
+          << "n=" << num_vars << " var=" << var;
+      EXPECT_EQ(truth_table::from_words(num_vars, hi.data(), n),
+                f.cofactor1(var))
+          << "n=" << num_vars << " var=" << var;
+    }
+  }
+}
+
+TEST_P(KernelTierEquivalence, SmoothBatchMatchesTruthTable) {
+  rng r{static_cast<std::uint64_t>(GetParam()) * 977 + 4};
+  // Deliberately not a multiple of any vector width.
+  constexpr std::size_t kLanes = 37;
+  for (unsigned var = 0; var < 6; ++var) {
+    auto lanes = random_words(r, kLanes);
+    const auto original = lanes;
+    std::vector<std::uint8_t> select(kLanes);
+    for (auto& s : select) {
+      s = (r.next_u64() & 1) != 0 ? 1 : 0;
+    }
+    ops_.smooth_var_w1_masked(lanes.data(), select.data(), kLanes, var);
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      if (select[i] == 0) {
+        EXPECT_EQ(lanes[i], original[i]) << "lane " << i << " var " << var;
+        continue;
+      }
+      const auto f = truth_table::from_words(6, &original[i], 1);
+      EXPECT_EQ(lanes[i], f.smooth(var).words()[0])
+          << "lane " << i << " var " << var;
+    }
+  }
+}
+
+TEST_P(KernelTierEquivalence, BatchedAnd3Verdicts) {
+  rng r{static_cast<std::uint64_t>(GetParam()) * 977 + 5};
+  constexpr std::size_t kLanes = 41;
+  const auto a = random_words(r, kLanes);
+  const auto b = random_words(r, kLanes);
+  auto c = random_words(r, kLanes);
+  for (auto& w : c) {
+    w &= r.next_u64() & r.next_u64();  // mix zero and non-zero verdicts
+  }
+  std::vector<std::uint8_t> want(kLanes, 0xcc);
+  std::vector<std::uint8_t> got(kLanes, 0xcc);
+  ref_.and3_nonzero_w1(a.data(), b.data(), c.data(), kLanes, want.data());
+  ops_.and3_nonzero_w1(a.data(), b.data(), c.data(), kLanes, got.data());
+  EXPECT_EQ(want, got);
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    EXPECT_EQ(got[i], (a[i] & b[i] & c[i]) != 0 ? 1 : 0) << "lane " << i;
+  }
+}
+
+TEST_P(KernelTierEquivalence, ReverseTableIsBitReversal) {
+  rng r{static_cast<std::uint64_t>(GetParam()) * 977 + 6};
+  for (unsigned num_vars = 0; num_vars <= 9; ++num_vars) {
+    const std::size_t n =
+        num_vars < 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+    const auto words = random_words(r, n);
+    const auto f = truth_table::from_words(num_vars, words.data(), n);
+    std::vector<std::uint64_t> dst(n, 0xdeadbeefdeadbeefull);
+    ops_.reverse_table(dst.data(), f.words().data(), num_vars);
+    const auto rev = truth_table::from_words(num_vars, dst.data(), n);
+    for (std::uint64_t t = 0; t < f.num_bits(); ++t) {
+      ASSERT_EQ(rev.get_bit(t), f.get_bit(f.num_bits() - 1 - t))
+          << "num_vars=" << num_vars << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AvailableTiers, KernelTierEquivalence,
+    ::testing::ValuesIn(available_tiers()),
+    [](const ::testing::TestParamInfo<kernel_tier>& info) {
+      return tier_name(info.param);
+    });
+
+}  // namespace

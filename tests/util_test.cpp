@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
+#include <vector>
 
+#include "util/flat_set64.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table_printer.hpp"
@@ -135,6 +139,81 @@ TEST(TablePrinter, FormatsDoubles) {
   EXPECT_EQ(table_printer::fmt(1.23456, 3), "1.235");
   EXPECT_EQ(table_printer::fmt(2.0, 1), "2.0");
   EXPECT_EQ(table_printer::fmt(0.0005, 3), "0.001");
+}
+
+TEST(FlatSet64, InsertContainsAndDuplicates) {
+  stpes::util::flat_set64 set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(42));
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatSet64, ZeroKeyIsAFirstClassMember) {
+  // 0 doubles as the empty-slot sentinel internally; the side flag must
+  // make it behave like any other key.
+  stpes::util::flat_set64 set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.size(), 1u);
+  std::size_t visited = 0;
+  set.for_each([&](std::uint64_t k) {
+    EXPECT_EQ(k, 0u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1u);
+  set.clear();
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet64, AgreesWithUnorderedSetUnderRandomLoad) {
+  stpes::util::rng rng{2026};
+  stpes::util::flat_set64 set;
+  std::unordered_set<std::uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    // Small key range forces plenty of duplicates and probe collisions.
+    const std::uint64_t key = rng.next_u64() % 8192;
+    EXPECT_EQ(set.insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (std::uint64_t key = 0; key < 8192; ++key) {
+    EXPECT_EQ(set.contains(key), reference.count(key) != 0) << key;
+  }
+  std::size_t visited = 0;
+  set.for_each([&](std::uint64_t key) {
+    EXPECT_EQ(reference.count(key), 1u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatSet64, IterationOrderIsReproducible) {
+  // The thread-merge in the synthesis engine relies on this: replaying
+  // the same insertion sequence yields the same visit order.  (With
+  // linear probing the slot layout is a function of the insertion
+  // *sequence*, not just the key set — the capped merge depends on the
+  // per-table replay being deterministic, which this pins down.)
+  stpes::util::rng rng{7};
+  std::vector<std::uint64_t> keys(500);
+  for (auto& k : keys) {
+    k = rng.next_u64();
+  }
+  stpes::util::flat_set64 first;
+  stpes::util::flat_set64 second;
+  for (const auto k : keys) {
+    first.insert(k);
+    second.insert(k);
+  }
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  first.for_each([&](std::uint64_t k) { a.push_back(k); });
+  second.for_each([&](std::uint64_t k) { b.push_back(k); });
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace
